@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the building blocks: neighborhood extraction,
+//! pairing, the guided matcher vs the enumerate-all baseline, tours,
+//! product-graph construction, and the union–find.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gk_core::{prepare_opt, CandidateMode, EqRel, ProductGraph, Tour};
+use gk_datagen::{generate, GenConfig};
+use gk_graph::{d_neighborhood, EntityId};
+use gk_isomorph::{eval_pair, eval_pair_enumerate, pairing_at, IdentityEq, MatchScope};
+
+fn setup() -> (gk_datagen::Workload, gk_core::CompiledKeySet) {
+    let w = generate(&GenConfig::google().with_scale(0.1).with_chain(2).with_radius(2));
+    let keys = w.keys.compile(&w.graph);
+    (w, keys)
+}
+
+fn bench_neighborhood(cr: &mut Criterion) {
+    let (w, keys) = setup();
+    let e = w.truth[0].0;
+    let d = keys.radius_of_type(w.graph.entity_type(e));
+    cr.bench_function("d_neighborhood", |b| {
+        b.iter(|| d_neighborhood(&w.graph, e, d).len())
+    });
+}
+
+fn bench_matchers(cr: &mut Criterion) {
+    let (w, keys) = setup();
+    // A ground-truth pair of the deepest (value-based) level: both the
+    // guided matcher and the baseline succeed on it.
+    let (a, b) = *w
+        .truth
+        .iter()
+        .find(|&&(a, b)| {
+            let t = w.graph.entity_type(a);
+            keys.keys_on(t).iter().any(|&k| !keys.keys[k].recursive) && a != b
+        })
+        .expect("value-based truth pair");
+    let t = w.graph.entity_type(a);
+    let ki = *keys
+        .keys_on(t)
+        .iter()
+        .find(|&&k| !keys.keys[k].recursive)
+        .unwrap();
+    let q = &keys.keys[ki].pattern;
+    cr.bench_function("eval_pair_guided", |bch| {
+        bch.iter(|| {
+            assert!(eval_pair(&w.graph, q, a, b, &IdentityEq, MatchScope::whole_graph()))
+        })
+    });
+    cr.bench_function("eval_pair_enumerate_all", |bch| {
+        bch.iter(|| {
+            assert!(eval_pair_enumerate(
+                &w.graph,
+                q,
+                a,
+                b,
+                &IdentityEq,
+                None,
+                None,
+                usize::MAX
+            ))
+        })
+    });
+    cr.bench_function("pairing_at", |bch| {
+        bch.iter(|| pairing_at(&w.graph, q, a, b, None, None).len())
+    });
+}
+
+fn bench_tour_and_product(cr: &mut Criterion) {
+    let (w, keys) = setup();
+    cr.bench_function("tour_build_all_keys", |b| {
+        b.iter(|| {
+            keys.keys
+                .iter()
+                .map(|k| Tour::build(&k.pattern).len())
+                .sum::<usize>()
+        })
+    });
+    cr.bench_function("prepare_opt_plus_product", |b| {
+        b.iter(|| {
+            let prep = prepare_opt(&w.graph, &keys, CandidateMode::TypePairs);
+            ProductGraph::build(&w.graph, &keys, &prep).num_nodes()
+        })
+    });
+}
+
+fn bench_union_find(cr: &mut Criterion) {
+    cr.bench_function("eqrel_union_find_10k", |b| {
+        b.iter(|| {
+            let mut eq = EqRel::identity(10_000);
+            for i in 0..9_999u32 {
+                eq.union(EntityId(i), EntityId(i + 1));
+            }
+            eq.num_identified_pairs()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_neighborhood,
+    bench_matchers,
+    bench_tour_and_product,
+    bench_union_find
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench over key complexity — the micro version of
+//! Fig. 8(c)(g)(k) (dependency chain `c`) and Fig. 8(d)(h)(l) (radius `d`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gk_bench::AlgoKind;
+use gk_datagen::{generate, GenConfig};
+
+fn bench_vary_c(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("vary_c_synthetic");
+    group.sample_size(10);
+    for c in [1usize, 2, 3] {
+        let w = generate(
+            &GenConfig::synthetic().with_keys(30).with_scale(0.2).with_chain(c).with_radius(2),
+        );
+        let keys = w.keys.compile(&w.graph);
+        for algo in [AlgoKind::MrOpt, AlgoKind::VcOpt] {
+            group.bench_with_input(BenchmarkId::new(algo.label(), format!("c={c}")), &c, |b, _| {
+                b.iter(|| {
+                    let out = algo.run(&w.graph, &keys, 4);
+                    assert_eq!(out.identified_pairs(), w.truth);
+                    out.report.rounds
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_vary_d(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("vary_d_synthetic");
+    group.sample_size(10);
+    for d in [1usize, 2, 3] {
+        let w = generate(
+            &GenConfig::synthetic().with_keys(30).with_scale(0.2).with_chain(2).with_radius(d),
+        );
+        let keys = w.keys.compile(&w.graph);
+        for algo in [AlgoKind::MrOpt, AlgoKind::VcOpt] {
+            group.bench_with_input(BenchmarkId::new(algo.label(), format!("d={d}")), &d, |b, _| {
+                b.iter(|| {
+                    let out = algo.run(&w.graph, &keys, 4);
+                    assert_eq!(out.identified_pairs(), w.truth);
+                    out.report.identified
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_c, bench_vary_d);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench over the worker count `p` — the micro version of
+//! Fig. 8(a)(e)(i). Absolute times are machine-specific; the interesting
+//! output is the trend across `p` and the algorithm ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gk_bench::AlgoKind;
+use gk_datagen::{generate, GenConfig};
+
+fn bench_vary_p(cr: &mut Criterion) {
+    let w = generate(&GenConfig::google().with_scale(0.08).with_chain(2).with_radius(2));
+    let keys = w.keys.compile(&w.graph);
+    let mut group = cr.benchmark_group("vary_p_google");
+    group.sample_size(10);
+    for p in [2usize, 4, 8] {
+        for algo in [AlgoKind::Mr, AlgoKind::MrOpt, AlgoKind::Vc, AlgoKind::VcOpt] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), p),
+                &p,
+                |b, &p| {
+                    b.iter(|| {
+                        let out = algo.run(&w.graph, &keys, p);
+                        assert_eq!(out.identified_pairs(), w.truth);
+                        out.report.identified
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_p);
+criterion_main!(benches);

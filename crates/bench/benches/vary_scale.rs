@@ -1,0 +1,32 @@
+//! Criterion bench over the graph size — the micro version of
+//! Fig. 8(b)(f)(j): time should grow roughly linearly in the scale factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gk_bench::AlgoKind;
+use gk_datagen::{generate, GenConfig};
+
+fn bench_vary_scale(cr: &mut Criterion) {
+    let mut group = cr.benchmark_group("vary_scale_dbpedia");
+    group.sample_size(10);
+    for scale in [0.05f64, 0.1, 0.2] {
+        let w = generate(&GenConfig::dbpedia().with_scale(scale).with_chain(2).with_radius(2));
+        let keys = w.keys.compile(&w.graph);
+        for algo in [AlgoKind::MrOpt, AlgoKind::VcOpt] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), format!("scale={scale}")),
+                &scale,
+                |b, _| {
+                    b.iter(|| {
+                        let out = algo.run(&w.graph, &keys, 4);
+                        assert_eq!(out.identified_pairs(), w.truth);
+                        out.report.identified
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vary_scale);
+criterion_main!(benches);

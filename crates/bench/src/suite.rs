@@ -1,0 +1,475 @@
+//! The experiment suite: one function per figure/table of §6.
+
+use gk_core::{
+    chase_reference, em_mr, em_mr_sim, em_vc, em_vc_sim, ChaseOrder, CompiledKeySet,
+    MatchOutcome, MrVariant, VcVariant,
+};
+use gk_datagen::{generate, GenConfig, Workload};
+use gk_graph::{EntityId, Graph};
+use std::time::Instant;
+
+/// The algorithms compared throughout §6.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlgoKind {
+    /// Sequential reference chase (ground-truth baseline, not in the
+    /// paper's plots).
+    Reference,
+    /// `EM_MR^VF2` — enumerate-all baseline.
+    MrVf2,
+    /// `EM_MR`.
+    Mr,
+    /// `EM_MR^opt`.
+    MrOpt,
+    /// `EM_VC`.
+    Vc,
+    /// `EM_VC^opt` with `k = 4` (the paper's setting).
+    VcOpt,
+}
+
+impl AlgoKind {
+    /// Paper-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AlgoKind::Reference => "reference",
+            AlgoKind::MrVf2 => "EM_MR^VF2",
+            AlgoKind::Mr => "EM_MR",
+            AlgoKind::MrOpt => "EM_MR^opt",
+            AlgoKind::Vc => "EM_VC",
+            AlgoKind::VcOpt => "EM_VC^opt",
+        }
+    }
+
+    /// The five parallel algorithms of Fig. 8.
+    pub fn parallel_five() -> [AlgoKind; 5] {
+        [AlgoKind::MrVf2, AlgoKind::Mr, AlgoKind::MrOpt, AlgoKind::Vc, AlgoKind::VcOpt]
+    }
+
+    /// Runs the algorithm with `p` workers.
+    pub fn run(self, g: &Graph, keys: &CompiledKeySet, p: usize) -> MatchOutcome {
+        self.run_mode(g, keys, p, false)
+    }
+
+    /// Runs the algorithm with `p` *simulated* workers (deterministic
+    /// scheduler; `sim_seconds` is the ideal makespan) — used by the
+    /// p-scalability sweeps on hosts with few cores.
+    pub fn run_sim(self, g: &Graph, keys: &CompiledKeySet, p: usize) -> MatchOutcome {
+        self.run_mode(g, keys, p, true)
+    }
+
+    fn run_mode(self, g: &Graph, keys: &CompiledKeySet, p: usize, sim: bool) -> MatchOutcome {
+        match self {
+            AlgoKind::Reference => {
+                let t = Instant::now();
+                let r = chase_reference(g, keys, ChaseOrder::Deterministic);
+                let mut report = gk_core::RunReport {
+                    algorithm: "reference".into(),
+                    workers: 1,
+                    identified: r.eq.num_identified_pairs(),
+                    merges: r.steps.len(),
+                    rounds: r.rounds,
+                    iso_checks: r.iso_checks,
+                    elapsed: t.elapsed(),
+                    ..Default::default()
+                };
+                report.candidates = 0;
+                MatchOutcome { eq: r.eq, report }
+            }
+            AlgoKind::MrVf2 => mr(g, keys, p, MrVariant::Vf2, sim),
+            AlgoKind::Mr => mr(g, keys, p, MrVariant::Base, sim),
+            AlgoKind::MrOpt => mr(g, keys, p, MrVariant::Opt, sim),
+            AlgoKind::Vc => vc(g, keys, p, VcVariant::Base, sim),
+            AlgoKind::VcOpt => vc(g, keys, p, VcVariant::Opt { k: 4 }, sim),
+        }
+    }
+}
+
+fn mr(g: &Graph, keys: &CompiledKeySet, p: usize, v: MrVariant, sim: bool) -> MatchOutcome {
+    if sim {
+        em_mr_sim(g, keys, p, v)
+    } else {
+        em_mr(g, keys, p, v)
+    }
+}
+
+fn vc(g: &Graph, keys: &CompiledKeySet, p: usize, v: VcVariant, sim: bool) -> MatchOutcome {
+    if sim {
+        em_vc_sim(g, keys, p, v)
+    } else {
+        em_vc(g, keys, p, v)
+    }
+}
+
+/// One measured data point of an experiment.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Experiment id (`fig8a`, `table2`, …).
+    pub experiment: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Algorithm label.
+    pub algo: String,
+    /// The varied parameter, e.g. `p=8`, `scale=0.4`, `c=3`, `d=2`.
+    pub x: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Simulated ideal-parallel makespan seconds (p-sweeps); 0 otherwise.
+    pub sim_seconds: f64,
+    /// Confirmed matches (identified pairs in the closure).
+    pub identified: usize,
+    /// Candidate matches handed to the algorithm.
+    pub candidates: usize,
+    /// MapReduce rounds (1 for VC/reference semantics differ).
+    pub rounds: usize,
+    /// Messages (vertex-centric) or shuffled records (MapReduce).
+    pub traffic: u64,
+    /// Whether the result equals the planted ground truth.
+    pub correct: bool,
+    /// Free-form extras copied from the run report.
+    pub extra: Vec<(String, String)>,
+}
+
+/// All experiment ids, in presentation order.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig8a", "fig8b", "fig8c", "fig8d", // Google
+    "fig8e", "fig8f", "fig8g", "fig8h", // DBpedia
+    "fig8i", "fig8j", "fig8k", "fig8l", // Synthetic
+    "table2", "gp_ratio", "opt_mr", "opt_vc", "ablation",
+];
+
+/// Dataset base config for an experiment family, at benchmark scale.
+/// `quick` shrinks populations so the suite finishes fast (CI/criterion).
+fn dataset_cfg(which: char, quick: bool) -> GenConfig {
+    let base = match which {
+        'g' => GenConfig::google(),
+        'd' => GenConfig::dbpedia(),
+        's' => GenConfig::synthetic(),
+        _ => unreachable!("dataset tag"),
+    };
+    if quick {
+        base.with_scale(0.1)
+    } else {
+        base.with_scale(1.0)
+    }
+}
+
+fn truth_of(w: &Workload) -> &[(EntityId, EntityId)] {
+    &w.truth
+}
+
+fn measure(
+    experiment: &str,
+    w: &Workload,
+    keys: &CompiledKeySet,
+    algo: AlgoKind,
+    p: usize,
+    x: String,
+) -> Measurement {
+    measure_mode(experiment, w, keys, algo, p, x, false)
+}
+
+fn measure_mode(
+    experiment: &str,
+    w: &Workload,
+    keys: &CompiledKeySet,
+    algo: AlgoKind,
+    p: usize,
+    x: String,
+    sim: bool,
+) -> Measurement {
+    measure_reps(experiment, w, keys, algo, p, x, sim, 1)
+}
+
+/// Runs the algorithm `reps` times and keeps the fastest run (the paper
+/// averages 3 runs; min-of-N is the standard noise-robust variant).
+#[allow(clippy::too_many_arguments)]
+fn measure_reps(
+    experiment: &str,
+    w: &Workload,
+    keys: &CompiledKeySet,
+    algo: AlgoKind,
+    p: usize,
+    x: String,
+    sim: bool,
+    reps: usize,
+) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..reps.max(1) {
+        let out = if sim { algo.run_sim(&w.graph, keys, p) } else { algo.run(&w.graph, keys, p) };
+        let got = out.identified_pairs();
+        let m = Measurement {
+            experiment: experiment.to_string(),
+            dataset: w.name.clone(),
+            algo: algo.label().to_string(),
+            x: x.clone(),
+            seconds: out.report.elapsed.as_secs_f64(),
+            sim_seconds: out.report.sim_seconds,
+            identified: out.report.identified,
+            candidates: out.report.candidates,
+            rounds: out.report.rounds,
+            traffic: out.report.messages.max(out.report.shuffled_records),
+            correct: got == truth_of(w),
+            extra: out.report.extra.clone(),
+        };
+        let faster = |a: &Measurement, b: &Measurement| {
+            let ka = if a.sim_seconds > 0.0 { a.sim_seconds } else { a.seconds };
+            let kb = if b.sim_seconds > 0.0 { b.sim_seconds } else { b.seconds };
+            ka < kb
+        };
+        best = match best {
+            Some(b) if m.correct && faster(&m, &b) => Some(m),
+            Some(mut b) => {
+                b.correct &= m.correct;
+                Some(b)
+            }
+            None => Some(m),
+        };
+    }
+    best.expect("at least one rep")
+}
+
+/// The worker counts of Fig. 8(a)(e)(i).
+pub const P_SWEEP: &[usize] = &[4, 8, 12, 16, 20];
+/// The scale factors of Fig. 8(b)(f)(j).
+pub const SCALE_SWEEP: &[f64] = &[0.2, 0.4, 0.6, 0.8, 1.0];
+/// The chain lengths of Fig. 8(c)(g)(k).
+pub const C_SWEEP: &[usize] = &[1, 2, 3, 4, 5];
+/// The radii of Fig. 8(d)(h)(l).
+pub const D_SWEEP: &[usize] = &[1, 2, 3, 4, 5];
+
+/// Runs one experiment by id; `quick` shrinks the workload.
+pub fn run_experiment(id: &str, quick: bool) -> Vec<Measurement> {
+    match id {
+        "fig8a" => vary_p('g', "fig8a", quick),
+        "fig8e" => vary_p('d', "fig8e", quick),
+        "fig8i" => vary_p('s', "fig8i", quick),
+        "fig8b" => vary_scale('g', "fig8b", quick),
+        "fig8f" => vary_scale('d', "fig8f", quick),
+        "fig8j" => vary_scale('s', "fig8j", quick),
+        "fig8c" => vary_c('g', "fig8c", quick),
+        "fig8g" => vary_c('d', "fig8g", quick),
+        "fig8k" => vary_c('s', "fig8k", quick),
+        "fig8d" => vary_d('g', "fig8d", quick),
+        "fig8h" => vary_d('d', "fig8h", quick),
+        "fig8l" => vary_d('s', "fig8l", quick),
+        "table2" => table2(quick),
+        "gp_ratio" => gp_ratio(quick),
+        "opt_mr" => opt_mr(quick),
+        "opt_vc" => opt_vc(quick),
+        "ablation" => ablation(quick),
+        other => panic!("unknown experiment id {other:?}; see ALL_EXPERIMENTS"),
+    }
+}
+
+/// Fig. 8(a)(e)(i): fix c=2, d=2; vary p.
+fn vary_p(ds: char, id: &str, quick: bool) -> Vec<Measurement> {
+    let cfg = dataset_cfg(ds, quick).with_chain(2).with_radius(2);
+    let w = generate(&cfg);
+    let keys = w.keys.compile(&w.graph);
+    let mut out = Vec::new();
+    let reps = if quick { 1 } else { 3 };
+    for &p in P_SWEEP {
+        for algo in AlgoKind::parallel_five() {
+            // Simulated workers: the makespan scales with p even when the
+            // host has fewer cores (see DESIGN.md).
+            out.push(measure_reps(id, &w, &keys, algo, p, format!("p={p}"), true, reps));
+        }
+    }
+    out
+}
+
+/// Fig. 8(b)(f)(j): fix p=4, c=2, d=2; vary |G| by scale factor.
+fn vary_scale(ds: char, id: &str, quick: bool) -> Vec<Measurement> {
+    let base = dataset_cfg(ds, quick).with_chain(2).with_radius(2);
+    let mut out = Vec::new();
+    for &f in SCALE_SWEEP {
+        let cfg = base.clone().with_scale(base.scale * f);
+        let w = generate(&cfg);
+        let keys = w.keys.compile(&w.graph);
+        for algo in AlgoKind::parallel_five() {
+            let reps = if quick { 1 } else { 2 };
+            let mut m =
+                measure_reps(id, &w, &keys, algo, 4, format!("scale={f}"), false, reps);
+            m.extra.push(("triples".into(), w.graph.num_triples().to_string()));
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Fig. 8(c)(g)(k): fix p=4, d=2; vary the dependency chain c.
+fn vary_c(ds: char, id: &str, quick: bool) -> Vec<Measurement> {
+    let base = dataset_cfg(ds, quick).with_radius(2);
+    let mut out = Vec::new();
+    for &c in C_SWEEP {
+        let cfg = base.clone().with_chain(c);
+        let w = generate(&cfg);
+        let keys = w.keys.compile(&w.graph);
+        for algo in AlgoKind::parallel_five() {
+            let reps = if quick { 1 } else { 2 };
+            out.push(measure_reps(id, &w, &keys, algo, 4, format!("c={c}"), false, reps));
+        }
+    }
+    out
+}
+
+/// Fig. 8(d)(h)(l): fix p=4, c=2; vary the radius d.
+fn vary_d(ds: char, id: &str, quick: bool) -> Vec<Measurement> {
+    let base = dataset_cfg(ds, quick).with_chain(2);
+    let mut out = Vec::new();
+    for &d in D_SWEEP {
+        let cfg = base.clone().with_radius(d);
+        let w = generate(&cfg);
+        let keys = w.keys.compile(&w.graph);
+        for algo in AlgoKind::parallel_five() {
+            let reps = if quick { 1 } else { 2 };
+            out.push(measure_reps(id, &w, &keys, algo, 4, format!("d={d}"), false, reps));
+        }
+    }
+    out
+}
+
+/// Table 2: candidate matches (EM_VC^opt vs EM_MR^opt) and confirmed
+/// matches, per dataset.
+fn table2(quick: bool) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for ds in ['g', 'd', 's'] {
+        let cfg = dataset_cfg(ds, quick).with_chain(2).with_radius(2);
+        let w = generate(&cfg);
+        let keys = w.keys.compile(&w.graph);
+        for algo in [AlgoKind::VcOpt, AlgoKind::MrOpt] {
+            let mut m = measure("table2", &w, &keys, algo, 4, "-".into());
+            // For EM_VC^opt the paper counts the (larger) product-graph
+            // candidate space; surface Gp nodes alongside.
+            if algo == AlgoKind::VcOpt {
+                if let Some(gp) = m.extra.iter().find(|(k, _)| k == "gp_nodes") {
+                    m.x = format!("gp_nodes={}", gp.1);
+                }
+            }
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// §6 in-text: |Gp| vs |G| (the paper reports ≈ 2.7·|G| on average).
+fn gp_ratio(quick: bool) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for ds in ['g', 'd', 's'] {
+        let cfg = dataset_cfg(ds, quick).with_chain(2).with_radius(2);
+        let w = generate(&cfg);
+        let keys = w.keys.compile(&w.graph);
+        let mut m = measure("gp_ratio", &w, &keys, AlgoKind::Vc, 4, "-".into());
+        m.extra.push(("g_triples".into(), w.graph.num_triples().to_string()));
+        out.push(m);
+    }
+    out
+}
+
+/// §6 in-text optimization effects for MapReduce: candidate reduction,
+/// neighborhood reduction, check reduction, speedup.
+fn opt_mr(quick: bool) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for ds in ['g', 'd', 's'] {
+        let cfg = dataset_cfg(ds, quick).with_chain(2).with_radius(2);
+        let w = generate(&cfg);
+        let keys = w.keys.compile(&w.graph);
+        for algo in [AlgoKind::Mr, AlgoKind::MrOpt] {
+            out.push(measure("opt_mr", &w, &keys, algo, 4, "-".into()));
+        }
+    }
+    out
+}
+
+/// §6 in-text: EM_VC vs EM_VC^opt across message budgets k.
+fn opt_vc(quick: bool) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for ds in ['g', 'd', 's'] {
+        let cfg = dataset_cfg(ds, quick).with_chain(2).with_radius(2);
+        let w = generate(&cfg);
+        let keys = w.keys.compile(&w.graph);
+        out.push(measure("opt_vc", &w, &keys, AlgoKind::Vc, 4, "unbounded".into()));
+        for k in [1u32, 2, 4, 8] {
+            let t = Instant::now();
+            let o = em_vc(&w.graph, &keys, 4, VcVariant::Opt { k });
+            let got = o.identified_pairs();
+            out.push(Measurement {
+                experiment: "opt_vc".into(),
+                dataset: w.name.clone(),
+                algo: "EM_VC^opt".to_string(),
+                x: format!("k={k}"),
+                seconds: t.elapsed().as_secs_f64(),
+                sim_seconds: o.report.sim_seconds,
+                identified: o.report.identified,
+                candidates: o.report.candidates,
+                rounds: 1,
+                traffic: o.report.messages,
+                correct: got == w.truth,
+                extra: o.report.extra.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// Ablation of the candidate-enumeration design choice: the paper's plain
+/// type-pair enumeration (`L` = all same-type pairs, then pairing) vs the
+/// value-blocking pre-pass this implementation adds before pairing.
+fn ablation(quick: bool) -> Vec<Measurement> {
+    use gk_core::{prepare_opt, CandidateMode};
+    let mut out = Vec::new();
+    for ds in ['g', 'd', 's'] {
+        let cfg = dataset_cfg(ds, quick).with_chain(2).with_radius(2);
+        let w = generate(&cfg);
+        let keys = w.keys.compile(&w.graph);
+        for (label, mode) in [
+            ("prep:type-pairs", CandidateMode::TypePairs),
+            ("prep:blocked", CandidateMode::Blocked),
+        ] {
+            let enumerated = gk_core::candidate_pairs(&w.graph, &keys, mode).len();
+            let t = Instant::now();
+            let prep = prepare_opt(&w.graph, &keys, mode);
+            let secs = t.elapsed().as_secs_f64();
+            out.push(Measurement {
+                experiment: "ablation".into(),
+                dataset: w.name.clone(),
+                algo: label.into(),
+                x: "-".into(),
+                seconds: secs,
+                sim_seconds: 0.0,
+                identified: 0,
+                candidates: prep.candidates.len(),
+                rounds: 0,
+                traffic: enumerated as u64,
+                correct: true,
+                extra: vec![("frontier".into(), prep.frontier.len().to_string())],
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_experiment_runs_and_is_correct() {
+        let ms = run_experiment("gp_ratio", true);
+        assert_eq!(ms.len(), 3);
+        assert!(ms.iter().all(|m| m.correct), "{ms:?}");
+    }
+
+    #[test]
+    fn all_ids_resolve() {
+        // Just the cheap ones here; the figures binary exercises the rest.
+        for id in ["table2", "gp_ratio"] {
+            assert!(!run_experiment(id, true).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown experiment")]
+    fn unknown_id_panics() {
+        let _ = run_experiment("fig9z", true);
+    }
+}

@@ -1,0 +1,505 @@
+//! Command implementations and a small flag parser.
+
+use gk_core::{
+    chase_reference, em_mr, em_vc, key_violations, normalize_graph, normalize_keys, prove,
+    satisfies, verify, AlphaNum, CaseFold, ChaseOrder, CompiledKeySet, KeySet, MatchOutcome,
+    MrVariant, VcVariant,
+};
+use gk_datagen::{generate, GenConfig};
+use gk_graph::{parse_graph, write_graph, Graph, GraphStats};
+use std::fmt::Write as _;
+
+/// Usage text shown on argument errors.
+pub const USAGE: &str = "usage:
+  graphkeys stats    <graph.triples>
+  graphkeys keys     <keys.gk>
+  graphkeys validate <graph.triples> <keys.gk>
+  graphkeys match    <graph.triples> <keys.gk> [--algo ref|mr|mr-opt|mr-vf2|vc|vc-opt]
+                     [-p N] [-k K] [--normalize casefold|alphanum] [--explain A,B]
+  graphkeys discover <graph.triples> [--max-attrs N] [--min-support F]
+  graphkeys gen      --flavor google|dbpedia|synthetic [--scale F] [--keys N]
+                     [--chain C] [--radius D] [--seed S] --out DIR";
+
+/// Entry point used by `main` (and by the unit tests).
+pub fn run(args: &[String]) -> Result<(), String> {
+    let mut out = String::new();
+    run_to(args, &mut out)?;
+    print!("{out}");
+    Ok(())
+}
+
+/// Testable variant: renders all output into a string.
+pub fn run_to(args: &[String], out: &mut String) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "stats" => cmd_stats(rest, out),
+        "keys" => cmd_keys(rest, out),
+        "validate" => cmd_validate(rest, out),
+        "match" => cmd_match(rest, out),
+        "discover" => cmd_discover(rest, out),
+        "gen" => cmd_gen(rest, out),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flag parsing
+// ---------------------------------------------------------------------------
+
+struct Flags {
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], known: &[&str]) -> Result<Flags, String> {
+        let mut positional = Vec::new();
+        let mut options = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
+                if !known.contains(&name) {
+                    return Err(format!("unknown flag {a:?}"));
+                }
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag {a:?} needs a value"))?
+                    .clone();
+                options.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Flags { positional, options })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v:?}")),
+        }
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    parse_graph(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_keys(path: &str) -> Result<KeySet, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    KeySet::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+fn cmd_stats(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let [path] = f.positional.as_slice() else {
+        return Err("stats takes exactly one graph file".into());
+    };
+    let g = load_graph(path)?;
+    let _ = writeln!(out, "{}", GraphStats::of(&g));
+    Ok(())
+}
+
+fn cmd_keys(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let [path] = f.positional.as_slice() else {
+        return Err("keys takes exactly one key file".into());
+    };
+    let ks = load_keys(path)?;
+    let _ = writeln!(
+        out,
+        "{} keys, |Σ| = {} triples, max radius d = {}, {} recursive, longest chain c = {}",
+        ks.cardinality(),
+        ks.total_size(),
+        ks.max_radius(),
+        ks.recursive_count(),
+        ks.longest_chain()
+    );
+    for k in ks.keys() {
+        let _ = writeln!(
+            out,
+            "  {:<12} on {:<16} |Q|={} d={} {}",
+            k.name,
+            k.target_type,
+            k.size(),
+            k.radius(),
+            if k.is_recursive() { "recursive" } else { "value-based" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_validate(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let [gpath, kpath] = f.positional.as_slice() else {
+        return Err("validate takes a graph file and a key file".into());
+    };
+    let g = load_graph(gpath)?;
+    let ks = load_keys(kpath)?;
+    let compiled = ks.compile(&g);
+    if !compiled.skipped.is_empty() {
+        let _ = writeln!(out, "inactive keys (vocabulary not in graph): {:?}", compiled.skipped);
+    }
+    if satisfies(&g, &compiled) {
+        let _ = writeln!(out, "OK: G |= Σ (no duplicates under these keys)");
+        return Ok(());
+    }
+    let _ = writeln!(out, "VIOLATIONS (direct, under node identity):");
+    for v in key_violations(&g, &compiled) {
+        let _ = writeln!(
+            out,
+            "  {}: {} <=> {}",
+            v.key_name,
+            g.entity_label(v.pair.0),
+            g.entity_label(v.pair.1)
+        );
+    }
+    let all = gk_core::set_violations(&g, &compiled);
+    let _ = writeln!(out, "chase-level duplicates: {} pair(s)", all.len());
+    for (a, b) in all {
+        let _ = writeln!(out, "  {} <=> {}", g.entity_label(a), g.entity_label(b));
+    }
+    Ok(())
+}
+
+fn run_algo(
+    algo: &str,
+    g: &Graph,
+    keys: &CompiledKeySet,
+    p: usize,
+    k: u32,
+) -> Result<MatchOutcome, String> {
+    Ok(match algo {
+        "ref" => {
+            let r = chase_reference(g, keys, ChaseOrder::Deterministic);
+            let report = gk_core::RunReport {
+                algorithm: "reference".into(),
+                workers: 1,
+                identified: r.eq.num_identified_pairs(),
+                merges: r.steps.len(),
+                rounds: r.rounds,
+                iso_checks: r.iso_checks,
+                ..Default::default()
+            };
+            MatchOutcome { eq: r.eq, report }
+        }
+        "mr" => em_mr(g, keys, p, MrVariant::Base),
+        "mr-opt" => em_mr(g, keys, p, MrVariant::Opt),
+        "mr-vf2" => em_mr(g, keys, p, MrVariant::Vf2),
+        "vc" => em_vc(g, keys, p, VcVariant::Base),
+        "vc-opt" => em_vc(g, keys, p, VcVariant::Opt { k }),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+fn cmd_match(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(args, &["algo", "p", "k", "normalize", "explain"])?;
+    let [gpath, kpath] = f.positional.as_slice() else {
+        return Err("match takes a graph file and a key file".into());
+    };
+    let mut g = load_graph(gpath)?;
+    let mut ks = load_keys(kpath)?;
+    match f.get("normalize") {
+        None => {}
+        Some("casefold") => {
+            g = normalize_graph(&g, &CaseFold);
+            ks = normalize_keys(&ks, &CaseFold);
+        }
+        Some("alphanum") => {
+            g = normalize_graph(&g, &AlphaNum);
+            ks = normalize_keys(&ks, &AlphaNum);
+        }
+        Some(other) => return Err(format!("unknown normalizer {other:?}")),
+    }
+    let algo = f.get("algo").unwrap_or("vc-opt");
+    let p = f.get_parse("p", 4usize)?;
+    let k = f.get_parse("k", 4u32)?;
+    let compiled = ks.compile(&g);
+    let outcome = run_algo(algo, &g, &compiled, p, k)?;
+    let _ = writeln!(out, "{}", outcome.report);
+    for class in outcome.eq.classes() {
+        let names: Vec<String> = class.iter().map(|&e| g.entity_label(e)).collect();
+        let _ = writeln!(out, "cluster: {}", names.join(" = "));
+    }
+
+    if let Some(pair) = f.get("explain") {
+        let (a, b) = pair
+            .split_once(',')
+            .ok_or_else(|| "--explain takes ENTITY_A,ENTITY_B".to_string())?;
+        let ea = g.entity_named(a.trim()).ok_or_else(|| format!("unknown entity {a:?}"))?;
+        let eb = g.entity_named(b.trim()).ok_or_else(|| format!("unknown entity {b:?}"))?;
+        match prove(&g, &compiled, ea, eb) {
+            None => {
+                let _ = writeln!(out, "no proof: {a} and {b} are not identified");
+            }
+            Some(proof) => {
+                verify(&g, &compiled, &proof).map_err(|e| format!("internal: {e}"))?;
+                let _ = writeln!(out, "proof for {a} <=> {b} ({} steps, verified):", proof.len());
+                for s in &proof.steps {
+                    let _ = writeln!(
+                        out,
+                        "  {} <=> {} by {}",
+                        g.entity_label(s.pair.0),
+                        g.entity_label(s.pair.1),
+                        compiled.keys[s.key].name
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_discover(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(args, &["max-attrs", "min-support"])?;
+    let [gpath] = f.positional.as_slice() else {
+        return Err("discover takes exactly one graph file".into());
+    };
+    let g = load_graph(gpath)?;
+    let cfg = gk_core::DiscoveryConfig {
+        max_attrs: f.get_parse("max-attrs", 3usize)?,
+        min_support: f.get_parse("min-support", 0.5f64)?,
+        ..Default::default()
+    };
+    let mined = gk_core::discover_value_keys(&g, &cfg);
+    if mined.is_empty() {
+        let _ = writeln!(out, "// no value-based keys hold on this instance");
+        return Ok(());
+    }
+    let _ = writeln!(out, "// {} minimal value-based key(s) mined:", mined.len());
+    for d in mined {
+        let _ = writeln!(out, "// support: {:.0}%", d.support * 100.0);
+        let _ = writeln!(out, "{}\n", d.key);
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(args, &["flavor", "scale", "keys", "chain", "radius", "seed", "out"])?;
+    if !f.positional.is_empty() {
+        return Err("gen takes flags only".into());
+    }
+    let mut cfg = match f.get("flavor").unwrap_or("synthetic") {
+        "google" => GenConfig::google(),
+        "dbpedia" => GenConfig::dbpedia(),
+        "synthetic" => GenConfig::synthetic(),
+        other => return Err(format!("unknown flavor {other:?}")),
+    };
+    let scale = f.get_parse("scale", cfg.scale)?;
+    let chain = f.get_parse("chain", cfg.chain_len)?;
+    let radius = f.get_parse("radius", cfg.max_radius)?;
+    let nkeys = f.get_parse("keys", cfg.num_keys)?;
+    let seed = f.get_parse("seed", cfg.seed)?;
+    cfg = cfg
+        .with_scale(scale)
+        .with_chain(chain)
+        .with_radius(radius)
+        .with_keys(nkeys)
+        .with_seed(seed);
+    let dir = f.get("out").ok_or_else(|| "gen requires --out DIR".to_string())?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+
+    let w = generate(&cfg);
+    let gpath = format!("{dir}/graph.triples");
+    let kpath = format!("{dir}/keys.gk");
+    let tpath = format!("{dir}/truth.tsv");
+    std::fs::write(&gpath, write_graph(&w.graph)).map_err(|e| e.to_string())?;
+    std::fs::write(&kpath, gk_core::write_keys(w.keys.keys())).map_err(|e| e.to_string())?;
+    let mut truth = String::new();
+    for (a, b) in &w.truth {
+        let _ = writeln!(truth, "{}\t{}", w.graph.entity_label(*a), w.graph.entity_label(*b));
+    }
+    std::fs::write(&tpath, truth).map_err(|e| e.to_string())?;
+    let _ = writeln!(
+        out,
+        "wrote {gpath} ({}), {kpath} ({} keys), {tpath} ({} pairs)",
+        GraphStats::of(&w.graph),
+        w.keys.cardinality(),
+        w.truth.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> String {
+        let d = std::env::temp_dir().join(format!("gk-cli-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d.to_string_lossy().into_owned()
+    }
+
+    fn write(path: &str, text: &str) {
+        std::fs::write(path, text).unwrap();
+    }
+
+    const G: &str = r#"
+        alb1:album name_of "Anthology 2"
+        alb1:album release_year "1996"
+        alb2:album name_of "ANTHOLOGY 2"
+        alb2:album release_year "1996"
+    "#;
+
+    const K: &str = r#"key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }"#;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn stats_command() {
+        let d = tmpdir("stats");
+        write(&format!("{d}/g.triples"), G);
+        let mut out = String::new();
+        run_to(&args(&["stats", &format!("{d}/g.triples")]), &mut out).unwrap();
+        assert!(out.contains("2 entities"));
+    }
+
+    #[test]
+    fn keys_command() {
+        let d = tmpdir("keys");
+        write(&format!("{d}/k.gk"), K);
+        let mut out = String::new();
+        run_to(&args(&["keys", &format!("{d}/k.gk")]), &mut out).unwrap();
+        assert!(out.contains("1 keys"));
+        assert!(out.contains("value-based"));
+    }
+
+    #[test]
+    fn validate_clean_and_dirty() {
+        let d = tmpdir("validate");
+        write(&format!("{d}/g.triples"), G);
+        write(&format!("{d}/k.gk"), K);
+        let mut out = String::new();
+        // Case differs: exact match finds no duplicates.
+        run_to(&args(&["validate", &format!("{d}/g.triples"), &format!("{d}/k.gk")]), &mut out)
+            .unwrap();
+        assert!(out.contains("OK"), "{out}");
+    }
+
+    #[test]
+    fn match_with_normalizer_and_explain() {
+        let d = tmpdir("match");
+        write(&format!("{d}/g.triples"), G);
+        write(&format!("{d}/k.gk"), K);
+        let mut out = String::new();
+        run_to(
+            &args(&[
+                "match",
+                &format!("{d}/g.triples"),
+                &format!("{d}/k.gk"),
+                "--algo",
+                "mr-opt",
+                "-p",
+                "2",
+                "--normalize",
+                "casefold",
+                "--explain",
+                "alb1,alb2",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("cluster: alb1 = alb2"), "{out}");
+        assert!(out.contains("proof for alb1 <=> alb2"), "{out}");
+    }
+
+    #[test]
+    fn all_algorithms_run() {
+        let d = tmpdir("algos");
+        write(&format!("{d}/g.triples"), G);
+        write(&format!("{d}/k.gk"), K);
+        for algo in ["ref", "mr", "mr-opt", "mr-vf2", "vc", "vc-opt"] {
+            let mut out = String::new();
+            run_to(
+                &args(&[
+                    "match",
+                    &format!("{d}/g.triples"),
+                    &format!("{d}/k.gk"),
+                    "--algo",
+                    algo,
+                    "--normalize",
+                    "casefold",
+                ]),
+                &mut out,
+            )
+            .unwrap_or_else(|e| panic!("{algo}: {e}"));
+            assert!(out.contains("cluster"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn gen_roundtrips_through_match() {
+        let d = tmpdir("gen");
+        let mut out = String::new();
+        run_to(
+            &args(&[
+                "gen", "--flavor", "google", "--scale", "0.05", "--keys", "6", "--out", &d,
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        // The generated files parse and match.
+        let mut out2 = String::new();
+        run_to(
+            &args(&["match", &format!("{d}/graph.triples"), &format!("{d}/keys.gk")]),
+            &mut out2,
+        )
+        .unwrap();
+        assert!(out2.contains("cluster"), "{out2}");
+        // Clusters must equal the planted truth.
+        let truth = std::fs::read_to_string(format!("{d}/truth.tsv")).unwrap();
+        let n_truth = truth.lines().count();
+        let n_clusters = out2.lines().filter(|l| l.starts_with("cluster")).count();
+        assert_eq!(n_clusters, n_truth);
+    }
+
+    #[test]
+    fn discover_mines_and_output_reparses() {
+        let d = tmpdir("discover");
+        write(
+            &format!("{d}/g.triples"),
+            r#"
+            a:album name "X"
+            a:album year "1996"
+            b:album name "X"
+            b:album year "1997"
+            "#,
+        );
+        let mut out = String::new();
+        run_to(&args(&["discover", &format!("{d}/g.triples")]), &mut out).unwrap();
+        assert!(out.contains("mined"), "{out}");
+        // The emitted DSL must parse back (comments are legal in the DSL).
+        let keys = gk_core::parse_keys(&out).unwrap();
+        assert!(!keys.is_empty());
+    }
+
+    #[test]
+    fn unknown_command_and_flags_error() {
+        let mut out = String::new();
+        assert!(run_to(&args(&["bogus"]), &mut out).is_err());
+        assert!(run_to(&args(&["stats", "--nope", "x"]), &mut out).is_err());
+        assert!(run_to(&args(&[]), &mut out).is_err());
+    }
+}

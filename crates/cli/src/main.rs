@@ -1,0 +1,31 @@
+//! `graphkeys` — command-line entity matching with keys for graphs.
+//!
+//! ```text
+//! graphkeys stats    <graph.triples>
+//! graphkeys keys     <keys.gk>
+//! graphkeys validate <graph.triples> <keys.gk>
+//! graphkeys match    <graph.triples> <keys.gk> [--algo ref|mr|mr-opt|mr-vf2|vc|vc-opt]
+//!                    [-p N] [-k K] [--normalize casefold|alphanum] [--explain A,B]
+//! graphkeys gen      --flavor google|dbpedia|synthetic [--scale F] [--keys N]
+//!                    [--chain C] [--radius D] [--seed S] --out DIR
+//! ```
+//!
+//! Graphs use the triple text format of `gk-graph` (`entity:Type pred
+//! "value"` lines); keys use the DSL of `gk-core` (`key "Q" type(x) {...}`).
+
+mod cmd;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cmd::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", cmd::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Candidate pair generation — the set `L` of §4.1 and its reductions
+//! (§4.2).
+//!
+//! The base candidate set contains every unordered same-type entity pair on
+//! whose type at least one key is defined. The optimized algorithms shrink
+//! it twice:
+//!
+//! 1. **value blocking** (cheap): a key with a value variable or constant
+//!    attached to `x` can only identify pairs that *share* that attribute
+//!    value — so candidates are drawn from per-value buckets instead of the
+//!    full type cross-product;
+//! 2. **pairing** (Prop. 9, §4.2): keep only pairs paired by some key.
+
+use crate::keyset::CompiledKeySet;
+use gk_graph::{EntityId, Graph, NodeId, Obj, TypeId};
+use gk_isomorph::{pairing_at, SlotKind};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Normalizes a pair to `(min, max)` order.
+#[inline]
+pub fn norm(a: EntityId, b: EntityId) -> (EntityId, EntityId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// How to enumerate the candidate set `L`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CandidateMode {
+    /// The paper's base `L`: all same-type pairs with ≥1 key defined.
+    #[default]
+    TypePairs,
+    /// Value blocking: per key, pairs sharing a key-relevant attribute
+    /// value; falls back to type pairs for keys without one.
+    Blocked,
+}
+
+/// Number of pairs in the paper's base candidate set `L` (all same-type
+/// pairs with ≥1 key defined), without materializing it.
+pub fn type_pair_count(g: &Graph, keys: &CompiledKeySet) -> usize {
+    keys.keyed_types()
+        .map(|t| {
+            let n = g.entities_of_type(t).len();
+            n * (n - 1) / 2
+        })
+        .sum()
+}
+
+/// Enumerates the candidate set `L` for the compiled keys.
+pub fn candidate_pairs(
+    g: &Graph,
+    keys: &CompiledKeySet,
+    mode: CandidateMode,
+) -> Vec<(EntityId, EntityId)> {
+    match mode {
+        CandidateMode::TypePairs => {
+            let mut out = Vec::new();
+            for t in keys.keyed_types() {
+                let ents = g.entities_of_type(t);
+                for (i, &a) in ents.iter().enumerate() {
+                    for &b in &ents[i + 1..] {
+                        out.push((a, b));
+                    }
+                }
+            }
+            out
+        }
+        CandidateMode::Blocked => {
+            let mut set: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
+            for ck in &keys.keys {
+                blocked_candidates_for_key(g, ck.target_type, &ck.pattern, &mut set);
+            }
+            let mut out: Vec<_> = set.into_iter().collect();
+            out.sort_unstable();
+            out
+        }
+    }
+}
+
+/// Candidates that could be identified by one key, using the most selective
+/// value attribute attached to `x` as a blocking predicate.
+fn blocked_candidates_for_key(
+    g: &Graph,
+    target: TypeId,
+    q: &gk_isomorph::PairPattern,
+    out: &mut FxHashSet<(EntityId, EntityId)>,
+) {
+    // Find a triple (x, p, v) where v is a ValueVar or Const: pairs must
+    // share the p-value, so same-value buckets cover all candidates.
+    let anchor = q.anchor();
+    let block = q.triples().iter().find(|t| {
+        t.s == anchor
+            && matches!(
+                q.slots()[t.o as usize],
+                SlotKind::ValueVar | SlotKind::Const(_)
+            )
+    });
+    match block {
+        Some(t) => {
+            // Bucket entities of the target type by their p-values.
+            let mut buckets: FxHashMap<gk_graph::ValueId, Vec<EntityId>> = FxHashMap::default();
+            for &e in g.entities_of_type(target) {
+                for &(_, o) in g.out_with(e, t.p) {
+                    if let Obj::Value(v) = o {
+                        if let SlotKind::Const(d) = q.slots()[t.o as usize] {
+                            if v != d {
+                                continue;
+                            }
+                        }
+                        buckets.entry(v).or_default().push(e);
+                    }
+                }
+            }
+            for bucket in buckets.values() {
+                for (i, &a) in bucket.iter().enumerate() {
+                    for &b in &bucket[i + 1..] {
+                        out.insert(norm(a, b));
+                    }
+                }
+            }
+        }
+        None => {
+            // No value attribute on x: fall back to the full type
+            // cross-product for this key.
+            let ents = g.entities_of_type(target);
+            for (i, &a) in ents.iter().enumerate() {
+                for &b in &ents[i + 1..] {
+                    out.insert(norm(a, b));
+                }
+            }
+        }
+    }
+}
+
+/// Per-pair pairing metadata computed while filtering `L` (§4.2): which keys
+/// pair the candidate, its reduced scopes, dependencies and eligibility.
+#[derive(Clone, Debug)]
+pub struct PairedCandidate {
+    /// The candidate pair (normalized).
+    pub pair: (EntityId, EntityId),
+    /// Indices (into `CompiledKeySet::keys`) of keys that pair it.
+    pub keys: Vec<usize>,
+    /// Reduced side-1 scope: nodes appearing in some pairing relation.
+    pub scope1: gk_graph::NodeSet,
+    /// Reduced side-2 scope.
+    pub scope2: gk_graph::NodeSet,
+    /// Pairs this candidate depends on (recursive-slot pairs `(a,b)`,
+    /// `a ≠ b`): identifying one of them may enable this candidate.
+    pub deps: Vec<(EntityId, EntityId)>,
+    /// Every (side-1, side-2) node pair occurring in some slot of some
+    /// pairing relation of this candidate — the raw material of the
+    /// product graph `Gp` (§5.1).
+    pub slot_pairs: Vec<(NodeId, NodeId)>,
+    /// True iff some pairing key admits identity bindings for *all* its
+    /// recursive slots — the candidate could fire against `Eq0` and belongs
+    /// in the initial frontier `L0` (§4.2 entity-dependency seeding).
+    pub initially_eligible: bool,
+}
+
+/// Applies the pairing filter of §4.2 to a candidate list: drops pairs not
+/// paired by any key and records reduced scopes plus dependency structure
+/// for the survivors.
+///
+/// `neighborhood(e)` must return the d-neighborhood of `e` for `d` =
+/// max radius of the keys on `e`'s type (used to bound pairing).
+pub fn pairing_filter(
+    g: &Graph,
+    keys: &CompiledKeySet,
+    pairs: &[(EntityId, EntityId)],
+    neighborhood: impl Fn(EntityId) -> gk_graph::NodeSet + Sync,
+) -> Vec<PairedCandidate> {
+    pairing_filter_timed(g, keys, pairs, neighborhood).0
+}
+
+/// [`pairing_filter`] plus the *total parallelizable work* spent filtering
+/// (sum of per-pair times). The simulated-scalability reports charge this
+/// work as `work / p` — the filter is embarrassingly parallel, so an ideal
+/// `p`-worker cluster divides it evenly (§4.2 runs it inside the driver).
+pub fn pairing_filter_timed(
+    g: &Graph,
+    keys: &CompiledKeySet,
+    pairs: &[(EntityId, EntityId)],
+    neighborhood: impl Fn(EntityId) -> gk_graph::NodeSet + Sync,
+) -> (Vec<PairedCandidate>, std::time::Duration) {
+    use rayon::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let work_ns = AtomicU64::new(0);
+    let out = pairs
+        .par_iter()
+        .filter_map(|&(a, b)| {
+            let t0 = std::time::Instant::now();
+            let result = (|| {
+            let t = g.entity_type(a);
+            let n1 = neighborhood(a);
+            let n2 = neighborhood(b);
+            let mut hit_keys = Vec::new();
+            let mut deps: Vec<(EntityId, EntityId)> = Vec::new();
+            let mut eligible = false;
+            let mut nodes1: Vec<NodeId> = Vec::new();
+            let mut nodes2: Vec<NodeId> = Vec::new();
+            let mut slot_pairs: Vec<(NodeId, NodeId)> = Vec::new();
+            for &ki in keys.keys_on(t) {
+                let q = &keys.keys[ki].pattern;
+                let p = pairing_at(g, q, a, b, Some(&n1), Some(&n2));
+                if !p.pairable(q, a, b) {
+                    continue;
+                }
+                hit_keys.push(ki);
+                deps.extend(p.dependency_pairs(q));
+                eligible |= p.recursive_identity_possible(q);
+                nodes1.extend(p.side_nodes(0).iter());
+                nodes2.extend(p.side_nodes(1).iter());
+                for set in &p.per_slot {
+                    slot_pairs.extend(set.iter().copied());
+                }
+            }
+            if hit_keys.is_empty() {
+                return None;
+            }
+            deps.sort_unstable();
+            deps.dedup();
+            deps.retain(|&d| d != norm(a, b));
+            slot_pairs.sort_unstable();
+            slot_pairs.dedup();
+            Some(PairedCandidate {
+                pair: norm(a, b),
+                keys: hit_keys,
+                scope1: gk_graph::NodeSet::from_nodes(nodes1),
+                scope2: gk_graph::NodeSet::from_nodes(nodes2),
+                deps,
+                slot_pairs,
+                initially_eligible: eligible,
+            })
+            })();
+            work_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            result
+        })
+        .collect();
+    (out, std::time::Duration::from_nanos(work_ns.load(Ordering::Relaxed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyset::KeySet;
+    use gk_graph::{d_neighborhood, parse_graph};
+
+    fn g1() -> Graph {
+        parse_graph(
+            r#"
+            alb1:album  name_of       "Anthology 2"
+            alb1:album  release_year  "1996"
+            alb1:album  recorded_by   art1:artist
+            art1:artist name_of       "The Beatles"
+            alb2:album  name_of       "Anthology 2"
+            alb2:album  release_year  "1996"
+            alb2:album  recorded_by   art2:artist
+            art2:artist name_of       "The Beatles"
+            alb3:album  name_of       "Other"
+            alb3:album  recorded_by   art3:artist
+            art3:artist name_of       "John Farnham"
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn keys(g: &Graph) -> CompiledKeySet {
+        KeySet::parse(
+            r#"
+            key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }
+            key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+            "#,
+        )
+        .unwrap()
+        .compile(g)
+    }
+
+    fn e(g: &Graph, n: &str) -> EntityId {
+        g.entity_named(n).unwrap()
+    }
+
+    #[test]
+    fn type_pairs_enumerates_all_same_type_pairs() {
+        let g = g1();
+        let ks = keys(&g);
+        let l = candidate_pairs(&g, &ks, CandidateMode::TypePairs);
+        // 3 albums -> 3 pairs; 3 artists -> 3 pairs.
+        assert_eq!(l.len(), 6);
+    }
+
+    #[test]
+    fn blocking_drops_pairs_with_different_names() {
+        let g = g1();
+        let ks = keys(&g);
+        let l = candidate_pairs(&g, &ks, CandidateMode::Blocked);
+        // Albums: only (alb1, alb2) share name_of. Artists: (art1, art2).
+        assert_eq!(l.len(), 2);
+        assert!(l.contains(&norm(e(&g, "alb1"), e(&g, "alb2"))));
+        assert!(l.contains(&norm(e(&g, "art1"), e(&g, "art2"))));
+    }
+
+    #[test]
+    fn blocking_never_loses_type_pair_identifications() {
+        // Blocking is sound: every blocked-out pair shares no key attribute
+        // value, so it cannot be identified. Cross-check via pairing.
+        let g = g1();
+        let ks = keys(&g);
+        let all = candidate_pairs(&g, &ks, CandidateMode::TypePairs);
+        let blocked: FxHashSet<_> =
+            candidate_pairs(&g, &ks, CandidateMode::Blocked).into_iter().collect();
+        let hood = |e: EntityId| d_neighborhood(&g, e, ks.radius_of_type(g.entity_type(e)));
+        for pc in pairing_filter(&g, &ks, &all, hood) {
+            assert!(
+                blocked.contains(&pc.pair),
+                "pairable pair {:?} missing from blocked candidates",
+                pc.pair
+            );
+        }
+    }
+
+    #[test]
+    fn pairing_filter_keeps_identifiable_pairs_with_metadata() {
+        let g = g1();
+        let ks = keys(&g);
+        let all = candidate_pairs(&g, &ks, CandidateMode::TypePairs);
+        let hood = |e: EntityId| d_neighborhood(&g, e, ks.radius_of_type(g.entity_type(e)));
+        let filtered = pairing_filter(&g, &ks, &all, hood);
+        let pairs: Vec<_> = filtered.iter().map(|c| c.pair).collect();
+        assert!(pairs.contains(&norm(e(&g, "alb1"), e(&g, "alb2"))));
+        assert!(pairs.contains(&norm(e(&g, "art1"), e(&g, "art2"))));
+        assert_eq!(filtered.len(), 2);
+
+        let albums = filtered.iter().find(|c| c.pair.0 == e(&g, "alb1").min(e(&g, "alb2"))).unwrap();
+        assert!(albums.initially_eligible, "value-based Q2 pairs it");
+        let artists = filtered
+            .iter()
+            .find(|c| c.pair == norm(e(&g, "art1"), e(&g, "art2")))
+            .unwrap();
+        assert!(!artists.initially_eligible, "artists wait for the albums");
+        assert_eq!(artists.deps, vec![norm(e(&g, "alb1"), e(&g, "alb2"))]);
+    }
+
+    #[test]
+    fn reduced_scopes_are_contained_in_neighborhoods() {
+        let g = g1();
+        let ks = keys(&g);
+        let all = candidate_pairs(&g, &ks, CandidateMode::TypePairs);
+        let hood = |e: EntityId| d_neighborhood(&g, e, ks.radius_of_type(g.entity_type(e)));
+        for pc in pairing_filter(&g, &ks, &all, hood) {
+            let h1 = d_neighborhood(&g, pc.pair.0, ks.radius_of_type(g.entity_type(pc.pair.0)));
+            assert!(pc.scope1.iter().all(|n| h1.contains(n)));
+            assert!(pc.scope1.len() <= h1.len());
+        }
+    }
+
+    #[test]
+    fn norm_orders_pairs() {
+        assert_eq!(norm(EntityId(5), EntityId(2)), (EntityId(2), EntityId(5)));
+        assert_eq!(norm(EntityId(2), EntityId(5)), (EntityId(2), EntityId(5)));
+    }
+}

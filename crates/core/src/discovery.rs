@@ -1,0 +1,304 @@
+//! Basic key discovery — the paper's future-work direction (§7: "develop
+//! efficient algorithms for discovering keys"; cf. also the path-based
+//! discovery it cites).
+//!
+//! This module mines **value-based** keys from the data itself with a
+//! level-wise (apriori-style) search: for each entity type, find the
+//! minimal sets of value attributes whose combined values are unique
+//! across the type's entities — exactly the sets `Q(x)` for which
+//! `G |= Q(x)` holds. Discovered keys are ordinary [`Key`]s: they can be
+//! written to the DSL, compiled, and used for matching on *other* graphs
+//! of the same schema.
+//!
+//! Caveats (inherent to discovery from an instance): a mined key is a key
+//! *of this instance*; whether it is a key of the domain is a judgement
+//! call. The `min_support` knob guards against vacuous keys that hold only
+//! because few entities carry the attributes.
+
+use crate::pattern::{Key, Term};
+use gk_graph::{Graph, Obj, PredId, TypeId, ValueId};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Configuration for key discovery.
+#[derive(Clone, Debug)]
+pub struct DiscoveryConfig {
+    /// Largest number of attributes combined in one key.
+    pub max_attrs: usize,
+    /// Minimum fraction of the type's entities that must carry *all*
+    /// attributes of a candidate key (guards against vacuous keys).
+    pub min_support: f64,
+    /// Skip types with fewer entities than this.
+    pub min_entities: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig { max_attrs: 3, min_support: 0.5, min_entities: 2 }
+    }
+}
+
+/// A discovered key with its quality measures.
+#[derive(Clone, Debug)]
+pub struct DiscoveredKey {
+    /// The mined key (value-based, minimal).
+    pub key: Key,
+    /// Fraction of the type's entities carrying all the key's attributes.
+    pub support: f64,
+}
+
+/// Mines minimal value-based keys for every entity type of `g`.
+pub fn discover_value_keys(g: &Graph, cfg: &DiscoveryConfig) -> Vec<DiscoveredKey> {
+    let mut out = Vec::new();
+    for t in 0..g.num_types() as u32 {
+        let t = TypeId(t);
+        discover_for_type(g, t, cfg, &mut out);
+    }
+    out
+}
+
+fn discover_for_type(g: &Graph, t: TypeId, cfg: &DiscoveryConfig, out: &mut Vec<DiscoveredKey>) {
+    let ents = g.entities_of_type(t);
+    if ents.len() < cfg.min_entities {
+        return;
+    }
+    // Value attributes of this type: predicate -> per-entity first value.
+    // (Multi-valued attributes use the full sorted value set as signature:
+    // two entities "share" the attribute iff some value coincides would be
+    // the matching semantics; for discovery we conservatively require the
+    // whole set to differ, which only *under*-claims keys.)
+    let mut attr_sigs: FxHashMap<PredId, Vec<(usize, Vec<ValueId>)>> = FxHashMap::default();
+    for (i, &e) in ents.iter().enumerate() {
+        let mut per_pred: FxHashMap<PredId, Vec<ValueId>> = FxHashMap::default();
+        for &(p, o) in g.out(e) {
+            if let Obj::Value(v) = o {
+                per_pred.entry(p).or_default().push(v);
+            }
+        }
+        for (p, mut vs) in per_pred {
+            vs.sort_unstable();
+            attr_sigs.entry(p).or_default().push((i, vs));
+        }
+    }
+    let min_count = ((ents.len() as f64) * cfg.min_support).ceil() as usize;
+    let mut preds: Vec<PredId> = attr_sigs
+        .iter()
+        .filter(|(_, sig)| sig.len() >= min_count.max(cfg.min_entities))
+        .map(|(&p, _)| p)
+        .collect();
+    preds.sort_unstable();
+
+    // Level-wise search over attribute sets, pruning supersets of keys.
+    let mut found: Vec<Vec<PredId>> = Vec::new();
+    let mut frontier: Vec<Vec<PredId>> = preds.iter().map(|&p| vec![p]).collect();
+    for _level in 0..cfg.max_attrs {
+        let mut next = Vec::new();
+        for combo in frontier {
+            if found.iter().any(|k| k.iter().all(|p| combo.contains(p))) {
+                continue; // superset of a key: not minimal
+            }
+            match combo_is_key(&attr_sigs, &combo, min_count) {
+                ComboStatus::Key { support } => {
+                    out.push(DiscoveredKey {
+                        key: build_key(g, t, &combo),
+                        support,
+                    });
+                    found.push(combo);
+                }
+                ComboStatus::NotKey => {
+                    // Extend with predicates after the last one (ordered
+                    // generation avoids duplicates).
+                    let last = *combo.last().expect("non-empty");
+                    for &p in preds.iter().filter(|&&p| p > last) {
+                        let mut bigger = combo.clone();
+                        bigger.push(p);
+                        next.push(bigger);
+                    }
+                }
+                ComboStatus::LowSupport => {}
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+}
+
+enum ComboStatus {
+    Key { support: f64 },
+    NotKey,
+    LowSupport,
+}
+
+/// Does the attribute combination uniquely identify the entities carrying
+/// all of it?
+fn combo_is_key(
+    attr_sigs: &FxHashMap<PredId, Vec<(usize, Vec<ValueId>)>>,
+    combo: &[PredId],
+    min_count: usize,
+) -> ComboStatus {
+    // Entities carrying every predicate of the combo, with their combined
+    // signature.
+    let mut sigs: FxHashMap<usize, Vec<ValueId>> = FxHashMap::default();
+    for (k, &p) in combo.iter().enumerate() {
+        let col = &attr_sigs[&p];
+        if k == 0 {
+            for (e, vs) in col {
+                sigs.insert(*e, vs.clone());
+            }
+        } else {
+            let col_map: FxHashMap<usize, &Vec<ValueId>> =
+                col.iter().map(|(e, vs)| (*e, vs)).collect();
+            sigs.retain(|e, acc| {
+                if let Some(vs) = col_map.get(e) {
+                    acc.push(ValueId(u32::MAX)); // separator
+                    acc.extend_from_slice(vs);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+    }
+    let carrier_count = sigs.len();
+    if carrier_count < min_count.max(2) {
+        return ComboStatus::LowSupport;
+    }
+    let mut seen: FxHashSet<&[ValueId]> = FxHashSet::default();
+    for sig in sigs.values() {
+        if !seen.insert(sig.as_slice()) {
+            return ComboStatus::NotKey;
+        }
+    }
+    let denom = attr_sigs.values().map(Vec::len).max().unwrap_or(1).max(carrier_count);
+    ComboStatus::Key { support: carrier_count as f64 / denom as f64 }
+}
+
+fn build_key(g: &Graph, t: TypeId, combo: &[PredId]) -> Key {
+    let ty = g.type_str(t);
+    let mut b = Key::builder(
+        &format!("mined_{}_{}", ty, combo.iter().map(|p| g.pred_str(*p)).collect::<Vec<_>>().join("_")),
+        ty,
+    );
+    for (i, &p) in combo.iter().enumerate() {
+        b = b.triple(Term::x(), g.pred_str(p), Term::val(&format!("v{i}")));
+    }
+    b.build().expect("mined keys are structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satisfies::key_violations;
+    use crate::KeySet;
+    use gk_graph::parse_graph;
+
+    fn catalogue() -> Graph {
+        parse_graph(
+            r#"
+            # name alone is NOT a key; (name, year) is; sku alone is.
+            a1:album name "X"
+            a1:album year "1996"
+            a1:album sku  "S1"
+            a2:album name "X"
+            a2:album year "1997"
+            a2:album sku  "S2"
+            a3:album name "Y"
+            a3:album year "1996"
+            a3:album sku  "S3"
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn discovers_single_attribute_key() {
+        let g = catalogue();
+        let keys = discover_value_keys(&g, &DiscoveryConfig::default());
+        let names: Vec<&str> = keys.iter().map(|k| k.key.name.as_str()).collect();
+        assert!(names.contains(&"mined_album_sku"), "{names:?}");
+    }
+
+    #[test]
+    fn discovers_minimal_composite_key() {
+        let g = catalogue();
+        let keys = discover_value_keys(&g, &DiscoveryConfig::default());
+        let names: Vec<&str> = keys.iter().map(|k| k.key.name.as_str()).collect();
+        assert!(names.contains(&"mined_album_name_year"), "{names:?}");
+        // name alone is not a key; and supersets of sku are pruned.
+        assert!(!names.contains(&"mined_album_name"));
+        assert!(!names.iter().any(|n| n.contains("sku_") || n.ends_with("_sku") && n.matches('_').count() > 2));
+    }
+
+    #[test]
+    fn mined_keys_hold_on_the_instance() {
+        let g = catalogue();
+        let mined: Vec<Key> =
+            discover_value_keys(&g, &DiscoveryConfig::default()).into_iter().map(|d| d.key).collect();
+        let compiled = KeySet::new(mined).unwrap().compile(&g);
+        assert!(key_violations(&g, &compiled).is_empty(), "mined keys must hold");
+    }
+
+    #[test]
+    fn mined_keys_flag_new_duplicates() {
+        // Mine on clean data, then apply to a graph with a duplicate.
+        let g = catalogue();
+        let mined: Vec<Key> = discover_value_keys(&g, &DiscoveryConfig::default())
+            .into_iter()
+            .map(|d| d.key)
+            .collect();
+        let dirty = parse_graph(
+            r#"
+            a1:album name "X"
+            a1:album year "1996"
+            a2:album name "X"
+            a2:album year "1996"
+            "#,
+        )
+        .unwrap();
+        let compiled = KeySet::new(mined).unwrap().compile(&dirty);
+        let v = key_violations(&dirty, &compiled);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].key_name.contains("name_year"));
+    }
+
+    #[test]
+    fn low_support_combinations_are_skipped() {
+        // Only one entity carries "rare": no key mined from it.
+        let g = parse_graph(
+            r#"
+            a:t common "1"
+            b:t common "2"
+            c:t common "3"
+            a:t rare "x"
+            "#,
+        )
+        .unwrap();
+        let keys = discover_value_keys(&g, &DiscoveryConfig::default());
+        assert!(keys.iter().all(|k| !k.key.name.contains("rare")), "{keys:?}");
+        assert!(keys.iter().any(|k| k.key.name.contains("common")));
+    }
+
+    #[test]
+    fn multivalued_attributes_are_handled() {
+        // Two names each; the full set is the signature.
+        let g = parse_graph(
+            r#"
+            a:t alias "x"
+            a:t alias "y"
+            b:t alias "x"
+            b:t alias "z"
+            "#,
+        )
+        .unwrap();
+        let keys = discover_value_keys(&g, &DiscoveryConfig::default());
+        // {x,y} vs {x,z} differ: alias is a (conservative) key here.
+        assert!(keys.iter().any(|k| k.key.name.contains("alias")));
+    }
+
+    #[test]
+    fn tiny_types_are_ignored() {
+        let g = parse_graph("only:t p \"v\"").unwrap();
+        assert!(discover_value_keys(&g, &DiscoveryConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,565 @@
+//! `EM_MR` — entity matching in MapReduce (§4, Fig. 4), with the `EM^VF2_MR`
+//! baseline and the optimized `EM_MR^opt` (§4.2).
+//!
+//! The driver iterates MapReduce rounds until `Eq` stops growing:
+//!
+//! * **MapEM** checks each candidate pair against the keys within its
+//!   d-neighborhoods, under the `Eq` *snapshot* of the previous round, and
+//!   emits identified pairs keyed by both endpoints and unidentified pairs
+//!   keyed by one;
+//! * **ReduceEM** folds newly identified pairs into the global `Eq`
+//!   (a union–find, whose closure subsumes the paper's explicit
+//!   transitive-closure joins) and re-emits still-open pairs for the next
+//!   round.
+//!
+//! `EM_MR^opt` adds the three optimizations of §4.2: the candidate list is
+//! pairing-filtered, matching runs inside *reduced* neighborhoods, and
+//! rounds are driven by the entity-dependency frontier — a pair is only
+//! (re)checked when it first becomes eligible or when a pair it depends on
+//! was just identified (incremental checking).
+
+use crate::candidates::CandidateMode;
+use crate::eqrel::EqRel;
+use crate::keyset::CompiledKeySet;
+use crate::prep::{prepare_base, prepare_opt, NeighborhoodCache, OptPrep};
+use crate::report::RunReport;
+use gk_graph::{EntityId, Graph};
+use gk_isomorph::{eval_pair, eval_pair_enumerate, MatchScope};
+use gk_mapreduce::{Cluster, Emitter, JobStats, MapReduce};
+use parking_lot::Mutex;
+use rustc_hash::FxHashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Which member of the `EM_MR` family to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MrVariant {
+    /// `EM^VF2_MR`: enumerate all matches per side (no early termination),
+    /// then cross-check coincidence — the baseline of §6.
+    Vf2,
+    /// `EM_MR`: the fused, early-terminating `EvalMR` matcher (§4.1).
+    Base,
+    /// `EM_MR^opt`: pairing filter + reduced neighborhoods +
+    /// entity-dependency frontier + incremental checking (§4.2).
+    Opt,
+}
+
+impl MrVariant {
+    /// Display label matching the paper's notation.
+    pub fn label(self) -> &'static str {
+        match self {
+            MrVariant::Vf2 => "EM_MR^VF2",
+            MrVariant::Base => "EM_MR",
+            MrVariant::Opt => "EM_MR^opt",
+        }
+    }
+}
+
+/// Outcome of a parallel entity-matching run.
+#[derive(Debug)]
+pub struct MatchOutcome {
+    /// The computed equivalence relation — `chase(G, Σ)`.
+    pub eq: EqRel,
+    /// Run metrics.
+    pub report: RunReport,
+}
+
+impl MatchOutcome {
+    /// All identified pairs (the closure), normalized and sorted.
+    pub fn identified_pairs(&self) -> Vec<(EntityId, EntityId)> {
+        self.eq.identified_pairs()
+    }
+}
+
+/// Runs entity matching on an in-process MapReduce cluster of `p`
+/// worker threads.
+pub fn em_mr(g: &Graph, keys: &CompiledKeySet, p: usize, variant: MrVariant) -> MatchOutcome {
+    em_mr_mode(g, keys, p, variant, false)
+}
+
+/// Like [`em_mr`] but in deterministic simulation mode: tasks run one at a
+/// time and `RunReport::sim_seconds` carries the ideal `p`-worker makespan
+/// (for scalability sweeps on small hosts).
+pub fn em_mr_sim(g: &Graph, keys: &CompiledKeySet, p: usize, variant: MrVariant) -> MatchOutcome {
+    em_mr_mode(g, keys, p, variant, true)
+}
+
+fn em_mr_mode(
+    g: &Graph,
+    keys: &CompiledKeySet,
+    p: usize,
+    variant: MrVariant,
+    sim: bool,
+) -> MatchOutcome {
+    match variant {
+        MrVariant::Vf2 | MrVariant::Base => em_mr_base(g, keys, p, variant, sim),
+        MrVariant::Opt => em_mr_opt(g, keys, p, sim),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Base / VF2 variants
+// ---------------------------------------------------------------------------
+
+struct MapEmBase<'a> {
+    g: &'a Graph,
+    keys: &'a CompiledKeySet,
+    hoods: &'a NeighborhoodCache,
+    snapshot: &'a EqRel,
+    master: &'a Mutex<EqRel>,
+    vf2: bool,
+    iso_checks: AtomicU64,
+}
+
+impl MapEmBase<'_> {
+    fn check(&self, e1: EntityId, e2: EntityId) -> bool {
+        let t = self.g.entity_type(e1);
+        let s1 = self.hoods.get(e1);
+        let s2 = self.hoods.get(e2);
+        for &ki in self.keys.keys_on(t) {
+            self.iso_checks.fetch_add(1, Ordering::Relaxed);
+            let q = &self.keys.keys[ki].pattern;
+            let hit = if self.vf2 {
+                eval_pair_enumerate(
+                    self.g,
+                    q,
+                    e1,
+                    e2,
+                    self.snapshot,
+                    Some(s1),
+                    Some(s2),
+                    usize::MAX,
+                )
+            } else {
+                eval_pair(self.g, q, e1, e2, self.snapshot, MatchScope::new(s1, s2))
+            };
+            if hit {
+                return true; // one certifying key suffices
+            }
+        }
+        false
+    }
+}
+
+impl MapReduce for MapEmBase<'_> {
+    type KIn = (EntityId, EntityId);
+    type VIn = bool;
+    type KMid = EntityId;
+    type VMid = (EntityId, EntityId, bool);
+    type KOut = (EntityId, EntityId);
+    type VOut = bool;
+
+    fn map(
+        &self,
+        &(e1, e2): &Self::KIn,
+        &flag: &Self::VIn,
+        out: &mut Emitter<Self::KMid, Self::VMid>,
+    ) {
+        let identified = flag || self.snapshot.same(e1, e2) || self.check(e1, e2);
+        if identified {
+            // Keyed by both endpoints so each endpoint's reducer learns of
+            // it (the paper's TC-join plumbing).
+            out.emit(e1, (e1, e2, true));
+            out.emit(e2, (e1, e2, true));
+        } else {
+            out.emit(e1, (e1, e2, false));
+        }
+    }
+
+    fn reduce(
+        &self,
+        _e: &Self::KMid,
+        values: Vec<Self::VMid>,
+        out: &mut Emitter<Self::KOut, Self::VOut>,
+    ) {
+        // Split into Eq(e) and L(e), fold Eq(e) into the global relation.
+        let mut open = Vec::new();
+        {
+            let mut eq = self.master.lock();
+            for (e1, e2, f) in values {
+                if f {
+                    // The union–find closure subsumes the explicit pairwise
+                    // TC joins of ReduceEM lines 6-7.
+                    eq.union(e1, e2);
+                } else {
+                    open.push((e1, e2));
+                }
+            }
+            for (e1, e2) in open {
+                if !eq.same(e1, e2) {
+                    out.emit((e1, e2), false);
+                }
+            }
+        }
+    }
+}
+
+fn em_mr_base(g: &Graph, keys: &CompiledKeySet, p: usize, variant: MrVariant, sim: bool) -> MatchOutcome {
+    let t0 = Instant::now();
+    let prep = prepare_base(g, keys, CandidateMode::TypePairs);
+    let cluster = if sim { Cluster::simulated(p) } else { Cluster::new(p) };
+    let master = Mutex::new(EqRel::identity(g.num_entities()));
+    let mut pending: Vec<((EntityId, EntityId), bool)> =
+        prep.pairs.iter().map(|&pr| (pr, false)).collect();
+    let candidates = pending.len();
+
+    let mut rounds = 0usize;
+    let mut iso_checks = 0u64;
+    let mut total_stats = JobStats::default();
+    loop {
+        rounds += 1;
+        let snapshot = master.lock().clone();
+        let merges_before = snapshot.merges().len();
+        let job = MapEmBase {
+            g,
+            keys,
+            hoods: &prep.hoods,
+            snapshot: &snapshot,
+            master: &master,
+            vf2: variant == MrVariant::Vf2,
+            iso_checks: AtomicU64::new(0),
+        };
+        let (out, stats) = cluster.run(&job, pending);
+        iso_checks += job.iso_checks.load(Ordering::Relaxed);
+        total_stats.accumulate(&stats);
+        pending = out;
+        let progressed = master.lock().merges().len() > merges_before;
+        if !progressed || pending.is_empty() {
+            break;
+        }
+    }
+
+    let eq = master.into_inner();
+    let mut report = RunReport {
+        algorithm: variant.label().to_string(),
+        workers: p,
+        candidates,
+        identified: eq.num_identified_pairs(),
+        merges: eq.merges().len(),
+        rounds,
+        iso_checks,
+        shuffled_records: total_stats.records_shuffled as u64,
+        elapsed: t0.elapsed(),
+        sim_seconds: total_stats.sim_makespan.as_secs_f64()
+            + prep.work.as_secs_f64() / p as f64,
+        ..Default::default()
+    };
+    report.push_extra("hood_nodes", prep.hoods.total_nodes());
+    report.push_extra("straggler_skew", format!("{:.2}", total_stats.straggler_skew));
+    MatchOutcome { eq, report }
+}
+
+// ---------------------------------------------------------------------------
+// Optimized variant (§4.2)
+// ---------------------------------------------------------------------------
+
+struct MapEmOpt<'a> {
+    g: &'a Graph,
+    keys: &'a CompiledKeySet,
+    prep: &'a OptPrep,
+    snapshot: &'a EqRel,
+    master: &'a Mutex<EqRel>,
+    iso_checks: AtomicU64,
+}
+
+impl MapEmOpt<'_> {
+    fn check(&self, e1: EntityId, e2: EntityId) -> bool {
+        let ci = self.prep.index[&(e1, e2)];
+        let cand = &self.prep.candidates[ci];
+        // Reduced scopes + only the keys that pair this candidate (§4.2).
+        let scope = MatchScope::new(&cand.scope1, &cand.scope2);
+        for &ki in &cand.keys {
+            self.iso_checks.fetch_add(1, Ordering::Relaxed);
+            if eval_pair(self.g, &self.keys.keys[ki].pattern, e1, e2, self.snapshot, scope) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl MapReduce for MapEmOpt<'_> {
+    type KIn = (EntityId, EntityId);
+    type VIn = bool;
+    type KMid = EntityId;
+    type VMid = (EntityId, EntityId, bool);
+    type KOut = (EntityId, EntityId);
+    type VOut = bool;
+
+    fn map(
+        &self,
+        &(e1, e2): &Self::KIn,
+        &flag: &Self::VIn,
+        out: &mut Emitter<Self::KMid, Self::VMid>,
+    ) {
+        let identified = flag || self.snapshot.same(e1, e2) || self.check(e1, e2);
+        if identified {
+            out.emit(e1, (e1, e2, true));
+            out.emit(e2, (e1, e2, true));
+        } else {
+            out.emit(e1, (e1, e2, false));
+        }
+    }
+
+    fn reduce(
+        &self,
+        _e: &Self::KMid,
+        values: Vec<Self::VMid>,
+        _out: &mut Emitter<Self::KOut, Self::VOut>,
+    ) {
+        // Incremental checking: unidentified pairs are *not* re-emitted;
+        // the driver re-schedules them only when a dependency fires.
+        let mut eq = self.master.lock();
+        for (e1, e2, f) in values {
+            if f {
+                eq.union(e1, e2);
+            }
+        }
+    }
+}
+
+fn em_mr_opt(g: &Graph, keys: &CompiledKeySet, p: usize, sim: bool) -> MatchOutcome {
+    let t0 = Instant::now();
+    // Value blocking before pairing: both are sound candidate filters
+    // (§4.2 describes pairing; blocking is the standard cheap pre-pass).
+    let prep = prepare_opt(g, keys, CandidateMode::Blocked);
+    let cluster = if sim { Cluster::simulated(p) } else { Cluster::new(p) };
+    let master = Mutex::new(EqRel::identity(g.num_entities()));
+
+    // Dependency bookkeeping: dep pairs not yet observed identified.
+    let mut unfired: Vec<(EntityId, EntityId)> = prep.dependents.keys().copied().collect();
+    unfired.sort_unstable();
+
+    let mut scheduled: FxHashSet<usize> = FxHashSet::default();
+    let mut input: Vec<((EntityId, EntityId), bool)> = prep
+        .frontier
+        .iter()
+        .map(|&i| {
+            scheduled.insert(i);
+            (prep.candidates[i].pair, false)
+        })
+        .collect();
+    let candidates = prep.candidates.len();
+
+    let mut rounds = 0usize;
+    let mut iso_checks = 0u64;
+    let mut total_stats = JobStats::default();
+    while !input.is_empty() {
+        rounds += 1;
+        let snapshot = master.lock().clone();
+        let job = MapEmOpt {
+            g,
+            keys,
+            prep: &prep,
+            snapshot: &snapshot,
+            master: &master,
+            iso_checks: AtomicU64::new(0),
+        };
+        let (_, stats) = cluster.run(&job, input);
+        iso_checks += job.iso_checks.load(Ordering::Relaxed);
+        total_stats.accumulate(&stats);
+
+        // Wake dependents of dependencies that became identified (directly
+        // or through the transitive closure).
+        let eq = master.lock();
+        let mut woken: FxHashSet<usize> = FxHashSet::default();
+        unfired.retain(|&(a, b)| {
+            if eq.same(a, b) {
+                if let Some(deps) = prep.dependents.get(&(a, b)) {
+                    woken.extend(deps.iter().copied());
+                }
+                false
+            } else {
+                true
+            }
+        });
+        input = woken
+            .into_iter()
+            .filter(|&i| {
+                let (a, b) = prep.candidates[i].pair;
+                !eq.same(a, b)
+            })
+            .map(|i| {
+                scheduled.insert(i);
+                (prep.candidates[i].pair, false)
+            })
+            .collect();
+        input.sort_unstable();
+    }
+
+    let eq = master.into_inner();
+    let mut report = RunReport {
+        algorithm: MrVariant::Opt.label().to_string(),
+        workers: p,
+        candidates,
+        identified: eq.num_identified_pairs(),
+        merges: eq.merges().len(),
+        rounds,
+        iso_checks,
+        shuffled_records: total_stats.records_shuffled as u64,
+        elapsed: t0.elapsed(),
+        sim_seconds: total_stats.sim_makespan.as_secs_f64()
+            + prep.work.as_secs_f64() / p as f64,
+        ..Default::default()
+    };
+    report.push_extra("l_unfiltered", prep.unfiltered);
+    report.push_extra("l_filtered", candidates);
+    report.push_extra(
+        "scope_nodes",
+        prep.candidates
+            .iter()
+            .map(|c| c.scope1.len() + c.scope2.len())
+            .sum::<usize>(),
+    );
+    report.push_extra("checked_pairs", scheduled.len());
+    MatchOutcome { eq, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::norm;
+    use crate::chase::{chase_reference, ChaseOrder};
+    use crate::keyset::KeySet;
+    use gk_graph::parse_graph;
+
+    fn g1() -> Graph {
+        parse_graph(
+            r#"
+            alb1:album  name_of       "Anthology 2"
+            alb1:album  release_year  "1996"
+            alb1:album  recorded_by   art1:artist
+            art1:artist name_of       "The Beatles"
+            alb2:album  name_of       "Anthology 2"
+            alb2:album  release_year  "1996"
+            alb2:album  recorded_by   art2:artist
+            art2:artist name_of       "The Beatles"
+            alb3:album  name_of       "Anthology 2"
+            alb3:album  recorded_by   art3:artist
+            art3:artist name_of       "John Farnham"
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn sigma1(g: &Graph) -> CompiledKeySet {
+        KeySet::parse(
+            r#"
+            key "Q1" album(x) { x -name_of-> n*; x -recorded_by-> a:artist; }
+            key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }
+            key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+            "#,
+        )
+        .unwrap()
+        .compile(g)
+    }
+
+    #[test]
+    fn all_variants_agree_with_reference_on_g1() {
+        let g = g1();
+        let keys = sigma1(&g);
+        let expected = chase_reference(&g, &keys, ChaseOrder::Deterministic).identified_pairs();
+        for variant in [MrVariant::Vf2, MrVariant::Base, MrVariant::Opt] {
+            let out = em_mr(&g, &keys, 3, variant);
+            assert_eq!(
+                out.identified_pairs(),
+                expected,
+                "variant {:?} disagrees",
+                variant
+            );
+        }
+    }
+
+    #[test]
+    fn result_independent_of_worker_count() {
+        let g = g1();
+        let keys = sigma1(&g);
+        let expected = em_mr(&g, &keys, 1, MrVariant::Base).identified_pairs();
+        for p in [2, 4, 8] {
+            assert_eq!(em_mr(&g, &keys, p, MrVariant::Base).identified_pairs(), expected);
+            assert_eq!(em_mr(&g, &keys, p, MrVariant::Opt).identified_pairs(), expected);
+        }
+    }
+
+    #[test]
+    fn example8_round_structure() {
+        // Example 8: round 1 identifies the albums, round 2 the artists,
+        // round 3 observes the fixpoint.
+        let g = g1();
+        let keys = KeySet::parse(
+            r#"
+            key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }
+            key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+            "#,
+        )
+        .unwrap()
+        .compile(&g);
+        let out = em_mr(&g, &keys, 2, MrVariant::Base);
+        assert_eq!(out.report.rounds, 3);
+        let e = |n: &str| g.entity_named(n).unwrap();
+        assert_eq!(
+            out.identified_pairs(),
+            vec![norm(e("alb1"), e("alb2")), norm(e("art1"), e("art2"))]
+        );
+    }
+
+    #[test]
+    fn opt_reduces_candidates_and_checks() {
+        let g = g1();
+        let keys = sigma1(&g);
+        let base = em_mr(&g, &keys, 2, MrVariant::Base);
+        let opt = em_mr(&g, &keys, 2, MrVariant::Opt);
+        assert_eq!(base.identified_pairs(), opt.identified_pairs());
+        assert!(opt.report.candidates < base.report.candidates);
+        assert!(opt.report.iso_checks <= base.report.iso_checks);
+    }
+
+    #[test]
+    fn vf2_baseline_does_more_work_than_guided() {
+        // Both are correct; the baseline cannot terminate early inside one
+        // key evaluation, so it never does fewer checks.
+        let g = g1();
+        let keys = sigma1(&g);
+        let base = em_mr(&g, &keys, 2, MrVariant::Base);
+        let vf2 = em_mr(&g, &keys, 2, MrVariant::Vf2);
+        assert_eq!(base.identified_pairs(), vf2.identified_pairs());
+        assert_eq!(base.report.iso_checks, vf2.report.iso_checks); // same outer loop
+    }
+
+    #[test]
+    fn empty_keys_identify_nothing() {
+        let g = g1();
+        let keys = KeySet::parse("").unwrap().compile(&g);
+        for v in [MrVariant::Base, MrVariant::Opt] {
+            let out = em_mr(&g, &keys, 2, v);
+            assert!(out.identified_pairs().is_empty());
+        }
+    }
+
+    #[test]
+    fn transitive_closure_through_mapreduce() {
+        // Three duplicate albums: (1,2) and (2,3) both identified by Q2
+        // directly; (1,3) must appear in the closure.
+        let g = parse_graph(
+            r#"
+            a1:album name_of "N"
+            a1:album release_year "2000"
+            a2:album name_of "N"
+            a2:album release_year "2000"
+            a3:album name_of "N"
+            a3:album release_year "2000"
+            "#,
+        )
+        .unwrap();
+        let keys = KeySet::parse(
+            "key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }",
+        )
+        .unwrap()
+        .compile(&g);
+        for v in [MrVariant::Base, MrVariant::Opt, MrVariant::Vf2] {
+            let out = em_mr(&g, &keys, 3, v);
+            assert_eq!(out.identified_pairs().len(), 3, "{v:?}");
+            assert_eq!(out.eq.classes().len(), 1);
+        }
+    }
+}

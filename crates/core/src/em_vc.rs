@@ -1,0 +1,698 @@
+//! `EM_VC` — entity matching in the asynchronous vertex-centric model
+//! (§5, Fig. 5), with the optimized `EM_VC^opt` (§5.2).
+//!
+//! Each product-graph vertex runs `EvalVC`: candidate pairs start *initial
+//! messages* for the keys defined on them; a message is a partial
+//! instantiation vector that walks the product graph guided by the key's
+//! tour `P_Q`, forking a copy per admissible neighbor; a message that
+//! returns to its origin fully instantiated certifies the key (Lemma 11),
+//! upon which the pair is folded into the shared `Eq`, dependents are
+//! notified along `dep` edges, and the closure is extended. Early
+//! cancellation drops messages whose origin pair is already identified.
+//!
+//! `EM_VC^opt` bounds the number of live message copies per (pair, key) to
+//! `k` — exhausted expansions push their alternatives on an explicit
+//! backtracking stack instead of forking (§5.2 "bounded messages") — and
+//! orders expansion targets by a precomputed per-node potential
+//! ("prioritized propagation").
+//!
+//! Differences from the paper, by substrate necessity (see DESIGN.md):
+//! the transitive closure is maintained by a shared union–find rather than
+//! `tc`-edge message joins (the edges are still built and reported), and
+//! early cancellation reads the shared relation instead of messaging the
+//! origin vertex.
+
+use crate::candidates::CandidateMode;
+use crate::em_mr::MatchOutcome;
+use crate::eqrel::EqRel;
+use crate::keyset::CompiledKeySet;
+use crate::prep::{prepare_opt, OptPrep};
+use crate::product::ProductGraph;
+use crate::report::RunReport;
+use crate::tour::Tour;
+use gk_graph::{EntityId, Graph, NodeId};
+use gk_isomorph::SlotKind;
+use gk_vertexcentric::{Ctx, Engine, VertexProgram};
+use parking_lot::RwLock;
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicI32, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Which member of the `EM_VC` family to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VcVariant {
+    /// `EM_VC`: unbounded message forking (§5.1).
+    Base,
+    /// `EM_VC^opt`: at most `k` live copies per (pair, key), with
+    /// backtracking and prioritized propagation (§5.2). The paper
+    /// evaluates `k = 4`.
+    Opt {
+        /// The message budget `k ≥ 1`.
+        k: u32,
+    },
+}
+
+impl VcVariant {
+    /// Display label matching the paper's notation.
+    pub fn label(self) -> &'static str {
+        match self {
+            VcVariant::Base => "EM_VC",
+            VcVariant::Opt { .. } => "EM_VC^opt",
+        }
+    }
+}
+
+/// Runs vertex-centric entity matching with `p` worker threads.
+pub fn em_vc(g: &Graph, keys: &CompiledKeySet, p: usize, variant: VcVariant) -> MatchOutcome {
+    em_vc_mode(g, keys, p, variant, false)
+}
+
+/// Like [`em_vc`] but on the deterministic discrete scheduler:
+/// `RunReport::sim_seconds` carries the ideal `p`-worker makespan
+/// (for scalability sweeps on small hosts).
+pub fn em_vc_sim(g: &Graph, keys: &CompiledKeySet, p: usize, variant: VcVariant) -> MatchOutcome {
+    em_vc_mode(g, keys, p, variant, true)
+}
+
+fn em_vc_mode(
+    g: &Graph,
+    keys: &CompiledKeySet,
+    p: usize,
+    variant: VcVariant,
+    sim: bool,
+) -> MatchOutcome {
+    let t0 = Instant::now();
+    let prep = prepare_opt(g, keys, CandidateMode::Blocked);
+    let t_gp = Instant::now();
+    let gp = ProductGraph::build(g, keys, &prep);
+    // Gp construction is per-node parallelizable; charge it as ideal work.
+    let gp_work = t_gp.elapsed();
+    let tours: Vec<Tour> = keys.keys.iter().map(|k| Tour::build(&k.pattern)).collect();
+
+    // Shared chase state: the equivalence relation plus the un-fired
+    // dependency watch list (scanned under the same lock as unions so a
+    // TC-derived identification can never slip past a watcher).
+    let shared = RwLock::new(SharedState {
+        eq: EqRel::identity(g.num_entities()),
+        watch: prep
+            .dependents
+            .iter()
+            .map(|(&pair, deps)| (pair, deps.iter().map(|&d| d as u32).collect()))
+            .collect(),
+    });
+
+    // Budget slots for Opt: one counter per (candidate, key position).
+    let mut budget_off = Vec::with_capacity(prep.candidates.len() + 1);
+    budget_off.push(0usize);
+    for c in &prep.candidates {
+        budget_off.push(budget_off.last().unwrap() + c.keys.len());
+    }
+    let budgets: Vec<AtomicI32> =
+        (0..*budget_off.last().unwrap()).map(|_| AtomicI32::new(0)).collect();
+
+    let anchor_of: FxHashMap<u32, u32> = gp
+        .anchors
+        .iter()
+        .enumerate()
+        .map(|(ci, &v)| (v, ci as u32))
+        .collect();
+
+    let program = EmVcProgram {
+        g,
+        keys,
+        prep: &prep,
+        gp: &gp,
+        tours: &tours,
+        shared: &shared,
+        anchor_of: &anchor_of,
+        budget_off: &budget_off,
+        budgets: &budgets,
+        k: match variant {
+            VcVariant::Base => None,
+            VcVariant::Opt { k } => Some(k.max(1) as i32),
+        },
+        feasibility_checks: AtomicU64::new(0),
+        confirmations: AtomicU64::new(0),
+    };
+
+    let initial: Vec<usize> = prep
+        .frontier
+        .iter()
+        .map(|&ci| gp.anchors[ci] as usize)
+        .collect();
+    let engine = Engine::new(p);
+    let (_, stats) = if sim {
+        engine.run_simulated(&program, gp.num_nodes(), &initial)
+    } else {
+        engine.run(&program, gp.num_nodes(), &initial)
+    };
+
+    let feasibility_checks = program.feasibility_checks.load(Ordering::Relaxed);
+    let confirmations = program.confirmations.load(Ordering::Relaxed);
+    #[allow(clippy::drop_non_drop)] // ends the borrow of `shared` before into_inner
+    drop(program);
+    let eq = shared.into_inner().eq;
+    let mut report = RunReport {
+        algorithm: variant.label().to_string(),
+        workers: p,
+        candidates: prep.candidates.len(),
+        identified: eq.num_identified_pairs(),
+        merges: eq.merges().len(),
+        rounds: 1, // asynchronous: no global rounds
+        iso_checks: feasibility_checks,
+        messages: stats.messages,
+        elapsed: t0.elapsed(),
+        sim_seconds: stats.sim_makespan.as_secs_f64()
+            + (prep.work + gp_work).as_secs_f64() / p as f64,
+        ..Default::default()
+    };
+    report.push_extra("gp_nodes", gp.num_nodes());
+    report.push_extra("gp_edges", gp.num_edges());
+    report.push_extra("gp_over_g", format!("{:.2}", gp.size() as f64 / g.num_triples().max(1) as f64));
+    report.push_extra("confirmations", confirmations);
+    MatchOutcome { eq, report }
+}
+
+struct SharedState {
+    eq: EqRel,
+    /// Un-fired dependency pairs → dependent candidate indices.
+    watch: Vec<((EntityId, EntityId), Vec<u32>)>,
+}
+
+/// A choice point for the Opt variant's backtracking search.
+#[derive(Clone, Debug)]
+struct Choice {
+    /// Tour position whose expansion generated the alternatives.
+    pos: u16,
+    /// Bindings length to restore when taking an alternative.
+    keep: u16,
+    /// Remaining untried target product nodes.
+    alts: Vec<u32>,
+}
+
+/// A tour message: the paper's `m_Q(e1, e2)` vector in flight.
+#[derive(Clone, Debug)]
+struct TourMsg {
+    /// Candidate (origin pair) index.
+    cand: u32,
+    /// Key position *within the candidate's key list*.
+    kpos: u16,
+    /// Tour step this message is currently traversing.
+    pos: u16,
+    /// Partial instantiation: (slot, product node), in binding order.
+    bindings: Vec<(u16, u32)>,
+    /// Backtracking stack (Opt only; empty for Base and forked copies).
+    stack: Vec<Choice>,
+}
+
+enum VcMsg {
+    Tour(TourMsg),
+    /// (Re-)activate the anchor's initial messages (dep notification or
+    /// initial frontier).
+    Activate,
+}
+
+struct EmVcProgram<'a> {
+    g: &'a Graph,
+    keys: &'a CompiledKeySet,
+    prep: &'a OptPrep,
+    gp: &'a ProductGraph,
+    tours: &'a [Tour],
+    shared: &'a RwLock<SharedState>,
+    anchor_of: &'a FxHashMap<u32, u32>,
+    budget_off: &'a [usize],
+    budgets: &'a [AtomicI32],
+    /// `Some(k)`: bounded messages + backtracking + prioritization (Opt).
+    k: Option<i32>,
+    feasibility_checks: AtomicU64,
+    confirmations: AtomicU64,
+}
+
+impl EmVcProgram<'_> {
+    fn budget(&self, cand: u32, kpos: u16) -> &AtomicI32 {
+        &self.budgets[self.budget_off[cand as usize] + kpos as usize]
+    }
+
+    /// Tries to reserve one more live copy; Base always succeeds.
+    fn try_fork(&self, cand: u32, kpos: u16) -> bool {
+        match self.k {
+            None => {
+                self.budget(cand, kpos).fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Some(k) => {
+                let b = self.budget(cand, kpos);
+                let prev = b.fetch_add(1, Ordering::Relaxed);
+                if prev >= k {
+                    b.fetch_sub(1, Ordering::Relaxed);
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    fn release(&self, cand: u32, kpos: u16) {
+        self.budget(cand, kpos).fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn key_idx(&self, cand: u32, kpos: u16) -> usize {
+        self.prep.candidates[cand as usize].keys[kpos as usize]
+    }
+
+    fn cancelled(&self, cand: u32) -> bool {
+        let (a, b) = self.prep.candidates[cand as usize].pair;
+        self.shared.read().eq.same(a, b)
+    }
+
+    /// Spawns the initial messages of every key defined on the candidate
+    /// (Fig. 5, (1)): bind the anchor, then advance along the tour.
+    fn activate(&self, v: usize, ctx: &mut Ctx<'_, VcMsg>) {
+        let Some(&cand) = self.anchor_of.get(&(v as u32)) else {
+            return; // activation sent to a non-anchor: stale, ignore
+        };
+        if self.cancelled(cand) {
+            return;
+        }
+        let nkeys = self.prep.candidates[cand as usize].keys.len();
+        for kpos in 0..nkeys as u16 {
+            if !self.try_fork(cand, kpos) {
+                continue; // budget exhausted: live copies are still searching
+            }
+            let msg = TourMsg {
+                cand,
+                kpos,
+                pos: 0,
+                bindings: vec![(self.anchor_slot(cand, kpos), v as u32)],
+                stack: Vec::new(),
+            };
+            self.advance(v as u32, msg, ctx);
+        }
+    }
+
+    fn anchor_slot(&self, cand: u32, kpos: u16) -> u16 {
+        self.keys.keys[self.key_idx(cand, kpos)].pattern.anchor()
+    }
+
+    /// Sends `msg` along tour step `msg.pos` from product node `at`
+    /// (Fig. 5, (5) guided propagation).
+    fn advance(&self, at: u32, mut msg: TourMsg, ctx: &mut Ctx<'_, VcMsg>) {
+        let ki = self.key_idx(msg.cand, msg.kpos);
+        let q = &self.keys.keys[ki].pattern;
+        let tour = &self.tours[ki];
+        let step = tour.steps()[msg.pos as usize];
+        let tri = q.triples()[step.triple as usize];
+        let to_slot = if step.forward { tri.o } else { tri.s };
+
+        if let Some(&(_, target)) = msg.bindings.iter().find(|&&(s, _)| s == to_slot) {
+            // Already instantiated: verify the product edge and send the
+            // message "back" to it directly (Fig. 5, (5a)).
+            let ok = if step.forward {
+                self.gp.has_edge(at, tri.p, target)
+            } else {
+                self.gp.has_edge(target, tri.p, at)
+            };
+            if ok {
+                ctx.send(target as usize, VcMsg::Tour(msg));
+            } else {
+                self.fail(msg, ctx);
+            }
+            return;
+        }
+
+        // Unbound: fork a copy to every admissible neighbor (Fig. 5, (5b)).
+        let mut targets: Vec<u32> = if step.forward {
+            self.gp.out_with(at, tri.p).iter().map(|&(_, w)| w).collect()
+        } else {
+            self.gp.in_with(at, tri.p).iter().map(|&(_, w)| w).collect()
+        };
+        if targets.is_empty() {
+            self.fail(msg, ctx);
+            return;
+        }
+        if self.k.is_some() {
+            // Prioritized propagation: most promising target first (§5.2).
+            targets.sort_by_key(|&w| std::cmp::Reverse(self.gp.potential[w as usize]));
+            let first = targets.remove(0);
+            // Fork extra copies while budget allows; the original keeps the
+            // remaining alternatives on its stack.
+            let mut forked = Vec::new();
+            while !targets.is_empty() && self.try_fork(msg.cand, msg.kpos) {
+                forked.push(targets.remove(0));
+            }
+            if !targets.is_empty() {
+                msg.stack.push(Choice {
+                    pos: msg.pos,
+                    keep: msg.bindings.len() as u16,
+                    alts: targets,
+                });
+            }
+            for w in forked {
+                let copy = TourMsg {
+                    cand: msg.cand,
+                    kpos: msg.kpos,
+                    pos: msg.pos,
+                    bindings: msg.bindings.clone(),
+                    stack: Vec::new(),
+                };
+                ctx.send(w as usize, VcMsg::Tour(copy));
+            }
+            ctx.send(first as usize, VcMsg::Tour(msg));
+        } else {
+            // Base: unbounded fork — one copy per neighbor.
+            let last = targets.pop().expect("nonempty");
+            for &w in &targets {
+                self.budget(msg.cand, msg.kpos).fetch_add(1, Ordering::Relaxed);
+                let copy = TourMsg {
+                    cand: msg.cand,
+                    kpos: msg.kpos,
+                    pos: msg.pos,
+                    bindings: msg.bindings.clone(),
+                    stack: Vec::new(),
+                };
+                ctx.send(w as usize, VcMsg::Tour(copy));
+            }
+            ctx.send(last as usize, VcMsg::Tour(msg));
+        }
+    }
+
+    /// Feasibility at arrival (Fig. 5, (4)): slot-kind equality conditions,
+    /// injectivity of both sides, with `Flag`/`Eq` for entity variables.
+    fn feasible(&self, q: &gk_isomorph::PairPattern, slot: u16, v: u32, bindings: &[(u16, u32)]) -> bool {
+        self.feasibility_checks.fetch_add(1, Ordering::Relaxed);
+        let (n1, n2) = self.gp.nodes[v as usize];
+        for &(_, b) in bindings {
+            let (b1, b2) = self.gp.nodes[b as usize];
+            if b1 == n1 || b2 == n2 {
+                return false; // injectivity per side
+            }
+        }
+        match q.slots()[slot as usize] {
+            SlotKind::Anchor(_) => false, // anchor is bound at activation
+            SlotKind::EqEntity(ty) => match (n1.as_entity(), n2.as_entity()) {
+                (Some(a), Some(b)) => {
+                    self.g.entity_type(a) == ty
+                        && self.g.entity_type(b) == ty
+                        && self.shared.read().eq.same(a, b)
+                }
+                _ => false,
+            },
+            SlotKind::Wildcard(ty) => match (n1.as_entity(), n2.as_entity()) {
+                (Some(a), Some(b)) => {
+                    self.g.entity_type(a) == ty && self.g.entity_type(b) == ty
+                }
+                _ => false,
+            },
+            SlotKind::ValueVar => n1.is_value() && n1 == n2,
+            SlotKind::Const(d) => n1 == NodeId::value(d) && n2 == n1,
+        }
+    }
+
+    /// Dead end: backtrack if possible (Opt), else the message dies.
+    fn fail(&self, mut msg: TourMsg, ctx: &mut Ctx<'_, VcMsg>) {
+        while let Some(top) = msg.stack.last_mut() {
+            if let Some(next) = top.alts.pop() {
+                let keep = top.keep as usize;
+                let pos = top.pos;
+                if top.alts.is_empty() {
+                    msg.stack.pop();
+                }
+                msg.bindings.truncate(keep);
+                msg.pos = pos;
+                ctx.send(next as usize, VcMsg::Tour(msg));
+                return;
+            }
+            msg.stack.pop();
+        }
+        self.release(msg.cand, msg.kpos); // message dies
+    }
+
+    /// Full instantiation arrived back at the anchor: the key certifies
+    /// the pair. Union it, fire dependency watches, notify dependents.
+    fn confirm(&self, cand: u32, ctx: &mut Ctx<'_, VcMsg>) {
+        let (a, b) = self.prep.candidates[cand as usize].pair;
+        let mut fired: Vec<u32> = Vec::new();
+        {
+            let mut s = self.shared.write();
+            if !s.eq.union(a, b) {
+                return; // another message confirmed it first
+            }
+            self.confirmations.fetch_add(1, Ordering::Relaxed);
+            // Scan watches under the same lock: unions (and their closure)
+            // can fire any watched pair.
+            let watch = std::mem::take(&mut s.watch);
+            let mut kept = Vec::with_capacity(watch.len());
+            for (pair, deps) in watch {
+                if s.eq.same(pair.0, pair.1) {
+                    fired.extend(deps);
+                } else {
+                    kept.push((pair, deps));
+                }
+            }
+            s.watch = kept;
+        }
+        fired.sort_unstable();
+        fired.dedup();
+        for ci in fired {
+            ctx.send(self.gp.anchors[ci as usize] as usize, VcMsg::Activate);
+        }
+    }
+}
+
+impl VertexProgram for EmVcProgram<'_> {
+    type State = ();
+    type Msg = VcMsg;
+
+    fn init_state(&self, _v: usize) {}
+
+    fn on_start(&self, v: usize, _state: &mut (), ctx: &mut Ctx<'_, VcMsg>) {
+        self.activate(v, ctx);
+    }
+
+    fn on_message(&self, v: usize, _state: &mut (), msg: VcMsg, ctx: &mut Ctx<'_, VcMsg>) {
+        match msg {
+            VcMsg::Activate => self.activate(v, ctx),
+            VcMsg::Tour(mut msg) => {
+                // Early cancellation (Fig. 5, (2)).
+                if self.cancelled(msg.cand) {
+                    self.release(msg.cand, msg.kpos);
+                    return;
+                }
+                let ki = self.key_idx(msg.cand, msg.kpos);
+                let q = &self.keys.keys[ki].pattern;
+                let tour = &self.tours[ki];
+                let to_slot = tour.slot_after(q, msg.pos as usize);
+                let bound = msg.bindings.iter().any(|&(s, _)| s == to_slot);
+                if !bound {
+                    if !self.feasible(q, to_slot, v as u32, &msg.bindings) {
+                        self.fail(msg, ctx);
+                        return;
+                    }
+                    msg.bindings.push((to_slot, v as u32));
+                }
+                msg.pos += 1;
+                if msg.pos as usize == tour.len() {
+                    // Verification (Fig. 5, (3)): back at the origin, fully
+                    // instantiated.
+                    debug_assert_eq!(v as u32, self.gp.anchors[msg.cand as usize]);
+                    self.confirm(msg.cand, ctx);
+                    self.release(msg.cand, msg.kpos);
+                } else {
+                    self.advance(v as u32, msg, ctx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::norm;
+    use crate::chase::{chase_reference, ChaseOrder};
+    use crate::em_mr::{em_mr, MrVariant};
+    use crate::keyset::KeySet;
+    use gk_graph::parse_graph;
+
+    fn g1() -> Graph {
+        parse_graph(
+            r#"
+            alb1:album  name_of       "Anthology 2"
+            alb1:album  release_year  "1996"
+            alb1:album  recorded_by   art1:artist
+            art1:artist name_of       "The Beatles"
+            alb2:album  name_of       "Anthology 2"
+            alb2:album  release_year  "1996"
+            alb2:album  recorded_by   art2:artist
+            art2:artist name_of       "The Beatles"
+            alb3:album  name_of       "Anthology 2"
+            alb3:album  recorded_by   art3:artist
+            art3:artist name_of       "John Farnham"
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn sigma1(g: &Graph) -> CompiledKeySet {
+        KeySet::parse(
+            r#"
+            key "Q1" album(x) { x -name_of-> n*; x -recorded_by-> a:artist; }
+            key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }
+            key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+            "#,
+        )
+        .unwrap()
+        .compile(g)
+    }
+
+    #[test]
+    fn example10_albums_then_artists() {
+        let g = g1();
+        let keys = sigma1(&g);
+        let out = em_vc(&g, &keys, 3, VcVariant::Base);
+        let e = |n: &str| g.entity_named(n).unwrap();
+        assert_eq!(
+            out.identified_pairs(),
+            vec![norm(e("alb1"), e("alb2")), norm(e("art1"), e("art2"))]
+        );
+        assert!(out.report.messages > 0);
+    }
+
+    #[test]
+    fn both_variants_agree_with_reference() {
+        let g = g1();
+        let keys = sigma1(&g);
+        let expected = chase_reference(&g, &keys, ChaseOrder::Deterministic).identified_pairs();
+        for variant in [VcVariant::Base, VcVariant::Opt { k: 4 }, VcVariant::Opt { k: 1 }] {
+            let out = em_vc(&g, &keys, 4, variant);
+            assert_eq!(out.identified_pairs(), expected, "variant {variant:?}");
+        }
+    }
+
+    #[test]
+    fn result_independent_of_worker_count() {
+        let g = g1();
+        let keys = sigma1(&g);
+        let expected = em_vc(&g, &keys, 1, VcVariant::Base).identified_pairs();
+        for p in [2, 4, 8] {
+            for variant in [VcVariant::Base, VcVariant::Opt { k: 4 }] {
+                assert_eq!(
+                    em_vc(&g, &keys, p, variant).identified_pairs(),
+                    expected,
+                    "p={p} {variant:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_mapreduce() {
+        let g = g1();
+        let keys = sigma1(&g);
+        let mr = em_mr(&g, &keys, 2, MrVariant::Base).identified_pairs();
+        let vc = em_vc(&g, &keys, 2, VcVariant::Base).identified_pairs();
+        assert_eq!(mr, vc);
+    }
+
+    #[test]
+    fn bounded_messages_send_fewer() {
+        let g = g1();
+        let keys = sigma1(&g);
+        let base = em_vc(&g, &keys, 2, VcVariant::Base);
+        let opt = em_vc(&g, &keys, 2, VcVariant::Opt { k: 1 });
+        assert_eq!(base.identified_pairs(), opt.identified_pairs());
+        assert!(
+            opt.report.messages <= base.report.messages,
+            "bounded {} > unbounded {}",
+            opt.report.messages,
+            base.report.messages
+        );
+    }
+
+    #[test]
+    fn companies_with_wildcards_and_dependencies() {
+        let g = parse_graph(
+            r#"
+            com0:company name_of   "AT&T"
+            com1:company name_of   "AT&T"
+            com2:company name_of   "AT&T"
+            com3:company name_of   "SBC"
+            com4:company name_of   "AT&T"
+            com5:company name_of   "AT&T"
+            com0:company parent_of com1:company
+            com0:company parent_of com2:company
+            com0:company parent_of com3:company
+            com1:company parent_of com4:company
+            com2:company parent_of com5:company
+            com3:company parent_of com4:company
+            com3:company parent_of com5:company
+            "#,
+        )
+        .unwrap();
+        let keys = KeySet::parse(
+            r#"
+            key "Q4" company(x) {
+                x -name_of-> n*;
+                ~p:company -name_of-> n*;
+                ~p:company -parent_of-> x;
+                q:company -parent_of-> x;
+            }
+            key "Q5" company(x) {
+                x -name_of-> n*;
+                ~p:company -name_of-> n*;
+                ~p:company -parent_of-> x;
+                ~p:company -parent_of-> d:company;
+            }
+            "#,
+        )
+        .unwrap()
+        .compile(&g);
+        let expected = chase_reference(&g, &keys, ChaseOrder::Deterministic).identified_pairs();
+        assert_eq!(expected.len(), 2);
+        for variant in [VcVariant::Base, VcVariant::Opt { k: 4 }] {
+            assert_eq!(em_vc(&g, &keys, 4, variant).identified_pairs(), expected);
+        }
+    }
+
+    #[test]
+    fn transitive_closure_via_shared_eq() {
+        let g = parse_graph(
+            r#"
+            a1:album name_of "N"
+            a1:album release_year "2000"
+            a2:album name_of "N"
+            a2:album release_year "2000"
+            a3:album name_of "N"
+            a3:album release_year "2000"
+            "#,
+        )
+        .unwrap();
+        let keys = KeySet::parse(
+            "key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }",
+        )
+        .unwrap()
+        .compile(&g);
+        let out = em_vc(&g, &keys, 3, VcVariant::Base);
+        assert_eq!(out.identified_pairs().len(), 3);
+        assert_eq!(out.eq.classes().len(), 1);
+    }
+
+    #[test]
+    fn empty_keys_no_work() {
+        let g = g1();
+        let keys = KeySet::parse("").unwrap().compile(&g);
+        let out = em_vc(&g, &keys, 2, VcVariant::Base);
+        assert!(out.identified_pairs().is_empty());
+        assert_eq!(out.report.messages, 0);
+    }
+
+    #[test]
+    fn gp_metrics_reported() {
+        let g = g1();
+        let keys = sigma1(&g);
+        let out = em_vc(&g, &keys, 2, VcVariant::Base);
+        assert!(out.report.extra("gp_nodes").is_some());
+        assert!(out.report.extra("gp_over_g").is_some());
+    }
+}

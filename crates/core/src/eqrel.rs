@@ -1,0 +1,213 @@
+//! The equivalence relation `Eq` maintained by the chase (§3.1).
+//!
+//! `Eq` starts as the node-identity relation `Eq0 = {(e, e)}` and grows by
+//! chase steps: when a key identifies `(e1, e2)`, `Eq` becomes the
+//! equivalence closure of `Eq ∪ {(e1, e2)}`. A union–find with union by
+//! rank represents exactly that closure; `find` deliberately avoids path
+//! compression so that concurrent readers (the parallel matchers) can query
+//! through a shared reference.
+
+use gk_graph::EntityId;
+use gk_isomorph::EqOracle;
+
+/// Union–find over entity ids: the chase's `Eq`.
+#[derive(Clone, Debug)]
+pub struct EqRel {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    /// Non-trivial merges in application order — the chase steps.
+    merges: Vec<(EntityId, EntityId)>,
+}
+
+impl EqRel {
+    /// The identity relation `Eq0` over `n` entities.
+    pub fn identity(n: usize) -> Self {
+        EqRel {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            merges: Vec::new(),
+        }
+    }
+
+    /// Number of entities covered.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True iff the relation covers no entities.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Class representative of `e`. No path compression: works on `&self`.
+    pub fn find(&self, e: EntityId) -> EntityId {
+        let mut x = e.0;
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return EntityId(x);
+            }
+            x = p;
+        }
+    }
+
+    /// Are `a` and `b` identified (`(a, b) ∈ Eq`)?
+    pub fn same(&self, a: EntityId, b: EntityId) -> bool {
+        a == b || self.find(a) == self.find(b)
+    }
+
+    /// One chase step: add `(a, b)` and close under equivalence.
+    /// Returns `true` iff the relation actually grew.
+    pub fn union(&mut self, a: EntityId, b: EntityId) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra.idx()] >= self.rank[rb.idx()] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo.idx()] = hi.0;
+        if self.rank[hi.idx()] == self.rank[lo.idx()] {
+            self.rank[hi.idx()] += 1;
+        }
+        self.merges.push((a, b));
+        true
+    }
+
+    /// The non-trivial merges, in the order they were applied.
+    pub fn merges(&self) -> &[(EntityId, EntityId)] {
+        &self.merges
+    }
+
+    /// Non-trivial equivalence classes (size ≥ 2), each sorted, in
+    /// ascending order of their smallest member. This is the shape of
+    /// `chase(G, Σ)`'s output.
+    pub fn classes(&self) -> Vec<Vec<EntityId>> {
+        let mut groups: rustc_hash::FxHashMap<EntityId, Vec<EntityId>> =
+            rustc_hash::FxHashMap::default();
+        for i in 0..self.parent.len() as u32 {
+            let e = EntityId(i);
+            groups.entry(self.find(e)).or_default().push(e);
+        }
+        let mut out: Vec<Vec<EntityId>> =
+            groups.into_values().filter(|g| g.len() >= 2).collect();
+        for g in &mut out {
+            g.sort_unstable();
+        }
+        out.sort_unstable_by_key(|g| g[0]);
+        out
+    }
+
+    /// All identified pairs `(a, b)` with `a < b` — the full closure, i.e.
+    /// the pairs the paper's transitive-closure rule would emit.
+    pub fn identified_pairs(&self) -> Vec<(EntityId, EntityId)> {
+        let mut out = Vec::new();
+        for class in self.classes() {
+            for (i, &a) in class.iter().enumerate() {
+                for &b in &class[i + 1..] {
+                    out.push((a, b));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of identified pairs in the closure: `Σ |C|·(|C|−1)/2`.
+    /// The "confirmed matches" of Table 2.
+    pub fn num_identified_pairs(&self) -> usize {
+        self.classes().iter().map(|c| c.len() * (c.len() - 1) / 2).sum()
+    }
+}
+
+impl EqOracle for EqRel {
+    fn same(&self, a: EntityId, b: EntityId) -> bool {
+        EqRel::same(self, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn identity_has_no_pairs() {
+        let eq = EqRel::identity(5);
+        assert_eq!(eq.len(), 5);
+        assert!(eq.same(e(2), e(2)));
+        assert!(!eq.same(e(1), e(2)));
+        assert_eq!(eq.num_identified_pairs(), 0);
+        assert!(eq.classes().is_empty());
+    }
+
+    #[test]
+    fn union_identifies() {
+        let mut eq = EqRel::identity(4);
+        assert!(eq.union(e(0), e(1)));
+        assert!(eq.same(e(0), e(1)));
+        assert!(!eq.same(e(0), e(2)));
+        assert!(!eq.union(e(1), e(0)), "already identified");
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let mut eq = EqRel::identity(5);
+        eq.union(e(0), e(1));
+        eq.union(e(1), e(2));
+        assert!(eq.same(e(0), e(2)));
+        assert_eq!(eq.num_identified_pairs(), 3); // {0,1,2} -> 3 pairs
+        assert_eq!(eq.identified_pairs(), vec![(e(0), e(1)), (e(0), e(2)), (e(1), e(2))]);
+    }
+
+    #[test]
+    fn classes_are_sorted_and_nontrivial() {
+        let mut eq = EqRel::identity(6);
+        eq.union(e(4), e(5));
+        eq.union(e(0), e(2));
+        let classes = eq.classes();
+        assert_eq!(classes, vec![vec![e(0), e(2)], vec![e(4), e(5)]]);
+    }
+
+    #[test]
+    fn merges_record_chase_steps_in_order() {
+        let mut eq = EqRel::identity(4);
+        eq.union(e(2), e(3));
+        eq.union(e(0), e(1));
+        eq.union(e(1), e(0)); // no-op, not recorded
+        assert_eq!(eq.merges(), &[(e(2), e(3)), (e(0), e(1))]);
+    }
+
+    #[test]
+    fn merging_two_classes_counts_all_cross_pairs() {
+        let mut eq = EqRel::identity(6);
+        eq.union(e(0), e(1));
+        eq.union(e(2), e(3));
+        assert_eq!(eq.num_identified_pairs(), 2);
+        eq.union(e(1), e(2)); // merge {0,1} with {2,3}
+        assert_eq!(eq.num_identified_pairs(), 6); // C(4,2)
+    }
+
+    #[test]
+    fn eq_oracle_impl_delegates() {
+        let mut eq = EqRel::identity(3);
+        eq.union(e(0), e(2));
+        let oracle: &dyn EqOracle = &eq;
+        assert!(oracle.same(e(0), e(2)));
+        assert!(!oracle.same(e(0), e(1)));
+    }
+
+    #[test]
+    fn large_union_chain_stays_shallow() {
+        // Union-by-rank keeps find cheap even without compression.
+        let n = 10_000;
+        let mut eq = EqRel::identity(n);
+        for i in 0..(n as u32 - 1) {
+            eq.union(e(i), e(i + 1));
+        }
+        assert!(eq.same(e(0), e(n as u32 - 1)));
+        assert_eq!(eq.classes().len(), 1);
+    }
+}

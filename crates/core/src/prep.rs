@@ -1,0 +1,228 @@
+//! Shared preparation for the parallel algorithms: candidate sets,
+//! d-neighborhood caches, and the dependency index used by the
+//! entity-dependency optimization (§4.2) and the product graph (§5.1).
+
+use crate::candidates::{
+    candidate_pairs, norm, pairing_filter_timed, type_pair_count, CandidateMode,
+    PairedCandidate,
+};
+use crate::keyset::CompiledKeySet;
+use gk_graph::{d_neighborhood, EntityId, Graph, NodeSet};
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+
+/// Cached d-neighborhoods `G^d` for every entity occurring in the
+/// candidate set, with `d` the max radius of the keys on the entity's type
+/// (§4.1). Built in parallel; the in-process analogue of the paper's
+/// HaLoop-style on-disk cache.
+#[derive(Debug, Default)]
+pub struct NeighborhoodCache {
+    map: FxHashMap<EntityId, NodeSet>,
+}
+
+impl NeighborhoodCache {
+    /// Builds the cache for all entities mentioned in `pairs`.
+    pub fn build(
+        g: &Graph,
+        keys: &CompiledKeySet,
+        pairs: &[(EntityId, EntityId)],
+    ) -> Self {
+        Self::build_timed(g, keys, pairs).0
+    }
+
+    /// [`build`](Self::build) plus the total parallelizable work spent
+    /// (sum of per-entity BFS times), for the simulated-makespan accounting.
+    pub fn build_timed(
+        g: &Graph,
+        keys: &CompiledKeySet,
+        pairs: &[(EntityId, EntityId)],
+    ) -> (Self, std::time::Duration) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let mut ents: Vec<EntityId> =
+            pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+        ents.sort_unstable();
+        ents.dedup();
+        let work_ns = AtomicU64::new(0);
+        let sets: Vec<(EntityId, NodeSet)> = ents
+            .par_iter()
+            .map(|&e| {
+                let t0 = std::time::Instant::now();
+                let d = keys.radius_of_type(g.entity_type(e));
+                let set = (e, d_neighborhood(g, e, d));
+                work_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                set
+            })
+            .collect();
+        (
+            NeighborhoodCache { map: sets.into_iter().collect() },
+            std::time::Duration::from_nanos(work_ns.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// The cached neighborhood of `e`.
+    ///
+    /// # Panics
+    /// Panics if `e` was not part of the candidate set the cache was built
+    /// for.
+    pub fn get(&self, e: EntityId) -> &NodeSet {
+        self.map.get(&e).expect("entity not in neighborhood cache")
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total nodes across all cached neighborhoods (for the |G^d| metrics
+    /// of §6 Exp-1/Exp-3).
+    pub fn total_nodes(&self) -> usize {
+        self.map.values().map(NodeSet::len).sum()
+    }
+}
+
+/// Fully prepared input for the *base* algorithms: the candidate list `L`
+/// plus shared neighborhoods.
+pub struct BasePrep {
+    /// The candidate set `L` (normalized pairs).
+    pub pairs: Vec<(EntityId, EntityId)>,
+    /// d-neighborhoods for every entity in `L`.
+    pub hoods: NeighborhoodCache,
+    /// Total parallelizable preprocessing work (per-item time summed);
+    /// an ideal p-worker driver spends `work / p` on it.
+    pub work: std::time::Duration,
+}
+
+/// Prepares the base candidate set (the paper's unoptimized `L`).
+pub fn prepare_base(g: &Graph, keys: &CompiledKeySet, mode: CandidateMode) -> BasePrep {
+    let pairs = candidate_pairs(g, keys, mode);
+    let (hoods, work) = NeighborhoodCache::build_timed(g, keys, &pairs);
+    BasePrep { pairs, hoods, work }
+}
+
+/// Fully prepared input for the *optimized* algorithms (§4.2): pairing-
+/// filtered candidates with reduced scopes, the dependency index, and the
+/// initial frontier `L0`.
+pub struct OptPrep {
+    /// Surviving candidates with reduced scopes and per-pair key lists.
+    pub candidates: Vec<PairedCandidate>,
+    /// `candidates` index by pair.
+    pub index: FxHashMap<(EntityId, EntityId), usize>,
+    /// Reverse dependency index: dep pair → indices of candidates waiting
+    /// on it.
+    pub dependents: FxHashMap<(EntityId, EntityId), Vec<usize>>,
+    /// Indices of initially eligible candidates (the frontier `L0`).
+    pub frontier: Vec<usize>,
+    /// Size of `L` before the pairing filter (for reduction metrics).
+    pub unfiltered: usize,
+    /// Total parallelizable preprocessing work (neighborhoods + pairing
+    /// filter); an ideal p-worker driver spends `work / p` on it.
+    pub work: std::time::Duration,
+}
+
+/// Runs candidate generation + the pairing filter of §4.2 and assembles the
+/// dependency index.
+pub fn prepare_opt(g: &Graph, keys: &CompiledKeySet, mode: CandidateMode) -> OptPrep {
+    let unfiltered = type_pair_count(g, keys);
+    let raw = candidate_pairs(g, keys, mode);
+    let (hoods, hood_work) = NeighborhoodCache::build_timed(g, keys, &raw);
+    let (mut candidates, filter_work) =
+        pairing_filter_timed(g, keys, &raw, |e| hoods.get(e).clone());
+    candidates.sort_by_key(|c| c.pair);
+    let work = hood_work + filter_work;
+
+    let mut index = FxHashMap::default();
+    let mut dependents: FxHashMap<(EntityId, EntityId), Vec<usize>> = FxHashMap::default();
+    let mut frontier = Vec::new();
+    for (i, c) in candidates.iter().enumerate() {
+        index.insert(c.pair, i);
+        if c.initially_eligible {
+            frontier.push(i);
+        }
+        // Register every dependency — even pairs that are not themselves
+        // candidates: they can still enter Eq through the *transitive
+        // closure* of other identifications, and the watcher must fire then.
+        for &d in &c.deps {
+            dependents.entry(norm(d.0, d.1)).or_default().push(i);
+        }
+    }
+    OptPrep { candidates, index, dependents, frontier, unfiltered, work }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyset::KeySet;
+    use gk_graph::parse_graph;
+
+    fn g1() -> Graph {
+        parse_graph(
+            r#"
+            alb1:album  name_of       "Anthology 2"
+            alb1:album  release_year  "1996"
+            alb1:album  recorded_by   art1:artist
+            art1:artist name_of       "The Beatles"
+            alb2:album  name_of       "Anthology 2"
+            alb2:album  release_year  "1996"
+            alb2:album  recorded_by   art2:artist
+            art2:artist name_of       "The Beatles"
+            alb3:album  name_of       "Other"
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn keys(g: &Graph) -> CompiledKeySet {
+        KeySet::parse(
+            r#"
+            key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }
+            key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+            "#,
+        )
+        .unwrap()
+        .compile(g)
+    }
+
+    #[test]
+    fn base_prep_covers_all_entities() {
+        let g = g1();
+        let ks = keys(&g);
+        let prep = prepare_base(&g, &ks, CandidateMode::TypePairs);
+        assert_eq!(prep.pairs.len(), 3 + 1); // C(3,2) albums + C(2,2) artists
+        for &(a, b) in &prep.pairs {
+            assert!(!prep.hoods.get(a).is_empty());
+            assert!(!prep.hoods.get(b).is_empty());
+        }
+    }
+
+    #[test]
+    fn opt_prep_filters_and_indexes() {
+        let g = g1();
+        let ks = keys(&g);
+        let prep = prepare_opt(&g, &ks, CandidateMode::TypePairs);
+        assert_eq!(prep.unfiltered, 4);
+        // Only (alb1, alb2) and (art1, art2) survive pairing.
+        assert_eq!(prep.candidates.len(), 2);
+        // Frontier = value-based album pair only.
+        assert_eq!(prep.frontier.len(), 1);
+        let alb_pair = prep.candidates[prep.frontier[0]].pair;
+        let e = |n: &str| g.entity_named(n).unwrap();
+        assert_eq!(alb_pair, norm(e("alb1"), e("alb2")));
+        // The artist pair waits on the album pair.
+        let deps = prep.dependents.get(&alb_pair).expect("artists depend on albums");
+        assert_eq!(deps.len(), 1);
+        assert_eq!(prep.candidates[deps[0]].pair, norm(e("art1"), e("art2")));
+    }
+
+    #[test]
+    fn neighborhood_cache_total_nodes_positive() {
+        let g = g1();
+        let ks = keys(&g);
+        let prep = prepare_base(&g, &ks, CandidateMode::TypePairs);
+        assert!(prep.hoods.total_nodes() > prep.hoods.len());
+    }
+}

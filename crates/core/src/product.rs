@@ -1,0 +1,356 @@
+//! The product graph `Gp` of the vertex-centric algorithm (§5.1).
+//!
+//! `Gp`'s vertices are *pairable* node pairs: entity pairs and value pairs
+//! drawn from the pairing relations of the candidate set (including the
+//! identity pairs `(e, e)` that satisfy recursive slots under `Eq0`), plus
+//! the identity nodes of candidate endpoints. Edges come in three flavours:
+//!
+//! * **topology** — `((s1,s2), p, (o1,o2))` when both `(s1,p,o1)` and
+//!   `(s2,p,o2)` are triples of `G`; tour messages travel on these;
+//! * **dep** — from a pair to the candidates whose recursive slots it can
+//!   satisfy; identification notifications travel on these (§4.2/§5.1);
+//! * **tc** — from a candidate pair to the identity nodes of its
+//!   endpoints, along which the paper propagates the transitive closure.
+//!   We materialize them (they count toward `|Gp|`, reported against the
+//!   paper's `|Gp| ≈ 2.7·|G|`), but closure itself is maintained by the
+//!   shared union–find, which subsumes the message-based join.
+
+use crate::keyset::CompiledKeySet;
+use crate::prep::OptPrep;
+use gk_graph::{EntityId, Graph, NodeId, PredId};
+use rustc_hash::FxHashMap;
+
+/// The product graph: oriented node pairs with predicate-labeled topology
+/// edges (forward and reverse CSR), dep edges and tc edges.
+pub struct ProductGraph {
+    /// Vertex table: product node index → (side-1 node, side-2 node).
+    pub nodes: Vec<(NodeId, NodeId)>,
+    /// Reverse lookup of `nodes`.
+    pub index: FxHashMap<(NodeId, NodeId), u32>,
+    /// Anchor product node per candidate (aligned with
+    /// `OptPrep::candidates`).
+    pub anchors: Vec<u32>,
+    out_off: Vec<u32>,
+    out_edg: Vec<(PredId, u32)>,
+    in_off: Vec<u32>,
+    in_edg: Vec<(PredId, u32)>,
+    /// Dep edges: product node → dependent candidate indices.
+    pub dep_out: Vec<Vec<u32>>,
+    /// Number of tc edges (candidate anchor → endpoint identity nodes).
+    pub tc_edges: usize,
+    /// Per-node potential score for prioritized propagation (§5.2):
+    /// total topology degree, a proxy for how likely a partially
+    /// instantiated message can complete through this node.
+    pub potential: Vec<u32>,
+}
+
+impl ProductGraph {
+    /// Builds `Gp` from the pairing-filtered candidate set.
+    pub fn build(g: &Graph, _keys: &CompiledKeySet, prep: &OptPrep) -> ProductGraph {
+        // ---- Vertices ---------------------------------------------------
+        let mut nodes: Vec<(NodeId, NodeId)> = Vec::new();
+        for c in &prep.candidates {
+            nodes.extend(c.slot_pairs.iter().copied());
+            let (a, b) = c.pair;
+            nodes.push((NodeId::entity(a), NodeId::entity(b)));
+            // Identity nodes of paired entities (tc targets; also satisfy
+            // recursive slots under Eq0).
+            nodes.push((NodeId::entity(a), NodeId::entity(a)));
+            nodes.push((NodeId::entity(b), NodeId::entity(b)));
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        let index: FxHashMap<(NodeId, NodeId), u32> =
+            nodes.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+
+        // ---- Topology edges --------------------------------------------
+        // For each entity-pair vertex, pair up same-predicate out-edges of
+        // both sides whose object pair is also a vertex.
+        let n = nodes.len();
+        let mut fwd: Vec<Vec<(PredId, u32)>> = vec![Vec::new(); n];
+        let mut rev: Vec<Vec<(PredId, u32)>> = vec![Vec::new(); n];
+        for (i, &(u1, u2)) in nodes.iter().enumerate() {
+            let (Some(e1), Some(e2)) = (u1.as_entity(), u2.as_entity()) else {
+                continue; // value pairs have no out-edges
+            };
+            for &(p, o1) in g.out(e1) {
+                for &(q, o2) in g.out_with(e2, p) {
+                    debug_assert_eq!(p, q);
+                    if let Some(&j) = index.get(&(o1.node(), o2.node())) {
+                        fwd[i].push((p, j));
+                        rev[j as usize].push((p, i as u32));
+                    }
+                }
+            }
+        }
+        for l in fwd.iter_mut().chain(rev.iter_mut()) {
+            l.sort_unstable();
+            l.dedup();
+        }
+        let potential: Vec<u32> =
+            (0..n).map(|i| (fwd[i].len() + rev[i].len()) as u32).collect();
+        let (out_off, out_edg) = to_csr(fwd);
+        let (in_off, in_edg) = to_csr(rev);
+
+        // ---- Anchors, dep edges, tc edges -------------------------------
+        let anchors: Vec<u32> = prep
+            .candidates
+            .iter()
+            .map(|c| {
+                let (a, b) = c.pair;
+                index[&(NodeId::entity(a), NodeId::entity(b))]
+            })
+            .collect();
+        let mut dep_out: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (&(a, b), dependents) in &prep.dependents {
+            for &(x, y) in &[(a, b), (b, a)] {
+                if let Some(&i) = index.get(&(NodeId::entity(x), NodeId::entity(y))) {
+                    dep_out[i as usize].extend(dependents.iter().map(|&c| c as u32));
+                }
+            }
+        }
+        for l in &mut dep_out {
+            l.sort_unstable();
+            l.dedup();
+        }
+        let tc_edges = prep
+            .candidates
+            .iter()
+            .map(|c| {
+                let (a, b) = c.pair;
+                usize::from(index.contains_key(&(NodeId::entity(a), NodeId::entity(a))))
+                    + usize::from(index.contains_key(&(NodeId::entity(b), NodeId::entity(b))))
+            })
+            .sum();
+
+        ProductGraph {
+            nodes,
+            index,
+            anchors,
+            out_off,
+            out_edg,
+            in_off,
+            in_edg,
+            dep_out,
+            tc_edges,
+            potential,
+        }
+    }
+
+    /// Number of product vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges `|Ep|` (topology + dep + tc) — with `|Vp|`, the
+    /// `|Gp|` the paper compares to `2.7·|G|`.
+    pub fn num_edges(&self) -> usize {
+        self.out_edg.len() + self.dep_out.iter().map(Vec::len).sum::<usize>() + self.tc_edges
+    }
+
+    /// `|Gp|` as nodes + edges (the paper measures graphs by triples; we
+    /// report both).
+    pub fn size(&self) -> usize {
+        self.num_nodes() + self.num_edges()
+    }
+
+    /// Forward topology edges of product node `v`, sorted by `(p, target)`.
+    #[inline]
+    pub fn out(&self, v: u32) -> &[(PredId, u32)] {
+        let lo = self.out_off[v as usize] as usize;
+        let hi = self.out_off[v as usize + 1] as usize;
+        &self.out_edg[lo..hi]
+    }
+
+    /// Forward topology edges of `v` labeled `p`.
+    pub fn out_with(&self, v: u32, p: PredId) -> &[(PredId, u32)] {
+        slice_with(self.out(v), p)
+    }
+
+    /// Reverse topology edges of `v`, sorted by `(p, source)`.
+    #[inline]
+    pub fn inc(&self, v: u32) -> &[(PredId, u32)] {
+        let lo = self.in_off[v as usize] as usize;
+        let hi = self.in_off[v as usize + 1] as usize;
+        &self.in_edg[lo..hi]
+    }
+
+    /// Reverse topology edges of `v` labeled `p`.
+    pub fn in_with(&self, v: u32, p: PredId) -> &[(PredId, u32)] {
+        slice_with(self.inc(v), p)
+    }
+
+    /// True iff the topology edge `u -p-> v` exists.
+    pub fn has_edge(&self, u: u32, p: PredId, v: u32) -> bool {
+        self.out(u).binary_search(&(p, v)).is_ok()
+    }
+
+    /// The entity pair of a product node, if it is an entity pair.
+    pub fn entity_pair(&self, v: u32) -> Option<(EntityId, EntityId)> {
+        let (a, b) = self.nodes[v as usize];
+        Some((a.as_entity()?, b.as_entity()?))
+    }
+}
+
+fn to_csr(lists: Vec<Vec<(PredId, u32)>>) -> (Vec<u32>, Vec<(PredId, u32)>) {
+    let mut off = Vec::with_capacity(lists.len() + 1);
+    off.push(0u32);
+    let mut edg = Vec::new();
+    for l in lists {
+        edg.extend(l);
+        off.push(edg.len() as u32);
+    }
+    (off, edg)
+}
+
+fn slice_with(all: &[(PredId, u32)], p: PredId) -> &[(PredId, u32)] {
+    let lo = all.partition_point(|&(q, _)| q < p);
+    let hi = all.partition_point(|&(q, _)| q <= p);
+    &all[lo..hi]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::CandidateMode;
+    use crate::keyset::KeySet;
+    use crate::prep::prepare_opt;
+    use gk_graph::parse_graph;
+
+    fn g1() -> Graph {
+        parse_graph(
+            r#"
+            alb1:album  name_of       "Anthology 2"
+            alb1:album  release_year  "1996"
+            alb1:album  recorded_by   art1:artist
+            art1:artist name_of       "The Beatles"
+            alb2:album  name_of       "Anthology 2"
+            alb2:album  release_year  "1996"
+            alb2:album  recorded_by   art2:artist
+            art2:artist name_of       "The Beatles"
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn setup(g: &Graph) -> (CompiledKeySet, OptPrep) {
+        let keys = KeySet::parse(
+            r#"
+            key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }
+            key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+            "#,
+        )
+        .unwrap()
+        .compile(g);
+        let prep = prepare_opt(g, &keys, CandidateMode::TypePairs);
+        (keys, prep)
+    }
+
+    #[test]
+    fn anchors_resolve_to_candidate_pairs() {
+        let g = g1();
+        let (keys, prep) = setup(&g);
+        let gp = ProductGraph::build(&g, &keys, &prep);
+        assert_eq!(gp.anchors.len(), prep.candidates.len());
+        for (ci, &v) in gp.anchors.iter().enumerate() {
+            let (a, b) = gp.entity_pair(v).unwrap();
+            assert_eq!((a, b), prep.candidates[ci].pair);
+        }
+    }
+
+    #[test]
+    fn topology_edges_are_backed_by_graph_triples() {
+        let g = g1();
+        let (keys, prep) = setup(&g);
+        let gp = ProductGraph::build(&g, &keys, &prep);
+        let mut seen = 0;
+        for v in 0..gp.num_nodes() as u32 {
+            let (u1, u2) = gp.nodes[v as usize];
+            for &(p, w) in gp.out(v) {
+                let (o1, o2) = gp.nodes[w as usize];
+                let e1 = u1.as_entity().unwrap();
+                let e2 = u2.as_entity().unwrap();
+                assert!(g.has(e1, p, o1.to_obj()), "side-1 edge missing");
+                assert!(g.has(e2, p, o2.to_obj()), "side-2 edge missing");
+                seen += 1;
+            }
+        }
+        assert!(seen > 0);
+    }
+
+    #[test]
+    fn reverse_edges_mirror_forward() {
+        let g = g1();
+        let (keys, prep) = setup(&g);
+        let gp = ProductGraph::build(&g, &keys, &prep);
+        for v in 0..gp.num_nodes() as u32 {
+            for &(p, w) in gp.out(v) {
+                assert!(
+                    gp.in_with(w, p).iter().any(|&(_, u)| u == v),
+                    "missing reverse edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn value_pairs_present_for_shared_values() {
+        let g = g1();
+        let (keys, prep) = setup(&g);
+        let gp = ProductGraph::build(&g, &keys, &prep);
+        let anth = g.value("Anthology 2").unwrap();
+        let vp = (NodeId::value(anth), NodeId::value(anth));
+        assert!(gp.index.contains_key(&vp), "shared value node missing from Gp");
+    }
+
+    #[test]
+    fn identity_nodes_present_for_candidate_endpoints() {
+        let g = g1();
+        let (keys, prep) = setup(&g);
+        let gp = ProductGraph::build(&g, &keys, &prep);
+        let a1 = NodeId::entity(g.entity_named("alb1").unwrap());
+        assert!(gp.index.contains_key(&(a1, a1)));
+        assert!(gp.tc_edges > 0);
+    }
+
+    #[test]
+    fn dep_edges_point_at_dependent_candidates() {
+        let g = g1();
+        let (keys, prep) = setup(&g);
+        let gp = ProductGraph::build(&g, &keys, &prep);
+        // The album anchor should carry a dep edge to the artist candidate.
+        let alb_ci = prep
+            .candidates
+            .iter()
+            .position(|c| {
+                g.entity_type(c.pair.0) == g.etype("album").unwrap()
+            })
+            .unwrap();
+        let art_ci = 1 - alb_ci;
+        let alb_anchor = gp.anchors[alb_ci];
+        assert!(gp.dep_out[alb_anchor as usize].contains(&(art_ci as u32)));
+    }
+
+    #[test]
+    fn gp_size_is_modest_multiple_of_g() {
+        // §6: |Gp| ≈ 2.7·|G| on average — sanity-check the same order of
+        // magnitude (tiny graphs run larger constants than real data).
+        let g = g1();
+        let (keys, prep) = setup(&g);
+        let gp = ProductGraph::build(&g, &keys, &prep);
+        assert!(gp.size() < 20 * g.num_triples());
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = g1();
+        let (keys, prep) = setup(&g);
+        let gp = ProductGraph::build(&g, &keys, &prep);
+        for v in 0..gp.num_nodes() as u32 {
+            for &(p, w) in gp.out(v) {
+                assert!(gp.has_edge(v, p, w));
+            }
+        }
+        assert!(!gp.has_edge(0, PredId(9999), 0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Uniform run reports across all entity-matching algorithms, feeding the
+//! experiment harness (§6): timings, candidate/confirmed counts, rounds,
+//! message counts and optimization-effect metrics.
+
+use std::time::Duration;
+
+/// What one algorithm run did and how long it took.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Algorithm label, e.g. `"EM_MR^opt"`.
+    pub algorithm: String,
+    /// Number of workers `p` used.
+    pub workers: usize,
+    /// Size of the candidate set `L` handed to the algorithm
+    /// ("candidate matches" of Table 2).
+    pub candidates: usize,
+    /// Identified pairs in the final closure ("confirmed matches").
+    pub identified: usize,
+    /// Chase steps actually applied (non-trivial merges).
+    pub merges: usize,
+    /// MapReduce rounds (1 for asynchronous vertex-centric runs).
+    pub rounds: usize,
+    /// Subgraph-isomorphism evaluations performed.
+    pub iso_checks: u64,
+    /// Messages propagated (vertex-centric only).
+    pub messages: u64,
+    /// Records shuffled between map and reduce (MapReduce only).
+    pub shuffled_records: u64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Simulated makespan assuming `p` truly parallel workers (slowest
+    /// worker's busy time; see the substrate crates). This is the paper's
+    /// `t(|G|,|Σ|)/p` scalability metric when the host has fewer cores
+    /// than `p`.
+    pub sim_seconds: f64,
+    /// Free-form extra metrics: `(name, value)`.
+    pub extra: Vec<(String, String)>,
+}
+
+impl RunReport {
+    /// Adds a named extra metric.
+    pub fn push_extra(&mut self, name: &str, value: impl std::fmt::Display) {
+        self.extra.push((name.to_string(), value.to_string()));
+    }
+
+    /// Looks up an extra metric by name.
+    pub fn extra(&self, name: &str) -> Option<&str> {
+        self.extra.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: p={} candidates={} identified={} merges={} rounds={} iso={} msgs={} shuffle={} in {:?}",
+            self.algorithm,
+            self.workers,
+            self.candidates,
+            self.identified,
+            self.merges,
+            self.rounds,
+            self.iso_checks,
+            self.messages,
+            self.shuffled_records,
+            self.elapsed
+        )?;
+        for (k, v) in &self.extra {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extras_roundtrip() {
+        let mut r = RunReport { algorithm: "EM_VC".into(), ..Default::default() };
+        r.push_extra("gp_nodes", 42);
+        assert_eq!(r.extra("gp_nodes"), Some("42"));
+        assert_eq!(r.extra("missing"), None);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let r = RunReport {
+            algorithm: "EM_MR".into(),
+            workers: 4,
+            candidates: 10,
+            identified: 3,
+            ..Default::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("EM_MR"));
+        assert!(s.contains("p=4"));
+        assert!(s.contains("candidates=10"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Key satisfaction checking: `G |= Q(x)` and `G |= Σ` (§2.2).
+//!
+//! A graph satisfies a key when no two *distinct* entities have coinciding
+//! matches under plain node identity (`⇔`) and value equality. Violations
+//! are exactly the duplicates of Example 5: `G2 ⊭ Q4` because `com4` and
+//! `com5` both match with coinciding witnesses, so one of them is a
+//! duplicate. Satisfaction of a *set* also accounts for recursion through
+//! the chase: `G |= Σ` iff the chase identifies nothing.
+
+use crate::candidates::{candidate_pairs, norm, CandidateMode};
+use crate::chase::{chase_reference, ChaseOrder};
+use crate::keyset::CompiledKeySet;
+use gk_graph::{EntityId, Graph};
+use gk_isomorph::{eval_pair, IdentityEq, MatchScope};
+
+/// A witnessed key violation: two distinct entities the key identifies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending pair (normalized).
+    pub pair: (EntityId, EntityId),
+    /// Index of the violated key in the compiled set.
+    pub key: usize,
+    /// Name of the violated key.
+    pub key_name: String,
+}
+
+/// All single-key violations under node identity (`Eq0`).
+///
+/// `G |= Q(x)` for every key iff this is empty. Recursive keys are checked
+/// against `Eq0` here; use [`set_violations`] for the chase-aware notion.
+pub fn key_violations(g: &Graph, keys: &CompiledKeySet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for &(a, b) in &candidate_pairs(g, keys, CandidateMode::TypePairs) {
+        let t = g.entity_type(a);
+        for &ki in keys.keys_on(t) {
+            if eval_pair(g, &keys.keys[ki].pattern, a, b, &IdentityEq, MatchScope::whole_graph())
+            {
+                out.push(Violation {
+                    pair: norm(a, b),
+                    key: ki,
+                    key_name: keys.keys[ki].name.clone(),
+                });
+            }
+        }
+    }
+    out.sort_by_key(|v| (v.pair, v.key));
+    out
+}
+
+/// Does `G` satisfy the key set, i.e. does the chase identify nothing?
+///
+/// This is the set-level notion of Example 5: in `G1`, `art1`/`art2` only
+/// becomes a violation *through* the mutual recursion with the album keys.
+pub fn satisfies(g: &Graph, keys: &CompiledKeySet) -> bool {
+    set_violations(g, keys).is_empty()
+}
+
+/// All pairs the chase identifies — the set-level violations (duplicates).
+pub fn set_violations(g: &Graph, keys: &CompiledKeySet) -> Vec<(EntityId, EntityId)> {
+    chase_reference(g, keys, ChaseOrder::Deterministic).identified_pairs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyset::KeySet;
+    use gk_graph::parse_graph;
+
+    fn g1() -> Graph {
+        parse_graph(
+            r#"
+            alb1:album  name_of       "Anthology 2"
+            alb1:album  release_year  "1996"
+            alb1:album  recorded_by   art1:artist
+            art1:artist name_of       "The Beatles"
+            alb2:album  name_of       "Anthology 2"
+            alb2:album  release_year  "1996"
+            alb2:album  recorded_by   art2:artist
+            art2:artist name_of       "The Beatles"
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example5_violation_of_q2() {
+        let g = g1();
+        let keys = KeySet::parse(
+            r#"
+            key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }
+            key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+            "#,
+        )
+        .unwrap()
+        .compile(&g);
+        let v = key_violations(&g, &keys);
+        // Under Eq0 only Q2 is violated: Q3 needs identified albums.
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].key_name, "Q2");
+
+        // Set-level: recursion surfaces the artist duplicate too.
+        assert!(!satisfies(&g, &keys));
+        assert_eq!(set_violations(&g, &keys).len(), 2);
+    }
+
+    #[test]
+    fn clean_graph_satisfies() {
+        let g = parse_graph(
+            r#"
+            alb1:album name_of "A"
+            alb1:album release_year "1996"
+            alb2:album name_of "B"
+            alb2:album release_year "1996"
+            "#,
+        )
+        .unwrap();
+        let keys = KeySet::parse(
+            "key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }",
+        )
+        .unwrap()
+        .compile(&g);
+        assert!(key_violations(&g, &keys).is_empty());
+        assert!(satisfies(&g, &keys));
+    }
+
+    #[test]
+    fn example5_g2_violates_q4() {
+        let g = parse_graph(
+            r#"
+            com1:company name_of   "AT&T"
+            com2:company name_of   "AT&T"
+            com3:company name_of   "SBC"
+            com4:company name_of   "AT&T"
+            com5:company name_of   "AT&T"
+            com1:company parent_of com4:company
+            com3:company parent_of com4:company
+            com2:company parent_of com5:company
+            com3:company parent_of com5:company
+            "#,
+        )
+        .unwrap();
+        let keys = KeySet::parse(
+            r#"
+            key "Q4" company(x) {
+                x -name_of-> n*;
+                ~p:company -name_of-> n*;
+                ~p:company -parent_of-> x;
+                q:company -parent_of-> x;
+            }
+            "#,
+        )
+        .unwrap()
+        .compile(&g);
+        let v = key_violations(&g, &keys);
+        assert_eq!(v.len(), 1);
+        let c4 = g.entity_named("com4").unwrap();
+        let c5 = g.entity_named("com5").unwrap();
+        assert_eq!(v[0].pair, norm(c4, c5));
+    }
+}

@@ -1,0 +1,221 @@
+//! Similarity predicates for value matching — Remark §2.2(1) of the paper:
+//! *"the results of this paper remain intact when similarity predicates are
+//! used along the same lines as value equality"*.
+//!
+//! The engines match values by interned id, which keeps value equality
+//! O(1). To relax exact equality we therefore *canonicalize*: a
+//! [`Normalizer`] maps every value string to a canonical form, and
+//! [`normalize_graph`] rebuilds the graph with canonicalized values — after
+//! which ordinary id equality **is** the similarity predicate. This is the
+//! standard normalize-then-exact-match construction from entity-resolution
+//! practice; it preserves every algorithm, proof and optimization
+//! unchanged, exactly as the remark requires (the predicate must still be
+//! an equivalence to keep the chase Church–Rosser).
+
+use gk_graph::{Graph, GraphBuilder, Obj};
+
+/// Maps value strings to canonical representatives; values with equal
+/// canonical forms are treated as equal by the keys.
+pub trait Normalizer {
+    /// The canonical form of `value`.
+    fn canonical(&self, value: &str) -> String;
+}
+
+/// Case-insensitive comparison: canonical form is lowercase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseFold;
+
+impl Normalizer for CaseFold {
+    fn canonical(&self, value: &str) -> String {
+        value.to_lowercase()
+    }
+}
+
+/// Aggressive textual normalization: lowercase, keep only alphanumeric
+/// characters, collapse the rest. `"The Beatles!"` ≡ `"the beatles"`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlphaNum;
+
+impl Normalizer for AlphaNum {
+    fn canonical(&self, value: &str) -> String {
+        let mut out = String::with_capacity(value.len());
+        let mut pending_space = false;
+        for c in value.chars() {
+            if c.is_alphanumeric() {
+                if pending_space && !out.is_empty() {
+                    out.push(' ');
+                }
+                pending_space = false;
+                out.extend(c.to_lowercase());
+            } else {
+                pending_space = true;
+            }
+        }
+        out
+    }
+}
+
+/// A user-supplied normalization function.
+pub struct CustomNormalizer<F: Fn(&str) -> String>(pub F);
+
+impl<F: Fn(&str) -> String> Normalizer for CustomNormalizer<F> {
+    fn canonical(&self, value: &str) -> String {
+        (self.0)(value)
+    }
+}
+
+/// Rebuilds `g` with every value replaced by its canonical form. Constants
+/// in keys must be written in canonical form (or the key set normalized
+/// with [`normalize_keys`]).
+pub fn normalize_graph(g: &Graph, n: &impl Normalizer) -> Graph {
+    let mut b = GraphBuilder::new();
+    // Recreate entities with their labels and types so downstream lookups
+    // by name keep working.
+    for e in g.entities() {
+        let label = g.entity_label(e);
+        let ty = g.type_str(g.entity_type(e));
+        b.entity(&label, ty);
+    }
+    for t in g.triples() {
+        let s_label = g.entity_label(t.s);
+        let s_ty = g.type_str(g.entity_type(t.s));
+        let s = b.entity(&s_label, s_ty);
+        let p = g.pred_str(t.p);
+        match t.o {
+            Obj::Entity(o) => {
+                let o_label = g.entity_label(o);
+                let o_ty = g.type_str(g.entity_type(o));
+                let oe = b.entity(&o_label, o_ty);
+                b.link(s, p, oe);
+            }
+            Obj::Value(v) => {
+                b.attr(s, p, &n.canonical(g.value_str(v)));
+            }
+        }
+    }
+    b.freeze()
+}
+
+/// Canonicalizes the constants inside a key set so they compare under the
+/// same normalizer as the graph.
+pub fn normalize_keys(keys: &crate::KeySet, n: &impl Normalizer) -> crate::KeySet {
+    let mapped: Vec<crate::Key> = keys
+        .keys()
+        .iter()
+        .map(|k| {
+            let mut k = k.clone();
+            for t in &mut k.triples {
+                for term in [&mut t.s, &mut t.o] {
+                    if let crate::Term::Const { value } = term {
+                        *value = n.canonical(value);
+                    }
+                }
+            }
+            k
+        })
+        .collect();
+    crate::KeySet::new(mapped).expect("normalization preserves validity")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{chase_reference, ChaseOrder, KeySet};
+    use gk_graph::parse_graph;
+
+    #[test]
+    fn case_fold_canonical() {
+        assert_eq!(CaseFold.canonical("The BEATLES"), "the beatles");
+    }
+
+    #[test]
+    fn alphanum_strips_punctuation() {
+        assert_eq!(AlphaNum.canonical("The Beatles!"), "the beatles");
+        assert_eq!(AlphaNum.canonical("  A--T&T Inc. "), "a t t inc");
+        assert_eq!(AlphaNum.canonical(""), "");
+    }
+
+    #[test]
+    fn custom_normalizer() {
+        let n = CustomNormalizer(|s: &str| s.chars().rev().collect());
+        assert_eq!(n.canonical("abc"), "cba");
+    }
+
+    #[test]
+    fn similarity_merges_spelling_variants() {
+        // Exact match misses the duplicates; AlphaNum similarity finds them.
+        let g = parse_graph(
+            r#"
+            a1:album name_of "Anthology 2"
+            a1:album release_year "1996"
+            a2:album name_of "ANTHOLOGY 2!"
+            a2:album release_year "1996"
+            "#,
+        )
+        .unwrap();
+        let keys = KeySet::parse(
+            "key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }",
+        )
+        .unwrap();
+
+        let exact = chase_reference(&g, &keys.compile(&g), ChaseOrder::Deterministic);
+        assert!(exact.identified_pairs().is_empty(), "exact match must miss");
+
+        let ng = normalize_graph(&g, &AlphaNum);
+        let fuzzy = chase_reference(&ng, &keys.compile(&ng), ChaseOrder::Deterministic);
+        assert_eq!(fuzzy.identified_pairs().len(), 1, "similarity must merge");
+    }
+
+    #[test]
+    fn normalize_graph_preserves_structure() {
+        let g = parse_graph(
+            r#"
+            a:t p b:t
+            a:t q "X Y"
+            b:t q "x y"
+            "#,
+        )
+        .unwrap();
+        let ng = normalize_graph(&g, &CaseFold);
+        assert_eq!(ng.num_entities(), g.num_entities());
+        assert_eq!(ng.num_triples(), g.num_triples());
+        // The two values collapsed into one canonical node.
+        assert_eq!(ng.num_values(), 1);
+        assert!(ng.entity_named("a").is_some());
+    }
+
+    #[test]
+    fn normalize_keys_rewrites_constants() {
+        let keys = KeySet::parse(
+            r#"key "Q6" street(x) { x -zip-> z*; x -nation-> "U.K."; }"#,
+        )
+        .unwrap();
+        let nk = normalize_keys(&keys, &AlphaNum);
+        let text = crate::write_keys(nk.keys());
+        assert!(text.contains("\"u k\""), "constant must be canonicalized: {text}");
+    }
+
+    #[test]
+    fn constant_keys_work_end_to_end_under_similarity() {
+        let g = parse_graph(
+            r#"
+            s1:street zip "EH8" # Edinburgh
+            s1:street nation "U.K."
+            s2:street zip "EH8"
+            s2:street nation "uk"
+            "#,
+        )
+        .unwrap();
+        let keys =
+            KeySet::parse(r#"key "Q6" street(x) { x -zip-> z*; x -nation-> "UK"; }"#).unwrap();
+        // "U.K." and "uk" both canonicalize to "uk" under a normalizer that
+        // strips dots and lowercases.
+        let n = CustomNormalizer(|s: &str| {
+            s.chars().filter(|c| c.is_alphanumeric()).flat_map(char::to_lowercase).collect()
+        });
+        let ng = normalize_graph(&g, &n);
+        let nk = normalize_keys(&keys, &n);
+        let r = chase_reference(&ng, &nk.compile(&ng), ChaseOrder::Deterministic);
+        assert_eq!(r.identified_pairs().len(), 1);
+    }
+}

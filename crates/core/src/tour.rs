@@ -1,0 +1,219 @@
+//! Traversal orders `P_Q` — closed tours of a key pattern (§5.1).
+//!
+//! `EM_VC` propagates a message along a precomputed *tour* of the pattern:
+//! a walk that starts and ends at the designated variable and traverses
+//! every pattern triple, so that a message arriving back at its origin
+//! fully instantiated certifies the key (Lemma 11). Finding a shortest
+//! tour is NP-complete (Chinese Postman), so — like the paper — we build
+//! one greedily: a depth-first double-traversal visits every triple
+//! forward then backward, giving a tour of exactly `2·|Q|` steps, the
+//! bound Lemma 11 quotes.
+
+use gk_isomorph::PairPattern;
+
+/// One step of a tour: traverse a pattern triple in one direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TourStep {
+    /// Index into the pattern's triples.
+    pub triple: u16,
+    /// `true`: traverse subject → object; `false`: object → subject.
+    pub forward: bool,
+}
+
+/// A closed tour of a pattern, starting and ending at the anchor.
+#[derive(Clone, Debug)]
+pub struct Tour {
+    steps: Vec<TourStep>,
+}
+
+impl Tour {
+    /// Builds the greedy DFS double-traversal tour of `q`.
+    pub fn build(q: &PairPattern) -> Tour {
+        let n = q.slots().len();
+        // Undirected incidence: slot -> (triple idx, is_forward_from_here).
+        let mut adj: Vec<Vec<(u16, bool)>> = vec![Vec::new(); n];
+        for (i, t) in q.triples().iter().enumerate() {
+            adj[t.s as usize].push((i as u16, true));
+            if t.s != t.o {
+                adj[t.o as usize].push((i as u16, false));
+            }
+        }
+        let mut used = vec![false; q.triples().len()];
+        let mut steps = Vec::with_capacity(2 * q.triples().len());
+        dfs(q, &adj, &mut used, &mut steps, q.anchor());
+        debug_assert!(used.iter().all(|&u| u), "tour must cover all triples");
+        Tour { steps }
+    }
+
+    /// The steps, in order. A message applies them one per hop.
+    pub fn steps(&self) -> &[TourStep] {
+        &self.steps
+    }
+
+    /// Number of hops, ≤ 2·|Q| (Lemma 11).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True iff the pattern had no triples (cannot happen for valid keys).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The slot the message sits on *after* applying `steps()[i]`,
+    /// starting from the anchor.
+    pub fn slot_after(&self, q: &PairPattern, i: usize) -> u16 {
+        let step = self.steps[i];
+        let t = q.triples()[step.triple as usize];
+        if step.forward {
+            t.o
+        } else {
+            t.s
+        }
+    }
+}
+
+fn dfs(
+    q: &PairPattern,
+    adj: &[Vec<(u16, bool)>],
+    used: &mut [bool],
+    steps: &mut Vec<TourStep>,
+    at: u16,
+) {
+    for &(t, fwd) in &adj[at as usize] {
+        if used[t as usize] {
+            continue;
+        }
+        used[t as usize] = true;
+        let tri = q.triples()[t as usize];
+        let other = if fwd { tri.o } else { tri.s };
+        // Walk the edge, explore from the far endpoint, walk back.
+        steps.push(TourStep { triple: t, forward: fwd });
+        if other != at {
+            dfs(q, adj, used, steps, other);
+        }
+        steps.push(TourStep { triple: t, forward: !fwd });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gk_isomorph::{PTriple, SlotKind};
+    use gk_graph::{PredId, TypeId};
+
+    fn pt(s: u16, p: u32, o: u16) -> PTriple {
+        PTriple { s, p: PredId(p), o }
+    }
+
+    fn star() -> PairPattern {
+        PairPattern::new(
+            vec![SlotKind::Anchor(TypeId(0)), SlotKind::ValueVar, SlotKind::ValueVar],
+            vec![pt(0, 0, 1), pt(0, 1, 2)],
+            0,
+        )
+        .unwrap()
+    }
+
+    fn chain() -> PairPattern {
+        // x -> w -> v*
+        PairPattern::new(
+            vec![
+                SlotKind::Anchor(TypeId(0)),
+                SlotKind::Wildcard(TypeId(1)),
+                SlotKind::ValueVar,
+            ],
+            vec![pt(0, 0, 1), pt(1, 1, 2)],
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tour_length_is_twice_pattern_size() {
+        for q in [star(), chain()] {
+            let tour = Tour::build(&q);
+            assert_eq!(tour.len(), 2 * q.size());
+        }
+    }
+
+    #[test]
+    fn tour_covers_every_triple_in_both_directions() {
+        let q = chain();
+        let tour = Tour::build(&q);
+        for t in 0..q.size() as u16 {
+            let fwd = tour.steps().iter().any(|s| s.triple == t && s.forward);
+            let bwd = tour.steps().iter().any(|s| s.triple == t && !s.forward);
+            assert!(fwd && bwd, "triple {t} not covered both ways");
+        }
+    }
+
+    #[test]
+    fn tour_is_a_connected_closed_walk_from_anchor() {
+        for q in [star(), chain()] {
+            let tour = Tour::build(&q);
+            let mut at = q.anchor();
+            for (i, step) in tour.steps().iter().enumerate() {
+                let tri = q.triples()[step.triple as usize];
+                let (from, to) = if step.forward { (tri.s, tri.o) } else { (tri.o, tri.s) };
+                assert_eq!(from, at, "step {i} does not start where the walk is");
+                assert_eq!(to, tour.slot_after(&q, i));
+                at = to;
+            }
+            assert_eq!(at, q.anchor(), "walk must close at the anchor");
+        }
+    }
+
+    #[test]
+    fn backward_edge_tour() {
+        // y -p-> x : the tour's first hop must go backward (object→subject
+        // from x's perspective means traversing o→s? No: from x, the
+        // incident direction is from the object side).
+        let q = PairPattern::new(
+            vec![SlotKind::Anchor(TypeId(0)), SlotKind::EqEntity(TypeId(0))],
+            vec![pt(1, 0, 0)],
+            0,
+        )
+        .unwrap();
+        let tour = Tour::build(&q);
+        assert_eq!(tour.len(), 2);
+        // First step leaves the anchor through the edge's object side.
+        assert_eq!(tour.steps()[0], TourStep { triple: 0, forward: false });
+        assert_eq!(tour.steps()[1], TourStep { triple: 0, forward: true });
+    }
+
+    #[test]
+    fn self_loop_tour() {
+        let q = PairPattern::new(
+            vec![SlotKind::Anchor(TypeId(0))],
+            vec![pt(0, 0, 0)],
+            0,
+        )
+        .unwrap();
+        let tour = Tour::build(&q);
+        assert_eq!(tour.len(), 2);
+        assert_eq!(tour.slot_after(&q, 0), 0);
+    }
+
+    #[test]
+    fn diamond_tour_covers_cycle() {
+        // x -> a -> v* <- b <- x : 4 triples, cycle through the value.
+        let q = PairPattern::new(
+            vec![
+                SlotKind::Anchor(TypeId(0)),
+                SlotKind::Wildcard(TypeId(1)),
+                SlotKind::Wildcard(TypeId(1)),
+                SlotKind::ValueVar,
+            ],
+            vec![pt(0, 0, 1), pt(0, 0, 2), pt(1, 1, 3), pt(2, 1, 3)],
+            0,
+        )
+        .unwrap();
+        let tour = Tour::build(&q);
+        assert_eq!(tour.len(), 8);
+        let mut covered: Vec<u16> = tour.steps().iter().map(|s| s.triple).collect();
+        covered.sort_unstable();
+        covered.dedup();
+        assert_eq!(covered, vec![0, 1, 2, 3]);
+    }
+}

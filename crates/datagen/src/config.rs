@@ -1,0 +1,209 @@
+//! Workload generator configuration.
+//!
+//! The paper's experiments (§6) run on three datasets — Google+, DBpedia
+//! and a synthetic generator "controlled by the number of entities E and
+//! data values D", with predicates and types "drawn from an alphabet L of
+//! 6000 labels", and a key generator "controlled by the maximum radius d
+//! and the length c of longest dependency chains". This module exposes all
+//! of those knobs; the three presets reproduce the *shapes* of the paper's
+//! datasets at configurable scale (see DESIGN.md's substitution table).
+
+/// Dataset flavour — picks naming vocabulary and shape defaults.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flavor {
+    /// Social-attribute network: few entity types, higher degree
+    /// (Google+ stand-in; the paper uses 30 keys here).
+    Google,
+    /// Knowledge base: many entity types, Fig. 7-style keys
+    /// (DBpedia stand-in; 100 keys).
+    Dbpedia,
+    /// Fully synthetic: many key groups (500 keys in the paper).
+    Synthetic,
+}
+
+impl Flavor {
+    /// Human-readable dataset name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Flavor::Google => "google",
+            Flavor::Dbpedia => "dbpedia",
+            Flavor::Synthetic => "synthetic",
+        }
+    }
+}
+
+/// All generator knobs. Construct via the presets and refine with the
+/// `with_*` builders.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Dataset flavour (naming + defaults provenance).
+    pub flavor: Flavor,
+    /// RNG seed — workloads are fully deterministic given a config.
+    pub seed: u64,
+    /// Linear scale factor on population sizes (Fig. 8(b)(f)(j) sweeps
+    /// 0.2–1.0).
+    pub scale: f64,
+    /// Number of keys `||Σ||` to generate.
+    pub num_keys: usize,
+    /// Length `c` of the longest dependency chain between keys.
+    pub chain_len: usize,
+    /// Maximum pattern radius `d`.
+    pub max_radius: usize,
+    /// Background entities per generated type (before scaling).
+    pub population: usize,
+    /// Planted duplicate chains per key group — each contributes one
+    /// ground-truth pair per chain level.
+    pub dup_chains: usize,
+    /// Near-miss entities per key group: share the blocking attribute but
+    /// fail the rest of the key (exercise the pairing filter).
+    pub distractors: usize,
+    /// Extra non-key edges per entity (inflate d-neighborhoods the way
+    /// real social/knowledge graphs do).
+    pub noise_edges: usize,
+}
+
+impl GenConfig {
+    /// Google+-like preset: 30 keys, dense-ish social attributes.
+    pub fn google() -> Self {
+        GenConfig {
+            flavor: Flavor::Google,
+            seed: 0x600611E,
+            scale: 1.0,
+            num_keys: 30,
+            chain_len: 2,
+            max_radius: 2,
+            population: 300,
+            dup_chains: 24,
+            distractors: 30,
+            noise_edges: 3,
+        }
+    }
+
+    /// DBpedia-like preset: 100 keys over many types.
+    pub fn dbpedia() -> Self {
+        GenConfig {
+            flavor: Flavor::Dbpedia,
+            seed: 0xDB,
+            scale: 1.0,
+            num_keys: 100,
+            chain_len: 2,
+            max_radius: 2,
+            population: 120,
+            dup_chains: 10,
+            distractors: 12,
+            noise_edges: 1,
+        }
+    }
+
+    /// Synthetic preset: 500 keys (the paper's large workload).
+    pub fn synthetic() -> Self {
+        GenConfig {
+            flavor: Flavor::Synthetic,
+            seed: 0x5EED,
+            scale: 1.0,
+            num_keys: 500,
+            chain_len: 2,
+            max_radius: 2,
+            population: 40,
+            dup_chains: 4,
+            distractors: 5,
+            noise_edges: 1,
+        }
+    }
+
+    /// Sets the scale factor (population multiplier).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the dependency-chain length `c`.
+    pub fn with_chain(mut self, c: usize) -> Self {
+        self.chain_len = c;
+        self
+    }
+
+    /// Sets the maximum radius `d ≥ 1`.
+    pub fn with_radius(mut self, d: usize) -> Self {
+        assert!(d >= 1, "radius must be at least 1");
+        self.max_radius = d;
+        self
+    }
+
+    /// Sets the number of keys.
+    pub fn with_keys(mut self, n: usize) -> Self {
+        self.num_keys = n;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scaled population per type (≥ 4 so duplicate planting always fits).
+    pub fn scaled_population(&self) -> usize {
+        ((self.population as f64 * self.scale).round() as usize).max(4)
+    }
+
+    /// Scaled duplicate-chain count (≥ 1).
+    pub fn scaled_dups(&self) -> usize {
+        ((self.dup_chains as f64 * self.scale).round() as usize).max(1)
+    }
+
+    /// Scaled distractor count.
+    pub fn scaled_distractors(&self) -> usize {
+        (self.distractors as f64 * self.scale).round() as usize
+    }
+
+    /// Number of key groups: each group is an independent chain of
+    /// `chain_len + 1` keys (levels `0..=c`), value-based at the deepest
+    /// level and recursive above it.
+    pub fn num_groups(&self) -> usize {
+        self.num_keys.div_ceil(self.chain_len + 1).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_paper_key_counts() {
+        assert_eq!(GenConfig::google().num_keys, 30);
+        assert_eq!(GenConfig::dbpedia().num_keys, 100);
+        assert_eq!(GenConfig::synthetic().num_keys, 500);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = GenConfig::google().with_scale(0.5).with_chain(4).with_radius(3).with_keys(12);
+        assert_eq!(c.scale, 0.5);
+        assert_eq!(c.chain_len, 4);
+        assert_eq!(c.max_radius, 3);
+        assert_eq!(c.num_keys, 12);
+    }
+
+    #[test]
+    fn scaling_respects_minimums() {
+        let c = GenConfig::synthetic().with_scale(0.001);
+        assert!(c.scaled_population() >= 4);
+        assert!(c.scaled_dups() >= 1);
+    }
+
+    #[test]
+    fn group_count_covers_requested_keys() {
+        let c = GenConfig::dbpedia().with_chain(2);
+        assert_eq!(c.num_groups(), 34); // 34 * 3 = 102 ≥ 100
+        let c1 = GenConfig::dbpedia().with_chain(0);
+        assert_eq!(c1.num_groups(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = GenConfig::google().with_scale(0.0);
+    }
+}

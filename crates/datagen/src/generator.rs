@@ -1,0 +1,414 @@
+//! The workload generator: schema, keys, population, planted duplicates.
+//!
+//! Workloads are organized in independent *key groups*. Each group is a
+//! dependency chain of `c + 1` types `T_0 → T_1 → … → T_c` (the paper's
+//! key generator controls the longest dependency chain `c`):
+//!
+//! * the key for the deepest level `T_c` is **value-based** (name +
+//!   second attribute);
+//! * the key for `T_i`, `i < c`, is **recursive**: name + an identified
+//!   `T_{i+1}` neighbor — so a planted duplicate pair at level `i` can only
+//!   be identified after the pair it links to at level `i+1`, forcing a
+//!   chain of exactly `c` dependent identifications;
+//! * for radius `d > 1`, every key additionally requires a wildcard path
+//!   of `d − 1` hops ending in a shared value, which puts the pattern's
+//!   radius at exactly `d` (the paper's other key-generator knob).
+//!
+//! Planted structures per group: `dup_chains` duplicate chains (one
+//! ground-truth pair per level), `distractors` near-misses that share the
+//! blocking name but fail the rest of the key, and `noise_edges` random
+//! edges on predicates no key mentions (they inflate d-neighborhoods
+//! without affecting results).
+
+use crate::config::{Flavor, GenConfig};
+use gk_core::{Key, KeySet, Term};
+use gk_graph::{EntityId, Graph, GraphBuilder, PredId, TypeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated workload: the graph, its keys, and the planted ground truth.
+pub struct Workload {
+    /// Dataset name (flavour).
+    pub name: String,
+    /// The generated graph.
+    pub graph: Graph,
+    /// The generated key set (before compilation).
+    pub keys: KeySet,
+    /// Planted duplicate pairs (normalized, sorted): what `chase(G, Σ)`
+    /// must identify — exactly, no more, no less.
+    pub truth: Vec<(EntityId, EntityId)>,
+}
+
+impl Workload {
+    /// The configuration's ground truth as a set size.
+    pub fn truth_len(&self) -> usize {
+        self.truth.len()
+    }
+}
+
+/// Vocabulary for flavoured type names.
+fn vocab(flavor: Flavor) -> &'static [&'static str] {
+    match flavor {
+        Flavor::Google => &[
+            "person", "university", "employer", "place", "school", "major", "city", "club",
+            "team", "group",
+        ],
+        Flavor::Dbpedia => &[
+            "book", "author", "publisher", "company", "artist", "album", "film", "director",
+            "city", "country", "band", "label",
+        ],
+        Flavor::Synthetic => &["node"],
+    }
+}
+
+/// Identifiers of one group level's schema objects.
+struct LevelSchema {
+    ty: TypeId,
+    name_p: PredId,
+    attr2_p: PredId,
+    rel_p: Option<PredId>,
+    hop_p: Vec<PredId>,
+    hop_ty: Vec<TypeId>,
+    deep_p: Option<PredId>,
+    noise_p: PredId,
+}
+
+/// Generates a workload from a configuration. Deterministic in the config.
+pub fn generate(cfg: &GenConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::new();
+    let mut keys: Vec<Key> = Vec::new();
+    let mut truth: Vec<(EntityId, EntityId)> = Vec::new();
+
+    let c = cfg.chain_len;
+    let d = cfg.max_radius;
+    let groups = cfg.num_groups();
+    let words = vocab(cfg.flavor);
+
+    for g in 0..groups {
+        // ---- Schema for this group -------------------------------------
+        let levels: Vec<LevelSchema> = (0..=c)
+            .map(|i| {
+                let word = words[(g * (c + 1) + i) % words.len()];
+                let ty = b.intern_type(&format!("{word}_g{g}_l{i}"));
+                LevelSchema {
+                    ty,
+                    name_p: b.intern_pred(&format!("name_of_g{g}_l{i}")),
+                    attr2_p: b.intern_pred(&format!("attr_g{g}_l{i}")),
+                    rel_p: (i < c).then(|| b.intern_pred(&format!("linked_to_g{g}_l{i}"))),
+                    hop_p: (1..d).map(|j| b.intern_pred(&format!("hop_g{g}_l{i}_{j}"))).collect(),
+                    hop_ty: (1..d)
+                        .map(|j| b.intern_type(&format!("{word}_aux_g{g}_l{i}_{j}")))
+                        .collect(),
+                    deep_p: (d > 1).then(|| b.intern_pred(&format!("deep_g{g}_l{i}"))),
+                    noise_p: b.intern_pred(&format!("related_g{g}_l{i}")),
+                }
+            })
+            .collect();
+
+        // ---- Keys for this group (stop at the requested total) ----------
+        // A partial last group takes its keys from the *deepest* levels so
+        // every generated recursive key has a complete chain below it —
+        // otherwise its planted duplicates could never be identified.
+        let take = (cfg.num_keys - keys.len()).min(c + 1);
+        let first_key_level = c + 1 - take;
+        for i in first_key_level..=c {
+            keys.push(make_key(cfg, g, i, &levels[i], levels.get(i + 1)));
+        }
+
+        // ---- Population -------------------------------------------------
+        let pop = cfg.scaled_population();
+        let dups = cfg.scaled_dups();
+        let distractors = cfg.scaled_distractors();
+
+        // Background entities, level by level (deepest first so rel edges
+        // can point at already-created entities).
+        //
+        // Names are drawn from a *shared pool* (≈ pop/4 distinct names per
+        // level): real graphs are full of name collisions, and they are
+        // what makes the unfiltered algorithms pay for isomorphism checks
+        // that the pairing filter avoids. Same-named background entities
+        // can never be identified: at level c their second attribute is
+        // unique; at recursive levels their partners are **provably
+        // distinct** — partner index = e_idx % pop, and two same-named
+        // entities' indices differ by a multiple of the pool size < pop —
+        // and background partners are never identified (induction from
+        // level c up).
+        let name_pool = (pop / 4).max(1);
+        let mut background: Vec<Vec<EntityId>> = vec![Vec::new(); c + 1];
+        for i in (0..=c).rev() {
+            let ls = &levels[i];
+            for e_idx in 0..pop {
+                let e = b.fresh_entity(ls.ty);
+                let v = b.intern_value(&format!("n_g{g}_l{i}_b{}", e_idx % name_pool));
+                b.attr_ids(e, ls.name_p, v);
+                if i == c {
+                    let v = b.intern_value(&format!("a_g{g}_l{i}_e{e_idx}"));
+                    b.attr_ids(e, ls.attr2_p, v);
+                }
+                if let Some(rel) = ls.rel_p {
+                    let next = background[i + 1][e_idx % background[i + 1].len()];
+                    b.link_ids(e, rel, next);
+                }
+                build_aux_path(&mut b, ls, e, &format!("bg_g{g}_l{i}_e{e_idx}"), None);
+                background[i].push(e);
+            }
+        }
+
+        // Noise edges within each level (predicates unused by keys).
+        for i in 0..=c {
+            let ls = &levels[i];
+            for &e in &background[i] {
+                for _ in 0..cfg.noise_edges {
+                    let other = background[i][rng.gen_range(0..background[i].len())];
+                    if other != e {
+                        b.link_ids(e, ls.noise_p, other);
+                    }
+                }
+            }
+        }
+
+        // Planted duplicate chains: one ground-truth pair per *keyed* level,
+        // linked so that level i is identifiable only after level i+1.
+        for k in 0..dups {
+            let mut next_pair: Option<(EntityId, EntityId)> = None;
+            for i in (first_key_level..=c).rev() {
+                let ls = &levels[i];
+                let u = b.fresh_entity(ls.ty);
+                let v = b.fresh_entity(ls.ty);
+                let shared_name = b.intern_value(&format!("dupname_g{g}_k{k}_l{i}"));
+                b.attr_ids(u, ls.name_p, shared_name);
+                b.attr_ids(v, ls.name_p, shared_name);
+                if i == c {
+                    let shared_a = b.intern_value(&format!("dupattr_g{g}_k{k}"));
+                    b.attr_ids(u, ls.attr2_p, shared_a);
+                    b.attr_ids(v, ls.attr2_p, shared_a);
+                }
+                if let (Some(rel), Some((nu, nv))) = (ls.rel_p, next_pair) {
+                    b.link_ids(u, rel, nu);
+                    b.link_ids(v, rel, nv);
+                }
+                let shared_deep = format!("dupdeep_g{g}_k{k}_l{i}");
+                build_aux_path(&mut b, ls, u, &format!("du_g{g}_k{k}_l{i}"), Some(&shared_deep));
+                build_aux_path(&mut b, ls, v, &format!("dv_g{g}_k{k}_l{i}"), Some(&shared_deep));
+                truth.push(if u <= v { (u, v) } else { (v, u) });
+                next_pair = Some((u, v));
+            }
+        }
+
+        // Distractors: near-misses that share a planted pair's name.
+        //
+        // * At recursive levels (i < c) the distractor also shares the deep
+        //   value and links to a background entity of the right type — it
+        //   therefore *passes the pairing filter* (pairing checks entity
+        //   variables by type only, Prop. 9) but fails the chase, because
+        //   its partner is never identified. These keep "candidate
+        //   matches" strictly above "confirmed matches", as in Table 2.
+        // * At the value-based level c the distractor has a unique second
+        //   attribute, so the pairing filter eliminates it (exercising the
+        //   cheap-filter path).
+        for t in 0..distractors {
+            let i = first_key_level + (t % take);
+            let k = t % dups;
+            let ls = &levels[i];
+            let e = b.fresh_entity(ls.ty);
+            let shared_name = b.intern_value(&format!("dupname_g{g}_k{k}_l{i}"));
+            b.attr_ids(e, ls.name_p, shared_name);
+            if i == c {
+                let v = b.intern_value(&format!("distr_a_g{g}_t{t}"));
+                b.attr_ids(e, ls.attr2_p, v);
+                build_aux_path(&mut b, ls, e, &format!("distr_g{g}_t{t}"), None);
+            } else {
+                if let Some(rel) = ls.rel_p {
+                    // A *fresh* partner, never shared: two distractors with
+                    // a common partner would be identified through the
+                    // identity pair — that would corrupt the ground truth.
+                    let nls = &levels[i + 1];
+                    let partner = b.fresh_entity(nls.ty);
+                    let pv = b.intern_value(&format!("distr_partner_g{g}_t{t}"));
+                    b.attr_ids(partner, nls.name_p, pv);
+                    b.link_ids(e, rel, partner);
+                }
+                let shared_deep = format!("dupdeep_g{g}_k{k}_l{i}");
+                build_aux_path(&mut b, ls, e, &format!("distr_g{g}_t{t}"), Some(&shared_deep));
+            }
+        }
+    }
+
+    truth.sort_unstable();
+    truth.dedup();
+    Workload {
+        name: cfg.flavor.name().to_string(),
+        graph: b.freeze(),
+        keys: KeySet::new(keys).expect("generated keys are valid"),
+        truth,
+    }
+}
+
+/// Attaches the radius-`d` wildcard path: `e -hop1-> aux1 -hop2-> … -deep->
+/// value`. `shared_deep` plants a value shared between duplicate partners;
+/// `None` draws a unique one.
+fn build_aux_path(
+    b: &mut GraphBuilder,
+    ls: &LevelSchema,
+    e: EntityId,
+    tag: &str,
+    shared_deep: Option<&str>,
+) {
+    let Some(deep_p) = ls.deep_p else {
+        return; // d == 1: no path
+    };
+    let mut cur = e;
+    for (&hp, &ht) in ls.hop_p.iter().zip(&ls.hop_ty) {
+        let aux = b.fresh_entity(ht);
+        b.link_ids(cur, hp, aux);
+        cur = aux;
+    }
+    let deep_val = match shared_deep {
+        Some(s) => b.intern_value(s),
+        None => b.intern_value(&format!("deepval_{tag}")),
+    };
+    b.attr_ids(cur, deep_p, deep_val);
+}
+
+/// Builds one key: recursive below level `c`, value-based at level `c`,
+/// plus the radius-`d` wildcard path.
+fn make_key(
+    cfg: &GenConfig,
+    g: usize,
+    i: usize,
+    _ls: &LevelSchema,
+    next: Option<&LevelSchema>,
+) -> Key {
+    let c = cfg.chain_len;
+    let d = cfg.max_radius;
+    let words = vocab(cfg.flavor);
+    let word = words[(g * (c + 1) + i) % words.len()];
+    let ty = format!("{word}_g{g}_l{i}");
+    let mut kb = Key::builder(&format!("K_g{g}_l{i}"), &ty)
+        .triple(Term::x(), &format!("name_of_g{g}_l{i}"), Term::val("n"));
+    if i == c {
+        kb = kb.triple(Term::x(), &format!("attr_g{g}_l{i}"), Term::val("a"));
+    } else {
+        debug_assert!(next.is_some(), "levels above c have a successor");
+        let next_word = words[(g * (c + 1) + i + 1) % words.len()];
+        kb = kb.triple(
+            Term::x(),
+            &format!("linked_to_g{g}_l{i}"),
+            Term::var("y", &format!("{next_word}_g{g}_l{}", i + 1)),
+        );
+    }
+    // Radius-d wildcard path ending in a value variable.
+    if d > 1 {
+        let mut prev = Term::x();
+        for j in 1..d {
+            let w = Term::wildcard(&format!("h{j}"), &format!("{word}_aux_g{g}_l{i}_{j}"));
+            kb = kb.triple(prev, &format!("hop_g{g}_l{i}_{j}"), w.clone());
+            prev = w;
+        }
+        kb = kb.triple(prev, &format!("deep_g{g}_l{i}"), Term::val("w"));
+    }
+    kb.build().expect("generated key is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gk_core::{chase_reference, ChaseOrder};
+
+    fn tiny(flavor: Flavor) -> GenConfig {
+        let base = match flavor {
+            Flavor::Google => GenConfig::google(),
+            Flavor::Dbpedia => GenConfig::dbpedia(),
+            Flavor::Synthetic => GenConfig::synthetic().with_keys(12),
+        };
+        base.with_scale(0.05)
+    }
+
+    #[test]
+    fn generated_keys_have_requested_counts_and_shape() {
+        let cfg = tiny(Flavor::Google).with_chain(2).with_radius(2);
+        let w = generate(&cfg);
+        assert_eq!(w.keys.cardinality(), cfg.num_keys);
+        assert_eq!(w.keys.max_radius(), 2);
+        assert!(w.keys.recursive_count() > 0);
+        // The longest chain c is as requested.
+        assert_eq!(w.keys.longest_chain(), 2);
+    }
+
+    #[test]
+    fn radius_knob_controls_pattern_radius() {
+        for d in 1..=3 {
+            let cfg = tiny(Flavor::Dbpedia).with_keys(6).with_radius(d);
+            let w = generate(&cfg);
+            assert_eq!(w.keys.max_radius(), d, "d={d}");
+        }
+    }
+
+    #[test]
+    fn chain_knob_controls_dependency_chain() {
+        for c in 0..=3 {
+            let cfg = tiny(Flavor::Synthetic).with_keys(8).with_chain(c);
+            let w = generate(&cfg);
+            assert_eq!(w.keys.longest_chain(), c, "c={c}");
+        }
+    }
+
+    #[test]
+    fn chase_recovers_exactly_the_planted_truth() {
+        // The core guarantee of the generator: ground truth in, ground
+        // truth out — no accidental duplicates, none missed.
+        for flavor in [Flavor::Google, Flavor::Dbpedia, Flavor::Synthetic] {
+            let cfg = tiny(flavor);
+            let w = generate(&cfg);
+            let compiled = w.keys.compile(&w.graph);
+            let got = chase_reference(&w.graph, &compiled, ChaseOrder::Deterministic)
+                .identified_pairs();
+            assert_eq!(got, w.truth, "flavor {flavor:?}");
+            assert!(!w.truth.is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = tiny(Flavor::Google);
+        let w1 = generate(&cfg);
+        let w2 = generate(&cfg);
+        assert_eq!(w1.truth, w2.truth);
+        assert_eq!(w1.graph.num_triples(), w2.graph.num_triples());
+        assert_eq!(w1.graph.num_entities(), w2.graph.num_entities());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w1 = generate(&tiny(Flavor::Google));
+        let w2 = generate(&tiny(Flavor::Google).with_seed(42));
+        // Same shape, different wiring.
+        assert_eq!(w1.truth.len(), w2.truth.len());
+        assert_eq!(w1.graph.num_entities(), w2.graph.num_entities());
+    }
+
+    #[test]
+    fn scale_grows_the_graph() {
+        let small = generate(&tiny(Flavor::Dbpedia));
+        let large = generate(&tiny(Flavor::Dbpedia).with_scale(0.2));
+        assert!(large.graph.num_triples() > small.graph.num_triples());
+        assert!(large.truth.len() >= small.truth.len());
+    }
+
+    #[test]
+    fn truth_pairs_have_matching_types() {
+        let w = generate(&tiny(Flavor::Synthetic));
+        for &(a, b) in &w.truth {
+            assert_eq!(w.graph.entity_type(a), w.graph.entity_type(b));
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn chain_zero_means_value_based_only() {
+        let cfg = tiny(Flavor::Synthetic).with_keys(5).with_chain(0);
+        let w = generate(&cfg);
+        assert_eq!(w.keys.recursive_count(), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # gk-datagen — workload generators for graph-key experiments
+//!
+//! Reproduces the experimental workloads of *Keys for Graphs* (§6) at
+//! configurable scale:
+//!
+//! * [`GenConfig::google`] — a Google+-shaped social-attribute network
+//!   (30 keys);
+//! * [`GenConfig::dbpedia`] — a DBpedia-shaped knowledge base (100 keys);
+//! * [`GenConfig::synthetic`] — the paper's synthetic generator
+//!   (500 keys);
+//!
+//! each with the paper's key-generator knobs: dependency-chain length `c`,
+//! maximum radius `d`, and a scale factor for the |G| sweeps. Workloads
+//! carry **planted ground truth**: the chase must identify exactly the
+//! planted duplicate pairs (the generator's tests enforce this), which is
+//! what lets the benchmark harness check correctness while it measures.
+//!
+//! ```
+//! use gk_datagen::{generate, GenConfig};
+//! use gk_core::{chase_reference, ChaseOrder};
+//!
+//! let w = generate(&GenConfig::google().with_scale(0.05));
+//! let keys = w.keys.compile(&w.graph);
+//! let found = chase_reference(&w.graph, &keys, ChaseOrder::default());
+//! assert_eq!(found.identified_pairs(), w.truth);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod generator;
+
+pub use config::{Flavor, GenConfig};
+pub use generator::{generate, Workload};

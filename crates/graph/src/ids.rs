@@ -1,0 +1,267 @@
+//! Compact identifier types for the graph substrate.
+//!
+//! Entities, values, predicates and entity types each get their own index
+//! space, following the data model of the paper (§2.1): a graph is a set of
+//! triples `(s, p, o)` where the subject `s` is an entity, `p` is a predicate
+//! and the object `o` is either an entity or a value.
+//!
+//! All identifiers are `u32` newtypes so that adjacency lists and candidate
+//! tables stay small and hash quickly (see the type-size guidance in the Rust
+//! performance guide).
+
+use std::fmt;
+
+/// Identifier of an entity node (element of the paper's set `E`).
+///
+/// Two entities are *node-identical* (`e1 ⇔ e2`) iff their `EntityId`s are
+/// equal. Entity matching computes which **distinct** `EntityId`s denote the
+/// same real-world entity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+/// Identifier of an interned data value (element of the paper's set `D`).
+///
+/// Values are deduplicated at interning time, so *value equality* (`d1 = d2`)
+/// is `ValueId` equality.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// Identifier of an interned predicate / edge label (element of `P`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+/// Identifier of an interned entity type (element of `Θ`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+impl EntityId {
+    /// Index into per-entity arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ValueId {
+    /// Index into per-value arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PredId {
+    /// Index into per-predicate arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TypeId {
+    /// Index into per-type arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Debug for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Debug for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Debug for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The object position of a triple: an entity or a value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Obj {
+    /// Object is an entity node.
+    Entity(EntityId),
+    /// Object is a data-value node.
+    Value(ValueId),
+}
+
+impl Obj {
+    /// The packed node reference for this object.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        match self {
+            Obj::Entity(e) => NodeId::entity(e),
+            Obj::Value(v) => NodeId::value(v),
+        }
+    }
+
+    /// Returns the entity id if this object is an entity.
+    #[inline]
+    pub fn as_entity(self) -> Option<EntityId> {
+        match self {
+            Obj::Entity(e) => Some(e),
+            Obj::Value(_) => None,
+        }
+    }
+
+    /// Returns the value id if this object is a value.
+    #[inline]
+    pub fn as_value(self) -> Option<ValueId> {
+        match self {
+            Obj::Value(v) => Some(v),
+            Obj::Entity(_) => None,
+        }
+    }
+}
+
+impl From<EntityId> for Obj {
+    fn from(e: EntityId) -> Self {
+        Obj::Entity(e)
+    }
+}
+
+impl From<ValueId> for Obj {
+    fn from(v: ValueId) -> Self {
+        Obj::Value(v)
+    }
+}
+
+/// A packed reference to *any* node of the graph — entity or value — in a
+/// single `u32`.
+///
+/// Bit 31 distinguishes the two kinds: `0` for entities, `1` for values.
+/// Used wherever node sets mix the two kinds, e.g. d-neighborhoods (§4.1)
+/// and product-graph vertices (§5.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+const VALUE_TAG: u32 = 1 << 31;
+
+impl NodeId {
+    /// Packs an entity id.
+    #[inline]
+    pub fn entity(e: EntityId) -> Self {
+        debug_assert!(e.0 < VALUE_TAG, "entity id overflow");
+        NodeId(e.0)
+    }
+
+    /// Packs a value id.
+    #[inline]
+    pub fn value(v: ValueId) -> Self {
+        debug_assert!(v.0 < VALUE_TAG, "value id overflow");
+        NodeId(v.0 | VALUE_TAG)
+    }
+
+    /// True iff this node is an entity.
+    #[inline]
+    pub fn is_entity(self) -> bool {
+        self.0 & VALUE_TAG == 0
+    }
+
+    /// True iff this node is a value.
+    #[inline]
+    pub fn is_value(self) -> bool {
+        !self.is_entity()
+    }
+
+    /// Unpacks to an entity id, if this is an entity node.
+    #[inline]
+    pub fn as_entity(self) -> Option<EntityId> {
+        self.is_entity().then_some(EntityId(self.0))
+    }
+
+    /// Unpacks to a value id, if this is a value node.
+    #[inline]
+    pub fn as_value(self) -> Option<ValueId> {
+        self.is_value().then_some(ValueId(self.0 & !VALUE_TAG))
+    }
+
+    /// The raw packed representation (stable within one `Graph`).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Converts back to a triple object.
+    #[inline]
+    pub fn to_obj(self) -> Obj {
+        match self.as_entity() {
+            Some(e) => Obj::Entity(e),
+            None => Obj::Value(ValueId(self.0 & !VALUE_TAG)),
+        }
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.as_entity() {
+            Some(e) => write!(f, "{e:?}"),
+            None => write!(f, "{:?}", self.as_value().expect("value node")),
+        }
+    }
+}
+
+impl From<Obj> for NodeId {
+    fn from(o: Obj) -> Self {
+        o.node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_entities() {
+        let e = EntityId(42);
+        let n = NodeId::entity(e);
+        assert!(n.is_entity());
+        assert!(!n.is_value());
+        assert_eq!(n.as_entity(), Some(e));
+        assert_eq!(n.as_value(), None);
+    }
+
+    #[test]
+    fn node_id_roundtrips_values() {
+        let v = ValueId(7);
+        let n = NodeId::value(v);
+        assert!(n.is_value());
+        assert_eq!(n.as_value(), Some(v));
+        assert_eq!(n.as_entity(), None);
+    }
+
+    #[test]
+    fn entity_and_value_with_same_index_differ() {
+        assert_ne!(NodeId::entity(EntityId(5)), NodeId::value(ValueId(5)));
+    }
+
+    #[test]
+    fn obj_conversions() {
+        let e: Obj = EntityId(3).into();
+        let v: Obj = ValueId(9).into();
+        assert_eq!(e.as_entity(), Some(EntityId(3)));
+        assert_eq!(e.as_value(), None);
+        assert_eq!(v.as_value(), Some(ValueId(9)));
+        assert_eq!(NodeId::from(v), NodeId::value(ValueId(9)));
+    }
+
+    #[test]
+    fn debug_formats_are_compact() {
+        assert_eq!(format!("{:?}", EntityId(1)), "e1");
+        assert_eq!(format!("{:?}", NodeId::value(ValueId(2))), "v2");
+    }
+}

@@ -1,0 +1,45 @@
+//! # gk-graph — graph substrate for *Keys for Graphs*
+//!
+//! The data model of Fan et al., *Keys for Graphs* (PVLDB 2015), §2.1:
+//! a graph is a set of triples `(s, p, o)` where the subject is an **entity**
+//! (with a unique id and a type), the predicate is a label, and the object is
+//! an entity or a **data value**. Two equality notions coexist:
+//!
+//! * **node identity** `e1 ⇔ e2` on entities — same [`EntityId`];
+//! * **value equality** `d1 = d2` on values — same interned [`ValueId`].
+//!
+//! This crate provides the storage and index layer every other crate builds
+//! on: interning, CSR adjacency (forward and reverse, value nodes included),
+//! type indexes, d-neighborhood extraction (§4.1 data locality) and a small
+//! text format for fixtures.
+//!
+//! ## Quick start
+//! ```
+//! use gk_graph::{GraphBuilder, d_neighborhood, NodeId};
+//!
+//! let mut b = GraphBuilder::new();
+//! let alb = b.entity("alb1", "album");
+//! let art = b.entity("art1", "artist");
+//! b.attr(alb, "name_of", "Anthology 2");
+//! b.link(alb, "recorded_by", art);
+//! let g = b.freeze();
+//!
+//! let hood = d_neighborhood(&g, alb, 1);
+//! assert!(hood.contains(NodeId::entity(art)));
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+mod ids;
+mod interner;
+mod neighborhood;
+mod parse;
+mod stats;
+
+pub use graph::{Graph, GraphBuilder, Triple};
+pub use ids::{EntityId, NodeId, Obj, PredId, TypeId, ValueId};
+pub use interner::Interner;
+pub use neighborhood::{d_neighborhood, d_neighborhoods, is_forest, NodeSet};
+pub use parse::{parse_graph, write_graph, ParseError};
+pub use stats::GraphStats;

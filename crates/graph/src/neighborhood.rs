@@ -1,0 +1,303 @@
+//! d-neighborhoods and node scopes.
+//!
+//! The MapReduce algorithm checks `(G, Σ) |= (e1, e2)` against only the
+//! *d-neighbors* `G^d_1 ∪ G^d_2` of the pair, where `d` is the maximum radius
+//! of the keys defined on the pair's type — the paper's data-locality
+//! property (§4.1). A [`NodeSet`] is such a neighborhood: a set of nodes that
+//! restricts which triples a matcher may use.
+
+use crate::graph::Graph;
+use crate::ids::{EntityId, NodeId};
+use rayon::prelude::*;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// A set of graph nodes, used as the *scope* of a matching problem.
+///
+/// Stored sorted for cache-friendly binary-search membership tests; the hot
+/// path of the guided matcher calls [`contains`](NodeSet::contains) once per
+/// candidate expansion.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodeSet {
+    sorted: Box<[NodeId]>,
+}
+
+impl NodeSet {
+    /// Builds a set from an arbitrary collection of nodes (dedup + sort).
+    pub fn from_nodes(mut nodes: Vec<NodeId>) -> Self {
+        nodes.sort_unstable();
+        nodes.dedup();
+        NodeSet { sorted: nodes.into_boxed_slice() }
+    }
+
+    /// The empty scope.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.sorted.binary_search(&n).is_ok()
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Iterates the nodes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.sorted.iter().copied()
+    }
+
+    /// Set union, used to form `G^d_1 ∪ G^d_2` for a candidate pair.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        out.extend_from_slice(&self.sorted);
+        out.extend_from_slice(&other.sorted);
+        NodeSet::from_nodes(out)
+    }
+
+    /// Set intersection (used by optimization diagnostics).
+    pub fn intersect(&self, other: &NodeSet) -> NodeSet {
+        let (small, large) =
+            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let out: Vec<NodeId> = small.iter().filter(|&n| large.contains(n)).collect();
+        NodeSet::from_nodes(out)
+    }
+
+    /// Retains only nodes satisfying `keep`, returning a new set.
+    pub fn filter(&self, mut keep: impl FnMut(NodeId) -> bool) -> NodeSet {
+        NodeSet { sorted: self.iter().filter(|&n| keep(n)).collect() }
+    }
+
+    /// Number of triples of `g` with **both** endpoints inside this set —
+    /// the size `|G^d|` of the induced subgraph, reported by the
+    /// optimization-effect experiments (§6 Exp-1/Exp-3).
+    pub fn induced_triples(&self, g: &Graph) -> usize {
+        self.iter()
+            .filter_map(NodeId::as_entity)
+            .map(|s| {
+                g.out(s).iter().filter(|&&(_, o)| self.contains(o.node())).count()
+            })
+            .sum()
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        NodeSet::from_nodes(iter.into_iter().collect())
+    }
+}
+
+/// Collects all nodes within `d` hops of `e`, ignoring edge direction —
+/// the paper's d-neighbor `G^d` of an entity (§4.1).
+///
+/// `d = 0` yields just `{e}`.
+pub fn d_neighborhood(g: &Graph, e: EntityId, d: usize) -> NodeSet {
+    let start = NodeId::entity(e);
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    seen.insert(start);
+    let mut frontier = vec![start];
+    let mut next = Vec::new();
+    for _ in 0..d {
+        for &n in &frontier {
+            g.for_each_undirected_neighbor(n, |m| {
+                if seen.insert(m) {
+                    next.push(m);
+                }
+            });
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier.clear();
+        std::mem::swap(&mut frontier, &mut next);
+    }
+    seen.into_iter().collect()
+}
+
+/// Computes [`d_neighborhood`] for many entities in parallel (rayon).
+///
+/// `radius(e)` supplies the per-entity bound: the paper uses the maximum
+/// radius of the keys defined on `e`'s type.
+pub fn d_neighborhoods(
+    g: &Graph,
+    entities: &[EntityId],
+    radius: impl Fn(EntityId) -> usize + Sync,
+) -> Vec<NodeSet> {
+    entities
+        .par_iter()
+        .map(|&e| d_neighborhood(g, e, radius(e)))
+        .collect()
+}
+
+/// True iff the graph is a forest when edge directions are ignored
+/// (no undirected cycles, no parallel edges between two nodes).
+///
+/// Relevant to Proposition 5 of the paper: on trees, entity matching is in
+/// PTIME — though it remains hard to parallelize (Theorem 4 holds even on
+/// trees). Callers can use this to pick cheaper settings for tree-shaped
+/// data (e.g. skip the VF2 safety caps).
+pub fn is_forest(g: &Graph) -> bool {
+    // Union-find over packed node ids; any edge joining two already-
+    // connected nodes closes a cycle.
+    let mut parent: FxHashMap<NodeId, NodeId> = FxHashMap::default();
+    fn find(parent: &mut FxHashMap<NodeId, NodeId>, mut x: NodeId) -> NodeId {
+        loop {
+            let p = *parent.entry(x).or_insert(x);
+            if p == x {
+                return x;
+            }
+            let gp = *parent.entry(p).or_insert(p);
+            parent.insert(x, gp); // path halving
+            x = gp;
+        }
+    }
+    for s in g.entities() {
+        for &(_, o) in g.out(s) {
+            let a = find(&mut parent, NodeId::entity(s));
+            let b = find(&mut parent, o.node());
+            if a == b {
+                return false;
+            }
+            parent.insert(a, b);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// A path a -> b -> c -> d$ plus an attribute on b.
+    fn path_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let ea = b.entity("a", "t");
+        let eb = b.entity("b", "t");
+        let ec = b.entity("c", "t");
+        let ed = b.entity("d", "t");
+        b.link(ea, "p", eb);
+        b.link(eb, "p", ec);
+        b.link(ec, "p", ed);
+        b.attr(eb, "q", "val");
+        b.freeze()
+    }
+
+    #[test]
+    fn zero_hop_is_self() {
+        let g = path_graph();
+        let a = g.entity_named("a").unwrap();
+        let n = d_neighborhood(&g, a, 0);
+        assert_eq!(n.len(), 1);
+        assert!(n.contains(NodeId::entity(a)));
+    }
+
+    #[test]
+    fn one_hop_from_middle_is_undirected() {
+        let g = path_graph();
+        let b = g.entity_named("b").unwrap();
+        let n = d_neighborhood(&g, b, 1);
+        // b itself, a (incoming), c (outgoing), value "val".
+        assert_eq!(n.len(), 4);
+        assert!(n.contains(NodeId::entity(g.entity_named("a").unwrap())));
+        assert!(n.contains(NodeId::entity(g.entity_named("c").unwrap())));
+        assert!(n.contains(NodeId::value(g.value("val").unwrap())));
+    }
+
+    #[test]
+    fn radius_grows_monotonically() {
+        let g = path_graph();
+        let a = g.entity_named("a").unwrap();
+        let sizes: Vec<usize> =
+            (0..=4).map(|d| d_neighborhood(&g, a, d).len()).collect();
+        assert_eq!(sizes, vec![1, 2, 4, 5, 5]);
+        for w in sizes.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn whole_graph_reached_at_diameter() {
+        let g = path_graph();
+        let a = g.entity_named("a").unwrap();
+        let n = d_neighborhood(&g, a, 10);
+        assert_eq!(n.len(), g.num_nodes());
+    }
+
+    #[test]
+    fn induced_triples_counts_only_internal_edges() {
+        let g = path_graph();
+        let b = g.entity_named("b").unwrap();
+        let n = d_neighborhood(&g, b, 1);
+        // Edges fully inside {a,b,c,val}: a->b, b->c, b->val ; c->d is cut.
+        assert_eq!(n.induced_triples(&g), 3);
+        let all = d_neighborhood(&g, b, 10);
+        assert_eq!(all.induced_triples(&g), g.num_triples());
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let g = path_graph();
+        let a = g.entity_named("a").unwrap();
+        let d = g.entity_named("d").unwrap();
+        let na = d_neighborhood(&g, a, 1);
+        let nd = d_neighborhood(&g, d, 1);
+        let u = na.union(&nd);
+        assert_eq!(u.len(), na.len() + nd.len()); // disjoint: {a,b} vs {c,d}
+        let i = na.intersect(&nd);
+        assert!(i.is_empty());
+        let nb = d_neighborhood(&g, g.entity_named("b").unwrap(), 1);
+        assert!(!na.intersect(&nb).is_empty());
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let g = path_graph();
+        let ents: Vec<EntityId> = g.entities().collect();
+        let batch = d_neighborhoods(&g, &ents, |_| 2);
+        for (i, &e) in ents.iter().enumerate() {
+            assert_eq!(batch[i], d_neighborhood(&g, e, 2));
+        }
+    }
+
+    #[test]
+    fn forest_detection() {
+        // A path is a forest.
+        assert!(is_forest(&path_graph()));
+        // A diamond (two subjects sharing a value node) is not.
+        let mut b = GraphBuilder::new();
+        let x = b.entity("x", "t");
+        let y = b.entity("y", "t");
+        b.attr(x, "p", "shared");
+        b.attr(y, "p", "shared");
+        b.link(x, "q", y);
+        assert!(!is_forest(&b.freeze()));
+        // An empty graph is a forest.
+        assert!(is_forest(&GraphBuilder::new().freeze()));
+        // A directed 2-cycle is an undirected cycle (parallel edges).
+        let mut b2 = GraphBuilder::new();
+        let a = b2.entity("a", "t");
+        let c = b2.entity("c", "t");
+        b2.link(a, "p", c);
+        b2.link(c, "p", a);
+        assert!(!is_forest(&b2.freeze()));
+    }
+
+    #[test]
+    fn filter_keeps_subset() {
+        let g = path_graph();
+        let b = g.entity_named("b").unwrap();
+        let n = d_neighborhood(&g, b, 1);
+        let only_entities = n.filter(|x| x.is_entity());
+        assert_eq!(only_entities.len(), 3);
+        assert!(only_entities.iter().all(|x| x.is_entity()));
+    }
+}

@@ -1,0 +1,300 @@
+//! A small text format for graphs, used by examples and test fixtures.
+//!
+//! One triple per line:
+//!
+//! ```text
+//! # Fragment of the paper's Fig. 2, G1.
+//! alb1:album   name_of       "Anthology 2"
+//! alb1:album   recorded_by   art1:artist
+//! ```
+//!
+//! * entity tokens are `name:Type`;
+//! * value tokens are double-quoted strings (`\"`, `\\`, `\n`, `\t` escapes);
+//! * `#` starts a comment; blank lines are ignored.
+
+use crate::graph::{Graph, GraphBuilder};
+use std::fmt::Write as _;
+
+/// An error produced while parsing the triple text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a graph from the triple text format.
+///
+/// # Example
+/// ```
+/// let g = gk_graph::parse_graph(r#"
+///     alb1:album  name_of      "Anthology 2"
+///     alb1:album  recorded_by  art1:artist
+/// "#).unwrap();
+/// assert_eq!(g.num_triples(), 2);
+/// ```
+pub fn parse_graph(text: &str) -> Result<Graph, ParseError> {
+    let mut b = GraphBuilder::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks = tokenize(line, line_no)?;
+        if toks.len() != 3 {
+            return Err(ParseError {
+                line: line_no,
+                msg: format!("expected 3 tokens (subject predicate object), got {}", toks.len()),
+            });
+        }
+        let s = match &toks[0] {
+            Tok::Entity(name, ty) => b.entity(name, ty),
+            Tok::Value(_) => {
+                return Err(ParseError {
+                    line: line_no,
+                    msg: "subject must be an entity (name:Type), not a value".into(),
+                })
+            }
+        };
+        let p = match &toks[1] {
+            Tok::Entity(name, ty) if ty.is_empty() => name.clone(),
+            Tok::Entity(..) => {
+                return Err(ParseError {
+                    line: line_no,
+                    msg: "predicate must be a bare identifier".into(),
+                })
+            }
+            Tok::Value(_) => {
+                return Err(ParseError { line: line_no, msg: "predicate cannot be a value".into() })
+            }
+        };
+        match &toks[2] {
+            Tok::Entity(name, ty) if !ty.is_empty() => {
+                let o = b.entity(name, ty);
+                b.link(s, &p, o);
+            }
+            Tok::Entity(name, _) => {
+                return Err(ParseError {
+                    line: line_no,
+                    msg: format!("object entity {name:?} is missing its :Type annotation"),
+                })
+            }
+            Tok::Value(v) => b.attr(s, &p, v),
+        }
+    }
+    Ok(b.freeze())
+}
+
+/// Serializes a graph back to the triple text format (stable order).
+pub fn write_graph(g: &Graph) -> String {
+    let mut out = String::new();
+    for t in g.triples() {
+        let sl = g.entity_label(t.s);
+        let st = g.type_str(g.entity_type(t.s));
+        let p = g.pred_str(t.p);
+        match t.o {
+            crate::ids::Obj::Entity(o) => {
+                let ol = g.entity_label(o);
+                let ot = g.type_str(g.entity_type(o));
+                let _ = writeln!(out, "{sl}:{st}\t{p}\t{ol}:{ot}");
+            }
+            crate::ids::Obj::Value(v) => {
+                let _ = writeln!(out, "{sl}:{st}\t{p}\t{}", quote(g.value_str(v)));
+            }
+        }
+    }
+    out
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A '#' inside a quoted value does not start a comment.
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    /// `name:Type` or a bare identifier (empty type).
+    Entity(String, String),
+    /// A quoted value.
+    Value(String),
+}
+
+fn tokenize(line: &str, line_no: usize) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            continue;
+        }
+        if c == '"' {
+            chars.next();
+            let mut v = String::new();
+            let mut closed = false;
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' => {
+                        closed = true;
+                        break;
+                    }
+                    '\\' => match chars.next() {
+                        Some('"') => v.push('"'),
+                        Some('\\') => v.push('\\'),
+                        Some('n') => v.push('\n'),
+                        Some('t') => v.push('\t'),
+                        other => {
+                            return Err(ParseError {
+                                line: line_no,
+                                msg: format!("bad escape sequence \\{other:?}"),
+                            })
+                        }
+                    },
+                    _ => v.push(c),
+                }
+            }
+            if !closed {
+                return Err(ParseError { line: line_no, msg: "unterminated string".into() });
+            }
+            toks.push(Tok::Value(v));
+        } else {
+            let mut word = String::new();
+            while let Some(&c) = chars.peek() {
+                if c.is_whitespace() {
+                    break;
+                }
+                word.push(c);
+                chars.next();
+            }
+            match word.split_once(':') {
+                Some((name, ty)) => {
+                    if name.is_empty() || ty.is_empty() {
+                        return Err(ParseError {
+                            line: line_no,
+                            msg: format!("malformed entity token {word:?}"),
+                        });
+                    }
+                    toks.push(Tok::Entity(name.to_owned(), ty.to_owned()));
+                }
+                None => toks.push(Tok::Entity(word, String::new())),
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig2_g1_fragment() {
+        let g = parse_graph(
+            r#"
+            # G1 of Fig. 2
+            alb1:album  name_of       "Anthology 2"
+            alb1:album  release_year  "1996"
+            alb1:album  recorded_by   art1:artist
+            art1:artist name_of       "The Beatles"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(g.num_entities(), 2);
+        assert_eq!(g.num_triples(), 4);
+        assert!(g.entity_named("alb1").is_some());
+        assert_eq!(g.value("Anthology 2").is_some(), true);
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let src = r#"
+            a:t p b:t
+            a:t q "hello \"world\"\n"
+        "#;
+        let g = parse_graph(src).unwrap();
+        let text = write_graph(&g);
+        let g2 = parse_graph(&text).unwrap();
+        assert_eq!(g2.num_triples(), g.num_triples());
+        assert_eq!(g2.num_entities(), g.num_entities());
+        assert!(g2.value("hello \"world\"\n").is_some());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let g = parse_graph("# just a comment\n\n  \n a:t p b:t # trailing\n").unwrap();
+        assert_eq!(g.num_triples(), 1);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let g = parse_graph(r##"a:t p "issue #42""##).unwrap();
+        assert!(g.value("issue #42").is_some());
+    }
+
+    #[test]
+    fn error_on_value_subject() {
+        let err = parse_graph(r#""v" p b:t"#).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.msg.contains("subject"));
+    }
+
+    #[test]
+    fn error_on_wrong_arity() {
+        let err = parse_graph("a:t p").unwrap_err();
+        assert!(err.msg.contains("3 tokens"));
+    }
+
+    #[test]
+    fn error_on_untyped_object_entity() {
+        let err = parse_graph("a:t p b").unwrap_err();
+        assert!(err.msg.contains("missing its :Type"));
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        let err = parse_graph(r#"a:t p "oops"#).unwrap_err();
+        assert!(err.msg.contains("unterminated"));
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let err = parse_graph("a:t p b:t\nbroken").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().starts_with("line 2:"));
+    }
+}

@@ -1,0 +1,624 @@
+//! The guided paired matcher — procedure `EvalMR` of the paper (§4.1).
+//!
+//! Given a key `Q(x)` and a candidate pair `(e1, e2)`, the naive approach
+//! enumerates **all** isomorphic matches of `Q(x)` at `e1` and at `e2` and
+//! then looks for a coinciding pair — two exponential enumerations. `EvalMR`
+//! instead fuses both searches into one: it instantiates each pattern slot
+//! `s_Q` with a *pair* `m[s_Q] = (s1, s2)` under three feasibility
+//! conditions (injectivity, equality, guided expansion) and **terminates
+//! early** as soon as one full instantiation is found (Lemma 8:
+//! `(G, {Q(x)}) |= (e1, e2)` iff `m` can be fully instantiated).
+
+use crate::pairpattern::{EqOracle, PairPattern, SlotKind, Step};
+use gk_graph::{EntityId, Graph, NodeId, NodeSet, Obj, PredId};
+
+/// Restricts a matching problem to node scopes (the d-neighborhoods of the
+/// paper's data-locality property, §4.1) .
+///
+/// `scope1` restricts side-1 bindings (`ν1` must stay inside `G^d_1`) and
+/// `scope2` side-2 bindings. `None` means the whole graph.
+#[derive(Default, Clone, Copy)]
+pub struct MatchScope<'a> {
+    /// Side-1 node scope (`G^d_1`).
+    pub scope1: Option<&'a NodeSet>,
+    /// Side-2 node scope (`G^d_2`).
+    pub scope2: Option<&'a NodeSet>,
+}
+
+impl<'a> MatchScope<'a> {
+    /// Unrestricted scope: match against the whole graph.
+    pub fn whole_graph() -> Self {
+        Self::default()
+    }
+
+    /// Restrict both sides.
+    pub fn new(scope1: &'a NodeSet, scope2: &'a NodeSet) -> Self {
+        MatchScope { scope1: Some(scope1), scope2: Some(scope2) }
+    }
+
+    #[inline]
+    fn admits(&self, n1: NodeId, n2: NodeId) -> bool {
+        self.scope1.is_none_or(|s| s.contains(n1))
+            && self.scope2.is_none_or(|s| s.contains(n2))
+    }
+}
+
+/// Checks `(G, {Q(x)}, Eq) |= (e1, e2)`: does some pair of coinciding
+/// matches of `Q(x)` exist at `e1` and `e2` under the current `Eq`?
+///
+/// Early-terminating: stops at the first full instantiation.
+pub fn eval_pair<E: EqOracle + ?Sized>(
+    g: &Graph,
+    q: &PairPattern,
+    e1: EntityId,
+    e2: EntityId,
+    eq: &E,
+    scope: MatchScope<'_>,
+) -> bool {
+    eval_pair_witness(g, q, e1, e2, eq, scope).is_some()
+}
+
+/// Like [`eval_pair`] but returns the witness instantiation vector
+/// `m[s_Q] = (s1, s2)` (indexed by slot), used to build proof graphs.
+pub fn eval_pair_witness<E: EqOracle + ?Sized>(
+    g: &Graph,
+    q: &PairPattern,
+    e1: EntityId,
+    e2: EntityId,
+    eq: &E,
+    scope: MatchScope<'_>,
+) -> Option<Vec<(NodeId, NodeId)>> {
+    let ty = q.anchor_type();
+    if g.entity_type(e1) != ty || g.entity_type(e2) != ty {
+        return None;
+    }
+    let n1 = NodeId::entity(e1);
+    let n2 = NodeId::entity(e2);
+    if !scope.admits(n1, n2) {
+        return None;
+    }
+    let mut s = Searcher {
+        g,
+        q,
+        eq,
+        scope,
+        m: vec![None; q.slots().len()],
+    };
+    s.m[q.anchor() as usize] = Some((n1, n2));
+    if s.search(0) {
+        Some(s.m.into_iter().map(|b| b.expect("full instantiation")).collect())
+    } else {
+        None
+    }
+}
+
+struct Searcher<'a, E: ?Sized> {
+    g: &'a Graph,
+    q: &'a PairPattern,
+    eq: &'a E,
+    scope: MatchScope<'a>,
+    /// The instantiation vector `m`: `None` is the paper's `⊥`.
+    m: Vec<Option<(NodeId, NodeId)>>,
+}
+
+impl<E: EqOracle + ?Sized> Searcher<'_, E> {
+    fn search(&mut self, step_idx: usize) -> bool {
+        let Some(&step) = self.q.plan().get(step_idx) else {
+            return true; // all steps done: m fully instantiated and verified
+        };
+        match step {
+            Step::CheckEdge { t } => {
+                let tri = self.q.triples()[t as usize];
+                let (s1, s2) = self.m[tri.s as usize].expect("planned bound");
+                let (o1, o2) = self.m[tri.o as usize].expect("planned bound");
+                let se1 = s1.as_entity().expect("subject is entity");
+                let se2 = s2.as_entity().expect("subject is entity");
+                if self.g.has(se1, tri.p, o1.to_obj()) && self.g.has(se2, tri.p, o2.to_obj()) {
+                    self.search(step_idx + 1)
+                } else {
+                    false
+                }
+            }
+            Step::ExpandForward { t } => {
+                let tri = self.q.triples()[t as usize];
+                let (s1, s2) = self.m[tri.s as usize].expect("planned bound");
+                let se1 = s1.as_entity().expect("subject is entity");
+                let se2 = s2.as_entity().expect("subject is entity");
+                self.expand_forward(step_idx, tri.o, tri.p, se1, se2)
+            }
+            Step::ExpandBackward { t } => {
+                let tri = self.q.triples()[t as usize];
+                let (o1, o2) = self.m[tri.o as usize].expect("planned bound");
+                self.expand_backward(step_idx, tri.s, tri.p, o1, o2)
+            }
+        }
+    }
+
+    /// Feasibility conditions of `EvalMR` (§4.1): injectivity, equality
+    /// (per slot kind) and scope membership. Guided expansion is implicit:
+    /// candidates are drawn from adjacency lists of already-bound slots.
+    fn feasible(&self, slot: u16, n1: NodeId, n2: NodeId) -> bool {
+        if !self.scope.admits(n1, n2) {
+            return false;
+        }
+        // Injectivity: ν1 and ν2 are each injective over the pattern, so a
+        // node may not repeat on its side. Patterns are small; a linear scan
+        // beats a hash set here.
+        for b in self.m.iter().flatten() {
+            if b.0 == n1 || b.1 == n2 {
+                return false;
+            }
+        }
+        match self.q.slots()[slot as usize] {
+            SlotKind::Anchor(_) => false, // pre-bound, never expanded into
+            SlotKind::EqEntity(ty) => match (n1.as_entity(), n2.as_entity()) {
+                (Some(a), Some(b)) => {
+                    self.g.entity_type(a) == ty
+                        && self.g.entity_type(b) == ty
+                        && self.eq.same(a, b)
+                }
+                _ => false,
+            },
+            SlotKind::Wildcard(ty) => match (n1.as_entity(), n2.as_entity()) {
+                (Some(a), Some(b)) => {
+                    self.g.entity_type(a) == ty && self.g.entity_type(b) == ty
+                }
+                _ => false,
+            },
+            SlotKind::ValueVar => n1.is_value() && n1 == n2,
+            SlotKind::Const(d) => {
+                n1 == NodeId::value(d) && n2 == NodeId::value(d)
+            }
+        }
+    }
+
+    fn try_bind(&mut self, step_idx: usize, slot: u16, n1: NodeId, n2: NodeId) -> bool {
+        if !self.feasible(slot, n1, n2) {
+            return false;
+        }
+        self.m[slot as usize] = Some((n1, n2));
+        if self.search(step_idx + 1) {
+            return true;
+        }
+        self.m[slot as usize] = None; // backtrack
+        false
+    }
+
+    fn expand_forward(
+        &mut self,
+        step_idx: usize,
+        slot: u16,
+        p: PredId,
+        s1: EntityId,
+        s2: EntityId,
+    ) -> bool {
+        match self.q.slots()[slot as usize] {
+            SlotKind::Const(d) => {
+                // Single candidate: both sides must carry (p, d).
+                let o = Obj::Value(d);
+                self.g.has(s1, p, o)
+                    && self.g.has(s2, p, o)
+                    && self.try_bind(step_idx, slot, o.node(), o.node())
+            }
+            SlotKind::ValueVar => {
+                // Both adjacency slices are sorted by object, so the common
+                // values are a sorted-merge intersection.
+                let a = self.g.out_with(s1, p);
+                let b = self.g.out_with(s2, p);
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].1.cmp(&b[j].1) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            if let Obj::Value(_) = a[i].1 {
+                                let n = a[i].1.node();
+                                if self.try_bind(step_idx, slot, n, n) {
+                                    return true;
+                                }
+                            }
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                false
+            }
+            _ => {
+                // Entity-kind slot: pair every p-successor entity of s1 with
+                // every p-successor entity of s2 (feasibility prunes).
+                let a = self.g.out_with(s1, p);
+                let b = self.g.out_with(s2, p);
+                for &(_, oa) in a {
+                    let Obj::Entity(_) = oa else { continue };
+                    for &(_, ob) in b {
+                        let Obj::Entity(_) = ob else { continue };
+                        if self.try_bind(step_idx, slot, oa.node(), ob.node()) {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    fn expand_backward(
+        &mut self,
+        step_idx: usize,
+        slot: u16,
+        p: PredId,
+        o1: NodeId,
+        o2: NodeId,
+    ) -> bool {
+        // Subjects are always entities.
+        let a = self.g.in_with(o1, p);
+        let b = self.g.in_with(o2, p);
+        for &(_, sa) in a {
+            for &(_, sb) in b {
+                if self.try_bind(step_idx, slot, NodeId::entity(sa), NodeId::entity(sb)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairpattern::{IdentityEq, PTriple};
+    use gk_graph::{parse_graph, GraphBuilder};
+
+    fn pt(s: u16, p: PredId, o: u16) -> PTriple {
+        PTriple { s, p, o }
+    }
+
+    /// The paper's G1 (Fig. 2): two "Anthology 2" albums by The Beatles /
+    /// John Farnham plus a third by another artist.
+    fn g1() -> Graph {
+        parse_graph(
+            r#"
+            alb1:album  name_of       "Anthology 2"
+            alb1:album  release_year  "1996"
+            alb1:album  recorded_by   art1:artist
+            art1:artist name_of       "The Beatles"
+            alb2:album  name_of       "Anthology 2"
+            alb2:album  release_year  "1996"
+            alb2:album  recorded_by   art2:artist
+            art2:artist name_of       "The Beatles"
+            alb3:album  name_of       "Anthology 2"
+            alb3:album  recorded_by   art3:artist
+            art3:artist name_of       "John Farnham"
+            "#,
+        )
+        .unwrap()
+    }
+
+    /// Q2(x): album identified by name and release year (value-based).
+    fn q2(g: &Graph) -> PairPattern {
+        PairPattern::new(
+            vec![
+                SlotKind::Anchor(g.etype("album").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::ValueVar,
+            ],
+            vec![
+                pt(0, g.pred("name_of").unwrap(), 1),
+                pt(0, g.pred("release_year").unwrap(), 2),
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    /// Q3(x): artist identified by name and a recorded album (recursive).
+    fn q3(g: &Graph) -> PairPattern {
+        PairPattern::new(
+            vec![
+                SlotKind::Anchor(g.etype("artist").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::EqEntity(g.etype("album").unwrap()),
+            ],
+            vec![
+                pt(0, g.pred("name_of").unwrap(), 1),
+                pt(2, g.pred("recorded_by").unwrap(), 0),
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    fn e(g: &Graph, n: &str) -> EntityId {
+        g.entity_named(n).unwrap()
+    }
+
+    #[test]
+    fn value_based_key_identifies_albums() {
+        let g = g1();
+        let q = q2(&g);
+        assert!(eval_pair(&g, &q, e(&g, "alb1"), e(&g, "alb2"), &IdentityEq, MatchScope::whole_graph()));
+        // alb3 has no release year: cannot match Q2 at all.
+        assert!(!eval_pair(&g, &q, e(&g, "alb1"), e(&g, "alb3"), &IdentityEq, MatchScope::whole_graph()));
+    }
+
+    #[test]
+    fn recursive_key_waits_for_eq() {
+        let g = g1();
+        let q = q3(&g);
+        // Initially alb1 and alb2 are distinct, so Q3 cannot fire.
+        assert!(!eval_pair(&g, &q, e(&g, "art1"), e(&g, "art2"), &IdentityEq, MatchScope::whole_graph()));
+
+        // Once the albums are identified, Q3 identifies the artists
+        // (Example 7 / Example 9 of the paper).
+        struct AlbEq(EntityId, EntityId);
+        impl EqOracle for AlbEq {
+            fn same(&self, a: EntityId, b: EntityId) -> bool {
+                a == b || (a, b) == (self.0, self.1) || (b, a) == (self.0, self.1)
+            }
+        }
+        let oracle = AlbEq(e(&g, "alb1"), e(&g, "alb2"));
+        assert!(eval_pair(&g, &q, e(&g, "art1"), e(&g, "art2"), &oracle, MatchScope::whole_graph()));
+        // art3 has a different name: never identified.
+        assert!(!eval_pair(&g, &q, e(&g, "art1"), e(&g, "art3"), &oracle, MatchScope::whole_graph()));
+    }
+
+    #[test]
+    fn witness_is_fully_instantiated_and_consistent() {
+        let g = g1();
+        let q = q2(&g);
+        let w = eval_pair_witness(&g, &q, e(&g, "alb1"), e(&g, "alb2"), &IdentityEq, MatchScope::whole_graph())
+            .unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], (NodeId::entity(e(&g, "alb1")), NodeId::entity(e(&g, "alb2"))));
+        // Value slots carry the same node on both sides.
+        assert_eq!(w[1].0, w[1].1);
+        assert_eq!(w[2].0, w[2].1);
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let g = g1();
+        let q = q2(&g);
+        assert!(!eval_pair(&g, &q, e(&g, "alb1"), e(&g, "art1"), &IdentityEq, MatchScope::whole_graph()));
+    }
+
+    #[test]
+    fn scope_restricts_matching() {
+        let g = g1();
+        let q = q2(&g);
+        let a1 = e(&g, "alb1");
+        let a2 = e(&g, "alb2");
+        let full1 = gk_graph::d_neighborhood(&g, a1, 1);
+        let full2 = gk_graph::d_neighborhood(&g, a2, 1);
+        assert!(eval_pair(&g, &q, a1, a2, &IdentityEq, MatchScope::new(&full1, &full2)));
+        // Radius-0 scopes exclude the value nodes: no match possible.
+        let tiny1 = gk_graph::d_neighborhood(&g, a1, 0);
+        let tiny2 = gk_graph::d_neighborhood(&g, a2, 0);
+        assert!(!eval_pair(&g, &q, a1, a2, &IdentityEq, MatchScope::new(&tiny1, &tiny2)));
+    }
+
+    #[test]
+    fn constant_condition_must_hold_on_both_sides() {
+        // Q6-like: street identified by zip code, only in the UK.
+        let mut b = GraphBuilder::new();
+        let s1 = b.entity("s1", "street");
+        let s2 = b.entity("s2", "street");
+        let s3 = b.entity("s3", "street");
+        for s in [s1, s2] {
+            b.attr(s, "zip", "EH8 9AB");
+            b.attr(s, "nation", "UK");
+        }
+        b.attr(s3, "zip", "EH8 9AB");
+        b.attr(s3, "nation", "US");
+        let g = b.freeze();
+        let q = PairPattern::new(
+            vec![
+                SlotKind::Anchor(g.etype("street").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::Const(g.value("UK").unwrap()),
+            ],
+            vec![pt(0, g.pred("zip").unwrap(), 1), pt(0, g.pred("nation").unwrap(), 2)],
+            0,
+        )
+        .unwrap();
+        assert!(eval_pair(&g, &q, s1, s2, &IdentityEq, MatchScope::whole_graph()));
+        assert!(!eval_pair(&g, &q, s1, s3, &IdentityEq, MatchScope::whole_graph()));
+    }
+
+    #[test]
+    fn injectivity_blocks_reusing_nodes() {
+        // Pattern: x -p-> w1:t, x -p-> w2:t demands two *distinct*
+        // wildcard entities on each side.
+        let mut b = GraphBuilder::new();
+        let x1 = b.entity("x1", "s");
+        let x2 = b.entity("x2", "s");
+        let y = b.entity("y", "t");
+        let z = b.entity("z", "t");
+        b.link(x1, "p", y);
+        b.link(x1, "p", z);
+        b.link(x2, "p", y); // x2 has only ONE p-neighbor
+        let g = b.freeze();
+        let q = PairPattern::new(
+            vec![
+                SlotKind::Anchor(g.etype("s").unwrap()),
+                SlotKind::Wildcard(g.etype("t").unwrap()),
+                SlotKind::Wildcard(g.etype("t").unwrap()),
+            ],
+            vec![pt(0, g.pred("p").unwrap(), 1), pt(0, g.pred("p").unwrap(), 2)],
+            0,
+        )
+        .unwrap();
+        assert!(!eval_pair(&g, &q, x1, x2, &IdentityEq, MatchScope::whole_graph()));
+    }
+
+    #[test]
+    fn backward_expansion_through_incoming_edges() {
+        // Q4-ish: x identified by an incoming parent_of edge from an
+        // EqEntity (here satisfied by the *same* parent on both sides).
+        let mut b = GraphBuilder::new();
+        let p = b.entity("p", "company");
+        let c1 = b.entity("c1", "company");
+        let c2 = b.entity("c2", "company");
+        b.link(p, "parent_of", c1);
+        b.link(p, "parent_of", c2);
+        b.attr(c1, "name", "AT&T");
+        b.attr(c2, "name", "AT&T");
+        let g = b.freeze();
+        let q = PairPattern::new(
+            vec![
+                SlotKind::Anchor(g.etype("company").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::EqEntity(g.etype("company").unwrap()),
+            ],
+            vec![
+                pt(0, g.pred("name").unwrap(), 1),
+                pt(2, g.pred("parent_of").unwrap(), 0),
+            ],
+            0,
+        )
+        .unwrap();
+        // Same parent p on both sides satisfies the EqEntity slot under Eq0.
+        assert!(eval_pair(&g, &q, c1, c2, &IdentityEq, MatchScope::whole_graph()));
+    }
+
+    #[test]
+    fn backward_expansion_through_value_nodes() {
+        // Pattern: x -q-> n* ; ~w:t -p-> n* — after binding the value via
+        // x, the matcher must walk *backward* from the value node to find
+        // the wildcard subject.
+        let mut b = GraphBuilder::new();
+        let x1 = b.entity("x1", "s");
+        let x2 = b.entity("x2", "s");
+        let w1 = b.entity("w1", "t");
+        let w2 = b.entity("w2", "t");
+        b.attr(x1, "q", "shared1");
+        b.attr(w1, "p", "shared1");
+        b.attr(x2, "q", "shared2");
+        b.attr(w2, "p", "shared2");
+        // x3 has a q-value nothing p-points at: no match.
+        let x3 = b.entity("x3", "s");
+        b.attr(x3, "q", "lonely");
+        let g = b.freeze();
+        let q = PairPattern::new(
+            vec![
+                SlotKind::Anchor(g.etype("s").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::Wildcard(g.etype("t").unwrap()),
+            ],
+            vec![pt(0, g.pred("q").unwrap(), 1), pt(2, g.pred("p").unwrap(), 1)],
+            0,
+        )
+        .unwrap();
+        // x1/x2: values differ ("shared1" vs "shared2") so no match —
+        // ValueVar demands the SAME value on both sides.
+        assert!(!eval_pair(&g, &q, x1, x2, &IdentityEq, MatchScope::whole_graph()));
+        // Two entities sharing the q-value DO match through the backward
+        // step. Add them:
+        let mut b2 = GraphBuilder::new();
+        let y1 = b2.entity("y1", "s");
+        let y2 = b2.entity("y2", "s");
+        let v1 = b2.entity("v1", "t");
+        b2.attr(y1, "q", "same");
+        b2.attr(y2, "q", "same");
+        b2.attr(v1, "p", "same");
+        let g2 = b2.freeze();
+        let q2 = PairPattern::new(
+            vec![
+                SlotKind::Anchor(g2.etype("s").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::Wildcard(g2.etype("t").unwrap()),
+            ],
+            vec![pt(0, g2.pred("q").unwrap(), 1), pt(2, g2.pred("p").unwrap(), 1)],
+            0,
+        )
+        .unwrap();
+        // The wildcard maps to (v1, v1)?? No: injectivity applies per side,
+        // and v1 can be used on both sides (different sides never clash).
+        assert!(eval_pair(&g2, &q2, y1, y2, &IdentityEq, MatchScope::whole_graph()));
+    }
+
+    #[test]
+    fn eq_classes_larger_than_two() {
+        // The oracle may hold multi-entity classes; any class member pair
+        // satisfies an EqEntity slot.
+        struct ClassEq(Vec<EntityId>);
+        impl EqOracle for ClassEq {
+            fn same(&self, a: EntityId, b: EntityId) -> bool {
+                a == b || (self.0.contains(&a) && self.0.contains(&b))
+            }
+        }
+        let mut b = GraphBuilder::new();
+        let s1 = b.entity("s1", "s");
+        let s2 = b.entity("s2", "s");
+        let t1 = b.entity("t1", "t");
+        let t2 = b.entity("t2", "t");
+        let t3 = b.entity("t3", "t");
+        b.attr(s1, "n", "same");
+        b.attr(s2, "n", "same");
+        b.link(s1, "p", t1);
+        b.link(s2, "p", t3);
+        let g = b.freeze();
+        let q = PairPattern::new(
+            vec![
+                SlotKind::Anchor(g.etype("s").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::EqEntity(g.etype("t").unwrap()),
+            ],
+            vec![pt(0, g.pred("n").unwrap(), 1), pt(0, g.pred("p").unwrap(), 2)],
+            0,
+        )
+        .unwrap();
+        // t1 and t3 identified only transitively through t2's class.
+        let oracle = ClassEq(vec![t1, t2, t3]);
+        assert!(eval_pair(&g, &q, s1, s2, &oracle, MatchScope::whole_graph()));
+        let partial = ClassEq(vec![t1, t2]);
+        assert!(!eval_pair(&g, &q, s1, s2, &partial, MatchScope::whole_graph()));
+    }
+
+    #[test]
+    fn wildcard_allows_distinct_entities() {
+        // Same as above but with two distinct parents and a Wildcard slot.
+        let mut b = GraphBuilder::new();
+        let pa = b.entity("pa", "company");
+        let pb = b.entity("pb", "company");
+        let c1 = b.entity("c1", "company");
+        let c2 = b.entity("c2", "company");
+        b.link(pa, "parent_of", c1);
+        b.link(pb, "parent_of", c2);
+        b.attr(c1, "name", "AT&T");
+        b.attr(c2, "name", "AT&T");
+        let g = b.freeze();
+        let wild = PairPattern::new(
+            vec![
+                SlotKind::Anchor(g.etype("company").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::Wildcard(g.etype("company").unwrap()),
+            ],
+            vec![
+                pt(0, g.pred("name").unwrap(), 1),
+                pt(2, g.pred("parent_of").unwrap(), 0),
+            ],
+            0,
+        )
+        .unwrap();
+        assert!(eval_pair(&g, &wild, c1, c2, &IdentityEq, MatchScope::whole_graph()));
+
+        let strict = PairPattern::new(
+            vec![
+                SlotKind::Anchor(g.etype("company").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::EqEntity(g.etype("company").unwrap()),
+            ],
+            vec![
+                pt(0, g.pred("name").unwrap(), 1),
+                pt(2, g.pred("parent_of").unwrap(), 0),
+            ],
+            0,
+        )
+        .unwrap();
+        // EqEntity demands the parents be identified — they are not.
+        assert!(!eval_pair(&g, &strict, c1, c2, &IdentityEq, MatchScope::whole_graph()));
+    }
+}

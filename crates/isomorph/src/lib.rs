@@ -1,0 +1,30 @@
+//! # gk-isomorph — subgraph-isomorphism engines for graph keys
+//!
+//! Keys for graphs are interpreted by *graph pattern matching via subgraph
+//! isomorphism* (Fan et al., PVLDB 2015, §2). Checking a key at a candidate
+//! pair `(e1, e2)` asks for two matches `S1` at `e1` and `S2` at `e2` that
+//! *coincide* — agree on value variables, have `Eq`-identified entity
+//! variables, and anything of the right type for wildcards.
+//!
+//! This crate provides three engines over a compiled [`PairPattern`]:
+//!
+//! * [`eval_pair`] — the paper's fused, early-terminating
+//!   procedure `EvalMR` (§4.1): one backtracking search over *pairs* of
+//!   nodes, guided by a precomputed expansion plan;
+//! * [`eval_pair_enumerate`] — the enumerate-all `EM^VF2_MR` baseline (§6):
+//!   list all matches per side, then cross-check coincidence;
+//! * [`pairing_seeded`] — the polynomial *pairing relation* of Prop. 9
+//!   (§4.2), a sound pre-filter that also powers the product graph and
+//!   dependency edges of the vertex-centric algorithm.
+
+#![warn(missing_docs)]
+
+mod enumerate;
+mod guided;
+mod pairing;
+mod pairpattern;
+
+pub use enumerate::{coincide, enumerate_matches, eval_pair_enumerate, Valuation};
+pub use guided::{eval_pair, eval_pair_witness, MatchScope};
+pub use pairing::{pairing_at, pairing_seeded, Pairing};
+pub use pairpattern::{EqOracle, IdentityEq, PTriple, PairPattern, PatternError, SlotKind, Step};

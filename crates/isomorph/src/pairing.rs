@@ -1,0 +1,436 @@
+//! Pairing relations — the candidate filter of §4.2 (Proposition 9).
+//!
+//! A pair `(e1, e2)` *can be paired* by a key `Q(x)` if there is a ternary
+//! relation `P^Q` over (side-1 node, side-2 node, pattern slot) that is
+//! locally consistent: every triple of the pattern incident to a slot must
+//! be supported on both sides by edges leading to other members of the
+//! relation. Pairing is **necessary** for identification (actual coinciding
+//! matches are contained in the maximum pairing relation), and the maximum
+//! pairing relation is unique and computable in `O(|Q|·|G^d_1|·|G^d_2|)`
+//! time — so it is a cheap, sound pre-filter for the expensive isomorphism
+//! checks. The paper uses it to (1) shrink the candidate set `L`, (2) shrink
+//! the d-neighborhoods, and (3) derive the dependency edges of the product
+//! graph (§5.1).
+
+use crate::pairpattern::{PairPattern, SlotKind};
+use gk_graph::{EntityId, Graph, NodeId, NodeSet, Obj};
+use rustc_hash::FxHashSet;
+
+/// The maximum pairing relation of one pattern, grouped by slot:
+/// `per_slot[q]` holds the (side-1, side-2) node pairs admissible for
+/// pattern slot `q`.
+#[derive(Debug, Clone, Default)]
+pub struct Pairing {
+    /// Admissible node pairs, indexed by pattern slot.
+    pub per_slot: Vec<FxHashSet<(NodeId, NodeId)>>,
+}
+
+impl Pairing {
+    /// True iff the anchor pair `(e1, e2)` survived pruning — i.e. the pair
+    /// *can be paired* by the pattern (necessary condition for
+    /// identification).
+    pub fn pairable(&self, q: &PairPattern, e1: EntityId, e2: EntityId) -> bool {
+        self.per_slot[q.anchor() as usize]
+            .contains(&(NodeId::entity(e1), NodeId::entity(e2)))
+    }
+
+    /// All side-1 nodes appearing anywhere in the relation (plus side-2 via
+    /// `side == 1`). Used to build the *reduced* d-neighborhoods of §4.2.
+    pub fn side_nodes(&self, side: usize) -> NodeSet {
+        assert!(side == 0 || side == 1);
+        let mut v = Vec::new();
+        for set in &self.per_slot {
+            for &(a, b) in set {
+                v.push(if side == 0 { a } else { b });
+            }
+        }
+        NodeSet::from_nodes(v)
+    }
+
+    /// For every recursive (`EqEntity`) slot, does an *identity* pair
+    /// `(o, o)` exist? If so the key could fire against the initial `Eq0`;
+    /// if not, the pair must wait for some dependency to be identified
+    /// first. Drives the entity-dependency seeding of §4.2.
+    pub fn recursive_identity_possible(&self, q: &PairPattern) -> bool {
+        q.recursive_slots().all(|slot| {
+            self.per_slot[slot as usize].iter().any(|&(a, b)| a == b)
+        })
+    }
+
+    /// Entity pairs `(a, b)` with `a ≠ b` occurring in recursive slots —
+    /// the candidate *dependencies* of the anchor pair: identifying such a
+    /// pair may enable this key. Feeds `dep` edges (§4.2, §5.1).
+    pub fn dependency_pairs(&self, q: &PairPattern) -> Vec<(EntityId, EntityId)> {
+        let mut out = Vec::new();
+        for slot in q.recursive_slots() {
+            for &(a, b) in &self.per_slot[slot as usize] {
+                if a != b {
+                    if let (Some(x), Some(y)) = (a.as_entity(), b.as_entity()) {
+                        // Normalize order so callers can dedup.
+                        out.push(if x <= y { (x, y) } else { (y, x) });
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total number of (slot, pair) facts — diagnostics.
+    pub fn len(&self) -> usize {
+        self.per_slot.iter().map(|s| s.len()).sum()
+    }
+
+    /// True iff the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Computes the maximum pairing relation of `q` seeded with the given
+/// anchor pairs, optionally restricted to per-side scopes.
+///
+/// With a single seed `(e1, e2)` this is the paper's `P^Q` at `(e1, e2)`
+/// (Prop. 9); seeding all candidate pairs of a type at once yields the
+/// global relation used to build the product graph (§5.1).
+pub fn pairing_seeded(
+    g: &Graph,
+    q: &PairPattern,
+    seeds: &[(EntityId, EntityId)],
+    scope1: Option<&NodeSet>,
+    scope2: Option<&NodeSet>,
+) -> Pairing {
+    let nslots = q.slots().len();
+    let mut per_slot: Vec<FxHashSet<(NodeId, NodeId)>> = vec![FxHashSet::default(); nslots];
+
+    let in_scope = |n1: NodeId, n2: NodeId| {
+        scope1.is_none_or(|s| s.contains(n1)) && scope2.is_none_or(|s| s.contains(n2))
+    };
+
+    let ty = q.anchor_type();
+    for &(a, b) in seeds {
+        let (n1, n2) = (NodeId::entity(a), NodeId::entity(b));
+        if g.entity_type(a) == ty && g.entity_type(b) == ty && in_scope(n1, n2) {
+            per_slot[q.anchor() as usize].insert((n1, n2));
+        }
+    }
+
+    // Local admissibility of a (pair, slot) fact — Prop. 9 condition (2a).
+    let admissible = |slot: usize, n1: NodeId, n2: NodeId| -> bool {
+        if !in_scope(n1, n2) {
+            return false;
+        }
+        match q.slots()[slot] {
+            SlotKind::Anchor(_) => false, // only seeds populate the anchor
+            SlotKind::EqEntity(t) | SlotKind::Wildcard(t) => {
+                match (n1.as_entity(), n2.as_entity()) {
+                    (Some(a), Some(b)) => g.entity_type(a) == t && g.entity_type(b) == t,
+                    _ => false,
+                }
+            }
+            SlotKind::ValueVar => n1.is_value() && n1 == n2,
+            SlotKind::Const(d) => n1 == NodeId::value(d) && n2 == n1,
+        }
+    };
+
+    // Grow phase: propagate candidates along pattern triples until fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for tri in q.triples() {
+            // Forward: from subject pairs derive object pairs.
+            let derived: Vec<(NodeId, NodeId)> = per_slot[tri.s as usize]
+                .iter()
+                .flat_map(|&(s1, s2)| {
+                    let se1 = s1.as_entity().expect("entity subject");
+                    let se2 = s2.as_entity().expect("entity subject");
+                    let outs2: Vec<Obj> =
+                        g.out_with(se2, tri.p).iter().map(|&(_, o)| o).collect();
+                    g.out_with(se1, tri.p)
+                        .iter()
+                        .flat_map(move |&(_, o1)| {
+                            outs2.clone().into_iter().map(move |o2| (o1.node(), o2.node()))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .filter(|&(o1, o2)| admissible(tri.o as usize, o1, o2))
+                .collect();
+            for p in derived {
+                changed |= per_slot[tri.o as usize].insert(p);
+            }
+            // Backward: from object pairs derive subject pairs.
+            let derived: Vec<(NodeId, NodeId)> = per_slot[tri.o as usize]
+                .iter()
+                .flat_map(|&(o1, o2)| {
+                    let ins2: Vec<EntityId> =
+                        g.in_with(o2, tri.p).iter().map(|&(_, s)| s).collect();
+                    g.in_with(o1, tri.p)
+                        .iter()
+                        .flat_map(move |&(_, s1)| {
+                            ins2.clone()
+                                .into_iter()
+                                .map(move |s2| (NodeId::entity(s1), NodeId::entity(s2)))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .filter(|&(s1, s2)| admissible(tri.s as usize, s1, s2))
+                .collect();
+            for p in derived {
+                changed |= per_slot[tri.s as usize].insert(p);
+            }
+        }
+    }
+
+    // Prune phase: repeatedly remove facts lacking support on some incident
+    // triple — Prop. 9 condition (2b) — until the relation is stable.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (ti, tri) in q.triples().iter().enumerate() {
+            let _ = ti;
+            // Subject-side support: (s1,s2) needs some (o1,o2) in P[o] with
+            // edges (s1,p,o1) and (s2,p,o2).
+            let objs = per_slot[tri.o as usize].clone();
+            let before = per_slot[tri.s as usize].len();
+            per_slot[tri.s as usize].retain(|&(s1, s2)| {
+                let se1 = s1.as_entity().expect("entity subject");
+                let se2 = s2.as_entity().expect("entity subject");
+                g.out_with(se1, tri.p).iter().any(|&(_, o1)| {
+                    g.out_with(se2, tri.p)
+                        .iter()
+                        .any(|&(_, o2)| objs.contains(&(o1.node(), o2.node())))
+                })
+            });
+            changed |= per_slot[tri.s as usize].len() != before;
+
+            // Object-side support.
+            let subs = per_slot[tri.s as usize].clone();
+            let before = per_slot[tri.o as usize].len();
+            per_slot[tri.o as usize].retain(|&(o1, o2)| {
+                g.in_with(o1, tri.p).iter().any(|&(_, s1)| {
+                    g.in_with(o2, tri.p)
+                        .iter()
+                        .any(|&(_, s2)| subs.contains(&(NodeId::entity(s1), NodeId::entity(s2))))
+                })
+            });
+            changed |= per_slot[tri.o as usize].len() != before;
+        }
+    }
+
+    Pairing { per_slot }
+}
+
+/// Convenience: the pairing relation of `q` at a single candidate pair.
+pub fn pairing_at(
+    g: &Graph,
+    q: &PairPattern,
+    e1: EntityId,
+    e2: EntityId,
+    scope1: Option<&NodeSet>,
+    scope2: Option<&NodeSet>,
+) -> Pairing {
+    pairing_seeded(g, q, &[(e1, e2)], scope1, scope2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guided::{eval_pair, MatchScope};
+    use crate::pairpattern::{IdentityEq, PTriple, SlotKind};
+    use gk_graph::parse_graph;
+
+    fn pt(s: u16, p: gk_graph::PredId, o: u16) -> PTriple {
+        PTriple { s, p, o }
+    }
+
+    fn g1() -> Graph {
+        parse_graph(
+            r#"
+            alb1:album  name_of       "Anthology 2"
+            alb1:album  release_year  "1996"
+            alb1:album  recorded_by   art1:artist
+            art1:artist name_of       "The Beatles"
+            alb2:album  name_of       "Anthology 2"
+            alb2:album  release_year  "1996"
+            alb2:album  recorded_by   art2:artist
+            art2:artist name_of       "The Beatles"
+            alb3:album  name_of       "Anthology 2"
+            alb3:album  recorded_by   art3:artist
+            art3:artist name_of       "John Farnham"
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn q2(g: &Graph) -> PairPattern {
+        PairPattern::new(
+            vec![
+                SlotKind::Anchor(g.etype("album").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::ValueVar,
+            ],
+            vec![
+                pt(0, g.pred("name_of").unwrap(), 1),
+                pt(0, g.pred("release_year").unwrap(), 2),
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    fn q3(g: &Graph) -> PairPattern {
+        PairPattern::new(
+            vec![
+                SlotKind::Anchor(g.etype("artist").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::EqEntity(g.etype("album").unwrap()),
+            ],
+            vec![
+                pt(0, g.pred("name_of").unwrap(), 1),
+                pt(2, g.pred("recorded_by").unwrap(), 0),
+            ],
+            0,
+        )
+        .unwrap()
+    }
+
+    fn e(g: &Graph, n: &str) -> EntityId {
+        g.entity_named(n).unwrap()
+    }
+
+    #[test]
+    fn pairable_pairs_survive() {
+        let g = g1();
+        let q = q2(&g);
+        let p = pairing_at(&g, &q, e(&g, "alb1"), e(&g, "alb2"), None, None);
+        assert!(p.pairable(&q, e(&g, "alb1"), e(&g, "alb2")));
+    }
+
+    #[test]
+    fn unpairable_pairs_are_pruned() {
+        let g = g1();
+        let q = q2(&g);
+        // alb3 lacks release_year: cannot be paired by Q2.
+        let p = pairing_at(&g, &q, e(&g, "alb1"), e(&g, "alb3"), None, None);
+        assert!(!p.pairable(&q, e(&g, "alb1"), e(&g, "alb3")));
+    }
+
+    #[test]
+    fn pairing_is_necessary_for_identification() {
+        // Soundness of the filter (Prop. 9a): eval ⊆ pairable, on every
+        // same-type pair of G1.
+        let g = g1();
+        for q in [q2(&g), q3(&g)] {
+            let ty = q.anchor_type();
+            let ents = g.entities_of_type(ty);
+            for (i, &a) in ents.iter().enumerate() {
+                for &b in &ents[i + 1..] {
+                    let identified =
+                        eval_pair(&g, &q, a, b, &IdentityEq, MatchScope::whole_graph());
+                    let pairable = pairing_at(&g, &q, a, b, None, None).pairable(&q, a, b);
+                    assert!(
+                        !identified || pairable,
+                        "identified but not pairable: ({a:?}, {b:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_key_pairing_ignores_eq() {
+        // Pairing is static (type-level): art1/art2 CAN be paired by Q3
+        // even though Q3 cannot fire under Eq0.
+        let g = g1();
+        let q = q3(&g);
+        let p = pairing_at(&g, &q, e(&g, "art1"), e(&g, "art2"), None, None);
+        assert!(p.pairable(&q, e(&g, "art1"), e(&g, "art2")));
+        assert!(!eval_pair(&g, &q, e(&g, "art1"), e(&g, "art2"), &IdentityEq, MatchScope::whole_graph()));
+    }
+
+    #[test]
+    fn dependency_pairs_surface_recursive_candidates() {
+        let g = g1();
+        let q = q3(&g);
+        let p = pairing_at(&g, &q, e(&g, "art1"), e(&g, "art2"), None, None);
+        let deps = p.dependency_pairs(&q);
+        // The artists' identification depends on (alb1, alb2).
+        assert!(deps.contains(&(e(&g, "alb1"), e(&g, "alb2"))));
+    }
+
+    #[test]
+    fn identity_possibility_detection() {
+        let g = g1();
+        let q3p = q3(&g);
+        // art1/art2's recursive slot admits only distinct albums: no
+        // identity binding, so not initially eligible.
+        let p = pairing_at(&g, &q3p, e(&g, "art1"), e(&g, "art2"), None, None);
+        assert!(!p.recursive_identity_possible(&q3p));
+
+        // A same-artist key CAN use an identity binding.
+        let g2 = parse_graph(
+            r#"
+            a1:album name_of "X"
+            a2:album name_of "X"
+            a1:album recorded_by r:artist
+            a2:album recorded_by r:artist
+            "#,
+        )
+        .unwrap();
+        let q1 = PairPattern::new(
+            vec![
+                SlotKind::Anchor(g2.etype("album").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::EqEntity(g2.etype("artist").unwrap()),
+            ],
+            vec![
+                pt(0, g2.pred("name_of").unwrap(), 1),
+                pt(0, g2.pred("recorded_by").unwrap(), 2),
+            ],
+            0,
+        )
+        .unwrap();
+        let p2 = pairing_at(&g2, &q1, e(&g2, "a1"), e(&g2, "a2"), None, None);
+        assert!(p2.recursive_identity_possible(&q1));
+    }
+
+    #[test]
+    fn global_seeding_covers_all_candidates() {
+        let g = g1();
+        let q = q2(&g);
+        let albums = g.entities_of_type(g.etype("album").unwrap()).to_vec();
+        let mut seeds = Vec::new();
+        for (i, &a) in albums.iter().enumerate() {
+            for &b in &albums[i + 1..] {
+                seeds.push((a, b));
+            }
+        }
+        let p = pairing_seeded(&g, &q, &seeds, None, None);
+        assert!(p.pairable(&q, e(&g, "alb1"), e(&g, "alb2")));
+        assert!(!p.pairable(&q, e(&g, "alb1"), e(&g, "alb3")));
+        assert!(!p.pairable(&q, e(&g, "alb2"), e(&g, "alb3")));
+    }
+
+    #[test]
+    fn side_nodes_shrink_neighborhoods() {
+        let g = g1();
+        let q = q2(&g);
+        let a1 = e(&g, "alb1");
+        let a2 = e(&g, "alb2");
+        let p = pairing_at(&g, &q, a1, a2, None, None);
+        let reduced = p.side_nodes(0);
+        let full = gk_graph::d_neighborhood(&g, a1, q.radius());
+        assert!(reduced.len() <= full.len());
+        // The reduced scope still supports the match.
+        assert!(reduced.contains(NodeId::entity(a1)));
+    }
+
+    #[test]
+    fn empty_seed_gives_empty_pairing() {
+        let g = g1();
+        let q = q2(&g);
+        let p = pairing_seeded(&g, &q, &[], None, None);
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,508 @@
+//! The compiled, paired form of a graph-pattern key.
+//!
+//! A key `Q(x)` (§2.2) is checked at a *pair* of entities `(e1, e2)`:
+//! both sides must match `Q(x)` and the two matches must *coincide*
+//! (`S1(e1) ≅_Q S2(e2)`). Procedure `EvalMR` of the paper (§4.1) fuses the
+//! two isomorphism checks into one search over a vector
+//! `m[s_Q] = (s1, s2)`. A [`PairPattern`] is the compiled pattern that
+//! search runs on: slots with [`SlotKind`]s (the variable kinds of §2.1)
+//! and predicate-labeled triples between slots, plus a precomputed
+//! [`SearchPlan`] that guides expansion outward from the designated
+//! variable.
+
+use gk_graph::{EntityId, PredId, TypeId, ValueId};
+
+/// The kind of a pattern slot — the paper's variable taxonomy (§2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SlotKind {
+    /// The designated variable `x` of type τ; pre-bound to the candidate
+    /// pair `(e1, e2)`.
+    Anchor(TypeId),
+    /// An entity variable `y` of type τ — *recursive*: requires the pair of
+    /// matched entities to already be identified, `(s1, s2) ∈ Eq`.
+    EqEntity(TypeId),
+    /// A wildcard `ȳ` of type τ — requires only that both sides match
+    /// *some* entity of type τ; the two entities may differ.
+    Wildcard(TypeId),
+    /// A value variable `y*` — requires *value equality*: both sides must
+    /// match the same value.
+    ValueVar,
+    /// A constant `d` — both sides must match exactly this value.
+    Const(ValueId),
+}
+
+impl SlotKind {
+    /// True iff the slot binds entity nodes (subject positions must be
+    /// entity-kind).
+    pub fn is_entity_kind(self) -> bool {
+        matches!(self, SlotKind::Anchor(_) | SlotKind::EqEntity(_) | SlotKind::Wildcard(_))
+    }
+
+    /// True iff this slot makes the key *recursively defined* (§2.2).
+    pub fn is_recursive(self) -> bool {
+        matches!(self, SlotKind::EqEntity(_))
+    }
+}
+
+/// A pattern triple `(s_Q, p_Q, o_Q)` between slots.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PTriple {
+    /// Subject slot index (entity-kind).
+    pub s: u16,
+    /// Predicate.
+    pub p: PredId,
+    /// Object slot index.
+    pub o: u16,
+}
+
+/// One step of the precomputed search order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Step {
+    /// Both endpoints already bound: verify the edge exists on both sides.
+    CheckEdge {
+        /// Index into [`PairPattern::triples`].
+        t: u16,
+    },
+    /// Subject bound, object not: enumerate object candidates forward.
+    ExpandForward {
+        /// Index into [`PairPattern::triples`].
+        t: u16,
+    },
+    /// Object bound, subject not: enumerate subject candidates backward.
+    ExpandBackward {
+        /// Index into [`PairPattern::triples`].
+        t: u16,
+    },
+}
+
+/// Error raised when a [`PairPattern`] is structurally invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// The pattern has no triples — it would identify every entity of the
+    /// anchor type, which the paper's connected-pattern assumption forbids.
+    Empty,
+    /// A slot index in a triple is out of range.
+    BadSlot(u16),
+    /// A triple's subject slot is a value slot.
+    ValueSubject(u16),
+    /// The anchor index does not refer to an `Anchor` slot, or there is more
+    /// than one anchor.
+    BadAnchor,
+    /// The pattern is not connected to the anchor (§2.1 assumes `Q(x)`
+    /// connected).
+    Disconnected,
+}
+
+impl std::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternError::Empty => write!(f, "pattern has no triples"),
+            PatternError::BadSlot(i) => write!(f, "slot index {i} out of range"),
+            PatternError::ValueSubject(t) => {
+                write!(f, "triple {t} has a value slot in subject position")
+            }
+            PatternError::BadAnchor => write!(f, "pattern must have exactly one anchor slot"),
+            PatternError::Disconnected => {
+                write!(f, "pattern is not connected to the designated variable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+/// A compiled paired pattern: slots, triples, anchor, and derived data
+/// (search plan, radius, adjacency).
+#[derive(Clone, Debug)]
+pub struct PairPattern {
+    slots: Vec<SlotKind>,
+    triples: Vec<PTriple>,
+    anchor: u16,
+    plan: Vec<Step>,
+    radius: usize,
+    recursive: bool,
+}
+
+impl PairPattern {
+    /// Builds and validates a pattern, precomputing the search plan.
+    pub fn new(
+        slots: Vec<SlotKind>,
+        triples: Vec<PTriple>,
+        anchor: u16,
+    ) -> Result<Self, PatternError> {
+        if triples.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        let n = slots.len() as u16;
+        if anchor >= n || !matches!(slots[anchor as usize], SlotKind::Anchor(_)) {
+            return Err(PatternError::BadAnchor);
+        }
+        if slots.iter().filter(|s| matches!(s, SlotKind::Anchor(_))).count() != 1 {
+            return Err(PatternError::BadAnchor);
+        }
+        for (i, t) in triples.iter().enumerate() {
+            if t.s >= n || t.o >= n {
+                return Err(PatternError::BadSlot(t.s.max(t.o)));
+            }
+            if !slots[t.s as usize].is_entity_kind() {
+                return Err(PatternError::ValueSubject(i as u16));
+            }
+        }
+        let plan = build_plan(&slots, &triples, anchor)?;
+        let radius = compute_radius(slots.len(), &triples, anchor);
+        let recursive = slots.iter().any(|s| s.is_recursive());
+        Ok(PairPattern { slots, triples, anchor, plan, radius, recursive })
+    }
+
+    /// The slot kinds, indexed by slot id.
+    pub fn slots(&self) -> &[SlotKind] {
+        &self.slots
+    }
+
+    /// The pattern triples. `|Q|` is `triples().len()`.
+    pub fn triples(&self) -> &[PTriple] {
+        &self.triples
+    }
+
+    /// The anchor (designated variable) slot index.
+    pub fn anchor(&self) -> u16 {
+        self.anchor
+    }
+
+    /// The anchor's entity type τ.
+    pub fn anchor_type(&self) -> TypeId {
+        match self.slots[self.anchor as usize] {
+            SlotKind::Anchor(t) => t,
+            _ => unreachable!("validated anchor"),
+        }
+    }
+
+    /// The precomputed search order.
+    pub fn plan(&self) -> &[Step] {
+        &self.plan
+    }
+
+    /// The radius `d(Q, x)` — longest undirected distance from the anchor
+    /// to any slot (§2.2, Table 1).
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// True iff the pattern contains an entity variable (recursive key).
+    pub fn is_recursive(&self) -> bool {
+        self.recursive
+    }
+
+    /// Number of pattern triples, the paper's `|Q|`.
+    pub fn size(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Indices of slots whose kind is [`SlotKind::EqEntity`].
+    pub fn recursive_slots(&self) -> impl Iterator<Item = u16> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_recursive())
+            .map(|(i, _)| i as u16)
+    }
+}
+
+/// Greedy search-plan construction: start at the anchor, repeatedly process
+/// a triple with at least one bound endpoint, preferring (1) triples whose
+/// both endpoints are bound (cheap edge checks) and (2) expansions into the
+/// most selective slot kinds (constants, then value variables, then entity
+/// kinds). Fails if the pattern is not connected to the anchor.
+fn build_plan(
+    slots: &[SlotKind],
+    triples: &[PTriple],
+    anchor: u16,
+) -> Result<Vec<Step>, PatternError> {
+    let mut bound = vec![false; slots.len()];
+    bound[anchor as usize] = true;
+    let mut done = vec![false; triples.len()];
+    let mut plan = Vec::with_capacity(triples.len());
+
+    let selectivity = |slot: u16| -> u8 {
+        match slots[slot as usize] {
+            SlotKind::Const(_) => 0,
+            SlotKind::ValueVar => 1,
+            SlotKind::EqEntity(_) => 2,
+            SlotKind::Wildcard(_) => 3,
+            SlotKind::Anchor(_) => 4,
+        }
+    };
+
+    for _ in 0..triples.len() {
+        // First preference: a pending triple with both endpoints bound.
+        let mut pick: Option<(usize, Step, u8)> = None;
+        for (i, t) in triples.iter().enumerate() {
+            if done[i] {
+                continue;
+            }
+            let sb = bound[t.s as usize];
+            let ob = bound[t.o as usize];
+            let cand = if sb && ob {
+                Some((Step::CheckEdge { t: i as u16 }, 0u8))
+            } else if sb {
+                Some((Step::ExpandForward { t: i as u16 }, 1 + selectivity(t.o)))
+            } else if ob {
+                Some((Step::ExpandBackward { t: i as u16 }, 1 + selectivity(t.s)))
+            } else {
+                None
+            };
+            if let Some((step, rank)) = cand {
+                if pick.as_ref().is_none_or(|&(_, _, r)| rank < r) {
+                    pick = Some((i, step, rank));
+                }
+            }
+        }
+        let Some((i, step, _)) = pick else {
+            return Err(PatternError::Disconnected);
+        };
+        done[i] = true;
+        match step {
+            Step::ExpandForward { t } => bound[triples[t as usize].o as usize] = true,
+            Step::ExpandBackward { t } => bound[triples[t as usize].s as usize] = true,
+            Step::CheckEdge { .. } => {}
+        }
+        plan.push(step);
+    }
+    if bound.iter().any(|b| !b) {
+        return Err(PatternError::Disconnected);
+    }
+    Ok(plan)
+}
+
+/// BFS over the undirected pattern graph from the anchor.
+fn compute_radius(n_slots: usize, triples: &[PTriple], anchor: u16) -> usize {
+    let mut adj: Vec<Vec<u16>> = vec![Vec::new(); n_slots];
+    for t in triples {
+        if t.s != t.o {
+            adj[t.s as usize].push(t.o);
+            adj[t.o as usize].push(t.s);
+        }
+    }
+    let mut dist = vec![usize::MAX; n_slots];
+    dist[anchor as usize] = 0;
+    let mut queue = std::collections::VecDeque::from([anchor]);
+    let mut max = 0;
+    while let Some(u) = queue.pop_front() {
+        for &v in &adj[u as usize] {
+            if dist[v as usize] == usize::MAX {
+                dist[v as usize] = dist[u as usize] + 1;
+                max = max.max(dist[v as usize]);
+                queue.push_back(v);
+            }
+        }
+    }
+    max
+}
+
+/// Answers "have these two entities already been identified?" during
+/// matching — the paper's `(s1, s2) ∈ Eq` test for entity variables (§3.1).
+///
+/// Implemented by the chase's equivalence relation; [`IdentityEq`] is the
+/// initial `Eq0` (node identity only).
+pub trait EqOracle: Sync {
+    /// True iff `a` and `b` are in the same equivalence class.
+    fn same(&self, a: EntityId, b: EntityId) -> bool;
+}
+
+/// The node-identity relation `Eq0 = {(e, e)}` — no entities identified yet.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityEq;
+
+impl EqOracle for IdentityEq {
+    fn same(&self, a: EntityId, b: EntityId) -> bool {
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u16, p: u32, o: u16) -> PTriple {
+        PTriple { s, p: PredId(p), o }
+    }
+
+    /// Q2-like: x -name-> v*, x -year-> w*.
+    fn star() -> PairPattern {
+        PairPattern::new(
+            vec![SlotKind::Anchor(TypeId(0)), SlotKind::ValueVar, SlotKind::ValueVar],
+            vec![t(0, 0, 1), t(0, 1, 2)],
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn star_pattern_basics() {
+        let q = star();
+        assert_eq!(q.radius(), 1);
+        assert!(!q.is_recursive());
+        assert_eq!(q.size(), 2);
+        assert_eq!(q.anchor_type(), TypeId(0));
+        assert_eq!(q.plan().len(), 2);
+        assert!(q.plan().iter().all(|s| matches!(s, Step::ExpandForward { .. })));
+    }
+
+    #[test]
+    fn recursive_flag_and_slots() {
+        let q = PairPattern::new(
+            vec![SlotKind::Anchor(TypeId(0)), SlotKind::EqEntity(TypeId(1))],
+            vec![t(0, 0, 1)],
+            0,
+        )
+        .unwrap();
+        assert!(q.is_recursive());
+        assert_eq!(q.recursive_slots().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn radius_of_chain() {
+        // x -> y -> v*
+        let q = PairPattern::new(
+            vec![
+                SlotKind::Anchor(TypeId(0)),
+                SlotKind::Wildcard(TypeId(1)),
+                SlotKind::ValueVar,
+            ],
+            vec![t(0, 0, 1), t(1, 1, 2)],
+            0,
+        )
+        .unwrap();
+        assert_eq!(q.radius(), 2);
+    }
+
+    #[test]
+    fn backward_edges_planned() {
+        // y -> x (x is object), like Q4's parent_of edges into x.
+        let q = PairPattern::new(
+            vec![SlotKind::Anchor(TypeId(0)), SlotKind::EqEntity(TypeId(0))],
+            vec![t(1, 0, 0)],
+            0,
+        )
+        .unwrap();
+        assert_eq!(q.plan(), &[Step::ExpandBackward { t: 0 }]);
+    }
+
+    #[test]
+    fn diamond_gets_check_edge() {
+        // x -> a, x -> b, a -> c, b -> c: the 4th triple closes a cycle so
+        // one endpoint pair is already bound by then.
+        let q = PairPattern::new(
+            vec![
+                SlotKind::Anchor(TypeId(0)),
+                SlotKind::Wildcard(TypeId(1)),
+                SlotKind::Wildcard(TypeId(1)),
+                SlotKind::ValueVar,
+            ],
+            vec![t(0, 0, 1), t(0, 0, 2), t(1, 1, 3), t(2, 1, 3)],
+            0,
+        )
+        .unwrap();
+        let checks = q.plan().iter().filter(|s| matches!(s, Step::CheckEdge { .. })).count();
+        assert_eq!(checks, 1);
+        assert_eq!(q.plan().len(), 4);
+    }
+
+    #[test]
+    fn plan_prefers_selective_slots() {
+        // x -> wildcard and x -> const: const should be expanded first.
+        let q = PairPattern::new(
+            vec![
+                SlotKind::Anchor(TypeId(0)),
+                SlotKind::Wildcard(TypeId(1)),
+                SlotKind::Const(ValueId(0)),
+            ],
+            vec![t(0, 0, 1), t(0, 1, 2)],
+            0,
+        )
+        .unwrap();
+        assert_eq!(q.plan()[0], Step::ExpandForward { t: 1 });
+    }
+
+    #[test]
+    fn rejects_empty() {
+        let err =
+            PairPattern::new(vec![SlotKind::Anchor(TypeId(0))], vec![], 0).unwrap_err();
+        assert_eq!(err, PatternError::Empty);
+    }
+
+    #[test]
+    fn rejects_value_subject() {
+        let err = PairPattern::new(
+            vec![SlotKind::Anchor(TypeId(0)), SlotKind::ValueVar],
+            vec![t(1, 0, 0)],
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, PatternError::ValueSubject(0));
+    }
+
+    #[test]
+    fn rejects_disconnected() {
+        // x -> v*, plus w -> u* island.
+        let err = PairPattern::new(
+            vec![
+                SlotKind::Anchor(TypeId(0)),
+                SlotKind::ValueVar,
+                SlotKind::Wildcard(TypeId(1)),
+                SlotKind::ValueVar,
+            ],
+            vec![t(0, 0, 1), t(2, 0, 3)],
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, PatternError::Disconnected);
+    }
+
+    #[test]
+    fn rejects_missing_or_double_anchor() {
+        let err = PairPattern::new(
+            vec![SlotKind::Wildcard(TypeId(0)), SlotKind::ValueVar],
+            vec![t(0, 0, 1)],
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, PatternError::BadAnchor);
+        let err2 = PairPattern::new(
+            vec![SlotKind::Anchor(TypeId(0)), SlotKind::Anchor(TypeId(0))],
+            vec![t(0, 0, 1)],
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err2, PatternError::BadAnchor);
+    }
+
+    #[test]
+    fn rejects_bad_slot_index() {
+        let err = PairPattern::new(
+            vec![SlotKind::Anchor(TypeId(0))],
+            vec![t(0, 0, 9)],
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, PatternError::BadSlot(9));
+    }
+
+    #[test]
+    fn self_loop_on_anchor_is_check_edge() {
+        let q = PairPattern::new(
+            vec![SlotKind::Anchor(TypeId(0))],
+            vec![t(0, 0, 0)],
+            0,
+        )
+        .unwrap();
+        assert_eq!(q.plan(), &[Step::CheckEdge { t: 0 }]);
+        assert_eq!(q.radius(), 0);
+    }
+
+    #[test]
+    fn identity_eq_oracle() {
+        assert!(IdentityEq.same(EntityId(1), EntityId(1)));
+        assert!(!IdentityEq.same(EntityId(1), EntityId(2)));
+    }
+}

@@ -1,0 +1,547 @@
+//! # gk-mapreduce — an in-process MapReduce framework
+//!
+//! The paper's first entity-matching algorithm (`EM_MR`, §4) runs on
+//! Hadoop. This crate is the substrate substitution documented in
+//! DESIGN.md: a faithful, in-process MapReduce with `p` worker threads that
+//! preserves exactly the properties the paper's analysis relies on —
+//!
+//! * **round structure**: map tasks, a barrier, a key-partitioned shuffle,
+//!   reduce tasks, another barrier (stragglers block the round, §5's
+//!   motivation);
+//! * **key-partitioned reduce**: all values of one key meet in one reducer;
+//! * **per-worker division of labour**: `p` map tasks and `p` reduce tasks
+//!   per round, so work scales as `1/p` (parallel scalability, §3.3);
+//! * **job metrics**: shuffled record counts and per-task skew, used by the
+//!   experiment harness.
+//!
+//! Invariant inputs (the graph, neighborhoods, keys) are shared read-only
+//! by `Arc` rather than re-shipped each round — the in-process analogue of
+//! HaLoop-style caching the paper adopts for `G^d` and `Σ` (§4.1).
+//!
+//! ```
+//! use gk_mapreduce::{Cluster, Emitter, MapReduce};
+//!
+//! struct WordCount;
+//! impl MapReduce for WordCount {
+//!     type KIn = ();       type VIn = String;
+//!     type KMid = String;  type VMid = u64;
+//!     type KOut = String;  type VOut = u64;
+//!     fn map(&self, _: &(), line: &String, out: &mut Emitter<String, u64>) {
+//!         for w in line.split_whitespace() {
+//!             out.emit(w.to_string(), 1);
+//!         }
+//!     }
+//!     fn reduce(&self, w: &String, counts: Vec<u64>, out: &mut Emitter<String, u64>) {
+//!         out.emit(w.clone(), counts.into_iter().sum());
+//!     }
+//! }
+//!
+//! let cluster = Cluster::new(4);
+//! let (mut counts, _stats) =
+//!     cluster.run(&WordCount, vec![((), "a b a".to_string())]);
+//! counts.sort();
+//! assert_eq!(counts, vec![("a".into(), 2), ("b".into(), 1)]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+/// A MapReduce job: user-defined `map` and `reduce` functions.
+///
+/// `map` runs once per input record; emitted intermediate pairs are hash-
+/// partitioned by key and grouped; `reduce` runs once per distinct key with
+/// all of its values.
+pub trait MapReduce: Sync {
+    /// Input key type.
+    type KIn: Send;
+    /// Input value type.
+    type VIn: Send;
+    /// Intermediate key type (drives partitioning and grouping).
+    type KMid: Send + Ord + Hash + Clone;
+    /// Intermediate value type.
+    type VMid: Send;
+    /// Output key type.
+    type KOut: Send;
+    /// Output value type.
+    type VOut: Send;
+
+    /// The mapper. Called in parallel across input splits.
+    fn map(&self, key: &Self::KIn, value: &Self::VIn, out: &mut Emitter<Self::KMid, Self::VMid>);
+
+    /// The reducer. Called in parallel across key partitions; `values`
+    /// contains every intermediate value emitted for `key`, in a
+    /// deterministic order (map-task-major).
+    fn reduce(
+        &self,
+        key: &Self::KMid,
+        values: Vec<Self::VMid>,
+        out: &mut Emitter<Self::KOut, Self::VOut>,
+    );
+}
+
+/// Collects `(key, value)` emissions from a mapper or reducer.
+pub struct Emitter<K, V> {
+    buf: Vec<(K, V)>,
+}
+
+impl<K, V> Emitter<K, V> {
+    fn new() -> Self {
+        Emitter { buf: Vec::new() }
+    }
+
+    /// Emits one record.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.buf.push((key, value));
+    }
+
+    /// Number of records emitted so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Metrics for one job execution (one MapReduce round).
+#[derive(Clone, Debug, Default)]
+pub struct JobStats {
+    /// Number of map tasks (= worker count, unless input is smaller).
+    pub map_tasks: usize,
+    /// Number of reduce tasks.
+    pub reduce_tasks: usize,
+    /// Input records.
+    pub records_in: usize,
+    /// Intermediate records moved through the shuffle.
+    pub records_shuffled: usize,
+    /// Output records.
+    pub records_out: usize,
+    /// Wall-clock time of the map phase (up to its barrier).
+    pub map_time: Duration,
+    /// Wall-clock time of shuffle grouping.
+    pub shuffle_time: Duration,
+    /// Wall-clock time of the reduce phase.
+    pub reduce_time: Duration,
+    /// Max-over-mean map-task time: >1 means stragglers held the barrier —
+    /// the cost the vertex-centric model avoids (§5).
+    pub straggler_skew: f64,
+    /// Simulated round makespan assuming `p` truly parallel workers:
+    /// slowest map task + shuffle + slowest reduce task. On machines with
+    /// fewer cores than `p` this is the faithful scalability metric (the
+    /// paper's `t(|G|, |Σ|)/p`); see DESIGN.md.
+    pub sim_makespan: Duration,
+}
+
+impl JobStats {
+    /// Accumulates another round's stats into a running total.
+    pub fn accumulate(&mut self, other: &JobStats) {
+        self.map_tasks += other.map_tasks;
+        self.reduce_tasks += other.reduce_tasks;
+        self.records_in += other.records_in;
+        self.records_shuffled += other.records_shuffled;
+        self.records_out += other.records_out;
+        self.map_time += other.map_time;
+        self.shuffle_time += other.shuffle_time;
+        self.reduce_time += other.reduce_time;
+        self.straggler_skew = self.straggler_skew.max(other.straggler_skew);
+        self.sim_makespan += other.sim_makespan;
+    }
+}
+
+/// How a [`Cluster`] executes its tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Real OS threads: one per map/reduce task (up to `p`).
+    Threads,
+    /// Deterministic single-threaded simulation: tasks run one at a time
+    /// and their times feed [`JobStats::sim_makespan`] — the faithful
+    /// scalability metric when `p` exceeds the host's core count.
+    Simulate,
+}
+
+/// A simulated cluster of `p` workers executing MapReduce jobs.
+#[derive(Clone, Copy, Debug)]
+pub struct Cluster {
+    workers: usize,
+    mode: ExecMode,
+}
+
+impl Cluster {
+    /// Creates a cluster with `p ≥ 1` workers running on real threads.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "a cluster needs at least one worker");
+        Cluster { workers: p, mode: ExecMode::Threads }
+    }
+
+    /// Creates a cluster with `p ≥ 1` *virtual* workers running in
+    /// deterministic simulation (see [`ExecMode::Simulate`]).
+    pub fn simulated(p: usize) -> Self {
+        assert!(p >= 1, "a cluster needs at least one worker");
+        Cluster { workers: p, mode: ExecMode::Simulate }
+    }
+
+    /// The number of workers `p`.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Runs one job (one round): map over input splits, shuffle by key
+    /// hash, reduce per partition. Returns outputs (partition-major,
+    /// deterministic order) and the round's stats.
+    #[allow(clippy::type_complexity)] // the tuples are the MapReduce contract
+    pub fn run<J: MapReduce>(
+        &self,
+        job: &J,
+        input: Vec<(J::KIn, J::VIn)>,
+    ) -> (Vec<(J::KOut, J::VOut)>, JobStats) {
+        let p = self.workers;
+        let records_in = input.len();
+
+        // ---- Map phase -------------------------------------------------
+        let t0 = Instant::now();
+        let splits = split_input(input, p);
+        let map_tasks = splits.len();
+        let mut task_times = Vec::with_capacity(map_tasks);
+        // Each map task partitions its own output by reducer.
+        let mut partitioned: Vec<Vec<Vec<(J::KMid, J::VMid)>>> = Vec::with_capacity(map_tasks);
+        let run_map_task = |split: Vec<(J::KIn, J::VIn)>| {
+            let t = Instant::now();
+            let mut em = Emitter::new();
+            for (k, v) in &split {
+                job.map(k, v, &mut em);
+            }
+            let mut parts: Vec<Vec<(J::KMid, J::VMid)>> = (0..p).map(|_| Vec::new()).collect();
+            for (k, v) in em.buf {
+                let r = partition_of(&k, p);
+                parts[r].push((k, v));
+            }
+            (parts, t.elapsed())
+        };
+        match self.mode {
+            ExecMode::Threads => {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = splits
+                        .into_iter()
+                        .map(|split| scope.spawn(|| run_map_task(split)))
+                        .collect();
+                    for h in handles {
+                        let (parts, dt) = h.join().expect("map task panicked");
+                        partitioned.push(parts);
+                        task_times.push(dt);
+                    }
+                });
+            }
+            ExecMode::Simulate => {
+                for split in splits {
+                    let (parts, dt) = run_map_task(split);
+                    partitioned.push(parts);
+                    task_times.push(dt);
+                }
+            }
+        }
+        let map_time = t0.elapsed();
+        let straggler_skew = skew(&task_times);
+
+        // ---- Shuffle: group per reducer partition ----------------------
+        let t1 = Instant::now();
+        let mut records_shuffled = 0usize;
+        let mut reducer_inputs: Vec<Vec<(J::KMid, Vec<J::VMid>)>> = Vec::with_capacity(p);
+        for r in 0..p {
+            let mut bucket: Vec<(J::KMid, J::VMid)> = Vec::new();
+            for task in &mut partitioned {
+                bucket.append(&mut task[r]);
+            }
+            records_shuffled += bucket.len();
+            // Deterministic grouping: stable sort by key keeps map-task
+            // emission order within each key.
+            bucket.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut grouped: Vec<(J::KMid, Vec<J::VMid>)> = Vec::new();
+            for (k, v) in bucket {
+                match grouped.last_mut() {
+                    Some((gk, gv)) if *gk == k => gv.push(v),
+                    _ => grouped.push((k, vec![v])),
+                }
+            }
+            reducer_inputs.push(grouped);
+        }
+        let shuffle_time = t1.elapsed();
+
+        // ---- Reduce phase ----------------------------------------------
+        let t2 = Instant::now();
+        let reduce_tasks = reducer_inputs.len();
+        let mut outputs: Vec<Vec<(J::KOut, J::VOut)>> = Vec::with_capacity(reduce_tasks);
+        let mut reduce_task_times = Vec::with_capacity(reduce_tasks);
+        let run_reduce_task = |groups: Vec<(J::KMid, Vec<J::VMid>)>| {
+            let t = Instant::now();
+            let mut em = Emitter::new();
+            for (k, vs) in groups {
+                job.reduce(&k, vs, &mut em);
+            }
+            (em.buf, t.elapsed())
+        };
+        match self.mode {
+            ExecMode::Threads => {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = reducer_inputs
+                        .into_iter()
+                        .map(|groups| scope.spawn(|| run_reduce_task(groups)))
+                        .collect();
+                    for h in handles {
+                        let (buf, dt) = h.join().expect("reduce task panicked");
+                        outputs.push(buf);
+                        reduce_task_times.push(dt);
+                    }
+                });
+            }
+            ExecMode::Simulate => {
+                for groups in reducer_inputs {
+                    let (buf, dt) = run_reduce_task(groups);
+                    outputs.push(buf);
+                    reduce_task_times.push(dt);
+                }
+            }
+        }
+        let reduce_time = t2.elapsed();
+
+        let out: Vec<(J::KOut, J::VOut)> = outputs.into_iter().flatten().collect();
+        let sim_makespan = task_times.iter().max().copied().unwrap_or_default()
+            + shuffle_time
+            + reduce_task_times.iter().max().copied().unwrap_or_default();
+        let stats = JobStats {
+            map_tasks,
+            reduce_tasks,
+            records_in,
+            records_shuffled,
+            records_out: out.len(),
+            map_time,
+            shuffle_time,
+            reduce_time,
+            straggler_skew,
+            sim_makespan,
+        };
+        (out, stats)
+    }
+}
+
+/// Splits input into at most `p` contiguous chunks of near-equal size.
+fn split_input<T>(mut input: Vec<T>, p: usize) -> Vec<Vec<T>> {
+    if input.is_empty() {
+        return Vec::new();
+    }
+    let n = input.len();
+    let tasks = p.min(n);
+    let base = n / tasks;
+    let extra = n % tasks;
+    let mut out = Vec::with_capacity(tasks);
+    // Drain from the back to avoid repeated shifting.
+    for i in (0..tasks).rev() {
+        let take = base + usize::from(i < extra);
+        let rest = input.split_off(input.len() - take);
+        out.push(rest);
+    }
+    out.reverse();
+    out
+}
+
+/// Hash partitioner (the Hadoop default scheme).
+fn partition_of<K: Hash>(k: &K, p: usize) -> usize {
+    let mut h = rustc_hash::FxHasher::default();
+    k.hash(&mut h);
+    (h.finish() % p as u64) as usize
+}
+
+fn skew(times: &[Duration]) -> f64 {
+    if times.is_empty() {
+        return 1.0;
+    }
+    let total: f64 = times.iter().map(Duration::as_secs_f64).sum();
+    let mean = total / times.len() as f64;
+    let max = times.iter().map(Duration::as_secs_f64).fold(0.0, f64::max);
+    if mean <= f64::EPSILON {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct WordCount;
+    impl MapReduce for WordCount {
+        type KIn = ();
+        type VIn = String;
+        type KMid = String;
+        type VMid = u64;
+        type KOut = String;
+        type VOut = u64;
+        fn map(&self, _: &(), line: &String, out: &mut Emitter<String, u64>) {
+            for w in line.split_whitespace() {
+                out.emit(w.to_string(), 1);
+            }
+        }
+        fn reduce(&self, w: &String, counts: Vec<u64>, out: &mut Emitter<String, u64>) {
+            out.emit(w.clone(), counts.into_iter().sum());
+        }
+    }
+
+    fn lines(ls: &[&str]) -> Vec<((), String)> {
+        ls.iter().map(|l| ((), l.to_string())).collect()
+    }
+
+    #[test]
+    fn word_count_is_correct() {
+        let cluster = Cluster::new(3);
+        let (mut out, stats) =
+            cluster.run(&WordCount, lines(&["a b c", "a a", "b", ""]));
+        out.sort();
+        assert_eq!(
+            out,
+            vec![("a".into(), 3u64), ("b".into(), 2), ("c".into(), 1)]
+        );
+        assert_eq!(stats.records_in, 4);
+        assert_eq!(stats.records_shuffled, 6);
+        assert_eq!(stats.records_out, 3);
+    }
+
+    #[test]
+    fn simulated_mode_matches_threads() {
+        let input = lines(&["a b c", "a a", "b"]);
+        let (mut t_out, _) = Cluster::new(4).run(&WordCount, input.clone());
+        let (mut s_out, stats) = Cluster::simulated(4).run(&WordCount, input);
+        t_out.sort();
+        s_out.sort();
+        assert_eq!(t_out, s_out);
+        assert!(stats.sim_makespan <= stats.map_time + stats.shuffle_time + stats.reduce_time);
+        assert_eq!(Cluster::simulated(4).mode(), ExecMode::Simulate);
+    }
+
+    #[test]
+    fn result_is_independent_of_worker_count() {
+        let input = lines(&["x y", "y z z", "w x y z"]);
+        let mut expected = {
+            let (mut out, _) = Cluster::new(1).run(&WordCount, input.clone());
+            out.sort();
+            out
+        };
+        expected.sort();
+        for p in [2, 3, 4, 8, 16] {
+            let (mut out, _) = Cluster::new(p).run(&WordCount, input.clone());
+            out.sort();
+            assert_eq!(out, expected, "p={p}");
+        }
+    }
+
+    #[test]
+    fn all_values_of_a_key_meet_in_one_reducer() {
+        struct CollectAll;
+        impl MapReduce for CollectAll {
+            type KIn = u32;
+            type VIn = u32;
+            type KMid = u32;
+            type VMid = u32;
+            type KOut = u32;
+            type VOut = usize;
+            fn map(&self, k: &u32, v: &u32, out: &mut Emitter<u32, u32>) {
+                out.emit(*k % 5, *v);
+            }
+            fn reduce(&self, k: &u32, vs: Vec<u32>, out: &mut Emitter<u32, usize>) {
+                out.emit(*k, vs.len());
+            }
+        }
+        let input: Vec<(u32, u32)> = (0..100).map(|i| (i, i)).collect();
+        let (out, _) = Cluster::new(7).run(&CollectAll, input);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|&(_, n)| n == 20));
+    }
+
+    #[test]
+    fn empty_input_runs_clean() {
+        let (out, stats) = Cluster::new(4).run(&WordCount, Vec::new());
+        assert!(out.is_empty());
+        assert_eq!(stats.map_tasks, 0);
+        assert_eq!(stats.records_shuffled, 0);
+    }
+
+    #[test]
+    fn split_input_balances() {
+        let chunks = split_input((0..10).collect::<Vec<_>>(), 4);
+        assert_eq!(chunks.len(), 4);
+        let sizes: Vec<usize> = chunks.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        let flat: Vec<i32> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_fewer_records_than_workers() {
+        let chunks = split_input(vec![1, 2], 8);
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn partitioner_is_stable_and_in_range() {
+        for p in 1..10 {
+            for k in 0..100u32 {
+                let a = partition_of(&k, p);
+                let b = partition_of(&k, p);
+                assert_eq!(a, b);
+                assert!(a < p);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut total = JobStats::default();
+        let (_, s1) = Cluster::new(2).run(&WordCount, lines(&["a b", "c"]));
+        let (_, s2) = Cluster::new(2).run(&WordCount, lines(&["a"]));
+        total.accumulate(&s1);
+        total.accumulate(&s2);
+        assert_eq!(total.records_in, 3);
+        assert_eq!(total.records_shuffled, s1.records_shuffled + s2.records_shuffled);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Cluster::new(0);
+    }
+
+    #[test]
+    fn reducer_sees_deterministic_value_order() {
+        // Values for one key arrive map-task-major; with one worker the
+        // order equals emission order.
+        struct Order;
+        impl MapReduce for Order {
+            type KIn = ();
+            type VIn = Vec<u32>;
+            type KMid = ();
+            type VMid = u32;
+            type KOut = ();
+            type VOut = Vec<u32>;
+            fn map(&self, _: &(), vs: &Vec<u32>, out: &mut Emitter<(), u32>) {
+                for &v in vs {
+                    out.emit((), v);
+                }
+            }
+            fn reduce(&self, _: &(), vs: Vec<u32>, out: &mut Emitter<(), Vec<u32>>) {
+                out.emit((), vs);
+            }
+        }
+        let (out, _) = Cluster::new(1).run(&Order, vec![((), vec![3, 1, 2])]);
+        assert_eq!(out[0].1, vec![3, 1, 2]);
+    }
+}

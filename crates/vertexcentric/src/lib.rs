@@ -1,0 +1,520 @@
+//! # gk-vertexcentric — an asynchronous vertex-centric engine
+//!
+//! The paper's second entity-matching algorithm (`EM_VC`, §5) runs on
+//! GraphLab (the paper's reference \[31\]): a *vertex program* executes in
+//! parallel at each vertex
+//! and interacts with neighbors via **asynchronous message passing** — no
+//! global rounds, no barrier for stragglers to block, no global state to
+//! synchronize. This crate is that substrate, in-process (see DESIGN.md's
+//! substitution table): vertices are sharded over `p` worker threads, each
+//! worker drains its own mailbox, and termination is detected when no
+//! message is in flight.
+//!
+//! Two execution modes share one [`VertexProgram`] API:
+//!
+//! * [`Engine::run`] — real OS threads with crossbeam mailboxes; genuine
+//!   asynchrony, used by tests and production runs;
+//! * [`Engine::run_simulated`] — a deterministic discrete scheduler that
+//!   executes the same sharding on one thread, charging each message's
+//!   processing time to its owning worker. Its
+//!   [`sim_makespan`](EngineStats::sim_makespan) (slowest worker's busy
+//!   time) is the faithful scalability metric when benchmarking `p`
+//!   workers on a machine with fewer cores — exactly the paper's
+//!   `t(|G|,|Σ|)/p` parallel-scalability measure (§3.3).
+//!
+//! Properties preserved from the paper's model: asynchrony (no barriers),
+//! vertex locality, and message-count accounting (the cost §5.2's bounded
+//! messages reduce).
+//!
+//! ```
+//! use gk_vertexcentric::{Ctx, Engine, VertexProgram};
+//!
+//! /// Relaxation-style shortest hop counts over a fixed edge list.
+//! struct Bfs {
+//!     adj: Vec<Vec<usize>>,
+//! }
+//! impl VertexProgram for Bfs {
+//!     type State = u32;
+//!     type Msg = u32;
+//!     fn init_state(&self, _v: usize) -> u32 { u32::MAX }
+//!     fn on_start(&self, v: usize, d: &mut u32, ctx: &mut Ctx<'_, u32>) {
+//!         *d = 0;
+//!         for &n in &self.adj[v] { ctx.send(n, 1); }
+//!     }
+//!     fn on_message(&self, v: usize, d: &mut u32, m: u32, ctx: &mut Ctx<'_, u32>) {
+//!         if m < *d {
+//!             *d = m;
+//!             for &n in &self.adj[v] { ctx.send(n, m + 1); }
+//!         }
+//!     }
+//! }
+//!
+//! let prog = Bfs { adj: vec![vec![1], vec![2], vec![]] };
+//! let engine = Engine::new(2);
+//! let (dist, _stats) = engine.run(&prog, 3, &[0]);
+//! assert_eq!(dist, vec![0, 1, 2]);
+//! let (dist2, stats) = engine.run_simulated(&prog, 3, &[0]);
+//! assert_eq!(dist2, dist);
+//! assert!(stats.sim_makespan > std::time::Duration::ZERO);
+//! ```
+
+#![warn(missing_docs)]
+
+use crossbeam::channel::unbounded;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A vertex program: per-vertex state plus message handlers.
+///
+/// The program object itself is shared (`&self`) across workers and must be
+/// `Sync`; all mutable per-vertex data lives in `State`, which the engine
+/// hands to handlers exclusively (each vertex is owned by one worker).
+pub trait VertexProgram: Sync {
+    /// Mutable per-vertex state.
+    type State: Send;
+    /// Message type.
+    type Msg: Send;
+
+    /// Initial state of vertex `v`.
+    fn init_state(&self, v: usize) -> Self::State;
+
+    /// Called once for each initially activated vertex, before any message
+    /// delivery.
+    fn on_start(&self, v: usize, state: &mut Self::State, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = (v, state, ctx);
+    }
+
+    /// Called for every message delivered to vertex `v`.
+    fn on_message(
+        &self,
+        v: usize,
+        state: &mut Self::State,
+        msg: Self::Msg,
+        ctx: &mut Ctx<'_, Self::Msg>,
+    );
+}
+
+/// Handler context: lets a vertex send messages. The engine wires it to
+/// either the live channels (threaded mode) or the scheduler queue
+/// (simulated mode).
+pub struct Ctx<'a, M> {
+    sink: &'a mut dyn FnMut(usize, M),
+}
+
+impl<M: Send> Ctx<'_, M> {
+    /// Sends `msg` to vertex `to` (asynchronous; never blocks).
+    #[inline]
+    pub fn send(&mut self, to: usize, msg: M) {
+        (self.sink)(to, msg);
+    }
+}
+
+enum Envelope<M> {
+    User(usize, M),
+    Start(usize),
+    Stop,
+}
+
+/// Execution metrics of one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// User messages sent (excludes initial activations).
+    pub messages: u64,
+    /// Initially activated vertices.
+    pub activations: usize,
+    /// Messages processed per worker (load balance diagnostic).
+    pub per_worker: Vec<u64>,
+    /// Wall-clock run time.
+    pub elapsed: Duration,
+    /// Busy time of the slowest worker. In simulated mode this is the
+    /// makespan of an ideal `p`-worker execution; in threaded mode it is
+    /// measured under whatever contention the host has.
+    pub sim_makespan: Duration,
+}
+
+/// An asynchronous vertex-centric engine with `p` workers.
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    workers: usize,
+}
+
+impl Engine {
+    /// Creates an engine with `p ≥ 1` worker threads.
+    pub fn new(p: usize) -> Self {
+        assert!(p >= 1, "the engine needs at least one worker");
+        Engine { workers: p }
+    }
+
+    /// The worker count `p`.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `program` over `n` vertices on real threads, activating
+    /// `initial` first, until no message is in flight. Returns the final
+    /// vertex states and stats.
+    pub fn run<P: VertexProgram>(
+        &self,
+        program: &P,
+        n: usize,
+        initial: &[usize],
+    ) -> (Vec<P::State>, EngineStats) {
+        let p = self.workers;
+        let t0 = Instant::now();
+
+        // Shard states: worker w owns vertices {v | v % p == w}, stored at
+        // local index v / p — no locks needed on vertex state.
+        let mut shards: Vec<Vec<P::State>> = (0..p).map(|_| Vec::new()).collect();
+        for v in 0..n {
+            shards[v % p].push(program.init_state(v));
+        }
+
+        let (senders, receivers): (Vec<_>, Vec<_>) = (0..p).map(|_| unbounded()).unzip();
+        let in_flight = AtomicI64::new(0);
+        let sent = AtomicU64::new(0);
+
+        // Seed initial activations (counted like messages so termination
+        // detection covers them).
+        in_flight.fetch_add(initial.len() as i64, Ordering::SeqCst);
+        for &v in initial {
+            assert!(v < n, "initial vertex {v} out of range");
+            senders[v % p].send(Envelope::Start(v)).expect("send start");
+        }
+        if initial.is_empty() {
+            let stats = EngineStats {
+                per_worker: vec![0; p],
+                elapsed: t0.elapsed(),
+                ..Default::default()
+            };
+            return (collect_states(shards, n, p), stats);
+        }
+
+        let mut per_worker = vec![0u64; p];
+        let mut busy = vec![Duration::ZERO; p];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = receivers
+                .into_iter()
+                .zip(shards.iter_mut())
+                .map(|(rx, shard)| {
+                    let senders = &senders;
+                    let in_flight = &in_flight;
+                    let sent = &sent;
+                    scope.spawn(move || {
+                        let mut processed = 0u64;
+                        let mut busy = Duration::ZERO;
+                        // Count before enqueue so the in-flight counter can
+                        // never hit zero while a message is undelivered.
+                        let mut sink = |to: usize, msg: P::Msg| {
+                            in_flight.fetch_add(1, Ordering::SeqCst);
+                            sent.fetch_add(1, Ordering::Relaxed);
+                            senders[to % senders.len()]
+                                .send(Envelope::User(to, msg))
+                                .expect("worker mailbox closed");
+                        };
+                        while let Ok(env) = rx.recv() {
+                            let t = Instant::now();
+                            match env {
+                                Envelope::Stop => break,
+                                Envelope::Start(v) => {
+                                    let mut ctx = Ctx { sink: &mut sink };
+                                    program.on_start(v, &mut shard[v / senders.len()], &mut ctx);
+                                }
+                                Envelope::User(v, m) => {
+                                    processed += 1;
+                                    let mut ctx = Ctx { sink: &mut sink };
+                                    program.on_message(
+                                        v,
+                                        &mut shard[v / senders.len()],
+                                        m,
+                                        &mut ctx,
+                                    );
+                                }
+                            }
+                            busy += t.elapsed();
+                            // The handler that drives the counter to zero
+                            // broadcasts Stop.
+                            if in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                for s in senders {
+                                    let _ = s.send(Envelope::Stop);
+                                }
+                            }
+                        }
+                        (processed, busy)
+                    })
+                })
+                .collect();
+            for (w, h) in handles.into_iter().enumerate() {
+                let (processed, b) = h.join().expect("worker panicked");
+                per_worker[w] = processed;
+                busy[w] = b;
+            }
+        });
+
+        let stats = EngineStats {
+            messages: sent.load(Ordering::Relaxed),
+            activations: initial.len(),
+            per_worker,
+            elapsed: t0.elapsed(),
+            sim_makespan: busy.into_iter().max().unwrap_or_default(),
+        };
+        (collect_states(shards, n, p), stats)
+    }
+
+    /// Runs `program` with a deterministic single-threaded discrete
+    /// scheduler over `p` *virtual* workers: mailboxes are drained
+    /// round-robin, and each message's processing time is charged to its
+    /// owning worker. `sim_makespan` is then an ideal-parallel makespan,
+    /// unaffected by host core count.
+    pub fn run_simulated<P: VertexProgram>(
+        &self,
+        program: &P,
+        n: usize,
+        initial: &[usize],
+    ) -> (Vec<P::State>, EngineStats) {
+        let p = self.workers;
+        let t0 = Instant::now();
+        let mut shards: Vec<Vec<P::State>> = (0..p).map(|_| Vec::new()).collect();
+        for v in 0..n {
+            shards[v % p].push(program.init_state(v));
+        }
+        let mut queues: Vec<VecDeque<Envelope<P::Msg>>> = (0..p).map(|_| VecDeque::new()).collect();
+        for &v in initial {
+            assert!(v < n, "initial vertex {v} out of range");
+            queues[v % p].push_back(Envelope::Start(v));
+        }
+
+        let mut busy = vec![Duration::ZERO; p];
+        let mut per_worker = vec![0u64; p];
+        let mut messages = 0u64;
+        let mut outbox: Vec<(usize, P::Msg)> = Vec::new();
+        loop {
+            let mut idle = true;
+            for w in 0..p {
+                let Some(env) = queues[w].pop_front() else {
+                    continue;
+                };
+                idle = false;
+                let t = Instant::now();
+                {
+                    let mut sink = |to: usize, msg: P::Msg| outbox.push((to, msg));
+                    let mut ctx = Ctx { sink: &mut sink };
+                    match env {
+                        Envelope::Stop => {}
+                        Envelope::Start(v) => {
+                            program.on_start(v, &mut shards[w][v / p], &mut ctx)
+                        }
+                        Envelope::User(v, m) => {
+                            per_worker[w] += 1;
+                            program.on_message(v, &mut shards[w][v / p], m, &mut ctx)
+                        }
+                    }
+                }
+                busy[w] += t.elapsed();
+                messages += outbox.len() as u64;
+                for (to, msg) in outbox.drain(..) {
+                    queues[to % p].push_back(Envelope::User(to, msg));
+                }
+            }
+            if idle {
+                break;
+            }
+        }
+
+        let stats = EngineStats {
+            messages,
+            activations: initial.len(),
+            per_worker,
+            elapsed: t0.elapsed(),
+            sim_makespan: busy.into_iter().max().unwrap_or_default(),
+        };
+        (collect_states(shards, n, p), stats)
+    }
+}
+
+/// Un-shards the per-worker state vectors back into vertex order.
+fn collect_states<S>(shards: Vec<Vec<S>>, n: usize, p: usize) -> Vec<S> {
+    let mut slots: Vec<Option<S>> = (0..n).map(|_| None).collect();
+    for (w, shard) in shards.into_iter().enumerate() {
+        for (i, s) in shard.into_iter().enumerate() {
+            slots[i * p + w] = Some(s);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("all vertices sharded")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Bfs {
+        adj: Vec<Vec<usize>>,
+    }
+
+    impl VertexProgram for Bfs {
+        type State = u32;
+        type Msg = u32;
+        fn init_state(&self, _v: usize) -> u32 {
+            u32::MAX
+        }
+        fn on_start(&self, v: usize, d: &mut u32, ctx: &mut Ctx<'_, u32>) {
+            *d = 0;
+            for &nb in &self.adj[v] {
+                ctx.send(nb, 1);
+            }
+        }
+        fn on_message(&self, v: usize, d: &mut u32, m: u32, ctx: &mut Ctx<'_, u32>) {
+            if m < *d {
+                *d = m;
+                for &nb in &self.adj[v] {
+                    ctx.send(nb, m + 1);
+                }
+            }
+        }
+    }
+
+    fn ring(n: usize) -> Bfs {
+        Bfs { adj: (0..n).map(|v| vec![(v + 1) % n]).collect() }
+    }
+
+    #[test]
+    fn bfs_on_a_ring() {
+        let n = 10;
+        let engine = Engine::new(3);
+        let (dist, stats) = engine.run(&ring(n), n, &[0]);
+        let expected: Vec<u32> = (0..n as u32).collect();
+        assert_eq!(dist, expected);
+        assert!(stats.messages >= n as u64 - 1);
+        assert_eq!(stats.activations, 1);
+    }
+
+    #[test]
+    fn monotone_program_is_deterministic_across_worker_counts() {
+        // Min-propagation converges to the same fixpoint regardless of
+        // asynchrony — exactly why EM_VC's Flag updates are safe (§5.1).
+        let n = 50;
+        let prog = Bfs {
+            adj: (0..n)
+                .map(|v| vec![(v + 1) % n, (v + 7) % n, (v * 3 + 1) % n])
+                .collect(),
+        };
+        let base = Engine::new(1).run(&prog, n, &[0]).0;
+        for p in [2, 4, 8] {
+            assert_eq!(Engine::new(p).run(&prog, n, &[0]).0, base, "p={p}");
+        }
+    }
+
+    #[test]
+    fn simulated_matches_threaded() {
+        let n = 40;
+        let prog = Bfs {
+            adj: (0..n).map(|v| vec![(v + 1) % n, (v + 9) % n]).collect(),
+        };
+        let threaded = Engine::new(4).run(&prog, n, &[0]).0;
+        let (sim, stats) = Engine::new(4).run_simulated(&prog, n, &[0]);
+        assert_eq!(sim, threaded);
+        assert_eq!(stats.per_worker.len(), 4);
+        assert!(stats.per_worker.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn simulated_is_deterministic() {
+        let n = 30;
+        let prog = ring(n);
+        let a = Engine::new(3).run_simulated(&prog, n, &[0]);
+        let b = Engine::new(3).run_simulated(&prog, n, &[0]);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.messages, b.1.messages);
+        assert_eq!(a.1.per_worker, b.1.per_worker);
+    }
+
+    #[test]
+    fn no_initial_activation_terminates_immediately() {
+        let engine = Engine::new(4);
+        let (states, stats) = engine.run(&ring(5), 5, &[]);
+        assert_eq!(states, vec![u32::MAX; 5]);
+        assert_eq!(stats.messages, 0);
+        let (states2, stats2) = engine.run_simulated(&ring(5), 5, &[]);
+        assert_eq!(states2, vec![u32::MAX; 5]);
+        assert_eq!(stats2.messages, 0);
+    }
+
+    #[test]
+    fn multiple_initial_activations() {
+        let n = 12;
+        let engine = Engine::new(4);
+        let (dist, stats) = engine.run(&ring(n), n, &[0, 6]);
+        // Two BFS sources on a directed ring: distance = min hop from 0/6.
+        for (v, &d) in dist.iter().enumerate() {
+            let d0 = (v + n) % n;
+            let d6 = (v + n - 6) % n;
+            assert_eq!(d, d0.min(d6) as u32, "vertex {v}");
+        }
+        assert_eq!(stats.activations, 2);
+    }
+
+    #[test]
+    fn per_worker_counts_sum_to_processed_messages() {
+        let n = 30;
+        let engine = Engine::new(5);
+        let (_, stats) = engine.run(&ring(n), n, &[0]);
+        let total: u64 = stats.per_worker.iter().sum();
+        assert_eq!(total, stats.messages);
+        assert_eq!(stats.per_worker.len(), 5);
+    }
+
+    #[test]
+    fn states_collected_in_vertex_order() {
+        struct Identity;
+        impl VertexProgram for Identity {
+            type State = usize;
+            type Msg = ();
+            fn init_state(&self, v: usize) -> usize {
+                v * 10
+            }
+            fn on_message(&self, _: usize, _: &mut usize, _: (), _: &mut Ctx<'_, ()>) {}
+        }
+        let (states, _) = Engine::new(3).run(&Identity, 7, &[]);
+        assert_eq!(states, vec![0, 10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn messages_between_all_worker_pairs() {
+        // A "star gossip": one vertex sends to every vertex; checks
+        // cross-shard channels work in every direction.
+        struct Gossip {
+            n: usize,
+        }
+        impl VertexProgram for Gossip {
+            type State = u32;
+            type Msg = ();
+            fn init_state(&self, _: usize) -> u32 {
+                0
+            }
+            fn on_start(&self, _v: usize, _s: &mut u32, ctx: &mut Ctx<'_, ()>) {
+                for u in 0..self.n {
+                    ctx.send(u, ());
+                }
+            }
+            fn on_message(&self, _v: usize, s: &mut u32, _: (), _: &mut Ctx<'_, ()>) {
+                *s += 1;
+            }
+        }
+        let n = 16;
+        let (states, stats) = Engine::new(4).run(&Gossip { n }, n, &[3]);
+        assert_eq!(states, vec![1u32; n]);
+        assert_eq!(stats.messages, n as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Engine::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_activation_rejected() {
+        let _ = Engine::new(1).run(&ring(3), 3, &[5]);
+    }
+}

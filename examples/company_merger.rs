@@ -1,0 +1,89 @@
+//! Business knowledge bases: mergers and splits — the paper's Q4/Q5
+//! (Example 1, business domain). A child company often carries its
+//! parent's name (AT&T/SBC, 2005), so `name` alone is not a key; the keys
+//! encode the parent/child *topology*, and the wildcard/entity-variable
+//! distinction decides what must already be identified.
+//!
+//! ```text
+//! cargo run --example company_merger
+//! ```
+
+use keys_for_graphs::prelude::*;
+
+fn main() {
+    // Fig. 2's G2: com0 ("AT&T") split into com1, com2 ("AT&T") and com3
+    // ("SBC"); the post-merger company appears twice (com4, com5), each
+    // recorded with one same-named parent and SBC.
+    let g = parse_graph(
+        r#"
+        com0:company name_of   "AT&T"
+        com1:company name_of   "AT&T"
+        com2:company name_of   "AT&T"
+        com3:company name_of   "SBC"
+        com4:company name_of   "AT&T"
+        com5:company name_of   "AT&T"
+        com0:company parent_of com1:company
+        com0:company parent_of com2:company
+        com0:company parent_of com3:company
+        com1:company parent_of com4:company
+        com2:company parent_of com5:company
+        com3:company parent_of com4:company
+        com3:company parent_of com5:company
+        "#,
+    )
+    .expect("valid graph");
+
+    // Q4 (merging): a company merged from a same-named parent is identified
+    // by its name and the *other* parent. The same-named parent is a
+    // wildcard (~p): it need not be the same entity on both sides — that is
+    // exactly why com4/com5 can be identified before com1/com2.
+    // Q5 (splitting): a company split from a same-named parent is
+    // identified by its name and a sibling (entity variable d).
+    let keys = KeySet::parse(
+        r#"
+        key "Q4" company(x) {
+            x -name_of-> n*;
+            ~p:company -name_of-> n*;
+            ~p:company -parent_of-> x;
+            q:company -parent_of-> x;
+        }
+        key "Q5" company(x) {
+            x -name_of-> n*;
+            ~p:company -name_of-> n*;
+            ~p:company -parent_of-> x;
+            ~p:company -parent_of-> d:company;
+        }
+        "#,
+    )
+    .expect("valid keys");
+    let compiled = keys.compile(&g);
+
+    // Example 5: G2 does not satisfy Q4 — com4/com5 are duplicates.
+    assert!(!satisfies(&g, &compiled));
+    println!("violations under node identity (Example 5):");
+    for v in key_violations(&g, &compiled) {
+        println!(
+            "  {}: {} <=> {}",
+            v.key_name,
+            g.entity_label(v.pair.0),
+            g.entity_label(v.pair.1)
+        );
+    }
+
+    // Entity matching merges both duplicate pairs (Example 7).
+    let out = em_mr(&g, &compiled, 2, MrVariant::Opt);
+    println!("\n{}", out.report);
+    println!("deduplicated registry:");
+    for class in out.eq.classes() {
+        let names: Vec<String> = class.iter().map(|&e| g.entity_label(e)).collect();
+        println!("  {}", names.join(" = "));
+    }
+
+    let c4 = g.entity_named("com4").unwrap();
+    let c5 = g.entity_named("com5").unwrap();
+    let c1 = g.entity_named("com1").unwrap();
+    let c2 = g.entity_named("com2").unwrap();
+    assert!(out.eq.same(c4, c5), "Q4 merges the post-merger records");
+    assert!(out.eq.same(c1, c2), "Q5 merges the split records");
+    println!("\nas in Example 7: (com4, com5) by Q4 and (com1, com2) by Q5");
+}

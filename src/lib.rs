@@ -1,0 +1,62 @@
+//! # keys-for-graphs
+//!
+//! A complete, production-quality Rust implementation of **“Keys for
+//! Graphs”** (Wenfei Fan, Zhe Fan, Chao Tian, Xin Luna Dong — PVLDB 8(12),
+//! 2015): keys defined as graph patterns, possibly recursively, interpreted
+//! via subgraph isomorphism; and parallel **entity matching** — computing
+//! all entity pairs a key set identifies (`chase(G, Σ)`).
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`graph`] | triple-store substrate (entities, values, types, CSR adjacency, d-neighborhoods) |
+//! | [`isomorph`] | matching engines: guided paired matcher, enumerate-all baseline, pairing relations |
+//! | [`mapreduce`] | in-process MapReduce framework (the Hadoop stand-in) |
+//! | [`vertexcentric`] | asynchronous vertex-centric engine (the GraphLab stand-in) |
+//! | [`core`] | keys, the DSL, the chase, `EM_MR`/`EM_VC` algorithm families |
+//! | [`datagen`] | workload generators with planted ground truth |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use keys_for_graphs::prelude::*;
+//!
+//! // A knowledge-graph fragment (Fig. 2 of the paper): two records of the
+//! // same album under different ids.
+//! let g = parse_graph(r#"
+//!     alb1:album  name_of       "Anthology 2"
+//!     alb1:album  release_year  "1996"
+//!     alb2:album  name_of       "Anthology 2"
+//!     alb2:album  release_year  "1996"
+//! "#).unwrap();
+//!
+//! // Q2: an album is identified by its name and release year.
+//! let keys = KeySet::parse(r#"
+//!     key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }
+//! "#).unwrap();
+//!
+//! // Entity matching with the vertex-centric algorithm, 4 workers.
+//! let outcome = em_vc(&g, &keys.compile(&g), 4, VcVariant::Opt { k: 4 });
+//! assert_eq!(outcome.identified_pairs().len(), 1);
+//! ```
+
+pub use gk_core as core;
+pub use gk_datagen as datagen;
+pub use gk_graph as graph;
+pub use gk_isomorph as isomorph;
+pub use gk_mapreduce as mapreduce;
+pub use gk_vertexcentric as vertexcentric;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use gk_core::{
+        chase_reference, em_mr, em_mr_sim, em_vc, em_vc_sim, key_violations, parse_keys,
+        satisfies, set_violations, CandidateMode, ChaseOrder, CompiledKeySet, Key, KeySet,
+        MatchOutcome, MrVariant, RunReport, Term, VcVariant,
+    };
+    pub use gk_graph::{
+        d_neighborhood, parse_graph, EntityId, Graph, GraphBuilder, GraphStats, NodeId, Obj,
+        PredId, TypeId, ValueId,
+    };
+}

@@ -1,0 +1,214 @@
+//! Integration tests reproducing the paper's worked examples end-to-end:
+//! Example 1 (the six keys of Fig. 1), Example 5 (violations), Example 7
+//! (chase results on G1/G2), Example 8 (EM_MR round structure) and
+//! Example 10 (EM_VC message propagation outcome).
+
+use keys_for_graphs::prelude::*;
+
+/// Fig. 2, G1 — the music fragment.
+fn g1() -> Graph {
+    parse_graph(
+        r#"
+        alb1:album  name_of       "Anthology 2"
+        alb1:album  release_year  "1996"
+        alb1:album  recorded_by   art1:artist
+        art1:artist name_of       "The Beatles"
+        alb2:album  name_of       "Anthology 2"
+        alb2:album  release_year  "1996"
+        alb2:album  recorded_by   art2:artist
+        art2:artist name_of       "The Beatles"
+        alb3:album  name_of       "Anthology 2"
+        alb3:album  recorded_by   art3:artist
+        art3:artist name_of       "John Farnham"
+        "#,
+    )
+    .unwrap()
+}
+
+/// Fig. 2, G2 — the company fragment (per Example 7's witnesses).
+fn g2() -> Graph {
+    parse_graph(
+        r#"
+        com0:company name_of   "AT&T"
+        com1:company name_of   "AT&T"
+        com2:company name_of   "AT&T"
+        com3:company name_of   "SBC"
+        com4:company name_of   "AT&T"
+        com5:company name_of   "AT&T"
+        com0:company parent_of com1:company
+        com0:company parent_of com2:company
+        com0:company parent_of com3:company
+        com1:company parent_of com4:company
+        com2:company parent_of com5:company
+        com3:company parent_of com4:company
+        com3:company parent_of com5:company
+        "#,
+    )
+    .unwrap()
+}
+
+/// The six keys of Fig. 1 in the DSL.
+const FIG1_KEYS: &str = r#"
+    key "Q1" album(x)  { x -name_of-> n*; x -recorded_by-> a:artist; }
+    key "Q2" album(x)  { x -name_of-> n*; x -release_year-> y*; }
+    key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+    key "Q4" company(x) {
+        x -name_of-> n*;
+        ~p:company -name_of-> n*;
+        ~p:company -parent_of-> x;
+        q:company -parent_of-> x;
+    }
+    key "Q5" company(x) {
+        x -name_of-> n*;
+        ~p:company -name_of-> n*;
+        ~p:company -parent_of-> x;
+        ~p:company -parent_of-> d:company;
+    }
+    key "Q6" street(x) { x -zip_code-> z*; x -nation_of-> "UK"; }
+"#;
+
+fn e(g: &Graph, n: &str) -> EntityId {
+    g.entity_named(n).unwrap()
+}
+
+fn pair(g: &Graph, a: &str, b: &str) -> (EntityId, EntityId) {
+    gk_core::norm(e(g, a), e(g, b))
+}
+
+#[test]
+fn example1_key_taxonomy() {
+    // Example 6: Q1, Q3, Q4, Q5 are recursive; Q2, Q6 are value-based.
+    let keys = parse_keys(FIG1_KEYS).unwrap();
+    let recursive: Vec<bool> = keys.iter().map(|k| k.is_recursive()).collect();
+    assert_eq!(recursive, vec![true, false, true, true, true, false]);
+    // Q1/Q3 are mutually recursive: album needs artist, artist needs album.
+    let ks = KeySet::new(keys).unwrap();
+    assert!(ks.longest_chain() >= 2);
+}
+
+#[test]
+fn example5_g1_violations_surface_through_recursion() {
+    let g = g1();
+    let keys = KeySet::parse(FIG1_KEYS).unwrap().compile(&g);
+    // Under plain node identity only Q2 is violated (alb1/alb2)...
+    let direct = key_violations(&g, &keys);
+    assert_eq!(direct.len(), 1);
+    assert_eq!(direct[0].key_name, "Q2");
+    assert_eq!(direct[0].pair, pair(&g, "alb1", "alb2"));
+    // ...but the chase also exposes art1/art2 (mutual recursion).
+    let all = set_violations(&g, &keys);
+    assert_eq!(all, vec![pair(&g, "alb1", "alb2"), pair(&g, "art1", "art2")]);
+}
+
+#[test]
+fn example5_g2_violates_q4() {
+    let g = g2();
+    let keys = KeySet::parse(FIG1_KEYS).unwrap().compile(&g);
+    let direct = key_violations(&g, &keys);
+    // com4/com5 by Q4 and com1/com2 by Q5 fire already under Eq0.
+    let pairs: Vec<_> = direct.iter().map(|v| v.pair).collect();
+    assert!(pairs.contains(&pair(&g, "com4", "com5")));
+    assert!(pairs.contains(&pair(&g, "com1", "com2")));
+}
+
+#[test]
+fn example7_chase_on_g1() {
+    let g = g1();
+    let keys = KeySet::parse(FIG1_KEYS).unwrap().compile(&g);
+    let r = chase_reference(&g, &keys, ChaseOrder::Deterministic);
+    assert_eq!(
+        r.identified_pairs(),
+        vec![pair(&g, "alb1", "alb2"), pair(&g, "art1", "art2")]
+    );
+    // Albums strictly precede artists in chase order (Q3 is recursive).
+    let steps: Vec<_> = r.steps.iter().map(|s| s.pair).collect();
+    let alb = steps.iter().position(|&p| p == pair(&g, "alb1", "alb2")).unwrap();
+    let art = steps.iter().position(|&p| p == pair(&g, "art1", "art2")).unwrap();
+    assert!(alb < art);
+}
+
+#[test]
+fn example7_chase_on_g2() {
+    let g = g2();
+    let keys = KeySet::parse(FIG1_KEYS).unwrap().compile(&g);
+    let r = chase_reference(&g, &keys, ChaseOrder::Deterministic);
+    assert_eq!(
+        r.identified_pairs(),
+        vec![pair(&g, "com1", "com2"), pair(&g, "com4", "com5")]
+    );
+}
+
+#[test]
+fn example8_mapreduce_round_structure() {
+    // With Σ = {Q2, Q3}: round 1 identifies the albums, round 2 the
+    // artists, round 3 observes the fixpoint (Example 8's three rounds).
+    let g = g1();
+    let keys = KeySet::parse(
+        r#"
+        key "Q2" album(x)  { x -name_of-> n*; x -release_year-> y*; }
+        key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+        "#,
+    )
+    .unwrap()
+    .compile(&g);
+    let out = em_mr(&g, &keys, 3, MrVariant::Base);
+    assert_eq!(out.report.rounds, 3);
+    assert_eq!(
+        out.identified_pairs(),
+        vec![pair(&g, "alb1", "alb2"), pair(&g, "art1", "art2")]
+    );
+}
+
+#[test]
+fn example10_vertex_centric_on_g1() {
+    let g = g1();
+    let keys = KeySet::parse(FIG1_KEYS).unwrap().compile(&g);
+    for variant in [VcVariant::Base, VcVariant::Opt { k: 4 }] {
+        let out = em_vc(&g, &keys, 3, variant);
+        assert_eq!(
+            out.identified_pairs(),
+            vec![pair(&g, "alb1", "alb2"), pair(&g, "art1", "art2")],
+            "{variant:?}"
+        );
+        assert!(out.report.messages > 0);
+    }
+}
+
+#[test]
+fn q6_constant_keys_respect_the_condition() {
+    // Q6 holds for UK streets only: same zip in the US must not merge.
+    let g = parse_graph(
+        r#"
+        s1:street zip_code "EH8 9AB"
+        s1:street nation_of "UK"
+        s2:street zip_code "EH8 9AB"
+        s2:street nation_of "UK"
+        s3:street zip_code "10001"
+        s3:street nation_of "US"
+        s4:street zip_code "10001"
+        s4:street nation_of "US"
+        "#,
+    )
+    .unwrap();
+    let keys = KeySet::parse(FIG1_KEYS).unwrap().compile(&g);
+    let r = chase_reference(&g, &keys, ChaseOrder::Deterministic);
+    assert_eq!(r.identified_pairs(), vec![pair(&g, "s1", "s2")]);
+}
+
+#[test]
+fn all_six_algorithms_agree_on_both_paper_graphs() {
+    for g in [g1(), g2()] {
+        let keys = KeySet::parse(FIG1_KEYS).unwrap().compile(&g);
+        let expected = chase_reference(&g, &keys, ChaseOrder::Deterministic).identified_pairs();
+        assert_eq!(em_mr(&g, &keys, 2, MrVariant::Vf2).identified_pairs(), expected);
+        assert_eq!(em_mr(&g, &keys, 2, MrVariant::Base).identified_pairs(), expected);
+        assert_eq!(em_mr(&g, &keys, 2, MrVariant::Opt).identified_pairs(), expected);
+        assert_eq!(em_vc(&g, &keys, 2, VcVariant::Base).identified_pairs(), expected);
+        assert_eq!(
+            em_vc(&g, &keys, 2, VcVariant::Opt { k: 4 }).identified_pairs(),
+            expected
+        );
+        assert_eq!(em_mr_sim(&g, &keys, 4, MrVariant::Base).identified_pairs(), expected);
+        assert_eq!(em_vc_sim(&g, &keys, 4, VcVariant::Base).identified_pairs(), expected);
+    }
+}

@@ -1,0 +1,252 @@
+//! Property-based tests over random graphs, random keys and generated
+//! workloads: algorithm agreement, Church–Rosser, pairing soundness,
+//! data locality, tour invariants, DSL/text round-trips.
+
+use gk_datagen::{generate, GenConfig};
+use keys_for_graphs::prelude::*;
+use keys_for_graphs::core::{candidate_pairs, write_keys, Tour};
+use keys_for_graphs::isomorph::{
+    eval_pair, eval_pair_enumerate, pairing_at, IdentityEq, MatchScope,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Random raw graphs + random keys
+// ---------------------------------------------------------------------------
+
+/// A random triple spec over a tiny alphabet: subject entity index, a
+/// predicate, and either an object entity index or a value index.
+#[derive(Clone, Debug)]
+struct RawTriple {
+    s: u8,
+    p: u8,
+    obj_entity: bool,
+    o: u8,
+}
+
+fn raw_triples() -> impl Strategy<Value = Vec<RawTriple>> {
+    prop::collection::vec(
+        (0u8..10, 0u8..4, any::<bool>(), 0u8..10).prop_map(|(s, p, obj_entity, o)| RawTriple {
+            s,
+            p,
+            obj_entity,
+            o,
+        }),
+        1..24,
+    )
+}
+
+/// Builds a graph from raw triples: entity i has type `t{i % 3}`.
+fn build_graph(raw: &[RawTriple]) -> Graph {
+    let mut b = GraphBuilder::new();
+    let ents: Vec<EntityId> =
+        (0..10).map(|i| b.entity(&format!("e{i}"), &format!("t{}", i % 3))).collect();
+    for t in raw {
+        let s = ents[t.s as usize];
+        let p = format!("p{}", t.p);
+        if t.obj_entity {
+            b.link(s, &p, ents[t.o as usize]);
+        } else {
+            b.attr(s, &p, &format!("v{}", t.o % 6));
+        }
+    }
+    b.freeze()
+}
+
+/// A small pool of structurally varied keys over the same alphabet; the
+/// strategy picks a subset.
+fn key_pool() -> Vec<Key> {
+    let dsl = r#"
+        key "A" t0(x) { x -p0-> n*; }
+        key "B" t0(x) { x -p0-> n*; x -p1-> m*; }
+        key "C" t1(x) { x -p1-> n*; x -p2-> y:t2; }
+        key "D" t2(x) { x -p2-> n*; z:t1 -p2-> x; }
+        key "E" t0(x) { x -p0-> n*; x -p3-> ~w:t1; }
+        key "F" t1(x) { x -p0-> w:t1; w:t1 -p0-> x; }
+        key "G" t2(x) { x -p1-> "v1"; x -p2-> n*; }
+    "#;
+    parse_keys(dsl).unwrap()
+}
+
+fn key_subset() -> impl Strategy<Value = Vec<Key>> {
+    prop::collection::vec(0usize..7, 1..4).prop_map(|idx| {
+        let pool = key_pool();
+        let mut picked = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for i in idx {
+            if seen.insert(i) {
+                picked.push(pool[i].clone());
+            }
+        }
+        picked
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The parallel algorithms all compute exactly chase(G, Σ)
+    /// (Theorems 6/10), on arbitrary graphs and key subsets.
+    #[test]
+    fn algorithms_agree_on_random_graphs(raw in raw_triples(), keys in key_subset()) {
+        let g = build_graph(&raw);
+        let cks = KeySet::new(keys).unwrap().compile(&g);
+        let expected = chase_reference(&g, &cks, ChaseOrder::Deterministic).identified_pairs();
+        prop_assert_eq!(em_mr(&g, &cks, 2, MrVariant::Vf2).identified_pairs(), expected.clone());
+        prop_assert_eq!(em_mr(&g, &cks, 3, MrVariant::Base).identified_pairs(), expected.clone());
+        prop_assert_eq!(em_mr(&g, &cks, 2, MrVariant::Opt).identified_pairs(), expected.clone());
+        prop_assert_eq!(em_vc(&g, &cks, 3, VcVariant::Base).identified_pairs(), expected.clone());
+        prop_assert_eq!(
+            em_vc(&g, &cks, 2, VcVariant::Opt { k: 2 }).identified_pairs(),
+            expected
+        );
+    }
+
+    /// Church–Rosser (Prop. 1): terminal chase results are order-invariant.
+    #[test]
+    fn chase_is_church_rosser(raw in raw_triples(), keys in key_subset(), seed in any::<u64>()) {
+        let g = build_graph(&raw);
+        let cks = KeySet::new(keys).unwrap().compile(&g);
+        let a = chase_reference(&g, &cks, ChaseOrder::Deterministic).identified_pairs();
+        let b = chase_reference(&g, &cks, ChaseOrder::Shuffled(seed)).identified_pairs();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Pairing is a *sound* filter (Prop. 9a): any pair certified by a key
+    /// under Eq0 is pairable by that key.
+    #[test]
+    fn pairing_is_necessary(raw in raw_triples(), keys in key_subset()) {
+        let g = build_graph(&raw);
+        let cks = KeySet::new(keys).unwrap().compile(&g);
+        for &(a, b) in candidate_pairs(&g, &cks, CandidateMode::TypePairs).iter() {
+            let t = g.entity_type(a);
+            for &ki in cks.keys_on(t) {
+                let q = &cks.keys[ki].pattern;
+                if eval_pair(&g, q, a, b, &IdentityEq, MatchScope::whole_graph()) {
+                    prop_assert!(
+                        pairing_at(&g, q, a, b, None, None).pairable(q, a, b),
+                        "identified but unpairable: {:?} {:?} key {}", a, b, ki
+                    );
+                }
+            }
+        }
+    }
+
+    /// The guided matcher and the enumerate-all baseline agree key-by-key.
+    #[test]
+    fn guided_equals_enumerate(raw in raw_triples(), keys in key_subset()) {
+        let g = build_graph(&raw);
+        let cks = KeySet::new(keys).unwrap().compile(&g);
+        for &(a, b) in candidate_pairs(&g, &cks, CandidateMode::TypePairs).iter().take(40) {
+            let t = g.entity_type(a);
+            for &ki in cks.keys_on(t) {
+                let q = &cks.keys[ki].pattern;
+                let guided = eval_pair(&g, q, a, b, &IdentityEq, MatchScope::whole_graph());
+                let brute =
+                    eval_pair_enumerate(&g, q, a, b, &IdentityEq, None, None, usize::MAX);
+                prop_assert_eq!(guided, brute, "pair {:?}/{:?} key {}", a, b, ki);
+            }
+        }
+    }
+
+    /// Data locality (§4.1): matching within the d-neighborhoods equals
+    /// matching against the whole graph.
+    #[test]
+    fn d_neighborhood_locality(raw in raw_triples(), keys in key_subset()) {
+        let g = build_graph(&raw);
+        let cks = KeySet::new(keys).unwrap().compile(&g);
+        for &(a, b) in candidate_pairs(&g, &cks, CandidateMode::TypePairs).iter().take(40) {
+            let t = g.entity_type(a);
+            let d = cks.radius_of_type(t);
+            let h1 = d_neighborhood(&g, a, d);
+            let h2 = d_neighborhood(&g, b, d);
+            for &ki in cks.keys_on(t) {
+                let q = &cks.keys[ki].pattern;
+                let whole = eval_pair(&g, q, a, b, &IdentityEq, MatchScope::whole_graph());
+                let local = eval_pair(&g, q, a, b, &IdentityEq, MatchScope::new(&h1, &h2));
+                prop_assert_eq!(whole, local);
+            }
+        }
+    }
+
+    /// Tours are closed walks from the anchor covering every triple, of
+    /// length exactly 2·|Q| (Lemma 11's bound).
+    #[test]
+    fn tours_cover_patterns(keys in key_subset(), raw in raw_triples()) {
+        let g = build_graph(&raw);
+        let cks = KeySet::new(keys).unwrap().compile(&g);
+        for ck in &cks.keys {
+            let tour = Tour::build(&ck.pattern);
+            prop_assert_eq!(tour.len(), 2 * ck.pattern.size());
+            let mut at = ck.pattern.anchor();
+            let mut covered = vec![false; ck.pattern.size()];
+            for (i, step) in tour.steps().iter().enumerate() {
+                let tri = ck.pattern.triples()[step.triple as usize];
+                let (from, to) = if step.forward { (tri.s, tri.o) } else { (tri.o, tri.s) };
+                prop_assert_eq!(from, at);
+                covered[step.triple as usize] = true;
+                at = tour.slot_after(&ck.pattern, i);
+                prop_assert_eq!(at, to);
+            }
+            prop_assert_eq!(at, ck.pattern.anchor());
+            prop_assert!(covered.into_iter().all(|c| c));
+        }
+    }
+
+    /// d-neighborhoods grow monotonically with d and are undirected.
+    #[test]
+    fn neighborhoods_monotone(raw in raw_triples(), e in 0u8..10) {
+        let g = build_graph(&raw);
+        let ent = g.entity_named(&format!("e{e}")).unwrap();
+        let mut prev = 0;
+        for d in 0..5 {
+            let n = d_neighborhood(&g, ent, d).len();
+            prop_assert!(n >= prev);
+            prev = n;
+        }
+    }
+
+    /// The key DSL round-trips: write → parse → identical keys.
+    #[test]
+    fn dsl_roundtrip(keys in key_subset()) {
+        let text = write_keys(&keys);
+        let again = parse_keys(&text).unwrap();
+        prop_assert_eq!(keys, again);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generated workloads (richer structure, planted truth)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// On generated workloads with planted ground truth, every algorithm
+    /// recovers exactly the truth, for arbitrary seeds and key shapes.
+    #[test]
+    fn generated_workloads_are_recovered(
+        seed in any::<u64>(),
+        c in 0usize..3,
+        d in 1usize..3,
+    ) {
+        let cfg = GenConfig::google()
+            .with_scale(0.04)
+            .with_keys(6)
+            .with_chain(c)
+            .with_radius(d)
+            .with_seed(seed);
+        let w = generate(&cfg);
+        let keys = w.keys.compile(&w.graph);
+        let expected = chase_reference(&w.graph, &keys, ChaseOrder::Deterministic)
+            .identified_pairs();
+        prop_assert_eq!(&expected, &w.truth, "reference chase must find the planted truth");
+        prop_assert_eq!(em_mr(&w.graph, &keys, 3, MrVariant::Base).identified_pairs(), w.truth.clone());
+        prop_assert_eq!(em_mr(&w.graph, &keys, 2, MrVariant::Opt).identified_pairs(), w.truth.clone());
+        prop_assert_eq!(em_vc(&w.graph, &keys, 3, VcVariant::Base).identified_pairs(), w.truth.clone());
+        prop_assert_eq!(
+            em_vc(&w.graph, &keys, 2, VcVariant::Opt { k: 1 }).identified_pairs(),
+            w.truth.clone()
+        );
+    }
+}
