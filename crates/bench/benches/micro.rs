@@ -9,7 +9,12 @@ use gk_graph::{d_neighborhood, EntityId};
 use gk_isomorph::{eval_pair, eval_pair_enumerate, pairing_at, IdentityEq, MatchScope};
 
 fn setup() -> (gk_datagen::Workload, gk_core::CompiledKeySet) {
-    let w = generate(&GenConfig::google().with_scale(0.1).with_chain(2).with_radius(2));
+    let w = generate(
+        &GenConfig::google()
+            .with_scale(0.1)
+            .with_chain(2)
+            .with_radius(2),
+    );
     let keys = w.keys.compile(&w.graph);
     (w, keys)
 }
@@ -44,7 +49,14 @@ fn bench_matchers(cr: &mut Criterion) {
     let q = &keys.keys[ki].pattern;
     cr.bench_function("eval_pair_guided", |bch| {
         bch.iter(|| {
-            assert!(eval_pair(&w.graph, q, a, b, &IdentityEq, MatchScope::whole_graph()))
+            assert!(eval_pair(
+                &w.graph,
+                q,
+                a,
+                b,
+                &IdentityEq,
+                MatchScope::whole_graph()
+            ))
         })
     });
     cr.bench_function("eval_pair_enumerate_all", |bch| {

@@ -10,17 +10,25 @@ fn bench_vary_c(cr: &mut Criterion) {
     group.sample_size(10);
     for c in [1usize, 2, 3] {
         let w = generate(
-            &GenConfig::synthetic().with_keys(30).with_scale(0.2).with_chain(c).with_radius(2),
+            &GenConfig::synthetic()
+                .with_keys(30)
+                .with_scale(0.2)
+                .with_chain(c)
+                .with_radius(2),
         );
         let keys = w.keys.compile(&w.graph);
         for algo in [AlgoKind::MrOpt, AlgoKind::VcOpt] {
-            group.bench_with_input(BenchmarkId::new(algo.label(), format!("c={c}")), &c, |b, _| {
-                b.iter(|| {
-                    let out = algo.run(&w.graph, &keys, 4);
-                    assert_eq!(out.identified_pairs(), w.truth);
-                    out.report.rounds
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), format!("c={c}")),
+                &c,
+                |b, _| {
+                    b.iter(|| {
+                        let out = algo.run(&w.graph, &keys, 4);
+                        assert_eq!(out.identified_pairs(), w.truth);
+                        out.report.rounds
+                    })
+                },
+            );
         }
     }
     group.finish();
@@ -31,17 +39,25 @@ fn bench_vary_d(cr: &mut Criterion) {
     group.sample_size(10);
     for d in [1usize, 2, 3] {
         let w = generate(
-            &GenConfig::synthetic().with_keys(30).with_scale(0.2).with_chain(2).with_radius(d),
+            &GenConfig::synthetic()
+                .with_keys(30)
+                .with_scale(0.2)
+                .with_chain(2)
+                .with_radius(d),
         );
         let keys = w.keys.compile(&w.graph);
         for algo in [AlgoKind::MrOpt, AlgoKind::VcOpt] {
-            group.bench_with_input(BenchmarkId::new(algo.label(), format!("d={d}")), &d, |b, _| {
-                b.iter(|| {
-                    let out = algo.run(&w.graph, &keys, 4);
-                    assert_eq!(out.identified_pairs(), w.truth);
-                    out.report.identified
-                })
-            });
+            group.bench_with_input(
+                BenchmarkId::new(algo.label(), format!("d={d}")),
+                &d,
+                |b, _| {
+                    b.iter(|| {
+                        let out = algo.run(&w.graph, &keys, 4);
+                        assert_eq!(out.identified_pairs(), w.truth);
+                        out.report.identified
+                    })
+                },
+            );
         }
     }
     group.finish();

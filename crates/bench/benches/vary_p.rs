@@ -7,23 +7,24 @@ use gk_bench::AlgoKind;
 use gk_datagen::{generate, GenConfig};
 
 fn bench_vary_p(cr: &mut Criterion) {
-    let w = generate(&GenConfig::google().with_scale(0.08).with_chain(2).with_radius(2));
+    let w = generate(
+        &GenConfig::google()
+            .with_scale(0.08)
+            .with_chain(2)
+            .with_radius(2),
+    );
     let keys = w.keys.compile(&w.graph);
     let mut group = cr.benchmark_group("vary_p_google");
     group.sample_size(10);
     for p in [2usize, 4, 8] {
         for algo in [AlgoKind::Mr, AlgoKind::MrOpt, AlgoKind::Vc, AlgoKind::VcOpt] {
-            group.bench_with_input(
-                BenchmarkId::new(algo.label(), p),
-                &p,
-                |b, &p| {
-                    b.iter(|| {
-                        let out = algo.run(&w.graph, &keys, p);
-                        assert_eq!(out.identified_pairs(), w.truth);
-                        out.report.identified
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(algo.label(), p), &p, |b, &p| {
+                b.iter(|| {
+                    let out = algo.run(&w.graph, &keys, p);
+                    assert_eq!(out.identified_pairs(), w.truth);
+                    out.report.identified
+                })
+            });
         }
     }
     group.finish();

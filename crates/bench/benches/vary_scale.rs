@@ -9,7 +9,12 @@ fn bench_vary_scale(cr: &mut Criterion) {
     let mut group = cr.benchmark_group("vary_scale_dbpedia");
     group.sample_size(10);
     for scale in [0.05f64, 0.1, 0.2] {
-        let w = generate(&GenConfig::dbpedia().with_scale(scale).with_chain(2).with_radius(2));
+        let w = generate(
+            &GenConfig::dbpedia()
+                .with_scale(scale)
+                .with_chain(2)
+                .with_radius(2),
+        );
         let keys = w.keys.compile(&w.graph);
         for algo in [AlgoKind::MrOpt, AlgoKind::VcOpt] {
             group.bench_with_input(

@@ -73,7 +73,11 @@ fn print_experiment(id: &str, ms: &[Measurement]) {
     let all_ok = ms.iter().all(|m| m.correct);
     println!(
         "correctness vs planted truth: {}",
-        if all_ok { "all runs correct" } else { "*** MISMATCH ***" }
+        if all_ok {
+            "all runs correct"
+        } else {
+            "*** MISMATCH ***"
+        }
     );
     println!();
 }
@@ -116,7 +120,11 @@ fn print_series(ms: &[Measurement]) {
                 Some(m) => {
                     // p-sweeps report the simulated ideal-parallel
                     // makespan; other sweeps report wall-clock.
-                    let secs = if m.sim_seconds > 0.0 { m.sim_seconds } else { m.seconds };
+                    let secs = if m.sim_seconds > 0.0 {
+                        m.sim_seconds
+                    } else {
+                        m.seconds
+                    };
                     print!("{:>12}", fmt_secs(secs));
                     if first.is_none() {
                         first = Some(secs);
@@ -136,7 +144,10 @@ fn print_series(ms: &[Measurement]) {
     // The c-sweeps' headline claim is round growth: show the MapReduce
     // round counts per x for algorithms whose rounds vary.
     for (algo, cells) in &rows {
-        let vals: Vec<usize> = xs.iter().filter_map(|x| cells.get(x).map(|m| m.rounds)).collect();
+        let vals: Vec<usize> = xs
+            .iter()
+            .filter_map(|x| cells.get(x).map(|m| m.rounds))
+            .collect();
         if vals.windows(2).any(|w| w[0] != w[1]) {
             print!("{:<12}", format!("{algo} rnds"));
             for x in &xs {
@@ -176,7 +187,10 @@ fn print_table2(ms: &[Measurement]) {
 }
 
 fn print_gp_ratio(ms: &[Measurement]) {
-    println!("{:<12}{:>12}{:>12}{:>12}{:>12}", "dataset", "|G|", "Gp nodes", "Gp edges", "Gp/G");
+    println!(
+        "{:<12}{:>12}{:>12}{:>12}{:>12}",
+        "dataset", "|G|", "Gp nodes", "Gp edges", "Gp/G"
+    );
     for m in ms {
         let find = |k: &str| {
             m.extra

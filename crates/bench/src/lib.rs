@@ -1,7 +1,7 @@
 //! # gk-bench — benchmark harness for the Keys-for-Graphs evaluation
 //!
 //! Reproduces every table and figure of §6 (see DESIGN.md's experiment
-//! index and EXPERIMENTS.md for paper-vs-measured):
+//! index):
 //!
 //! * Fig. 8(a)(e)(i): varying the worker count `p`;
 //! * Fig. 8(b)(f)(j): varying `|G|` via the generator scale factor;
@@ -20,6 +20,4 @@
 
 pub mod suite;
 
-pub use suite::{
-    run_experiment, AlgoKind, Measurement, ALL_EXPERIMENTS,
-};
+pub use suite::{run_experiment, AlgoKind, Measurement, ALL_EXPERIMENTS};

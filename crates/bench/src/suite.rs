@@ -1,8 +1,8 @@
 //! The experiment suite: one function per figure/table of §6.
 
 use gk_core::{
-    chase_reference, em_mr, em_mr_sim, em_vc, em_vc_sim, ChaseOrder, CompiledKeySet,
-    MatchOutcome, MrVariant, VcVariant,
+    chase_reference, em_mr, em_mr_sim, em_vc, em_vc_sim, ChaseOrder, CompiledKeySet, MatchOutcome,
+    MrVariant, VcVariant,
 };
 use gk_datagen::{generate, GenConfig, Workload};
 use gk_graph::{EntityId, Graph};
@@ -41,7 +41,13 @@ impl AlgoKind {
 
     /// The five parallel algorithms of Fig. 8.
     pub fn parallel_five() -> [AlgoKind; 5] {
-        [AlgoKind::MrVf2, AlgoKind::Mr, AlgoKind::MrOpt, AlgoKind::Vc, AlgoKind::VcOpt]
+        [
+            AlgoKind::MrVf2,
+            AlgoKind::Mr,
+            AlgoKind::MrOpt,
+            AlgoKind::Vc,
+            AlgoKind::VcOpt,
+        ]
     }
 
     /// Runs the algorithm with `p` workers.
@@ -194,7 +200,11 @@ fn measure_reps(
 ) -> Measurement {
     let mut best: Option<Measurement> = None;
     for _ in 0..reps.max(1) {
-        let out = if sim { algo.run_sim(&w.graph, keys, p) } else { algo.run(&w.graph, keys, p) };
+        let out = if sim {
+            algo.run_sim(&w.graph, keys, p)
+        } else {
+            algo.run(&w.graph, keys, p)
+        };
         let got = out.identified_pairs();
         let m = Measurement {
             experiment: experiment.to_string(),
@@ -211,8 +221,16 @@ fn measure_reps(
             extra: out.report.extra.clone(),
         };
         let faster = |a: &Measurement, b: &Measurement| {
-            let ka = if a.sim_seconds > 0.0 { a.sim_seconds } else { a.seconds };
-            let kb = if b.sim_seconds > 0.0 { b.sim_seconds } else { b.seconds };
+            let ka = if a.sim_seconds > 0.0 {
+                a.sim_seconds
+            } else {
+                a.seconds
+            };
+            let kb = if b.sim_seconds > 0.0 {
+                b.sim_seconds
+            } else {
+                b.seconds
+            };
             ka < kb
         };
         best = match best {
@@ -271,7 +289,16 @@ fn vary_p(ds: char, id: &str, quick: bool) -> Vec<Measurement> {
         for algo in AlgoKind::parallel_five() {
             // Simulated workers: the makespan scales with p even when the
             // host has fewer cores (see DESIGN.md).
-            out.push(measure_reps(id, &w, &keys, algo, p, format!("p={p}"), true, reps));
+            out.push(measure_reps(
+                id,
+                &w,
+                &keys,
+                algo,
+                p,
+                format!("p={p}"),
+                true,
+                reps,
+            ));
         }
     }
     out
@@ -287,9 +314,9 @@ fn vary_scale(ds: char, id: &str, quick: bool) -> Vec<Measurement> {
         let keys = w.keys.compile(&w.graph);
         for algo in AlgoKind::parallel_five() {
             let reps = if quick { 1 } else { 2 };
-            let mut m =
-                measure_reps(id, &w, &keys, algo, 4, format!("scale={f}"), false, reps);
-            m.extra.push(("triples".into(), w.graph.num_triples().to_string()));
+            let mut m = measure_reps(id, &w, &keys, algo, 4, format!("scale={f}"), false, reps);
+            m.extra
+                .push(("triples".into(), w.graph.num_triples().to_string()));
             out.push(m);
         }
     }
@@ -306,7 +333,16 @@ fn vary_c(ds: char, id: &str, quick: bool) -> Vec<Measurement> {
         let keys = w.keys.compile(&w.graph);
         for algo in AlgoKind::parallel_five() {
             let reps = if quick { 1 } else { 2 };
-            out.push(measure_reps(id, &w, &keys, algo, 4, format!("c={c}"), false, reps));
+            out.push(measure_reps(
+                id,
+                &w,
+                &keys,
+                algo,
+                4,
+                format!("c={c}"),
+                false,
+                reps,
+            ));
         }
     }
     out
@@ -322,7 +358,16 @@ fn vary_d(ds: char, id: &str, quick: bool) -> Vec<Measurement> {
         let keys = w.keys.compile(&w.graph);
         for algo in AlgoKind::parallel_five() {
             let reps = if quick { 1 } else { 2 };
-            out.push(measure_reps(id, &w, &keys, algo, 4, format!("d={d}"), false, reps));
+            out.push(measure_reps(
+                id,
+                &w,
+                &keys,
+                algo,
+                4,
+                format!("d={d}"),
+                false,
+                reps,
+            ));
         }
     }
     out
@@ -359,7 +404,8 @@ fn gp_ratio(quick: bool) -> Vec<Measurement> {
         let w = generate(&cfg);
         let keys = w.keys.compile(&w.graph);
         let mut m = measure("gp_ratio", &w, &keys, AlgoKind::Vc, 4, "-".into());
-        m.extra.push(("g_triples".into(), w.graph.num_triples().to_string()));
+        m.extra
+            .push(("g_triples".into(), w.graph.num_triples().to_string()));
         out.push(m);
     }
     out
@@ -387,7 +433,14 @@ fn opt_vc(quick: bool) -> Vec<Measurement> {
         let cfg = dataset_cfg(ds, quick).with_chain(2).with_radius(2);
         let w = generate(&cfg);
         let keys = w.keys.compile(&w.graph);
-        out.push(measure("opt_vc", &w, &keys, AlgoKind::Vc, 4, "unbounded".into()));
+        out.push(measure(
+            "opt_vc",
+            &w,
+            &keys,
+            AlgoKind::Vc,
+            4,
+            "unbounded".into(),
+        ));
         for k in [1u32, 2, 4, 8] {
             let t = Instant::now();
             let o = em_vc(&w.graph, &keys, 4, VcVariant::Opt { k });

@@ -18,7 +18,9 @@ pub const USAGE: &str = "usage:
                      [-p N] [-k K] [--normalize casefold|alphanum] [--explain A,B]
   graphkeys discover <graph.triples> [--max-attrs N] [--min-support F]
   graphkeys gen      --flavor google|dbpedia|synthetic [--scale F] [--keys N]
-                     [--chain C] [--radius D] [--seed S] --out DIR";
+                     [--chain C] [--radius D] [--seed S] --out DIR
+  graphkeys serve    <graph.triples> <keys.gk> [--port P] [--threads N]
+  graphkeys query    <addr> <verb> [args...]   (e.g. query 127.0.0.1:7878 SAME a b)";
 
 /// Entry point used by `main` (and by the unit tests).
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -41,6 +43,8 @@ pub fn run_to(args: &[String], out: &mut String) -> Result<(), String> {
         "match" => cmd_match(rest, out),
         "discover" => cmd_discover(rest, out),
         "gen" => cmd_gen(rest, out),
+        "serve" => cmd_serve(rest, out),
+        "query" => cmd_query(rest, out),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -73,7 +77,10 @@ impl Flags {
                 positional.push(a.clone());
             }
         }
-        Ok(Flags { positional, options })
+        Ok(Flags {
+            positional,
+            options,
+        })
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -87,20 +94,20 @@ impl Flags {
     fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for --{name}: {v:?}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v:?}")),
         }
     }
 }
 
 fn load_graph(path: &str) -> Result<Graph, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     parse_graph(&text).map_err(|e| format!("{path}: {e}"))
 }
 
 fn load_keys(path: &str) -> Result<KeySet, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
     KeySet::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
@@ -141,7 +148,11 @@ fn cmd_keys(args: &[String], out: &mut String) -> Result<(), String> {
             k.target_type,
             k.size(),
             k.radius(),
-            if k.is_recursive() { "recursive" } else { "value-based" }
+            if k.is_recursive() {
+                "recursive"
+            } else {
+                "value-based"
+            }
         );
     }
     Ok(())
@@ -156,7 +167,11 @@ fn cmd_validate(args: &[String], out: &mut String) -> Result<(), String> {
     let ks = load_keys(kpath)?;
     let compiled = ks.compile(&g);
     if !compiled.skipped.is_empty() {
-        let _ = writeln!(out, "inactive keys (vocabulary not in graph): {:?}", compiled.skipped);
+        let _ = writeln!(
+            out,
+            "inactive keys (vocabulary not in graph): {:?}",
+            compiled.skipped
+        );
     }
     if satisfies(&g, &compiled) {
         let _ = writeln!(out, "OK: G |= Σ (no duplicates under these keys)");
@@ -244,15 +259,23 @@ fn cmd_match(args: &[String], out: &mut String) -> Result<(), String> {
         let (a, b) = pair
             .split_once(',')
             .ok_or_else(|| "--explain takes ENTITY_A,ENTITY_B".to_string())?;
-        let ea = g.entity_named(a.trim()).ok_or_else(|| format!("unknown entity {a:?}"))?;
-        let eb = g.entity_named(b.trim()).ok_or_else(|| format!("unknown entity {b:?}"))?;
+        let ea = g
+            .entity_named(a.trim())
+            .ok_or_else(|| format!("unknown entity {a:?}"))?;
+        let eb = g
+            .entity_named(b.trim())
+            .ok_or_else(|| format!("unknown entity {b:?}"))?;
         match prove(&g, &compiled, ea, eb) {
             None => {
                 let _ = writeln!(out, "no proof: {a} and {b} are not identified");
             }
             Some(proof) => {
                 verify(&g, &compiled, &proof).map_err(|e| format!("internal: {e}"))?;
-                let _ = writeln!(out, "proof for {a} <=> {b} ({} steps, verified):", proof.len());
+                let _ = writeln!(
+                    out,
+                    "proof for {a} <=> {b} ({} steps, verified):",
+                    proof.len()
+                );
                 for s in &proof.steps {
                     let _ = writeln!(
                         out,
@@ -293,7 +316,10 @@ fn cmd_discover(args: &[String], out: &mut String) -> Result<(), String> {
 }
 
 fn cmd_gen(args: &[String], out: &mut String) -> Result<(), String> {
-    let f = Flags::parse(args, &["flavor", "scale", "keys", "chain", "radius", "seed", "out"])?;
+    let f = Flags::parse(
+        args,
+        &["flavor", "scale", "keys", "chain", "radius", "seed", "out"],
+    )?;
     if !f.positional.is_empty() {
         return Err("gen takes flags only".into());
     }
@@ -314,7 +340,9 @@ fn cmd_gen(args: &[String], out: &mut String) -> Result<(), String> {
         .with_radius(radius)
         .with_keys(nkeys)
         .with_seed(seed);
-    let dir = f.get("out").ok_or_else(|| "gen requires --out DIR".to_string())?;
+    let dir = f
+        .get("out")
+        .ok_or_else(|| "gen requires --out DIR".to_string())?;
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
 
     let w = generate(&cfg);
@@ -325,7 +353,12 @@ fn cmd_gen(args: &[String], out: &mut String) -> Result<(), String> {
     std::fs::write(&kpath, gk_core::write_keys(w.keys.keys())).map_err(|e| e.to_string())?;
     let mut truth = String::new();
     for (a, b) in &w.truth {
-        let _ = writeln!(truth, "{}\t{}", w.graph.entity_label(*a), w.graph.entity_label(*b));
+        let _ = writeln!(
+            truth,
+            "{}\t{}",
+            w.graph.entity_label(*a),
+            w.graph.entity_label(*b)
+        );
     }
     std::fs::write(&tpath, truth).map_err(|e| e.to_string())?;
     let _ = writeln!(
@@ -335,6 +368,58 @@ fn cmd_gen(args: &[String], out: &mut String) -> Result<(), String> {
         w.keys.cardinality(),
         w.truth.len()
     );
+    Ok(())
+}
+
+/// True when an error from [`run`] came from the running system (a server
+/// reply or the network) rather than from argument parsing — `main`
+/// suppresses the usage dump for these.
+pub fn is_runtime_error(msg: &str) -> bool {
+    msg.starts_with("server answered:") || msg.starts_with("cannot reach")
+}
+
+fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(args, &["port", "threads"])?;
+    let [gpath, kpath] = f.positional.as_slice() else {
+        return Err("serve takes a graph file and a key file".into());
+    };
+    let g = load_graph(gpath)?;
+    let ks = load_keys(kpath)?;
+    let port = f.get_parse("port", 7878u16)?;
+    let threads = f.get_parse("threads", 4usize)?;
+    let server = std::sync::Arc::new(gk_server::Server::new(g, ks));
+    let handle = gk_server::serve(server, &format!("127.0.0.1:{port}"), threads)
+        .map_err(|e| format!("cannot bind port {port}: {e}"))?;
+    // `run_to` buffers output until return, but serve never returns — print
+    // the banner directly so operators see the bound address immediately.
+    let _ = writeln!(
+        out,
+        "serving on {} with {threads} worker thread(s)",
+        handle.addr()
+    );
+    print!("{out}");
+    out.clear();
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_query(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let [addr, verb_and_args @ ..] = f.positional.as_slice() else {
+        return Err("query takes an address and a request (e.g. SAME a b)".into());
+    };
+    if verb_and_args.is_empty() {
+        return Err("query needs a request after the address (e.g. SAME a b)".into());
+    }
+    let line = verb_and_args.join(" ");
+    let resp = gk_server::request(addr, &line).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let _ = writeln!(out, "{resp}");
+    if resp.starts_with("ERR") {
+        return Err(format!("server answered: {resp}"));
+    }
     Ok(())
 }
 
@@ -392,8 +477,11 @@ mod tests {
         write(&format!("{d}/k.gk"), K);
         let mut out = String::new();
         // Case differs: exact match finds no duplicates.
-        run_to(&args(&["validate", &format!("{d}/g.triples"), &format!("{d}/k.gk")]), &mut out)
-            .unwrap();
+        run_to(
+            &args(&["validate", &format!("{d}/g.triples"), &format!("{d}/k.gk")]),
+            &mut out,
+        )
+        .unwrap();
         assert!(out.contains("OK"), "{out}");
     }
 
@@ -463,7 +551,11 @@ mod tests {
         // The generated files parse and match.
         let mut out2 = String::new();
         run_to(
-            &args(&["match", &format!("{d}/graph.triples"), &format!("{d}/keys.gk")]),
+            &args(&[
+                "match",
+                &format!("{d}/graph.triples"),
+                &format!("{d}/keys.gk"),
+            ]),
             &mut out2,
         )
         .unwrap();
@@ -501,5 +593,42 @@ mod tests {
         assert!(run_to(&args(&["bogus"]), &mut out).is_err());
         assert!(run_to(&args(&["stats", "--nope", "x"]), &mut out).is_err());
         assert!(run_to(&args(&[]), &mut out).is_err());
+    }
+
+    #[test]
+    fn query_command_round_trips_against_live_server() {
+        // Start the service in-process on an ephemeral port, then drive it
+        // through the `query` subcommand exactly as a shell user would.
+        let g = gk_graph::parse_graph(G).unwrap();
+        let ks = gk_core::KeySet::parse(K).unwrap();
+        let server = std::sync::Arc::new(gk_server::Server::new(g, ks));
+        let handle = gk_server::serve(server, "127.0.0.1:0", 2).unwrap();
+        let addr = handle.addr().to_string();
+
+        let mut out = String::new();
+        run_to(&args(&["query", &addr, "SAME", "alb1", "alb2"]), &mut out).unwrap();
+        // Names differ only by case and no normalizer runs in the server:
+        // the albums are distinct under these keys.
+        assert!(out.starts_with("NO"), "{out}");
+
+        let mut out2 = String::new();
+        run_to(&args(&["query", &addr, "STATS"]), &mut out2).unwrap();
+        assert!(out2.contains("entities=2"), "{out2}");
+
+        // Server-side errors surface as CLI errors.
+        let mut out3 = String::new();
+        assert!(run_to(&args(&["query", &addr, "SAME", "ghost", "alb1"]), &mut out3).is_err());
+        handle.stop();
+    }
+
+    #[test]
+    fn serve_and_query_argument_errors() {
+        let mut out = String::new();
+        assert!(run_to(&args(&["serve"]), &mut out).is_err());
+        assert!(run_to(&args(&["serve", "only-one-file"]), &mut out).is_err());
+        assert!(run_to(&args(&["query"]), &mut out).is_err());
+        assert!(run_to(&args(&["query", "127.0.0.1:1"]), &mut out).is_err());
+        // Unreachable address is an error, not a hang.
+        assert!(run_to(&args(&["query", "127.0.0.1:1", "PING"]), &mut out).is_err());
     }
 }

@@ -8,6 +8,8 @@
 //!                    [-p N] [-k K] [--normalize casefold|alphanum] [--explain A,B]
 //! graphkeys gen      --flavor google|dbpedia|synthetic [--scale F] [--keys N]
 //!                    [--chain C] [--radius D] [--seed S] --out DIR
+//! graphkeys serve    <graph.triples> <keys.gk> [--port P] [--threads N]
+//! graphkeys query    <addr> <verb> [args...]
 //! ```
 //!
 //! Graphs use the triple text format of `gk-graph` (`entity:Type pred
@@ -23,8 +25,12 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", cmd::USAGE);
+            // The usage dump helps with argument mistakes, not with errors
+            // the running system answered.
+            if !cmd::is_runtime_error(&e) {
+                eprintln!();
+                eprintln!("{}", cmd::USAGE);
+            }
             ExitCode::FAILURE
         }
     }

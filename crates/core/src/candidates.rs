@@ -192,53 +192,56 @@ pub fn pairing_filter_timed(
         .filter_map(|&(a, b)| {
             let t0 = std::time::Instant::now();
             let result = (|| {
-            let t = g.entity_type(a);
-            let n1 = neighborhood(a);
-            let n2 = neighborhood(b);
-            let mut hit_keys = Vec::new();
-            let mut deps: Vec<(EntityId, EntityId)> = Vec::new();
-            let mut eligible = false;
-            let mut nodes1: Vec<NodeId> = Vec::new();
-            let mut nodes2: Vec<NodeId> = Vec::new();
-            let mut slot_pairs: Vec<(NodeId, NodeId)> = Vec::new();
-            for &ki in keys.keys_on(t) {
-                let q = &keys.keys[ki].pattern;
-                let p = pairing_at(g, q, a, b, Some(&n1), Some(&n2));
-                if !p.pairable(q, a, b) {
-                    continue;
+                let t = g.entity_type(a);
+                let n1 = neighborhood(a);
+                let n2 = neighborhood(b);
+                let mut hit_keys = Vec::new();
+                let mut deps: Vec<(EntityId, EntityId)> = Vec::new();
+                let mut eligible = false;
+                let mut nodes1: Vec<NodeId> = Vec::new();
+                let mut nodes2: Vec<NodeId> = Vec::new();
+                let mut slot_pairs: Vec<(NodeId, NodeId)> = Vec::new();
+                for &ki in keys.keys_on(t) {
+                    let q = &keys.keys[ki].pattern;
+                    let p = pairing_at(g, q, a, b, Some(&n1), Some(&n2));
+                    if !p.pairable(q, a, b) {
+                        continue;
+                    }
+                    hit_keys.push(ki);
+                    deps.extend(p.dependency_pairs(q));
+                    eligible |= p.recursive_identity_possible(q);
+                    nodes1.extend(p.side_nodes(0).iter());
+                    nodes2.extend(p.side_nodes(1).iter());
+                    for set in &p.per_slot {
+                        slot_pairs.extend(set.iter().copied());
+                    }
                 }
-                hit_keys.push(ki);
-                deps.extend(p.dependency_pairs(q));
-                eligible |= p.recursive_identity_possible(q);
-                nodes1.extend(p.side_nodes(0).iter());
-                nodes2.extend(p.side_nodes(1).iter());
-                for set in &p.per_slot {
-                    slot_pairs.extend(set.iter().copied());
+                if hit_keys.is_empty() {
+                    return None;
                 }
-            }
-            if hit_keys.is_empty() {
-                return None;
-            }
-            deps.sort_unstable();
-            deps.dedup();
-            deps.retain(|&d| d != norm(a, b));
-            slot_pairs.sort_unstable();
-            slot_pairs.dedup();
-            Some(PairedCandidate {
-                pair: norm(a, b),
-                keys: hit_keys,
-                scope1: gk_graph::NodeSet::from_nodes(nodes1),
-                scope2: gk_graph::NodeSet::from_nodes(nodes2),
-                deps,
-                slot_pairs,
-                initially_eligible: eligible,
-            })
+                deps.sort_unstable();
+                deps.dedup();
+                deps.retain(|&d| d != norm(a, b));
+                slot_pairs.sort_unstable();
+                slot_pairs.dedup();
+                Some(PairedCandidate {
+                    pair: norm(a, b),
+                    keys: hit_keys,
+                    scope1: gk_graph::NodeSet::from_nodes(nodes1),
+                    scope2: gk_graph::NodeSet::from_nodes(nodes2),
+                    deps,
+                    slot_pairs,
+                    initially_eligible: eligible,
+                })
             })();
             work_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
             result
         })
         .collect();
-    (out, std::time::Duration::from_nanos(work_ns.load(Ordering::Relaxed)))
+    (
+        out,
+        std::time::Duration::from_nanos(work_ns.load(Ordering::Relaxed)),
+    )
 }
 
 #[cfg(test)]
@@ -308,8 +311,9 @@ mod tests {
         let g = g1();
         let ks = keys(&g);
         let all = candidate_pairs(&g, &ks, CandidateMode::TypePairs);
-        let blocked: FxHashSet<_> =
-            candidate_pairs(&g, &ks, CandidateMode::Blocked).into_iter().collect();
+        let blocked: FxHashSet<_> = candidate_pairs(&g, &ks, CandidateMode::Blocked)
+            .into_iter()
+            .collect();
         let hood = |e: EntityId| d_neighborhood(&g, e, ks.radius_of_type(g.entity_type(e)));
         for pc in pairing_filter(&g, &ks, &all, hood) {
             assert!(
@@ -332,7 +336,10 @@ mod tests {
         assert!(pairs.contains(&norm(e(&g, "art1"), e(&g, "art2"))));
         assert_eq!(filtered.len(), 2);
 
-        let albums = filtered.iter().find(|c| c.pair.0 == e(&g, "alb1").min(e(&g, "alb2"))).unwrap();
+        let albums = filtered
+            .iter()
+            .find(|c| c.pair.0 == e(&g, "alb1").min(e(&g, "alb2")))
+            .unwrap();
         assert!(albums.initially_eligible, "value-based Q2 pairs it");
         let artists = filtered
             .iter()

@@ -82,7 +82,14 @@ pub fn chase_reference(g: &Graph, keys: &CompiledKeySet, order: ChaseOrder) -> C
             let mut hit = None;
             for &ki in keys.keys_on(t) {
                 iso_checks += 1;
-                if eval_pair(g, &keys.keys[ki].pattern, a, b, &eq, MatchScope::whole_graph()) {
+                if eval_pair(
+                    g,
+                    &keys.keys[ki].pattern,
+                    a,
+                    b,
+                    &eq,
+                    MatchScope::whole_graph(),
+                ) {
                     hit = Some(ki);
                     break; // one certifying key suffices (§4.1)
                 }
@@ -90,7 +97,10 @@ pub fn chase_reference(g: &Graph, keys: &CompiledKeySet, order: ChaseOrder) -> C
             match hit {
                 Some(ki) => {
                     eq.union(a, b);
-                    steps.push(ChaseStep { pair: norm(a, b), key: ki });
+                    steps.push(ChaseStep {
+                        pair: norm(a, b),
+                        key: ki,
+                    });
                     progressed = true;
                 }
                 None => remaining.push((a, b)),
@@ -101,7 +111,12 @@ pub fn chase_reference(g: &Graph, keys: &CompiledKeySet, order: ChaseOrder) -> C
             break;
         }
     }
-    ChaseResult { eq, steps, rounds, iso_checks }
+    ChaseResult {
+        eq,
+        steps,
+        rounds,
+        iso_checks,
+    }
 }
 
 /// Fisher–Yates with a splitmix64 stream; avoids pulling `rand` into the
@@ -171,7 +186,10 @@ mod tests {
         let pairs = r.identified_pairs();
         assert_eq!(
             pairs,
-            vec![norm(e(&g, "alb1"), e(&g, "alb2")), norm(e(&g, "art1"), e(&g, "art2"))]
+            vec![
+                norm(e(&g, "alb1"), e(&g, "alb2")),
+                norm(e(&g, "art1"), e(&g, "art2"))
+            ]
         );
         // The artists must come after the albums in the step order:
         // Q3 is recursive and depends on the albums' identification.
@@ -249,8 +267,14 @@ mod tests {
         let g = g2();
         let r = chase_reference(&g, &sigma2(&g), ChaseOrder::Deterministic);
         let pairs = r.identified_pairs();
-        assert!(pairs.contains(&norm(e(&g, "com4"), e(&g, "com5"))), "Q4 fires: {pairs:?}");
-        assert!(pairs.contains(&norm(e(&g, "com1"), e(&g, "com2"))), "Q5 fires: {pairs:?}");
+        assert!(
+            pairs.contains(&norm(e(&g, "com4"), e(&g, "com5"))),
+            "Q4 fires: {pairs:?}"
+        );
+        assert!(
+            pairs.contains(&norm(e(&g, "com1"), e(&g, "com2"))),
+            "Q5 fires: {pairs:?}"
+        );
         assert_eq!(pairs.len(), 2);
     }
 
@@ -273,7 +297,10 @@ mod tests {
         .unwrap()
         .compile(&g);
         let r = chase_reference(&g, &q4_only, ChaseOrder::Deterministic);
-        assert_eq!(r.identified_pairs(), vec![norm(e(&g, "com4"), e(&g, "com5"))]);
+        assert_eq!(
+            r.identified_pairs(),
+            vec![norm(e(&g, "com4"), e(&g, "com5"))]
+        );
     }
 
     #[test]
@@ -288,13 +315,14 @@ mod tests {
     #[test]
     fn value_based_only_converges_in_two_rounds() {
         let g = g1();
-        let keys = KeySet::parse(
-            "key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }",
-        )
-        .unwrap()
-        .compile(&g);
+        let keys = KeySet::parse("key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }")
+            .unwrap()
+            .compile(&g);
         let r = chase_reference(&g, &keys, ChaseOrder::Deterministic);
-        assert_eq!(r.identified_pairs(), vec![norm(e(&g, "alb1"), e(&g, "alb2"))]);
+        assert_eq!(
+            r.identified_pairs(),
+            vec![norm(e(&g, "alb1"), e(&g, "alb2"))]
+        );
         // Round 1 identifies, round 2 observes the fixpoint.
         assert_eq!(r.rounds, 2);
     }

@@ -33,7 +33,11 @@ pub struct DiscoveryConfig {
 
 impl Default for DiscoveryConfig {
     fn default() -> Self {
-        DiscoveryConfig { max_attrs: 3, min_support: 0.5, min_entities: 2 }
+        DiscoveryConfig {
+            max_attrs: 3,
+            min_support: 0.5,
+            min_entities: 2,
+        }
     }
 }
 
@@ -170,14 +174,29 @@ fn combo_is_key(
             return ComboStatus::NotKey;
         }
     }
-    let denom = attr_sigs.values().map(Vec::len).max().unwrap_or(1).max(carrier_count);
-    ComboStatus::Key { support: carrier_count as f64 / denom as f64 }
+    let denom = attr_sigs
+        .values()
+        .map(Vec::len)
+        .max()
+        .unwrap_or(1)
+        .max(carrier_count);
+    ComboStatus::Key {
+        support: carrier_count as f64 / denom as f64,
+    }
 }
 
 fn build_key(g: &Graph, t: TypeId, combo: &[PredId]) -> Key {
     let ty = g.type_str(t);
     let mut b = Key::builder(
-        &format!("mined_{}_{}", ty, combo.iter().map(|p| g.pred_str(*p)).collect::<Vec<_>>().join("_")),
+        &format!(
+            "mined_{}_{}",
+            ty,
+            combo
+                .iter()
+                .map(|p| g.pred_str(*p))
+                .collect::<Vec<_>>()
+                .join("_")
+        ),
         ty,
     );
     for (i, &p) in combo.iter().enumerate() {
@@ -227,16 +246,23 @@ mod tests {
         assert!(names.contains(&"mined_album_name_year"), "{names:?}");
         // name alone is not a key; and supersets of sku are pruned.
         assert!(!names.contains(&"mined_album_name"));
-        assert!(!names.iter().any(|n| n.contains("sku_") || n.ends_with("_sku") && n.matches('_').count() > 2));
+        assert!(!names
+            .iter()
+            .any(|n| n.contains("sku_") || n.ends_with("_sku") && n.matches('_').count() > 2));
     }
 
     #[test]
     fn mined_keys_hold_on_the_instance() {
         let g = catalogue();
-        let mined: Vec<Key> =
-            discover_value_keys(&g, &DiscoveryConfig::default()).into_iter().map(|d| d.key).collect();
+        let mined: Vec<Key> = discover_value_keys(&g, &DiscoveryConfig::default())
+            .into_iter()
+            .map(|d| d.key)
+            .collect();
         let compiled = KeySet::new(mined).unwrap().compile(&g);
-        assert!(key_violations(&g, &compiled).is_empty(), "mined keys must hold");
+        assert!(
+            key_violations(&g, &compiled).is_empty(),
+            "mined keys must hold"
+        );
     }
 
     #[test]
@@ -275,7 +301,10 @@ mod tests {
         )
         .unwrap();
         let keys = discover_value_keys(&g, &DiscoveryConfig::default());
-        assert!(keys.iter().all(|k| !k.key.name.contains("rare")), "{keys:?}");
+        assert!(
+            keys.iter().all(|k| !k.key.name.contains("rare")),
+            "{keys:?}"
+        );
         assert!(keys.iter().any(|k| k.key.name.contains("common")));
     }
 

@@ -48,7 +48,10 @@ impl std::error::Error for DslError {}
 
 impl From<KeyError> for DslError {
     fn from(e: KeyError) -> Self {
-        DslError { line: 0, msg: e.to_string() }
+        DslError {
+            line: 0,
+            msg: e.to_string(),
+        }
     }
 }
 
@@ -137,7 +140,10 @@ fn tokenize(text: &str) -> Result<Vec<(Tok, usize)>, DslError> {
                         chars.next();
                     }
                 } else {
-                    return Err(DslError { line, msg: "unexpected '/'".into() });
+                    return Err(DslError {
+                        line,
+                        msg: "unexpected '/'".into(),
+                    });
                 }
             }
             '{' => {
@@ -204,13 +210,19 @@ fn tokenize(text: &str) -> Result<Vec<(Tok, usize)>, DslError> {
                             }
                         },
                         '\n' => {
-                            return Err(DslError { line, msg: "unterminated string".into() })
+                            return Err(DslError {
+                                line,
+                                msg: "unterminated string".into(),
+                            })
                         }
                         _ => s.push(c),
                     }
                 }
                 if !closed {
-                    return Err(DslError { line, msg: "unterminated string".into() });
+                    return Err(DslError {
+                        line,
+                        msg: "unterminated string".into(),
+                    });
                 }
                 toks.push((Tok::Str(s), line));
             }
@@ -225,7 +237,10 @@ fn tokenize(text: &str) -> Result<Vec<(Tok, usize)>, DslError> {
                 toks.push((Tok::Ident(w), line));
             }
             other => {
-                return Err(DslError { line, msg: format!("unexpected character {other:?}") })
+                return Err(DslError {
+                    line,
+                    msg: format!("unexpected character {other:?}"),
+                })
             }
         }
     }
@@ -253,11 +268,10 @@ impl Parser {
     }
 
     fn next(&mut self) -> Result<Tok, DslError> {
-        let t = self
-            .toks
-            .get(self.pos)
-            .cloned()
-            .ok_or_else(|| DslError { line: self.line(), msg: "unexpected end of input".into() })?;
+        let t = self.toks.get(self.pos).cloned().ok_or_else(|| DslError {
+            line: self.line(),
+            msg: "unexpected end of input".into(),
+        })?;
         self.pos += 1;
         Ok(t.0)
     }
@@ -268,7 +282,10 @@ impl Parser {
         if got == want {
             Ok(())
         } else {
-            Err(DslError { line, msg: format!("expected {want}, found {got}") })
+            Err(DslError {
+                line,
+                msg: format!("expected {want}, found {got}"),
+            })
         }
     }
 
@@ -276,7 +293,10 @@ impl Parser {
         let line = self.line();
         match self.next()? {
             Tok::Ident(s) => Ok(s),
-            other => Err(DslError { line, msg: format!("expected {what}, found {other}") }),
+            other => Err(DslError {
+                line,
+                msg: format!("expected {what}, found {other}"),
+            }),
         }
     }
 
@@ -284,7 +304,10 @@ impl Parser {
         let line = self.line();
         let kw = self.ident("keyword 'key'")?;
         if kw != "key" {
-            return Err(DslError { line, msg: format!("expected 'key', found {kw:?}") });
+            return Err(DslError {
+                line,
+                msg: format!("expected 'key', found {kw:?}"),
+            });
         }
         let name = if let Some(Tok::Str(_)) = self.peek() {
             match self.next()? {
@@ -318,7 +341,11 @@ impl Parser {
             triples.push(KeyTriple { s, p, o });
         }
         self.expect(Tok::RBrace)?;
-        Ok(Key { name, target_type: target, triples })
+        Ok(Key {
+            name,
+            target_type: target,
+            triples,
+        })
     }
 
     fn term(&mut self) -> Result<Term, DslError> {
@@ -463,8 +490,7 @@ mod tests {
 
     #[test]
     fn comments_both_styles() {
-        let keys =
-            parse_keys("// line one\n# line two\nkey t(x) { x -p-> v*; } // tail").unwrap();
+        let keys = parse_keys("// line one\n# line two\nkey t(x) { x -p-> v*; } // tail").unwrap();
         assert_eq!(keys.len(), 1);
     }
 

@@ -194,10 +194,20 @@ impl MapReduce for MapEmBase<'_> {
     }
 }
 
-fn em_mr_base(g: &Graph, keys: &CompiledKeySet, p: usize, variant: MrVariant, sim: bool) -> MatchOutcome {
+fn em_mr_base(
+    g: &Graph,
+    keys: &CompiledKeySet,
+    p: usize,
+    variant: MrVariant,
+    sim: bool,
+) -> MatchOutcome {
     let t0 = Instant::now();
     let prep = prepare_base(g, keys, CandidateMode::TypePairs);
-    let cluster = if sim { Cluster::simulated(p) } else { Cluster::new(p) };
+    let cluster = if sim {
+        Cluster::simulated(p)
+    } else {
+        Cluster::new(p)
+    };
     let master = Mutex::new(EqRel::identity(g.num_entities()));
     let mut pending: Vec<((EntityId, EntityId), bool)> =
         prep.pairs.iter().map(|&pr| (pr, false)).collect();
@@ -240,12 +250,14 @@ fn em_mr_base(g: &Graph, keys: &CompiledKeySet, p: usize, variant: MrVariant, si
         iso_checks,
         shuffled_records: total_stats.records_shuffled as u64,
         elapsed: t0.elapsed(),
-        sim_seconds: total_stats.sim_makespan.as_secs_f64()
-            + prep.work.as_secs_f64() / p as f64,
+        sim_seconds: total_stats.sim_makespan.as_secs_f64() + prep.work.as_secs_f64() / p as f64,
         ..Default::default()
     };
     report.push_extra("hood_nodes", prep.hoods.total_nodes());
-    report.push_extra("straggler_skew", format!("{:.2}", total_stats.straggler_skew));
+    report.push_extra(
+        "straggler_skew",
+        format!("{:.2}", total_stats.straggler_skew),
+    );
     MatchOutcome { eq, report }
 }
 
@@ -270,7 +282,14 @@ impl MapEmOpt<'_> {
         let scope = MatchScope::new(&cand.scope1, &cand.scope2);
         for &ki in &cand.keys {
             self.iso_checks.fetch_add(1, Ordering::Relaxed);
-            if eval_pair(self.g, &self.keys.keys[ki].pattern, e1, e2, self.snapshot, scope) {
+            if eval_pair(
+                self.g,
+                &self.keys.keys[ki].pattern,
+                e1,
+                e2,
+                self.snapshot,
+                scope,
+            ) {
                 return true;
             }
         }
@@ -323,7 +342,11 @@ fn em_mr_opt(g: &Graph, keys: &CompiledKeySet, p: usize, sim: bool) -> MatchOutc
     // Value blocking before pairing: both are sound candidate filters
     // (§4.2 describes pairing; blocking is the standard cheap pre-pass).
     let prep = prepare_opt(g, keys, CandidateMode::Blocked);
-    let cluster = if sim { Cluster::simulated(p) } else { Cluster::new(p) };
+    let cluster = if sim {
+        Cluster::simulated(p)
+    } else {
+        Cluster::new(p)
+    };
     let master = Mutex::new(EqRel::identity(g.num_entities()));
 
     // Dependency bookkeeping: dep pairs not yet observed identified.
@@ -398,8 +421,7 @@ fn em_mr_opt(g: &Graph, keys: &CompiledKeySet, p: usize, sim: bool) -> MatchOutc
         iso_checks,
         shuffled_records: total_stats.records_shuffled as u64,
         elapsed: t0.elapsed(),
-        sim_seconds: total_stats.sim_makespan.as_secs_f64()
-            + prep.work.as_secs_f64() / p as f64,
+        sim_seconds: total_stats.sim_makespan.as_secs_f64() + prep.work.as_secs_f64() / p as f64,
         ..Default::default()
     };
     report.push_extra("l_unfiltered", prep.unfiltered);
@@ -476,8 +498,14 @@ mod tests {
         let keys = sigma1(&g);
         let expected = em_mr(&g, &keys, 1, MrVariant::Base).identified_pairs();
         for p in [2, 4, 8] {
-            assert_eq!(em_mr(&g, &keys, p, MrVariant::Base).identified_pairs(), expected);
-            assert_eq!(em_mr(&g, &keys, p, MrVariant::Opt).identified_pairs(), expected);
+            assert_eq!(
+                em_mr(&g, &keys, p, MrVariant::Base).identified_pairs(),
+                expected
+            );
+            assert_eq!(
+                em_mr(&g, &keys, p, MrVariant::Opt).identified_pairs(),
+                expected
+            );
         }
     }
 
@@ -551,11 +579,9 @@ mod tests {
             "#,
         )
         .unwrap();
-        let keys = KeySet::parse(
-            "key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }",
-        )
-        .unwrap()
-        .compile(&g);
+        let keys = KeySet::parse("key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }")
+            .unwrap()
+            .compile(&g);
         for v in [MrVariant::Base, MrVariant::Opt, MrVariant::Vf2] {
             let out = em_mr(&g, &keys, 3, v);
             assert_eq!(out.identified_pairs().len(), 3, "{v:?}");

@@ -107,8 +107,9 @@ fn em_vc_mode(
     for c in &prep.candidates {
         budget_off.push(budget_off.last().unwrap() + c.keys.len());
     }
-    let budgets: Vec<AtomicI32> =
-        (0..*budget_off.last().unwrap()).map(|_| AtomicI32::new(0)).collect();
+    let budgets: Vec<AtomicI32> = (0..*budget_off.last().unwrap())
+        .map(|_| AtomicI32::new(0))
+        .collect();
 
     let anchor_of: FxHashMap<u32, u32> = gp
         .anchors
@@ -168,7 +169,10 @@ fn em_vc_mode(
     };
     report.push_extra("gp_nodes", gp.num_nodes());
     report.push_extra("gp_edges", gp.num_edges());
-    report.push_extra("gp_over_g", format!("{:.2}", gp.size() as f64 / g.num_triples().max(1) as f64));
+    report.push_extra(
+        "gp_over_g",
+        format!("{:.2}", gp.size() as f64 / g.num_triples().max(1) as f64),
+    );
     report.push_extra("confirmations", confirmations);
     MatchOutcome { eq, report }
 }
@@ -323,7 +327,11 @@ impl EmVcProgram<'_> {
 
         // Unbound: fork a copy to every admissible neighbor (Fig. 5, (5b)).
         let mut targets: Vec<u32> = if step.forward {
-            self.gp.out_with(at, tri.p).iter().map(|&(_, w)| w).collect()
+            self.gp
+                .out_with(at, tri.p)
+                .iter()
+                .map(|&(_, w)| w)
+                .collect()
         } else {
             self.gp.in_with(at, tri.p).iter().map(|&(_, w)| w).collect()
         };
@@ -363,7 +371,8 @@ impl EmVcProgram<'_> {
             // Base: unbounded fork — one copy per neighbor.
             let last = targets.pop().expect("nonempty");
             for &w in &targets {
-                self.budget(msg.cand, msg.kpos).fetch_add(1, Ordering::Relaxed);
+                self.budget(msg.cand, msg.kpos)
+                    .fetch_add(1, Ordering::Relaxed);
                 let copy = TourMsg {
                     cand: msg.cand,
                     kpos: msg.kpos,
@@ -379,7 +388,13 @@ impl EmVcProgram<'_> {
 
     /// Feasibility at arrival (Fig. 5, (4)): slot-kind equality conditions,
     /// injectivity of both sides, with `Flag`/`Eq` for entity variables.
-    fn feasible(&self, q: &gk_isomorph::PairPattern, slot: u16, v: u32, bindings: &[(u16, u32)]) -> bool {
+    fn feasible(
+        &self,
+        q: &gk_isomorph::PairPattern,
+        slot: u16,
+        v: u32,
+        bindings: &[(u16, u32)],
+    ) -> bool {
         self.feasibility_checks.fetch_add(1, Ordering::Relaxed);
         let (n1, n2) = self.gp.nodes[v as usize];
         for &(_, b) in bindings {
@@ -399,9 +414,7 @@ impl EmVcProgram<'_> {
                 _ => false,
             },
             SlotKind::Wildcard(ty) => match (n1.as_entity(), n2.as_entity()) {
-                (Some(a), Some(b)) => {
-                    self.g.entity_type(a) == ty && self.g.entity_type(b) == ty
-                }
+                (Some(a), Some(b)) => self.g.entity_type(a) == ty && self.g.entity_type(b) == ty,
                 _ => false,
             },
             SlotKind::ValueVar => n1.is_value() && n1 == n2,
@@ -564,7 +577,11 @@ mod tests {
         let g = g1();
         let keys = sigma1(&g);
         let expected = chase_reference(&g, &keys, ChaseOrder::Deterministic).identified_pairs();
-        for variant in [VcVariant::Base, VcVariant::Opt { k: 4 }, VcVariant::Opt { k: 1 }] {
+        for variant in [
+            VcVariant::Base,
+            VcVariant::Opt { k: 4 },
+            VcVariant::Opt { k: 1 },
+        ] {
             let out = em_vc(&g, &keys, 4, variant);
             assert_eq!(out.identified_pairs(), expected, "variant {variant:?}");
         }
@@ -668,11 +685,9 @@ mod tests {
             "#,
         )
         .unwrap();
-        let keys = KeySet::parse(
-            "key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }",
-        )
-        .unwrap()
-        .compile(&g);
+        let keys = KeySet::parse("key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }")
+            .unwrap()
+            .compile(&g);
         let out = em_vc(&g, &keys, 3, VcVariant::Base);
         assert_eq!(out.identified_pairs().len(), 3);
         assert_eq!(out.eq.classes().len(), 1);

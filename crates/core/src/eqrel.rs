@@ -64,7 +64,11 @@ impl EqRel {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra.idx()] >= self.rank[rb.idx()] { (ra, rb) } else { (rb, ra) };
+        let (hi, lo) = if self.rank[ra.idx()] >= self.rank[rb.idx()] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[lo.idx()] = hi.0;
         if self.rank[hi.idx()] == self.rank[lo.idx()] {
             self.rank[hi.idx()] += 1;
@@ -88,8 +92,7 @@ impl EqRel {
             let e = EntityId(i);
             groups.entry(self.find(e)).or_default().push(e);
         }
-        let mut out: Vec<Vec<EntityId>> =
-            groups.into_values().filter(|g| g.len() >= 2).collect();
+        let mut out: Vec<Vec<EntityId>> = groups.into_values().filter(|g| g.len() >= 2).collect();
         for g in &mut out {
             g.sort_unstable();
         }
@@ -115,7 +118,10 @@ impl EqRel {
     /// Number of identified pairs in the closure: `Σ |C|·(|C|−1)/2`.
     /// The "confirmed matches" of Table 2.
     pub fn num_identified_pairs(&self) -> usize {
-        self.classes().iter().map(|c| c.len() * (c.len() - 1) / 2).sum()
+        self.classes()
+            .iter()
+            .map(|c| c.len() * (c.len() - 1) / 2)
+            .sum()
     }
 }
 
@@ -159,7 +165,10 @@ mod tests {
         eq.union(e(1), e(2));
         assert!(eq.same(e(0), e(2)));
         assert_eq!(eq.num_identified_pairs(), 3); // {0,1,2} -> 3 pairs
-        assert_eq!(eq.identified_pairs(), vec![(e(0), e(1)), (e(0), e(2)), (e(1), e(2))]);
+        assert_eq!(
+            eq.identified_pairs(),
+            vec![(e(0), e(1)), (e(0), e(2)), (e(1), e(2))]
+        );
     }
 
     #[test]

@@ -72,7 +72,14 @@ pub fn chase_incremental(
             let mut hit = None;
             for &ki in keys.keys_on(ty) {
                 iso_checks += 1;
-                if eval_pair(g, &keys.keys[ki].pattern, a, b, &eq, MatchScope::whole_graph()) {
+                if eval_pair(
+                    g,
+                    &keys.keys[ki].pattern,
+                    a,
+                    b,
+                    &eq,
+                    MatchScope::whole_graph(),
+                ) {
                     hit = Some(ki);
                     break;
                 }
@@ -80,7 +87,10 @@ pub fn chase_incremental(
             match hit {
                 Some(ki) => {
                     eq.union(a, b);
-                    steps.push(ChaseStep { pair: norm(a, b), key: ki });
+                    steps.push(ChaseStep {
+                        pair: norm(a, b),
+                        key: ki,
+                    });
                     newly.push((a, b));
                 }
                 None => {
@@ -99,7 +109,12 @@ pub fn chase_incremental(
         }
     }
 
-    ChaseResult { eq, steps, rounds, iso_checks }
+    ChaseResult {
+        eq,
+        steps,
+        rounds,
+        iso_checks,
+    }
 }
 
 /// Adds keyed-type pairs around `a` (and, when `other` is given, pairs
@@ -314,7 +329,9 @@ mod tests {
     /// Tiny deterministic RNG for the mini-fuzz above.
     mod gk_datagen_free_shuffle {
         pub fn next(s: &mut u64) -> u64 {
-            *s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             *s >> 33
         }
     }

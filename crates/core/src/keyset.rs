@@ -27,14 +27,20 @@ impl KeySet {
         let mut seen = rustc_hash::FxHashSet::default();
         for k in &keys {
             k.validate()?;
-            assert!(seen.insert(k.name.clone()), "duplicate key name {:?}", k.name);
+            assert!(
+                seen.insert(k.name.clone()),
+                "duplicate key name {:?}",
+                k.name
+            );
         }
         Ok(KeySet { keys })
     }
 
     /// Parses a key set from the DSL (see [`crate::parse_keys`]).
     pub fn parse(dsl: &str) -> Result<Self, crate::dsl::DslError> {
-        Ok(KeySet { keys: crate::dsl::parse_keys(dsl)? })
+        Ok(KeySet {
+            keys: crate::dsl::parse_keys(dsl)?,
+        })
     }
 
     /// The keys, in declaration order.
@@ -106,9 +112,11 @@ impl KeySet {
                 } else {
                     // A singleton with a self-loop in the original graph
                     // (self-recursive key) still counts as one hop.
-                    usize::from(self.keys[members[0]]
-                        .dependency_types()
-                        .contains(&self.keys[members[0]].target_type.as_str()))
+                    usize::from(
+                        self.keys[members[0]]
+                            .dependency_types()
+                            .contains(&self.keys[members[0]].target_type.as_str()),
+                    )
                 }
             };
             let succ_best = cond
@@ -148,7 +156,12 @@ impl KeySet {
             let r = radius_by_type.entry(ck.target_type).or_insert(0);
             *r = (*r).max(ck.radius);
         }
-        CompiledKeySet { keys, skipped, by_type, radius_by_type }
+        CompiledKeySet {
+            keys,
+            skipped,
+            by_type,
+            radius_by_type,
+        }
     }
 }
 
@@ -322,10 +335,17 @@ mod tests {
         )
         .unwrap();
         let ks = KeySet::new(vec![
-            Key::builder("K1", "album").value("name_of", "n").build().unwrap(),
+            Key::builder("K1", "album")
+                .value("name_of", "n")
+                .build()
+                .unwrap(),
             Key::builder("K2", "album")
                 .triple(Term::x(), "recorded_by", Term::wildcard("a", "artist"))
-                .triple(Term::wildcard("a", "artist"), "based_in", Term::wildcard("c", "city"))
+                .triple(
+                    Term::wildcard("a", "artist"),
+                    "based_in",
+                    Term::wildcard("c", "city"),
+                )
                 .triple(Term::wildcard("c", "city"), "name_of", Term::val("cn"))
                 .build()
                 .unwrap(),

@@ -52,12 +52,18 @@ impl Term {
 
     /// An entity variable `name : ty`.
     pub fn var(name: &str, ty: &str) -> Term {
-        Term::EntityVar { name: name.into(), ty: ty.into() }
+        Term::EntityVar {
+            name: name.into(),
+            ty: ty.into(),
+        }
     }
 
     /// A wildcard `~name : ty`.
     pub fn wildcard(name: &str, ty: &str) -> Term {
-        Term::Wildcard { name: name.into(), ty: ty.into() }
+        Term::Wildcard {
+            name: name.into(),
+            ty: ty.into(),
+        }
     }
 
     /// A value variable `name*`.
@@ -67,12 +73,17 @@ impl Term {
 
     /// A constant `"value"`.
     pub fn constant(value: &str) -> Term {
-        Term::Const { value: value.into() }
+        Term::Const {
+            value: value.into(),
+        }
     }
 
     /// True iff the term denotes an entity node (legal in subject position).
     pub fn is_entity_kind(&self) -> bool {
-        matches!(self, Term::X | Term::EntityVar { .. } | Term::Wildcard { .. })
+        matches!(
+            self,
+            Term::X | Term::EntityVar { .. } | Term::Wildcard { .. }
+        )
     }
 }
 
@@ -150,10 +161,16 @@ impl std::fmt::Display for KeyError {
         match self {
             KeyError::Empty { key } => write!(f, "key {key}: pattern has no triples"),
             KeyError::ValueSubject { key, triple } => {
-                write!(f, "key {key}: triple #{triple} has a value in subject position")
+                write!(
+                    f,
+                    "key {key}: triple #{triple} has a value in subject position"
+                )
             }
             KeyError::InconsistentVar { key, var } => {
-                write!(f, "key {key}: variable {var:?} used with conflicting kind or type")
+                write!(
+                    f,
+                    "key {key}: variable {var:?} used with conflicting kind or type"
+                )
             }
             KeyError::Disconnected { key } => {
                 write!(f, "key {key}: pattern is not connected to x")
@@ -170,7 +187,11 @@ impl Key {
     /// of `target_type`.
     pub fn builder(name: &str, target_type: &str) -> KeyBuilder {
         KeyBuilder {
-            key: Key { name: name.into(), target_type: target_type.into(), triples: Vec::new() },
+            key: Key {
+                name: name.into(),
+                target_type: target_type.into(),
+                triples: Vec::new(),
+            },
         }
     }
 
@@ -178,13 +199,18 @@ impl Key {
     /// variable usage, connected to `x`.
     pub fn validate(&self) -> Result<(), KeyError> {
         if self.triples.is_empty() {
-            return Err(KeyError::Empty { key: self.name.clone() });
+            return Err(KeyError::Empty {
+                key: self.name.clone(),
+            });
         }
         let mut var_kinds: FxHashMap<&str, &Term> = FxHashMap::default();
         let mut has_x = false;
         for (i, t) in self.triples.iter().enumerate() {
             if !t.s.is_entity_kind() {
-                return Err(KeyError::ValueSubject { key: self.name.clone(), triple: i });
+                return Err(KeyError::ValueSubject {
+                    key: self.name.clone(),
+                    triple: i,
+                });
             }
             for term in [&t.s, &t.o] {
                 match term {
@@ -217,14 +243,19 @@ impl Key {
             }
         }
         if !has_x {
-            return Err(KeyError::MissingX { key: self.name.clone() });
+            return Err(KeyError::MissingX {
+                key: self.name.clone(),
+            });
         }
         self.check_connected()
     }
 
     fn check_connected(&self) -> Result<(), KeyError> {
         let (terms, edges) = self.term_graph();
-        let x = terms.iter().position(|t| **t == Term::X).expect("x checked");
+        let x = terms
+            .iter()
+            .position(|t| **t == Term::X)
+            .expect("x checked");
         let mut seen = vec![false; terms.len()];
         seen[x] = true;
         let mut stack = vec![x];
@@ -241,7 +272,9 @@ impl Key {
         if seen.iter().all(|&s| s) {
             Ok(())
         } else {
-            Err(KeyError::Disconnected { key: self.name.clone() })
+            Err(KeyError::Disconnected {
+                key: self.name.clone(),
+            })
         }
     }
 
@@ -271,7 +304,10 @@ impl Key {
     /// pattern node (Table 1). Requires a validated key.
     pub fn radius(&self) -> usize {
         let (terms, edges) = self.term_graph();
-        let x = terms.iter().position(|t| **t == Term::X).expect("validated");
+        let x = terms
+            .iter()
+            .position(|t| **t == Term::X)
+            .expect("validated");
         let mut dist = vec![usize::MAX; terms.len()];
         dist[x] = 0;
         let mut queue = std::collections::VecDeque::from([x]);
@@ -293,9 +329,9 @@ impl Key {
     /// True iff the key is *recursively defined* (§2.2): it contains an
     /// entity variable other than `x`.
     pub fn is_recursive(&self) -> bool {
-        self.triples.iter().any(|t| {
-            matches!(t.s, Term::EntityVar { .. }) || matches!(t.o, Term::EntityVar { .. })
-        })
+        self.triples
+            .iter()
+            .any(|t| matches!(t.s, Term::EntityVar { .. }) || matches!(t.o, Term::EntityVar { .. }))
     }
 
     /// Types of the entity variables in this key — the types this key's
@@ -341,11 +377,18 @@ impl Key {
             slots.push(kind);
         }
         let slot_of = |needle: &Term| -> u16 {
-            terms.iter().position(|t| *t == needle).expect("term indexed") as u16
+            terms
+                .iter()
+                .position(|t| *t == needle)
+                .expect("term indexed") as u16
         };
         let mut triples = Vec::with_capacity(self.triples.len());
         for t in &self.triples {
-            triples.push(PTriple { s: slot_of(&t.s), p: g.pred(&t.p)?, o: slot_of(&t.o) });
+            triples.push(PTriple {
+                s: slot_of(&t.s),
+                p: g.pred(&t.p)?,
+                o: slot_of(&t.o),
+            });
         }
         let anchor = slot_of(&Term::X);
         // Structural validity was already established by `validate`; the
@@ -565,7 +608,10 @@ mod tests {
         // recorded_by and artist are absent from this graph.
         assert!(q1().compile(&g).is_none());
         // Missing constant.
-        let k = Key::builder("K", "album").constant("name_of", "Zed").build().unwrap();
+        let k = Key::builder("K", "album")
+            .constant("name_of", "Zed")
+            .build()
+            .unwrap();
         assert!(k.compile(&g).is_none());
     }
 

@@ -3,8 +3,7 @@
 //! entity-dependency optimization (§4.2) and the product graph (§5.1).
 
 use crate::candidates::{
-    candidate_pairs, norm, pairing_filter_timed, type_pair_count, CandidateMode,
-    PairedCandidate,
+    candidate_pairs, norm, pairing_filter_timed, type_pair_count, CandidateMode, PairedCandidate,
 };
 use crate::keyset::CompiledKeySet;
 use gk_graph::{d_neighborhood, EntityId, Graph, NodeSet};
@@ -22,11 +21,7 @@ pub struct NeighborhoodCache {
 
 impl NeighborhoodCache {
     /// Builds the cache for all entities mentioned in `pairs`.
-    pub fn build(
-        g: &Graph,
-        keys: &CompiledKeySet,
-        pairs: &[(EntityId, EntityId)],
-    ) -> Self {
+    pub fn build(g: &Graph, keys: &CompiledKeySet, pairs: &[(EntityId, EntityId)]) -> Self {
         Self::build_timed(g, keys, pairs).0
     }
 
@@ -38,8 +33,7 @@ impl NeighborhoodCache {
         pairs: &[(EntityId, EntityId)],
     ) -> (Self, std::time::Duration) {
         use std::sync::atomic::{AtomicU64, Ordering};
-        let mut ents: Vec<EntityId> =
-            pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let mut ents: Vec<EntityId> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
         ents.sort_unstable();
         ents.dedup();
         let work_ns = AtomicU64::new(0);
@@ -54,7 +48,9 @@ impl NeighborhoodCache {
             })
             .collect();
         (
-            NeighborhoodCache { map: sets.into_iter().collect() },
+            NeighborhoodCache {
+                map: sets.into_iter().collect(),
+            },
             std::time::Duration::from_nanos(work_ns.load(Ordering::Relaxed)),
         )
     }
@@ -150,7 +146,14 @@ pub fn prepare_opt(g: &Graph, keys: &CompiledKeySet, mode: CandidateMode) -> Opt
             dependents.entry(norm(d.0, d.1)).or_default().push(i);
         }
     }
-    OptPrep { candidates, index, dependents, frontier, unfiltered, work }
+    OptPrep {
+        candidates,
+        index,
+        dependents,
+        frontier,
+        unfiltered,
+        work,
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +216,10 @@ mod tests {
         let e = |n: &str| g.entity_named(n).unwrap();
         assert_eq!(alb_pair, norm(e("alb1"), e("alb2")));
         // The artist pair waits on the album pair.
-        let deps = prep.dependents.get(&alb_pair).expect("artists depend on albums");
+        let deps = prep
+            .dependents
+            .get(&alb_pair)
+            .expect("artists depend on albums");
         assert_eq!(deps.len(), 1);
         assert_eq!(prep.candidates[deps[0]].pair, norm(e("art1"), e("art2")));
     }

@@ -60,8 +60,11 @@ impl ProductGraph {
         }
         nodes.sort_unstable();
         nodes.dedup();
-        let index: FxHashMap<(NodeId, NodeId), u32> =
-            nodes.iter().enumerate().map(|(i, &p)| (p, i as u32)).collect();
+        let index: FxHashMap<(NodeId, NodeId), u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i as u32))
+            .collect();
 
         // ---- Topology edges --------------------------------------------
         // For each entity-pair vertex, pair up same-predicate out-edges of
@@ -87,8 +90,9 @@ impl ProductGraph {
             l.sort_unstable();
             l.dedup();
         }
-        let potential: Vec<u32> =
-            (0..n).map(|i| (fwd[i].len() + rev[i].len()) as u32).collect();
+        let potential: Vec<u32> = (0..n)
+            .map(|i| (fwd[i].len() + rev[i].len()) as u32)
+            .collect();
         let (out_off, out_edg) = to_csr(fwd);
         let (in_off, in_edg) = to_csr(rev);
 
@@ -300,7 +304,10 @@ mod tests {
         let gp = ProductGraph::build(&g, &keys, &prep);
         let anth = g.value("Anthology 2").unwrap();
         let vp = (NodeId::value(anth), NodeId::value(anth));
-        assert!(gp.index.contains_key(&vp), "shared value node missing from Gp");
+        assert!(
+            gp.index.contains_key(&vp),
+            "shared value node missing from Gp"
+        );
     }
 
     #[test]
@@ -322,9 +329,7 @@ mod tests {
         let alb_ci = prep
             .candidates
             .iter()
-            .position(|c| {
-                g.entity_type(c.pair.0) == g.etype("album").unwrap()
-            })
+            .position(|c| g.entity_type(c.pair.0) == g.etype("album").unwrap())
             .unwrap();
         let art_ci = 1 - alb_ci;
         let alb_anchor = gp.anchors[alb_ci];

@@ -102,12 +102,7 @@ impl std::error::Error for ProofError {}
 /// closure identifies the target — a valid (if not always minimal)
 /// certificate; the paper only bounds certificate *size*, which `≤ N²`
 /// holds here since each step identifies a fresh pair.
-pub fn prove(
-    g: &Graph,
-    keys: &CompiledKeySet,
-    e1: EntityId,
-    e2: EntityId,
-) -> Option<Proof> {
+pub fn prove(g: &Graph, keys: &CompiledKeySet, e1: EntityId, e2: EntityId) -> Option<Proof> {
     let target = norm(e1, e2);
     let r = chase_reference(g, keys, ChaseOrder::Deterministic);
     if !r.eq.same(e1, e2) {
@@ -122,7 +117,11 @@ pub fn prove(
         let witness = eval_pair_witness(g, q, s.pair.0, s.pair.1, &eq, MatchScope::whole_graph())
             .expect("recorded chase step must re-verify");
         eq.union(s.pair.0, s.pair.1);
-        steps.push(ProofStep { pair: s.pair, key: s.key, witness });
+        steps.push(ProofStep {
+            pair: s.pair,
+            key: s.key,
+            witness,
+        });
         if eq.same(e1, e2) {
             break;
         }
@@ -349,7 +348,10 @@ mod tests {
         let keys = sigma(&g);
         let mut p = prove(&g, &keys, e(&g, "art1"), e(&g, "art2")).unwrap();
         p.steps.pop();
-        assert_eq!(verify(&g, &keys, &p).unwrap_err(), ProofError::TargetNotReached);
+        assert_eq!(
+            verify(&g, &keys, &p).unwrap_err(),
+            ProofError::TargetNotReached
+        );
     }
 
     #[test]
@@ -358,7 +360,10 @@ mod tests {
         let keys = sigma(&g);
         let mut p = prove(&g, &keys, e(&g, "alb1"), e(&g, "alb2")).unwrap();
         p.steps[0].key = 99;
-        assert_eq!(verify(&g, &keys, &p).unwrap_err(), ProofError::BadKey { step: 0 });
+        assert_eq!(
+            verify(&g, &keys, &p).unwrap_err(),
+            ProofError::BadKey { step: 0 }
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl RunReport {
 
     /// Looks up an extra metric by name.
     pub fn extra(&self, name: &str) -> Option<&str> {
-        self.extra.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+        self.extra
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -78,7 +81,10 @@ mod tests {
 
     #[test]
     fn extras_roundtrip() {
-        let mut r = RunReport { algorithm: "EM_VC".into(), ..Default::default() };
+        let mut r = RunReport {
+            algorithm: "EM_VC".into(),
+            ..Default::default()
+        };
         r.push_extra("gp_nodes", 42);
         assert_eq!(r.extra("gp_nodes"), Some("42"));
         assert_eq!(r.extra("missing"), None);

@@ -33,8 +33,14 @@ pub fn key_violations(g: &Graph, keys: &CompiledKeySet) -> Vec<Violation> {
     for &(a, b) in &candidate_pairs(g, keys, CandidateMode::TypePairs) {
         let t = g.entity_type(a);
         for &ki in keys.keys_on(t) {
-            if eval_pair(g, &keys.keys[ki].pattern, a, b, &IdentityEq, MatchScope::whole_graph())
-            {
+            if eval_pair(
+                g,
+                &keys.keys[ki].pattern,
+                a,
+                b,
+                &IdentityEq,
+                MatchScope::whole_graph(),
+            ) {
                 out.push(Violation {
                     pair: norm(a, b),
                     key: ki,
@@ -114,11 +120,9 @@ mod tests {
             "#,
         )
         .unwrap();
-        let keys = KeySet::parse(
-            "key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }",
-        )
-        .unwrap()
-        .compile(&g);
+        let keys = KeySet::parse("key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }")
+            .unwrap()
+            .compile(&g);
         assert!(key_violations(&g, &keys).is_empty());
         assert!(satisfies(&g, &keys));
     }

@@ -153,10 +153,8 @@ mod tests {
             "#,
         )
         .unwrap();
-        let keys = KeySet::parse(
-            "key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }",
-        )
-        .unwrap();
+        let keys = KeySet::parse("key \"Q2\" album(x) { x -name_of-> n*; x -release_year-> y*; }")
+            .unwrap();
 
         let exact = chase_reference(&g, &keys.compile(&g), ChaseOrder::Deterministic);
         assert!(exact.identified_pairs().is_empty(), "exact match must miss");
@@ -186,13 +184,14 @@ mod tests {
 
     #[test]
     fn normalize_keys_rewrites_constants() {
-        let keys = KeySet::parse(
-            r#"key "Q6" street(x) { x -zip-> z*; x -nation-> "U.K."; }"#,
-        )
-        .unwrap();
+        let keys =
+            KeySet::parse(r#"key "Q6" street(x) { x -zip-> z*; x -nation-> "U.K."; }"#).unwrap();
         let nk = normalize_keys(&keys, &AlphaNum);
         let text = crate::write_keys(nk.keys());
-        assert!(text.contains("\"u k\""), "constant must be canonicalized: {text}");
+        assert!(
+            text.contains("\"u k\""),
+            "constant must be canonicalized: {text}"
+        );
     }
 
     #[test]
@@ -211,7 +210,10 @@ mod tests {
         // "U.K." and "uk" both canonicalize to "uk" under a normalizer that
         // strips dots and lowercases.
         let n = CustomNormalizer(|s: &str| {
-            s.chars().filter(|c| c.is_alphanumeric()).flat_map(char::to_lowercase).collect()
+            s.chars()
+                .filter(|c| c.is_alphanumeric())
+                .flat_map(char::to_lowercase)
+                .collect()
         });
         let ng = normalize_graph(&g, &n);
         let nk = normalize_keys(&keys, &n);

@@ -88,19 +88,25 @@ fn dfs(
         let tri = q.triples()[t as usize];
         let other = if fwd { tri.o } else { tri.s };
         // Walk the edge, explore from the far endpoint, walk back.
-        steps.push(TourStep { triple: t, forward: fwd });
+        steps.push(TourStep {
+            triple: t,
+            forward: fwd,
+        });
         if other != at {
             dfs(q, adj, used, steps, other);
         }
-        steps.push(TourStep { triple: t, forward: !fwd });
+        steps.push(TourStep {
+            triple: t,
+            forward: !fwd,
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gk_isomorph::{PTriple, SlotKind};
     use gk_graph::{PredId, TypeId};
+    use gk_isomorph::{PTriple, SlotKind};
 
     fn pt(s: u16, p: u32, o: u16) -> PTriple {
         PTriple { s, p: PredId(p), o }
@@ -108,7 +114,11 @@ mod tests {
 
     fn star() -> PairPattern {
         PairPattern::new(
-            vec![SlotKind::Anchor(TypeId(0)), SlotKind::ValueVar, SlotKind::ValueVar],
+            vec![
+                SlotKind::Anchor(TypeId(0)),
+                SlotKind::ValueVar,
+                SlotKind::ValueVar,
+            ],
             vec![pt(0, 0, 1), pt(0, 1, 2)],
             0,
         )
@@ -155,7 +165,11 @@ mod tests {
             let mut at = q.anchor();
             for (i, step) in tour.steps().iter().enumerate() {
                 let tri = q.triples()[step.triple as usize];
-                let (from, to) = if step.forward { (tri.s, tri.o) } else { (tri.o, tri.s) };
+                let (from, to) = if step.forward {
+                    (tri.s, tri.o)
+                } else {
+                    (tri.o, tri.s)
+                };
                 assert_eq!(from, at, "step {i} does not start where the walk is");
                 assert_eq!(to, tour.slot_after(&q, i));
                 at = to;
@@ -178,18 +192,25 @@ mod tests {
         let tour = Tour::build(&q);
         assert_eq!(tour.len(), 2);
         // First step leaves the anchor through the edge's object side.
-        assert_eq!(tour.steps()[0], TourStep { triple: 0, forward: false });
-        assert_eq!(tour.steps()[1], TourStep { triple: 0, forward: true });
+        assert_eq!(
+            tour.steps()[0],
+            TourStep {
+                triple: 0,
+                forward: false
+            }
+        );
+        assert_eq!(
+            tour.steps()[1],
+            TourStep {
+                triple: 0,
+                forward: true
+            }
+        );
     }
 
     #[test]
     fn self_loop_tour() {
-        let q = PairPattern::new(
-            vec![SlotKind::Anchor(TypeId(0))],
-            vec![pt(0, 0, 0)],
-            0,
-        )
-        .unwrap();
+        let q = PairPattern::new(vec![SlotKind::Anchor(TypeId(0))], vec![pt(0, 0, 0)], 0).unwrap();
         let tour = Tour::build(&q);
         assert_eq!(tour.len(), 2);
         assert_eq!(tour.slot_after(&q, 0), 0);

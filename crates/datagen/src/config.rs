@@ -179,7 +179,11 @@ mod tests {
 
     #[test]
     fn builders_chain() {
-        let c = GenConfig::google().with_scale(0.5).with_chain(4).with_radius(3).with_keys(12);
+        let c = GenConfig::google()
+            .with_scale(0.5)
+            .with_chain(4)
+            .with_radius(3)
+            .with_keys(12);
         assert_eq!(c.scale, 0.5);
         assert_eq!(c.chain_len, 4);
         assert_eq!(c.max_radius, 3);

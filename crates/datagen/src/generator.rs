@@ -50,12 +50,30 @@ impl Workload {
 fn vocab(flavor: Flavor) -> &'static [&'static str] {
     match flavor {
         Flavor::Google => &[
-            "person", "university", "employer", "place", "school", "major", "city", "club",
-            "team", "group",
+            "person",
+            "university",
+            "employer",
+            "place",
+            "school",
+            "major",
+            "city",
+            "club",
+            "team",
+            "group",
         ],
         Flavor::Dbpedia => &[
-            "book", "author", "publisher", "company", "artist", "album", "film", "director",
-            "city", "country", "band", "label",
+            "book",
+            "author",
+            "publisher",
+            "company",
+            "artist",
+            "album",
+            "film",
+            "director",
+            "city",
+            "country",
+            "band",
+            "label",
         ],
         Flavor::Synthetic => &["node"],
     }
@@ -96,7 +114,9 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                     name_p: b.intern_pred(&format!("name_of_g{g}_l{i}")),
                     attr2_p: b.intern_pred(&format!("attr_g{g}_l{i}")),
                     rel_p: (i < c).then(|| b.intern_pred(&format!("linked_to_g{g}_l{i}"))),
-                    hop_p: (1..d).map(|j| b.intern_pred(&format!("hop_g{g}_l{i}_{j}"))).collect(),
+                    hop_p: (1..d)
+                        .map(|j| b.intern_pred(&format!("hop_g{g}_l{i}_{j}")))
+                        .collect(),
                     hop_ty: (1..d)
                         .map(|j| b.intern_type(&format!("{word}_aux_g{g}_l{i}_{j}")))
                         .collect(),
@@ -189,8 +209,20 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                     b.link_ids(v, rel, nv);
                 }
                 let shared_deep = format!("dupdeep_g{g}_k{k}_l{i}");
-                build_aux_path(&mut b, ls, u, &format!("du_g{g}_k{k}_l{i}"), Some(&shared_deep));
-                build_aux_path(&mut b, ls, v, &format!("dv_g{g}_k{k}_l{i}"), Some(&shared_deep));
+                build_aux_path(
+                    &mut b,
+                    ls,
+                    u,
+                    &format!("du_g{g}_k{k}_l{i}"),
+                    Some(&shared_deep),
+                );
+                build_aux_path(
+                    &mut b,
+                    ls,
+                    v,
+                    &format!("dv_g{g}_k{k}_l{i}"),
+                    Some(&shared_deep),
+                );
                 truth.push(if u <= v { (u, v) } else { (v, u) });
                 next_pair = Some((u, v));
             }
@@ -230,7 +262,13 @@ pub fn generate(cfg: &GenConfig) -> Workload {
                     b.link_ids(e, rel, partner);
                 }
                 let shared_deep = format!("dupdeep_g{g}_k{k}_l{i}");
-                build_aux_path(&mut b, ls, e, &format!("distr_g{g}_t{t}"), Some(&shared_deep));
+                build_aux_path(
+                    &mut b,
+                    ls,
+                    e,
+                    &format!("distr_g{g}_t{t}"),
+                    Some(&shared_deep),
+                );
             }
         }
     }
@@ -285,8 +323,11 @@ fn make_key(
     let words = vocab(cfg.flavor);
     let word = words[(g * (c + 1) + i) % words.len()];
     let ty = format!("{word}_g{g}_l{i}");
-    let mut kb = Key::builder(&format!("K_g{g}_l{i}"), &ty)
-        .triple(Term::x(), &format!("name_of_g{g}_l{i}"), Term::val("n"));
+    let mut kb = Key::builder(&format!("K_g{g}_l{i}"), &ty).triple(
+        Term::x(),
+        &format!("name_of_g{g}_l{i}"),
+        Term::val("n"),
+    );
     if i == c {
         kb = kb.triple(Term::x(), &format!("attr_g{g}_l{i}"), Term::val("a"));
     } else {
@@ -362,8 +403,8 @@ mod tests {
             let cfg = tiny(flavor);
             let w = generate(&cfg);
             let compiled = w.keys.compile(&w.graph);
-            let got = chase_reference(&w.graph, &compiled, ChaseOrder::Deterministic)
-                .identified_pairs();
+            let got =
+                chase_reference(&w.graph, &compiled, ChaseOrder::Deterministic).identified_pairs();
             assert_eq!(got, w.truth, "flavor {flavor:?}");
             assert!(!w.truth.is_empty());
         }

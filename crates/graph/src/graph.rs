@@ -69,7 +69,8 @@ impl GraphBuilder {
         let tid = TypeId(self.types.intern(ty));
         if let Some(&e) = self.ent_by_name.get(name) {
             assert_eq!(
-                self.ent_types[e.idx()], tid,
+                self.ent_types[e.idx()],
+                tid,
                 "entity {name:?} re-declared with different type {ty:?}"
             );
             return e;
@@ -101,6 +102,15 @@ impl GraphBuilder {
     /// This is what allows equivalence relations computed on the old graph
     /// to be reused after updates (incremental matching).
     pub fn from_graph(g: &Graph) -> Self {
+        Self::from_graph_filtered(g, |_| true)
+    }
+
+    /// Like [`from_graph`](Self::from_graph), but copies only the triples
+    /// `keep` accepts. Entities (and their ids and names) are **always**
+    /// preserved — dropping a triple never garbage-collects its endpoints —
+    /// which is what lets triple deletion keep equivalence relations
+    /// id-compatible.
+    pub fn from_graph_filtered(g: &Graph, mut keep: impl FnMut(Triple) -> bool) -> Self {
         let mut b = GraphBuilder::new();
         for e in g.entities() {
             let ty = b.intern_type(g.type_str(g.entity_type(e)));
@@ -109,11 +119,13 @@ impl GraphBuilder {
             let label = g.entity_label(e);
             // Preserve the external name where one was registered.
             if g.entity_named(&label) == Some(e) {
-                b.ent_names[fresh.idx()] = Some(label.as_str().into());
-                b.ent_by_name.insert(label.into(), fresh);
+                b.set_entity_name(fresh, &label);
             }
         }
         for t in g.triples() {
+            if !keep(t) {
+                continue;
+            }
             let p = b.intern_pred(g.pred_str(t.p));
             match t.o {
                 Obj::Entity(o) => b.link_ids(t.s, p, o),
@@ -124,6 +136,25 @@ impl GraphBuilder {
             }
         }
         b
+    }
+
+    /// Registers `name` as the external name of the (so far anonymous)
+    /// entity `e`. Used with [`fresh_entity`](Self::fresh_entity) when
+    /// re-building a graph with stable ids, e.g. to drop triples.
+    ///
+    /// # Panics
+    /// Panics if `e` already has a name or `name` is taken.
+    pub fn set_entity_name(&mut self, e: EntityId, name: &str) {
+        assert!(
+            self.ent_names[e.idx()].is_none(),
+            "entity {e:?} already has a name"
+        );
+        assert!(
+            !self.ent_by_name.contains_key(name),
+            "entity name {name:?} is already registered"
+        );
+        self.ent_names[e.idx()] = Some(name.into());
+        self.ent_by_name.insert(name.into(), e);
     }
 
     /// Interns a type name.
@@ -157,13 +188,21 @@ impl GraphBuilder {
     /// Id-based variant of [`link`](Self::link) for hot generator loops.
     pub fn link_ids(&mut self, s: EntityId, p: PredId, o: EntityId) {
         debug_assert!(s.idx() < self.ent_types.len() && o.idx() < self.ent_types.len());
-        self.triples.push(Triple { s, p, o: Obj::Entity(o) });
+        self.triples.push(Triple {
+            s,
+            p,
+            o: Obj::Entity(o),
+        });
     }
 
     /// Id-based variant of [`attr`](Self::attr) for hot generator loops.
     pub fn attr_ids(&mut self, s: EntityId, p: PredId, v: ValueId) {
         debug_assert!(s.idx() < self.ent_types.len());
-        self.triples.push(Triple { s, p, o: Obj::Value(v) });
+        self.triples.push(Triple {
+            s,
+            p,
+            o: Obj::Value(v),
+        });
     }
 
     /// Number of entities registered so far.
@@ -178,8 +217,15 @@ impl GraphBuilder {
 
     /// Compiles the builder into an immutable, indexed [`Graph`].
     pub fn freeze(self) -> Graph {
-        let GraphBuilder { values, preds, types, ent_types, ent_names, ent_by_name, mut triples } =
-            self;
+        let GraphBuilder {
+            values,
+            preds,
+            types,
+            ent_types,
+            ent_names,
+            ent_by_name,
+            mut triples,
+        } = self;
         let ne = ent_types.len();
         let nv = values.len();
 
@@ -449,7 +495,8 @@ impl Graph {
 
     /// Iterates over all triples in `(s, p, o)` order.
     pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.entities().flat_map(move |s| self.out(s).iter().map(move |&(p, o)| Triple { s, p, o }))
+        self.entities()
+            .flat_map(move |s| self.out(s).iter().map(move |&(p, o)| Triple { s, p, o }))
     }
 }
 
@@ -549,7 +596,10 @@ mod tests {
         let p = g.pred("name_of").unwrap();
         let hits = g.out_with(a, p);
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].1.as_value().map(|v| g.value_str(v)), Some("Anthology 2"));
+        assert_eq!(
+            hits[0].1.as_value().map(|v| g.value_str(v)),
+            Some("Anthology 2")
+        );
         assert_eq!(g.out(a).len(), 3);
     }
 

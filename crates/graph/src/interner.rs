@@ -61,13 +61,18 @@ impl Interner {
 
     /// Iterates `(id, string)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.strings.iter().enumerate().map(|(i, s)| (i as u32, &**s))
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, &**s))
     }
 }
 
 impl std::fmt::Debug for Interner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Interner").field("len", &self.len()).finish()
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -41,5 +41,5 @@ pub use graph::{Graph, GraphBuilder, Triple};
 pub use ids::{EntityId, NodeId, Obj, PredId, TypeId, ValueId};
 pub use interner::Interner;
 pub use neighborhood::{d_neighborhood, d_neighborhoods, is_forest, NodeSet};
-pub use parse::{parse_graph, write_graph, ParseError};
+pub use parse::{parse_graph, parse_triple_specs, write_graph, ObjSpec, ParseError, TripleSpec};
 pub use stats::GraphStats;

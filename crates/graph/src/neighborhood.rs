@@ -26,7 +26,9 @@ impl NodeSet {
     pub fn from_nodes(mut nodes: Vec<NodeId>) -> Self {
         nodes.sort_unstable();
         nodes.dedup();
-        NodeSet { sorted: nodes.into_boxed_slice() }
+        NodeSet {
+            sorted: nodes.into_boxed_slice(),
+        }
     }
 
     /// The empty scope.
@@ -65,15 +67,20 @@ impl NodeSet {
 
     /// Set intersection (used by optimization diagnostics).
     pub fn intersect(&self, other: &NodeSet) -> NodeSet {
-        let (small, large) =
-            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         let out: Vec<NodeId> = small.iter().filter(|&n| large.contains(n)).collect();
         NodeSet::from_nodes(out)
     }
 
     /// Retains only nodes satisfying `keep`, returning a new set.
     pub fn filter(&self, mut keep: impl FnMut(NodeId) -> bool) -> NodeSet {
-        NodeSet { sorted: self.iter().filter(|&n| keep(n)).collect() }
+        NodeSet {
+            sorted: self.iter().filter(|&n| keep(n)).collect(),
+        }
     }
 
     /// Number of triples of `g` with **both** endpoints inside this set —
@@ -83,7 +90,10 @@ impl NodeSet {
         self.iter()
             .filter_map(NodeId::as_entity)
             .map(|s| {
-                g.out(s).iter().filter(|&&(_, o)| self.contains(o.node())).count()
+                g.out(s)
+                    .iter()
+                    .filter(|&&(_, o)| self.contains(o.node()))
+                    .count()
             })
             .sum()
     }
@@ -216,8 +226,7 @@ mod tests {
     fn radius_grows_monotonically() {
         let g = path_graph();
         let a = g.entity_named("a").unwrap();
-        let sizes: Vec<usize> =
-            (0..=4).map(|d| d_neighborhood(&g, a, d).len()).collect();
+        let sizes: Vec<usize> = (0..=4).map(|d| d_neighborhood(&g, a, d).len()).collect();
         assert_eq!(sizes, vec![1, 2, 4, 5, 5]);
         for w in sizes.windows(2) {
             assert!(w[0] <= w[1]);

@@ -32,6 +32,140 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// The object position of a parsed triple, before interning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjSpec {
+    /// An entity reference `name:Type`.
+    Entity {
+        /// External entity name.
+        name: String,
+        /// Type annotation.
+        ty: String,
+    },
+    /// A quoted data value.
+    Value(String),
+}
+
+/// One triple of the text format, before interning — the unit streamed into
+/// a [`GraphBuilder`]. Because [`GraphBuilder::from_graph`] preserves entity
+/// ids, feeding specs into a re-opened builder is the stable-id ingest path
+/// used by incremental matching and the resolution server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TripleSpec {
+    /// Subject entity name.
+    pub subject: String,
+    /// Subject type annotation.
+    pub subject_type: String,
+    /// Predicate label.
+    pub pred: String,
+    /// Object: entity reference or value.
+    pub object: ObjSpec,
+}
+
+impl TripleSpec {
+    /// Applies this spec to a builder, returning the subject and (for
+    /// entity objects) the object ids it touched.
+    ///
+    /// # Panics
+    /// Panics if an entity name is re-declared with a different type — use
+    /// [`Graph::entity_named`] plus batch-local bookkeeping to validate
+    /// first when the input is untrusted.
+    pub fn apply(
+        &self,
+        b: &mut GraphBuilder,
+    ) -> (crate::ids::EntityId, Option<crate::ids::EntityId>) {
+        let s = b.entity(&self.subject, &self.subject_type);
+        match &self.object {
+            ObjSpec::Entity { name, ty } => {
+                let o = b.entity(name, ty);
+                b.link(s, &self.pred, o);
+                (s, Some(o))
+            }
+            ObjSpec::Value(v) => {
+                b.attr(s, &self.pred, v);
+                (s, None)
+            }
+        }
+    }
+}
+
+/// Parses triple-format text into [`TripleSpec`]s without building a graph.
+///
+/// Accepts the same syntax as [`parse_graph`] (comments, blank lines,
+/// quoted values). This is the parsing half of [`parse_graph`], exposed so
+/// that streaming ingest can validate and apply triples against an existing
+/// graph instead of a fresh one.
+pub fn parse_triple_specs(text: &str) -> Result<Vec<TripleSpec>, ParseError> {
+    let mut specs = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks = tokenize(line, line_no)?;
+        if toks.len() != 3 {
+            return Err(ParseError {
+                line: line_no,
+                msg: format!(
+                    "expected 3 tokens (subject predicate object), got {}",
+                    toks.len()
+                ),
+            });
+        }
+        let (subject, subject_type) = match &toks[0] {
+            Tok::Entity(name, ty) if !ty.is_empty() => (name.clone(), ty.clone()),
+            Tok::Entity(name, _) => {
+                return Err(ParseError {
+                    line: line_no,
+                    msg: format!("subject entity {name:?} is missing its :Type annotation"),
+                })
+            }
+            Tok::Value(_) => {
+                return Err(ParseError {
+                    line: line_no,
+                    msg: "subject must be an entity (name:Type), not a value".into(),
+                })
+            }
+        };
+        let pred = match &toks[1] {
+            Tok::Entity(name, ty) if ty.is_empty() => name.clone(),
+            Tok::Entity(..) => {
+                return Err(ParseError {
+                    line: line_no,
+                    msg: "predicate must be a bare identifier".into(),
+                })
+            }
+            Tok::Value(_) => {
+                return Err(ParseError {
+                    line: line_no,
+                    msg: "predicate cannot be a value".into(),
+                })
+            }
+        };
+        let object = match &toks[2] {
+            Tok::Entity(name, ty) if !ty.is_empty() => ObjSpec::Entity {
+                name: name.clone(),
+                ty: ty.clone(),
+            },
+            Tok::Entity(name, _) => {
+                return Err(ParseError {
+                    line: line_no,
+                    msg: format!("object entity {name:?} is missing its :Type annotation"),
+                })
+            }
+            Tok::Value(v) => ObjSpec::Value(v.clone()),
+        };
+        specs.push(TripleSpec {
+            subject,
+            subject_type,
+            pred,
+            object,
+        });
+    }
+    Ok(specs)
+}
+
 /// Parses a graph from the triple text format.
 ///
 /// # Example
@@ -44,53 +178,8 @@ impl std::error::Error for ParseError {}
 /// ```
 pub fn parse_graph(text: &str) -> Result<Graph, ParseError> {
     let mut b = GraphBuilder::new();
-    for (i, raw) in text.lines().enumerate() {
-        let line_no = i + 1;
-        let line = strip_comment(raw).trim();
-        if line.is_empty() {
-            continue;
-        }
-        let toks = tokenize(line, line_no)?;
-        if toks.len() != 3 {
-            return Err(ParseError {
-                line: line_no,
-                msg: format!("expected 3 tokens (subject predicate object), got {}", toks.len()),
-            });
-        }
-        let s = match &toks[0] {
-            Tok::Entity(name, ty) => b.entity(name, ty),
-            Tok::Value(_) => {
-                return Err(ParseError {
-                    line: line_no,
-                    msg: "subject must be an entity (name:Type), not a value".into(),
-                })
-            }
-        };
-        let p = match &toks[1] {
-            Tok::Entity(name, ty) if ty.is_empty() => name.clone(),
-            Tok::Entity(..) => {
-                return Err(ParseError {
-                    line: line_no,
-                    msg: "predicate must be a bare identifier".into(),
-                })
-            }
-            Tok::Value(_) => {
-                return Err(ParseError { line: line_no, msg: "predicate cannot be a value".into() })
-            }
-        };
-        match &toks[2] {
-            Tok::Entity(name, ty) if !ty.is_empty() => {
-                let o = b.entity(name, ty);
-                b.link(s, &p, o);
-            }
-            Tok::Entity(name, _) => {
-                return Err(ParseError {
-                    line: line_no,
-                    msg: format!("object entity {name:?} is missing its :Type annotation"),
-                })
-            }
-            Tok::Value(v) => b.attr(s, &p, v),
-        }
+    for spec in parse_triple_specs(text)? {
+        spec.apply(&mut b);
     }
     Ok(b.freeze())
 }
@@ -189,7 +278,10 @@ fn tokenize(line: &str, line_no: usize) -> Result<Vec<Tok>, ParseError> {
                 }
             }
             if !closed {
-                return Err(ParseError { line: line_no, msg: "unterminated string".into() });
+                return Err(ParseError {
+                    line: line_no,
+                    msg: "unterminated string".into(),
+                });
             }
             toks.push(Tok::Value(v));
         } else {
@@ -237,7 +329,7 @@ mod tests {
         assert_eq!(g.num_entities(), 2);
         assert_eq!(g.num_triples(), 4);
         assert!(g.entity_named("alb1").is_some());
-        assert_eq!(g.value("Anthology 2").is_some(), true);
+        assert!(g.value("Anthology 2").is_some());
     }
 
     #[test]

@@ -72,7 +72,10 @@ impl Enumerator<'_> {
                 let tri = self.q.triples()[t as usize];
                 let s = self.m[tri.s as usize].expect("bound");
                 let o = self.m[tri.o as usize].expect("bound");
-                if self.g.has(s.as_entity().expect("entity subject"), tri.p, o.to_obj()) {
+                if self
+                    .g
+                    .has(s.as_entity().expect("entity subject"), tri.p, o.to_obj())
+                {
                     self.run(step_idx + 1);
                 }
             }
@@ -82,8 +85,12 @@ impl Enumerator<'_> {
                 let se = s.as_entity().expect("entity subject");
                 // Candidate objects come from the adjacency list (guided
                 // expansion), filtered by the slot kind.
-                let cands: Vec<NodeId> =
-                    self.g.out_with(se, tri.p).iter().map(|&(_, o)| o.node()).collect();
+                let cands: Vec<NodeId> = self
+                    .g
+                    .out_with(se, tri.p)
+                    .iter()
+                    .map(|&(_, o)| o.node())
+                    .collect();
                 for c in cands {
                     if self.admissible(tri.o, c) {
                         self.m[tri.o as usize] = Some(c);
@@ -174,7 +181,8 @@ pub fn eval_pair_enumerate<E: EqOracle + ?Sized>(
         return false;
     }
     let ms2 = enumerate_matches(g, q, e2, scope2, cap);
-    ms1.iter().any(|m1| ms2.iter().any(|m2| coincide(q, m1, m2, eq)))
+    ms1.iter()
+        .any(|m1| ms2.iter().any(|m2| coincide(q, m1, m2, eq)))
 }
 
 #[cfg(test)]
@@ -246,7 +254,10 @@ mod tests {
         )
         .unwrap();
         let q = PairPattern::new(
-            vec![SlotKind::Anchor(g.etype("s").unwrap()), SlotKind::Wildcard(g.etype("t").unwrap())],
+            vec![
+                SlotKind::Anchor(g.etype("s").unwrap()),
+                SlotKind::Wildcard(g.etype("t").unwrap()),
+            ],
             vec![pt(0, g.pred("p").unwrap(), 1)],
             0,
         )
@@ -259,7 +270,10 @@ mod tests {
     fn cap_limits_enumeration() {
         let g = parse_graph("x1:s p y:t\nx1:s p z:t\nx1:s p w:t").unwrap();
         let q = PairPattern::new(
-            vec![SlotKind::Anchor(g.etype("s").unwrap()), SlotKind::Wildcard(g.etype("t").unwrap())],
+            vec![
+                SlotKind::Anchor(g.etype("s").unwrap()),
+                SlotKind::Wildcard(g.etype("t").unwrap()),
+            ],
             vec![pt(0, g.pred("p").unwrap(), 1)],
             0,
         )
@@ -277,8 +291,7 @@ mod tests {
             let ea = g.entity_named(a).unwrap();
             let eb = g.entity_named(b).unwrap();
             let guided = eval_pair(&g, &q, ea, eb, &IdentityEq, MatchScope::whole_graph());
-            let baseline =
-                eval_pair_enumerate(&g, &q, ea, eb, &IdentityEq, None, None, usize::MAX);
+            let baseline = eval_pair_enumerate(&g, &q, ea, eb, &IdentityEq, None, None, usize::MAX);
             assert_eq!(guided, baseline, "disagreement on ({a}, {b})");
         }
     }

@@ -33,13 +33,15 @@ impl<'a> MatchScope<'a> {
 
     /// Restrict both sides.
     pub fn new(scope1: &'a NodeSet, scope2: &'a NodeSet) -> Self {
-        MatchScope { scope1: Some(scope1), scope2: Some(scope2) }
+        MatchScope {
+            scope1: Some(scope1),
+            scope2: Some(scope2),
+        }
     }
 
     #[inline]
     fn admits(&self, n1: NodeId, n2: NodeId) -> bool {
-        self.scope1.is_none_or(|s| s.contains(n1))
-            && self.scope2.is_none_or(|s| s.contains(n2))
+        self.scope1.is_none_or(|s| s.contains(n1)) && self.scope2.is_none_or(|s| s.contains(n2))
     }
 }
 
@@ -86,7 +88,11 @@ pub fn eval_pair_witness<E: EqOracle + ?Sized>(
     };
     s.m[q.anchor() as usize] = Some((n1, n2));
     if s.search(0) {
-        Some(s.m.into_iter().map(|b| b.expect("full instantiation")).collect())
+        Some(
+            s.m.into_iter()
+                .map(|b| b.expect("full instantiation"))
+                .collect(),
+        )
     } else {
         None
     }
@@ -153,22 +159,16 @@ impl<E: EqOracle + ?Sized> Searcher<'_, E> {
             SlotKind::Anchor(_) => false, // pre-bound, never expanded into
             SlotKind::EqEntity(ty) => match (n1.as_entity(), n2.as_entity()) {
                 (Some(a), Some(b)) => {
-                    self.g.entity_type(a) == ty
-                        && self.g.entity_type(b) == ty
-                        && self.eq.same(a, b)
+                    self.g.entity_type(a) == ty && self.g.entity_type(b) == ty && self.eq.same(a, b)
                 }
                 _ => false,
             },
             SlotKind::Wildcard(ty) => match (n1.as_entity(), n2.as_entity()) {
-                (Some(a), Some(b)) => {
-                    self.g.entity_type(a) == ty && self.g.entity_type(b) == ty
-                }
+                (Some(a), Some(b)) => self.g.entity_type(a) == ty && self.g.entity_type(b) == ty,
                 _ => false,
             },
             SlotKind::ValueVar => n1.is_value() && n1 == n2,
-            SlotKind::Const(d) => {
-                n1 == NodeId::value(d) && n2 == NodeId::value(d)
-            }
+            SlotKind::Const(d) => n1 == NodeId::value(d) && n2 == NodeId::value(d),
         }
     }
 
@@ -338,9 +338,23 @@ mod tests {
     fn value_based_key_identifies_albums() {
         let g = g1();
         let q = q2(&g);
-        assert!(eval_pair(&g, &q, e(&g, "alb1"), e(&g, "alb2"), &IdentityEq, MatchScope::whole_graph()));
+        assert!(eval_pair(
+            &g,
+            &q,
+            e(&g, "alb1"),
+            e(&g, "alb2"),
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
         // alb3 has no release year: cannot match Q2 at all.
-        assert!(!eval_pair(&g, &q, e(&g, "alb1"), e(&g, "alb3"), &IdentityEq, MatchScope::whole_graph()));
+        assert!(!eval_pair(
+            &g,
+            &q,
+            e(&g, "alb1"),
+            e(&g, "alb3"),
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
     }
 
     #[test]
@@ -348,7 +362,14 @@ mod tests {
         let g = g1();
         let q = q3(&g);
         // Initially alb1 and alb2 are distinct, so Q3 cannot fire.
-        assert!(!eval_pair(&g, &q, e(&g, "art1"), e(&g, "art2"), &IdentityEq, MatchScope::whole_graph()));
+        assert!(!eval_pair(
+            &g,
+            &q,
+            e(&g, "art1"),
+            e(&g, "art2"),
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
 
         // Once the albums are identified, Q3 identifies the artists
         // (Example 7 / Example 9 of the paper).
@@ -359,19 +380,43 @@ mod tests {
             }
         }
         let oracle = AlbEq(e(&g, "alb1"), e(&g, "alb2"));
-        assert!(eval_pair(&g, &q, e(&g, "art1"), e(&g, "art2"), &oracle, MatchScope::whole_graph()));
+        assert!(eval_pair(
+            &g,
+            &q,
+            e(&g, "art1"),
+            e(&g, "art2"),
+            &oracle,
+            MatchScope::whole_graph()
+        ));
         // art3 has a different name: never identified.
-        assert!(!eval_pair(&g, &q, e(&g, "art1"), e(&g, "art3"), &oracle, MatchScope::whole_graph()));
+        assert!(!eval_pair(
+            &g,
+            &q,
+            e(&g, "art1"),
+            e(&g, "art3"),
+            &oracle,
+            MatchScope::whole_graph()
+        ));
     }
 
     #[test]
     fn witness_is_fully_instantiated_and_consistent() {
         let g = g1();
         let q = q2(&g);
-        let w = eval_pair_witness(&g, &q, e(&g, "alb1"), e(&g, "alb2"), &IdentityEq, MatchScope::whole_graph())
-            .unwrap();
+        let w = eval_pair_witness(
+            &g,
+            &q,
+            e(&g, "alb1"),
+            e(&g, "alb2"),
+            &IdentityEq,
+            MatchScope::whole_graph(),
+        )
+        .unwrap();
         assert_eq!(w.len(), 3);
-        assert_eq!(w[0], (NodeId::entity(e(&g, "alb1")), NodeId::entity(e(&g, "alb2"))));
+        assert_eq!(
+            w[0],
+            (NodeId::entity(e(&g, "alb1")), NodeId::entity(e(&g, "alb2")))
+        );
         // Value slots carry the same node on both sides.
         assert_eq!(w[1].0, w[1].1);
         assert_eq!(w[2].0, w[2].1);
@@ -381,7 +426,14 @@ mod tests {
     fn type_mismatch_is_rejected() {
         let g = g1();
         let q = q2(&g);
-        assert!(!eval_pair(&g, &q, e(&g, "alb1"), e(&g, "art1"), &IdentityEq, MatchScope::whole_graph()));
+        assert!(!eval_pair(
+            &g,
+            &q,
+            e(&g, "alb1"),
+            e(&g, "art1"),
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
     }
 
     #[test]
@@ -392,11 +444,25 @@ mod tests {
         let a2 = e(&g, "alb2");
         let full1 = gk_graph::d_neighborhood(&g, a1, 1);
         let full2 = gk_graph::d_neighborhood(&g, a2, 1);
-        assert!(eval_pair(&g, &q, a1, a2, &IdentityEq, MatchScope::new(&full1, &full2)));
+        assert!(eval_pair(
+            &g,
+            &q,
+            a1,
+            a2,
+            &IdentityEq,
+            MatchScope::new(&full1, &full2)
+        ));
         // Radius-0 scopes exclude the value nodes: no match possible.
         let tiny1 = gk_graph::d_neighborhood(&g, a1, 0);
         let tiny2 = gk_graph::d_neighborhood(&g, a2, 0);
-        assert!(!eval_pair(&g, &q, a1, a2, &IdentityEq, MatchScope::new(&tiny1, &tiny2)));
+        assert!(!eval_pair(
+            &g,
+            &q,
+            a1,
+            a2,
+            &IdentityEq,
+            MatchScope::new(&tiny1, &tiny2)
+        ));
     }
 
     #[test]
@@ -419,12 +485,29 @@ mod tests {
                 SlotKind::ValueVar,
                 SlotKind::Const(g.value("UK").unwrap()),
             ],
-            vec![pt(0, g.pred("zip").unwrap(), 1), pt(0, g.pred("nation").unwrap(), 2)],
+            vec![
+                pt(0, g.pred("zip").unwrap(), 1),
+                pt(0, g.pred("nation").unwrap(), 2),
+            ],
             0,
         )
         .unwrap();
-        assert!(eval_pair(&g, &q, s1, s2, &IdentityEq, MatchScope::whole_graph()));
-        assert!(!eval_pair(&g, &q, s1, s3, &IdentityEq, MatchScope::whole_graph()));
+        assert!(eval_pair(
+            &g,
+            &q,
+            s1,
+            s2,
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
+        assert!(!eval_pair(
+            &g,
+            &q,
+            s1,
+            s3,
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
     }
 
     #[test]
@@ -446,11 +529,21 @@ mod tests {
                 SlotKind::Wildcard(g.etype("t").unwrap()),
                 SlotKind::Wildcard(g.etype("t").unwrap()),
             ],
-            vec![pt(0, g.pred("p").unwrap(), 1), pt(0, g.pred("p").unwrap(), 2)],
+            vec![
+                pt(0, g.pred("p").unwrap(), 1),
+                pt(0, g.pred("p").unwrap(), 2),
+            ],
             0,
         )
         .unwrap();
-        assert!(!eval_pair(&g, &q, x1, x2, &IdentityEq, MatchScope::whole_graph()));
+        assert!(!eval_pair(
+            &g,
+            &q,
+            x1,
+            x2,
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
     }
 
     #[test]
@@ -480,7 +573,14 @@ mod tests {
         )
         .unwrap();
         // Same parent p on both sides satisfies the EqEntity slot under Eq0.
-        assert!(eval_pair(&g, &q, c1, c2, &IdentityEq, MatchScope::whole_graph()));
+        assert!(eval_pair(
+            &g,
+            &q,
+            c1,
+            c2,
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
     }
 
     #[test]
@@ -507,13 +607,23 @@ mod tests {
                 SlotKind::ValueVar,
                 SlotKind::Wildcard(g.etype("t").unwrap()),
             ],
-            vec![pt(0, g.pred("q").unwrap(), 1), pt(2, g.pred("p").unwrap(), 1)],
+            vec![
+                pt(0, g.pred("q").unwrap(), 1),
+                pt(2, g.pred("p").unwrap(), 1),
+            ],
             0,
         )
         .unwrap();
         // x1/x2: values differ ("shared1" vs "shared2") so no match —
         // ValueVar demands the SAME value on both sides.
-        assert!(!eval_pair(&g, &q, x1, x2, &IdentityEq, MatchScope::whole_graph()));
+        assert!(!eval_pair(
+            &g,
+            &q,
+            x1,
+            x2,
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
         // Two entities sharing the q-value DO match through the backward
         // step. Add them:
         let mut b2 = GraphBuilder::new();
@@ -530,13 +640,23 @@ mod tests {
                 SlotKind::ValueVar,
                 SlotKind::Wildcard(g2.etype("t").unwrap()),
             ],
-            vec![pt(0, g2.pred("q").unwrap(), 1), pt(2, g2.pred("p").unwrap(), 1)],
+            vec![
+                pt(0, g2.pred("q").unwrap(), 1),
+                pt(2, g2.pred("p").unwrap(), 1),
+            ],
             0,
         )
         .unwrap();
         // The wildcard maps to (v1, v1)?? No: injectivity applies per side,
         // and v1 can be used on both sides (different sides never clash).
-        assert!(eval_pair(&g2, &q2, y1, y2, &IdentityEq, MatchScope::whole_graph()));
+        assert!(eval_pair(
+            &g2,
+            &q2,
+            y1,
+            y2,
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
     }
 
     #[test]
@@ -566,15 +686,32 @@ mod tests {
                 SlotKind::ValueVar,
                 SlotKind::EqEntity(g.etype("t").unwrap()),
             ],
-            vec![pt(0, g.pred("n").unwrap(), 1), pt(0, g.pred("p").unwrap(), 2)],
+            vec![
+                pt(0, g.pred("n").unwrap(), 1),
+                pt(0, g.pred("p").unwrap(), 2),
+            ],
             0,
         )
         .unwrap();
         // t1 and t3 identified only transitively through t2's class.
         let oracle = ClassEq(vec![t1, t2, t3]);
-        assert!(eval_pair(&g, &q, s1, s2, &oracle, MatchScope::whole_graph()));
+        assert!(eval_pair(
+            &g,
+            &q,
+            s1,
+            s2,
+            &oracle,
+            MatchScope::whole_graph()
+        ));
         let partial = ClassEq(vec![t1, t2]);
-        assert!(!eval_pair(&g, &q, s1, s2, &partial, MatchScope::whole_graph()));
+        assert!(!eval_pair(
+            &g,
+            &q,
+            s1,
+            s2,
+            &partial,
+            MatchScope::whole_graph()
+        ));
     }
 
     #[test]
@@ -603,7 +740,14 @@ mod tests {
             0,
         )
         .unwrap();
-        assert!(eval_pair(&g, &wild, c1, c2, &IdentityEq, MatchScope::whole_graph()));
+        assert!(eval_pair(
+            &g,
+            &wild,
+            c1,
+            c2,
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
 
         let strict = PairPattern::new(
             vec![
@@ -619,6 +763,13 @@ mod tests {
         )
         .unwrap();
         // EqEntity demands the parents be identified — they are not.
-        assert!(!eval_pair(&g, &strict, c1, c2, &IdentityEq, MatchScope::whole_graph()));
+        assert!(!eval_pair(
+            &g,
+            &strict,
+            c1,
+            c2,
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
     }
 }

@@ -30,8 +30,7 @@ impl Pairing {
     /// *can be paired* by the pattern (necessary condition for
     /// identification).
     pub fn pairable(&self, q: &PairPattern, e1: EntityId, e2: EntityId) -> bool {
-        self.per_slot[q.anchor() as usize]
-            .contains(&(NodeId::entity(e1), NodeId::entity(e2)))
+        self.per_slot[q.anchor() as usize].contains(&(NodeId::entity(e1), NodeId::entity(e2)))
     }
 
     /// All side-1 nodes appearing anywhere in the relation (plus side-2 via
@@ -52,9 +51,8 @@ impl Pairing {
     /// if not, the pair must wait for some dependency to be identified
     /// first. Drives the entity-dependency seeding of §4.2.
     pub fn recursive_identity_possible(&self, q: &PairPattern) -> bool {
-        q.recursive_slots().all(|slot| {
-            self.per_slot[slot as usize].iter().any(|&(a, b)| a == b)
-        })
+        q.recursive_slots()
+            .all(|slot| self.per_slot[slot as usize].iter().any(|&(a, b)| a == b))
     }
 
     /// Entity pairs `(a, b)` with `a ≠ b` occurring in recursive slots —
@@ -145,12 +143,14 @@ pub fn pairing_seeded(
                 .flat_map(|&(s1, s2)| {
                     let se1 = s1.as_entity().expect("entity subject");
                     let se2 = s2.as_entity().expect("entity subject");
-                    let outs2: Vec<Obj> =
-                        g.out_with(se2, tri.p).iter().map(|&(_, o)| o).collect();
+                    let outs2: Vec<Obj> = g.out_with(se2, tri.p).iter().map(|&(_, o)| o).collect();
                     g.out_with(se1, tri.p)
                         .iter()
                         .flat_map(move |&(_, o1)| {
-                            outs2.clone().into_iter().map(move |o2| (o1.node(), o2.node()))
+                            outs2
+                                .clone()
+                                .into_iter()
+                                .map(move |o2| (o1.node(), o2.node()))
                         })
                         .collect::<Vec<_>>()
                 })
@@ -346,7 +346,14 @@ mod tests {
         let q = q3(&g);
         let p = pairing_at(&g, &q, e(&g, "art1"), e(&g, "art2"), None, None);
         assert!(p.pairable(&q, e(&g, "art1"), e(&g, "art2")));
-        assert!(!eval_pair(&g, &q, e(&g, "art1"), e(&g, "art2"), &IdentityEq, MatchScope::whole_graph()));
+        assert!(!eval_pair(
+            &g,
+            &q,
+            e(&g, "art1"),
+            e(&g, "art2"),
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
     }
 
     #[test]

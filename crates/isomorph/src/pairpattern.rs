@@ -35,7 +35,10 @@ impl SlotKind {
     /// True iff the slot binds entity nodes (subject positions must be
     /// entity-kind).
     pub fn is_entity_kind(self) -> bool {
-        matches!(self, SlotKind::Anchor(_) | SlotKind::EqEntity(_) | SlotKind::Wildcard(_))
+        matches!(
+            self,
+            SlotKind::Anchor(_) | SlotKind::EqEntity(_) | SlotKind::Wildcard(_)
+        )
     }
 
     /// True iff this slot makes the key *recursively defined* (§2.2).
@@ -137,7 +140,12 @@ impl PairPattern {
         if anchor >= n || !matches!(slots[anchor as usize], SlotKind::Anchor(_)) {
             return Err(PatternError::BadAnchor);
         }
-        if slots.iter().filter(|s| matches!(s, SlotKind::Anchor(_))).count() != 1 {
+        if slots
+            .iter()
+            .filter(|s| matches!(s, SlotKind::Anchor(_)))
+            .count()
+            != 1
+        {
             return Err(PatternError::BadAnchor);
         }
         for (i, t) in triples.iter().enumerate() {
@@ -151,7 +159,14 @@ impl PairPattern {
         let plan = build_plan(&slots, &triples, anchor)?;
         let radius = compute_radius(slots.len(), &triples, anchor);
         let recursive = slots.iter().any(|s| s.is_recursive());
-        Ok(PairPattern { slots, triples, anchor, plan, radius, recursive })
+        Ok(PairPattern {
+            slots,
+            triples,
+            anchor,
+            plan,
+            radius,
+            recursive,
+        })
     }
 
     /// The slot kinds, indexed by slot id.
@@ -330,7 +345,11 @@ mod tests {
     /// Q2-like: x -name-> v*, x -year-> w*.
     fn star() -> PairPattern {
         PairPattern::new(
-            vec![SlotKind::Anchor(TypeId(0)), SlotKind::ValueVar, SlotKind::ValueVar],
+            vec![
+                SlotKind::Anchor(TypeId(0)),
+                SlotKind::ValueVar,
+                SlotKind::ValueVar,
+            ],
             vec![t(0, 0, 1), t(0, 1, 2)],
             0,
         )
@@ -345,7 +364,10 @@ mod tests {
         assert_eq!(q.size(), 2);
         assert_eq!(q.anchor_type(), TypeId(0));
         assert_eq!(q.plan().len(), 2);
-        assert!(q.plan().iter().all(|s| matches!(s, Step::ExpandForward { .. })));
+        assert!(q
+            .plan()
+            .iter()
+            .all(|s| matches!(s, Step::ExpandForward { .. })));
     }
 
     #[test]
@@ -403,7 +425,11 @@ mod tests {
             0,
         )
         .unwrap();
-        let checks = q.plan().iter().filter(|s| matches!(s, Step::CheckEdge { .. })).count();
+        let checks = q
+            .plan()
+            .iter()
+            .filter(|s| matches!(s, Step::CheckEdge { .. }))
+            .count();
         assert_eq!(checks, 1);
         assert_eq!(q.plan().len(), 4);
     }
@@ -426,8 +452,7 @@ mod tests {
 
     #[test]
     fn rejects_empty() {
-        let err =
-            PairPattern::new(vec![SlotKind::Anchor(TypeId(0))], vec![], 0).unwrap_err();
+        let err = PairPattern::new(vec![SlotKind::Anchor(TypeId(0))], vec![], 0).unwrap_err();
         assert_eq!(err, PatternError::Empty);
     }
 
@@ -479,23 +504,14 @@ mod tests {
 
     #[test]
     fn rejects_bad_slot_index() {
-        let err = PairPattern::new(
-            vec![SlotKind::Anchor(TypeId(0))],
-            vec![t(0, 0, 9)],
-            0,
-        )
-        .unwrap_err();
+        let err =
+            PairPattern::new(vec![SlotKind::Anchor(TypeId(0))], vec![t(0, 0, 9)], 0).unwrap_err();
         assert_eq!(err, PatternError::BadSlot(9));
     }
 
     #[test]
     fn self_loop_on_anchor_is_check_edge() {
-        let q = PairPattern::new(
-            vec![SlotKind::Anchor(TypeId(0))],
-            vec![t(0, 0, 0)],
-            0,
-        )
-        .unwrap();
+        let q = PairPattern::new(vec![SlotKind::Anchor(TypeId(0))], vec![t(0, 0, 0)], 0).unwrap();
         assert_eq!(q.plan(), &[Step::CheckEdge { t: 0 }]);
         assert_eq!(q.radius(), 0);
     }

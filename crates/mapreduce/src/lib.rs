@@ -175,14 +175,20 @@ impl Cluster {
     /// Creates a cluster with `p ≥ 1` workers running on real threads.
     pub fn new(p: usize) -> Self {
         assert!(p >= 1, "a cluster needs at least one worker");
-        Cluster { workers: p, mode: ExecMode::Threads }
+        Cluster {
+            workers: p,
+            mode: ExecMode::Threads,
+        }
     }
 
     /// Creates a cluster with `p ≥ 1` *virtual* workers running in
     /// deterministic simulation (see [`ExecMode::Simulate`]).
     pub fn simulated(p: usize) -> Self {
         assert!(p >= 1, "a cluster needs at least one worker");
-        Cluster { workers: p, mode: ExecMode::Simulate }
+        Cluster {
+            workers: p,
+            mode: ExecMode::Simulate,
+        }
     }
 
     /// The number of workers `p`.
@@ -403,8 +409,7 @@ mod tests {
     #[test]
     fn word_count_is_correct() {
         let cluster = Cluster::new(3);
-        let (mut out, stats) =
-            cluster.run(&WordCount, lines(&["a b c", "a a", "b", ""]));
+        let (mut out, stats) = cluster.run(&WordCount, lines(&["a b c", "a a", "b", ""]));
         out.sort();
         assert_eq!(
             out,
@@ -511,7 +516,10 @@ mod tests {
         total.accumulate(&s1);
         total.accumulate(&s2);
         assert_eq!(total.records_in, 3);
-        assert_eq!(total.records_shuffled, s1.records_shuffled + s2.records_shuffled);
+        assert_eq!(
+            total.records_shuffled,
+            s1.records_shuffled + s2.records_shuffled
+        );
     }
 
     #[test]

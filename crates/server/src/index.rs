@@ -1,0 +1,347 @@
+//! The resident entity-matching index: `chase(G, Σ)` held in memory,
+//! advanced incrementally as triples stream in.
+//!
+//! Readers never block on writers: the index keeps its whole queryable
+//! state — graph, compiled keys, terminal `Eq`, canonical-representative
+//! map, duplicate clusters — in one immutable [`IndexState`] behind an
+//! `Arc`, and queries clone the `Arc` out of a `parking_lot::RwLock` whose
+//! critical section is that clone. Updates build the *next* state off to
+//! the side (insert-only batches advance via [`chase_incremental`]; a
+//! deletion falls back to a full re-chase, since deletions are not
+//! monotone) and swap it in under the write lock. A query therefore always
+//! sees either the complete pre-update or the complete post-update `Eq` —
+//! never a torn intermediate.
+
+use gk_core::{
+    chase_incremental, chase_reference, prove, verify, ChaseOrder, CompiledKeySet, EqRel, KeySet,
+    Proof,
+};
+use gk_graph::{EntityId, Graph, GraphBuilder, Obj, ObjSpec, TripleSpec};
+use parking_lot::{Mutex, RwLock};
+use rustc_hash::FxHashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How an update advanced the index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdvanceMode {
+    /// Insert-only batch: delta chase seeded from the previous `Eq`.
+    Incremental,
+    /// Deletion (non-monotone): the whole chase was recomputed.
+    FullRechase,
+    /// The batch added nothing new (all triples already present).
+    NoOp,
+}
+
+impl std::fmt::Display for AdvanceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdvanceMode::Incremental => write!(f, "incremental"),
+            AdvanceMode::FullRechase => write!(f, "full-rechase"),
+            AdvanceMode::NoOp => write!(f, "noop"),
+        }
+    }
+}
+
+/// What one update did to the index.
+#[derive(Clone, Debug)]
+pub struct AdvanceReport {
+    /// Which path advanced the index.
+    pub mode: AdvanceMode,
+    /// Triples in the batch (after text parsing).
+    pub triples: usize,
+    /// Entities incident to the new triples.
+    pub touched: usize,
+    /// Entities created by the batch.
+    pub new_entities: usize,
+    /// Identified pairs added to the closure by this advance.
+    pub new_pairs: usize,
+    /// Chase rounds performed.
+    pub rounds: usize,
+    /// Subgraph-isomorphism checks performed.
+    pub iso_checks: u64,
+}
+
+/// One immutable, fully indexed version of the resolution state.
+pub struct IndexState {
+    /// The graph this version was chased on.
+    pub graph: Graph,
+    /// Σ compiled against [`IndexState::graph`].
+    pub compiled: CompiledKeySet,
+    /// The terminal `Eq` — `chase(G, Σ)`.
+    pub eq: EqRel,
+    /// Monotonically increasing version, bumped by every applied update.
+    pub version: u64,
+    /// Canonical representative (smallest member id) per entity.
+    reps: Vec<EntityId>,
+    /// Non-trivial clusters, keyed by canonical representative.
+    dups: FxHashMap<EntityId, Vec<EntityId>>,
+}
+
+impl IndexState {
+    fn build(graph: Graph, compiled: CompiledKeySet, eq: EqRel, version: u64) -> Self {
+        let mut reps: Vec<EntityId> = graph.entities().collect();
+        let mut dups = FxHashMap::default();
+        for class in eq.classes() {
+            let rep = class[0]; // classes are sorted: min member
+            for &e in &class {
+                reps[e.idx()] = rep;
+            }
+            dups.insert(rep, class);
+        }
+        IndexState {
+            graph,
+            compiled,
+            eq,
+            version,
+            reps,
+            dups,
+        }
+    }
+
+    /// Canonical representative of `e` (itself when unduplicated).
+    pub fn rep(&self, e: EntityId) -> EntityId {
+        self.reps[e.idx()]
+    }
+
+    /// Are `a` and `b` identified under the terminal `Eq`?
+    pub fn same(&self, a: EntityId, b: EntityId) -> bool {
+        self.rep(a) == self.rep(b)
+    }
+
+    /// All members of `e`'s cluster (sorted), or `None` when `e` has no
+    /// duplicates.
+    pub fn cluster(&self, e: EntityId) -> Option<&[EntityId]> {
+        self.dups.get(&self.rep(e)).map(Vec::as_slice)
+    }
+
+    /// Number of non-trivial clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.dups.len()
+    }
+
+    /// A verified proof that the chase identifies `(a, b)`, or `None`.
+    pub fn explain(&self, a: EntityId, b: EntityId) -> Option<Proof> {
+        let proof = prove(&self.graph, &self.compiled, a, b)?;
+        verify(&self.graph, &self.compiled, &proof).expect("prove() must emit a verifiable proof");
+        Some(proof)
+    }
+}
+
+/// Cumulative counters, updated atomically outside the state lock.
+#[derive(Debug, Default)]
+pub struct IndexStats {
+    /// Applied insert batches that advanced via the incremental path.
+    pub incremental_advances: AtomicU64,
+    /// Updates that fell back to a full re-chase.
+    pub full_rechases: AtomicU64,
+    /// Batches that were no-ops.
+    pub noops: AtomicU64,
+    /// Rounds of the startup chase.
+    pub startup_rounds: AtomicU64,
+    /// Isomorphism checks of the startup chase.
+    pub startup_iso_checks: AtomicU64,
+    /// Startup chase wall-clock, microseconds.
+    pub startup_micros: AtomicU64,
+}
+
+/// The resident index: owns Σ, the current [`IndexState`], and the update
+/// path. Many readers, one writer.
+pub struct EmIndex {
+    keys: KeySet,
+    state: RwLock<Arc<IndexState>>,
+    /// Serializes writers so compute can happen outside the state lock.
+    ingest: Mutex<()>,
+    /// Cumulative update counters.
+    pub stats: IndexStats,
+}
+
+impl EmIndex {
+    /// Loads a graph and a key set, runs the startup chase, and builds the
+    /// serving state.
+    pub fn new(graph: Graph, keys: KeySet) -> Self {
+        let t0 = Instant::now();
+        let compiled = keys.compile(&graph);
+        let r = chase_reference(&graph, &compiled, ChaseOrder::Deterministic);
+        let stats = IndexStats::default();
+        stats
+            .startup_rounds
+            .store(r.rounds as u64, Ordering::Relaxed);
+        stats
+            .startup_iso_checks
+            .store(r.iso_checks, Ordering::Relaxed);
+        stats
+            .startup_micros
+            .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        EmIndex {
+            keys,
+            state: RwLock::new(Arc::new(IndexState::build(graph, compiled, r.eq, 0))),
+            ingest: Mutex::new(()),
+            stats,
+        }
+    }
+
+    /// The key set Σ the index serves.
+    pub fn keys(&self) -> &KeySet {
+        &self.keys
+    }
+
+    /// An immutable snapshot of the current state. Queries run entirely on
+    /// the snapshot; the lock is held only for the `Arc` clone.
+    pub fn snapshot(&self) -> Arc<IndexState> {
+        self.state.read().clone()
+    }
+
+    /// Applies an insert-only batch of triples.
+    ///
+    /// Entity ids are stable: the new graph re-opens the old one via
+    /// [`GraphBuilder::from_graph`], so the previous terminal `Eq` seeds a
+    /// delta chase ([`chase_incremental`]) woken only around the touched
+    /// entities. Returns an error (and changes nothing) if a triple
+    /// re-declares an existing entity with a different type.
+    pub fn insert(&self, specs: &[TripleSpec]) -> Result<AdvanceReport, String> {
+        let _writer = self.ingest.lock();
+        let snap = self.snapshot();
+
+        // Validate entity types against the graph and within the batch
+        // before touching the builder (GraphBuilder panics on a clash).
+        fn check<'a>(
+            g: &Graph,
+            batch: &mut FxHashMap<&'a str, &'a str>,
+            name: &'a str,
+            ty: &'a str,
+        ) -> Result<(), String> {
+            if let Some(e) = g.entity_named(name) {
+                let have = g.type_str(g.entity_type(e));
+                if have != ty {
+                    return Err(format!(
+                        "entity {name:?} already has type {have:?}, not {ty:?}"
+                    ));
+                }
+            }
+            match batch.get(name) {
+                Some(&have) if have != ty => Err(format!(
+                    "entity {name:?} used with types {have:?} and {ty:?}"
+                )),
+                _ => {
+                    batch.insert(name, ty);
+                    Ok(())
+                }
+            }
+        }
+        let mut batch_types: FxHashMap<&str, &str> = FxHashMap::default();
+        for s in specs {
+            check(&snap.graph, &mut batch_types, &s.subject, &s.subject_type)?;
+            if let ObjSpec::Entity { name, ty } = &s.object {
+                check(&snap.graph, &mut batch_types, name, ty)?;
+            }
+        }
+
+        let old_entities = snap.graph.num_entities();
+        let mut b = GraphBuilder::from_graph(&snap.graph);
+        let mut touched: Vec<EntityId> = Vec::new();
+        for s in specs {
+            let (subj, obj) = s.apply(&mut b);
+            touched.push(subj);
+            touched.extend(obj);
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        let g2 = b.freeze();
+
+        if g2.num_triples() == snap.graph.num_triples()
+            && g2.num_entities() == snap.graph.num_entities()
+        {
+            self.stats.noops.fetch_add(1, Ordering::Relaxed);
+            return Ok(AdvanceReport {
+                mode: AdvanceMode::NoOp,
+                triples: specs.len(),
+                touched: touched.len(),
+                new_entities: 0,
+                new_pairs: 0,
+                rounds: 0,
+                iso_checks: 0,
+            });
+        }
+
+        // The heavy part runs without the state lock: readers keep serving
+        // the previous snapshot.
+        let compiled2 = self.keys.compile(&g2);
+        let delta = chase_incremental(&g2, &compiled2, &snap.eq, &touched);
+        let new_pairs = delta.eq.num_identified_pairs() - snap.eq.num_identified_pairs();
+        let report = AdvanceReport {
+            mode: AdvanceMode::Incremental,
+            triples: specs.len(),
+            touched: touched.len(),
+            new_entities: g2.num_entities() - old_entities,
+            new_pairs,
+            rounds: delta.rounds,
+            iso_checks: delta.iso_checks,
+        };
+        let next = IndexState::build(g2, compiled2, delta.eq, snap.version + 1);
+        *self.state.write() = Arc::new(next);
+        self.stats
+            .incremental_advances
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    /// Deletes one triple and recomputes the chase from scratch.
+    ///
+    /// Keys are monotone only under *insertions*; a deletion can invalidate
+    /// prior merges, so this is the documented full re-chase fallback.
+    pub fn delete(&self, spec: &TripleSpec) -> Result<AdvanceReport, String> {
+        let _writer = self.ingest.lock();
+        let snap = self.snapshot();
+        let g = &snap.graph;
+
+        // Resolve and validate: the same type contract as insert — a spec
+        // carrying a wrong :Type annotation is a client bug, not a delete.
+        let resolve = |name: &str, ty: &str| -> Result<EntityId, String> {
+            let e = g
+                .entity_named(name)
+                .ok_or_else(|| format!("unknown entity {name:?}"))?;
+            let have = g.type_str(g.entity_type(e));
+            if have != ty {
+                return Err(format!("entity {name:?} has type {have:?}, not {ty:?}"));
+            }
+            Ok(e)
+        };
+        let s = resolve(&spec.subject, &spec.subject_type)?;
+        let p = g
+            .pred(&spec.pred)
+            .ok_or_else(|| format!("unknown predicate {:?}", spec.pred))?;
+        let o = match &spec.object {
+            ObjSpec::Entity { name, ty } => Obj::Entity(resolve(name, ty)?),
+            ObjSpec::Value(v) => {
+                Obj::Value(g.value(v).ok_or_else(|| format!("unknown value {v:?}"))?)
+            }
+        };
+        if !g.has(s, p, o) {
+            return Err("no such triple".into());
+        }
+
+        // Rebuild the graph without the triple — entity ids and names are
+        // preserved (entities are never garbage-collected by deletion).
+        let g2 =
+            GraphBuilder::from_graph_filtered(g, |t| !(t.s == s && t.p == p && t.o == o)).freeze();
+        let compiled2 = self.keys.compile(&g2);
+        let full = chase_reference(&g2, &compiled2, ChaseOrder::Deterministic);
+        let old_pairs = snap.eq.num_identified_pairs();
+        let new_total = full.eq.num_identified_pairs();
+        let report = AdvanceReport {
+            mode: AdvanceMode::FullRechase,
+            triples: 1,
+            touched: 1,
+            new_entities: 0,
+            new_pairs: new_total.saturating_sub(old_pairs),
+            rounds: full.rounds,
+            iso_checks: full.iso_checks,
+        };
+        let next = IndexState::build(g2, compiled2, full.eq, snap.version + 1);
+        *self.state.write() = Arc::new(next);
+        self.stats.full_rechases.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
+    }
+}

@@ -1,0 +1,337 @@
+//! # gk-server — a resident entity-resolution service
+//!
+//! The batch algorithms of *Keys for Graphs* compute `chase(G, Σ)` once and
+//! exit. This crate keeps the terminal `Eq` **resident**: load a graph and a
+//! key set, chase at startup, then answer identity queries in microseconds
+//! while accepting streaming triple inserts.
+//!
+//! The serving layer leans on two properties the core crates already
+//! establish:
+//!
+//! * **monotonicity** — keys are positive patterns, so insert-only updates
+//!   can only grow `Eq`; [`gk_core::chase_incremental`] advances the
+//!   previous terminal relation by waking only entities within radius `d`
+//!   of the touched nodes. Deletions are not monotone and fall back to a
+//!   documented full re-chase.
+//! * **stable entity ids** — [`gk_graph::GraphBuilder::from_graph`]
+//!   re-opens a frozen graph preserving ids, so the previous `Eq` remains
+//!   meaningful on the extended graph.
+//!
+//! Three layers, separable for embedding:
+//!
+//! | layer | type | role |
+//! |-------|------|------|
+//! | [`EmIndex`] | `index` | snapshot-swapped `Graph` + `CompiledKeySet` + `EqRel` with rep map and duplicate clusters |
+//! | [`Server`] | `protocol` | the textual verbs (`SAME`, `DUPS`, `EXPLAIN`, `INSERT`, `DELETE`, `STATS`) over an index |
+//! | [`serve`] | `net` | TCP framing with a fixed worker-thread pool |
+//!
+//! ## In-process use
+//!
+//! ```
+//! use gk_core::KeySet;
+//! use gk_graph::parse_graph;
+//! use gk_server::Server;
+//!
+//! let g = parse_graph(r#"
+//!     alb1:album name_of "Anthology 2"
+//!     alb1:album release_year "1996"
+//!     alb2:album name_of "Anthology 2"
+//!     alb2:album release_year "1996"
+//!     alb3:album name_of "Let It Be"
+//! "#).unwrap();
+//! let keys = KeySet::parse(
+//!     r#"key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }"#,
+//! ).unwrap();
+//!
+//! let server = Server::new(g, keys);
+//! assert!(server.handle("SAME alb1 alb2").starts_with("YES"));
+//! assert!(server.handle("SAME alb1 alb3").starts_with("NO"));
+//!
+//! // A streamed insert turns alb3 into a duplicate of the pair.
+//! let r = server.handle(r#"INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#);
+//! assert!(r.contains("mode=incremental"), "{r}");
+//! assert!(server.handle("SAME alb1 alb3").starts_with("YES"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod index;
+mod net;
+mod protocol;
+
+pub use index::{AdvanceMode, AdvanceReport, EmIndex, IndexState, IndexStats};
+pub use net::{request, serve, ServeHandle};
+pub use protocol::{Server, PROTOCOL_HELP};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gk_core::KeySet;
+    use gk_graph::{parse_graph, parse_triple_specs};
+    use std::sync::Arc;
+
+    const KEYS: &str = r#"
+        key "Q2" album(x)  { x -name_of-> n*; x -release_year-> y*; }
+        key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+    "#;
+
+    const G: &str = r#"
+        alb1:album  name_of       "Anthology 2"
+        alb1:album  release_year  "1996"
+        alb1:album  recorded_by   art1:artist
+        art1:artist name_of       "The Beatles"
+        alb2:album  name_of       "Anthology 2"
+        alb2:album  release_year  "1996"
+        alb2:album  recorded_by   art2:artist
+        art2:artist name_of       "The Beatles"
+        alb3:album  name_of       "Abbey Road"
+        alb3:album  recorded_by   art3:artist
+        art3:artist name_of       "The Beatles"
+    "#;
+
+    fn server() -> Server {
+        Server::new(parse_graph(G).unwrap(), KeySet::parse(KEYS).unwrap())
+    }
+
+    #[test]
+    fn startup_chase_resolves_planted_duplicates() {
+        let s = server();
+        // Q2 identifies the albums; Q3 cascades to their artists.
+        assert!(s.handle("SAME alb1 alb2").starts_with("YES"));
+        assert!(s.handle("SAME art1 art2").starts_with("YES"));
+        assert!(s.handle("SAME alb1 alb3").starts_with("NO"));
+        assert!(s.handle("SAME art1 art3").starts_with("NO"));
+    }
+
+    #[test]
+    fn dups_and_rep_use_canonical_representative() {
+        let s = server();
+        assert_eq!(s.handle("DUPS alb1"), "DUPS alb1: alb2");
+        assert_eq!(s.handle("DUPS alb2"), "DUPS alb2: alb1");
+        assert!(s.handle("DUPS alb3").starts_with("NONE"));
+        // alb1 has the smaller id: it is the canonical rep of both.
+        assert_eq!(s.handle("REP alb2"), "REP alb1");
+        assert_eq!(s.handle("REP alb1"), "REP alb1");
+    }
+
+    #[test]
+    fn explain_returns_verified_proof() {
+        let s = server();
+        let p = s.handle("EXPLAIN art1 art2");
+        assert!(p.starts_with("PROOF art1 <=> art2"), "{p}");
+        assert!(p.contains("verified"));
+        assert!(p.contains("by Q3"), "artist merge must cite Q3: {p}");
+        assert!(s.handle("EXPLAIN alb1 alb3").starts_with("NOPROOF"));
+    }
+
+    #[test]
+    fn insert_advances_incrementally_and_cascades() {
+        let s = server();
+        // Give alb3 the duplicate name+year: Q2 merges the albums, and the
+        // recursive Q3 must then merge art3 into the artist cluster.
+        let r =
+            s.handle(r#"INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#);
+        assert!(r.starts_with("OK mode=incremental"), "{r}");
+        assert!(s.handle("SAME alb1 alb3").starts_with("YES"));
+        assert!(s.handle("SAME art1 art3").starts_with("YES"), "Q3 cascade");
+        let stats = s.handle("STATS");
+        assert!(stats.contains("incremental_advances=1"), "{stats}");
+        assert!(stats.contains("full_rechases=0"), "{stats}");
+    }
+
+    #[test]
+    fn insert_of_new_entity_is_queryable() {
+        let s = server();
+        let r =
+            s.handle(r#"INSERT alb9:album name_of "Anthology 2" ; alb9:album release_year "1996""#);
+        assert!(r.contains("new_entities=1"), "{r}");
+        assert!(s.handle("SAME alb9 alb1").starts_with("YES"));
+        assert_eq!(s.handle("REP alb9"), "REP alb1");
+    }
+
+    #[test]
+    fn duplicate_insert_is_a_noop() {
+        let s = server();
+        let r = s.handle(r#"INSERT alb1:album name_of "Anthology 2""#);
+        assert!(r.contains("mode=noop"), "{r}");
+        let stats = s.handle("STATS");
+        assert!(stats.contains("noops=1"), "{stats}");
+        assert!(
+            stats.contains("version=0"),
+            "noop must not bump the version: {stats}"
+        );
+    }
+
+    #[test]
+    fn type_clash_is_rejected_without_state_change() {
+        let s = server();
+        let r = s.handle(r#"INSERT alb1:person name_of "X""#);
+        assert!(r.starts_with("ERR"), "{r}");
+        assert!(r.contains("type"), "{r}");
+        // Batch-internal clash, including against a new entity.
+        let r2 = s.handle(r#"INSERT n1:album name_of "X" ; n1:person name_of "Y""#);
+        assert!(r2.starts_with("ERR"), "{r2}");
+        let stats = s.handle("STATS");
+        assert!(stats.contains("version=0"), "{stats}");
+        assert!(
+            s.handle("SAME alb1 alb2").starts_with("YES"),
+            "old state intact"
+        );
+    }
+
+    #[test]
+    fn delete_falls_back_to_full_rechase() {
+        let s = server();
+        let r = s.handle(r#"DELETE alb2:album release_year "1996""#);
+        assert!(r.starts_with("OK mode=full-rechase"), "{r}");
+        // The Q2 witness is gone; the albums (and hence artists) split.
+        assert!(
+            s.handle("SAME alb1 alb2").starts_with("NO"),
+            "merge must be retracted"
+        );
+        assert!(s.handle("SAME art1 art2").starts_with("NO"));
+        let stats = s.handle("STATS");
+        assert!(stats.contains("full_rechases=1"), "{stats}");
+    }
+
+    #[test]
+    fn delete_of_missing_triple_errors() {
+        let s = server();
+        assert!(s
+            .handle(r#"DELETE alb1:album name_of "Nope""#)
+            .starts_with("ERR"));
+        assert!(s
+            .handle(r#"DELETE ghost:album name_of "X""#)
+            .starts_with("ERR"));
+    }
+
+    #[test]
+    fn delete_validates_type_annotations_like_insert() {
+        let s = server();
+        let r = s.handle(r#"DELETE alb1:person name_of "Anthology 2""#);
+        assert!(r.starts_with("ERR"), "{r}");
+        assert!(r.contains("type"), "{r}");
+        let stats = s.handle("STATS");
+        assert!(
+            stats.contains("full_rechases=0"),
+            "mis-typed delete must not re-chase: {stats}"
+        );
+    }
+
+    #[test]
+    fn semicolons_inside_quoted_values_are_not_batch_separators() {
+        let s = server();
+        let r = s.handle(r#"INSERT g1:genre name_of "Rock; Roll""#);
+        assert!(r.starts_with("OK"), "{r}");
+        let snap = s.index().snapshot();
+        assert!(
+            snap.graph.value("Rock; Roll").is_some(),
+            "value kept its semicolon"
+        );
+        // And a batch that mixes a quoted ';' with a real separator.
+        let r2 = s.handle(r#"INSERT g2:genre name_of "A;B" ; g2:genre note "plain""#);
+        assert!(r2.starts_with("OK"), "{r2}");
+        assert!(s.index().snapshot().graph.entity_named("g2").is_some());
+    }
+
+    #[test]
+    fn stop_returns_even_with_an_idle_connection_open() {
+        use std::io::Write as _;
+        let s = Arc::new(server());
+        let handle = serve(Arc::clone(&s), "127.0.0.1:0", 2).unwrap();
+        let addr = handle.addr();
+        // A client that connects, sends nothing, and stays open.
+        let mut idle = std::net::TcpStream::connect(addr).unwrap();
+        let _ = idle.write_all(b""); // connected, no request
+        let t0 = std::time::Instant::now();
+        handle.stop();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "stop() must not hang on idle connections"
+        );
+        drop(idle);
+    }
+
+    #[test]
+    fn protocol_errors_are_graceful() {
+        let s = server();
+        assert!(s.handle("").starts_with("ERR"));
+        assert!(s.handle("FROB x").starts_with("ERR"));
+        assert!(s.handle("SAME alb1").starts_with("ERR"));
+        assert!(s.handle("SAME ghost alb1").starts_with("ERR"));
+        assert!(s.handle("INSERT").starts_with("ERR"));
+        assert!(s.handle("INSERT not-a-triple").starts_with("ERR"));
+        assert_eq!(s.handle("PING"), "PONG");
+        assert!(s.handle("HELP").contains("SAME"));
+    }
+
+    #[test]
+    fn snapshots_are_immutable_across_updates() {
+        let s = server();
+        let before = s.index().snapshot();
+        s.handle(r#"INSERT alb3:album release_year "1996" ; alb3:album name_of "Anthology 2""#);
+        let after = s.index().snapshot();
+        // The old snapshot still answers from the pre-update world.
+        let alb1 = before.graph.entity_named("alb1").unwrap();
+        let alb3 = before.graph.entity_named("alb3").unwrap();
+        assert!(!before.same(alb1, alb3));
+        assert!(after.same(
+            after.graph.entity_named("alb1").unwrap(),
+            after.graph.entity_named("alb3").unwrap()
+        ));
+        assert_eq!(before.version + 1, after.version);
+    }
+
+    #[test]
+    fn index_insert_api_reports_delta() {
+        let idx = EmIndex::new(parse_graph(G).unwrap(), KeySet::parse(KEYS).unwrap());
+        let specs = parse_triple_specs(
+            r#"
+            alb3:album name_of "Anthology 2"
+            alb3:album release_year "1996"
+            "#,
+        )
+        .unwrap();
+        let r = idx.insert(&specs).unwrap();
+        assert_eq!(r.mode, AdvanceMode::Incremental);
+        assert_eq!(r.new_entities, 0);
+        // alb3 joins {alb1, alb2} (+2 pairs) and art3 joins {art1, art2}
+        // (+2 pairs): the closure grows by 4 pairs.
+        assert_eq!(r.new_pairs, 4);
+        assert!(r.rounds >= 2, "recursive cascade needs a second round");
+    }
+
+    #[test]
+    fn tcp_round_trip_with_worker_pool() {
+        let s = Arc::new(server());
+        let handle = serve(Arc::clone(&s), "127.0.0.1:0", 4).unwrap();
+        let addr = handle.addr().to_string();
+
+        assert!(request(&addr, "SAME alb1 alb2").unwrap().starts_with("YES"));
+        let proof = request(&addr, "EXPLAIN art1 art2").unwrap();
+        assert!(
+            proof.contains('\n'),
+            "multi-line response survives framing: {proof:?}"
+        );
+        let r = request(
+            &addr,
+            r#"INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#,
+        )
+        .unwrap();
+        assert!(r.contains("mode=incremental"), "{r}");
+        assert!(request(&addr, "SAME alb1 alb3").unwrap().starts_with("YES"));
+
+        // Parallel clients over the pool.
+        let clients: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                std::thread::spawn(move || request(&addr, "DUPS alb1").unwrap())
+            })
+            .collect();
+        for c in clients {
+            let resp = c.join().unwrap();
+            assert!(resp.starts_with("DUPS alb1:"), "{resp}");
+        }
+        handle.stop();
+    }
+}

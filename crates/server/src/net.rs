@@ -1,0 +1,176 @@
+//! TCP framing of the line protocol.
+//!
+//! Connections are persistent: each request line gets one response
+//! *paragraph* — the response text followed by a blank line — so clients
+//! can read multi-line answers (`EXPLAIN`, `HELP`) without length
+//! prefixes. A fixed pool of worker threads pulls accepted connections
+//! from a shared queue (`std::net` + blocking I/O: no async runtime is
+//! available in this build environment, and the protocol is trivially
+//! request-sized).
+
+use crate::protocol::Server;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A running TCP front-end. Dropping the handle without calling
+/// [`stop`](ServeHandle::stop) leaves the daemon threads running.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers, and joins all threads.
+    /// In-flight connections are closed after their current request.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:7878"`, port 0 for ephemeral) and serves
+/// `server` on `threads` worker threads until [`ServeHandle::stop`].
+pub fn serve(server: Arc<Server>, addr: &str, threads: usize) -> std::io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = channel();
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers: Vec<JoinHandle<()>> = (0..threads.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || loop {
+                // Take the next connection; queue closed means shutdown.
+                let conn = match rx.lock().expect("queue lock").recv() {
+                    Ok(c) => c,
+                    Err(_) => return,
+                };
+                serve_connection(&server, conn, &stop);
+            })
+        })
+        .collect();
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break; // the stop() wake-up connection lands here
+            }
+            let Ok(conn) = conn else { continue };
+            if tx.send(conn).is_err() {
+                break;
+            }
+        }
+        // Dropping `tx` closes the queue and releases the workers.
+    });
+
+    Ok(ServeHandle {
+        addr: bound,
+        stop,
+        accept_thread: Some(accept_thread),
+        workers,
+    })
+}
+
+/// How often a worker blocked on an idle connection re-checks the stop
+/// flag. Bounds [`ServeHandle::stop`]'s worst-case join time.
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// Serves one connection: request line in, response paragraph out.
+fn serve_connection(server: &Server, conn: TcpStream, stop: &AtomicBool) {
+    // Without a read timeout a worker would block forever on an idle
+    // persistent connection and stop() could never join it.
+    let _ = conn.set_read_timeout(Some(IDLE_POLL));
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = conn;
+    let mut line = String::new();
+    'requests: loop {
+        line.clear();
+        // A timeout mid-line leaves the bytes read so far in `line`
+        // (the read_until contract), so retrying just keeps appending.
+        loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break 'requests, // client closed
+                Ok(_) => break,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        break 'requests;
+                    }
+                }
+                Err(_) => break 'requests,
+            }
+        }
+        let request = line.trim();
+        if request.eq_ignore_ascii_case("QUIT") {
+            let _ = writer.write_all(b"BYE\n\n");
+            break;
+        }
+        // A panicking handler must not take the pool thread down with it:
+        // answer ERR and keep serving. (Index updates swap fully-built
+        // state at the end, so a mid-update panic leaves the old state.)
+        let response =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| server.handle(request)))
+                .unwrap_or_else(|_| "ERR internal error (request handler panicked)".into());
+        if writer
+            .write_all(format!("{response}\n\n").as_bytes())
+            .is_err()
+        {
+            break;
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    let _ = writer.shutdown(Shutdown::Both);
+}
+
+/// Connects to a running server, sends one request, and returns the
+/// response paragraph (without the terminating blank line). This is the
+/// client half used by `graphkeys query`.
+pub fn request(addr: &str, line: &str) -> std::io::Result<String> {
+    let mut conn = TcpStream::connect(addr)?;
+    conn.write_all(format!("{line}\n").as_bytes())?;
+    let mut reader = BufReader::new(conn);
+    let mut out = String::new();
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        if buf.trim_end_matches(['\r', '\n']).is_empty() {
+            break; // paragraph terminator
+        }
+        out.push_str(&buf);
+    }
+    Ok(out.trim_end().to_string())
+}

@@ -1,0 +1,280 @@
+//! The line protocol: one request per line, one text response per request.
+//!
+//! ```text
+//! SAME <a> <b>              are a and b the same entity?  -> YES ... | NO ...
+//! DUPS <e>                  e's duplicate cluster         -> DUPS ... | NONE ...
+//! REP  <e>                  e's canonical representative  -> REP ...
+//! EXPLAIN <a> <b>           verified proof of a <=> b     -> PROOF ... | NOPROOF ...
+//! INSERT <s:T> <p> <o>      add triple(s); `;` separates  -> OK mode=incremental ...
+//! DELETE <s:T> <p> <o>      remove one triple             -> OK mode=full-rechase ...
+//! STATS                     counters                      -> STATS k=v ...
+//! PING                                                    -> PONG
+//! HELP                                                    -> this table
+//! ```
+//!
+//! Entities are addressed by their external names (`alb1`, not internal
+//! ids). Errors answer `ERR <reason>` and never change state. Every verb is
+//! also available in-process via [`Server::handle`], which is what the CLI
+//! example and the tests drive — the TCP layer in [`crate::net`] is a thin
+//! framing of this function.
+
+use crate::index::{AdvanceReport, EmIndex, IndexState};
+use gk_core::KeySet;
+use gk_graph::{parse_triple_specs, EntityId, Graph};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Usage table answered to `HELP` and malformed requests.
+pub const PROTOCOL_HELP: &str = "commands:
+  SAME <a> <b>          are <a> and <b> identified?
+  DUPS <e>              duplicates of <e>
+  REP <e>               canonical representative of <e>
+  EXPLAIN <a> <b>       verified key-application proof for <a> <=> <b>
+  INSERT <s:T> <p> <o>  insert triple(s); separate several with ';'
+  DELETE <s:T> <p> <o>  delete one triple (full re-chase)
+  STATS                 index + traffic counters
+  PING                  liveness check";
+
+/// The entity-resolution service: a resident [`EmIndex`] plus the request
+/// protocol. Cheap to share (`&Server` is `Sync`); all state sits in the
+/// index's snapshot-swapped interior.
+pub struct Server {
+    index: EmIndex,
+    queries: AtomicU64,
+    updates: AtomicU64,
+}
+
+impl Server {
+    /// Builds the server: runs the startup chase on `graph` under `keys`.
+    pub fn new(graph: Graph, keys: KeySet) -> Self {
+        Server {
+            index: EmIndex::new(graph, keys),
+            queries: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying index (for embedding and tests).
+    pub fn index(&self) -> &EmIndex {
+        &self.index
+    }
+
+    /// Handles one request line, returning the response text (possibly
+    /// multi-line, never empty, no trailing newline).
+    pub fn handle(&self, line: &str) -> String {
+        let line = line.trim();
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "SAME" => self.count_query(self.cmd_same(rest)),
+            "DUPS" => self.count_query(self.cmd_dups(rest)),
+            "REP" => self.count_query(self.cmd_rep(rest)),
+            "EXPLAIN" => self.count_query(self.cmd_explain(rest)),
+            "INSERT" => self.count_update(self.cmd_insert(rest)),
+            "DELETE" => self.count_update(self.cmd_delete(rest)),
+            "STATS" => self.cmd_stats(),
+            "PING" => "PONG".into(),
+            "HELP" => PROTOCOL_HELP.into(),
+            "" => err("empty request (try HELP)"),
+            other => err(&format!("unknown verb {other:?} (try HELP)")),
+        }
+    }
+
+    fn count_query(&self, resp: String) -> String {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        resp
+    }
+
+    fn count_update(&self, resp: String) -> String {
+        self.updates.fetch_add(1, Ordering::Relaxed);
+        resp
+    }
+
+    fn cmd_same(&self, args: &str) -> String {
+        let snap = self.index.snapshot();
+        let [a, b] = match names::<2>(args) {
+            Ok(ns) => ns,
+            Err(e) => return e,
+        };
+        let (ea, eb) = match (entity(&snap, a), entity(&snap, b)) {
+            (Ok(ea), Ok(eb)) => (ea, eb),
+            (Err(e), _) | (_, Err(e)) => return e,
+        };
+        if snap.same(ea, eb) {
+            format!(
+                "YES {a} <=> {b} rep={}",
+                snap.graph.entity_label(snap.rep(ea))
+            )
+        } else {
+            format!("NO {a} =/= {b}")
+        }
+    }
+
+    fn cmd_dups(&self, args: &str) -> String {
+        let snap = self.index.snapshot();
+        let [name] = match names::<1>(args) {
+            Ok(ns) => ns,
+            Err(e) => return e,
+        };
+        let e = match entity(&snap, name) {
+            Ok(e) => e,
+            Err(e) => return e,
+        };
+        match snap.cluster(e) {
+            None => format!("NONE {name} has no duplicates"),
+            Some(class) => {
+                let others: Vec<String> = class
+                    .iter()
+                    .filter(|&&m| m != e)
+                    .map(|&m| snap.graph.entity_label(m))
+                    .collect();
+                format!("DUPS {name}: {}", others.join(" "))
+            }
+        }
+    }
+
+    fn cmd_rep(&self, args: &str) -> String {
+        let snap = self.index.snapshot();
+        let [name] = match names::<1>(args) {
+            Ok(ns) => ns,
+            Err(e) => return e,
+        };
+        match entity(&snap, name) {
+            Ok(e) => format!("REP {}", snap.graph.entity_label(snap.rep(e))),
+            Err(e) => e,
+        }
+    }
+
+    fn cmd_explain(&self, args: &str) -> String {
+        let snap = self.index.snapshot();
+        let [a, b] = match names::<2>(args) {
+            Ok(ns) => ns,
+            Err(e) => return e,
+        };
+        let (ea, eb) = match (entity(&snap, a), entity(&snap, b)) {
+            (Ok(ea), Ok(eb)) => (ea, eb),
+            (Err(e), _) | (_, Err(e)) => return e,
+        };
+        match snap.explain(ea, eb) {
+            None => format!("NOPROOF {a} and {b} are not identified"),
+            Some(proof) => {
+                let mut out = format!("PROOF {a} <=> {b} steps={} verified", proof.len());
+                for s in &proof.steps {
+                    let _ = write!(
+                        out,
+                        "\n  {} <=> {} by {}",
+                        snap.graph.entity_label(s.pair.0),
+                        snap.graph.entity_label(s.pair.1),
+                        snap.compiled.keys[s.key].name
+                    );
+                }
+                out
+            }
+        }
+    }
+
+    fn cmd_insert(&self, args: &str) -> String {
+        if args.is_empty() {
+            return err("INSERT needs at least one triple");
+        }
+        // `;` separates triples so a batch fits on one request line.
+        let text = split_batch(args);
+        let specs = match parse_triple_specs(&text) {
+            Ok(s) => s,
+            Err(e) => return err(&e.to_string()),
+        };
+        if specs.is_empty() {
+            return err("INSERT needs at least one triple");
+        }
+        match self.index.insert(&specs) {
+            Ok(r) => advance_line(&r),
+            Err(e) => err(&e),
+        }
+    }
+
+    fn cmd_delete(&self, args: &str) -> String {
+        let specs = match parse_triple_specs(args) {
+            Ok(s) => s,
+            Err(e) => return err(&e.to_string()),
+        };
+        let [spec] = specs.as_slice() else {
+            return err("DELETE takes exactly one triple");
+        };
+        match self.index.delete(spec) {
+            Ok(r) => advance_line(&r),
+            Err(e) => err(&e),
+        }
+    }
+
+    fn cmd_stats(&self) -> String {
+        let snap = self.index.snapshot();
+        let s = &self.index.stats;
+        format!(
+            "STATS entities={} triples={} values={} clusters={} identified_pairs={} \
+             version={} queries={} updates={} incremental_advances={} full_rechases={} \
+             noops={} startup_rounds={} startup_iso={} startup_micros={}",
+            snap.graph.num_entities(),
+            snap.graph.num_triples(),
+            snap.graph.num_values(),
+            snap.num_clusters(),
+            snap.eq.num_identified_pairs(),
+            snap.version,
+            self.queries.load(Ordering::Relaxed),
+            self.updates.load(Ordering::Relaxed),
+            s.incremental_advances.load(Ordering::Relaxed),
+            s.full_rechases.load(Ordering::Relaxed),
+            s.noops.load(Ordering::Relaxed),
+            s.startup_rounds.load(Ordering::Relaxed),
+            s.startup_iso_checks.load(Ordering::Relaxed),
+            s.startup_micros.load(Ordering::Relaxed),
+        )
+    }
+}
+
+fn err(msg: &str) -> String {
+    format!("ERR {msg}")
+}
+
+/// Turns `;` batch separators into newlines for the triple parser — but
+/// only *outside* quoted values, so `INSERT x:t p "a; b"` keeps its
+/// semicolon (same escape handling as the text format's tokenizer).
+fn split_batch(args: &str) -> String {
+    let mut out = String::with_capacity(args.len());
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in args.chars() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            ';' if !in_str => {
+                out.push('\n');
+                continue;
+            }
+            _ => escaped = false,
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn advance_line(r: &AdvanceReport) -> String {
+    format!(
+        "OK mode={} triples={} touched={} new_entities={} new_pairs={} rounds={} iso={}",
+        r.mode, r.triples, r.touched, r.new_entities, r.new_pairs, r.rounds, r.iso_checks
+    )
+}
+
+/// Splits `args` into exactly `N` whitespace-separated entity names.
+fn names<const N: usize>(args: &str) -> Result<[&str; N], String> {
+    let parts: Vec<&str> = args.split_whitespace().collect();
+    <[&str; N]>::try_from(parts)
+        .map_err(|v: Vec<&str>| err(&format!("expected {N} entity name(s), got {}", v.len())))
+}
+
+fn entity(snap: &IndexState, name: &str) -> Result<EntityId, String> {
+    snap.graph
+        .entity_named(name)
+        .ok_or_else(|| err(&format!("unknown entity {name:?}")))
+}

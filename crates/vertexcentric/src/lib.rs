@@ -12,8 +12,8 @@
 //!
 //! Two execution modes share one [`VertexProgram`] API:
 //!
-//! * [`Engine::run`] — real OS threads with crossbeam mailboxes; genuine
-//!   asynchrony, used by tests and production runs;
+//! * [`Engine::run`] — real OS threads with per-worker mpsc mailboxes;
+//!   genuine asynchrony, used by tests and production runs;
 //! * [`Engine::run_simulated`] — a deterministic discrete scheduler that
 //!   executes the same sharding on one thread, charging each message's
 //!   processing time to its owning worker. Its
@@ -60,9 +60,9 @@
 
 #![warn(missing_docs)]
 
-use crossbeam::channel::unbounded;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
 use std::time::{Duration, Instant};
 
 /// A vertex program: per-vertex state plus message handlers.
@@ -170,7 +170,8 @@ impl Engine {
             shards[v % p].push(program.init_state(v));
         }
 
-        let (senders, receivers): (Vec<_>, Vec<_>) = (0..p).map(|_| unbounded()).unzip();
+        let (senders, receivers): (Vec<Sender<Envelope<P::Msg>>>, Vec<_>) =
+            (0..p).map(|_| channel()).unzip();
         let in_flight = AtomicI64::new(0);
         let sent = AtomicU64::new(0);
 
@@ -197,7 +198,10 @@ impl Engine {
                 .into_iter()
                 .zip(shards.iter_mut())
                 .map(|(rx, shard)| {
-                    let senders = &senders;
+                    // `std::sync::mpsc::Sender` is `Send + Clone` but not
+                    // `Sync`: each worker owns its own clone of every
+                    // mailbox handle instead of sharing one vector.
+                    let senders: Vec<Sender<Envelope<P::Msg>>> = senders.clone();
                     let in_flight = &in_flight;
                     let sent = &sent;
                     scope.spawn(move || {
@@ -235,7 +239,7 @@ impl Engine {
                             // The handler that drives the counter to zero
                             // broadcasts Stop.
                             if in_flight.fetch_sub(1, Ordering::SeqCst) == 1 {
-                                for s in senders {
+                                for s in &senders {
                                     let _ = s.send(Envelope::Stop);
                                 }
                             }
@@ -301,9 +305,7 @@ impl Engine {
                     let mut ctx = Ctx { sink: &mut sink };
                     match env {
                         Envelope::Stop => {}
-                        Envelope::Start(v) => {
-                            program.on_start(v, &mut shards[w][v / p], &mut ctx)
-                        }
+                        Envelope::Start(v) => program.on_start(v, &mut shards[w][v / p], &mut ctx),
                         Envelope::User(v, m) => {
                             per_worker[w] += 1;
                             program.on_message(v, &mut shards[w][v / p], m, &mut ctx)
@@ -340,7 +342,10 @@ fn collect_states<S>(shards: Vec<Vec<S>>, n: usize, p: usize) -> Vec<S> {
             slots[i * p + w] = Some(s);
         }
     }
-    slots.into_iter().map(|s| s.expect("all vertices sharded")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("all vertices sharded"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -374,7 +379,9 @@ mod tests {
     }
 
     fn ring(n: usize) -> Bfs {
-        Bfs { adj: (0..n).map(|v| vec![(v + 1) % n]).collect() }
+        Bfs {
+            adj: (0..n).map(|v| vec![(v + 1) % n]).collect(),
+        }
     }
 
     #[test]

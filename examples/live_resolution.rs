@@ -1,0 +1,79 @@
+//! Live entity resolution: a resident server, queried and fed in-process.
+//!
+//! Models a music catalog that starts with one known duplicate pair and
+//! receives streaming updates: a re-issued album arrives triple by triple,
+//! and the moment its identifying attributes (Q2: name + release year) are
+//! complete, the server merges it — and the recursive artist key (Q3)
+//! cascades the merge to its artist. Every step prints the server's actual
+//! protocol responses, so running this example shows the full
+//! query → ingest → incremental-advance → query loop without any sockets.
+//!
+//! Run with: `cargo run --example live_resolution`
+
+use keys_for_graphs::prelude::*;
+
+fn ask(server: &Server, line: &str) {
+    println!("> {line}");
+    for l in server.handle(line).lines() {
+        println!("  {l}");
+    }
+}
+
+fn main() {
+    let graph = parse_graph(
+        r#"
+        # The catalog at startup: alb1/alb2 are the same album under
+        # different ids; alb3 is (so far) an unrelated release.
+        alb1:album  name_of       "Anthology 2"
+        alb1:album  release_year  "1996"
+        alb1:album  recorded_by   art1:artist
+        art1:artist name_of       "The Beatles"
+        alb2:album  name_of       "Anthology 2"
+        alb2:album  release_year  "1996"
+        alb2:album  recorded_by   art2:artist
+        art2:artist name_of       "The Beatles"
+        alb3:album  name_of       "Anthology 2"
+        alb3:album  recorded_by   art3:artist
+        art3:artist name_of       "The Beatles"
+        "#,
+    )
+    .expect("catalog parses");
+
+    let keys = parse_keys(
+        r#"
+        key "Q2" album(x)  { x -name_of-> n*; x -release_year-> y*; }
+        key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+        "#,
+    )
+    .expect("keys parse");
+
+    println!("== startup: chase(G, Σ) runs once, then stays resident ==");
+    let server = Server::new(graph, KeySet::new(keys).expect("valid key set"));
+    ask(&server, "STATS");
+
+    println!("\n== the planted duplicate is already resolved ==");
+    ask(&server, "SAME alb1 alb2");
+    ask(&server, "DUPS art1");
+    ask(&server, "EXPLAIN art1 art2");
+
+    println!("\n== alb3 lacks a release year: Q2 cannot fire yet ==");
+    ask(&server, "SAME alb1 alb3");
+
+    println!("\n== a streamed insert completes alb3's key — watch the cascade ==");
+    ask(&server, r#"INSERT alb3:album release_year "1996""#);
+    ask(&server, "SAME alb1 alb3");
+    ask(&server, "EXPLAIN art1 art3");
+
+    println!("\n== new entities are first-class: a fourth copy arrives whole ==");
+    ask(
+        &server,
+        r#"INSERT alb4:album name_of "Anthology 2" ; alb4:album release_year "1996" ; alb4:album recorded_by art4:artist ; art4:artist name_of "The Beatles""#,
+    );
+    ask(&server, "DUPS alb1");
+    ask(&server, "REP alb4");
+
+    println!("\n== deletion is non-monotone: the server falls back to a full re-chase ==");
+    ask(&server, r#"DELETE alb4:album release_year "1996""#);
+    ask(&server, "SAME alb1 alb4");
+    ask(&server, "STATS");
+}

@@ -54,7 +54,11 @@ fn main() {
     let outcome = em_vc(&g, &compiled, 2, VcVariant::Opt { k: 4 });
     println!("\n{}", outcome.report);
     for (a, b) in outcome.identified_pairs() {
-        println!("identified: {} <=> {}", g.entity_label(a), g.entity_label(b));
+        println!(
+            "identified: {} <=> {}",
+            g.entity_label(a),
+            g.entity_label(b)
+        );
     }
 
     // The equivalence classes are the deduplicated entities.

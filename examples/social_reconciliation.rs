@@ -15,7 +15,10 @@ fn main() {
     // A Google+-shaped social-attribute network with planted duplicate
     // accounts; chains of length 2 mean an account match can hinge on an
     // attribute-entity match (e.g. the same university under two ids).
-    let cfg = GenConfig::google().with_scale(0.4).with_chain(2).with_radius(2);
+    let cfg = GenConfig::google()
+        .with_scale(0.4)
+        .with_chain(2)
+        .with_radius(2);
     let w = generate(&cfg);
     println!("network: {}", GraphStats::of(&w.graph));
     println!(
@@ -38,7 +41,11 @@ fn main() {
     println!();
     for out in &runs {
         let ok = out.identified_pairs() == w.truth;
-        println!("{}  [{}]", out.report, if ok { "matches ground truth" } else { "WRONG" });
+        println!(
+            "{}  [{}]",
+            out.report,
+            if ok { "matches ground truth" } else { "WRONG" }
+        );
         assert!(ok);
     }
 

@@ -16,6 +16,7 @@
 //! | [`vertexcentric`] | asynchronous vertex-centric engine (the GraphLab stand-in) |
 //! | [`core`] | keys, the DSL, the chase, `EM_MR`/`EM_VC` algorithm families |
 //! | [`datagen`] | workload generators with planted ground truth |
+//! | [`server`] | resident entity-resolution service with incremental ingest |
 //!
 //! ## Quickstart
 //!
@@ -46,17 +47,19 @@ pub use gk_datagen as datagen;
 pub use gk_graph as graph;
 pub use gk_isomorph as isomorph;
 pub use gk_mapreduce as mapreduce;
+pub use gk_server as server;
 pub use gk_vertexcentric as vertexcentric;
 
 /// The most common imports in one place.
 pub mod prelude {
     pub use gk_core::{
-        chase_reference, em_mr, em_mr_sim, em_vc, em_vc_sim, key_violations, parse_keys,
-        satisfies, set_violations, CandidateMode, ChaseOrder, CompiledKeySet, Key, KeySet,
-        MatchOutcome, MrVariant, RunReport, Term, VcVariant,
+        chase_reference, em_mr, em_mr_sim, em_vc, em_vc_sim, key_violations, parse_keys, satisfies,
+        set_violations, CandidateMode, ChaseOrder, CompiledKeySet, Key, KeySet, MatchOutcome,
+        MrVariant, RunReport, Term, VcVariant,
     };
     pub use gk_graph::{
-        d_neighborhood, parse_graph, EntityId, Graph, GraphBuilder, GraphStats, NodeId, Obj,
-        PredId, TypeId, ValueId,
+        d_neighborhood, parse_graph, parse_triple_specs, EntityId, Graph, GraphBuilder, GraphStats,
+        NodeId, Obj, PredId, TripleSpec, TypeId, ValueId,
     };
+    pub use gk_server::{EmIndex, Server};
 }

@@ -1,0 +1,219 @@
+//! Integration tests for incremental maintenance of `chase(G, Σ)`:
+//!
+//! * insert-only delta chases must equal a from-scratch chase on the
+//!   extended graph (monotonicity), including on generated workloads with
+//!   recursive keys;
+//! * deletions are **not** monotone — reusing a stale `Eq` after removing a
+//!   witness provably over-approximates, which is exactly why the serving
+//!   layer's delete path falls back to a full re-chase.
+
+use gk_datagen::{generate, GenConfig};
+use keys_for_graphs::core::{chase_incremental, chase_reference, ChaseOrder};
+use keys_for_graphs::prelude::*;
+
+const KEYS: &str = r#"
+    key "Q1" album(x)  { x -name_of-> n*; x -recorded_by-> a:artist; }
+    key "Q2" album(x)  { x -name_of-> n*; x -release_year-> y*; }
+    key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+"#;
+
+#[test]
+fn insert_only_delta_equals_full_rechase() {
+    // Staged inserts over the paper's Fig. 2 shape: each batch's delta
+    // chase must land on exactly chase(G', Σ).
+    let g = parse_graph(
+        r#"
+        alb1:album  name_of     "Anthology 2"
+        alb1:album  recorded_by art1:artist
+        art1:artist name_of     "The Beatles"
+        alb2:album  name_of     "Anthology 2"
+        alb2:album  recorded_by art2:artist
+        art2:artist name_of     "The Beatles"
+        "#,
+    )
+    .unwrap();
+    let ks = KeySet::parse(KEYS).unwrap();
+    let mut prev = chase_reference(&g, &ks.compile(&g), ChaseOrder::Deterministic).eq;
+    let mut g = g;
+
+    let batches: &[&[(&str, &str, &str)]] = &[
+        // Years arrive: Q2 fires, Q3 cascades.
+        &[
+            ("alb1", "release_year", "1996"),
+            ("alb2", "release_year", "1996"),
+        ],
+        // An unrelated album: no new identifications.
+        &[("alb9", "name_of", "Abbey Road")],
+        // It gains the duplicate attributes too.
+        &[("alb9", "release_year", "1996")],
+        &[("alb9", "name_of", "Anthology 2")],
+    ];
+    for (i, batch) in batches.iter().enumerate() {
+        let mut b = GraphBuilder::from_graph(&g);
+        let mut touched = Vec::new();
+        for &(name, pred, value) in batch.iter() {
+            let e = b.entity(name, "album");
+            b.attr(e, pred, value);
+            touched.push(e);
+        }
+        let g2 = b.freeze();
+        let keys2 = ks.compile(&g2);
+        let inc = chase_incremental(&g2, &keys2, &prev, &touched);
+        let full = chase_reference(&g2, &keys2, ChaseOrder::Deterministic);
+        assert_eq!(
+            inc.identified_pairs(),
+            full.identified_pairs(),
+            "delta chase diverged from scratch chase after batch {i}"
+        );
+        prev = inc.eq;
+        g = g2;
+    }
+    // The final closure: alb1=alb2=alb9 and art1=art2.
+    assert_eq!(prev.num_identified_pairs(), 4);
+}
+
+#[test]
+fn incremental_matches_full_on_generated_workload() {
+    // A generated workload with planted duplicates, ingested in two halves:
+    // chase the first half, then feed the remaining triples as one
+    // insert-only batch and compare against the from-scratch result.
+    let w = generate(
+        &GenConfig::google()
+            .with_scale(0.05)
+            .with_keys(6)
+            .with_seed(11),
+    );
+    let all: Vec<_> = w.graph.triples().collect();
+    let half = all.len() / 2;
+
+    // First half: copy triples [0, half) into a fresh builder carrying
+    // every entity (ids stay aligned with the full graph).
+    let mut b = GraphBuilder::new();
+    for e in w.graph.entities() {
+        let ty = b.intern_type(w.graph.type_str(w.graph.entity_type(e)));
+        let fresh = b.fresh_entity(ty);
+        assert_eq!(fresh, e);
+    }
+    for t in &all[..half] {
+        let p = b.intern_pred(w.graph.pred_str(t.p));
+        match t.o {
+            Obj::Entity(o) => b.link_ids(t.s, p, o),
+            Obj::Value(v) => {
+                let nv = b.intern_value(w.graph.value_str(v));
+                b.attr_ids(t.s, p, nv);
+            }
+        }
+    }
+    let g1 = b.freeze();
+    let prev = chase_reference(&g1, &w.keys.compile(&g1), ChaseOrder::Deterministic).eq;
+
+    // Second half arrives: extend and chase incrementally.
+    let mut b2 = GraphBuilder::from_graph(&g1);
+    let mut touched = Vec::new();
+    for t in &all[half..] {
+        let p = b2.intern_pred(w.graph.pred_str(t.p));
+        match t.o {
+            Obj::Entity(o) => {
+                b2.link_ids(t.s, p, o);
+                touched.push(o);
+            }
+            Obj::Value(v) => {
+                let nv = b2.intern_value(w.graph.value_str(v));
+                b2.attr_ids(t.s, p, nv);
+            }
+        }
+        touched.push(t.s);
+    }
+    touched.sort_unstable();
+    touched.dedup();
+    let g2 = b2.freeze();
+    let keys2 = w.keys.compile(&g2);
+    let inc = chase_incremental(&g2, &keys2, &prev, &touched);
+    let full = chase_reference(&g2, &keys2, ChaseOrder::Deterministic);
+    assert_eq!(inc.identified_pairs(), full.identified_pairs());
+    assert_eq!(
+        inc.identified_pairs(),
+        w.truth,
+        "and both equal the planted truth"
+    );
+}
+
+#[test]
+fn deletion_is_not_monotone_so_stale_eq_overapproximates() {
+    // Remove the witness of an applied key: the stale Eq still contains the
+    // merge, while the re-chased graph does not — the non-monotone case the
+    // incremental path must NOT be used for.
+    let g = parse_graph(
+        r#"
+        a1:album name_of "X"
+        a1:album release_year "2000"
+        a2:album name_of "X"
+        a2:album release_year "2000"
+        "#,
+    )
+    .unwrap();
+    let ks = KeySet::parse(KEYS).unwrap();
+    let before = chase_reference(&g, &ks.compile(&g), ChaseOrder::Deterministic);
+    assert_eq!(before.eq.num_identified_pairs(), 1);
+
+    // Drop a2's release year (rebuild without that triple).
+    let mut b = GraphBuilder::new();
+    for e in g.entities() {
+        let ty = b.intern_type(g.type_str(g.entity_type(e)));
+        let fresh = b.fresh_entity(ty);
+        assert_eq!(fresh, e);
+        b.set_entity_name(fresh, &g.entity_label(e));
+    }
+    let a2 = g.entity_named("a2").unwrap();
+    let year = g.pred("release_year").unwrap();
+    for t in g.triples() {
+        if t.s == a2 && t.p == year {
+            continue;
+        }
+        let p = b.intern_pred(g.pred_str(t.p));
+        match t.o {
+            Obj::Entity(o) => b.link_ids(t.s, p, o),
+            Obj::Value(v) => {
+                let nv = b.intern_value(g.value_str(v));
+                b.attr_ids(t.s, p, nv);
+            }
+        }
+    }
+    let g2 = b.freeze();
+    let keys2 = ks.compile(&g2);
+
+    let full = chase_reference(&g2, &keys2, ChaseOrder::Deterministic);
+    assert!(full.identified_pairs().is_empty(), "the witness is gone");
+    assert!(
+        before.eq.num_identified_pairs() > full.eq.num_identified_pairs(),
+        "stale Eq over-approximates after deletion — the full re-chase is required"
+    );
+}
+
+#[test]
+fn server_delete_path_catches_the_non_monotone_case() {
+    // The same scenario through the serving layer: DELETE must retract the
+    // merge via the full-rechase fallback, and STATS must attribute it to
+    // that path.
+    let g = parse_graph(
+        r#"
+        a1:album name_of "X"
+        a1:album release_year "2000"
+        a2:album name_of "X"
+        a2:album release_year "2000"
+        "#,
+    )
+    .unwrap();
+    let server = Server::new(g, KeySet::parse(KEYS).unwrap());
+    assert!(server.handle("SAME a1 a2").starts_with("YES"));
+
+    let r = server.handle(r#"DELETE a2:album release_year "2000""#);
+    assert!(r.starts_with("OK mode=full-rechase"), "{r}");
+    assert!(
+        server.handle("SAME a1 a2").starts_with("NO"),
+        "merge retracted"
+    );
+    let stats = server.handle("STATS");
+    assert!(stats.contains("full_rechases=1"), "{stats}");
+    assert!(stats.contains("incremental_advances=0"), "{stats}");
+}

@@ -97,7 +97,10 @@ fn example5_g1_violations_surface_through_recursion() {
     assert_eq!(direct[0].pair, pair(&g, "alb1", "alb2"));
     // ...but the chase also exposes art1/art2 (mutual recursion).
     let all = set_violations(&g, &keys);
-    assert_eq!(all, vec![pair(&g, "alb1", "alb2"), pair(&g, "art1", "art2")]);
+    assert_eq!(
+        all,
+        vec![pair(&g, "alb1", "alb2"), pair(&g, "art1", "art2")]
+    );
 }
 
 #[test]
@@ -122,8 +125,14 @@ fn example7_chase_on_g1() {
     );
     // Albums strictly precede artists in chase order (Q3 is recursive).
     let steps: Vec<_> = r.steps.iter().map(|s| s.pair).collect();
-    let alb = steps.iter().position(|&p| p == pair(&g, "alb1", "alb2")).unwrap();
-    let art = steps.iter().position(|&p| p == pair(&g, "art1", "art2")).unwrap();
+    let alb = steps
+        .iter()
+        .position(|&p| p == pair(&g, "alb1", "alb2"))
+        .unwrap();
+    let art = steps
+        .iter()
+        .position(|&p| p == pair(&g, "art1", "art2"))
+        .unwrap();
     assert!(alb < art);
 }
 
@@ -200,15 +209,33 @@ fn all_six_algorithms_agree_on_both_paper_graphs() {
     for g in [g1(), g2()] {
         let keys = KeySet::parse(FIG1_KEYS).unwrap().compile(&g);
         let expected = chase_reference(&g, &keys, ChaseOrder::Deterministic).identified_pairs();
-        assert_eq!(em_mr(&g, &keys, 2, MrVariant::Vf2).identified_pairs(), expected);
-        assert_eq!(em_mr(&g, &keys, 2, MrVariant::Base).identified_pairs(), expected);
-        assert_eq!(em_mr(&g, &keys, 2, MrVariant::Opt).identified_pairs(), expected);
-        assert_eq!(em_vc(&g, &keys, 2, VcVariant::Base).identified_pairs(), expected);
+        assert_eq!(
+            em_mr(&g, &keys, 2, MrVariant::Vf2).identified_pairs(),
+            expected
+        );
+        assert_eq!(
+            em_mr(&g, &keys, 2, MrVariant::Base).identified_pairs(),
+            expected
+        );
+        assert_eq!(
+            em_mr(&g, &keys, 2, MrVariant::Opt).identified_pairs(),
+            expected
+        );
+        assert_eq!(
+            em_vc(&g, &keys, 2, VcVariant::Base).identified_pairs(),
+            expected
+        );
         assert_eq!(
             em_vc(&g, &keys, 2, VcVariant::Opt { k: 4 }).identified_pairs(),
             expected
         );
-        assert_eq!(em_mr_sim(&g, &keys, 4, MrVariant::Base).identified_pairs(), expected);
-        assert_eq!(em_vc_sim(&g, &keys, 4, VcVariant::Base).identified_pairs(), expected);
+        assert_eq!(
+            em_mr_sim(&g, &keys, 4, MrVariant::Base).identified_pairs(),
+            expected
+        );
+        assert_eq!(
+            em_vc_sim(&g, &keys, 4, VcVariant::Base).identified_pairs(),
+            expected
+        );
     }
 }

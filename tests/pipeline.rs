@@ -84,7 +84,10 @@ fn similarity_pipeline() {
     assert_eq!(fuzzy.identified_pairs().len(), 2);
     let p1 = ng.entity_named("p1").unwrap();
     let p2 = ng.entity_named("p2").unwrap();
-    assert!(fuzzy.eq.same(p1, p2), "persons merge through the employer merge");
+    assert!(
+        fuzzy.eq.same(p1, p2),
+        "persons merge through the employer merge"
+    );
 }
 
 #[test]
@@ -232,9 +235,18 @@ fn transitive_closure_fires_dependencies() {
         "reference must identify (x1, x2): {expected:?}"
     );
     // All optimized variants must agree — they rely on the dep watcher.
-    assert_eq!(em_mr(&g, &keys, 2, MrVariant::Opt).identified_pairs(), expected);
-    assert_eq!(em_vc(&g, &keys, 2, VcVariant::Base).identified_pairs(), expected);
-    assert_eq!(em_vc(&g, &keys, 2, VcVariant::Opt { k: 1 }).identified_pairs(), expected);
+    assert_eq!(
+        em_mr(&g, &keys, 2, MrVariant::Opt).identified_pairs(),
+        expected
+    );
+    assert_eq!(
+        em_vc(&g, &keys, 2, VcVariant::Base).identified_pairs(),
+        expected
+    );
+    assert_eq!(
+        em_vc(&g, &keys, 2, VcVariant::Opt { k: 1 }).identified_pairs(),
+        expected
+    );
 }
 
 #[test]

@@ -3,11 +3,11 @@
 //! data locality, tour invariants, DSL/text round-trips.
 
 use gk_datagen::{generate, GenConfig};
-use keys_for_graphs::prelude::*;
 use keys_for_graphs::core::{candidate_pairs, write_keys, Tour};
 use keys_for_graphs::isomorph::{
     eval_pair, eval_pair_enumerate, pairing_at, IdentityEq, MatchScope,
 };
+use keys_for_graphs::prelude::*;
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------------
@@ -39,8 +39,9 @@ fn raw_triples() -> impl Strategy<Value = Vec<RawTriple>> {
 /// Builds a graph from raw triples: entity i has type `t{i % 3}`.
 fn build_graph(raw: &[RawTriple]) -> Graph {
     let mut b = GraphBuilder::new();
-    let ents: Vec<EntityId> =
-        (0..10).map(|i| b.entity(&format!("e{i}"), &format!("t{}", i % 3))).collect();
+    let ents: Vec<EntityId> = (0..10)
+        .map(|i| b.entity(&format!("e{i}"), &format!("t{}", i % 3)))
+        .collect();
     for t in raw {
         let s = ents[t.s as usize];
         let p = format!("p{}", t.p);

@@ -61,7 +61,10 @@ fn inverted_index_on_mapreduce() {
     let (mut sim_index, sim_stats) = Cluster::simulated(3).run(&InvertedIndex, docs);
     sim_index.sort();
     assert_eq!(index, sim_index);
-    assert!(sim_stats.sim_makespan <= sim_stats.map_time + sim_stats.shuffle_time + sim_stats.reduce_time);
+    assert!(
+        sim_stats.sim_makespan
+            <= sim_stats.map_time + sim_stats.shuffle_time + sim_stats.reduce_time
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -97,7 +100,9 @@ impl MapReduce for Hop {
 #[test]
 fn iterative_reachability_driver() {
     // 0 -> 1 -> 2 -> 3, 1 -> 4; 5 -> 6 unreachable from 0.
-    let job = Hop { edges: vec![(0, 1), (1, 2), (2, 3), (1, 4), (5, 6)] };
+    let job = Hop {
+        edges: vec![(0, 1), (1, 2), (2, 3), (1, 4), (5, 6)],
+    };
     let cluster = Cluster::new(2);
     let mut reached: std::collections::BTreeSet<u32> = [0u32].into();
     let mut frontier = vec![(0u32, ())];
@@ -158,7 +163,9 @@ fn connected_components_vertex_centric() {
         }
         adj
     };
-    let prog = Components { adj: undirected(&[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3), (4, 5)], 6) };
+    let prog = Components {
+        adj: undirected(&[(0, 1), (1, 2), (2, 3), (3, 0), (1, 3), (4, 5)], 6),
+    };
     let all: Vec<usize> = (0..6).collect();
     for p in [1, 2, 4] {
         let (labels, _) = Engine::new(p).run(&prog, 6, &all);

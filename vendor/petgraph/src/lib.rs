@@ -1,0 +1,273 @@
+//! Shim for `petgraph`: the directed-graph type and the two algorithms the
+//! key-dependency analysis uses (`condensation`, `toposort`), with
+//! petgraph-compatible paths and signatures. See `vendor/README.md`.
+
+/// Graph types, mirroring `petgraph::graph`.
+pub mod graph {
+    /// Index of a node in a [`DiGraph`].
+    #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+    pub struct NodeIndex(pub(crate) usize);
+
+    impl NodeIndex {
+        /// Creates an index from a raw `usize`.
+        pub fn new(i: usize) -> Self {
+            NodeIndex(i)
+        }
+
+        /// The raw `usize` of this index.
+        pub fn index(self) -> usize {
+            self.0
+        }
+    }
+
+    /// A directed graph with node weights `N` and edge weights `E`,
+    /// adjacency-list backed.
+    #[derive(Clone, Debug, Default)]
+    pub struct DiGraph<N, E> {
+        pub(crate) nodes: Vec<N>,
+        /// Per-node out-edges as `(target, weight)`.
+        pub(crate) edges: Vec<Vec<(usize, E)>>,
+    }
+
+    impl<N, E> DiGraph<N, E> {
+        /// An empty graph.
+        pub fn new() -> Self {
+            DiGraph { nodes: Vec::new(), edges: Vec::new() }
+        }
+
+        /// Adds a node, returning its index.
+        pub fn add_node(&mut self, weight: N) -> NodeIndex {
+            self.nodes.push(weight);
+            self.edges.push(Vec::new());
+            NodeIndex(self.nodes.len() - 1)
+        }
+
+        /// Adds the edge `a → b`, or replaces its weight if already present.
+        pub fn update_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) {
+            match self.edges[a.0].iter_mut().find(|(t, _)| *t == b.0) {
+                Some(slot) => slot.1 = weight,
+                None => self.edges[a.0].push((b.0, weight)),
+            }
+        }
+
+        /// Adds the edge `a → b` unconditionally.
+        pub fn add_edge(&mut self, a: NodeIndex, b: NodeIndex, weight: E) {
+            self.edges[a.0].push((b.0, weight));
+        }
+
+        /// Number of nodes.
+        pub fn node_count(&self) -> usize {
+            self.nodes.len()
+        }
+
+        /// Number of edges.
+        pub fn edge_count(&self) -> usize {
+            self.edges.iter().map(Vec::len).sum()
+        }
+
+        /// All node indices, ascending.
+        pub fn node_indices(&self) -> impl Iterator<Item = NodeIndex> {
+            (0..self.nodes.len()).map(NodeIndex)
+        }
+
+        /// Out-neighbors of `n`.
+        pub fn neighbors(&self, n: NodeIndex) -> impl Iterator<Item = NodeIndex> + '_ {
+            self.edges[n.0].iter().map(|&(t, _)| NodeIndex(t))
+        }
+    }
+
+    impl<N, E> std::ops::Index<NodeIndex> for DiGraph<N, E> {
+        type Output = N;
+        fn index(&self, n: NodeIndex) -> &N {
+            &self.nodes[n.0]
+        }
+    }
+}
+
+/// Graph algorithms, mirroring `petgraph::algo`.
+pub mod algo {
+    use super::graph::{DiGraph, NodeIndex};
+
+    /// Error value of [`toposort`] when the graph has a cycle.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Cycle(pub NodeIndex);
+
+    /// Topological order of an acyclic graph (Kahn's algorithm); `Err` on a
+    /// cycle. The second argument mirrors petgraph's optional scratch space
+    /// and is ignored.
+    pub fn toposort<N, E>(
+        g: &DiGraph<N, E>,
+        _space: Option<()>,
+    ) -> Result<Vec<NodeIndex>, Cycle> {
+        let n = g.node_count();
+        let mut indeg = vec![0usize; n];
+        for edges in &g.edges {
+            for &(t, _) in edges {
+                indeg[t] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(NodeIndex::new(v));
+            for &(t, _) in &g.edges[v] {
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            let stuck = (0..n).find(|&v| indeg[v] > 0).unwrap();
+            Err(Cycle(NodeIndex::new(stuck)))
+        }
+    }
+
+    /// Condenses strongly connected components into single nodes carrying
+    /// the member weights (Tarjan). With `make_acyclic`, self-edges and
+    /// intra-SCC edges are dropped, so the result is a DAG.
+    pub fn condensation<N, E: Clone>(
+        g: DiGraph<N, E>,
+        make_acyclic: bool,
+    ) -> DiGraph<Vec<N>, E> {
+        let scc_of = tarjan_scc_ids(&g);
+        let num_sccs = scc_of.iter().copied().max().map_or(0, |m| m + 1);
+
+        let mut out: DiGraph<Vec<N>, E> = DiGraph::new();
+        for _ in 0..num_sccs {
+            out.add_node(Vec::new());
+        }
+        for (v, w) in g.nodes.into_iter().enumerate() {
+            out.nodes[scc_of[v]].push(w);
+        }
+        for (v, edges) in g.edges.into_iter().enumerate() {
+            for (t, e) in edges {
+                let (a, b) = (scc_of[v], scc_of[t]);
+                if make_acyclic && a == b {
+                    continue;
+                }
+                out.update_edge(NodeIndex::new(a), NodeIndex::new(b), e);
+            }
+        }
+        out
+    }
+
+    /// Iterative Tarjan SCC, returning each node's component id. Components
+    /// are renumbered so ids ascend with the smallest member node — a stable,
+    /// deterministic labeling.
+    fn tarjan_scc_ids<N, E>(g: &DiGraph<N, E>) -> Vec<usize> {
+        let n = g.node_count();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut comp = vec![usize::MAX; n];
+        let mut next_index = 0usize;
+        let mut next_comp = 0usize;
+
+        // Explicit DFS frames: (node, next-edge cursor).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            frames.push((root, 0));
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+
+            while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+                if *cursor < g.edges[v].len() {
+                    let (t, _) = g.edges[v][*cursor];
+                    *cursor += 1;
+                    if index[t] == usize::MAX {
+                        index[t] = next_index;
+                        low[t] = next_index;
+                        next_index += 1;
+                        stack.push(t);
+                        on_stack[t] = true;
+                        frames.push((t, 0));
+                    } else if on_stack[t] {
+                        low[v] = low[v].min(index[t]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp[w] = next_comp;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_comp += 1;
+                    }
+                }
+            }
+        }
+
+        // Renumber components by smallest member for determinism.
+        let mut first_member = vec![usize::MAX; next_comp];
+        for v in 0..n {
+            first_member[comp[v]] = first_member[comp[v]].min(v);
+        }
+        let mut order: Vec<usize> = (0..next_comp).collect();
+        order.sort_unstable_by_key(|&c| first_member[c]);
+        let mut renumber = vec![0usize; next_comp];
+        for (new_id, &c) in order.iter().enumerate() {
+            renumber[c] = new_id;
+        }
+        comp.into_iter().map(|c| renumber[c]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::algo::{condensation, toposort};
+    use super::graph::DiGraph;
+
+    #[test]
+    fn condense_mutual_recursion() {
+        // 0 <-> 1, 1 -> 2: condensation is {0,1} -> {2}.
+        let mut g: DiGraph<usize, ()> = DiGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(1);
+        let c = g.add_node(2);
+        g.update_edge(a, b, ());
+        g.update_edge(b, a, ());
+        g.update_edge(b, c, ());
+        let cond = condensation(g, true);
+        assert_eq!(cond.node_count(), 2);
+        assert_eq!(cond.edge_count(), 1);
+        let order = toposort(&cond, None).unwrap();
+        assert_eq!(cond[order[0]].len(), 2);
+        assert_eq!(cond[order[1]], vec![2]);
+    }
+
+    #[test]
+    fn toposort_detects_cycles() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.update_edge(a, b, ());
+        g.update_edge(b, a, ());
+        assert!(toposort(&g, None).is_err());
+    }
+
+    #[test]
+    fn update_edge_deduplicates() {
+        let mut g: DiGraph<(), u32> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.update_edge(a, b, 1);
+        g.update_edge(a, b, 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Shim for `rand` 0.8: the `Rng` / `SeedableRng` traits and `rngs::StdRng`,
+//! backed by xoshiro256++ seeded through splitmix64. Deterministic for a
+//! given seed — which is all the workload generators need; the stream is
+//! *not* bit-compatible with upstream `StdRng`. See `vendor/README.md`.
+
+/// Core RNG trait: a 64-bit generator plus the derived sampling helpers the
+/// workspace uses.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (Lemire-style rejection for integers).
+    fn gen_range<T: SampleRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// A uniform sample of a whole type (`bool`, integers, `f64` in [0,1)).
+    fn gen<T: Uniform>(&mut self) -> T {
+        T::uniform(self)
+    }
+
+    /// A biased coin flip.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Construction of an RNG from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable from a `Range` by [`Rng::gen_range`].
+pub trait SampleRange: Sized {
+    /// Uniform sample in `[range.start, range.end)`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end - range.start) as u64;
+                // Rejection sampling on the top bits: unbiased.
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let x = rng.next_u64();
+                    if x < zone {
+                        return range.start + (x % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R, range: std::ops::Range<Self>) -> Self {
+        range.start + f64::uniform(rng) * (range.end - range.start)
+    }
+}
+
+/// Types with a whole-domain uniform distribution for [`Rng::gen`].
+pub trait Uniform: Sized {
+    /// A uniform sample of the whole type.
+    fn uniform<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Uniform for bool {
+    fn uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Uniform for u64 {
+    fn uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Uniform for f64 {
+    fn uniform<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard seedable generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion of the seed, per the xoshiro authors'
+            // recommendation.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x = a.gen_range(3usize..17);
+            assert_eq!(x, b.gen_range(3usize..17));
+            assert!((3..17).contains(&x));
+        }
+        let f: f64 = a.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+}

@@ -1,0 +1,155 @@
+//! Shim for `rayon`: `par_iter()` over slices with `map` / `filter_map` /
+//! `collect`, executed on `std::thread::scope` with one chunk per available
+//! core. Order is preserved (chunk results are concatenated in order), so
+//! collected output is identical to the sequential result — the property the
+//! workspace's correctness tests rely on. See `vendor/README.md`.
+
+/// The traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// How many worker threads a parallel run uses.
+fn threads_for(len: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    cores.min(len).max(1)
+}
+
+/// Runs `f` over equal chunks of `0..len` on scoped threads and returns the
+/// per-chunk outputs in chunk order.
+fn run_chunked<'a, T: Sync, B: Send>(
+    items: &'a [T],
+    f: impl Fn(&'a [T]) -> Vec<B> + Sync,
+) -> Vec<Vec<B>> {
+    let p = threads_for(items.len());
+    if p <= 1 {
+        return vec![f(items)];
+    }
+    let chunk = items.len().div_ceil(p);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            items.chunks(chunk).map(|c| scope.spawn(|| f(c))).collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+/// `.par_iter()` — entry point for parallel iteration over `&[T]`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type iterated by reference.
+    type Item: Sync + 'a;
+    /// Starts a parallel iterator over the collection.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map.
+    pub fn map<B, F>(self, f: F) -> Map<'a, T, F>
+    where
+        B: Send,
+        F: Fn(&'a T) -> B + Sync,
+    {
+        Map { items: self.items, f }
+    }
+
+    /// Parallel filter-map.
+    pub fn filter_map<B, F>(self, f: F) -> FilterMap<'a, T, F>
+    where
+        B: Send,
+        F: Fn(&'a T) -> Option<B> + Sync,
+    {
+        FilterMap { items: self.items, f }
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct Map<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> Map<'a, T, F> {
+    /// Runs the map in parallel and collects in input order.
+    pub fn collect<C, B>(self) -> C
+    where
+        B: Send,
+        F: Fn(&'a T) -> B + Sync,
+        C: FromIterator<B>,
+    {
+        let f = &self.f;
+        run_chunked(self.items, |chunk| chunk.iter().map(f).collect())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+/// Result of [`ParIter::filter_map`].
+pub struct FilterMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> FilterMap<'a, T, F> {
+    /// Runs the filter-map in parallel and collects survivors in input order.
+    pub fn collect<C, B>(self) -> C
+    where
+        B: Send,
+        F: Fn(&'a T) -> Option<B> + Sync,
+        C: FromIterator<B>,
+    {
+        let f = &self.f;
+        run_chunked(self.items, |chunk| chunk.iter().filter_map(f).collect())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, xs.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let odds: Vec<u64> = xs
+            .par_iter()
+            .filter_map(|&x| (x % 2 == 1).then_some(x))
+            .collect();
+        assert_eq!(odds.len(), 500);
+        assert!(odds.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_input() {
+        let xs: Vec<u64> = Vec::new();
+        let out: Vec<u64> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

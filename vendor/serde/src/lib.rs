@@ -1,0 +1,10 @@
+//! Shim for `serde`: the `Serialize` marker plus a no-op derive. Nothing in
+//! the workspace serializes through serde at runtime — the derive records
+//! intent for environments with the real crate. See `vendor/README.md`.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+// The derive macro lives in the type namespace's sibling macro namespace, so
+// `use serde::Serialize` imports both the trait and the derive.
+pub use serde_derive::Serialize;

@@ -1,0 +1,28 @@
+//! Shim for `serde_derive`: `#[derive(Serialize)]` that emits a trivial
+//! `impl serde::Serialize` so derived types satisfy `T: Serialize` bounds.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: emits `impl serde::Serialize for <Type>`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    // Find the type name: the identifier after the first `struct` or `enum`
+    // token. Generics are not supported (and not used in this workspace).
+    let mut tokens = input.into_iter();
+    let mut name = None;
+    while let Some(tok) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(id) = &tok {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                if let Some(proc_macro::TokenTree::Ident(ty)) = tokens.next() {
+                    name = Some(ty.to_string());
+                }
+                break;
+            }
+        }
+    }
+    match name {
+        Some(ty) => format!("impl serde::Serialize for {ty} {{}}").parse().unwrap(),
+        None => TokenStream::new(),
+    }
+}
