@@ -136,10 +136,24 @@ pub struct Measurement {
 
 /// All experiment ids, in presentation order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig8a", "fig8b", "fig8c", "fig8d", // Google
-    "fig8e", "fig8f", "fig8g", "fig8h", // DBpedia
-    "fig8i", "fig8j", "fig8k", "fig8l", // Synthetic
-    "table2", "gp_ratio", "opt_mr", "opt_vc", "ablation",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig8d", // Google
+    "fig8e",
+    "fig8f",
+    "fig8g",
+    "fig8h", // DBpedia
+    "fig8i",
+    "fig8j",
+    "fig8k",
+    "fig8l", // Synthetic
+    "table2",
+    "gp_ratio",
+    "opt_mr",
+    "opt_vc",
+    "ablation",
+    "vary_threads",
 ];
 
 /// Dataset base config for an experiment family, at benchmark scale.
@@ -185,8 +199,28 @@ fn measure_mode(
     measure_reps(experiment, w, keys, algo, p, x, sim, 1)
 }
 
-/// Runs the algorithm `reps` times and keeps the fastest run (the paper
-/// averages 3 runs; min-of-N is the standard noise-robust variant).
+/// Keeps the fastest of several repetitions of one measurement (the paper
+/// averages 3 runs; min-of-N is the standard noise-robust variant), but
+/// reports `correct` only when *every* repetition was correct — a single
+/// wrong run is a correctness regression, not noise.
+fn pick_best(reps: Vec<Measurement>) -> Measurement {
+    let all_correct = reps.iter().all(|m| m.correct);
+    let key = |m: &Measurement| {
+        if m.sim_seconds > 0.0 {
+            m.sim_seconds
+        } else {
+            m.seconds
+        }
+    };
+    let mut best = reps
+        .into_iter()
+        .min_by(|a, b| key(a).total_cmp(&key(b)))
+        .expect("at least one rep");
+    best.correct = all_correct;
+    best
+}
+
+/// Runs the algorithm `reps` times; see [`pick_best`] for the aggregation.
 #[allow(clippy::too_many_arguments)]
 fn measure_reps(
     experiment: &str,
@@ -198,51 +232,31 @@ fn measure_reps(
     sim: bool,
     reps: usize,
 ) -> Measurement {
-    let mut best: Option<Measurement> = None;
-    for _ in 0..reps.max(1) {
-        let out = if sim {
-            algo.run_sim(&w.graph, keys, p)
-        } else {
-            algo.run(&w.graph, keys, p)
-        };
-        let got = out.identified_pairs();
-        let m = Measurement {
-            experiment: experiment.to_string(),
-            dataset: w.name.clone(),
-            algo: algo.label().to_string(),
-            x: x.clone(),
-            seconds: out.report.elapsed.as_secs_f64(),
-            sim_seconds: out.report.sim_seconds,
-            identified: out.report.identified,
-            candidates: out.report.candidates,
-            rounds: out.report.rounds,
-            traffic: out.report.messages.max(out.report.shuffled_records),
-            correct: got == truth_of(w),
-            extra: out.report.extra.clone(),
-        };
-        let faster = |a: &Measurement, b: &Measurement| {
-            let ka = if a.sim_seconds > 0.0 {
-                a.sim_seconds
+    let runs = (0..reps.max(1))
+        .map(|_| {
+            let out = if sim {
+                algo.run_sim(&w.graph, keys, p)
             } else {
-                a.seconds
+                algo.run(&w.graph, keys, p)
             };
-            let kb = if b.sim_seconds > 0.0 {
-                b.sim_seconds
-            } else {
-                b.seconds
-            };
-            ka < kb
-        };
-        best = match best {
-            Some(b) if m.correct && faster(&m, &b) => Some(m),
-            Some(mut b) => {
-                b.correct &= m.correct;
-                Some(b)
+            let got = out.identified_pairs();
+            Measurement {
+                experiment: experiment.to_string(),
+                dataset: w.name.clone(),
+                algo: algo.label().to_string(),
+                x: x.clone(),
+                seconds: out.report.elapsed.as_secs_f64(),
+                sim_seconds: out.report.sim_seconds,
+                identified: out.report.identified,
+                candidates: out.report.candidates,
+                rounds: out.report.rounds,
+                traffic: out.report.messages.max(out.report.shuffled_records),
+                correct: got == truth_of(w),
+                extra: out.report.extra.clone(),
             }
-            None => Some(m),
-        };
-    }
-    best.expect("at least one rep")
+        })
+        .collect();
+    pick_best(runs)
 }
 
 /// The worker counts of Fig. 8(a)(e)(i).
@@ -274,6 +288,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Measurement> {
         "opt_mr" => opt_mr(quick),
         "opt_vc" => opt_vc(quick),
         "ablation" => ablation(quick),
+        "vary_threads" => vary_threads(quick),
         other => panic!("unknown experiment id {other:?}; see ALL_EXPERIMENTS"),
     }
 }
@@ -501,9 +516,69 @@ fn ablation(quick: bool) -> Vec<Measurement> {
     out
 }
 
+/// Beyond the paper: the resident engine's partitioned multi-threaded
+/// chase (`chase_parallel`) across worker-thread counts, with the
+/// sequential reference chase as the baseline — wall-clock, real threads
+/// (not the simulated scheduler). `quick` uses the CI scale; the full run
+/// uses the 10k-entity workload of the vary_threads criterion bench.
+fn vary_threads(quick: bool) -> Vec<Measurement> {
+    use gk_core::{chase_parallel, ParallelOpts};
+    let cfg = dataset_cfg('g', quick)
+        .with_scale(if quick { 0.1 } else { 0.46 })
+        .with_chain(2)
+        .with_radius(2);
+    let w = generate(&cfg);
+    let keys = w.keys.compile(&w.graph);
+    let mut out = Vec::new();
+    let reps = if quick { 1 } else { 3 };
+    out.push(measure_reps(
+        "vary_threads",
+        &w,
+        &keys,
+        AlgoKind::Reference,
+        1,
+        "baseline".into(),
+        false,
+        reps,
+    ));
+    for threads in [1usize, 2, 4, 8] {
+        let runs = (0..reps.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                let r = chase_parallel(&w.graph, &keys, ParallelOpts::with_threads(threads));
+                let secs = t.elapsed().as_secs_f64();
+                Measurement {
+                    experiment: "vary_threads".into(),
+                    dataset: w.name.clone(),
+                    algo: "chase_parallel".into(),
+                    x: format!("threads={threads}"),
+                    seconds: secs,
+                    sim_seconds: 0.0,
+                    identified: r.eq.num_identified_pairs(),
+                    candidates: 0,
+                    rounds: r.rounds,
+                    traffic: 0,
+                    correct: r.identified_pairs() == w.truth,
+                    extra: vec![("iso_checks".into(), r.iso_checks.to_string())],
+                }
+            })
+            .collect();
+        out.push(pick_best(runs));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn vary_threads_agrees_with_truth() {
+        let ms = run_experiment("vary_threads", true);
+        assert_eq!(ms.len(), 5, "baseline + 4 thread counts");
+        assert!(ms.iter().all(|m| m.correct), "{ms:?}");
+        assert!(ms.iter().all(|m| m.identified == ms[0].identified));
+    }
 
     #[test]
     fn quick_experiment_runs_and_is_correct() {

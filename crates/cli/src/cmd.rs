@@ -1,9 +1,9 @@
 //! Command implementations and a small flag parser.
 
 use gk_core::{
-    chase_reference, em_mr, em_vc, key_violations, normalize_graph, normalize_keys, prove,
-    satisfies, verify, AlphaNum, CaseFold, ChaseOrder, CompiledKeySet, KeySet, MatchOutcome,
-    MrVariant, VcVariant,
+    chase_parallel, chase_reference, em_mr, em_vc, key_violations, normalize_graph, normalize_keys,
+    prove, satisfies, verify, AlphaNum, CaseFold, ChaseEngine, ChaseOrder, CompiledKeySet, KeySet,
+    MatchOutcome, MrVariant, ParallelOpts, VcVariant,
 };
 use gk_datagen::{generate, GenConfig};
 use gk_graph::{parse_graph, write_graph, Graph, GraphStats};
@@ -16,10 +16,13 @@ pub const USAGE: &str = "usage:
   graphkeys validate <graph.triples> <keys.gk>
   graphkeys match    <graph.triples> <keys.gk> [--algo ref|mr|mr-opt|mr-vf2|vc|vc-opt]
                      [-p N] [-k K] [--normalize casefold|alphanum] [--explain A,B]
+  graphkeys chase    <graph.triples> <keys.gk> [--engine reference|parallel]
+                     [--threads N] [--seed S]
   graphkeys discover <graph.triples> [--max-attrs N] [--min-support F]
   graphkeys gen      --flavor google|dbpedia|synthetic [--scale F] [--keys N]
                      [--chain C] [--radius D] [--seed S] --out DIR
   graphkeys serve    <graph.triples> <keys.gk> [--port P] [--threads N]
+                     [--engine reference|incremental|parallel]
   graphkeys query    <addr> <verb> [args...]   (e.g. query 127.0.0.1:7878 SAME a b)";
 
 /// Entry point used by `main` (and by the unit tests).
@@ -41,6 +44,7 @@ pub fn run_to(args: &[String], out: &mut String) -> Result<(), String> {
         "keys" => cmd_keys(rest, out),
         "validate" => cmd_validate(rest, out),
         "match" => cmd_match(rest, out),
+        "chase" => cmd_chase(rest, out),
         "discover" => cmd_discover(rest, out),
         "gen" => cmd_gen(rest, out),
         "serve" => cmd_serve(rest, out),
@@ -291,6 +295,57 @@ fn cmd_match(args: &[String], out: &mut String) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_chase(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(args, &["engine", "threads", "seed"])?;
+    let [gpath, kpath] = f.positional.as_slice() else {
+        return Err("chase takes a graph file and a key file".into());
+    };
+    let g = load_graph(gpath)?;
+    let ks = load_keys(kpath)?;
+    let threads = f.get_parse("threads", 0usize)?;
+    let engine = ChaseEngine::parse(f.get("engine").unwrap_or("parallel"), threads)?;
+    if engine == ChaseEngine::Incremental {
+        return Err("chase runs a full chase; --engine takes reference|parallel".into());
+    }
+    let order = match f.get("seed") {
+        None => ChaseOrder::Deterministic,
+        Some(s) => ChaseOrder::Shuffled(
+            s.parse()
+                .map_err(|_| format!("invalid value for --seed: {s:?}"))?,
+        ),
+    };
+    let compiled = ks.compile(&g);
+    let t0 = std::time::Instant::now();
+    let r = match engine {
+        ChaseEngine::Parallel { threads } => chase_parallel(
+            &g,
+            &compiled,
+            ParallelOpts {
+                threads,
+                order,
+                ..Default::default()
+            },
+        ),
+        _ => chase_reference(&g, &compiled, order),
+    };
+    let _ = writeln!(
+        out,
+        "chase({}) engine={engine} threads={} rounds={} steps={} identified_pairs={} iso={} in {:?}",
+        gpath,
+        engine.threads(),
+        r.rounds,
+        r.steps.len(),
+        r.eq.num_identified_pairs(),
+        r.iso_checks,
+        t0.elapsed()
+    );
+    for class in r.eq.classes() {
+        let names: Vec<String> = class.iter().map(|&e| g.entity_label(e)).collect();
+        let _ = writeln!(out, "cluster: {}", names.join(" = "));
+    }
+    Ok(())
+}
+
 fn cmd_discover(args: &[String], out: &mut String) -> Result<(), String> {
     let f = Flags::parse(args, &["max-attrs", "min-support"])?;
     let [gpath] = f.positional.as_slice() else {
@@ -379,7 +434,7 @@ pub fn is_runtime_error(msg: &str) -> bool {
 }
 
 fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
-    let f = Flags::parse(args, &["port", "threads"])?;
+    let f = Flags::parse(args, &["port", "threads", "engine"])?;
     let [gpath, kpath] = f.positional.as_slice() else {
         return Err("serve takes a graph file and a key file".into());
     };
@@ -387,14 +442,17 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
     let ks = load_keys(kpath)?;
     let port = f.get_parse("port", 7878u16)?;
     let threads = f.get_parse("threads", 4usize)?;
-    let server = std::sync::Arc::new(gk_server::Server::new(g, ks));
+    // One --threads knob: it sizes both the TCP worker pool and, under
+    // `--engine parallel`, the partitioned chase.
+    let engine = ChaseEngine::parse(f.get("engine").unwrap_or("incremental"), threads)?;
+    let server = std::sync::Arc::new(gk_server::Server::with_engine(g, ks, engine));
     let handle = gk_server::serve(server, &format!("127.0.0.1:{port}"), threads)
         .map_err(|e| format!("cannot bind port {port}: {e}"))?;
     // `run_to` buffers output until return, but serve never returns — print
     // the banner directly so operators see the bound address immediately.
     let _ = writeln!(
         out,
-        "serving on {} with {threads} worker thread(s)",
+        "serving on {} with {threads} worker thread(s), engine={engine}",
         handle.addr()
     );
     print!("{out}");
@@ -534,6 +592,54 @@ mod tests {
             .unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert!(out.contains("cluster"), "{algo}: {out}");
         }
+    }
+
+    #[test]
+    fn chase_command_engines_agree() {
+        let d = tmpdir("chase");
+        write(
+            &format!("{d}/g.triples"),
+            r#"
+            alb1:album name_of "Anthology 2"
+            alb1:album release_year "1996"
+            alb2:album name_of "Anthology 2"
+            alb2:album release_year "1996"
+            "#,
+        );
+        write(&format!("{d}/k.gk"), K);
+        let mut cluster_lines = Vec::new();
+        for engine_args in [
+            vec!["--engine", "reference"],
+            vec!["--engine", "parallel", "--threads", "2"],
+            vec!["--engine", "parallel", "--threads", "1"],
+            vec!["--engine", "parallel", "--threads", "4", "--seed", "7"],
+        ] {
+            let mut a = args(&["chase", &format!("{d}/g.triples"), &format!("{d}/k.gk")]);
+            a.extend(engine_args.iter().map(|s| s.to_string()));
+            let mut out = String::new();
+            run_to(&a, &mut out).unwrap();
+            assert!(out.contains("identified_pairs=1"), "{out}");
+            cluster_lines.push(
+                out.lines()
+                    .filter(|l| l.starts_with("cluster"))
+                    .map(String::from)
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert!(cluster_lines.windows(2).all(|w| w[0] == w[1]));
+        // The incremental engine is serve-only.
+        let mut out = String::new();
+        assert!(run_to(
+            &args(&[
+                "chase",
+                &format!("{d}/g.triples"),
+                &format!("{d}/k.gk"),
+                "--engine",
+                "incremental"
+            ]),
+            &mut out
+        )
+        .is_err());
     }
 
     #[test]

@@ -6,9 +6,12 @@
 //! graphkeys validate <graph.triples> <keys.gk>
 //! graphkeys match    <graph.triples> <keys.gk> [--algo ref|mr|mr-opt|mr-vf2|vc|vc-opt]
 //!                    [-p N] [-k K] [--normalize casefold|alphanum] [--explain A,B]
+//! graphkeys chase    <graph.triples> <keys.gk> [--engine reference|parallel]
+//!                    [--threads N] [--seed S]
 //! graphkeys gen      --flavor google|dbpedia|synthetic [--scale F] [--keys N]
 //!                    [--chain C] [--radius D] [--seed S] --out DIR
 //! graphkeys serve    <graph.triples> <keys.gk> [--port P] [--threads N]
+//!                    [--engine reference|incremental|parallel]
 //! graphkeys query    <addr> <verb> [args...]
 //! ```
 //!

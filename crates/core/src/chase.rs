@@ -120,8 +120,8 @@ pub fn chase_reference(g: &Graph, keys: &CompiledKeySet, order: ChaseOrder) -> C
 }
 
 /// Fisher–Yates with a splitmix64 stream; avoids pulling `rand` into the
-/// library's runtime dependencies.
-fn shuffle<T>(v: &mut [T], seed: u64) {
+/// library's runtime dependencies. Shared with the parallel chase.
+pub(crate) fn shuffle<T>(v: &mut [T], seed: u64) {
     let mut s = seed.wrapping_add(0x9E3779B97F4A7C15);
     let mut next = move || {
         s = s.wrapping_add(0x9E3779B97F4A7C15);

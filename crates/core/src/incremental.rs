@@ -45,11 +45,10 @@ pub fn chase_incremental(
     prev: &EqRel,
     touched: &[EntityId],
 ) -> ChaseResult {
-    // Seed Eq with the previous result (monotonicity keeps it valid).
+    // Seed Eq with the previous result (monotonicity keeps it valid):
+    // replaying the merge log reproduces the closure.
     let mut eq = EqRel::identity(g.num_entities());
-    for &(a, b) in prev.merges() {
-        eq.union(a, b);
-    }
+    eq.absorb(prev.merges());
     // Initial frontier: keyed-type pairs with an endpoint near a touched
     // entity.
     let mut pending: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();

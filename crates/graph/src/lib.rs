@@ -35,6 +35,7 @@ mod ids;
 mod interner;
 mod neighborhood;
 mod parse;
+mod shard;
 mod stats;
 
 pub use graph::{Graph, GraphBuilder, Triple};
@@ -42,4 +43,5 @@ pub use ids::{EntityId, NodeId, Obj, PredId, TypeId, ValueId};
 pub use interner::Interner;
 pub use neighborhood::{d_neighborhood, d_neighborhoods, is_forest, NodeSet};
 pub use parse::{parse_graph, parse_triple_specs, write_graph, ObjSpec, ParseError, TripleSpec};
+pub use shard::entity_shard;
 pub use stats::GraphStats;

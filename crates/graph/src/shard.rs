@@ -1,0 +1,66 @@
+//! Deterministic entity sharding for the partitioned parallel algorithms.
+//!
+//! The multi-threaded chase partitions work by *entity*: every candidate
+//! pair is owned by the shard of its smaller endpoint, so all pairs
+//! anchored at one entity are evaluated by the same worker (and hit the
+//! same adjacency cache lines). The assignment is a hash, not a range
+//! split: entity ids are allocated in insertion order, which correlates
+//! with type and therefore with key workload — range splits would put all
+//! heavy pairs on one worker.
+
+use crate::ids::EntityId;
+
+/// The shard (in `0..shards`) owning entity `e`. Deterministic across runs
+/// and processes: a splitmix64 finalizer over the raw id.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+#[inline]
+pub fn entity_shard(e: EntityId, shards: usize) -> usize {
+    assert!(shards > 0, "shards must be positive");
+    let mut z = (e.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as usize % shards
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic_and_in_range() {
+        for shards in [1usize, 2, 3, 8] {
+            for i in 0..100u32 {
+                let s = entity_shard(EntityId(i), shards);
+                assert!(s < shards);
+                assert_eq!(s, entity_shard(EntityId(i), shards));
+            }
+        }
+    }
+
+    #[test]
+    fn hash_sharding_is_roughly_balanced() {
+        for shards in [2usize, 4, 8] {
+            let mut counts = vec![0usize; shards];
+            for i in 0..4096u32 {
+                counts[entity_shard(EntityId(i), shards)] += 1;
+            }
+            let ideal = 4096 / shards;
+            for c in counts {
+                // Within 25% of ideal is plenty for work balancing.
+                assert!(
+                    c > ideal * 3 / 4 && c < ideal * 5 / 4,
+                    "shard size {c} far from ideal {ideal} at {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        for i in 0..50u32 {
+            assert_eq!(entity_shard(EntityId(i), 1), 0);
+        }
+    }
+}

@@ -13,8 +13,7 @@
 //! never a torn intermediate.
 
 use gk_core::{
-    chase_incremental, chase_reference, prove, verify, ChaseOrder, CompiledKeySet, EqRel, KeySet,
-    Proof,
+    chase_incremental, prove, verify, ChaseEngine, ChaseOrder, CompiledKeySet, EqRel, KeySet, Proof,
 };
 use gk_graph::{EntityId, Graph, GraphBuilder, Obj, ObjSpec, TripleSpec};
 use parking_lot::{Mutex, RwLock};
@@ -138,6 +137,8 @@ pub struct IndexStats {
     pub full_rechases: AtomicU64,
     /// Batches that were no-ops.
     pub noops: AtomicU64,
+    /// Chase rounds across all applied updates (delta and full).
+    pub update_rounds: AtomicU64,
     /// Rounds of the startup chase.
     pub startup_rounds: AtomicU64,
     /// Isomorphism checks of the startup chase.
@@ -150,6 +151,7 @@ pub struct IndexStats {
 /// path. Many readers, one writer.
 pub struct EmIndex {
     keys: KeySet,
+    engine: ChaseEngine,
     state: RwLock<Arc<IndexState>>,
     /// Serializes writers so compute can happen outside the state lock.
     ingest: Mutex<()>,
@@ -158,12 +160,21 @@ pub struct EmIndex {
 }
 
 impl EmIndex {
-    /// Loads a graph and a key set, runs the startup chase, and builds the
-    /// serving state.
+    /// Loads a graph and a key set, runs the startup chase with the default
+    /// [`ChaseEngine::Incremental`] engine, and builds the serving state.
     pub fn new(graph: Graph, keys: KeySet) -> Self {
+        Self::with_engine(graph, keys, ChaseEngine::default())
+    }
+
+    /// Like [`EmIndex::new`], but selecting the chase engine: `Reference`
+    /// re-chases fully on every update, `Incremental` (default) rides the
+    /// monotone delta chase for inserts, `Parallel { threads }` additionally
+    /// runs all full chases — startup and the deletion fallback — on worker
+    /// threads via [`gk_core::chase_parallel`].
+    pub fn with_engine(graph: Graph, keys: KeySet, engine: ChaseEngine) -> Self {
         let t0 = Instant::now();
         let compiled = keys.compile(&graph);
-        let r = chase_reference(&graph, &compiled, ChaseOrder::Deterministic);
+        let r = engine.full_chase(&graph, &compiled, ChaseOrder::Deterministic);
         let stats = IndexStats::default();
         stats
             .startup_rounds
@@ -176,6 +187,7 @@ impl EmIndex {
             .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
         EmIndex {
             keys,
+            engine,
             state: RwLock::new(Arc::new(IndexState::build(graph, compiled, r.eq, 0))),
             ingest: Mutex::new(()),
             stats,
@@ -185,6 +197,11 @@ impl EmIndex {
     /// The key set Σ the index serves.
     pub fn keys(&self) -> &KeySet {
         &self.keys
+    }
+
+    /// The configured chase engine.
+    pub fn engine(&self) -> ChaseEngine {
+        self.engine
     }
 
     /// An immutable snapshot of the current state. Queries run entirely on
@@ -268,22 +285,40 @@ impl EmIndex {
         // The heavy part runs without the state lock: readers keep serving
         // the previous snapshot.
         let compiled2 = self.keys.compile(&g2);
-        let delta = chase_incremental(&g2, &compiled2, &snap.eq, &touched);
-        let new_pairs = delta.eq.num_identified_pairs() - snap.eq.num_identified_pairs();
+        let (result, mode) = if self.engine.inserts_incrementally() {
+            // Monotone delta chase: valid for insert-only batches under any
+            // engine; strictly less work than a full chase.
+            (
+                chase_incremental(&g2, &compiled2, &snap.eq, &touched),
+                AdvanceMode::Incremental,
+            )
+        } else {
+            (
+                self.engine
+                    .full_chase(&g2, &compiled2, ChaseOrder::Deterministic),
+                AdvanceMode::FullRechase,
+            )
+        };
+        let new_pairs = result.eq.num_identified_pairs() - snap.eq.num_identified_pairs();
         let report = AdvanceReport {
-            mode: AdvanceMode::Incremental,
+            mode,
             triples: specs.len(),
             touched: touched.len(),
             new_entities: g2.num_entities() - old_entities,
             new_pairs,
-            rounds: delta.rounds,
-            iso_checks: delta.iso_checks,
+            rounds: result.rounds,
+            iso_checks: result.iso_checks,
         };
-        let next = IndexState::build(g2, compiled2, delta.eq, snap.version + 1);
+        let next = IndexState::build(g2, compiled2, result.eq, snap.version + 1);
         *self.state.write() = Arc::new(next);
         self.stats
-            .incremental_advances
-            .fetch_add(1, Ordering::Relaxed);
+            .update_rounds
+            .fetch_add(result.rounds as u64, Ordering::Relaxed);
+        match mode {
+            AdvanceMode::Incremental => &self.stats.incremental_advances,
+            _ => &self.stats.full_rechases,
+        }
+        .fetch_add(1, Ordering::Relaxed);
         Ok(report)
     }
 
@@ -327,7 +362,9 @@ impl EmIndex {
         let g2 =
             GraphBuilder::from_graph_filtered(g, |t| !(t.s == s && t.p == p && t.o == o)).freeze();
         let compiled2 = self.keys.compile(&g2);
-        let full = chase_reference(&g2, &compiled2, ChaseOrder::Deterministic);
+        let full = self
+            .engine
+            .full_chase(&g2, &compiled2, ChaseOrder::Deterministic);
         let old_pairs = snap.eq.num_identified_pairs();
         let new_total = full.eq.num_identified_pairs();
         let report = AdvanceReport {
@@ -341,6 +378,9 @@ impl EmIndex {
         };
         let next = IndexState::build(g2, compiled2, full.eq, snap.version + 1);
         *self.state.write() = Arc::new(next);
+        self.stats
+            .update_rounds
+            .fetch_add(full.rounds as u64, Ordering::Relaxed);
         self.stats.full_rechases.fetch_add(1, Ordering::Relaxed);
         Ok(report)
     }

@@ -253,6 +253,63 @@ mod tests {
     }
 
     #[test]
+    fn engine_knob_changes_update_path_not_answers() {
+        use gk_core::ChaseEngine;
+        let g = || parse_graph(G).unwrap();
+        let ks = || KeySet::parse(KEYS).unwrap();
+        let insert = r#"INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#;
+
+        // Reference: every insert is a full re-chase.
+        let r = Server::with_engine(g(), ks(), ChaseEngine::Reference);
+        assert!(r.handle(insert).contains("mode=full-rechase"));
+        assert!(r.handle("SAME alb1 alb3").starts_with("YES"));
+        let stats = r.handle("STATS");
+        assert!(stats.contains("engine=reference"), "{stats}");
+        assert!(stats.contains("full_rechases=1"), "{stats}");
+
+        // Parallel: inserts still ride the delta chase; full chases (the
+        // startup one here) run on worker threads.
+        let p = Server::with_engine(g(), ks(), ChaseEngine::Parallel { threads: 2 });
+        assert!(p.handle(insert).contains("mode=incremental"));
+        assert!(p.handle("SAME alb1 alb3").starts_with("YES"));
+        assert!(p.handle("SAME art1 art3").starts_with("YES"));
+        let stats = p.handle("STATS");
+        assert!(stats.contains("engine=parallel"), "{stats}");
+        assert!(stats.contains("threads=2"), "{stats}");
+
+        // All engines agree with the default on every query.
+        let d = server();
+        assert!(d.handle(insert).starts_with("OK"));
+        for q in [
+            "SAME alb1 alb2",
+            "DUPS alb1",
+            "REP alb2",
+            "EXPLAIN art1 art2",
+        ] {
+            assert_eq!(d.handle(q), p.handle(q), "{q}");
+        }
+    }
+
+    #[test]
+    fn parallel_engine_rechases_deletions_on_threads() {
+        use gk_core::ChaseEngine;
+        let s = Server::with_engine(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::Parallel { threads: 4 },
+        );
+        let r = s.handle(r#"DELETE alb2:album release_year "1996""#);
+        assert!(r.starts_with("OK mode=full-rechase"), "{r}");
+        assert!(s.handle("SAME alb1 alb2").starts_with("NO"));
+        let stats = s.handle("STATS");
+        assert!(stats.contains("full_rechases=1"), "{stats}");
+        assert!(
+            stats.contains("update_rounds="),
+            "rounds must be surfaced: {stats}"
+        );
+    }
+
+    #[test]
     fn protocol_errors_are_graceful() {
         let s = server();
         assert!(s.handle("").starts_with("ERR"));

@@ -19,7 +19,7 @@
 //! framing of this function.
 
 use crate::index::{AdvanceReport, EmIndex, IndexState};
-use gk_core::KeySet;
+use gk_core::{ChaseEngine, KeySet};
 use gk_graph::{parse_triple_specs, EntityId, Graph};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,10 +45,18 @@ pub struct Server {
 }
 
 impl Server {
-    /// Builds the server: runs the startup chase on `graph` under `keys`.
+    /// Builds the server: runs the startup chase on `graph` under `keys`
+    /// with the default incremental engine.
     pub fn new(graph: Graph, keys: KeySet) -> Self {
+        Self::with_engine(graph, keys, ChaseEngine::default())
+    }
+
+    /// Like [`Server::new`] but selecting the chase engine (see
+    /// [`EmIndex::with_engine`]). `STATS` reports the engine, its thread
+    /// count and the cumulative chase rounds.
+    pub fn with_engine(graph: Graph, keys: KeySet, engine: ChaseEngine) -> Self {
         Server {
-            index: EmIndex::new(graph, keys),
+            index: EmIndex::with_engine(graph, keys, engine),
             queries: AtomicU64::new(0),
             updates: AtomicU64::new(0),
         }
@@ -212,9 +220,12 @@ impl Server {
         let snap = self.index.snapshot();
         let s = &self.index.stats;
         format!(
-            "STATS entities={} triples={} values={} clusters={} identified_pairs={} \
-             version={} queries={} updates={} incremental_advances={} full_rechases={} \
-             noops={} startup_rounds={} startup_iso={} startup_micros={}",
+            "STATS engine={} threads={} entities={} triples={} values={} clusters={} \
+             identified_pairs={} version={} queries={} updates={} incremental_advances={} \
+             full_rechases={} noops={} update_rounds={} startup_rounds={} startup_iso={} \
+             startup_micros={}",
+            self.index.engine(),
+            self.index.engine().threads(),
             snap.graph.num_entities(),
             snap.graph.num_triples(),
             snap.graph.num_values(),
@@ -226,6 +237,7 @@ impl Server {
             s.incremental_advances.load(Ordering::Relaxed),
             s.full_rechases.load(Ordering::Relaxed),
             s.noops.load(Ordering::Relaxed),
+            s.update_rounds.load(Ordering::Relaxed),
             s.startup_rounds.load(Ordering::Relaxed),
             s.startup_iso_checks.load(Ordering::Relaxed),
             s.startup_micros.load(Ordering::Relaxed),

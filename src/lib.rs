@@ -53,9 +53,10 @@ pub use gk_vertexcentric as vertexcentric;
 /// The most common imports in one place.
 pub mod prelude {
     pub use gk_core::{
-        chase_reference, em_mr, em_mr_sim, em_vc, em_vc_sim, key_violations, parse_keys, satisfies,
-        set_violations, CandidateMode, ChaseOrder, CompiledKeySet, Key, KeySet, MatchOutcome,
-        MrVariant, RunReport, Term, VcVariant,
+        chase_parallel, chase_reference, em_mr, em_mr_sim, em_vc, em_vc_sim, key_violations,
+        parse_keys, satisfies, set_violations, CandidateMode, ChaseEngine, ChaseOrder,
+        CompiledKeySet, Key, KeySet, MatchOutcome, MrVariant, ParallelOpts, RunReport, Term,
+        VcVariant,
     };
     pub use gk_graph::{
         d_neighborhood, parse_graph, parse_triple_specs, EntityId, Graph, GraphBuilder, GraphStats,

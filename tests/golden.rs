@@ -1,0 +1,157 @@
+//! Golden protocol transcripts: scripted sessions against an in-process
+//! [`Server`], rendered as `>> request` / response blocks and compared
+//! byte-for-byte with the checked-in files under `tests/golden/`. Any
+//! protocol change — wording, field order, added counters — fails here
+//! without a hand-written assert, and `UPDATE_GOLDEN=1 cargo test --test
+//! golden` re-records the transcripts for an intentional change.
+//!
+//! The only nondeterministic protocol output is the startup-chase
+//! wall-clock in `STATS`; its value is masked before comparison.
+
+use keys_for_graphs::prelude::*;
+use std::fmt::Write as _;
+
+const KEYS: &str = r#"
+    key "Q2" album(x)  { x -name_of-> n*; x -release_year-> y*; }
+    key "Q3" artist(x) { x -name_of-> n*; a:album -recorded_by-> x; }
+"#;
+
+const GRAPH: &str = r#"
+    alb1:album  name_of       "Anthology 2"
+    alb1:album  release_year  "1996"
+    alb1:album  recorded_by   art1:artist
+    art1:artist name_of       "The Beatles"
+    alb2:album  name_of       "Anthology 2"
+    alb2:album  release_year  "1996"
+    alb2:album  recorded_by   art2:artist
+    art2:artist name_of       "The Beatles"
+    alb3:album  name_of       "Abbey Road"
+    alb3:album  recorded_by   art3:artist
+    art3:artist name_of       "The Beatles"
+"#;
+
+fn server() -> Server {
+    Server::new(parse_graph(GRAPH).unwrap(), KeySet::parse(KEYS).unwrap())
+}
+
+/// Replaces the digits after every `key=` occurrence with `_` — used for
+/// the timing field, which changes run to run.
+fn mask_field(text: &str, key: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    let needle = format!("{key}=");
+    while let Some(at) = rest.find(&needle) {
+        let after = at + needle.len();
+        out.push_str(&rest[..after]);
+        out.push('_');
+        rest = rest[after..].trim_start_matches(|c: char| c.is_ascii_digit());
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Runs the script and renders the transcript.
+fn transcript(server: &Server, script: &[&str]) -> String {
+    let mut out = String::new();
+    for line in script {
+        let resp = server.handle(line);
+        let _ = writeln!(out, ">> {line}");
+        let _ = writeln!(out, "{}", mask_field(&resp, "startup_micros"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares against `tests/golden/<name>.txt`, or re-records it when the
+/// `UPDATE_GOLDEN` environment variable is set.
+fn check_golden(name: &str, got: &str) {
+    let path = format!("{}/tests/golden/{name}.txt", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {path} ({e}); run with UPDATE_GOLDEN=1"));
+    assert!(
+        got == want,
+        "golden transcript {name} diverged.\n--- want ---\n{want}\n--- got ---\n{got}\n\
+         re-record with UPDATE_GOLDEN=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn golden_queries() {
+    let s = server();
+    check_golden(
+        "queries",
+        &transcript(
+            &s,
+            &[
+                "PING",
+                "SAME alb1 alb2",
+                "SAME alb1 alb3",
+                "SAME art1 art2",
+                "DUPS alb1",
+                "DUPS alb3",
+                "REP alb2",
+                "REP alb3",
+                "EXPLAIN art1 art2",
+                "EXPLAIN alb1 alb3",
+                "SAME ghost alb1",
+                "SAME alb1",
+                "FROB x",
+                "HELP",
+            ],
+        ),
+    );
+}
+
+#[test]
+fn golden_updates() {
+    let s = server();
+    check_golden(
+        "updates",
+        &transcript(
+            &s,
+            &[
+                "STATS",
+                r#"INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#,
+                "SAME alb1 alb3",
+                "SAME art1 art3",
+                r#"INSERT alb1:album name_of "Anthology 2""#,
+                r#"INSERT alb1:person name_of "X""#,
+                r#"DELETE alb2:album release_year "1996""#,
+                "SAME alb1 alb2",
+                r#"DELETE ghost:album name_of "X""#,
+                "STATS",
+            ],
+        ),
+    );
+}
+
+#[test]
+fn golden_updates_parallel_engine() {
+    // The same update script under the parallel engine: identical answers,
+    // engine/threads surfaced in STATS. Bit-identical transcripts across
+    // engines would be a coincidence (counters differ), so this has its
+    // own golden file.
+    let s = Server::with_engine(
+        parse_graph(GRAPH).unwrap(),
+        KeySet::parse(KEYS).unwrap(),
+        ChaseEngine::Parallel { threads: 2 },
+    );
+    check_golden(
+        "updates_parallel",
+        &transcript(
+            &s,
+            &[
+                "STATS",
+                r#"INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#,
+                "SAME alb1 alb3",
+                r#"DELETE alb2:album release_year "1996""#,
+                "SAME alb1 alb2",
+                "STATS",
+            ],
+        ),
+    );
+}

@@ -104,13 +104,55 @@ proptest! {
     }
 
     /// Church–Rosser (Prop. 1): terminal chase results are order-invariant.
+    /// On failure, the triple list is ddmin-shrunk to a minimal
+    /// counterexample before panicking (see `order_divergence`).
     #[test]
     fn chase_is_church_rosser(raw in raw_triples(), keys in key_subset(), seed in any::<u64>()) {
+        let cks = KeySet::new(keys.clone()).unwrap();
+        if let Some(report) = order_divergence(&raw, &cks, seed) {
+            panic!("{report}");
+        }
+    }
+
+    /// The tentpole oracle: the partitioned multi-threaded chase — at 1, 2
+    /// and 8 worker threads, in both candidate modes — and every other
+    /// engine (reference, EM_MR, EM_VC) compute identical terminal EqRel
+    /// classes on arbitrary graphs and key subsets (Prop. 1 + Theorems
+    /// 6/10 as an executable property).
+    #[test]
+    fn chase_parallel_agrees_with_every_engine(raw in raw_triples(), keys in key_subset()) {
         let g = build_graph(&raw);
         let cks = KeySet::new(keys).unwrap().compile(&g);
-        let a = chase_reference(&g, &cks, ChaseOrder::Deterministic).identified_pairs();
-        let b = chase_reference(&g, &cks, ChaseOrder::Shuffled(seed)).identified_pairs();
-        prop_assert_eq!(a, b);
+        let expected = chase_reference(&g, &cks, ChaseOrder::Deterministic).eq.classes();
+        for threads in [1usize, 2, 8] {
+            for mode in [CandidateMode::Blocked, CandidateMode::TypePairs] {
+                let opts = ParallelOpts { threads, mode, ..Default::default() };
+                let got = chase_parallel(&g, &cks, opts).eq.classes();
+                prop_assert_eq!(&got, &expected, "threads={} mode={:?}", threads, mode);
+            }
+        }
+        prop_assert_eq!(em_mr(&g, &cks, 3, MrVariant::Base).eq.classes(), expected.clone());
+        prop_assert_eq!(em_vc(&g, &cks, 3, VcVariant::Base).eq.classes(), expected);
+    }
+
+    /// The parallel chase is itself order-independent: shuffled candidate
+    /// orders and different shard counts never change the terminal classes.
+    #[test]
+    fn chase_parallel_is_order_independent(
+        raw in raw_triples(),
+        keys in key_subset(),
+        seed in any::<u64>(),
+        threads in 1usize..6,
+    ) {
+        let g = build_graph(&raw);
+        let cks = KeySet::new(keys).unwrap().compile(&g);
+        let base = chase_parallel(&g, &cks, ParallelOpts::default()).eq.classes();
+        let opts = ParallelOpts {
+            threads,
+            order: ChaseOrder::Shuffled(seed),
+            ..Default::default()
+        };
+        prop_assert_eq!(chase_parallel(&g, &cks, opts).eq.classes(), base);
     }
 
     /// Pairing is a *sound* filter (Prop. 9a): any pair certified by a key
@@ -214,6 +256,54 @@ proptest! {
         let again = parse_keys(&text).unwrap();
         prop_assert_eq!(keys, again);
     }
+}
+
+/// Checks order-independence of the reference chase on one input; on
+/// divergence, returns a report carrying a ddmin-minimized counterexample
+/// (fewest triples still diverging, then fewest keys) so the failing seed
+/// is immediately debuggable.
+fn order_divergence(raw: &[RawTriple], keys: &KeySet, seed: u64) -> Option<String> {
+    let diverges = |raw: &[RawTriple], keys: &[Key]| -> bool {
+        let g = build_graph(raw);
+        let Ok(ks) = KeySet::new(keys.to_vec()) else {
+            return false;
+        };
+        let cks = ks.compile(&g);
+        let a = chase_reference(&g, &cks, ChaseOrder::Deterministic).identified_pairs();
+        let b = chase_reference(&g, &cks, ChaseOrder::Shuffled(seed)).identified_pairs();
+        a != b
+    };
+    if !diverges(raw, keys.keys()) {
+        return None;
+    }
+    // Shrink triples first (the larger axis), then the key set.
+    let min_raw = proptest::shrink::minimize_vec(raw, |r| diverges(r, keys.keys()));
+    let min_keys = proptest::shrink::minimize_vec(keys.keys(), |k| diverges(&min_raw, k));
+    let g = build_graph(&min_raw);
+    Some(format!(
+        "chase order-dependence! seed={seed}\n\
+         minimal graph ({} of {} triples):\n{}\n\
+         minimal keys ({} of {}):\n{}",
+        min_raw.len(),
+        raw.len(),
+        gk_graph::write_graph(&g),
+        min_keys.len(),
+        keys.cardinality(),
+        write_keys(&min_keys),
+    ))
+}
+
+/// The ddmin shrinker reaches a 1-minimal counterexample — exercised
+/// directly since (by Prop. 1) the chase never hands it a real divergence.
+#[test]
+fn shrinker_produces_minimal_counterexamples() {
+    let input: Vec<u32> = (0..50).collect();
+    let min = proptest::shrink::minimize_vec(&input, |v| v.contains(&3) && v.contains(&41));
+    assert_eq!(min, vec![3, 41]);
+    let single = proptest::shrink::minimize_vec(&input, |v| v.iter().sum::<u32>() >= 49);
+    assert_eq!(single, vec![49]);
+    let all = proptest::shrink::minimize_vec(&[7u32], |v| !v.is_empty());
+    assert_eq!(all, vec![7]);
 }
 
 // ---------------------------------------------------------------------------

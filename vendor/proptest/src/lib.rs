@@ -168,6 +168,50 @@ pub mod collection {
     }
 }
 
+/// Greedy counterexample minimization (a ddmin-style reduction).
+///
+/// The `proptest!` harness itself does not shrink (see module docs), but a
+/// property that finds a failing input can call [`shrink::minimize_vec`]
+/// to report a *minimal* counterexample: elements are removed in halving
+/// chunk sizes while `fails` keeps returning `true`, until no single
+/// element can be removed.
+pub mod shrink {
+    /// Returns a minimal (1-minimal: no single element removable) subset of
+    /// `input` on which `fails` still returns `true`. `fails(&input)` must
+    /// hold on entry; the predicate is re-run on every candidate subset, so
+    /// it should be deterministic.
+    pub fn minimize_vec<T: Clone>(input: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+        assert!(fails(input), "minimize_vec needs a failing input");
+        let mut cur: Vec<T> = input.to_vec();
+        let mut chunk = cur.len().div_ceil(2).max(1);
+        loop {
+            let mut reduced = false;
+            let mut start = 0;
+            while start < cur.len() {
+                let end = (start + chunk).min(cur.len());
+                let mut candidate = Vec::with_capacity(cur.len() - (end - start));
+                candidate.extend_from_slice(&cur[..start]);
+                candidate.extend_from_slice(&cur[end..]);
+                if !candidate.is_empty() && fails(&candidate) {
+                    cur = candidate;
+                    reduced = true;
+                    // Re-test from the same offset: the next chunk slid in.
+                } else if candidate.is_empty() && fails(&candidate) {
+                    return Vec::new();
+                } else {
+                    start = end;
+                }
+            }
+            if chunk == 1 && !reduced {
+                return cur;
+            }
+            if !reduced {
+                chunk = (chunk / 2).max(1);
+            }
+        }
+    }
+}
+
 /// The deterministic RNG behind every property run.
 pub mod test_runner {
     /// xoshiro256++ seeded from a string (typically the test's path) via
