@@ -1,0 +1,77 @@
+//! Criterion bench for the restart paths of the durable resident server,
+//! on the 10k-entity Google-flavoured workload:
+//!
+//! * **cold_reload_chase** — what a restart cost before `gk-store`: load
+//!   the graph and re-run the full startup chase;
+//! * **snapshot_replay** — the durable path: load the newest snapshot and
+//!   replay the WAL suffix through the incremental chase.
+//!
+//! Every recovery iteration asserts that the recovered equivalence
+//! classes equal the cold rebuild's: a fast restart that answered
+//! differently would fail loudly, not silently.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gk_core::ChaseEngine;
+use gk_datagen::{generate, GenConfig};
+use gk_graph::{parse_triple_specs, Graph, GraphBuilder};
+use gk_server::EmIndex;
+use gk_store::Durability;
+
+fn reclone(g: &Graph) -> Graph {
+    GraphBuilder::from_graph(g).freeze()
+}
+
+fn bench_startup_recovery(cr: &mut Criterion) {
+    // ~10k entities: the scale the PR's acceptance criterion names.
+    let w = generate(
+        &GenConfig::google()
+            .with_scale(0.46)
+            .with_chain(2)
+            .with_radius(2),
+    );
+    let engine = ChaseEngine::default();
+    let dir = std::env::temp_dir().join(format!("gk-crit-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dur = Durability::in_dir(&dir);
+
+    // Prepare the data directory once: bootstrap (chase + snapshot), then
+    // a stream of post-snapshot inserts that recovery must replay.
+    let (index, _) =
+        EmIndex::open_durable(reclone(&w.graph), w.keys.clone(), engine, &dur).unwrap();
+    for i in 0..32 {
+        let batch = format!("ing{i}a:ingest logged \"v{i}\"\ning{i}b:ingest logged \"v{i}\"");
+        index.insert(&parse_triple_specs(&batch).unwrap()).unwrap();
+    }
+    let final_graph = reclone(&index.snapshot().graph);
+    let expected = index.snapshot().eq.classes();
+    drop(index);
+
+    let mut group = cr.benchmark_group("startup_recovery_google_10k");
+    group.sample_size(10);
+    group.bench_with_input(
+        criterion::BenchmarkId::new("cold_reload_chase", "restart"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let idx = EmIndex::with_engine(reclone(&final_graph), w.keys.clone(), engine);
+                assert_eq!(idx.snapshot().eq.classes(), expected);
+            })
+        },
+    );
+    group.bench_with_input(
+        criterion::BenchmarkId::new("snapshot_replay", "restart"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let (idx, report) = EmIndex::recover_durable(&dur, engine).unwrap().unwrap();
+                assert!(report.recovered);
+                assert_eq!(idx.snapshot().eq.classes(), expected);
+            })
+        },
+    );
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_startup_recovery);
+criterion_main!(benches);

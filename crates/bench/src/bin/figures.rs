@@ -4,23 +4,39 @@
 //! cargo run -p gk-bench --release --bin figures -- all
 //! cargo run -p gk-bench --release --bin figures -- fig8a fig8c table2
 //! cargo run -p gk-bench --release --bin figures -- --quick all
+//! cargo run -p gk-bench --release --bin figures -- --quick --json BENCH_pr3.json all
 //! ```
 //!
 //! Output is a series table per experiment (rows = algorithms, columns =
 //! the swept parameter), with a correctness flag: every run is validated
-//! against the generator's planted ground truth.
+//! against the generator's planted ground truth. `--json PATH`
+//! additionally writes every measurement plus per-experiment wall-times
+//! as machine-readable JSON, so the perf trajectory is diffable across
+//! PRs (`BENCH_pr<N>.json` at the repo root is the committed artifact).
 
 use gk_bench::{run_experiment, Measurement, ALL_EXPERIMENTS};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let mut ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--json" {
+            match it.next() {
+                Some(p) if !p.starts_with("--") => json_path = Some(p.clone()),
+                _ => {
+                    eprintln!("error: --json needs an output path");
+                    std::process::exit(2);
+                }
+            }
+        } else if !a.starts_with("--") {
+            ids.push(a);
+        }
+    }
     if ids.is_empty() || ids.contains(&"all") {
         ids = ALL_EXPERIMENTS.to_vec();
     }
@@ -30,12 +46,96 @@ fn main() {
         if quick { "quick" } else { "full" }
     );
     println!();
+    let mut results: Vec<(String, f64, Vec<Measurement>)> = Vec::new();
     for id in ids {
         let t = std::time::Instant::now();
         let ms = run_experiment(id, quick);
+        let wall = t.elapsed().as_secs_f64();
         print_experiment(id, &ms);
-        eprintln!("[{id} finished in {:.1}s]", t.elapsed().as_secs_f64());
+        eprintln!("[{id} finished in {wall:.1}s]");
+        results.push((id.to_string(), wall, ms));
     }
+    if let Some(path) = json_path {
+        let json = render_json(quick, &results);
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[wrote {path}]");
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Hand-rolled JSON writer (no registry serializers in this build env):
+/// per-experiment wall-times plus every measurement.
+fn render_json(quick: bool, results: &[(String, f64, Vec<Measurement>)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"suite\": \"keys-for-graphs\",");
+    let _ = writeln!(
+        out,
+        "  \"mode\": {},",
+        json_str(if quick { "quick" } else { "full" })
+    );
+    out.push_str("  \"experiments\": [\n");
+    for (i, (id, wall, ms)) in results.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"id\": {},", json_str(id));
+        let _ = writeln!(out, "      \"wall_seconds\": {wall:.6},");
+        out.push_str("      \"measurements\": [\n");
+        for (j, m) in ms.iter().enumerate() {
+            let mut extra = String::from("{");
+            for (k, (name, value)) in m.extra.iter().enumerate() {
+                if k > 0 {
+                    extra.push_str(", ");
+                }
+                let _ = write!(extra, "{}: {}", json_str(name), json_str(value));
+            }
+            extra.push('}');
+            let _ = write!(
+                out,
+                "        {{\"dataset\": {}, \"algo\": {}, \"x\": {}, \"seconds\": {:.6}, \
+                 \"sim_seconds\": {:.6}, \"identified\": {}, \"candidates\": {}, \
+                 \"rounds\": {}, \"traffic\": {}, \"correct\": {}, \"extra\": {}}}",
+                json_str(&m.dataset),
+                json_str(&m.algo),
+                json_str(&m.x),
+                m.seconds,
+                m.sim_seconds,
+                m.identified,
+                m.candidates,
+                m.rounds,
+                m.traffic,
+                m.correct,
+                extra
+            );
+            out.push_str(if j + 1 < ms.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      ]\n");
+        out.push_str(if i + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn paper_note(id: &str) -> &'static str {
@@ -57,6 +157,10 @@ fn paper_note(id: &str) -> &'static str {
         "opt_mr" => "§6 in-text: EM_MR^opt optimization effects",
         "opt_vc" => "§6 in-text: EM_VC^opt (bounded k) vs EM_VC",
         "ablation" => "design ablation: candidate enumeration (type pairs vs value blocking)",
+        "vary_threads" => "beyond the paper: partitioned multi-threaded chase vs reference",
+        "startup_recovery" => {
+            "beyond the paper: durable restart — snapshot+WAL replay vs cold reload+re-chase"
+        }
         _ => "",
     }
 }

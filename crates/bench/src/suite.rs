@@ -154,6 +154,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "opt_vc",
     "ablation",
     "vary_threads",
+    "startup_recovery",
 ];
 
 /// Dataset base config for an experiment family, at benchmark scale.
@@ -289,6 +290,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Measurement> {
         "opt_vc" => opt_vc(quick),
         "ablation" => ablation(quick),
         "vary_threads" => vary_threads(quick),
+        "startup_recovery" => startup_recovery(quick),
         other => panic!("unknown experiment id {other:?}; see ALL_EXPERIMENTS"),
     }
 }
@@ -568,9 +570,138 @@ fn vary_threads(quick: bool) -> Vec<Measurement> {
     out
 }
 
+/// Beyond the paper: restart cost of the durable resident server on the
+/// 10k-entity Google workload — cold reload + full startup chase vs
+/// snapshot load + WAL replay (`gk-store`). The workload bootstraps a
+/// durable index, streams post-snapshot insert batches into the WAL, then
+/// measures both restart paths over the *same* final graph; correctness
+/// requires the recovered equivalence classes (and hence every
+/// `SAME`/`DUPS`/`REP` answer) to be identical to the cold rebuild's.
+/// `quick` reduces repetitions, not the workload: the acceptance speedup
+/// is defined at this scale.
+fn startup_recovery(quick: bool) -> Vec<Measurement> {
+    use gk_core::ChaseEngine;
+    use gk_server::EmIndex;
+    use gk_store::Durability;
+
+    let cfg = dataset_cfg('g', false)
+        .with_scale(0.46)
+        .with_chain(2)
+        .with_radius(2);
+    let w = generate(&cfg);
+    let engine = ChaseEngine::default();
+    let reclone = |g: &Graph| gk_graph::GraphBuilder::from_graph(g).freeze();
+
+    let dir = std::env::temp_dir().join(format!("gk-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dur = Durability::in_dir(&dir);
+
+    // Bootstrap: startup chase + initial snapshot, then stream insert
+    // batches that land in the WAL (the replay work recovery must redo).
+    let (index, _) = EmIndex::open_durable(reclone(&w.graph), w.keys.clone(), engine, &dur)
+        .expect("bootstrap durable index");
+    for i in 0..32 {
+        let batch = format!(
+            "ing{i}a:ingest logged \"v{i}\"\ning{i}b:ingest logged \"v{i}\"\n\
+             ing{i}a:ingest batch \"b{}\"",
+            i % 4
+        );
+        let specs = gk_graph::parse_triple_specs(&batch).unwrap();
+        index.insert(&specs).expect("streamed insert");
+    }
+    let final_graph = reclone(&index.snapshot().graph);
+    drop(index);
+
+    let reps = if quick { 1 } else { 3 };
+    let mut cold_runs = Vec::new();
+    let mut recover_runs = Vec::new();
+    for _ in 0..reps {
+        // Cold restart: reload the final graph and re-run the full chase.
+        let t = Instant::now();
+        let cold = EmIndex::with_engine(reclone(&final_graph), w.keys.clone(), engine);
+        let cold_secs = t.elapsed().as_secs_f64();
+
+        // Durable restart: newest snapshot + WAL suffix through the
+        // incremental chase.
+        let t = Instant::now();
+        let (rec, report) = EmIndex::recover_durable(&dur, engine)
+            .expect("recovery")
+            .expect("state persisted");
+        let rec_secs = t.elapsed().as_secs_f64();
+
+        let cold_snap = cold.snapshot();
+        let rec_snap = rec.snapshot();
+        // Identical classes ⇒ identical SAME/DUPS/REP answers; also spot
+        // check every canonical representative.
+        let correct = rec_snap.eq.classes() == cold_snap.eq.classes()
+            && rec_snap.graph.num_triples() == cold_snap.graph.num_triples()
+            && rec_snap
+                .graph
+                .entities()
+                .all(|e| rec_snap.rep(e) == cold_snap.rep(e));
+
+        let base = |algo: &str, secs: f64| Measurement {
+            experiment: "startup_recovery".into(),
+            dataset: w.name.clone(),
+            algo: algo.into(),
+            x: "-".into(),
+            seconds: secs,
+            sim_seconds: 0.0,
+            identified: rec_snap.eq.num_identified_pairs(),
+            candidates: 0,
+            rounds: 0,
+            traffic: 0,
+            correct,
+            extra: Vec::new(),
+        };
+        cold_runs.push(base("cold_reload+chase", cold_secs));
+        let mut m = base("snapshot+replay", rec_secs);
+        m.extra
+            .push(("wal_replayed".into(), report.wal_replayed.to_string()));
+        m.extra
+            .push(("speedup".into(), format!("{:.2}", cold_secs / rec_secs)));
+        recover_runs.push(m);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    vec![pick_best(cold_runs), pick_best(recover_runs)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn startup_recovery_is_faster_and_correct() {
+        let ms = run_experiment("startup_recovery", true);
+        assert_eq!(ms.len(), 2);
+        assert!(ms.iter().all(|m| m.correct), "{ms:?}");
+        // The strict speedup claim is asserted only in release (the CI
+        // recovery job runs it there): a single debug-mode repetition on
+        // a loaded runner can invert on scheduler noise alone.
+        #[cfg(not(debug_assertions))]
+        {
+            let speedup = |ms: &[Measurement]| {
+                let cold = ms.iter().find(|m| m.algo.starts_with("cold")).unwrap();
+                let rec = ms.iter().find(|m| m.algo.starts_with("snapshot")).unwrap();
+                (cold.seconds, rec.seconds)
+            };
+            // Best of up to 3 attempts guards the one-rep quick mode
+            // against a transient stall.
+            let mut last = speedup(&ms);
+            for _ in 0..2 {
+                if last.1 < last.0 {
+                    break;
+                }
+                last = speedup(&run_experiment("startup_recovery", true));
+            }
+            assert!(
+                last.1 < last.0,
+                "snapshot+replay ({:.3}s) must beat cold reload+chase ({:.3}s)",
+                last.1,
+                last.0
+            );
+        }
+    }
 
     #[test]
     fn vary_threads_agrees_with_truth() {

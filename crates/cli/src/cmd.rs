@@ -7,6 +7,7 @@ use gk_core::{
 };
 use gk_datagen::{generate, GenConfig};
 use gk_graph::{parse_graph, write_graph, Graph, GraphStats};
+use gk_server::{Durability, FsyncMode};
 use std::fmt::Write as _;
 
 /// Usage text shown on argument errors.
@@ -23,6 +24,11 @@ pub const USAGE: &str = "usage:
                      [--chain C] [--radius D] [--seed S] --out DIR
   graphkeys serve    <graph.triples> <keys.gk> [--port P] [--threads N]
                      [--engine reference|incremental|parallel]
+                     [--data-dir DIR] [--fsync always|batch|never]
+  graphkeys snapshot <addr>                    ask a running server to persist a snapshot
+  graphkeys recover  --data-dir DIR [--engine E] [--threads N] [--verify]
+                     rebuild from snapshot + WAL; --verify cross-checks
+                     against a from-scratch chase
   graphkeys query    <addr> <verb> [args...]   (e.g. query 127.0.0.1:7878 SAME a b)";
 
 /// Entry point used by `main` (and by the unit tests).
@@ -48,6 +54,8 @@ pub fn run_to(args: &[String], out: &mut String) -> Result<(), String> {
         "discover" => cmd_discover(rest, out),
         "gen" => cmd_gen(rest, out),
         "serve" => cmd_serve(rest, out),
+        "snapshot" => cmd_snapshot(rest, out),
+        "recover" => cmd_recover(rest, out),
         "query" => cmd_query(rest, out),
         other => Err(format!("unknown command {other:?}")),
     }
@@ -60,23 +68,38 @@ pub fn run_to(args: &[String], out: &mut String) -> Result<(), String> {
 struct Flags {
     positional: Vec<String>,
     options: Vec<(String, String)>,
+    switches: Vec<String>,
 }
 
 impl Flags {
     fn parse(args: &[String], known: &[&str]) -> Result<Flags, String> {
+        Self::parse_with_switches(args, known, &[])
+    }
+
+    /// Like [`Flags::parse`], but names in `bools` are valueless switches
+    /// (`--verify`) rather than `--flag value` pairs.
+    fn parse_with_switches(
+        args: &[String],
+        known: &[&str],
+        bools: &[&str],
+    ) -> Result<Flags, String> {
         let mut positional = Vec::new();
         let mut options = Vec::new();
+        let mut switches = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--").or_else(|| a.strip_prefix('-')) {
-                if !known.contains(&name) {
+                if bools.contains(&name) {
+                    switches.push(name.to_string());
+                } else if known.contains(&name) {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("flag {a:?} needs a value"))?
+                        .clone();
+                    options.push((name.to_string(), value));
+                } else {
                     return Err(format!("unknown flag {a:?}"));
                 }
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag {a:?} needs a value"))?
-                    .clone();
-                options.push((name.to_string(), value));
             } else {
                 positional.push(a.clone());
             }
@@ -84,6 +107,7 @@ impl Flags {
         Ok(Flags {
             positional,
             options,
+            switches,
         })
     }
 
@@ -93,6 +117,10 @@ impl Flags {
             .rev()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
     }
 
     fn get_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
@@ -434,7 +462,7 @@ pub fn is_runtime_error(msg: &str) -> bool {
 }
 
 fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
-    let f = Flags::parse(args, &["port", "threads", "engine"])?;
+    let f = Flags::parse(args, &["port", "threads", "engine", "data-dir", "fsync"])?;
     let [gpath, kpath] = f.positional.as_slice() else {
         return Err("serve takes a graph file and a key file".into());
     };
@@ -445,7 +473,22 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
     // One --threads knob: it sizes both the TCP worker pool and, under
     // `--engine parallel`, the partitioned chase.
     let engine = ChaseEngine::parse(f.get("engine").unwrap_or("incremental"), threads)?;
-    let server = std::sync::Arc::new(gk_server::Server::with_engine(g, ks, engine));
+    let server = match f.get("data-dir") {
+        None => {
+            if f.get("fsync").is_some() {
+                return Err("--fsync needs --data-dir".into());
+            }
+            gk_server::Server::with_engine(g, ks, engine)
+        }
+        Some(dir) => {
+            let fsync = FsyncMode::parse(f.get("fsync").unwrap_or("batch"))?;
+            let dur = Durability::in_dir(dir).with_fsync(fsync);
+            let (server, report) = gk_server::Server::with_durability(g, ks, engine, &dur)?;
+            let _ = writeln!(out, "{}", recovery_line(&report, dir));
+            server
+        }
+    };
+    let server = std::sync::Arc::new(server);
     let handle = gk_server::serve(server, &format!("127.0.0.1:{port}"), threads)
         .map_err(|e| format!("cannot bind port {port}: {e}"))?;
     // `run_to` buffers output until return, but serve never returns — print
@@ -462,6 +505,99 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
     loop {
         std::thread::park();
     }
+}
+
+/// One line describing how a durable startup obtained its state.
+fn recovery_line(r: &gk_server::RecoveryReport, dir: &str) -> String {
+    if r.recovered {
+        let torn = if r.wal_torn {
+            ", torn tail discarded"
+        } else {
+            ""
+        };
+        let skipped = if r.skipped_snapshots > 0 {
+            format!(", {} corrupt snapshot(s) skipped", r.skipped_snapshots)
+        } else {
+            String::new()
+        };
+        format!(
+            "recovered from {dir}: snapshot_seq={} + {} WAL record(s) replayed ({}{torn}{skipped})",
+            r.snapshot_seq.unwrap_or(0),
+            r.wal_replayed,
+            r.replay_mode,
+        )
+    } else {
+        format!("bootstrapped {dir}: startup chase + initial snapshot written")
+    }
+}
+
+fn cmd_snapshot(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let [addr] = f.positional.as_slice() else {
+        return Err("snapshot takes a server address".into());
+    };
+    let resp =
+        gk_server::request(addr, "SNAPSHOT").map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let _ = writeln!(out, "{resp}");
+    if resp.starts_with("ERR") {
+        return Err(format!("server answered: {resp}"));
+    }
+    Ok(())
+}
+
+fn cmd_recover(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse_with_switches(
+        args,
+        &["data-dir", "engine", "threads", "fsync"],
+        &["verify"],
+    )?;
+    if !f.positional.is_empty() {
+        return Err("recover takes flags only (graph and keys come from the snapshot)".into());
+    }
+    let dir = f
+        .get("data-dir")
+        .ok_or_else(|| "recover requires --data-dir DIR".to_string())?;
+    let threads = f.get_parse("threads", 0usize)?;
+    let engine = ChaseEngine::parse(f.get("engine").unwrap_or("incremental"), threads)?;
+    let fsync = FsyncMode::parse(f.get("fsync").unwrap_or("batch"))?;
+    let dur = Durability::in_dir(dir).with_fsync(fsync);
+    let t0 = std::time::Instant::now();
+    let Some((index, report)) = gk_server::EmIndex::recover_durable(&dur, engine)? else {
+        return Err(format!("no persisted state in {dir:?}"));
+    };
+    let elapsed = t0.elapsed();
+    let _ = writeln!(out, "{}", recovery_line(&report, dir));
+    let snap = index.snapshot();
+    let _ = writeln!(
+        out,
+        "state: version={} entities={} triples={} clusters={} identified_pairs={} keys={} in {elapsed:?}",
+        snap.version,
+        snap.graph.num_entities(),
+        snap.graph.num_triples(),
+        snap.num_clusters(),
+        snap.eq.num_identified_pairs(),
+        index.keys().cardinality(),
+    );
+    if f.has("verify") {
+        // Cross-check: a from-scratch chase of the recovered graph must
+        // produce exactly the recovered equivalence classes.
+        let fresh = chase_reference(&snap.graph, &snap.compiled, ChaseOrder::Deterministic);
+        if fresh.eq.classes() != snap.eq.classes() {
+            return Err(format!(
+                "VERIFY FAILED: recovered Eq has {} cluster(s) but a from-scratch \
+                 chase of the recovered graph finds {} — the data dir is inconsistent",
+                snap.num_clusters(),
+                fresh.eq.classes().len()
+            ));
+        }
+        let _ = writeln!(
+            out,
+            "VERIFIED: recovered Eq equals a from-scratch chase ({} clusters, {} pairs)",
+            snap.num_clusters(),
+            fresh.eq.num_identified_pairs()
+        );
+    }
+    Ok(())
 }
 
 fn cmd_query(args: &[String], out: &mut String) -> Result<(), String> {
@@ -736,5 +872,86 @@ mod tests {
         assert!(run_to(&args(&["query", "127.0.0.1:1"]), &mut out).is_err());
         // Unreachable address is an error, not a hang.
         assert!(run_to(&args(&["query", "127.0.0.1:1", "PING"]), &mut out).is_err());
+        // --fsync without --data-dir is a configuration mistake.
+        let d = tmpdir("serve-fsync");
+        write(&format!("{d}/g.triples"), G);
+        write(&format!("{d}/k.gk"), K);
+        assert!(run_to(
+            &args(&[
+                "serve",
+                &format!("{d}/g.triples"),
+                &format!("{d}/k.gk"),
+                "--fsync",
+                "always"
+            ]),
+            &mut out
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn snapshot_command_drives_a_durable_server() {
+        use gk_core::ChaseEngine;
+        let d = tmpdir("snapshot-cmd");
+        let dur = Durability::in_dir(format!("{d}/data"));
+        let g = gk_graph::parse_graph(G).unwrap();
+        let ks = gk_core::KeySet::parse(K).unwrap();
+        let (server, _) =
+            gk_server::Server::with_durability(g, ks, ChaseEngine::default(), &dur).unwrap();
+        let handle = gk_server::serve(std::sync::Arc::new(server), "127.0.0.1:0", 2).unwrap();
+        let addr = handle.addr().to_string();
+
+        let mut out = String::new();
+        run_to(&args(&["snapshot", &addr]), &mut out).unwrap();
+        assert!(out.starts_with("OK snapshot_seq="), "{out}");
+        handle.stop();
+
+        // Arg errors.
+        let mut out2 = String::new();
+        assert!(run_to(&args(&["snapshot"]), &mut out2).is_err());
+    }
+
+    #[test]
+    fn recover_command_verifies_a_data_dir() {
+        use gk_core::ChaseEngine;
+        let d = tmpdir("recover-cmd");
+        let data = format!("{d}/data");
+        let dur = Durability::in_dir(&data);
+        let g = gk_graph::parse_graph(
+            r#"
+            alb1:album name_of "Anthology 2"
+            alb1:album release_year "1996"
+            alb2:album name_of "Anthology 2"
+            alb2:album release_year "1996"
+            "#,
+        )
+        .unwrap();
+        let ks = gk_core::KeySet::parse(K).unwrap();
+        let (server, _) =
+            gk_server::Server::with_durability(g, ks, ChaseEngine::default(), &dur).unwrap();
+        let r = server
+            .handle(r#"INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#);
+        assert!(r.starts_with("OK"), "{r}");
+        drop(server);
+
+        let mut out = String::new();
+        run_to(
+            &args(&["recover", "--data-dir", &data, "--verify"]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(out.contains("recovered from"), "{out}");
+        assert!(out.contains("version=1"), "{out}");
+        assert!(out.contains("VERIFIED"), "{out}");
+
+        // An empty directory has nothing to recover.
+        let mut out2 = String::new();
+        assert!(run_to(
+            &args(&["recover", "--data-dir", &format!("{d}/empty")]),
+            &mut out2
+        )
+        .is_err());
+        // Missing --data-dir is an argument error.
+        assert!(run_to(&args(&["recover"]), &mut out2).is_err());
     }
 }

@@ -12,6 +12,9 @@
 //!                    [--chain C] [--radius D] [--seed S] --out DIR
 //! graphkeys serve    <graph.triples> <keys.gk> [--port P] [--threads N]
 //!                    [--engine reference|incremental|parallel]
+//!                    [--data-dir DIR] [--fsync always|batch|never]
+//! graphkeys snapshot <addr>
+//! graphkeys recover  --data-dir DIR [--engine E] [--threads N] [--verify]
 //! graphkeys query    <addr> <verb> [args...]
 //! ```
 //!

@@ -7,17 +7,35 @@
 //! `Arc`, and queries clone the `Arc` out of a `parking_lot::RwLock` whose
 //! critical section is that clone. Updates build the *next* state off to
 //! the side (insert-only batches advance via [`chase_incremental`]; a
-//! deletion falls back to a full re-chase, since deletions are not
-//! monotone) and swap it in under the write lock. A query therefore always
-//! sees either the complete pre-update or the complete post-update `Eq` —
-//! never a torn intermediate.
+//! deletion batch falls back to **one** full re-chase, since deletions are
+//! not monotone) and swap it in under the write lock. A query therefore
+//! always sees either the complete pre-update or the complete post-update
+//! `Eq` — never a torn intermediate.
+//!
+//! ## Durability
+//!
+//! With a [`Durability`] config the index writes through a
+//! [`gk_store::Store`]: every accepted update batch is appended to the
+//! write-ahead log **before** the new snapshot is swapped in, so an
+//! acknowledged update survives a process crash (machine-crash durability
+//! is governed by the configured [`gk_store::FsyncMode`]: `always` loses
+//! nothing, the default `batch` bounds the loss to one sync window).
+//! [`EmIndex::open_durable`]
+//! recovers by loading the newest valid on-disk snapshot and replaying the
+//! WAL suffix through the incremental chase (or one full chase when the
+//! suffix deletes triples), turning restart cost from `O(chase)` into
+//! `O(load + replay)`.
 
 use gk_core::{
-    chase_incremental, prove, verify, ChaseEngine, ChaseOrder, CompiledKeySet, EqRel, KeySet, Proof,
+    chase_incremental, prove, verify, write_keys, ChaseEngine, ChaseOrder, ChaseStep,
+    CompiledKeySet, EqRel, KeySet, Proof,
 };
-use gk_graph::{EntityId, Graph, GraphBuilder, Obj, ObjSpec, TripleSpec};
+use gk_graph::{EntityId, Graph, GraphBuilder, Obj, ObjSpec, Triple, TripleSpec};
+use gk_store::{
+    CompactReport, Durability, FsyncMode, Recovered, SnapshotData, Store, WalKind, WalRecord,
+};
 use parking_lot::{Mutex, RwLock};
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -62,6 +80,102 @@ pub struct AdvanceReport {
     pub iso_checks: u64,
 }
 
+/// How a durable startup obtained its serving state.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// True when state came from disk; false when the data directory was
+    /// fresh and the index bootstrapped with a full startup chase.
+    pub recovered: bool,
+    /// Version of the snapshot used (present whenever `recovered`).
+    pub snapshot_seq: Option<u64>,
+    /// WAL records replayed on top of the snapshot.
+    pub wal_replayed: usize,
+    /// How the replayed suffix advanced the snapshot state.
+    pub replay_mode: AdvanceMode,
+    /// Whether a torn or corrupt WAL tail was discarded.
+    pub wal_torn: bool,
+    /// Snapshot files skipped because they failed validation.
+    pub skipped_snapshots: usize,
+}
+
+/// The accumulated chase-step log, stored as a persistent (structurally
+/// shared) list of segments: every advance appends one segment, and a new
+/// [`IndexState`] shares the whole prefix through `Arc`s — so the
+/// `O(delta)` incremental insert path never copies the `O(history)` log.
+/// Materializing the flat list ([`StepLog::to_vec`]) happens only when a
+/// snapshot is cut.
+#[derive(Clone, Default)]
+pub struct StepLog {
+    head: Option<Arc<StepSeg>>,
+    len: usize,
+}
+
+struct StepSeg {
+    steps: Vec<ChaseStep>,
+    prev: Option<Arc<StepSeg>>,
+}
+
+impl StepLog {
+    /// A log holding `steps` as its single segment.
+    fn from_steps(steps: Vec<ChaseStep>) -> Self {
+        StepLog::default().appended(steps)
+    }
+
+    /// This log plus one more segment; the prefix is shared, not copied.
+    fn appended(&self, steps: Vec<ChaseStep>) -> Self {
+        if steps.is_empty() {
+            return self.clone();
+        }
+        StepLog {
+            len: self.len + steps.len(),
+            head: Some(Arc::new(StepSeg {
+                steps,
+                prev: self.head.clone(),
+            })),
+        }
+    }
+
+    /// Total steps across all segments.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no step has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Materializes the log in application order.
+    pub fn to_vec(&self) -> Vec<ChaseStep> {
+        let mut segs = Vec::new();
+        let mut cur = self.head.as_deref();
+        while let Some(seg) = cur {
+            segs.push(&seg.steps);
+            cur = seg.prev.as_deref();
+        }
+        let mut out = Vec::with_capacity(self.len);
+        for seg in segs.into_iter().rev() {
+            out.extend_from_slice(seg);
+        }
+        out
+    }
+}
+
+impl Drop for StepSeg {
+    fn drop(&mut self) {
+        // Unlink iteratively: a long singly-linked chain dropped
+        // recursively would overflow the stack once the index has seen
+        // enough advances.
+        let mut cur = self.prev.take();
+        while let Some(arc) = cur {
+            match Arc::try_unwrap(arc) {
+                Ok(mut seg) => cur = seg.prev.take(),
+                Err(_) => break, // still shared by a live snapshot
+            }
+        }
+    }
+}
+
 /// One immutable, fully indexed version of the resolution state.
 pub struct IndexState {
     /// The graph this version was chased on.
@@ -72,6 +186,10 @@ pub struct IndexState {
     pub eq: EqRel,
     /// Monotonically increasing version, bumped by every applied update.
     pub version: u64,
+    /// Accumulated chase steps: every merge in [`IndexState::eq`] with the
+    /// key that certified it. This is the generating log a snapshot
+    /// persists — replaying it reproduces the closure.
+    steps: StepLog,
     /// Canonical representative (smallest member id) per entity.
     reps: Vec<EntityId>,
     /// Non-trivial clusters, keyed by canonical representative.
@@ -79,7 +197,13 @@ pub struct IndexState {
 }
 
 impl IndexState {
-    fn build(graph: Graph, compiled: CompiledKeySet, eq: EqRel, version: u64) -> Self {
+    fn build(
+        graph: Graph,
+        compiled: CompiledKeySet,
+        eq: EqRel,
+        steps: StepLog,
+        version: u64,
+    ) -> Self {
         let mut reps: Vec<EntityId> = graph.entities().collect();
         let mut dups = FxHashMap::default();
         for class in eq.classes() {
@@ -94,6 +218,7 @@ impl IndexState {
             compiled,
             eq,
             version,
+            steps,
             reps,
             dups,
         }
@@ -120,6 +245,11 @@ impl IndexState {
         self.dups.len()
     }
 
+    /// The accumulated chase-step log (merge log with key attribution).
+    pub fn steps(&self) -> &StepLog {
+        &self.steps
+    }
+
     /// A verified proof that the chase identifies `(a, b)`, or `None`.
     pub fn explain(&self, a: EntityId, b: EntityId) -> Option<Proof> {
         let proof = prove(&self.graph, &self.compiled, a, b)?;
@@ -139,11 +269,11 @@ pub struct IndexStats {
     pub noops: AtomicU64,
     /// Chase rounds across all applied updates (delta and full).
     pub update_rounds: AtomicU64,
-    /// Rounds of the startup chase.
+    /// Rounds of the startup chase (or of the recovery replay).
     pub startup_rounds: AtomicU64,
-    /// Isomorphism checks of the startup chase.
+    /// Isomorphism checks of the startup chase (or recovery replay).
     pub startup_iso_checks: AtomicU64,
-    /// Startup chase wall-clock, microseconds.
+    /// Startup wall-clock (chase or snapshot-load + replay), microseconds.
     pub startup_micros: AtomicU64,
 }
 
@@ -155,6 +285,8 @@ pub struct EmIndex {
     state: RwLock<Arc<IndexState>>,
     /// Serializes writers so compute can happen outside the state lock.
     ingest: Mutex<()>,
+    /// The durable write-through store; `None` runs purely in memory.
+    store: Option<Store>,
     /// Cumulative update counters.
     pub stats: IndexStats,
 }
@@ -172,26 +304,130 @@ impl EmIndex {
     /// runs all full chases — startup and the deletion fallback — on worker
     /// threads via [`gk_core::chase_parallel`].
     pub fn with_engine(graph: Graph, keys: KeySet, engine: ChaseEngine) -> Self {
-        let t0 = Instant::now();
-        let compiled = keys.compile(&graph);
-        let r = engine.full_chase(&graph, &compiled, ChaseOrder::Deterministic);
         let stats = IndexStats::default();
-        stats
-            .startup_rounds
-            .store(r.rounds as u64, Ordering::Relaxed);
-        stats
-            .startup_iso_checks
-            .store(r.iso_checks, Ordering::Relaxed);
-        stats
-            .startup_micros
-            .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        let state = startup_chase(graph, &keys, engine, &stats);
         EmIndex {
             keys,
             engine,
-            state: RwLock::new(Arc::new(IndexState::build(graph, compiled, r.eq, 0))),
+            state: RwLock::new(Arc::new(state)),
             ingest: Mutex::new(()),
+            store: None,
             stats,
         }
+    }
+
+    /// Opens the index **durably**: accepted updates are logged to
+    /// `dur.dir` before they are applied, and `SNAPSHOT`/`COMPACT` cut
+    /// point-in-time snapshot files.
+    ///
+    /// * Fresh directory — runs the startup chase on `graph` and writes
+    ///   the initial snapshot, so the *next* start skips the chase.
+    /// * Directory with state — ignores `graph`, loads the newest valid
+    ///   snapshot and replays the WAL suffix (see
+    ///   [`EmIndex::recover_durable`]). `keys` must equal the persisted
+    ///   key set; pass different keys only after clearing the directory.
+    pub fn open_durable(
+        graph: Graph,
+        keys: KeySet,
+        engine: ChaseEngine,
+        dur: &Durability,
+    ) -> Result<(Self, RecoveryReport), String> {
+        let store = open_store(dur)?;
+        match store.recover().map_err(|e| e.to_string())? {
+            Some(rec) => {
+                let persisted = KeySet::parse(&rec.snapshot.keys_dsl)
+                    .map_err(|e| format!("persisted key set does not parse: {e}"))?;
+                if write_keys(persisted.keys()) != write_keys(keys.keys()) {
+                    return Err(format!(
+                        "key set differs from the one persisted in {:?}; \
+                         recover with the original keys or clear the data dir",
+                        dur.dir
+                    ));
+                }
+                Self::from_recovered(store, rec, keys, engine)
+            }
+            None => {
+                let stats = IndexStats::default();
+                let state = startup_chase(graph, &keys, engine, &stats);
+                let index = EmIndex {
+                    keys,
+                    engine,
+                    state: RwLock::new(Arc::new(state)),
+                    ingest: Mutex::new(()),
+                    store: Some(store),
+                    stats,
+                };
+                // Initial snapshot: the next start is load + replay.
+                index.snapshot_to_disk()?;
+                Ok((
+                    index,
+                    RecoveryReport {
+                        recovered: false,
+                        snapshot_seq: Some(0),
+                        wal_replayed: 0,
+                        replay_mode: AdvanceMode::NoOp,
+                        wal_torn: false,
+                        skipped_snapshots: 0,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Recovers an index purely from a data directory — graph *and* keys
+    /// come from the persisted snapshot. Returns `Ok(None)` when the
+    /// directory holds no state.
+    pub fn recover_durable(
+        dur: &Durability,
+        engine: ChaseEngine,
+    ) -> Result<Option<(Self, RecoveryReport)>, String> {
+        let store = open_store(dur)?;
+        match store.recover().map_err(|e| e.to_string())? {
+            None => Ok(None),
+            Some(rec) => {
+                let keys = KeySet::parse(&rec.snapshot.keys_dsl)
+                    .map_err(|e| format!("persisted key set does not parse: {e}"))?;
+                Self::from_recovered(store, rec, keys, engine).map(Some)
+            }
+        }
+    }
+
+    /// Builds the serving state from a loaded snapshot + WAL suffix.
+    fn from_recovered(
+        store: Store,
+        rec: Recovered,
+        keys: KeySet,
+        engine: ChaseEngine,
+    ) -> Result<(Self, RecoveryReport), String> {
+        let t0 = Instant::now();
+        let snapshot_seq = rec.snapshot.seq;
+        let wal_replayed = rec.wal.len();
+        let wal_torn = rec.wal_torn;
+        let skipped_snapshots = rec.skipped_snapshots;
+        let stats = IndexStats::default();
+        let (state, replay_mode) = replay(rec, &keys, engine, &stats)?;
+        stats
+            .startup_micros
+            .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        let index = EmIndex {
+            keys,
+            engine,
+            state: RwLock::new(Arc::new(state)),
+            ingest: Mutex::new(()),
+            store: Some(store),
+            stats,
+        };
+        Ok((
+            index,
+            RecoveryReport {
+                recovered: true,
+                snapshot_seq: Some(snapshot_seq),
+                wal_replayed,
+                replay_mode,
+                wal_torn,
+                skipped_snapshots,
+            },
+        ))
     }
 
     /// The key set Σ the index serves.
@@ -204,10 +440,70 @@ impl EmIndex {
         self.engine
     }
 
+    /// The fsync mode of the durable store, or `None` in-memory.
+    pub fn durability(&self) -> Option<FsyncMode> {
+        self.store.as_ref().map(Store::fsync_mode)
+    }
+
+    /// Records currently in the write-ahead log (0 without durability).
+    pub fn wal_records(&self) -> u64 {
+        self.store.as_ref().map_or(0, Store::wal_records)
+    }
+
+    /// Version of the newest on-disk snapshot, if durable and present.
+    pub fn snapshot_seq(&self) -> Option<u64> {
+        self.store.as_ref().and_then(Store::snapshot_seq)
+    }
+
     /// An immutable snapshot of the current state. Queries run entirely on
     /// the snapshot; the lock is held only for the `Arc` clone.
     pub fn snapshot(&self) -> Arc<IndexState> {
         self.state.read().clone()
+    }
+
+    /// Cuts a point-in-time snapshot of the current state to disk.
+    /// Returns `(snapshot_seq, bytes)`.
+    pub fn snapshot_to_disk(&self) -> Result<(u64, u64), String> {
+        self.persist_with("snapshot", |store, data| store.snapshot(data))
+    }
+
+    /// Cuts a snapshot, truncates the WAL and prunes older snapshots.
+    pub fn compact_store(&self) -> Result<CompactReport, String> {
+        Ok(self
+            .persist_with("compaction", |store, data| store.compact(data))?
+            .1)
+    }
+
+    /// Freezes the current state under the ingest lock and hands it to a
+    /// store operation — the one place that decides what a snapshot
+    /// captures, shared by `SNAPSHOT` and `COMPACT`.
+    fn persist_with<T>(
+        &self,
+        what: &str,
+        op: impl FnOnce(&Store, &SnapshotData<'_>) -> std::io::Result<T>,
+    ) -> Result<(u64, T), String> {
+        let store = self.store_or_err()?;
+        let _writer = self.ingest.lock();
+        let snap = self.snapshot();
+        let dsl = write_keys(self.keys.keys());
+        let steps = snap.steps().to_vec();
+        let out = op(
+            store,
+            &SnapshotData {
+                seq: snap.version,
+                keys_dsl: &dsl,
+                graph: &snap.graph,
+                steps: &steps,
+            },
+        )
+        .map_err(|e| format!("{what} failed: {e}"))?;
+        Ok((snap.version, out))
+    }
+
+    fn store_or_err(&self) -> Result<&Store, String> {
+        self.store
+            .as_ref()
+            .ok_or_else(|| "durability is off (start with --data-dir)".to_string())
     }
 
     /// Applies an insert-only batch of triples.
@@ -216,7 +512,8 @@ impl EmIndex {
     /// [`GraphBuilder::from_graph`], so the previous terminal `Eq` seeds a
     /// delta chase ([`chase_incremental`]) woken only around the touched
     /// entities. Returns an error (and changes nothing) if a triple
-    /// re-declares an existing entity with a different type.
+    /// re-declares an existing entity with a different type, or if the
+    /// write-ahead log cannot record the batch.
     pub fn insert(&self, specs: &[TripleSpec]) -> Result<AdvanceReport, String> {
         let _writer = self.ingest.lock();
         let snap = self.snapshot();
@@ -309,11 +606,21 @@ impl EmIndex {
             rounds: result.rounds,
             iso_checks: result.iso_checks,
         };
-        let next = IndexState::build(g2, compiled2, result.eq, snap.version + 1);
+        let steps2 = match mode {
+            // The delta result reports only the new steps; the accumulated
+            // log shares its prefix with the previous state.
+            AdvanceMode::Incremental => snap.steps.appended(result.steps),
+            _ => StepLog::from_steps(result.steps),
+        };
+        // Write-ahead: the accepted batch must be on the log before the
+        // new state becomes visible, or a crash could lose an
+        // acknowledged update.
+        self.log_update(WalKind::Insert, snap.version + 1, specs)?;
+        let next = IndexState::build(g2, compiled2, result.eq, steps2, snap.version + 1);
         *self.state.write() = Arc::new(next);
         self.stats
             .update_rounds
-            .fetch_add(result.rounds as u64, Ordering::Relaxed);
+            .fetch_add(report.rounds as u64, Ordering::Relaxed);
         match mode {
             AdvanceMode::Incremental => &self.stats.incremental_advances,
             _ => &self.stats.full_rechases,
@@ -322,45 +629,35 @@ impl EmIndex {
         Ok(report)
     }
 
-    /// Deletes one triple and recomputes the chase from scratch.
+    /// Deletes a batch of triples and recomputes the chase from scratch —
+    /// **once** for the whole batch.
     ///
     /// Keys are monotone only under *insertions*; a deletion can invalidate
-    /// prior merges, so this is the documented full re-chase fallback.
-    pub fn delete(&self, spec: &TripleSpec) -> Result<AdvanceReport, String> {
+    /// prior merges, so this is the documented full re-chase fallback. A
+    /// batch of consecutive deletions therefore costs one re-chase, not
+    /// one per triple.
+    pub fn delete(&self, specs: &[TripleSpec]) -> Result<AdvanceReport, String> {
         let _writer = self.ingest.lock();
         let snap = self.snapshot();
         let g = &snap.graph;
 
-        // Resolve and validate: the same type contract as insert — a spec
-        // carrying a wrong :Type annotation is a client bug, not a delete.
-        let resolve = |name: &str, ty: &str| -> Result<EntityId, String> {
-            let e = g
-                .entity_named(name)
-                .ok_or_else(|| format!("unknown entity {name:?}"))?;
-            let have = g.type_str(g.entity_type(e));
-            if have != ty {
-                return Err(format!("entity {name:?} has type {have:?}, not {ty:?}"));
+        let mut doomed: FxHashSet<Triple> = FxHashSet::default();
+        let mut endpoints: FxHashSet<EntityId> = FxHashSet::default();
+        for spec in specs {
+            let t = resolve_triple(g, spec)?;
+            endpoints.insert(t.s);
+            if let Obj::Entity(o) = t.o {
+                endpoints.insert(o);
             }
-            Ok(e)
-        };
-        let s = resolve(&spec.subject, &spec.subject_type)?;
-        let p = g
-            .pred(&spec.pred)
-            .ok_or_else(|| format!("unknown predicate {:?}", spec.pred))?;
-        let o = match &spec.object {
-            ObjSpec::Entity { name, ty } => Obj::Entity(resolve(name, ty)?),
-            ObjSpec::Value(v) => {
-                Obj::Value(g.value(v).ok_or_else(|| format!("unknown value {v:?}"))?)
-            }
-        };
-        if !g.has(s, p, o) {
-            return Err("no such triple".into());
+            doomed.insert(t);
+        }
+        if doomed.is_empty() {
+            return Err("DELETE needs at least one triple".into());
         }
 
-        // Rebuild the graph without the triple — entity ids and names are
+        // Rebuild the graph without the triples — entity ids and names are
         // preserved (entities are never garbage-collected by deletion).
-        let g2 =
-            GraphBuilder::from_graph_filtered(g, |t| !(t.s == s && t.p == p && t.o == o)).freeze();
+        let g2 = GraphBuilder::from_graph_filtered(g, |t| !doomed.contains(&t)).freeze();
         let compiled2 = self.keys.compile(&g2);
         let full = self
             .engine
@@ -369,19 +666,230 @@ impl EmIndex {
         let new_total = full.eq.num_identified_pairs();
         let report = AdvanceReport {
             mode: AdvanceMode::FullRechase,
-            triples: 1,
-            touched: 1,
+            triples: specs.len(),
+            touched: endpoints.len(),
             new_entities: 0,
             new_pairs: new_total.saturating_sub(old_pairs),
             rounds: full.rounds,
             iso_checks: full.iso_checks,
         };
-        let next = IndexState::build(g2, compiled2, full.eq, snap.version + 1);
+        self.log_update(WalKind::Delete, snap.version + 1, specs)?;
+        let next = IndexState::build(
+            g2,
+            compiled2,
+            full.eq,
+            StepLog::from_steps(full.steps),
+            snap.version + 1,
+        );
         *self.state.write() = Arc::new(next);
         self.stats
             .update_rounds
-            .fetch_add(full.rounds as u64, Ordering::Relaxed);
+            .fetch_add(report.rounds as u64, Ordering::Relaxed);
         self.stats.full_rechases.fetch_add(1, Ordering::Relaxed);
         Ok(report)
+    }
+
+    /// Appends an accepted batch to the WAL (no-op without durability).
+    fn log_update(&self, kind: WalKind, seq: u64, specs: &[TripleSpec]) -> Result<(), String> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        store
+            .append(&WalRecord {
+                seq,
+                kind,
+                specs: specs.to_vec(),
+            })
+            .map_err(|e| format!("write-ahead log append failed; update not applied: {e}"))
+    }
+}
+
+/// Runs the startup chase and builds version 0 of the serving state.
+fn startup_chase(
+    graph: Graph,
+    keys: &KeySet,
+    engine: ChaseEngine,
+    stats: &IndexStats,
+) -> IndexState {
+    let t0 = Instant::now();
+    let compiled = keys.compile(&graph);
+    let r = engine.full_chase(&graph, &compiled, ChaseOrder::Deterministic);
+    stats
+        .startup_rounds
+        .store(r.rounds as u64, Ordering::Relaxed);
+    stats
+        .startup_iso_checks
+        .store(r.iso_checks, Ordering::Relaxed);
+    stats
+        .startup_micros
+        .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+    IndexState::build(graph, compiled, r.eq, StepLog::from_steps(r.steps), 0)
+}
+
+/// Resolves a delete spec against the graph with the same type contract as
+/// insert — a spec carrying a wrong `:Type` annotation is a client bug.
+fn resolve_triple(g: &Graph, spec: &TripleSpec) -> Result<Triple, String> {
+    let resolve = |name: &str, ty: &str| -> Result<EntityId, String> {
+        let e = g
+            .entity_named(name)
+            .ok_or_else(|| format!("unknown entity {name:?}"))?;
+        let have = g.type_str(g.entity_type(e));
+        if have != ty {
+            return Err(format!("entity {name:?} has type {have:?}, not {ty:?}"));
+        }
+        Ok(e)
+    };
+    let s = resolve(&spec.subject, &spec.subject_type)?;
+    let p = g
+        .pred(&spec.pred)
+        .ok_or_else(|| format!("unknown predicate {:?}", spec.pred))?;
+    let o = match &spec.object {
+        ObjSpec::Entity { name, ty } => Obj::Entity(resolve(name, ty)?),
+        ObjSpec::Value(v) => Obj::Value(g.value(v).ok_or_else(|| format!("unknown value {v:?}"))?),
+    };
+    if !g.has(s, p, o) {
+        return Err("no such triple".into());
+    }
+    Ok(Triple { s, p, o })
+}
+
+/// Replays the recovered WAL suffix on top of the snapshot state.
+///
+/// Graph mutations are applied in record order (insert runs batched into
+/// one builder pass; **consecutive delete records coalesce into a single
+/// filtered rebuild**). The chase then runs once over the final graph:
+/// through [`chase_incremental`] seeded by the persisted `Eq` when the
+/// suffix was insert-only (monotone), or as one full chase under the
+/// configured engine when any record deleted triples.
+fn replay(
+    rec: Recovered,
+    keys: &KeySet,
+    engine: ChaseEngine,
+    stats: &IndexStats,
+) -> Result<(IndexState, AdvanceMode), String> {
+    let snapshot_steps = rec.snapshot.steps;
+    let mut g = rec.snapshot.graph;
+    let mut touched: Vec<EntityId> = Vec::new();
+    let mut had_delete = false;
+    let records = rec.wal;
+    let version = records
+        .last()
+        .map_or(rec.snapshot.seq, |r| r.seq.max(rec.snapshot.seq));
+
+    let mut i = 0;
+    while i < records.len() {
+        match records[i].kind {
+            WalKind::Insert => {
+                let mut b = GraphBuilder::from_graph(&g);
+                while i < records.len() && records[i].kind == WalKind::Insert {
+                    for s in &records[i].specs {
+                        let (subj, obj) = s.apply(&mut b);
+                        touched.push(subj);
+                        touched.extend(obj);
+                    }
+                    i += 1;
+                }
+                g = b.freeze();
+            }
+            WalKind::Delete => {
+                let mut doomed: FxHashSet<Triple> = FxHashSet::default();
+                while i < records.len() && records[i].kind == WalKind::Delete {
+                    for s in &records[i].specs {
+                        doomed.insert(resolve_triple(&g, s).map_err(|e| {
+                            format!("WAL record {} does not replay: {e}", records[i].seq)
+                        })?);
+                    }
+                    i += 1;
+                }
+                g = GraphBuilder::from_graph_filtered(&g, |t| !doomed.contains(&t)).freeze();
+                had_delete = true;
+            }
+        }
+    }
+    touched.sort_unstable();
+    touched.dedup();
+
+    let compiled = keys.compile(&g);
+    // The persisted step log regenerates the snapshot's terminal Eq.
+    let mut base = EqRel::identity(g.num_entities());
+    for s in &snapshot_steps {
+        base.union(s.pair.0, s.pair.1);
+    }
+    let (eq, steps, mode) = if had_delete {
+        // Deletions are not monotone: one full chase over the final graph.
+        let r = engine.full_chase(&g, &compiled, ChaseOrder::Deterministic);
+        stats
+            .startup_rounds
+            .store(r.rounds as u64, Ordering::Relaxed);
+        stats
+            .startup_iso_checks
+            .store(r.iso_checks, Ordering::Relaxed);
+        (r.eq, StepLog::from_steps(r.steps), AdvanceMode::FullRechase)
+    } else if !touched.is_empty() {
+        // Insert-only suffix: monotone, so the persisted Eq seeds a delta
+        // chase woken only around the inserted triples.
+        let r = chase_incremental(&g, &compiled, &base, &touched);
+        stats
+            .startup_rounds
+            .store(r.rounds as u64, Ordering::Relaxed);
+        stats
+            .startup_iso_checks
+            .store(r.iso_checks, Ordering::Relaxed);
+        let log = StepLog::from_steps(snapshot_steps).appended(r.steps);
+        (r.eq, log, AdvanceMode::Incremental)
+    } else {
+        // Nothing to replay: the snapshot is the state.
+        (base, StepLog::from_steps(snapshot_steps), AdvanceMode::NoOp)
+    };
+    Ok((IndexState::build(g, compiled, eq, steps, version), mode))
+}
+
+/// Opens the durable store for a config, mapping errors to protocol text.
+fn open_store(dur: &Durability) -> Result<Store, String> {
+    Store::open(dur).map_err(|e| format!("cannot open data dir {:?}: {e}", dur.dir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(i: u32) -> ChaseStep {
+        ChaseStep {
+            pair: (EntityId(i), EntityId(i + 1)),
+            key: 0,
+        }
+    }
+
+    #[test]
+    fn step_log_shares_prefixes_across_appends() {
+        let base = StepLog::from_steps(vec![step(0), step(1)]);
+        let longer = base.appended(vec![step(2)]);
+        let longest = longer.appended(vec![step(3), step(4)]);
+        // Appending never mutates or copies the prefix.
+        assert_eq!(base.len(), 2);
+        assert_eq!(longer.len(), 3);
+        assert_eq!(longest.len(), 5);
+        assert_eq!(longest.to_vec(), (0..5).map(step).collect::<Vec<_>>());
+        assert_eq!(base.to_vec(), vec![step(0), step(1)]);
+        // Empty segments add nothing (and no chain node).
+        let same = base.appended(Vec::new());
+        assert_eq!(same.len(), base.len());
+    }
+
+    #[test]
+    fn step_log_deep_chain_drops_without_overflow() {
+        // One segment per advance: a long-lived index accumulates a chain
+        // far deeper than the stack; the iterative StepSeg::drop must
+        // unlink it without recursing.
+        let mut log = StepLog::default();
+        for i in 0..200_000u32 {
+            log = log.appended(vec![step(i)]);
+        }
+        assert_eq!(log.len(), 200_000);
+        // A snapshot sharing a prefix keeps the shared tail alive.
+        let early_holder = log.clone();
+        drop(log);
+        assert_eq!(early_holder.len(), 200_000);
+        drop(early_holder); // the whole chain unlinks here
     }
 }

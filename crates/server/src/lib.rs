@@ -21,8 +21,8 @@
 //!
 //! | layer | type | role |
 //! |-------|------|------|
-//! | [`EmIndex`] | `index` | snapshot-swapped `Graph` + `CompiledKeySet` + `EqRel` with rep map and duplicate clusters |
-//! | [`Server`] | `protocol` | the textual verbs (`SAME`, `DUPS`, `EXPLAIN`, `INSERT`, `DELETE`, `STATS`) over an index |
+//! | [`EmIndex`] | `index` | snapshot-swapped `Graph` + `CompiledKeySet` + `EqRel` with rep map and duplicate clusters; optional write-through durability (`gk-store` WAL + snapshots, crash recovery) |
+//! | [`Server`] | `protocol` | the textual verbs (`SAME`, `DUPS`, `EXPLAIN`, `INSERT`, `DELETE`, `SNAPSHOT`, `COMPACT`, `STATS`) over an index |
 //! | [`serve`] | `net` | TCP framing with a fixed worker-thread pool |
 //!
 //! ## In-process use
@@ -59,9 +59,14 @@ mod index;
 mod net;
 mod protocol;
 
-pub use index::{AdvanceMode, AdvanceReport, EmIndex, IndexState, IndexStats};
+pub use index::{
+    AdvanceMode, AdvanceReport, EmIndex, IndexState, IndexStats, RecoveryReport, StepLog,
+};
 pub use net::{request, serve, ServeHandle};
 pub use protocol::{Server, PROTOCOL_HELP};
+// Durability configuration, re-exported so embedders and the CLI need not
+// depend on gk-store directly.
+pub use gk_store::{Durability, FsyncMode};
 
 #[cfg(test)]
 mod tests {
@@ -356,6 +361,216 @@ mod tests {
         // (+2 pairs): the closure grows by 4 pairs.
         assert_eq!(r.new_pairs, 4);
         assert!(r.rounds >= 2, "recursive cascade needs a second round");
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("gk-server-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn delete_batch_coalesces_into_one_rechase() {
+        let s = server();
+        // Two deletions in one batch: both Q2 witnesses of the album pair
+        // vanish, and the server re-chases exactly once.
+        let r = s.handle(
+            r#"DELETE alb2:album release_year "1996" ; DELETE alb2:album name_of "Anthology 2""#,
+        );
+        // (DELETE inside the batch text is not a verb — craft a clean one.)
+        assert!(r.starts_with("ERR"), "{r}");
+        let r =
+            s.handle(r#"DELETE alb2:album release_year "1996" ; alb2:album name_of "Anthology 2""#);
+        assert!(r.starts_with("OK mode=full-rechase"), "{r}");
+        assert!(r.contains("triples=2"), "{r}");
+        assert!(s.handle("SAME alb1 alb2").starts_with("NO"));
+        let stats = s.handle("STATS");
+        assert!(
+            stats.contains("full_rechases=1"),
+            "one re-chase for the whole batch: {stats}"
+        );
+    }
+
+    #[test]
+    fn delete_batch_is_atomic_on_errors() {
+        let s = server();
+        // Second triple unknown: nothing is deleted, no re-chase runs.
+        let r = s.handle(r#"DELETE alb2:album release_year "1996" ; alb2:album name_of "Nope""#);
+        assert!(r.starts_with("ERR"), "{r}");
+        assert!(s.handle("SAME alb1 alb2").starts_with("YES"));
+        let stats = s.handle("STATS");
+        assert!(stats.contains("full_rechases=0"), "{stats}");
+        assert!(stats.contains("version=0"), "{stats}");
+    }
+
+    #[test]
+    fn snapshot_and_compact_require_durability() {
+        let s = server();
+        assert!(s.handle("SNAPSHOT").starts_with("ERR"));
+        assert!(s.handle("COMPACT").starts_with("ERR"));
+        let stats = s.handle("STATS");
+        assert!(stats.contains("durability=off"), "{stats}");
+        assert!(stats.contains("wal_records=0"), "{stats}");
+        assert!(stats.contains("snapshot_seq=none"), "{stats}");
+    }
+
+    #[test]
+    fn accumulated_step_log_regenerates_the_eq() {
+        let s = server();
+        for i in 0..50 {
+            let r = s.handle(&format!(r#"INSERT x{i}:album name_of "unique {i}""#));
+            assert!(r.starts_with("OK"), "{r}");
+        }
+        let snap = s.index().snapshot();
+        let flat = snap.steps().to_vec();
+        assert_eq!(flat.len(), snap.steps().len());
+        assert_eq!(
+            flat.len(),
+            snap.eq.merges().len(),
+            "log holds exactly the Eq's merge history"
+        );
+        let mut eq = gk_core::EqRel::identity(snap.graph.num_entities());
+        for st in &flat {
+            eq.union(st.pair.0, st.pair.1);
+        }
+        assert_eq!(eq.classes(), snap.eq.classes());
+    }
+
+    #[test]
+    fn durable_restart_recovers_identical_answers() {
+        use gk_core::ChaseEngine;
+        use gk_store::Durability;
+        let dur = Durability::in_dir(tmpdir("restart"));
+        let queries = [
+            "SAME alb1 alb2",
+            "SAME alb1 alb3",
+            "DUPS alb1",
+            "REP alb2",
+            "EXPLAIN art1 art2",
+        ];
+
+        let (s1, rep) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        assert!(!rep.recovered, "fresh dir bootstraps");
+        let ins = s1
+            .handle(r#"INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#);
+        assert!(ins.starts_with("OK"), "{ins}");
+        let before: Vec<String> = queries.iter().map(|q| s1.handle(q)).collect();
+        drop(s1);
+
+        // Restart: the WAL suffix replays through the incremental chase on
+        // top of the bootstrap snapshot — no full chase.
+        let (s2, rep) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        assert!(rep.recovered);
+        assert_eq!(rep.snapshot_seq, Some(0));
+        assert_eq!(rep.wal_replayed, 1);
+        assert_eq!(rep.replay_mode, AdvanceMode::Incremental);
+        let after: Vec<String> = queries.iter().map(|q| s2.handle(q)).collect();
+        assert_eq!(before, after, "answers must be byte-identical");
+        let stats = s2.handle("STATS");
+        assert!(stats.contains("version=1"), "{stats}");
+        assert!(stats.contains("wal_records=1"), "{stats}");
+    }
+
+    #[test]
+    fn durable_snapshot_compact_cycle() {
+        use gk_core::ChaseEngine;
+        use gk_store::Durability;
+        let dur = Durability::in_dir(tmpdir("compact"));
+        let (s, _) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        s.handle(r#"INSERT alb9:album name_of "Anthology 2" ; alb9:album release_year "1996""#);
+        let snap = s.handle("SNAPSHOT");
+        assert!(snap.starts_with("OK snapshot_seq=1"), "{snap}");
+        s.handle(r#"DELETE alb9:album release_year "1996""#);
+        let comp = s.handle("COMPACT");
+        assert!(comp.starts_with("OK snapshot_seq=2"), "{comp}");
+        let stats = s.handle("STATS");
+        assert!(stats.contains("wal_records=0"), "{stats}");
+        assert!(stats.contains("snapshot_seq=2"), "{stats}");
+        drop(s);
+
+        // The compacted directory recovers with nothing to replay, and the
+        // deletion's effect (alb9 split off again) persists.
+        let (s2, rep) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        assert!(rep.recovered);
+        assert_eq!(rep.snapshot_seq, Some(2));
+        assert_eq!(rep.wal_replayed, 0);
+        assert!(s2.handle("SAME alb1 alb9").starts_with("NO"));
+        assert!(s2.handle("SAME alb1 alb2").starts_with("YES"));
+    }
+
+    #[test]
+    fn durable_rejects_mismatched_keys() {
+        use gk_core::ChaseEngine;
+        use gk_store::Durability;
+        let dur = Durability::in_dir(tmpdir("keys-mismatch"));
+        let (s, _) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        drop(s);
+        let other = KeySet::parse(r#"key "Qx" album(x) { x -name_of-> n*; }"#).unwrap();
+        let err =
+            Server::with_durability(parse_graph(G).unwrap(), other, ChaseEngine::default(), &dur);
+        assert!(err.is_err(), "mismatched Σ must not silently recover");
+    }
+
+    #[test]
+    fn recover_durable_rebuilds_without_input_files() {
+        use gk_core::ChaseEngine;
+        use gk_store::Durability;
+        let dur = Durability::in_dir(tmpdir("standalone"));
+        assert!(
+            EmIndex::recover_durable(&dur, ChaseEngine::default())
+                .unwrap()
+                .is_none(),
+            "empty dir has no state"
+        );
+        let (s, _) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        s.handle(r#"INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#);
+        drop(s);
+        // Keys and graph both come off disk.
+        let (idx, rep) = EmIndex::recover_durable(&dur, ChaseEngine::default())
+            .unwrap()
+            .expect("state persisted");
+        assert!(rep.recovered);
+        assert_eq!(idx.keys().cardinality(), 2);
+        let snap = idx.snapshot();
+        let a = snap.graph.entity_named("alb1").unwrap();
+        let b = snap.graph.entity_named("alb3").unwrap();
+        assert!(snap.same(a, b));
     }
 
     #[test]

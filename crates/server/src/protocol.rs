@@ -6,7 +6,12 @@
 //! REP  <e>                  e's canonical representative  -> REP ...
 //! EXPLAIN <a> <b>           verified proof of a <=> b     -> PROOF ... | NOPROOF ...
 //! INSERT <s:T> <p> <o>      add triple(s); `;` separates  -> OK mode=incremental ...
-//! DELETE <s:T> <p> <o>      remove one triple             -> OK mode=full-rechase ...
+//! DELETE <s:T> <p> <o>      remove triple(s); `;` separates; one re-chase
+//!                                                         -> OK mode=full-rechase ...
+//! SNAPSHOT                  persist a point-in-time snapshot
+//!                                                         -> OK snapshot_seq=...
+//! COMPACT                   snapshot + truncate WAL + prune old snapshots
+//!                                                         -> OK snapshot_seq=...
 //! STATS                     counters                      -> STATS k=v ...
 //! PING                                                    -> PONG
 //! HELP                                                    -> this table
@@ -18,9 +23,10 @@
 //! example and the tests drive — the TCP layer in [`crate::net`] is a thin
 //! framing of this function.
 
-use crate::index::{AdvanceReport, EmIndex, IndexState};
+use crate::index::{AdvanceReport, EmIndex, IndexState, RecoveryReport};
 use gk_core::{ChaseEngine, KeySet};
 use gk_graph::{parse_triple_specs, EntityId, Graph};
+use gk_store::Durability;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -31,7 +37,9 @@ pub const PROTOCOL_HELP: &str = "commands:
   REP <e>               canonical representative of <e>
   EXPLAIN <a> <b>       verified key-application proof for <a> <=> <b>
   INSERT <s:T> <p> <o>  insert triple(s); separate several with ';'
-  DELETE <s:T> <p> <o>  delete one triple (full re-chase)
+  DELETE <s:T> <p> <o>  delete triple(s); ';' separates; one re-chase per batch
+  SNAPSHOT              persist a point-in-time snapshot (needs --data-dir)
+  COMPACT               snapshot, then truncate the WAL and prune old snapshots
   STATS                 index + traffic counters
   PING                  liveness check";
 
@@ -62,6 +70,30 @@ impl Server {
         }
     }
 
+    /// Durable variant of [`Server::with_engine`]: accepted updates are
+    /// write-ahead-logged to `dur.dir`, and a data directory with state
+    /// recovers (snapshot + WAL replay) instead of re-running the startup
+    /// chase — see [`EmIndex::open_durable`].
+    pub fn with_durability(
+        graph: Graph,
+        keys: KeySet,
+        engine: ChaseEngine,
+        dur: &Durability,
+    ) -> Result<(Self, RecoveryReport), String> {
+        let (index, report) = EmIndex::open_durable(graph, keys, engine, dur)?;
+        Ok((Self::from_index(index), report))
+    }
+
+    /// Wraps an already-built index (e.g. one from
+    /// [`EmIndex::recover_durable`]) in the protocol layer.
+    pub fn from_index(index: EmIndex) -> Self {
+        Server {
+            index,
+            queries: AtomicU64::new(0),
+            updates: AtomicU64::new(0),
+        }
+    }
+
     /// The underlying index (for embedding and tests).
     pub fn index(&self) -> &EmIndex {
         &self.index
@@ -82,6 +114,8 @@ impl Server {
             "EXPLAIN" => self.count_query(self.cmd_explain(rest)),
             "INSERT" => self.count_update(self.cmd_insert(rest)),
             "DELETE" => self.count_update(self.cmd_delete(rest)),
+            "SNAPSHOT" => self.cmd_snapshot(),
+            "COMPACT" => self.cmd_compact(),
             "STATS" => self.cmd_stats(),
             "PING" => "PONG".into(),
             "HELP" => PROTOCOL_HELP.into(),
@@ -203,15 +237,38 @@ impl Server {
     }
 
     fn cmd_delete(&self, args: &str) -> String {
-        let specs = match parse_triple_specs(args) {
+        if args.is_empty() {
+            return err("DELETE needs at least one triple");
+        }
+        // Like INSERT, `;` separates triples — the whole batch costs one
+        // full re-chase instead of one per deleted triple.
+        let text = split_batch(args);
+        let specs = match parse_triple_specs(&text) {
             Ok(s) => s,
             Err(e) => return err(&e.to_string()),
         };
-        let [spec] = specs.as_slice() else {
-            return err("DELETE takes exactly one triple");
-        };
-        match self.index.delete(spec) {
+        if specs.is_empty() {
+            return err("DELETE needs at least one triple");
+        }
+        match self.index.delete(&specs) {
             Ok(r) => advance_line(&r),
+            Err(e) => err(&e),
+        }
+    }
+
+    fn cmd_snapshot(&self) -> String {
+        match self.index.snapshot_to_disk() {
+            Ok((seq, bytes)) => format!("OK snapshot_seq={seq} bytes={bytes}"),
+            Err(e) => err(&e),
+        }
+    }
+
+    fn cmd_compact(&self) -> String {
+        match self.index.compact_store() {
+            Ok(r) => format!(
+                "OK snapshot_seq={} bytes={} truncated_records={} removed_snapshots={}",
+                r.snapshot_seq, r.snapshot_bytes, r.truncated_records, r.removed_snapshots
+            ),
             Err(e) => err(&e),
         }
     }
@@ -223,7 +280,7 @@ impl Server {
             "STATS engine={} threads={} entities={} triples={} values={} clusters={} \
              identified_pairs={} version={} queries={} updates={} incremental_advances={} \
              full_rechases={} noops={} update_rounds={} startup_rounds={} startup_iso={} \
-             startup_micros={}",
+             startup_micros={} durability={} wal_records={} snapshot_seq={}",
             self.index.engine(),
             self.index.engine().threads(),
             snap.graph.num_entities(),
@@ -241,6 +298,13 @@ impl Server {
             s.startup_rounds.load(Ordering::Relaxed),
             s.startup_iso_checks.load(Ordering::Relaxed),
             s.startup_micros.load(Ordering::Relaxed),
+            self.index
+                .durability()
+                .map_or("off".to_string(), |m| m.to_string()),
+            self.index.wal_records(),
+            self.index
+                .snapshot_seq()
+                .map_or("none".to_string(), |v| v.to_string()),
         )
     }
 }

@@ -1,0 +1,484 @@
+//! The append-only write-ahead log.
+//!
+//! One file per data directory (`wal.log`): a header (`GKWAL` magic + a
+//! version byte) followed by frames, one per **accepted** update batch:
+//!
+//! ```text
+//! [u32 payload_len] [u32 crc32(payload)] [payload]
+//! payload = u8 kind (1=INSERT, 2=DELETE) · u64 seq · u32 n · n triple specs
+//! ```
+//!
+//! The seq is the index version the batch produced, so replay can skip
+//! records a snapshot already covers. Appends go to the OS immediately;
+//! *durability* is governed by the [`FsyncMode`]: `Always` fsyncs every
+//! record, `Batch` fsyncs every [`BATCH_SYNC_EVERY`] records (and whenever
+//! a snapshot is cut), `Never` leaves flushing to the OS.
+//!
+//! **Torn-tail tolerance.** A crash mid-append leaves a final frame whose
+//! length prefix, payload, or CRC is incomplete or wrong. [`scan_wal`]
+//! reads frames until the first one that fails any check and reports the
+//! byte offset where the valid prefix ends; [`WalWriter::open`] truncates
+//! the file to that offset before appending, so a recovered log never
+//! carries garbage in the middle.
+
+use crate::codec::{crc32, decode_spec, encode_spec, CodecError, Dec, Enc};
+use gk_graph::TripleSpec;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic of a WAL, followed by the format version byte.
+pub const WAL_MAGIC: &[u8; 5] = b"GKWAL";
+/// Current WAL format version.
+pub const WAL_VERSION: u8 = 1;
+/// Header length in bytes (magic + version).
+pub const WAL_HEADER_LEN: u64 = 6;
+/// Upper bound on a single record payload; longer length prefixes are
+/// treated as corruption.
+const MAX_RECORD_LEN: u32 = 1 << 30;
+/// `FsyncMode::Batch` syncs after this many unsynced appends.
+pub const BATCH_SYNC_EVERY: u32 = 32;
+
+/// When appends reach the platters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FsyncMode {
+    /// Fsync after every record: no accepted update is ever lost.
+    Always,
+    /// Fsync every [`BATCH_SYNC_EVERY`] records and at every snapshot:
+    /// bounded loss, amortized cost. The default.
+    #[default]
+    Batch,
+    /// Never fsync explicitly; the OS flushes when it pleases.
+    Never,
+}
+
+impl FsyncMode {
+    /// Parses the CLI spelling (`always` | `batch` | `never`).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "always" => Ok(FsyncMode::Always),
+            "batch" => Ok(FsyncMode::Batch),
+            "never" => Ok(FsyncMode::Never),
+            other => Err(format!(
+                "unknown fsync mode {other:?} (expected always|batch|never)"
+            )),
+        }
+    }
+
+    /// The CLI / `STATS` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncMode::Always => "always",
+            FsyncMode::Batch => "batch",
+            FsyncMode::Never => "never",
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What kind of update a WAL record carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalKind {
+    /// An accepted insert-only batch.
+    Insert,
+    /// An accepted deletion batch.
+    Delete,
+}
+
+/// One accepted update batch, as logged.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The index version this batch produced.
+    pub seq: u64,
+    /// Insert or delete.
+    pub kind: WalKind,
+    /// The triples of the batch, exactly as accepted.
+    pub specs: Vec<TripleSpec>,
+}
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u8(match self.kind {
+            WalKind::Insert => 1,
+            WalKind::Delete => 2,
+        });
+        e.u64(self.seq);
+        e.u32(self.specs.len() as u32);
+        for s in &self.specs {
+            encode_spec(s, &mut e);
+        }
+        e.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Result<WalRecord, CodecError> {
+        let mut d = Dec::new(payload);
+        let kind = match d.u8()? {
+            1 => WalKind::Insert,
+            2 => WalKind::Delete,
+            other => return Err(CodecError(format!("unknown WAL record kind {other}"))),
+        };
+        let seq = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut specs = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            specs.push(decode_spec(&mut d)?);
+        }
+        if !d.is_done() {
+            return Err(CodecError("trailing bytes inside WAL record".into()));
+        }
+        Ok(WalRecord { seq, kind, specs })
+    }
+}
+
+/// The outcome of reading a WAL file front to back.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Every record of the valid prefix, in append order.
+    pub records: Vec<WalRecord>,
+    /// Byte offset where the valid prefix ends (the safe truncation
+    /// point). Equal to the file length when the whole log is clean.
+    pub valid_len: u64,
+    /// Whether bytes past `valid_len` were discarded (torn tail or
+    /// corruption).
+    pub torn: bool,
+}
+
+/// Reads `path` front to back, stopping at the first torn or corrupt
+/// frame. A missing file scans as empty. Returns an error only for I/O
+/// failures or a foreign header — never for a damaged tail.
+pub fn scan_wal(path: &Path) -> std::io::Result<WalScan> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalScan::default()),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < WAL_HEADER_LEN as usize {
+        // A header torn mid-write: nothing recoverable, rewrite from zero.
+        return Ok(WalScan {
+            torn: !bytes.is_empty(),
+            ..WalScan::default()
+        });
+    }
+    if &bytes[..5] != WAL_MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{} is not a graphkeys WAL (bad magic)", path.display()),
+        ));
+    }
+    if bytes[5] != WAL_VERSION {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "{}: unsupported WAL version {} (this build reads {})",
+                path.display(),
+                bytes[5],
+                WAL_VERSION
+            ),
+        ));
+    }
+    let mut records = Vec::new();
+    let mut at = WAL_HEADER_LEN as usize;
+    while let Some(frame) = read_frame(&bytes, at) {
+        let Ok(record) = WalRecord::decode(frame.payload) else {
+            break;
+        };
+        records.push(record);
+        at = frame.end;
+    }
+    Ok(WalScan {
+        records,
+        valid_len: at as u64,
+        torn: at < bytes.len(),
+    })
+}
+
+struct Frame<'a> {
+    payload: &'a [u8],
+    end: usize,
+}
+
+/// Reads the frame starting at `at`, or `None` when truncated / corrupt.
+fn read_frame(bytes: &[u8], at: usize) -> Option<Frame<'_>> {
+    let header = bytes.get(at..at + 8)?;
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+    let want_crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+    if len > MAX_RECORD_LEN {
+        return None;
+    }
+    let payload = bytes.get(at + 8..at + 8 + len as usize)?;
+    if crc32(payload) != want_crc {
+        return None;
+    }
+    Some(Frame {
+        payload,
+        end: at + 8 + len as usize,
+    })
+}
+
+/// The appending half of the log. One writer per data directory, guarded
+/// by the store's ingest serialization.
+pub struct WalWriter {
+    path: PathBuf,
+    file: File,
+    fsync: FsyncMode,
+    unsynced: u32,
+    records: u64,
+}
+
+impl WalWriter {
+    /// Opens (or creates) the log at `path` for appending, truncating a
+    /// torn tail first. `valid` is the scan of the current file contents.
+    pub fn open(path: &Path, fsync: FsyncMode, scan: &WalScan) -> std::io::Result<WalWriter> {
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let fresh = file.metadata()?.len() < WAL_HEADER_LEN;
+        if fresh {
+            file.set_len(0)?;
+            file.write_all(WAL_MAGIC)?;
+            file.write_all(&[WAL_VERSION])?;
+        } else if scan.torn {
+            file.set_len(scan.valid_len)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        if fresh || scan.torn {
+            file.sync_all()?;
+        }
+        Ok(WalWriter {
+            path: path.to_path_buf(),
+            file,
+            fsync,
+            unsynced: 0,
+            records: scan.records.len() as u64,
+        })
+    }
+
+    /// Appends one record frame and applies the fsync policy. The record
+    /// is on disk (or at least with the OS) before this returns.
+    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let start = self.file.stream_position()?;
+        if let Err(e) = self.file.write_all(&frame) {
+            // Roll back to the last whole frame: a partial frame left
+            // mid-file (e.g. ENOSPC) would make every *later* acknowledged
+            // append unreadable — the scan stops at the first bad frame.
+            let _ = self.file.set_len(start);
+            let _ = self.file.seek(SeekFrom::Start(start));
+            return Err(e);
+        }
+        self.records += 1;
+        self.unsynced += 1;
+        match self.fsync {
+            FsyncMode::Always => self.sync()?,
+            FsyncMode::Batch if self.unsynced >= BATCH_SYNC_EVERY => self.sync()?,
+            FsyncMode::Batch | FsyncMode::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Flushes everything appended so far to stable storage.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+        }
+        Ok(())
+    }
+
+    /// Drops every record (after a compacting snapshot made them
+    /// redundant): the file shrinks back to its header.
+    pub fn truncate_all(&mut self) -> std::io::Result<()> {
+        self.file.set_len(WAL_HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
+        self.file.sync_all()?;
+        self.records = 0;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Number of records currently in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The log's path (exposed for crash tests that cut the file).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Re-reads the file length (used by tests to map records to byte
+    /// offsets).
+    pub fn len(&self) -> std::io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        // Best effort: batch mode flushes its pending tail on shutdown.
+        let _ = self.sync();
+        let _ = self.file.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gk_graph::parse_triple_specs;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("gk-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d.join("wal.log")
+    }
+
+    fn rec(seq: u64, kind: WalKind, text: &str) -> WalRecord {
+        WalRecord {
+            seq,
+            kind,
+            specs: parse_triple_specs(text).unwrap(),
+        }
+    }
+
+    #[test]
+    fn append_then_scan_roundtrips() {
+        let path = tmp("roundtrip");
+        let scan = scan_wal(&path).unwrap();
+        let mut w = WalWriter::open(&path, FsyncMode::Always, &scan).unwrap();
+        let r1 = rec(1, WalKind::Insert, "a:t p \"v\"\na:t q b:t");
+        let r2 = rec(2, WalKind::Delete, "a:t p \"v\"");
+        w.append(&r1).unwrap();
+        w.append(&r2).unwrap();
+        drop(w);
+        let scan = scan_wal(&path).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.records, vec![r1, r2]);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_at_every_cut_point() {
+        let path = tmp("torn");
+        let scan = scan_wal(&path).unwrap();
+        let mut w = WalWriter::open(&path, FsyncMode::Never, &scan).unwrap();
+        let mut ends = vec![WAL_HEADER_LEN];
+        for i in 0..4u64 {
+            w.append(&rec(i + 1, WalKind::Insert, &format!("e{i}:t p \"v{i}\"")))
+                .unwrap();
+            ends.push(w.len().unwrap());
+        }
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..full.len() as u64 {
+            std::fs::write(&path, &full[..cut as usize]).unwrap();
+            let scan = scan_wal(&path).unwrap();
+            if cut < WAL_HEADER_LEN {
+                // Header itself torn: nothing recoverable.
+                assert_eq!(scan.records.len(), 0, "cut at byte {cut}");
+                assert_eq!(scan.valid_len, 0, "cut at byte {cut}");
+                continue;
+            }
+            // Exactly the records whose frames are fully inside the cut.
+            let want = ends[1..].iter().filter(|&&e| e <= cut).count();
+            assert_eq!(scan.records.len(), want, "cut at byte {cut}");
+            assert_eq!(scan.valid_len, ends[want], "cut at byte {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_invalidates_record_and_suffix() {
+        let path = tmp("corrupt");
+        let scan = scan_wal(&path).unwrap();
+        let mut w = WalWriter::open(&path, FsyncMode::Never, &scan).unwrap();
+        let mut ends = vec![WAL_HEADER_LEN];
+        for i in 0..3u64 {
+            w.append(&rec(i + 1, WalKind::Insert, &format!("e{i}:t p \"v{i}\"")))
+                .unwrap();
+            ends.push(w.len().unwrap());
+        }
+        drop(w);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one payload byte of the second record: CRC rejects it and
+        // everything after it (scan cannot resynchronize).
+        let mid = (ends[1] + 9) as usize;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len, ends[1]);
+        assert!(scan.torn);
+    }
+
+    #[test]
+    fn reopen_truncates_torn_tail_before_appending() {
+        let path = tmp("reopen");
+        let scan = scan_wal(&path).unwrap();
+        let mut w = WalWriter::open(&path, FsyncMode::Batch, &scan).unwrap();
+        w.append(&rec(1, WalKind::Insert, "a:t p \"v\"")).unwrap();
+        let clean = w.len().unwrap();
+        w.append(&rec(2, WalKind::Insert, "b:t p \"v\"")).unwrap();
+        drop(w);
+        // Cut the second record in half, then reopen and append a third.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..(clean as usize + 5)]).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert!(scan.torn);
+        let mut w = WalWriter::open(&path, FsyncMode::Batch, &scan).unwrap();
+        assert_eq!(w.records(), 1);
+        w.append(&rec(2, WalKind::Insert, "c:t p \"v\"")).unwrap();
+        drop(w);
+        let scan = scan_wal(&path).unwrap();
+        assert!(!scan.torn, "tail was truncated before the new append");
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[1].specs[0].subject, "c");
+    }
+
+    #[test]
+    fn truncate_all_empties_the_log() {
+        let path = tmp("truncate");
+        let scan = scan_wal(&path).unwrap();
+        let mut w = WalWriter::open(&path, FsyncMode::Always, &scan).unwrap();
+        w.append(&rec(1, WalKind::Insert, "a:t p \"v\"")).unwrap();
+        w.truncate_all().unwrap();
+        assert!(w.is_empty());
+        w.append(&rec(2, WalKind::Insert, "b:t p \"v\"")).unwrap();
+        drop(w);
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].seq, 2);
+    }
+
+    #[test]
+    fn foreign_file_is_an_error_not_a_scan() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"not a wal at all").unwrap();
+        assert!(scan_wal(&path).is_err());
+    }
+
+    #[test]
+    fn fsync_mode_parses() {
+        assert_eq!(FsyncMode::parse("always").unwrap(), FsyncMode::Always);
+        assert_eq!(FsyncMode::parse("batch").unwrap(), FsyncMode::Batch);
+        assert_eq!(FsyncMode::parse("never").unwrap(), FsyncMode::Never);
+        assert!(FsyncMode::parse("sometimes").is_err());
+        assert_eq!(FsyncMode::default().name(), "batch");
+    }
+}

@@ -16,7 +16,8 @@
 //! | [`vertexcentric`] | asynchronous vertex-centric engine (the GraphLab stand-in) |
 //! | [`core`] | keys, the DSL, the chase, `EM_MR`/`EM_VC` algorithm families |
 //! | [`datagen`] | workload generators with planted ground truth |
-//! | [`server`] | resident entity-resolution service with incremental ingest |
+//! | [`store`] | durable persistence: binary snapshots, write-ahead log, crash recovery |
+//! | [`server`] | resident entity-resolution service with incremental ingest and optional durability |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@ pub use gk_graph as graph;
 pub use gk_isomorph as isomorph;
 pub use gk_mapreduce as mapreduce;
 pub use gk_server as server;
+pub use gk_store as store;
 pub use gk_vertexcentric as vertexcentric;
 
 /// The most common imports in one place.
@@ -62,5 +64,6 @@ pub mod prelude {
         d_neighborhood, parse_graph, parse_triple_specs, EntityId, Graph, GraphBuilder, GraphStats,
         NodeId, Obj, PredId, TripleSpec, TypeId, ValueId,
     };
-    pub use gk_server::{EmIndex, Server};
+    pub use gk_server::{EmIndex, RecoveryReport, Server};
+    pub use gk_store::{Durability, FsyncMode, Store, WalKind, WalRecord};
 }

@@ -5,8 +5,9 @@
 //! without a hand-written assert, and `UPDATE_GOLDEN=1 cargo test --test
 //! golden` re-records the transcripts for an intentional change.
 //!
-//! The only nondeterministic protocol output is the startup-chase
-//! wall-clock in `STATS`; its value is masked before comparison.
+//! The only nondeterministic protocol outputs are the startup wall-clock
+//! in `STATS` and the snapshot byte size (platform-sensitive); their
+//! values are masked before comparison.
 
 use keys_for_graphs::prelude::*;
 use std::fmt::Write as _;
@@ -56,7 +57,8 @@ fn transcript(server: &Server, script: &[&str]) -> String {
     for line in script {
         let resp = server.handle(line);
         let _ = writeln!(out, ">> {line}");
-        let _ = writeln!(out, "{}", mask_field(&resp, "startup_micros"));
+        let masked = mask_field(&mask_field(&resp, "startup_micros"), "bytes");
+        let _ = writeln!(out, "{masked}");
         out.push('\n');
     }
     out
@@ -127,6 +129,39 @@ fn golden_updates() {
             ],
         ),
     );
+}
+
+#[test]
+fn golden_durability() {
+    // A durable server in a throwaway data dir: the SNAPSHOT/COMPACT verbs
+    // and the extended STATS fields (durability=, wal_records=,
+    // snapshot_seq=) are part of the protocol surface and locked here.
+    let dir = std::env::temp_dir().join(format!("gk-golden-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (s, _) = Server::with_durability(
+        parse_graph(GRAPH).unwrap(),
+        KeySet::parse(KEYS).unwrap(),
+        ChaseEngine::default(),
+        &Durability::in_dir(&dir),
+    )
+    .unwrap();
+    check_golden(
+        "durability",
+        &transcript(
+            &s,
+            &[
+                "STATS",
+                r#"INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#,
+                "SNAPSHOT",
+                r#"DELETE alb3:album release_year "1996" ; alb3:album name_of "Anthology 2""#,
+                "STATS",
+                "COMPACT",
+                "STATS",
+                "SAME alb1 alb3",
+            ],
+        ),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
