@@ -1,0 +1,106 @@
+//! Criterion bench for the steady-state `INSERT` write path on the
+//! 10k-entity Google-flavoured workload:
+//!
+//! * **overlay_insert** — the epoch-based delta overlay: `EmIndex::insert`
+//!   clones the bounded delta, appends in O(batch), and runs the monotone
+//!   delta chase (compaction folds the delta at the configured threshold,
+//!   so long runs measure true steady state);
+//! * **rebuild_insert** — the pre-overlay path: re-open the whole frozen
+//!   graph (`GraphBuilder::from_graph`), freeze a new CSR, recompile, then
+//!   the same delta chase.
+//!
+//! The two paths produce identical equivalence classes; only the write
+//! cost differs — O(batch + delta) vs O(|G| log |G|) per accepted batch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gk_core::{chase_incremental, ChaseEngine, ChaseOrder};
+use gk_datagen::{generate, GenConfig};
+use gk_graph::{parse_triple_specs, EntityId, Graph, GraphBuilder};
+use gk_server::EmIndex;
+use std::cell::RefCell;
+
+fn reclone(g: &Graph) -> Graph {
+    GraphBuilder::from_graph(g).freeze()
+}
+
+fn batch_text(i: usize) -> String {
+    format!(
+        "ing{i}a:ingest logged \"v{i}\"\ning{i}b:ingest logged \"v{i}\"\n\
+         ing{i}a:ingest batch \"b{}\"",
+        i % 4
+    )
+}
+
+fn bench_ingest_throughput(cr: &mut Criterion) {
+    // ~10k entities: the scale the PR's acceptance criterion names.
+    let w = generate(
+        &GenConfig::google()
+            .with_scale(0.46)
+            .with_chain(2)
+            .with_radius(2),
+    );
+    let engine = ChaseEngine::default();
+
+    let mut group = cr.benchmark_group("ingest_throughput_google_10k");
+    group.sample_size(20);
+
+    // Overlay path: one resident index; every iteration streams a fresh
+    // batch (new entity names, so nothing is a no-op).
+    let idx = EmIndex::with_engine(reclone(&w.graph), w.keys.clone(), engine);
+    let counter = RefCell::new(0usize);
+    group.bench_with_input(
+        criterion::BenchmarkId::new("overlay_insert", "batch"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let i = {
+                    let mut c = counter.borrow_mut();
+                    *c += 1;
+                    *c
+                };
+                idx.insert(&parse_triple_specs(&batch_text(i)).unwrap())
+                    .expect("overlay insert");
+            })
+        },
+    );
+
+    // Rebuild path: every iteration pays the full from_graph + freeze +
+    // recompile that each accepted batch used to cost.
+    let state = RefCell::new({
+        let g = reclone(&w.graph);
+        let compiled = w.keys.compile(&g);
+        let eq = engine
+            .full_chase(&g, &compiled, ChaseOrder::Deterministic)
+            .eq;
+        (g, eq, 1_000_000usize)
+    });
+    group.bench_with_input(
+        criterion::BenchmarkId::new("rebuild_insert", "batch"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                let mut st = state.borrow_mut();
+                st.2 += 1;
+                let specs = parse_triple_specs(&batch_text(st.2)).unwrap();
+                let mut bld = GraphBuilder::from_graph(&st.0);
+                let mut touched: Vec<EntityId> = Vec::new();
+                for s in &specs {
+                    let (subj, obj) = s.apply(&mut bld);
+                    touched.push(subj);
+                    touched.extend(obj);
+                }
+                touched.sort_unstable();
+                touched.dedup();
+                let g2 = bld.freeze();
+                let compiled2 = w.keys.compile(&g2);
+                let r = chase_incremental(&g2, &compiled2, &st.1, &touched);
+                st.0 = g2;
+                st.1 = r.eq;
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest_throughput);
+criterion_main!(benches);

@@ -42,7 +42,8 @@ fn bench_startup_recovery(cr: &mut Criterion) {
         let batch = format!("ing{i}a:ingest logged \"v{i}\"\ning{i}b:ingest logged \"v{i}\"");
         index.insert(&parse_triple_specs(&batch).unwrap()).unwrap();
     }
-    let final_graph = reclone(&index.snapshot().graph);
+    // materialize() already yields an owned, independent frozen graph.
+    let final_graph = index.snapshot().graph.materialize();
     let expected = index.snapshot().eq.classes();
     drop(index);
 

@@ -161,6 +161,9 @@ fn paper_note(id: &str) -> &'static str {
         "startup_recovery" => {
             "beyond the paper: durable restart — snapshot+WAL replay vs cold reload+re-chase"
         }
+        "ingest_throughput" => {
+            "beyond the paper: steady-state INSERT — delta-overlay append vs from_graph rebuild"
+        }
         _ => "",
     }
 }

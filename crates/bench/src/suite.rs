@@ -5,7 +5,7 @@ use gk_core::{
     MrVariant, VcVariant,
 };
 use gk_datagen::{generate, GenConfig, Workload};
-use gk_graph::{EntityId, Graph};
+use gk_graph::{EntityId, Graph, GraphView};
 use std::time::Instant;
 
 /// The algorithms compared throughout §6.
@@ -155,6 +155,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ablation",
     "vary_threads",
     "startup_recovery",
+    "ingest_throughput",
 ];
 
 /// Dataset base config for an experiment family, at benchmark scale.
@@ -291,6 +292,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Measurement> {
         "ablation" => ablation(quick),
         "vary_threads" => vary_threads(quick),
         "startup_recovery" => startup_recovery(quick),
+        "ingest_throughput" => ingest_throughput(quick),
         other => panic!("unknown experiment id {other:?}; see ALL_EXPERIMENTS"),
     }
 }
@@ -609,7 +611,8 @@ fn startup_recovery(quick: bool) -> Vec<Measurement> {
         let specs = gk_graph::parse_triple_specs(&batch).unwrap();
         index.insert(&specs).expect("streamed insert");
     }
-    let final_graph = reclone(&index.snapshot().graph);
+    // materialize() already yields an owned, independent frozen graph.
+    let final_graph = index.snapshot().graph.materialize();
     drop(index);
 
     let reps = if quick { 1 } else { 3 };
@@ -666,6 +669,121 @@ fn startup_recovery(quick: bool) -> Vec<Measurement> {
     vec![pick_best(cold_runs), pick_best(recover_runs)]
 }
 
+/// Beyond the paper: steady-state `INSERT` batch cost on the 10k-entity
+/// Google workload — the epoch-based overlay write path
+/// (`EmIndex::insert`: O(batch) delta append + delta chase) against the
+/// pre-overlay rebuild path (re-open the whole frozen graph with
+/// `GraphBuilder::from_graph`, freeze a new CSR, recompile, then the same
+/// delta chase). Correctness requires both paths to land on identical
+/// equivalence classes — same clusters, same `SAME`/`DUPS`/`REP` answers.
+/// `quick` reduces repetitions, not the workload: the ≥5× acceptance
+/// speedup is defined at this scale.
+fn ingest_throughput(quick: bool) -> Vec<Measurement> {
+    use gk_core::{chase_incremental, ChaseEngine};
+    use gk_graph::{parse_triple_specs, GraphBuilder};
+    use gk_server::EmIndex;
+
+    let cfg = dataset_cfg('g', false)
+        .with_scale(0.46)
+        .with_chain(2)
+        .with_radius(2);
+    let w = generate(&cfg);
+    let reclone = |g: &Graph| GraphBuilder::from_graph(g).freeze();
+    let engine = ChaseEngine::default();
+    let batches = 64usize;
+    // Steady-state traffic: small batches landing on fresh entities plus a
+    // shared attribute, the same shape the recovery experiments stream.
+    let batch = |i: usize| {
+        format!(
+            "ing{i}a:ingest logged \"v{i}\"\ning{i}b:ingest logged \"v{i}\"\n\
+             ing{i}a:ingest batch \"b{}\"",
+            i % 4
+        )
+    };
+
+    let reps = if quick { 1 } else { 3 };
+    let mut overlay_runs = Vec::new();
+    let mut rebuild_runs = Vec::new();
+    for _ in 0..reps {
+        // --- Overlay path: what EmIndex::insert costs now. ---
+        let idx = EmIndex::with_engine(reclone(&w.graph), w.keys.clone(), engine);
+        let t = Instant::now();
+        for i in 0..batches {
+            idx.insert(&parse_triple_specs(&batch(i)).unwrap())
+                .expect("overlay insert");
+        }
+        let overlay_secs = t.elapsed().as_secs_f64();
+        let overlay_snap = idx.snapshot();
+        let overlay_classes = overlay_snap.eq.classes();
+
+        // --- Rebuild path: what every accepted batch cost before the
+        // overlay (full from_graph copy + freeze + recompile per batch),
+        // with the identical delta chase on top. ---
+        let mut g = reclone(&w.graph);
+        let compiled0 = w.keys.compile(&g);
+        let mut eq = engine
+            .full_chase(&g, &compiled0, gk_core::ChaseOrder::Deterministic)
+            .eq;
+        let t = Instant::now();
+        for i in 0..batches {
+            let specs = parse_triple_specs(&batch(i)).unwrap();
+            let mut b = GraphBuilder::from_graph(&g);
+            let mut touched: Vec<EntityId> = Vec::new();
+            for s in &specs {
+                let (subj, obj) = s.apply(&mut b);
+                touched.push(subj);
+                touched.extend(obj);
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            let g2 = b.freeze();
+            let compiled2 = w.keys.compile(&g2);
+            eq = chase_incremental(&g2, &compiled2, &eq, &touched).eq;
+            g = g2;
+        }
+        let rebuild_secs = t.elapsed().as_secs_f64();
+        let rebuild_classes = eq.classes();
+
+        // Byte-identical answers: both paths must produce the same Eq.
+        let correct = overlay_classes == rebuild_classes
+            && overlay_snap.graph.num_triples() == g.num_triples();
+
+        let base = |algo: &str, secs: f64| Measurement {
+            experiment: "ingest_throughput".into(),
+            dataset: w.name.clone(),
+            algo: algo.into(),
+            x: format!("batches={batches}"),
+            seconds: secs,
+            sim_seconds: 0.0,
+            identified: overlay_snap.eq.num_identified_pairs(),
+            candidates: 0,
+            rounds: 0,
+            traffic: 0,
+            correct,
+            extra: vec![(
+                "mean_batch_micros".into(),
+                format!("{:.1}", secs * 1e6 / batches as f64),
+            )],
+        };
+        overlay_runs.push({
+            let mut m = base("overlay_insert", overlay_secs);
+            m.extra.push((
+                "speedup".into(),
+                format!("{:.2}", rebuild_secs / overlay_secs),
+            ));
+            m.extra
+                .push(("epoch".into(), overlay_snap.graph.epoch().to_string()));
+            m.extra.push((
+                "delta_triples".into(),
+                overlay_snap.graph.delta_triples().to_string(),
+            ));
+            m
+        });
+        rebuild_runs.push(base("rebuild_insert", rebuild_secs));
+    }
+    vec![pick_best(overlay_runs), pick_best(rebuild_runs)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -699,6 +817,43 @@ mod tests {
                 "snapshot+replay ({:.3}s) must beat cold reload+chase ({:.3}s)",
                 last.1,
                 last.0
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_overlay_is_faster_and_identical() {
+        let ms = run_experiment("ingest_throughput", true);
+        assert_eq!(ms.len(), 2);
+        assert!(
+            ms.iter().all(|m| m.correct),
+            "overlay and rebuild answers must be identical: {ms:?}"
+        );
+        // The ≥5× steady-state acceptance claim is asserted only in
+        // release (the CI recovery job runs it there); a debug build's
+        // constant factors are not what the criterion measures.
+        #[cfg(not(debug_assertions))]
+        {
+            let pair = |ms: &[Measurement]| {
+                let ov = ms.iter().find(|m| m.algo.starts_with("overlay")).unwrap();
+                let rb = ms.iter().find(|m| m.algo.starts_with("rebuild")).unwrap();
+                (ov.seconds, rb.seconds)
+            };
+            // Best of up to 3 attempts guards the one-rep quick mode
+            // against transient stalls on a loaded runner.
+            let mut last = pair(&ms);
+            for _ in 0..2 {
+                if last.0 * 5.0 <= last.1 {
+                    break;
+                }
+                last = pair(&run_experiment("ingest_throughput", true));
+            }
+            assert!(
+                last.0 * 5.0 <= last.1,
+                "overlay insert ({:.4}s) must be ≥5× faster than the \
+                 from_graph rebuild path ({:.4}s)",
+                last.0,
+                last.1
             );
         }
     }

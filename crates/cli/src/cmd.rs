@@ -6,7 +6,7 @@ use gk_core::{
     MatchOutcome, MrVariant, ParallelOpts, VcVariant,
 };
 use gk_datagen::{generate, GenConfig};
-use gk_graph::{parse_graph, write_graph, Graph, GraphStats};
+use gk_graph::{parse_graph, write_graph, Graph, GraphStats, GraphView};
 use gk_server::{Durability, FsyncMode};
 use std::fmt::Write as _;
 
@@ -25,6 +25,8 @@ pub const USAGE: &str = "usage:
   graphkeys serve    <graph.triples> <keys.gk> [--port P] [--threads N]
                      [--engine reference|incremental|parallel]
                      [--data-dir DIR] [--fsync always|batch|never]
+                     [--compact-threshold N]   fold the delta overlay into a
+                     fresh base CSR once delta+tombstones reach N (0 = off)
   graphkeys snapshot <addr>                    ask a running server to persist a snapshot
   graphkeys recover  --data-dir DIR [--engine E] [--threads N] [--verify]
                      rebuild from snapshot + WAL; --verify cross-checks
@@ -462,7 +464,17 @@ pub fn is_runtime_error(msg: &str) -> bool {
 }
 
 fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
-    let f = Flags::parse(args, &["port", "threads", "engine", "data-dir", "fsync"])?;
+    let f = Flags::parse(
+        args,
+        &[
+            "port",
+            "threads",
+            "engine",
+            "data-dir",
+            "fsync",
+            "compact-threshold",
+        ],
+    )?;
     let [gpath, kpath] = f.positional.as_slice() else {
         return Err("serve takes a graph file and a key file".into());
     };
@@ -473,17 +485,29 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
     // One --threads knob: it sizes both the TCP worker pool and, under
     // `--engine parallel`, the partitioned chase.
     let engine = ChaseEngine::parse(f.get("engine").unwrap_or("incremental"), threads)?;
+    let compact_threshold =
+        f.get_parse("compact-threshold", gk_server::DEFAULT_COMPACT_THRESHOLD)?;
     let server = match f.get("data-dir") {
         None => {
             if f.get("fsync").is_some() {
                 return Err("--fsync needs --data-dir".into());
             }
-            gk_server::Server::with_engine(g, ks, engine)
+            let mut server = gk_server::Server::with_engine(g, ks, engine);
+            server.set_compact_threshold(compact_threshold);
+            server
         }
         Some(dir) => {
             let fsync = FsyncMode::parse(f.get("fsync").unwrap_or("batch"))?;
             let dur = Durability::in_dir(dir).with_fsync(fsync);
-            let (server, report) = gk_server::Server::with_durability(g, ks, engine, &dur)?;
+            // The threshold travels into the open so the recovery replay's
+            // post-replay fold honors it too (including 0 = off).
+            let (server, report) = gk_server::Server::with_durability_compacting(
+                g,
+                ks,
+                engine,
+                &dur,
+                compact_threshold,
+            )?;
             let _ = writeln!(out, "{}", recovery_line(&report, dir));
             server
         }

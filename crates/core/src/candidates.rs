@@ -12,7 +12,7 @@
 //! 2. **pairing** (Prop. 9, §4.2): keep only pairs paired by some key.
 
 use crate::keyset::CompiledKeySet;
-use gk_graph::{EntityId, Graph, NodeId, Obj, TypeId};
+use gk_graph::{EntityId, GraphView, NodeId, Obj, TypeId};
 use gk_isomorph::{pairing_at, SlotKind};
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -39,7 +39,7 @@ pub enum CandidateMode {
 
 /// Number of pairs in the paper's base candidate set `L` (all same-type
 /// pairs with ≥1 key defined), without materializing it.
-pub fn type_pair_count(g: &Graph, keys: &CompiledKeySet) -> usize {
+pub fn type_pair_count<V: GraphView>(g: &V, keys: &CompiledKeySet) -> usize {
     keys.keyed_types()
         .map(|t| {
             let n = g.entities_of_type(t).len();
@@ -49,8 +49,8 @@ pub fn type_pair_count(g: &Graph, keys: &CompiledKeySet) -> usize {
 }
 
 /// Enumerates the candidate set `L` for the compiled keys.
-pub fn candidate_pairs(
-    g: &Graph,
+pub fn candidate_pairs<V: GraphView>(
+    g: &V,
     keys: &CompiledKeySet,
     mode: CandidateMode,
 ) -> Vec<(EntityId, EntityId)> {
@@ -59,9 +59,10 @@ pub fn candidate_pairs(
             let mut out = Vec::new();
             for t in keys.keyed_types() {
                 let ents = g.entities_of_type(t);
-                for (i, &a) in ents.iter().enumerate() {
-                    for &b in &ents[i + 1..] {
-                        out.push((a, b));
+                for i in 0..ents.len() {
+                    let a = ents.get(i);
+                    for j in i + 1..ents.len() {
+                        out.push((a, ents.get(j)));
                     }
                 }
             }
@@ -81,8 +82,8 @@ pub fn candidate_pairs(
 
 /// Candidates that could be identified by one key, using the most selective
 /// value attribute attached to `x` as a blocking predicate.
-fn blocked_candidates_for_key(
-    g: &Graph,
+fn blocked_candidates_for_key<V: GraphView>(
+    g: &V,
     target: TypeId,
     q: &gk_isomorph::PairPattern,
     out: &mut FxHashSet<(EntityId, EntityId)>,
@@ -101,7 +102,7 @@ fn blocked_candidates_for_key(
         Some(t) => {
             // Bucket entities of the target type by their p-values.
             let mut buckets: FxHashMap<gk_graph::ValueId, Vec<EntityId>> = FxHashMap::default();
-            for &e in g.entities_of_type(target) {
+            for e in g.entities_of_type(target) {
                 for &(_, o) in g.out_with(e, t.p) {
                     if let Obj::Value(v) = o {
                         if let SlotKind::Const(d) = q.slots()[t.o as usize] {
@@ -125,9 +126,10 @@ fn blocked_candidates_for_key(
             // No value attribute on x: fall back to the full type
             // cross-product for this key.
             let ents = g.entities_of_type(target);
-            for (i, &a) in ents.iter().enumerate() {
-                for &b in &ents[i + 1..] {
-                    out.insert(norm(a, b));
+            for i in 0..ents.len() {
+                let a = ents.get(i);
+                for j in i + 1..ents.len() {
+                    out.insert(norm(a, ents.get(j)));
                 }
             }
         }
@@ -165,8 +167,8 @@ pub struct PairedCandidate {
 ///
 /// `neighborhood(e)` must return the d-neighborhood of `e` for `d` =
 /// max radius of the keys on `e`'s type (used to bound pairing).
-pub fn pairing_filter(
-    g: &Graph,
+pub fn pairing_filter<V: GraphView>(
+    g: &V,
     keys: &CompiledKeySet,
     pairs: &[(EntityId, EntityId)],
     neighborhood: impl Fn(EntityId) -> gk_graph::NodeSet + Sync,
@@ -178,8 +180,8 @@ pub fn pairing_filter(
 /// (sum of per-pair times). The simulated-scalability reports charge this
 /// work as `work / p` — the filter is embarrassingly parallel, so an ideal
 /// `p`-worker cluster divides it evenly (§4.2 runs it inside the driver).
-pub fn pairing_filter_timed(
-    g: &Graph,
+pub fn pairing_filter_timed<V: GraphView>(
+    g: &V,
     keys: &CompiledKeySet,
     pairs: &[(EntityId, EntityId)],
     neighborhood: impl Fn(EntityId) -> gk_graph::NodeSet + Sync,
@@ -248,6 +250,7 @@ pub fn pairing_filter_timed(
 mod tests {
     use super::*;
     use crate::keyset::KeySet;
+    use gk_graph::Graph;
     use gk_graph::{d_neighborhood, parse_graph};
 
     fn g1() -> Graph {

@@ -12,7 +12,7 @@
 use crate::candidates::{candidate_pairs, norm, CandidateMode};
 use crate::eqrel::EqRel;
 use crate::keyset::CompiledKeySet;
-use gk_graph::{EntityId, Graph};
+use gk_graph::{EntityId, GraphView};
 use gk_isomorph::{eval_pair, MatchScope};
 
 /// One applied chase step: which pair, certified by which key.
@@ -61,7 +61,11 @@ pub enum ChaseOrder {
 /// anchored at an entity already lies within its d-neighborhood, so this is
 /// equivalent to — and simpler than — the neighborhood-scoped variants used
 /// by the parallel algorithms (§4.1 data locality).
-pub fn chase_reference(g: &Graph, keys: &CompiledKeySet, order: ChaseOrder) -> ChaseResult {
+pub fn chase_reference<V: GraphView>(
+    g: &V,
+    keys: &CompiledKeySet,
+    order: ChaseOrder,
+) -> ChaseResult {
     let mut pairs = candidate_pairs(g, keys, CandidateMode::TypePairs);
     if let ChaseOrder::Shuffled(seed) = order {
         shuffle(&mut pairs, seed);
@@ -141,6 +145,7 @@ mod tests {
     use super::*;
     use crate::keyset::KeySet;
     use gk_graph::parse_graph;
+    use gk_graph::Graph;
 
     /// The paper's G1 (Fig. 2) with Σ1 = {Q1, Q2, Q3} (Example 7).
     fn g1() -> Graph {

@@ -23,7 +23,7 @@ use crate::eqrel::EqRel;
 use crate::keyset::CompiledKeySet;
 use crate::prep::{prepare_base, prepare_opt, NeighborhoodCache, OptPrep};
 use crate::report::RunReport;
-use gk_graph::{EntityId, Graph};
+use gk_graph::{EntityId, GraphView};
 use gk_isomorph::{eval_pair, eval_pair_enumerate, MatchScope};
 use gk_mapreduce::{Cluster, Emitter, JobStats, MapReduce};
 use parking_lot::Mutex;
@@ -73,19 +73,29 @@ impl MatchOutcome {
 
 /// Runs entity matching on an in-process MapReduce cluster of `p`
 /// worker threads.
-pub fn em_mr(g: &Graph, keys: &CompiledKeySet, p: usize, variant: MrVariant) -> MatchOutcome {
+pub fn em_mr<V: GraphView>(
+    g: &V,
+    keys: &CompiledKeySet,
+    p: usize,
+    variant: MrVariant,
+) -> MatchOutcome {
     em_mr_mode(g, keys, p, variant, false)
 }
 
 /// Like [`em_mr`] but in deterministic simulation mode: tasks run one at a
 /// time and `RunReport::sim_seconds` carries the ideal `p`-worker makespan
 /// (for scalability sweeps on small hosts).
-pub fn em_mr_sim(g: &Graph, keys: &CompiledKeySet, p: usize, variant: MrVariant) -> MatchOutcome {
+pub fn em_mr_sim<V: GraphView>(
+    g: &V,
+    keys: &CompiledKeySet,
+    p: usize,
+    variant: MrVariant,
+) -> MatchOutcome {
     em_mr_mode(g, keys, p, variant, true)
 }
 
-fn em_mr_mode(
-    g: &Graph,
+fn em_mr_mode<V: GraphView>(
+    g: &V,
     keys: &CompiledKeySet,
     p: usize,
     variant: MrVariant,
@@ -101,8 +111,8 @@ fn em_mr_mode(
 // Base / VF2 variants
 // ---------------------------------------------------------------------------
 
-struct MapEmBase<'a> {
-    g: &'a Graph,
+struct MapEmBase<'a, V> {
+    g: &'a V,
     keys: &'a CompiledKeySet,
     hoods: &'a NeighborhoodCache,
     snapshot: &'a EqRel,
@@ -111,7 +121,7 @@ struct MapEmBase<'a> {
     iso_checks: AtomicU64,
 }
 
-impl MapEmBase<'_> {
+impl<V: GraphView> MapEmBase<'_, V> {
     fn check(&self, e1: EntityId, e2: EntityId) -> bool {
         let t = self.g.entity_type(e1);
         let s1 = self.hoods.get(e1);
@@ -141,7 +151,7 @@ impl MapEmBase<'_> {
     }
 }
 
-impl MapReduce for MapEmBase<'_> {
+impl<V: GraphView> MapReduce for MapEmBase<'_, V> {
     type KIn = (EntityId, EntityId);
     type VIn = bool;
     type KMid = EntityId;
@@ -194,8 +204,8 @@ impl MapReduce for MapEmBase<'_> {
     }
 }
 
-fn em_mr_base(
-    g: &Graph,
+fn em_mr_base<V: GraphView>(
+    g: &V,
     keys: &CompiledKeySet,
     p: usize,
     variant: MrVariant,
@@ -265,8 +275,8 @@ fn em_mr_base(
 // Optimized variant (§4.2)
 // ---------------------------------------------------------------------------
 
-struct MapEmOpt<'a> {
-    g: &'a Graph,
+struct MapEmOpt<'a, V> {
+    g: &'a V,
     keys: &'a CompiledKeySet,
     prep: &'a OptPrep,
     snapshot: &'a EqRel,
@@ -274,7 +284,7 @@ struct MapEmOpt<'a> {
     iso_checks: AtomicU64,
 }
 
-impl MapEmOpt<'_> {
+impl<V: GraphView> MapEmOpt<'_, V> {
     fn check(&self, e1: EntityId, e2: EntityId) -> bool {
         let ci = self.prep.index[&(e1, e2)];
         let cand = &self.prep.candidates[ci];
@@ -297,7 +307,7 @@ impl MapEmOpt<'_> {
     }
 }
 
-impl MapReduce for MapEmOpt<'_> {
+impl<V: GraphView> MapReduce for MapEmOpt<'_, V> {
     type KIn = (EntityId, EntityId);
     type VIn = bool;
     type KMid = EntityId;
@@ -337,7 +347,7 @@ impl MapReduce for MapEmOpt<'_> {
     }
 }
 
-fn em_mr_opt(g: &Graph, keys: &CompiledKeySet, p: usize, sim: bool) -> MatchOutcome {
+fn em_mr_opt<V: GraphView>(g: &V, keys: &CompiledKeySet, p: usize, sim: bool) -> MatchOutcome {
     let t0 = Instant::now();
     // Value blocking before pairing: both are sound candidate filters
     // (§4.2 describes pairing; blocking is the standard cheap pre-pass).
@@ -444,6 +454,7 @@ mod tests {
     use crate::chase::{chase_reference, ChaseOrder};
     use crate::keyset::KeySet;
     use gk_graph::parse_graph;
+    use gk_graph::Graph;
 
     fn g1() -> Graph {
         parse_graph(

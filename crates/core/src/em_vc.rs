@@ -30,7 +30,7 @@ use crate::prep::{prepare_opt, OptPrep};
 use crate::product::ProductGraph;
 use crate::report::RunReport;
 use crate::tour::Tour;
-use gk_graph::{EntityId, Graph, NodeId};
+use gk_graph::{EntityId, GraphView, NodeId};
 use gk_isomorph::SlotKind;
 use gk_vertexcentric::{Ctx, Engine, VertexProgram};
 use parking_lot::RwLock;
@@ -63,19 +63,29 @@ impl VcVariant {
 }
 
 /// Runs vertex-centric entity matching with `p` worker threads.
-pub fn em_vc(g: &Graph, keys: &CompiledKeySet, p: usize, variant: VcVariant) -> MatchOutcome {
+pub fn em_vc<V: GraphView>(
+    g: &V,
+    keys: &CompiledKeySet,
+    p: usize,
+    variant: VcVariant,
+) -> MatchOutcome {
     em_vc_mode(g, keys, p, variant, false)
 }
 
 /// Like [`em_vc`] but on the deterministic discrete scheduler:
 /// `RunReport::sim_seconds` carries the ideal `p`-worker makespan
 /// (for scalability sweeps on small hosts).
-pub fn em_vc_sim(g: &Graph, keys: &CompiledKeySet, p: usize, variant: VcVariant) -> MatchOutcome {
+pub fn em_vc_sim<V: GraphView>(
+    g: &V,
+    keys: &CompiledKeySet,
+    p: usize,
+    variant: VcVariant,
+) -> MatchOutcome {
     em_vc_mode(g, keys, p, variant, true)
 }
 
-fn em_vc_mode(
-    g: &Graph,
+fn em_vc_mode<V: GraphView>(
+    g: &V,
     keys: &CompiledKeySet,
     p: usize,
     variant: VcVariant,
@@ -216,8 +226,8 @@ enum VcMsg {
     Activate,
 }
 
-struct EmVcProgram<'a> {
-    g: &'a Graph,
+struct EmVcProgram<'a, V> {
+    g: &'a V,
     keys: &'a CompiledKeySet,
     prep: &'a OptPrep,
     gp: &'a ProductGraph,
@@ -232,7 +242,7 @@ struct EmVcProgram<'a> {
     confirmations: AtomicU64,
 }
 
-impl EmVcProgram<'_> {
+impl<V: GraphView> EmVcProgram<'_, V> {
     fn budget(&self, cand: u32, kpos: u16) -> &AtomicI32 {
         &self.budgets[self.budget_off[cand as usize] + kpos as usize]
     }
@@ -473,7 +483,7 @@ impl EmVcProgram<'_> {
     }
 }
 
-impl VertexProgram for EmVcProgram<'_> {
+impl<V: GraphView> VertexProgram for EmVcProgram<'_, V> {
     type State = ();
     type Msg = VcMsg;
 
@@ -527,6 +537,7 @@ mod tests {
     use crate::em_mr::{em_mr, MrVariant};
     use crate::keyset::KeySet;
     use gk_graph::parse_graph;
+    use gk_graph::Graph;
 
     fn g1() -> Graph {
         parse_graph(

@@ -21,6 +21,11 @@ pub struct EqRel {
     /// can compress paths on `&self` (see module docs).
     parent: Vec<AtomicU32>,
     rank: Vec<u8>,
+    /// Class sizes, valid at roots (`size[find(e)]` is `|class(e)|`).
+    size: Vec<u32>,
+    /// Identified pairs in the closure, maintained incrementally: merging
+    /// classes of sizes `s1` and `s2` adds `s1·s2` cross pairs.
+    num_pairs: usize,
     /// Non-trivial merges in application order — the chase steps.
     merges: Vec<(EntityId, EntityId)>,
 }
@@ -34,6 +39,8 @@ impl Clone for EqRel {
                 .map(|p| AtomicU32::new(p.load(Ordering::Relaxed)))
                 .collect(),
             rank: self.rank.clone(),
+            size: self.size.clone(),
+            num_pairs: self.num_pairs,
             merges: self.merges.clone(),
         }
     }
@@ -45,6 +52,8 @@ impl EqRel {
         EqRel {
             parent: (0..n as u32).map(AtomicU32::new).collect(),
             rank: vec![0; n],
+            size: vec![1; n],
+            num_pairs: 0,
             merges: Vec::new(),
         }
     }
@@ -103,6 +112,10 @@ impl EqRel {
         if self.rank[hi.idx()] == self.rank[lo.idx()] {
             self.rank[hi.idx()] += 1;
         }
+        // Every member of the old classes pairs with every member of the
+        // other: the closure grows by exactly |C_a|·|C_b| pairs.
+        self.num_pairs += self.size[hi.idx()] as usize * self.size[lo.idx()] as usize;
+        self.size[hi.idx()] += self.size[lo.idx()];
         self.merges.push((a, b));
         true
     }
@@ -141,10 +154,15 @@ impl EqRel {
     /// ascending order of their smallest member. This is the shape of
     /// `chase(G, Σ)`'s output.
     pub fn classes(&self) -> Vec<Vec<EntityId>> {
+        // Every member of a size-≥2 class was the argument of some
+        // effective union (by induction over the merge log), so scanning
+        // the O(merges) endpoints — not all n entities — finds every class.
+        let mut ents: Vec<EntityId> = self.merges.iter().flat_map(|&(a, b)| [a, b]).collect();
+        ents.sort_unstable();
+        ents.dedup();
         let mut groups: rustc_hash::FxHashMap<EntityId, Vec<EntityId>> =
             rustc_hash::FxHashMap::default();
-        for i in 0..self.parent.len() as u32 {
-            let e = EntityId(i);
+        for e in ents {
             groups.entry(self.find(e)).or_default().push(e);
         }
         let mut out: Vec<Vec<EntityId>> = groups.into_values().filter(|g| g.len() >= 2).collect();
@@ -173,10 +191,7 @@ impl EqRel {
     /// Number of identified pairs in the closure: `Σ |C|·(|C|−1)/2`.
     /// The "confirmed matches" of Table 2.
     pub fn num_identified_pairs(&self) -> usize {
-        self.classes()
-            .iter()
-            .map(|c| c.len() * (c.len() - 1) / 2)
-            .sum()
+        self.num_pairs
     }
 
     /// Length of the parent chain from `e` to its root (0 at a root).

@@ -25,7 +25,7 @@ use crate::candidates::norm;
 use crate::chase::{ChaseResult, ChaseStep};
 use crate::eqrel::EqRel;
 use crate::keyset::CompiledKeySet;
-use gk_graph::{d_neighborhood, EntityId, Graph, NodeId};
+use gk_graph::{d_neighborhood, EntityId, GraphView, NodeId};
 use gk_isomorph::{eval_pair, MatchScope};
 use rustc_hash::FxHashSet;
 
@@ -39,8 +39,8 @@ use rustc_hash::FxHashSet;
 ///
 /// Returns the delta chase: its `eq` is the *full* updated relation
 /// (previous merges included); its `steps` are only the new ones.
-pub fn chase_incremental(
-    g: &Graph,
+pub fn chase_incremental<V: GraphView>(
+    g: &V,
     keys: &CompiledKeySet,
     prev: &EqRel,
     touched: &[EntityId],
@@ -118,8 +118,8 @@ pub fn chase_incremental(
 
 /// Adds keyed-type pairs around `a` (and, when `other` is given, pairs
 /// pairing `ball(a)` with `ball(other)`) to the pending set.
-fn extend_candidates_around(
-    g: &Graph,
+fn extend_candidates_around<V: GraphView>(
+    g: &V,
     keys: &CompiledKeySet,
     a: EntityId,
     other: Option<EntityId>,
@@ -143,7 +143,7 @@ fn extend_candidates_around(
             // of the graph (one side suffices: the witness near the new
             // triple is anchored here).
             for e1 in ball(a) {
-                for &e2 in g.entities_of_type(g.entity_type(e1)) {
+                for e2 in g.entities_of_type(g.entity_type(e1)) {
                     if e1 != e2 {
                         pending.insert(norm(e1, e2));
                     }
@@ -170,6 +170,7 @@ mod tests {
     use super::*;
     use crate::chase::{chase_reference, ChaseOrder};
     use crate::keyset::KeySet;
+    use gk_graph::Graph;
     use gk_graph::{parse_graph, GraphBuilder};
 
     const KEYS: &str = r#"

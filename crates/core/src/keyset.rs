@@ -9,7 +9,7 @@
 //! of them, plus the compiled, per-graph form the algorithms execute.
 
 use crate::pattern::{Key, KeyError};
-use gk_graph::{Graph, TypeId};
+use gk_graph::{GraphView, TypeId};
 use gk_isomorph::PairPattern;
 use petgraph::algo::{condensation, toposort};
 use petgraph::graph::DiGraph;
@@ -132,7 +132,7 @@ impl KeySet {
     }
 
     /// Compiles the whole set against a graph.
-    pub fn compile(&self, g: &Graph) -> CompiledKeySet {
+    pub fn compile<V: GraphView>(&self, g: &V) -> CompiledKeySet {
         let mut keys = Vec::new();
         let mut skipped = Vec::new();
         for (i, k) in self.keys.iter().enumerate() {

@@ -48,7 +48,7 @@ use crate::candidates::{candidate_pairs, norm, CandidateMode};
 use crate::chase::{chase_reference, shuffle, ChaseOrder, ChaseResult, ChaseStep};
 use crate::eqrel::EqRel;
 use crate::keyset::CompiledKeySet;
-use gk_graph::{entity_shard, EntityId, Graph};
+use gk_graph::{entity_shard, EntityId, GraphView};
 use gk_isomorph::{eval_pair, pairing_at, MatchScope};
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -123,7 +123,11 @@ enum RoundEq<'a> {
 /// Produces the same terminal `Eq` as [`chase_reference`] (Church–Rosser);
 /// `steps` records the globally applied merges with their certifying keys,
 /// so proof generation and `EXPLAIN` work unchanged.
-pub fn chase_parallel(g: &Graph, keys: &CompiledKeySet, opts: ParallelOpts) -> ChaseResult {
+pub fn chase_parallel<V: GraphView>(
+    g: &V,
+    keys: &CompiledKeySet,
+    opts: ParallelOpts,
+) -> ChaseResult {
     let threads = opts.effective_threads();
     let mut open = candidate_pairs(g, keys, opts.mode);
     if let ChaseOrder::Shuffled(seed) = opts.order {
@@ -233,8 +237,8 @@ pub fn chase_parallel(g: &Graph, keys: &CompiledKeySet, opts: ParallelOpts) -> C
 /// One worker's round: advance the round's relation (a local clone of the
 /// snapshot, or the global relation itself for inline rounds) over the
 /// shard's pairs; on fresh failures, extract dependency watches.
-fn run_shard(
-    g: &Graph,
+fn run_shard<V: GraphView>(
+    g: &V,
     keys: &CompiledKeySet,
     round_eq: RoundEq<'_>,
     shard: Vec<(EntityId, EntityId)>,
@@ -299,8 +303,8 @@ fn run_shard(
 /// future `Eq` can (no recursive key, not pairable, or dependencies empty —
 /// then every recursive slot admits only identity bindings, so the verdict
 /// under any larger `Eq` equals the one just computed).
-fn failure_dependencies(
-    g: &Graph,
+fn failure_dependencies<V: GraphView>(
+    g: &V,
     keys: &CompiledKeySet,
     a: EntityId,
     b: EntityId,
@@ -357,7 +361,12 @@ pub enum ChaseEngine {
 
 impl ChaseEngine {
     /// Runs a full chase of `g` under this engine.
-    pub fn full_chase(self, g: &Graph, keys: &CompiledKeySet, order: ChaseOrder) -> ChaseResult {
+    pub fn full_chase<V: GraphView>(
+        self,
+        g: &V,
+        keys: &CompiledKeySet,
+        order: ChaseOrder,
+    ) -> ChaseResult {
         match self {
             ChaseEngine::Reference | ChaseEngine::Incremental => chase_reference(g, keys, order),
             ChaseEngine::Parallel { threads } => chase_parallel(
@@ -423,6 +432,7 @@ mod tests {
     use super::*;
     use crate::keyset::KeySet;
     use gk_graph::parse_graph;
+    use gk_graph::Graph;
 
     fn g1() -> Graph {
         parse_graph(

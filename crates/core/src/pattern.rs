@@ -7,7 +7,7 @@
 //! resolves the names to interned ids and produces the executable
 //! [`PairPattern`](gk_isomorph::PairPattern).
 
-use gk_graph::Graph;
+use gk_graph::GraphView;
 use gk_isomorph::{PTriple, PairPattern, SlotKind};
 use rustc_hash::FxHashMap;
 
@@ -362,7 +362,7 @@ impl Key {
     /// Returns `None` if some predicate, type or constant does not occur in
     /// the graph at all — such a key can never match there (an *inactive*
     /// key, not an error: keys are schema-level artifacts).
-    pub fn compile(&self, g: &Graph) -> Option<PairPattern> {
+    pub fn compile<V: GraphView>(&self, g: &V) -> Option<PairPattern> {
         let (terms, _) = self.term_graph();
         let target = g.etype(&self.target_type)?;
         let mut slots = Vec::with_capacity(terms.len());

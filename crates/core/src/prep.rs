@@ -6,7 +6,7 @@ use crate::candidates::{
     candidate_pairs, norm, pairing_filter_timed, type_pair_count, CandidateMode, PairedCandidate,
 };
 use crate::keyset::CompiledKeySet;
-use gk_graph::{d_neighborhood, EntityId, Graph, NodeSet};
+use gk_graph::{d_neighborhood, EntityId, GraphView, NodeSet};
 use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 
@@ -21,14 +21,18 @@ pub struct NeighborhoodCache {
 
 impl NeighborhoodCache {
     /// Builds the cache for all entities mentioned in `pairs`.
-    pub fn build(g: &Graph, keys: &CompiledKeySet, pairs: &[(EntityId, EntityId)]) -> Self {
+    pub fn build<V: GraphView>(
+        g: &V,
+        keys: &CompiledKeySet,
+        pairs: &[(EntityId, EntityId)],
+    ) -> Self {
         Self::build_timed(g, keys, pairs).0
     }
 
     /// [`build`](Self::build) plus the total parallelizable work spent
     /// (sum of per-entity BFS times), for the simulated-makespan accounting.
-    pub fn build_timed(
-        g: &Graph,
+    pub fn build_timed<V: GraphView>(
+        g: &V,
         keys: &CompiledKeySet,
         pairs: &[(EntityId, EntityId)],
     ) -> (Self, std::time::Duration) {
@@ -94,7 +98,7 @@ pub struct BasePrep {
 }
 
 /// Prepares the base candidate set (the paper's unoptimized `L`).
-pub fn prepare_base(g: &Graph, keys: &CompiledKeySet, mode: CandidateMode) -> BasePrep {
+pub fn prepare_base<V: GraphView>(g: &V, keys: &CompiledKeySet, mode: CandidateMode) -> BasePrep {
     let pairs = candidate_pairs(g, keys, mode);
     let (hoods, work) = NeighborhoodCache::build_timed(g, keys, &pairs);
     BasePrep { pairs, hoods, work }
@@ -122,7 +126,7 @@ pub struct OptPrep {
 
 /// Runs candidate generation + the pairing filter of §4.2 and assembles the
 /// dependency index.
-pub fn prepare_opt(g: &Graph, keys: &CompiledKeySet, mode: CandidateMode) -> OptPrep {
+pub fn prepare_opt<V: GraphView>(g: &V, keys: &CompiledKeySet, mode: CandidateMode) -> OptPrep {
     let unfiltered = type_pair_count(g, keys);
     let raw = candidate_pairs(g, keys, mode);
     let (hoods, hood_work) = NeighborhoodCache::build_timed(g, keys, &raw);
@@ -161,6 +165,7 @@ mod tests {
     use super::*;
     use crate::keyset::KeySet;
     use gk_graph::parse_graph;
+    use gk_graph::Graph;
 
     fn g1() -> Graph {
         parse_graph(

@@ -17,7 +17,7 @@
 
 use crate::keyset::CompiledKeySet;
 use crate::prep::OptPrep;
-use gk_graph::{EntityId, Graph, NodeId, PredId};
+use gk_graph::{EntityId, GraphView, NodeId, PredId};
 use rustc_hash::FxHashMap;
 
 /// The product graph: oriented node pairs with predicate-labeled topology
@@ -46,7 +46,7 @@ pub struct ProductGraph {
 
 impl ProductGraph {
     /// Builds `Gp` from the pairing-filtered candidate set.
-    pub fn build(g: &Graph, _keys: &CompiledKeySet, prep: &OptPrep) -> ProductGraph {
+    pub fn build<V: GraphView>(g: &V, _keys: &CompiledKeySet, prep: &OptPrep) -> ProductGraph {
         // ---- Vertices ---------------------------------------------------
         let mut nodes: Vec<(NodeId, NodeId)> = Vec::new();
         for c in &prep.candidates {
@@ -220,6 +220,7 @@ mod tests {
     use crate::keyset::KeySet;
     use crate::prep::prepare_opt;
     use gk_graph::parse_graph;
+    use gk_graph::Graph;
 
     fn g1() -> Graph {
         parse_graph(

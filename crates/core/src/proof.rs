@@ -17,7 +17,7 @@ use crate::candidates::norm;
 use crate::chase::{chase_reference, ChaseOrder};
 use crate::eqrel::EqRel;
 use crate::keyset::CompiledKeySet;
-use gk_graph::{EntityId, Graph, NodeId};
+use gk_graph::{EntityId, GraphView, NodeId};
 use gk_isomorph::{eval_pair_witness, IdentityEq, MatchScope, SlotKind};
 
 /// One certified chase step.
@@ -102,7 +102,12 @@ impl std::error::Error for ProofError {}
 /// closure identifies the target — a valid (if not always minimal)
 /// certificate; the paper only bounds certificate *size*, which `≤ N²`
 /// holds here since each step identifies a fresh pair.
-pub fn prove(g: &Graph, keys: &CompiledKeySet, e1: EntityId, e2: EntityId) -> Option<Proof> {
+pub fn prove<V: GraphView>(
+    g: &V,
+    keys: &CompiledKeySet,
+    e1: EntityId,
+    e2: EntityId,
+) -> Option<Proof> {
     let target = norm(e1, e2);
     let r = chase_reference(g, keys, ChaseOrder::Deterministic);
     if !r.eq.same(e1, e2) {
@@ -130,7 +135,7 @@ pub fn prove(g: &Graph, keys: &CompiledKeySet, e1: EntityId, e2: EntityId) -> Op
 }
 
 /// Verifies a proof in PTIME: no search, just witness checking.
-pub fn verify(g: &Graph, keys: &CompiledKeySet, proof: &Proof) -> Result<(), ProofError> {
+pub fn verify<V: GraphView>(g: &V, keys: &CompiledKeySet, proof: &Proof) -> Result<(), ProofError> {
     let mut eq = EqRel::identity(g.num_entities());
     for (i, step) in proof.steps.iter().enumerate() {
         let Some(ck) = keys.keys.get(step.key) else {
@@ -153,8 +158,8 @@ pub fn verify(g: &Graph, keys: &CompiledKeySet, proof: &Proof) -> Result<(), Pro
 /// Validates one witness: anchor binding, slot conditions (with `Eq` for
 /// entity variables), per-side injectivity, and every pattern edge on both
 /// sides.
-fn check_witness(
-    g: &Graph,
+fn check_witness<V: GraphView>(
+    g: &V,
     q: &gk_isomorph::PairPattern,
     step: &ProofStep,
     eq: &EqRel,
@@ -251,6 +256,7 @@ mod tests {
     use super::*;
     use crate::keyset::KeySet;
     use gk_graph::parse_graph;
+    use gk_graph::Graph;
 
     fn g1() -> Graph {
         parse_graph(

@@ -10,7 +10,7 @@
 use crate::candidates::{candidate_pairs, norm, CandidateMode};
 use crate::chase::{chase_reference, ChaseOrder};
 use crate::keyset::CompiledKeySet;
-use gk_graph::{EntityId, Graph};
+use gk_graph::{EntityId, GraphView};
 use gk_isomorph::{eval_pair, IdentityEq, MatchScope};
 
 /// A witnessed key violation: two distinct entities the key identifies.
@@ -28,7 +28,7 @@ pub struct Violation {
 ///
 /// `G |= Q(x)` for every key iff this is empty. Recursive keys are checked
 /// against `Eq0` here; use [`set_violations`] for the chase-aware notion.
-pub fn key_violations(g: &Graph, keys: &CompiledKeySet) -> Vec<Violation> {
+pub fn key_violations<V: GraphView>(g: &V, keys: &CompiledKeySet) -> Vec<Violation> {
     let mut out = Vec::new();
     for &(a, b) in &candidate_pairs(g, keys, CandidateMode::TypePairs) {
         let t = g.entity_type(a);
@@ -57,12 +57,12 @@ pub fn key_violations(g: &Graph, keys: &CompiledKeySet) -> Vec<Violation> {
 ///
 /// This is the set-level notion of Example 5: in `G1`, `art1`/`art2` only
 /// becomes a violation *through* the mutual recursion with the album keys.
-pub fn satisfies(g: &Graph, keys: &CompiledKeySet) -> bool {
+pub fn satisfies<V: GraphView>(g: &V, keys: &CompiledKeySet) -> bool {
     set_violations(g, keys).is_empty()
 }
 
 /// All pairs the chase identifies — the set-level violations (duplicates).
-pub fn set_violations(g: &Graph, keys: &CompiledKeySet) -> Vec<(EntityId, EntityId)> {
+pub fn set_violations<V: GraphView>(g: &V, keys: &CompiledKeySet) -> Vec<(EntityId, EntityId)> {
     chase_reference(g, keys, ChaseOrder::Deterministic).identified_pairs()
 }
 
@@ -71,6 +71,7 @@ mod tests {
     use super::*;
     use crate::keyset::KeySet;
     use gk_graph::parse_graph;
+    use gk_graph::Graph;
 
     fn g1() -> Graph {
         parse_graph(

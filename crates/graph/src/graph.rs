@@ -102,7 +102,7 @@ impl GraphBuilder {
     /// This is what allows equivalence relations computed on the old graph
     /// to be reused after updates (incremental matching).
     pub fn from_graph(g: &Graph) -> Self {
-        Self::from_graph_filtered(g, |_| true)
+        Self::from_view(g)
     }
 
     /// Like [`from_graph`](Self::from_graph), but copies only the triples
@@ -110,28 +110,47 @@ impl GraphBuilder {
     /// preserved — dropping a triple never garbage-collects its endpoints —
     /// which is what lets triple deletion keep equivalence relations
     /// id-compatible.
-    pub fn from_graph_filtered(g: &Graph, mut keep: impl FnMut(Triple) -> bool) -> Self {
+    pub fn from_graph_filtered(g: &Graph, keep: impl FnMut(Triple) -> bool) -> Self {
+        Self::from_view_filtered(g, keep)
+    }
+
+    /// Re-opens any [`GraphView`](crate::GraphView) — frozen or overlaid —
+    /// for extension, preserving entity ids exactly like
+    /// [`from_graph`](Self::from_graph). This is the compaction path: an
+    /// overlay materializes into a fresh frozen CSR through it.
+    pub fn from_view<V: crate::GraphView>(v: &V) -> Self {
+        Self::from_view_filtered(v, |_| true)
+    }
+
+    /// The shared copy loop behind [`from_graph`](Self::from_graph),
+    /// [`from_graph_filtered`](Self::from_graph_filtered) and
+    /// [`from_view`](Self::from_view): entity ids (and names) are always
+    /// preserved; only triples `keep` accepts are copied.
+    fn from_view_filtered<V: crate::GraphView>(
+        v: &V,
+        mut keep: impl FnMut(Triple) -> bool,
+    ) -> Self {
         let mut b = GraphBuilder::new();
-        for e in g.entities() {
-            let ty = b.intern_type(g.type_str(g.entity_type(e)));
+        for e in v.entities() {
+            let ty = b.intern_type(v.type_str(v.entity_type(e)));
             let fresh = b.fresh_entity(ty);
             debug_assert_eq!(fresh, e);
-            let label = g.entity_label(e);
-            // Preserve the external name where one was registered.
-            if g.entity_named(&label) == Some(e) {
-                b.set_entity_name(fresh, &label);
+            if let Some(name) = v.entity_name(e) {
+                b.set_entity_name(fresh, name);
             }
         }
-        for t in g.triples() {
-            if !keep(t) {
-                continue;
-            }
-            let p = b.intern_pred(g.pred_str(t.p));
-            match t.o {
-                Obj::Entity(o) => b.link_ids(t.s, p, o),
-                Obj::Value(v) => {
-                    let nv = b.intern_value(g.value_str(v));
-                    b.attr_ids(t.s, p, nv);
+        for s in v.entities() {
+            for &(p, o) in v.out(s) {
+                if !keep(Triple { s, p, o }) {
+                    continue;
+                }
+                let p2 = b.intern_pred(v.pred_str(p));
+                match o {
+                    Obj::Entity(o) => b.link_ids(s, p2, o),
+                    Obj::Value(val) => {
+                        let nv = b.intern_value(v.value_str(val));
+                        b.attr_ids(s, p2, nv);
+                    }
                 }
             }
         }
@@ -475,6 +494,11 @@ impl Graph {
     /// Looks up an entity by its external name.
     pub fn entity_named(&self, name: &str) -> Option<EntityId> {
         self.ent_by_name.get(name).copied()
+    }
+
+    /// The registered external name of `e`, if any.
+    pub fn entity_name(&self, e: EntityId) -> Option<&str> {
+        self.ent_names[e.idx()].as_deref()
     }
 
     /// Human-readable label for entity `e`: its registered name, or `e<id>`.

@@ -34,14 +34,18 @@ mod graph;
 mod ids;
 mod interner;
 mod neighborhood;
+mod overlay;
 mod parse;
 mod shard;
 mod stats;
+mod view;
 
 pub use graph::{Graph, GraphBuilder, Triple};
 pub use ids::{EntityId, NodeId, Obj, PredId, TypeId, ValueId};
 pub use interner::Interner;
 pub use neighborhood::{d_neighborhood, d_neighborhoods, is_forest, NodeSet};
+pub use overlay::{DeltaSegment, OverlayGraph};
 pub use parse::{parse_graph, parse_triple_specs, write_graph, ObjSpec, ParseError, TripleSpec};
 pub use shard::entity_shard;
 pub use stats::GraphStats;
+pub use view::{view_triples, Edges, EntityIdIter, EntityList, GraphView};

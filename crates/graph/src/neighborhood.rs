@@ -6,8 +6,8 @@
 //! property (§4.1). A [`NodeSet`] is such a neighborhood: a set of nodes that
 //! restricts which triples a matcher may use.
 
-use crate::graph::Graph;
 use crate::ids::{EntityId, NodeId};
+use crate::view::GraphView;
 use rayon::prelude::*;
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -86,7 +86,7 @@ impl NodeSet {
     /// Number of triples of `g` with **both** endpoints inside this set —
     /// the size `|G^d|` of the induced subgraph, reported by the
     /// optimization-effect experiments (§6 Exp-1/Exp-3).
-    pub fn induced_triples(&self, g: &Graph) -> usize {
+    pub fn induced_triples<V: GraphView>(&self, g: &V) -> usize {
         self.iter()
             .filter_map(NodeId::as_entity)
             .map(|s| {
@@ -109,7 +109,7 @@ impl FromIterator<NodeId> for NodeSet {
 /// the paper's d-neighbor `G^d` of an entity (§4.1).
 ///
 /// `d = 0` yields just `{e}`.
-pub fn d_neighborhood(g: &Graph, e: EntityId, d: usize) -> NodeSet {
+pub fn d_neighborhood<V: GraphView>(g: &V, e: EntityId, d: usize) -> NodeSet {
     let start = NodeId::entity(e);
     let mut seen: FxHashSet<NodeId> = FxHashSet::default();
     seen.insert(start);
@@ -136,8 +136,8 @@ pub fn d_neighborhood(g: &Graph, e: EntityId, d: usize) -> NodeSet {
 ///
 /// `radius(e)` supplies the per-entity bound: the paper uses the maximum
 /// radius of the keys defined on `e`'s type.
-pub fn d_neighborhoods(
-    g: &Graph,
+pub fn d_neighborhoods<V: GraphView>(
+    g: &V,
     entities: &[EntityId],
     radius: impl Fn(EntityId) -> usize + Sync,
 ) -> Vec<NodeSet> {
@@ -154,7 +154,7 @@ pub fn d_neighborhoods(
 /// PTIME — though it remains hard to parallelize (Theorem 4 holds even on
 /// trees). Callers can use this to pick cheaper settings for tree-shaped
 /// data (e.g. skip the VF2 safety caps).
-pub fn is_forest(g: &Graph) -> bool {
+pub fn is_forest<V: GraphView>(g: &V) -> bool {
     // Union-find over packed node ids; any edge joining two already-
     // connected nodes closes a cycle.
     let mut parent: FxHashMap<NodeId, NodeId> = FxHashMap::default();
@@ -185,7 +185,7 @@ pub fn is_forest(g: &Graph) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::GraphBuilder;
+    use crate::graph::{Graph, GraphBuilder};
 
     /// A path a -> b -> c -> d$ plus an attribute on b.
     fn path_graph() -> Graph {

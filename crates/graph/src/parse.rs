@@ -87,6 +87,34 @@ impl TripleSpec {
             }
         }
     }
+
+    /// Applies this spec to a delta overlay in O(1) amortized — the
+    /// streaming-ingest analogue of [`apply`](Self::apply). Returns the
+    /// subject, the entity object (if any), and whether the triple was
+    /// actually new (a duplicate of a live triple adds nothing).
+    ///
+    /// # Panics
+    /// Panics on an entity-type clash, like [`apply`](Self::apply).
+    pub fn apply_overlay(
+        &self,
+        g: &mut crate::OverlayGraph,
+    ) -> (crate::ids::EntityId, Option<crate::ids::EntityId>, bool) {
+        use crate::ids::Obj;
+        let s = g.entity(&self.subject, &self.subject_type);
+        let p = g.intern_pred(&self.pred);
+        match &self.object {
+            ObjSpec::Entity { name, ty } => {
+                let o = g.entity(name, ty);
+                let added = g.insert_triple(s, p, Obj::Entity(o));
+                (s, Some(o), added)
+            }
+            ObjSpec::Value(v) => {
+                let vid = g.intern_value(v);
+                let added = g.insert_triple(s, p, Obj::Value(vid));
+                (s, None, added)
+            }
+        }
+    }
 }
 
 /// Parses triple-format text into [`TripleSpec`]s without building a graph.

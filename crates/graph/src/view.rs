@@ -1,0 +1,521 @@
+//! The read abstraction every matcher and chase engine consumes.
+//!
+//! [`GraphView`] is the uniform lens over the two physical graph layouts:
+//! the frozen CSR [`Graph`](crate::Graph) and the epoch-based
+//! [`OverlayGraph`](crate::OverlayGraph) (`base CSR + delta segment +
+//! tombstones`). Adjacency is served as [`Edges`] — a three-way sorted
+//! merge of a base CSR slice, a delta slice and a tombstone slice — so
+//! readers keep the sorted-order guarantees the guided matcher's
+//! merge-intersections rely on, while writers append in O(batch) instead
+//! of rebuilding the CSR in O(|G|).
+
+use crate::graph::Graph;
+use crate::ids::{EntityId, NodeId, Obj, PredId, TypeId, ValueId};
+
+/// Sorted adjacency of one node under a view: `base − dead + delta`.
+///
+/// Invariants (maintained by the overlay writer):
+/// * all three slices are sorted by `(PredId, T)`;
+/// * `dead ⊆ base` (tombstones only shadow base edges);
+/// * `delta ∩ base = ∅` (re-inserting a base edge un-tombstones it
+///   instead of duplicating it).
+///
+/// Iteration therefore yields every live edge exactly once, in sorted
+/// order — byte-compatible with iterating a frozen CSR slice.
+#[derive(Clone, Copy, Debug)]
+pub struct Edges<'a, T> {
+    base: &'a [(PredId, T)],
+    delta: &'a [(PredId, T)],
+    dead: &'a [(PredId, T)],
+}
+
+impl<'a, T: Copy + Ord> Edges<'a, T> {
+    /// A view of a plain CSR slice (no delta, no tombstones).
+    #[inline]
+    pub fn frozen(base: &'a [(PredId, T)]) -> Self {
+        Edges {
+            base,
+            delta: &[],
+            dead: &[],
+        }
+    }
+
+    /// A merged view over base, delta and tombstone slices.
+    #[inline]
+    pub fn merged(
+        base: &'a [(PredId, T)],
+        delta: &'a [(PredId, T)],
+        dead: &'a [(PredId, T)],
+    ) -> Self {
+        debug_assert!(base.is_sorted() && delta.is_sorted() && dead.is_sorted());
+        Edges { base, delta, dead }
+    }
+
+    /// Number of live edges.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.base.len() - self.dead.len() + self.delta.len()
+    }
+
+    /// True iff no live edge remains.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the live edges in `(p, t)` order.
+    #[inline]
+    pub fn iter(&self) -> EdgeIter<'a, T> {
+        EdgeIter {
+            base: self.base.iter(),
+            delta: self.delta.iter().peekable(),
+            dead: self.dead.iter().peekable(),
+            pending: None,
+        }
+    }
+
+    /// Membership test (binary search on both layers).
+    pub fn contains(&self, e: &(PredId, T)) -> bool {
+        (self.base.binary_search(e).is_ok() && self.dead.binary_search(e).is_err())
+            || self.delta.binary_search(e).is_ok()
+    }
+
+    /// Restricts to the edges labeled `p` (each layer is contiguous).
+    pub fn with_pred(&self, p: PredId) -> Edges<'a, T> {
+        fn range<T>(all: &[(PredId, T)], p: PredId) -> &[(PredId, T)] {
+            let lo = all.partition_point(|&(q, _)| q < p);
+            let hi = all.partition_point(|&(q, _)| q <= p);
+            &all[lo..hi]
+        }
+        Edges {
+            base: range(self.base, p),
+            delta: range(self.delta, p),
+            dead: range(self.dead, p),
+        }
+    }
+}
+
+impl<'a, T: Copy + Ord> IntoIterator for Edges<'a, T> {
+    type Item = &'a (PredId, T);
+    type IntoIter = EdgeIter<'a, T>;
+
+    fn into_iter(self) -> EdgeIter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<'a, T: Copy + Ord> IntoIterator for &Edges<'a, T> {
+    type Item = &'a (PredId, T);
+    type IntoIter = EdgeIter<'a, T>;
+
+    fn into_iter(self) -> EdgeIter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Iterator over [`Edges`]: merges base (minus tombstones) with delta.
+pub struct EdgeIter<'a, T> {
+    base: std::slice::Iter<'a, (PredId, T)>,
+    delta: std::iter::Peekable<std::slice::Iter<'a, (PredId, T)>>,
+    dead: std::iter::Peekable<std::slice::Iter<'a, (PredId, T)>>,
+    /// A live base edge fetched but not yet emitted (lost a merge race).
+    pending: Option<&'a (PredId, T)>,
+}
+
+impl<'a, T: Copy + Ord> EdgeIter<'a, T> {
+    /// Next base edge that is not tombstoned.
+    fn next_live_base(&mut self) -> Option<&'a (PredId, T)> {
+        if let Some(b) = self.pending.take() {
+            return Some(b);
+        }
+        'outer: for b in self.base.by_ref() {
+            // `dead ⊆ base` and both are sorted: advance the tombstone
+            // cursor past everything smaller, drop `b` on an exact hit.
+            while let Some(&&d) = self.dead.peek() {
+                match d.cmp(b) {
+                    std::cmp::Ordering::Less => {
+                        self.dead.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        self.dead.next();
+                        continue 'outer;
+                    }
+                    std::cmp::Ordering::Greater => break,
+                }
+            }
+            return Some(b);
+        }
+        None
+    }
+}
+
+impl<'a, T: Copy + Ord> Iterator for EdgeIter<'a, T> {
+    type Item = &'a (PredId, T);
+
+    fn next(&mut self) -> Option<&'a (PredId, T)> {
+        match (self.next_live_base(), self.delta.peek().copied()) {
+            (Some(b), Some(d)) => {
+                if *b <= *d {
+                    Some(b)
+                } else {
+                    self.pending = Some(b);
+                    self.delta.next()
+                }
+            }
+            (Some(b), None) => Some(b),
+            (None, _) => self.delta.next(),
+        }
+    }
+}
+
+/// The entities of one type under a view: the base CSR's sorted run plus
+/// the (strictly larger-id) entities appended by the delta.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EntityList<'a> {
+    base: &'a [EntityId],
+    ext: &'a [EntityId],
+}
+
+impl<'a> EntityList<'a> {
+    /// A list over a frozen slice.
+    #[inline]
+    pub fn frozen(base: &'a [EntityId]) -> Self {
+        EntityList { base, ext: &[] }
+    }
+
+    /// A list over a base slice plus a delta extension (all ext ids are
+    /// larger than every base id, so concatenation stays sorted).
+    #[inline]
+    pub fn with_ext(base: &'a [EntityId], ext: &'a [EntityId]) -> Self {
+        EntityList { base, ext }
+    }
+
+    /// Number of entities.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.base.len() + self.ext.len()
+    }
+
+    /// True iff the type has no entities.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th entity in ascending id order.
+    #[inline]
+    pub fn get(&self, i: usize) -> EntityId {
+        if i < self.base.len() {
+            self.base[i]
+        } else {
+            self.ext[i - self.base.len()]
+        }
+    }
+
+    /// Iterates in ascending id order.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = EntityId> + 'a {
+        self.base.iter().chain(self.ext.iter()).copied()
+    }
+}
+
+impl<'a> IntoIterator for EntityList<'a> {
+    type Item = EntityId;
+    type IntoIter = std::iter::Copied<
+        std::iter::Chain<std::slice::Iter<'a, EntityId>, std::slice::Iter<'a, EntityId>>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.base.iter().chain(self.ext.iter()).copied()
+    }
+}
+
+/// Read access to a graph — frozen or overlaid.
+///
+/// Every matcher, chase engine and query path is generic over this trait,
+/// so the resident server can serve reads from `base + delta` without
+/// rebuilding the CSR on each write. Implementations must present the
+/// *same* logical graph semantics as a frozen [`Graph`]:
+/// sorted adjacency, set-of-triples (no duplicates), stable entity ids.
+pub trait GraphView: Sync {
+    /// Number of entity nodes.
+    fn num_entities(&self) -> usize;
+    /// Number of distinct value nodes.
+    fn num_values(&self) -> usize;
+    /// Number of distinct predicates.
+    fn num_preds(&self) -> usize;
+    /// Number of distinct entity types.
+    fn num_types(&self) -> usize;
+    /// Number of live triples, the paper's `|G|`.
+    fn num_triples(&self) -> usize;
+
+    /// Number of nodes (entities + values), the paper's `|V|`.
+    fn num_nodes(&self) -> usize {
+        self.num_entities() + self.num_values()
+    }
+
+    /// The type of entity `e`.
+    fn entity_type(&self, e: EntityId) -> TypeId;
+
+    /// All entities of type `t`, in ascending id order.
+    fn entities_of_type(&self, t: TypeId) -> EntityList<'_>;
+
+    /// Iterates over all entity ids.
+    fn entities(&self) -> EntityIdIter {
+        EntityIdIter(0..self.num_entities() as u32)
+    }
+
+    /// Forward edges of `s`, sorted by `(p, o)`.
+    fn out(&self, s: EntityId) -> Edges<'_, Obj>;
+
+    /// Forward edges of `s` labeled `p`.
+    fn out_with(&self, s: EntityId, p: PredId) -> Edges<'_, Obj> {
+        self.out(s).with_pred(p)
+    }
+
+    /// Reverse edges into entity `o`, sorted by `(p, s)`.
+    fn in_entity(&self, o: EntityId) -> Edges<'_, EntityId>;
+
+    /// Reverse edges into value `o`, sorted by `(p, s)`.
+    fn in_value(&self, o: ValueId) -> Edges<'_, EntityId>;
+
+    /// Reverse edges into any node.
+    fn in_node(&self, n: NodeId) -> Edges<'_, EntityId> {
+        match n.as_entity() {
+            Some(e) => self.in_entity(e),
+            None => self.in_value(n.as_value().expect("value node")),
+        }
+    }
+
+    /// Reverse edges into node `o` labeled `p`.
+    fn in_with(&self, o: NodeId, p: PredId) -> Edges<'_, EntityId> {
+        self.in_node(o).with_pred(p)
+    }
+
+    /// True iff the triple `(s, p, o)` is live in the view.
+    fn has(&self, s: EntityId, p: PredId, o: Obj) -> bool {
+        self.out(s).contains(&(p, o))
+    }
+
+    /// Total degree (in + out) of entity `e`.
+    fn degree(&self, e: EntityId) -> usize {
+        self.out(e).len() + self.in_entity(e).len()
+    }
+
+    /// Calls `f` for every undirected neighbor of `n` (§4.1).
+    fn for_each_undirected_neighbor(&self, n: NodeId, mut f: impl FnMut(NodeId))
+    where
+        Self: Sized,
+    {
+        if let Some(e) = n.as_entity() {
+            for &(_, o) in self.out(e) {
+                f(o.node());
+            }
+            for &(_, s) in self.in_entity(e) {
+                f(NodeId::entity(s));
+            }
+        } else {
+            for &(_, s) in self.in_node(n) {
+                f(NodeId::entity(s));
+            }
+        }
+    }
+
+    /// Resolves a value id to its string.
+    fn value_str(&self, v: ValueId) -> &str;
+    /// Looks up a value by string, if present.
+    fn value(&self, s: &str) -> Option<ValueId>;
+    /// Resolves a predicate id to its name.
+    fn pred_str(&self, p: PredId) -> &str;
+    /// Looks up a predicate by name, if present.
+    fn pred(&self, s: &str) -> Option<PredId>;
+    /// Resolves a type id to its name.
+    fn type_str(&self, t: TypeId) -> &str;
+    /// Looks up a type by name, if present.
+    fn etype(&self, s: &str) -> Option<TypeId>;
+    /// Looks up an entity by its external name.
+    fn entity_named(&self, name: &str) -> Option<EntityId>;
+    /// The registered external name of `e`, if any.
+    fn entity_name(&self, e: EntityId) -> Option<&str>;
+
+    /// Human-readable label for entity `e`: its name, or `e<id>`.
+    fn entity_label(&self, e: EntityId) -> String {
+        match self.entity_name(e) {
+            Some(n) => n.to_string(),
+            None => format!("e{}", e.0),
+        }
+    }
+
+    /// Human-readable label for any node.
+    fn node_label(&self, n: NodeId) -> String {
+        match n.as_entity() {
+            Some(e) => self.entity_label(e),
+            None => format!("{:?}", self.value_str(n.as_value().expect("value node"))),
+        }
+    }
+}
+
+/// Iterator over all entity ids of a view.
+pub struct EntityIdIter(std::ops::Range<u32>);
+
+impl Iterator for EntityIdIter {
+    type Item = EntityId;
+
+    fn next(&mut self) -> Option<EntityId> {
+        self.0.next().map(EntityId)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl ExactSizeIterator for EntityIdIter {}
+
+impl GraphView for Graph {
+    fn num_entities(&self) -> usize {
+        Graph::num_entities(self)
+    }
+
+    fn num_values(&self) -> usize {
+        Graph::num_values(self)
+    }
+
+    fn num_preds(&self) -> usize {
+        Graph::num_preds(self)
+    }
+
+    fn num_types(&self) -> usize {
+        Graph::num_types(self)
+    }
+
+    fn num_triples(&self) -> usize {
+        Graph::num_triples(self)
+    }
+
+    fn entity_type(&self, e: EntityId) -> TypeId {
+        Graph::entity_type(self, e)
+    }
+
+    fn entities_of_type(&self, t: TypeId) -> EntityList<'_> {
+        EntityList::frozen(Graph::entities_of_type(self, t))
+    }
+
+    fn out(&self, s: EntityId) -> Edges<'_, Obj> {
+        Edges::frozen(Graph::out(self, s))
+    }
+
+    fn out_with(&self, s: EntityId, p: PredId) -> Edges<'_, Obj> {
+        Edges::frozen(Graph::out_with(self, s, p))
+    }
+
+    fn in_entity(&self, o: EntityId) -> Edges<'_, EntityId> {
+        Edges::frozen(Graph::in_entity(self, o))
+    }
+
+    fn in_value(&self, o: ValueId) -> Edges<'_, EntityId> {
+        Edges::frozen(Graph::in_value(self, o))
+    }
+
+    fn in_with(&self, o: NodeId, p: PredId) -> Edges<'_, EntityId> {
+        Edges::frozen(Graph::in_with(self, o, p))
+    }
+
+    fn has(&self, s: EntityId, p: PredId, o: Obj) -> bool {
+        Graph::has(self, s, p, o)
+    }
+
+    fn value_str(&self, v: ValueId) -> &str {
+        Graph::value_str(self, v)
+    }
+
+    fn value(&self, s: &str) -> Option<ValueId> {
+        Graph::value(self, s)
+    }
+
+    fn pred_str(&self, p: PredId) -> &str {
+        Graph::pred_str(self, p)
+    }
+
+    fn pred(&self, s: &str) -> Option<PredId> {
+        Graph::pred(self, s)
+    }
+
+    fn type_str(&self, t: TypeId) -> &str {
+        Graph::type_str(self, t)
+    }
+
+    fn etype(&self, s: &str) -> Option<TypeId> {
+        Graph::etype(self, s)
+    }
+
+    fn entity_named(&self, name: &str) -> Option<EntityId> {
+        Graph::entity_named(self, name)
+    }
+
+    fn entity_name(&self, e: EntityId) -> Option<&str> {
+        Graph::entity_name(self, e)
+    }
+}
+
+/// Iterates all live triples of a view in `(s, p, o)` order.
+pub fn view_triples<V: GraphView>(v: &V) -> impl Iterator<Item = crate::Triple> + '_ {
+    v.entities().flat_map(move |s| {
+        v.out(s)
+            .iter()
+            .map(move |&(p, o)| crate::Triple { s, p, o })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pe(p: u32, o: u32) -> (PredId, EntityId) {
+        (PredId(p), EntityId(o))
+    }
+
+    #[test]
+    fn merge_iterates_sorted_union_minus_dead() {
+        let base = [pe(0, 1), pe(0, 3), pe(1, 0), pe(2, 5)];
+        let delta = [pe(0, 2), pe(1, 9), pe(3, 0)];
+        let dead = [pe(0, 3), pe(2, 5)];
+        let e = Edges::merged(&base, &delta, &dead);
+        let got: Vec<_> = e.iter().copied().collect();
+        assert_eq!(got, vec![pe(0, 1), pe(0, 2), pe(1, 0), pe(1, 9), pe(3, 0)]);
+        assert_eq!(e.len(), got.len());
+        assert!(e.contains(&pe(0, 2)));
+        assert!(e.contains(&pe(0, 1)));
+        assert!(!e.contains(&pe(0, 3)), "tombstoned");
+        assert!(!e.contains(&pe(2, 5)), "tombstoned");
+        assert!(!e.contains(&pe(7, 7)));
+    }
+
+    #[test]
+    fn with_pred_restricts_every_layer() {
+        let base = [pe(0, 1), pe(1, 2), pe(1, 4)];
+        let delta = [pe(1, 3)];
+        let dead = [pe(1, 2)];
+        let e = Edges::merged(&base, &delta, &dead).with_pred(PredId(1));
+        let got: Vec<_> = e.iter().copied().collect();
+        assert_eq!(got, vec![pe(1, 3), pe(1, 4)]);
+        assert!(Edges::merged(&base, &delta, &dead)
+            .with_pred(PredId(9))
+            .is_empty());
+    }
+
+    #[test]
+    fn entity_list_concatenates_in_order() {
+        let base = [EntityId(0), EntityId(4)];
+        let ext = [EntityId(7), EntityId(9)];
+        let l = EntityList::with_ext(&base, &ext);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.get(1), EntityId(4));
+        assert_eq!(l.get(2), EntityId(7));
+        let all: Vec<_> = l.iter().collect();
+        assert_eq!(
+            all,
+            vec![EntityId(0), EntityId(4), EntityId(7), EntityId(9)]
+        );
+    }
+}

@@ -9,7 +9,7 @@
 //! cross-check may stop early.
 
 use crate::pairpattern::{EqOracle, PairPattern, SlotKind, Step};
-use gk_graph::{EntityId, Graph, NodeId, NodeSet};
+use gk_graph::{EntityId, GraphView, NodeId, NodeSet};
 
 /// One complete single-side match: slot index → matched node.
 pub type Valuation = Box<[NodeId]>;
@@ -20,8 +20,8 @@ pub type Valuation = Box<[NodeId]>;
 /// `cap` bounds the number of matches collected as a safety valve for
 /// adversarial graphs; the paper's baseline has no such bound, so pass
 /// `usize::MAX` to mirror it exactly.
-pub fn enumerate_matches(
-    g: &Graph,
+pub fn enumerate_matches<G: GraphView>(
+    g: &G,
     q: &PairPattern,
     e: EntityId,
     scope: Option<&NodeSet>,
@@ -48,8 +48,8 @@ pub fn enumerate_matches(
     en.out
 }
 
-struct Enumerator<'a> {
-    g: &'a Graph,
+struct Enumerator<'a, G> {
+    g: &'a G,
     q: &'a PairPattern,
     scope: Option<&'a NodeSet>,
     cap: usize,
@@ -57,7 +57,7 @@ struct Enumerator<'a> {
     out: Vec<Valuation>,
 }
 
-impl Enumerator<'_> {
+impl<G: GraphView> Enumerator<'_, G> {
     fn run(&mut self, step_idx: usize) {
         if self.out.len() >= self.cap {
             return;
@@ -166,8 +166,8 @@ pub fn coincide<E: EqOracle + ?Sized>(
 /// (no early termination, as in `EM^VF2_MR`), then search for a coinciding
 /// pair.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
-pub fn eval_pair_enumerate<E: EqOracle + ?Sized>(
-    g: &Graph,
+pub fn eval_pair_enumerate<G: GraphView, E: EqOracle + ?Sized>(
+    g: &G,
     q: &PairPattern,
     e1: EntityId,
     e2: EntityId,
@@ -190,6 +190,7 @@ mod tests {
     use super::*;
     use crate::guided::{eval_pair, MatchScope};
     use crate::pairpattern::{IdentityEq, PTriple};
+    use gk_graph::Graph;
     use gk_graph::{parse_graph, TypeId};
 
     fn pt(s: u16, p: gk_graph::PredId, o: u16) -> PTriple {

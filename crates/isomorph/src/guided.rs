@@ -10,7 +10,7 @@
 //! `(G, {Q(x)}) |= (e1, e2)` iff `m` can be fully instantiated).
 
 use crate::pairpattern::{EqOracle, PairPattern, SlotKind, Step};
-use gk_graph::{EntityId, Graph, NodeId, NodeSet, Obj, PredId};
+use gk_graph::{EntityId, GraphView, NodeId, NodeSet, Obj, PredId};
 
 /// Restricts a matching problem to node scopes (the d-neighborhoods of the
 /// paper's data-locality property, §4.1) .
@@ -49,8 +49,8 @@ impl<'a> MatchScope<'a> {
 /// matches of `Q(x)` exist at `e1` and `e2` under the current `Eq`?
 ///
 /// Early-terminating: stops at the first full instantiation.
-pub fn eval_pair<E: EqOracle + ?Sized>(
-    g: &Graph,
+pub fn eval_pair<G: GraphView, E: EqOracle + ?Sized>(
+    g: &G,
     q: &PairPattern,
     e1: EntityId,
     e2: EntityId,
@@ -62,8 +62,8 @@ pub fn eval_pair<E: EqOracle + ?Sized>(
 
 /// Like [`eval_pair`] but returns the witness instantiation vector
 /// `m[s_Q] = (s1, s2)` (indexed by slot), used to build proof graphs.
-pub fn eval_pair_witness<E: EqOracle + ?Sized>(
-    g: &Graph,
+pub fn eval_pair_witness<G: GraphView, E: EqOracle + ?Sized>(
+    g: &G,
     q: &PairPattern,
     e1: EntityId,
     e2: EntityId,
@@ -98,8 +98,8 @@ pub fn eval_pair_witness<E: EqOracle + ?Sized>(
     }
 }
 
-struct Searcher<'a, E: ?Sized> {
-    g: &'a Graph,
+struct Searcher<'a, G, E: ?Sized> {
+    g: &'a G,
     q: &'a PairPattern,
     eq: &'a E,
     scope: MatchScope<'a>,
@@ -107,7 +107,7 @@ struct Searcher<'a, E: ?Sized> {
     m: Vec<Option<(NodeId, NodeId)>>,
 }
 
-impl<E: EqOracle + ?Sized> Searcher<'_, E> {
+impl<G: GraphView, E: EqOracle + ?Sized> Searcher<'_, G, E> {
     fn search(&mut self, step_idx: usize) -> bool {
         let Some(&step) = self.q.plan().get(step_idx) else {
             return true; // all steps done: m fully instantiated and verified
@@ -201,24 +201,27 @@ impl<E: EqOracle + ?Sized> Searcher<'_, E> {
                     && self.try_bind(step_idx, slot, o.node(), o.node())
             }
             SlotKind::ValueVar => {
-                // Both adjacency slices are sorted by object, so the common
-                // values are a sorted-merge intersection.
-                let a = self.g.out_with(s1, p);
-                let b = self.g.out_with(s2, p);
-                let (mut i, mut j) = (0, 0);
-                while i < a.len() && j < b.len() {
-                    match a[i].1.cmp(&b[j].1) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
+                // Both adjacency views iterate sorted by object, so the
+                // common values are a sorted-merge intersection.
+                let mut a = self.g.out_with(s1, p).iter().peekable();
+                let mut b = self.g.out_with(s2, p).iter().peekable();
+                while let (Some(&&(_, oa)), Some(&&(_, ob))) = (a.peek(), b.peek()) {
+                    match oa.cmp(&ob) {
+                        std::cmp::Ordering::Less => {
+                            a.next();
+                        }
+                        std::cmp::Ordering::Greater => {
+                            b.next();
+                        }
                         std::cmp::Ordering::Equal => {
-                            if let Obj::Value(_) = a[i].1 {
-                                let n = a[i].1.node();
+                            if let Obj::Value(_) = oa {
+                                let n = oa.node();
                                 if self.try_bind(step_idx, slot, n, n) {
                                     return true;
                                 }
                             }
-                            i += 1;
-                            j += 1;
+                            a.next();
+                            b.next();
                         }
                     }
                 }
@@ -269,6 +272,7 @@ impl<E: EqOracle + ?Sized> Searcher<'_, E> {
 mod tests {
     use super::*;
     use crate::pairpattern::{IdentityEq, PTriple};
+    use gk_graph::Graph;
     use gk_graph::{parse_graph, GraphBuilder};
 
     fn pt(s: u16, p: PredId, o: u16) -> PTriple {

@@ -13,7 +13,7 @@
 //! graph (§5.1).
 
 use crate::pairpattern::{PairPattern, SlotKind};
-use gk_graph::{EntityId, Graph, NodeId, NodeSet, Obj};
+use gk_graph::{EntityId, GraphView, NodeId, NodeSet, Obj};
 use rustc_hash::FxHashSet;
 
 /// The maximum pairing relation of one pattern, grouped by slot:
@@ -92,8 +92,8 @@ impl Pairing {
 /// With a single seed `(e1, e2)` this is the paper's `P^Q` at `(e1, e2)`
 /// (Prop. 9); seeding all candidate pairs of a type at once yields the
 /// global relation used to build the product graph (§5.1).
-pub fn pairing_seeded(
-    g: &Graph,
+pub fn pairing_seeded<G: GraphView>(
+    g: &G,
     q: &PairPattern,
     seeds: &[(EntityId, EntityId)],
     scope1: Option<&NodeSet>,
@@ -222,8 +222,8 @@ pub fn pairing_seeded(
 }
 
 /// Convenience: the pairing relation of `q` at a single candidate pair.
-pub fn pairing_at(
-    g: &Graph,
+pub fn pairing_at<G: GraphView>(
+    g: &G,
     q: &PairPattern,
     e1: EntityId,
     e2: EntityId,
@@ -239,6 +239,7 @@ mod tests {
     use crate::guided::{eval_pair, MatchScope};
     use crate::pairpattern::{IdentityEq, PTriple, SlotKind};
     use gk_graph::parse_graph;
+    use gk_graph::Graph;
 
     fn pt(s: u16, p: gk_graph::PredId, o: u16) -> PTriple {
         PTriple { s, p, o }

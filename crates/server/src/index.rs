@@ -12,6 +12,19 @@
 //! always sees either the complete pre-update or the complete post-update
 //! `Eq` — never a torn intermediate.
 //!
+//! ## The write path is O(batch), not O(|G|)
+//!
+//! The served graph is an [`OverlayGraph`]: an immutable base CSR shared
+//! behind an `Arc` across versions plus a bounded delta segment (appended
+//! triples in sorted per-entity adjacency, tombstones for deletions,
+//! id-stable interner/entity extensions). An `INSERT` batch clones the
+//! delta (O(delta), never O(|G|)), appends, and runs the monotone delta
+//! chase; a `DELETE` tombstones and re-chases *through the view* without
+//! rebuilding the CSR. Once `delta_triples + tombstones` crosses the
+//! [compaction threshold](EmIndex::set_compact_threshold) — or when
+//! `COMPACT` runs — the delta is folded into a fresh base CSR (the only
+//! place the old rebuild-per-write cost survives, now amortized).
+//!
 //! ## Durability
 //!
 //! With a [`Durability`] config the index writes through a
@@ -30,7 +43,7 @@ use gk_core::{
     chase_incremental, prove, verify, write_keys, ChaseEngine, ChaseOrder, ChaseStep,
     CompiledKeySet, EqRel, KeySet, Proof,
 };
-use gk_graph::{EntityId, Graph, GraphBuilder, Obj, ObjSpec, Triple, TripleSpec};
+use gk_graph::{EntityId, Graph, GraphView, Obj, ObjSpec, OverlayGraph, Triple, TripleSpec};
 use gk_store::{
     CompactReport, Durability, FsyncMode, Recovered, SnapshotData, Store, WalKind, WalRecord,
 };
@@ -178,8 +191,9 @@ impl Drop for StepSeg {
 
 /// One immutable, fully indexed version of the resolution state.
 pub struct IndexState {
-    /// The graph this version was chased on.
-    pub graph: Graph,
+    /// The graph this version was chased on: a shared frozen base plus
+    /// this version's delta overlay.
+    pub graph: OverlayGraph,
     /// Σ compiled against [`IndexState::graph`].
     pub compiled: CompiledKeySet,
     /// The terminal `Eq` — `chase(G, Σ)`.
@@ -198,7 +212,7 @@ pub struct IndexState {
 
 impl IndexState {
     fn build(
-        graph: Graph,
+        graph: OverlayGraph,
         compiled: CompiledKeySet,
         eq: EqRel,
         steps: StepLog,
@@ -269,6 +283,9 @@ pub struct IndexStats {
     pub noops: AtomicU64,
     /// Chase rounds across all applied updates (delta and full).
     pub update_rounds: AtomicU64,
+    /// Delta-overlay compactions folded into a fresh base CSR (threshold-
+    /// triggered and `COMPACT`-triggered alike).
+    pub compactions: AtomicU64,
     /// Rounds of the startup chase (or of the recovery replay).
     pub startup_rounds: AtomicU64,
     /// Isomorphism checks of the startup chase (or recovery replay).
@@ -287,9 +304,18 @@ pub struct EmIndex {
     ingest: Mutex<()>,
     /// The durable write-through store; `None` runs purely in memory.
     store: Option<Store>,
+    /// Fold the delta into a fresh base CSR once
+    /// `delta_triples + tombstones` reaches this; 0 disables automatic
+    /// compaction.
+    compact_threshold: usize,
     /// Cumulative update counters.
     pub stats: IndexStats,
 }
+
+/// Default [`EmIndex::set_compact_threshold`]: the delta stays small
+/// enough that per-batch clone cost is negligible while compactions stay
+/// rare on streaming workloads.
+pub const DEFAULT_COMPACT_THRESHOLD: usize = 1 << 16;
 
 impl EmIndex {
     /// Loads a graph and a key set, runs the startup chase with the default
@@ -305,15 +331,27 @@ impl EmIndex {
     /// threads via [`gk_core::chase_parallel`].
     pub fn with_engine(graph: Graph, keys: KeySet, engine: ChaseEngine) -> Self {
         let stats = IndexStats::default();
-        let state = startup_chase(graph, &keys, engine, &stats);
+        let state = startup_chase(OverlayGraph::new(graph), &keys, engine, &stats);
         EmIndex {
             keys,
             engine,
             state: RwLock::new(Arc::new(state)),
             ingest: Mutex::new(()),
             store: None,
+            compact_threshold: DEFAULT_COMPACT_THRESHOLD,
             stats,
         }
+    }
+
+    /// Sets the delta-compaction threshold (`delta_triples + tombstones`);
+    /// `0` disables automatic compaction. Configure before serving traffic.
+    pub fn set_compact_threshold(&mut self, threshold: usize) {
+        self.compact_threshold = threshold;
+    }
+
+    /// The configured delta-compaction threshold (0 = off).
+    pub fn compact_threshold(&self) -> usize {
+        self.compact_threshold
     }
 
     /// Opens the index **durably**: accepted updates are logged to
@@ -332,6 +370,19 @@ impl EmIndex {
         engine: ChaseEngine,
         dur: &Durability,
     ) -> Result<(Self, RecoveryReport), String> {
+        Self::open_durable_with(graph, keys, engine, dur, DEFAULT_COMPACT_THRESHOLD)
+    }
+
+    /// [`EmIndex::open_durable`] with an explicit delta-compaction
+    /// threshold (`0` = off) — honored both by the serving write path and
+    /// by the recovery replay's post-replay fold.
+    pub fn open_durable_with(
+        graph: Graph,
+        keys: KeySet,
+        engine: ChaseEngine,
+        dur: &Durability,
+        compact_threshold: usize,
+    ) -> Result<(Self, RecoveryReport), String> {
         let store = open_store(dur)?;
         match store.recover().map_err(|e| e.to_string())? {
             Some(rec) => {
@@ -344,17 +395,18 @@ impl EmIndex {
                         dur.dir
                     ));
                 }
-                Self::from_recovered(store, rec, keys, engine)
+                Self::from_recovered(store, rec, keys, engine, compact_threshold)
             }
             None => {
                 let stats = IndexStats::default();
-                let state = startup_chase(graph, &keys, engine, &stats);
+                let state = startup_chase(OverlayGraph::new(graph), &keys, engine, &stats);
                 let index = EmIndex {
                     keys,
                     engine,
                     state: RwLock::new(Arc::new(state)),
                     ingest: Mutex::new(()),
                     store: Some(store),
+                    compact_threshold,
                     stats,
                 };
                 // Initial snapshot: the next start is load + replay.
@@ -381,13 +433,23 @@ impl EmIndex {
         dur: &Durability,
         engine: ChaseEngine,
     ) -> Result<Option<(Self, RecoveryReport)>, String> {
+        Self::recover_durable_with(dur, engine, DEFAULT_COMPACT_THRESHOLD)
+    }
+
+    /// [`EmIndex::recover_durable`] with an explicit delta-compaction
+    /// threshold (`0` = off).
+    pub fn recover_durable_with(
+        dur: &Durability,
+        engine: ChaseEngine,
+        compact_threshold: usize,
+    ) -> Result<Option<(Self, RecoveryReport)>, String> {
         let store = open_store(dur)?;
         match store.recover().map_err(|e| e.to_string())? {
             None => Ok(None),
             Some(rec) => {
                 let keys = KeySet::parse(&rec.snapshot.keys_dsl)
                     .map_err(|e| format!("persisted key set does not parse: {e}"))?;
-                Self::from_recovered(store, rec, keys, engine).map(Some)
+                Self::from_recovered(store, rec, keys, engine, compact_threshold).map(Some)
             }
         }
     }
@@ -398,6 +460,7 @@ impl EmIndex {
         rec: Recovered,
         keys: KeySet,
         engine: ChaseEngine,
+        compact_threshold: usize,
     ) -> Result<(Self, RecoveryReport), String> {
         let t0 = Instant::now();
         let snapshot_seq = rec.snapshot.seq;
@@ -405,7 +468,7 @@ impl EmIndex {
         let wal_torn = rec.wal_torn;
         let skipped_snapshots = rec.skipped_snapshots;
         let stats = IndexStats::default();
-        let (state, replay_mode) = replay(rec, &keys, engine, &stats)?;
+        let (state, replay_mode) = replay(rec, &keys, engine, compact_threshold, &stats)?;
         stats
             .startup_micros
             .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
@@ -415,6 +478,7 @@ impl EmIndex {
             state: RwLock::new(Arc::new(state)),
             ingest: Mutex::new(()),
             store: Some(store),
+            compact_threshold,
             stats,
         };
         Ok((
@@ -468,15 +532,39 @@ impl EmIndex {
     }
 
     /// Cuts a snapshot, truncates the WAL and prunes older snapshots.
+    ///
+    /// `COMPACT` also folds the in-memory delta overlay into the freshly
+    /// materialized base CSR, so the same O(|G|) pass serves both the
+    /// on-disk snapshot and the in-memory epoch bump.
     pub fn compact_store(&self) -> Result<CompactReport, String> {
-        Ok(self
-            .persist_with("compaction", |store, data| store.compact(data))?
-            .1)
+        let store = self.store_or_err()?;
+        let _writer = self.ingest.lock();
+        let (frz, report) = self
+            .freeze_and(store, |store, data| store.compact(data))
+            .map_err(|e| format!("compaction failed: {e}"))?;
+        let snap = frz.snap;
+        if !snap.graph.is_compact() {
+            // Reuse the materialized CSR — and the compile + remapped step
+            // log freeze_and already produced against it — as the new
+            // in-memory state: same logical graph and Eq, same version;
+            // only the layout moved.
+            self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+            let g2 = OverlayGraph::from_arc(frz.graph, snap.graph.epoch() + 1);
+            let next = IndexState::build(
+                g2,
+                frz.compiled,
+                snap.eq.clone(),
+                StepLog::from_steps(frz.steps),
+                snap.version,
+            );
+            *self.state.write() = Arc::new(next);
+        }
+        Ok(report)
     }
 
     /// Freezes the current state under the ingest lock and hands it to a
-    /// store operation — the one place that decides what a snapshot
-    /// captures, shared by `SNAPSHOT` and `COMPACT`.
+    /// store operation. The overlay materializes into a frozen CSR for the
+    /// codec; an already-compact overlay shares its base instead.
     fn persist_with<T>(
         &self,
         what: &str,
@@ -484,20 +572,52 @@ impl EmIndex {
     ) -> Result<(u64, T), String> {
         let store = self.store_or_err()?;
         let _writer = self.ingest.lock();
+        let (frz, out) = self
+            .freeze_and(store, op)
+            .map_err(|e| format!("{what} failed: {e}"))?;
+        Ok((frz.snap.version, out))
+    }
+
+    /// The one place that decides what a snapshot captures: freezes the
+    /// current state (sharing the base when the overlay is already
+    /// compact, materializing otherwise) and hands it to a store
+    /// operation. Call with the ingest lock held.
+    fn freeze_and<T>(
+        &self,
+        store: &Store,
+        op: impl FnOnce(&Store, &SnapshotData<'_>) -> std::io::Result<T>,
+    ) -> std::io::Result<(FrozenState, T)> {
         let snap = self.snapshot();
         let dsl = write_keys(self.keys.keys());
-        let steps = snap.steps().to_vec();
+        let frozen = if snap.graph.is_compact() {
+            Arc::clone(snap.graph.base())
+        } else {
+            Arc::new(snap.graph.materialize())
+        };
+        // Recovery assumes the persisted steps are attributed against a
+        // compile of exactly the persisted graph — whose pruned interner
+        // can deactivate keys the overlay still compiled (their vocabulary
+        // may survive only in the base interner). Remap before writing.
+        let compiled = self.keys.compile(frozen.as_ref());
+        let steps = remap_steps(&snap.compiled, &compiled, snap.steps().to_vec());
         let out = op(
             store,
             &SnapshotData {
                 seq: snap.version,
                 keys_dsl: &dsl,
-                graph: &snap.graph,
+                graph: &frozen,
                 steps: &steps,
             },
-        )
-        .map_err(|e| format!("{what} failed: {e}"))?;
-        Ok((snap.version, out))
+        )?;
+        Ok((
+            FrozenState {
+                snap,
+                graph: frozen,
+                compiled,
+                steps,
+            },
+            out,
+        ))
     }
 
     fn store_or_err(&self) -> Result<&Store, String> {
@@ -508,20 +628,22 @@ impl EmIndex {
 
     /// Applies an insert-only batch of triples.
     ///
-    /// Entity ids are stable: the new graph re-opens the old one via
-    /// [`GraphBuilder::from_graph`], so the previous terminal `Eq` seeds a
-    /// delta chase ([`chase_incremental`]) woken only around the touched
-    /// entities. Returns an error (and changes nothing) if a triple
-    /// re-declares an existing entity with a different type, or if the
-    /// write-ahead log cannot record the batch.
+    /// Entity ids are stable and the write is **O(batch + delta)**: the
+    /// new version clones the previous overlay (sharing the frozen base
+    /// CSR through an `Arc`) and appends into the delta segment — no
+    /// rebuild — so the previous terminal `Eq` seeds a delta chase
+    /// ([`chase_incremental`]) woken only around the touched entities.
+    /// Returns an error (and changes nothing) if a triple re-declares an
+    /// existing entity with a different type, or if the write-ahead log
+    /// cannot record the batch.
     pub fn insert(&self, specs: &[TripleSpec]) -> Result<AdvanceReport, String> {
         let _writer = self.ingest.lock();
         let snap = self.snapshot();
 
         // Validate entity types against the graph and within the batch
-        // before touching the builder (GraphBuilder panics on a clash).
+        // before touching the overlay (OverlayGraph panics on a clash).
         fn check<'a>(
-            g: &Graph,
+            g: &OverlayGraph,
             batch: &mut FxHashMap<&'a str, &'a str>,
             name: &'a str,
             ty: &'a str,
@@ -553,20 +675,19 @@ impl EmIndex {
         }
 
         let old_entities = snap.graph.num_entities();
-        let mut b = GraphBuilder::from_graph(&snap.graph);
+        let mut g2 = snap.graph.clone();
         let mut touched: Vec<EntityId> = Vec::new();
+        let mut added = 0usize;
         for s in specs {
-            let (subj, obj) = s.apply(&mut b);
+            let (subj, obj, new) = s.apply_overlay(&mut g2);
             touched.push(subj);
             touched.extend(obj);
+            added += usize::from(new);
         }
         touched.sort_unstable();
         touched.dedup();
-        let g2 = b.freeze();
 
-        if g2.num_triples() == snap.graph.num_triples()
-            && g2.num_entities() == snap.graph.num_entities()
-        {
+        if added == 0 && g2.num_entities() == old_entities {
             self.stats.noops.fetch_add(1, Ordering::Relaxed);
             return Ok(AdvanceReport {
                 mode: AdvanceMode::NoOp,
@@ -578,6 +699,7 @@ impl EmIndex {
                 iso_checks: 0,
             });
         }
+        let g2 = self.maybe_compact(g2);
 
         // The heavy part runs without the state lock: readers keep serving
         // the previous snapshot.
@@ -608,8 +730,13 @@ impl EmIndex {
         };
         let steps2 = match mode {
             // The delta result reports only the new steps; the accumulated
-            // log shares its prefix with the previous state.
-            AdvanceMode::Incremental => snap.steps.appended(result.steps),
+            // log shares its prefix with the previous state. When the
+            // recompile shifted active-key indices (a key activated on new
+            // vocabulary, or a compaction pruned one), the prefix is
+            // remapped through the stable source-key indices first.
+            AdvanceMode::Incremental => {
+                remap_step_log(&snap.compiled, &compiled2, &snap.steps).appended(result.steps)
+            }
             _ => StepLog::from_steps(result.steps),
         };
         // Write-ahead: the accepted batch must be on the log before the
@@ -629,13 +756,16 @@ impl EmIndex {
         Ok(report)
     }
 
-    /// Deletes a batch of triples and recomputes the chase from scratch —
-    /// **once** for the whole batch.
+    /// Deletes a batch of triples — tombstones in the delta overlay, no
+    /// CSR rebuild — and recomputes the chase from scratch **once** for
+    /// the whole batch.
     ///
     /// Keys are monotone only under *insertions*; a deletion can invalidate
     /// prior merges, so this is the documented full re-chase fallback. A
     /// batch of consecutive deletions therefore costs one re-chase, not
-    /// one per triple.
+    /// one per triple; the physical rebuild is deferred to compaction. A
+    /// batch whose doomed set turns out empty is a no-op: no re-chase, no
+    /// version bump.
     pub fn delete(&self, specs: &[TripleSpec]) -> Result<AdvanceReport, String> {
         let _writer = self.ingest.lock();
         let snap = self.snapshot();
@@ -652,12 +782,29 @@ impl EmIndex {
             doomed.insert(t);
         }
         if doomed.is_empty() {
-            return Err("DELETE needs at least one triple".into());
+            // Nothing resolved to a live triple: short-circuit without
+            // re-chasing or bumping the version.
+            self.stats.noops.fetch_add(1, Ordering::Relaxed);
+            return Ok(AdvanceReport {
+                mode: AdvanceMode::NoOp,
+                triples: specs.len(),
+                touched: 0,
+                new_entities: 0,
+                new_pairs: 0,
+                rounds: 0,
+                iso_checks: 0,
+            });
         }
 
-        // Rebuild the graph without the triples — entity ids and names are
-        // preserved (entities are never garbage-collected by deletion).
-        let g2 = GraphBuilder::from_graph_filtered(g, |t| !doomed.contains(&t)).freeze();
+        // Tombstone the triples in a cloned overlay — entity ids and names
+        // are preserved (entities are never garbage-collected by deletion),
+        // and the base CSR stays shared.
+        let mut g2 = snap.graph.clone();
+        for &t in &doomed {
+            let removed = g2.delete_triple(t);
+            debug_assert!(removed, "resolved triple must be live");
+        }
+        let g2 = self.maybe_compact(g2);
         let compiled2 = self.keys.compile(&g2);
         let full = self
             .engine
@@ -689,6 +836,13 @@ impl EmIndex {
         Ok(report)
     }
 
+    /// Folds the overlay's delta into a fresh base CSR when it crossed the
+    /// configured threshold (the only O(|G|) step on the write path,
+    /// amortized over the batches that filled the delta).
+    fn maybe_compact(&self, g: OverlayGraph) -> OverlayGraph {
+        fold_if_over_threshold(g, self.compact_threshold, &self.stats)
+    }
+
     /// Appends an accepted batch to the WAL (no-op without durability).
     fn log_update(&self, kind: WalKind, seq: u64, specs: &[TripleSpec]) -> Result<(), String> {
         let Some(store) = &self.store else {
@@ -704,9 +858,83 @@ impl EmIndex {
     }
 }
 
+/// What [`EmIndex::freeze_and`] captured: the snapshot it froze, the
+/// frozen CSR, and Σ compiled + the step log remapped against that CSR —
+/// exactly what the store wrote, reusable for an in-memory epoch bump.
+struct FrozenState {
+    snap: Arc<IndexState>,
+    graph: Arc<Graph>,
+    compiled: CompiledKeySet,
+    steps: Vec<ChaseStep>,
+}
+
+/// The one compaction trigger, shared by the serving write path
+/// ([`EmIndex::maybe_compact`]) and the recovery replay: fold the delta
+/// into a fresh base once `delta_triples + tombstones` reaches the
+/// threshold (`0` disables).
+fn fold_if_over_threshold(g: OverlayGraph, threshold: usize, stats: &IndexStats) -> OverlayGraph {
+    if threshold > 0 && g.delta_size() >= threshold {
+        stats.compactions.fetch_add(1, Ordering::Relaxed);
+        g.compacted()
+    } else {
+        g
+    }
+}
+
+/// Remaps a step log's key attribution from one compiled key set to
+/// another. Compiled indices are dense over the *active* keys, so a key
+/// activating (new vocabulary) or deactivating (compaction pruned its
+/// vocabulary) shifts every later index; the `source` index into the
+/// declared `KeySet` is stable and bridges the two. Returns the log
+/// unchanged (shared, not copied) when the active sets coincide — the
+/// steady-state case.
+fn remap_step_log(old: &CompiledKeySet, new: &CompiledKeySet, log: &StepLog) -> StepLog {
+    if same_active_keys(old, new) {
+        return log.clone();
+    }
+    StepLog::from_steps(remap_steps(old, new, log.to_vec()))
+}
+
+/// Do two compiled key sets activate the same declared keys in the same
+/// order (⇔ identical step attribution)?
+fn same_active_keys(old: &CompiledKeySet, new: &CompiledKeySet) -> bool {
+    old.keys.len() == new.keys.len()
+        && old
+            .keys
+            .iter()
+            .zip(&new.keys)
+            .all(|(a, b)| a.source == b.source)
+}
+
+/// [`remap_step_log`] on a materialized step vector.
+fn remap_steps(
+    old: &CompiledKeySet,
+    new: &CompiledKeySet,
+    steps: Vec<ChaseStep>,
+) -> Vec<ChaseStep> {
+    if same_active_keys(old, new) {
+        return steps;
+    }
+    let by_source: FxHashMap<usize, usize> = new.keys.iter().map(|k| (k.source, k.idx)).collect();
+    steps
+        .into_iter()
+        .map(|s| ChaseStep {
+            pair: s.pair,
+            // A cited key with no image can only happen if its witnesses
+            // vanished — in which case the log was already rebuilt by the
+            // deleting re-chase; keep the old index as a harmless fallback.
+            key: old
+                .keys
+                .get(s.key)
+                .and_then(|k| by_source.get(&k.source).copied())
+                .unwrap_or(s.key),
+        })
+        .collect()
+}
+
 /// Runs the startup chase and builds version 0 of the serving state.
 fn startup_chase(
-    graph: Graph,
+    graph: OverlayGraph,
     keys: &KeySet,
     engine: ChaseEngine,
     stats: &IndexStats,
@@ -728,7 +956,7 @@ fn startup_chase(
 
 /// Resolves a delete spec against the graph with the same type contract as
 /// insert — a spec carrying a wrong `:Type` annotation is a client bug.
-fn resolve_triple(g: &Graph, spec: &TripleSpec) -> Result<Triple, String> {
+fn resolve_triple<V: GraphView>(g: &V, spec: &TripleSpec) -> Result<Triple, String> {
     let resolve = |name: &str, ty: &str| -> Result<EntityId, String> {
         let e = g
             .entity_named(name)
@@ -755,20 +983,24 @@ fn resolve_triple(g: &Graph, spec: &TripleSpec) -> Result<Triple, String> {
 
 /// Replays the recovered WAL suffix on top of the snapshot state.
 ///
-/// Graph mutations are applied in record order (insert runs batched into
-/// one builder pass; **consecutive delete records coalesce into a single
-/// filtered rebuild**). The chase then runs once over the final graph:
-/// through [`chase_incremental`] seeded by the persisted `Eq` when the
-/// suffix was insert-only (monotone), or as one full chase under the
-/// configured engine when any record deleted triples.
+/// The snapshot graph becomes the overlay's frozen base and every WAL
+/// record applies as O(batch) delta appends / tombstones — recovery never
+/// rebuilds the CSR, no matter how records interleave. The chase then runs
+/// once over the final view: through [`chase_incremental`] seeded by the
+/// persisted `Eq` when the suffix was insert-only (monotone), or as one
+/// full chase under the configured engine when any record deleted triples.
 fn replay(
     rec: Recovered,
     keys: &KeySet,
     engine: ChaseEngine,
+    compact_threshold: usize,
     stats: &IndexStats,
 ) -> Result<(IndexState, AdvanceMode), String> {
     let snapshot_steps = rec.snapshot.steps;
-    let mut g = rec.snapshot.graph;
+    let mut g = OverlayGraph::new(rec.snapshot.graph);
+    // The persisted steps were attributed against a compile of exactly
+    // this graph; capture that mapping before the WAL mutates it.
+    let snapshot_compiled = keys.compile(&g);
     let mut touched: Vec<EntityId> = Vec::new();
     let mut had_delete = false;
     let records = rec.wal;
@@ -776,38 +1008,44 @@ fn replay(
         .last()
         .map_or(rec.snapshot.seq, |r| r.seq.max(rec.snapshot.seq));
 
-    let mut i = 0;
-    while i < records.len() {
-        match records[i].kind {
+    for record in &records {
+        match record.kind {
             WalKind::Insert => {
-                let mut b = GraphBuilder::from_graph(&g);
-                while i < records.len() && records[i].kind == WalKind::Insert {
-                    for s in &records[i].specs {
-                        let (subj, obj) = s.apply(&mut b);
-                        touched.push(subj);
-                        touched.extend(obj);
-                    }
-                    i += 1;
+                for s in &record.specs {
+                    let (subj, obj, _) = s.apply_overlay(&mut g);
+                    touched.push(subj);
+                    touched.extend(obj);
                 }
-                g = b.freeze();
             }
             WalKind::Delete => {
+                // Resolve the whole record against the pre-record graph
+                // before applying — exactly like the accept path, whose
+                // `doomed` set tolerates a batch naming a triple twice. A
+                // spec-by-spec apply would fail on such (accepted, logged)
+                // batches and brick recovery.
                 let mut doomed: FxHashSet<Triple> = FxHashSet::default();
-                while i < records.len() && records[i].kind == WalKind::Delete {
-                    for s in &records[i].specs {
-                        doomed.insert(resolve_triple(&g, s).map_err(|e| {
-                            format!("WAL record {} does not replay: {e}", records[i].seq)
-                        })?);
-                    }
-                    i += 1;
+                for s in &record.specs {
+                    doomed.insert(
+                        resolve_triple(&g, s).map_err(|e| {
+                            format!("WAL record {} does not replay: {e}", record.seq)
+                        })?,
+                    );
                 }
-                g = GraphBuilder::from_graph_filtered(&g, |t| !doomed.contains(&t)).freeze();
+                for t in doomed {
+                    g.delete_triple(t);
+                }
                 had_delete = true;
             }
         }
     }
     touched.sort_unstable();
     touched.dedup();
+
+    // A long WAL suffix can leave a delta far past the configured
+    // compaction threshold; fold it into a fresh base once before chasing,
+    // so the recovered serving state starts compact instead of dragging
+    // the oversized delta until the first accepted write.
+    let g = fold_if_over_threshold(g, compact_threshold, stats);
 
     let compiled = keys.compile(&g);
     // The persisted step log regenerates the snapshot's terminal Eq.
@@ -827,7 +1065,9 @@ fn replay(
         (r.eq, StepLog::from_steps(r.steps), AdvanceMode::FullRechase)
     } else if !touched.is_empty() {
         // Insert-only suffix: monotone, so the persisted Eq seeds a delta
-        // chase woken only around the inserted triples.
+        // chase woken only around the inserted triples. New vocabulary can
+        // have activated keys and shifted compiled indices — remap the
+        // persisted prefix's attribution before appending.
         let r = chase_incremental(&g, &compiled, &base, &touched);
         stats
             .startup_rounds
@@ -835,11 +1075,13 @@ fn replay(
         stats
             .startup_iso_checks
             .store(r.iso_checks, Ordering::Relaxed);
-        let log = StepLog::from_steps(snapshot_steps).appended(r.steps);
+        let prefix = remap_steps(&snapshot_compiled, &compiled, snapshot_steps);
+        let log = StepLog::from_steps(prefix).appended(r.steps);
         (r.eq, log, AdvanceMode::Incremental)
     } else {
         // Nothing to replay: the snapshot is the state.
-        (base, StepLog::from_steps(snapshot_steps), AdvanceMode::NoOp)
+        let prefix = remap_steps(&snapshot_compiled, &compiled, snapshot_steps);
+        (base, StepLog::from_steps(prefix), AdvanceMode::NoOp)
     };
     Ok((IndexState::build(g, compiled, eq, steps, version), mode))
 }

@@ -13,15 +13,17 @@
 //!   previous terminal relation by waking only entities within radius `d`
 //!   of the touched nodes. Deletions are not monotone and fall back to a
 //!   documented full re-chase.
-//! * **stable entity ids** — [`gk_graph::GraphBuilder::from_graph`]
-//!   re-opens a frozen graph preserving ids, so the previous `Eq` remains
-//!   meaningful on the extended graph.
+//! * **stable entity ids** — the delta overlay
+//!   ([`gk_graph::OverlayGraph`]) appends entities with fresh, larger ids
+//!   and never moves existing ones (compaction preserves them too), so
+//!   the previous `Eq` remains meaningful on the extended graph — and the
+//!   write path is O(batch), not O(|G|).
 //!
 //! Three layers, separable for embedding:
 //!
 //! | layer | type | role |
 //! |-------|------|------|
-//! | [`EmIndex`] | `index` | snapshot-swapped `Graph` + `CompiledKeySet` + `EqRel` with rep map and duplicate clusters; optional write-through durability (`gk-store` WAL + snapshots, crash recovery) |
+//! | [`EmIndex`] | `index` | snapshot-swapped `OverlayGraph` (shared base CSR + O(batch) delta) + `CompiledKeySet` + `EqRel` with rep map and duplicate clusters; threshold-compacted; optional write-through durability (`gk-store` WAL + snapshots, crash recovery) |
 //! | [`Server`] | `protocol` | the textual verbs (`SAME`, `DUPS`, `EXPLAIN`, `INSERT`, `DELETE`, `SNAPSHOT`, `COMPACT`, `STATS`) over an index |
 //! | [`serve`] | `net` | TCP framing with a fixed worker-thread pool |
 //!
@@ -61,6 +63,7 @@ mod protocol;
 
 pub use index::{
     AdvanceMode, AdvanceReport, EmIndex, IndexState, IndexStats, RecoveryReport, StepLog,
+    DEFAULT_COMPACT_THRESHOLD,
 };
 pub use net::{request, serve, ServeHandle};
 pub use protocol::{Server, PROTOCOL_HELP};
@@ -72,7 +75,7 @@ pub use gk_store::{Durability, FsyncMode};
 mod tests {
     use super::*;
     use gk_core::KeySet;
-    use gk_graph::{parse_graph, parse_triple_specs};
+    use gk_graph::{parse_graph, parse_triple_specs, GraphView};
     use std::sync::Arc;
 
     const KEYS: &str = r#"
@@ -404,6 +407,94 @@ mod tests {
     }
 
     #[test]
+    fn empty_delete_batch_is_noop_without_version_bump() {
+        // The no-op fix: a delete batch whose doomed set is empty must
+        // short-circuit — no re-chase, no version bump, a `noop` stat.
+        let s = server();
+        let r = s.index().delete(&[]).unwrap();
+        assert_eq!(r.mode, AdvanceMode::NoOp);
+        assert_eq!(r.new_pairs, 0);
+        let stats = s.handle("STATS");
+        assert!(stats.contains("version=0"), "{stats}");
+        assert!(stats.contains("full_rechases=0"), "{stats}");
+        assert!(stats.contains("noops=1"), "{stats}");
+        // The protocol still rejects an empty DELETE line outright.
+        assert!(s.handle("DELETE").starts_with("ERR"));
+    }
+
+    #[test]
+    fn threshold_compaction_folds_delta_into_new_base() {
+        let g = parse_graph(G).unwrap();
+        let ks = KeySet::parse(KEYS).unwrap();
+        let mut idx = EmIndex::new(g, ks);
+        idx.set_compact_threshold(4);
+        let base_before = idx.snapshot().graph.base_triples();
+        for i in 0..6 {
+            let specs = parse_triple_specs(&format!("n{i}:album name_of \"unique {i}\"")).unwrap();
+            idx.insert(&specs).unwrap();
+        }
+        use std::sync::atomic::Ordering;
+        assert!(
+            idx.stats.compactions.load(Ordering::Relaxed) >= 1,
+            "delta must have crossed the threshold"
+        );
+        let snap = idx.snapshot();
+        assert!(
+            snap.graph.base_triples() > base_before,
+            "base absorbed delta"
+        );
+        assert!(snap.graph.epoch() >= 1);
+        // Answers survive the epoch bump: entities and Eq intact.
+        let a = snap.graph.entity_named("alb1").unwrap();
+        let b = snap.graph.entity_named("alb2").unwrap();
+        assert!(snap.same(a, b));
+        assert!(snap.graph.entity_named("n5").is_some());
+    }
+
+    #[test]
+    fn overlay_answers_match_rebuild_after_mixed_updates() {
+        // Overlay vs rebuild oracle at the index level: stream inserts and
+        // deletes, then compare every cluster against a fresh index built
+        // from the materialized graph.
+        let s = server();
+        s.handle(r#"INSERT alb3:album release_year "1996" ; alb3:album name_of "Anthology 2""#);
+        s.handle(r#"DELETE alb2:album release_year "1996""#);
+        s.handle(r#"INSERT alb4:album name_of "Abbey Road" ; alb4:album release_year "1969""#);
+        let snap = s.index().snapshot();
+        let frozen = snap.graph.materialize();
+        let fresh = EmIndex::new(frozen, KeySet::parse(KEYS).unwrap());
+        let fresh_snap = fresh.snapshot();
+        assert_eq!(snap.eq.classes(), fresh_snap.eq.classes());
+        for e in gk_graph::GraphView::entities(&snap.graph) {
+            assert_eq!(snap.rep(e), fresh_snap.rep(e));
+        }
+    }
+
+    #[test]
+    fn compact_verb_folds_overlay_and_reports_in_stats() {
+        use gk_core::ChaseEngine;
+        use gk_store::Durability;
+        let dur = Durability::in_dir(tmpdir("compact-overlay"));
+        let (s, _) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        s.handle(r#"INSERT alb9:album name_of "Anthology 2" ; alb9:album release_year "1996""#);
+        let stats = s.handle("STATS");
+        assert!(stats.contains("delta_triples=2"), "{stats}");
+        assert!(s.handle("COMPACT").starts_with("OK"), "compact");
+        let stats = s.handle("STATS");
+        assert!(stats.contains("delta_triples=0"), "{stats}");
+        assert!(stats.contains("tombstones=0"), "{stats}");
+        assert!(stats.contains("compactions=1"), "{stats}");
+        // Same logical state after the fold.
+        assert!(s.handle("SAME alb1 alb9").starts_with("YES"));
+    }
+
+    #[test]
     fn snapshot_and_compact_require_durability() {
         let s = server();
         assert!(s.handle("SNAPSHOT").starts_with("ERR"));
@@ -520,6 +611,153 @@ mod tests {
         assert_eq!(rep.wal_replayed, 0);
         assert!(s2.handle("SAME alb1 alb9").starts_with("NO"));
         assert!(s2.handle("SAME alb1 alb2").starts_with("YES"));
+    }
+
+    #[test]
+    fn duplicate_delete_specs_in_one_batch_replay_cleanly() {
+        // Regression: an accepted DELETE batch naming the same triple
+        // twice is deduped by the accept path and logged verbatim; replay
+        // must tolerate the duplicate instead of bricking recovery.
+        use gk_core::ChaseEngine;
+        use gk_store::Durability;
+        let dur = Durability::in_dir(tmpdir("dup-delete"));
+        let (s, _) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        let r =
+            s.handle(r#"DELETE alb2:album release_year "1996" ; alb2:album release_year "1996""#);
+        assert!(r.starts_with("OK mode=full-rechase"), "{r}");
+        assert!(s.handle("SAME alb1 alb2").starts_with("NO"));
+        drop(s);
+
+        let (s2, rep) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap_or_else(|e| panic!("duplicate-spec WAL record must replay: {e}"));
+        assert!(rep.recovered);
+        assert_eq!(rep.wal_replayed, 1);
+        assert!(s2.handle("SAME alb1 alb2").starts_with("NO"));
+    }
+
+    #[test]
+    fn compaction_remaps_step_attribution_when_keys_deactivate() {
+        // Regression: a Const key loses its vocabulary when the only
+        // triple carrying the constant is deleted; materialization prunes
+        // the interner, the recompile drops the key, and every later
+        // compiled index shifts. The step log kept across COMPACT must be
+        // remapped, not left citing stale indices.
+        use gk_core::ChaseEngine;
+        use gk_store::Durability;
+        let g = parse_graph(
+            r#"
+            special:album  tagged   "gold"
+            alb1:album  name_of       "Anthology 2"
+            alb1:album  release_year  "1996"
+            alb2:album  name_of       "Anthology 2"
+            alb2:album  release_year  "1996"
+            "#,
+        )
+        .unwrap();
+        // Key 0 cites the constant "gold"; key 1 does the identifying.
+        let ks = KeySet::parse(
+            r#"
+            key "GOLD" album(x) { x -tagged-> "gold"; x -name_of-> n*; }
+            key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }
+            "#,
+        )
+        .unwrap();
+        let dur = Durability::in_dir(tmpdir("remap-steps"));
+        let (s, _) = Server::with_durability(g, ks, ChaseEngine::default(), &dur).unwrap();
+        {
+            let snap = s.index().snapshot();
+            assert_eq!(snap.compiled.keys.len(), 2, "both keys active");
+            assert!(!snap.steps().is_empty(), "Q2 merged the albums");
+        }
+        // Delete the only "gold" triple, then COMPACT: the materialized
+        // interner drops "gold" and the GOLD key deactivates.
+        let r = s.handle(r#"DELETE special:album tagged "gold""#);
+        assert!(r.starts_with("OK"), "{r}");
+        assert!(s.handle("COMPACT").starts_with("OK"));
+        let snap = s.index().snapshot();
+        assert_eq!(snap.compiled.keys.len(), 1, "GOLD pruned at compaction");
+        for st in snap.steps().to_vec() {
+            assert!(
+                st.key < snap.compiled.keys.len(),
+                "step cites key index {} but only {} keys are active",
+                st.key,
+                snap.compiled.keys.len()
+            );
+            assert_eq!(snap.compiled.keys[st.key].name, "Q2");
+        }
+        assert!(s.handle("SAME alb1 alb2").starts_with("YES"));
+    }
+
+    #[test]
+    fn snapshot_after_vocab_tombstone_restores_consistent_attribution() {
+        // Regression: after deleting the only "gold" triple the GOLD key
+        // stays active in memory (the overlay's base interner still holds
+        // the constant) but compiles away against the materialized
+        // snapshot graph. SNAPSHOT must remap the persisted step log to
+        // the snapshot graph's compile, or the restarted index carries
+        // steps citing out-of-range key indices.
+        use gk_core::ChaseEngine;
+        use gk_store::Durability;
+        let g = parse_graph(
+            r#"
+            special:album  tagged   "gold"
+            alb1:album  name_of       "Anthology 2"
+            alb1:album  release_year  "1996"
+            alb2:album  name_of       "Anthology 2"
+            alb2:album  release_year  "1996"
+            "#,
+        )
+        .unwrap();
+        let ks = || {
+            KeySet::parse(
+                r#"
+                key "GOLD" album(x) { x -tagged-> "gold"; x -name_of-> n*; }
+                key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }
+                "#,
+            )
+            .unwrap()
+        };
+        let dur = Durability::in_dir(tmpdir("snapshot-remap"));
+        let (s, _) = Server::with_durability(g, ks(), ChaseEngine::default(), &dur).unwrap();
+        let r = s.handle(r#"DELETE special:album tagged "gold""#);
+        assert!(r.starts_with("OK"), "{r}");
+        assert_eq!(
+            s.index().snapshot().compiled.keys.len(),
+            2,
+            "GOLD still active in memory: its constant survives in the base interner"
+        );
+        assert!(s.handle("SNAPSHOT").starts_with("OK"));
+        drop(s);
+
+        let (idx, rep) = EmIndex::recover_durable(&dur, ChaseEngine::default())
+            .unwrap()
+            .expect("state persisted");
+        assert!(rep.recovered);
+        let snap = idx.snapshot();
+        assert_eq!(snap.compiled.keys.len(), 1, "GOLD pruned by the snapshot");
+        for st in snap.steps().to_vec() {
+            assert!(
+                st.key < snap.compiled.keys.len(),
+                "recovered step cites key index {} of {} active keys",
+                st.key,
+                snap.compiled.keys.len()
+            );
+            assert_eq!(snap.compiled.keys[st.key].name, "Q2");
+        }
+        let a = snap.graph.entity_named("alb1").unwrap();
+        let b = snap.graph.entity_named("alb2").unwrap();
+        assert!(snap.same(a, b));
     }
 
     #[test]

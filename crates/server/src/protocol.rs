@@ -25,7 +25,7 @@
 
 use crate::index::{AdvanceReport, EmIndex, IndexState, RecoveryReport};
 use gk_core::{ChaseEngine, KeySet};
-use gk_graph::{parse_triple_specs, EntityId, Graph};
+use gk_graph::{parse_triple_specs, EntityId, Graph, GraphView};
 use gk_store::Durability;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,7 +39,7 @@ pub const PROTOCOL_HELP: &str = "commands:
   INSERT <s:T> <p> <o>  insert triple(s); separate several with ';'
   DELETE <s:T> <p> <o>  delete triple(s); ';' separates; one re-chase per batch
   SNAPSHOT              persist a point-in-time snapshot (needs --data-dir)
-  COMPACT               snapshot, then truncate the WAL and prune old snapshots
+  COMPACT               snapshot + fold the delta overlay, truncate the WAL, prune old snapshots
   STATS                 index + traffic counters
   PING                  liveness check";
 
@@ -84,6 +84,22 @@ impl Server {
         Ok((Self::from_index(index), report))
     }
 
+    /// [`Server::with_durability`] with an explicit delta-compaction
+    /// threshold (`0` = off), honored by the recovery replay too — set it
+    /// here rather than after construction so a long WAL suffix folds (or
+    /// doesn't) according to the operator's choice.
+    pub fn with_durability_compacting(
+        graph: Graph,
+        keys: KeySet,
+        engine: ChaseEngine,
+        dur: &Durability,
+        compact_threshold: usize,
+    ) -> Result<(Self, RecoveryReport), String> {
+        let (index, report) =
+            EmIndex::open_durable_with(graph, keys, engine, dur, compact_threshold)?;
+        Ok((Self::from_index(index), report))
+    }
+
     /// Wraps an already-built index (e.g. one from
     /// [`EmIndex::recover_durable`]) in the protocol layer.
     pub fn from_index(index: EmIndex) -> Self {
@@ -97,6 +113,12 @@ impl Server {
     /// The underlying index (for embedding and tests).
     pub fn index(&self) -> &EmIndex {
         &self.index
+    }
+
+    /// Sets the delta-overlay compaction threshold (see
+    /// [`EmIndex::set_compact_threshold`]); call before serving traffic.
+    pub fn set_compact_threshold(&mut self, threshold: usize) {
+        self.index.set_compact_threshold(threshold);
     }
 
     /// Handles one request line, returning the response text (possibly
@@ -277,7 +299,8 @@ impl Server {
         let snap = self.index.snapshot();
         let s = &self.index.stats;
         format!(
-            "STATS engine={} threads={} entities={} triples={} values={} clusters={} \
+            "STATS engine={} threads={} entities={} triples={} values={} \
+             base_triples={} delta_triples={} tombstones={} compactions={} clusters={} \
              identified_pairs={} version={} queries={} updates={} incremental_advances={} \
              full_rechases={} noops={} update_rounds={} startup_rounds={} startup_iso={} \
              startup_micros={} durability={} wal_records={} snapshot_seq={}",
@@ -286,6 +309,10 @@ impl Server {
             snap.graph.num_entities(),
             snap.graph.num_triples(),
             snap.graph.num_values(),
+            snap.graph.base_triples(),
+            snap.graph.delta_triples(),
+            snap.graph.tombstones(),
+            s.compactions.load(Ordering::Relaxed),
             snap.num_clusters(),
             snap.eq.num_identified_pairs(),
             snap.version,

@@ -62,7 +62,7 @@ pub mod prelude {
     };
     pub use gk_graph::{
         d_neighborhood, parse_graph, parse_triple_specs, EntityId, Graph, GraphBuilder, GraphStats,
-        NodeId, Obj, PredId, TripleSpec, TypeId, ValueId,
+        GraphView, NodeId, Obj, OverlayGraph, PredId, TripleSpec, TypeId, ValueId,
     };
     pub use gk_server::{EmIndex, RecoveryReport, Server};
     pub use gk_store::{Durability, FsyncMode, Store, WalKind, WalRecord};
