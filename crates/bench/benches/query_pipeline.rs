@@ -1,0 +1,87 @@
+//! Criterion bench for the TCP query path on the 10k-entity
+//! Google-flavoured workload:
+//!
+//! * **sequential_rtt** — one request line, one response paragraph, one
+//!   round trip at a time over a persistent connection (what
+//!   `graphkeys query` does per invocation);
+//! * **pipelined_depth64** — the `gk-client` pipeline: 64 requests
+//!   written ahead, answers drained in order.
+//!
+//! Both issue the identical deterministic request mix and receive
+//! byte-identical answers; the measured gap is pure per-request framing
+//! latency (syscalls + scheduler wake-ups), which pipelining amortizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gk_client::Client;
+use gk_datagen::{generate, GenConfig};
+use gk_graph::GraphBuilder;
+use gk_server::{serve, Request, Server};
+use std::sync::Arc;
+
+fn bench_query_pipeline(cr: &mut Criterion) {
+    // ~10k entities: the scale the PR's acceptance criterion names.
+    let w = generate(
+        &GenConfig::google()
+            .with_scale(0.46)
+            .with_chain(2)
+            .with_radius(2),
+    );
+    let server = Arc::new(Server::new(
+        GraphBuilder::from_graph(&w.graph).freeze(),
+        w.keys.clone(),
+    ));
+    let handle = serve(server, "127.0.0.1:0", 4).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    let names: Vec<String> = w
+        .graph
+        .entities()
+        .take(512)
+        .map(|e| w.graph.entity_label(e))
+        .collect();
+    let reqs: Vec<Request> = (0..256)
+        .map(|i| {
+            let a = names[i % names.len()].clone();
+            let b = names[(i * 7 + 13) % names.len()].clone();
+            match i % 4 {
+                0 => Request::Same { a, b },
+                1 => Request::Rep { entity: a },
+                2 => Request::Dups { entity: a },
+                _ => Request::Ping,
+            }
+        })
+        .collect();
+
+    let mut group = cr.benchmark_group("query_pipeline_google_10k");
+    group.sample_size(20);
+
+    let mut seq = Client::connect(&addr).expect("connect");
+    group.bench_with_input(
+        criterion::BenchmarkId::new("sequential_rtt", "256req"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                for r in &reqs {
+                    seq.request(r).expect("sequential request");
+                }
+            });
+        },
+    );
+
+    let mut pipe = Client::connect(&addr).expect("connect");
+    group.bench_with_input(
+        criterion::BenchmarkId::new("pipelined_depth64", "256req"),
+        &(),
+        |b, ()| {
+            b.iter(|| {
+                pipe.run_pipelined(&reqs, 64).expect("pipelined batch");
+            });
+        },
+    );
+
+    group.finish();
+    handle.stop();
+}
+
+criterion_group!(benches, bench_query_pipeline);
+criterion_main!(benches);

@@ -164,6 +164,9 @@ fn paper_note(id: &str) -> &'static str {
         "ingest_throughput" => {
             "beyond the paper: steady-state INSERT — delta-overlay append vs from_graph rebuild"
         }
+        "query_pipeline" => {
+            "beyond the paper: TCP query throughput — gk-client 64-deep pipelining vs one RTT per request"
+        }
         _ => "",
     }
 }

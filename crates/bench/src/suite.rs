@@ -156,6 +156,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "vary_threads",
     "startup_recovery",
     "ingest_throughput",
+    "query_pipeline",
 ];
 
 /// Dataset base config for an experiment family, at benchmark scale.
@@ -293,6 +294,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Measurement> {
         "vary_threads" => vary_threads(quick),
         "startup_recovery" => startup_recovery(quick),
         "ingest_throughput" => ingest_throughput(quick),
+        "query_pipeline" => query_pipeline(quick),
         other => panic!("unknown experiment id {other:?}; see ALL_EXPERIMENTS"),
     }
 }
@@ -784,9 +786,145 @@ fn ingest_throughput(quick: bool) -> Vec<Measurement> {
     vec![pick_best(overlay_runs), pick_best(rebuild_runs)]
 }
 
+/// Beyond the paper: query throughput of the TCP front-end on the
+/// 10k-entity Google workload — one-RTT-per-request sequential round
+/// trips against the `gk-client` pipeline writing 64 requests ahead. Both
+/// runs issue the identical request list over one persistent connection
+/// each and must receive byte-identical answers; only the framing
+/// discipline differs, so the gap is pure per-request syscall +
+/// scheduling latency. `quick` reduces the request count, not the graph:
+/// the ≥2× acceptance speedup is defined at this scale.
+fn query_pipeline(quick: bool) -> Vec<Measurement> {
+    use gk_client::Client;
+    use gk_server::{serve, Request, Server};
+
+    let cfg = dataset_cfg('g', false)
+        .with_scale(0.46)
+        .with_chain(2)
+        .with_radius(2);
+    let w = generate(&cfg);
+    let server = std::sync::Arc::new(Server::new(
+        gk_graph::GraphBuilder::from_graph(&w.graph).freeze(),
+        w.keys.clone(),
+    ));
+    let handle = serve(server, "127.0.0.1:0", 4).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    // A read-heavy mix over real entity names, deterministic so both
+    // runs (and every repetition) issue the identical stream.
+    let names: Vec<String> = w
+        .graph
+        .entities()
+        .take(512)
+        .map(|e| w.graph.entity_label(e))
+        .collect();
+    let total = if quick { 2_000 } else { 10_000 };
+    let reqs: Vec<Request> = (0..total)
+        .map(|i| {
+            let a = names[i % names.len()].clone();
+            let b = names[(i * 7 + 13) % names.len()].clone();
+            match i % 4 {
+                0 => Request::Same { a, b },
+                1 => Request::Rep { entity: a },
+                2 => Request::Dups { entity: a },
+                _ => Request::Ping,
+            }
+        })
+        .collect();
+    const DEPTH: usize = 64;
+
+    let reps = if quick { 1 } else { 3 };
+    let mut seq_runs = Vec::new();
+    let mut pipe_runs = Vec::new();
+    for _ in 0..reps {
+        // --- Sequential: write one request, read its answer, repeat. ---
+        let mut c = Client::connect(&addr).expect("connect");
+        let t = Instant::now();
+        let seq_answers: Vec<_> = reqs
+            .iter()
+            .map(|r| c.request(r).expect("sequential request"))
+            .collect();
+        let seq_secs = t.elapsed().as_secs_f64();
+
+        // --- Pipelined: write DEPTH ahead, drain, advance. ---
+        let mut c = Client::connect(&addr).expect("connect");
+        let t = Instant::now();
+        let pipe_answers = c.run_pipelined(&reqs, DEPTH).expect("pipelined batch");
+        let pipe_secs = t.elapsed().as_secs_f64();
+
+        let correct = seq_answers == pipe_answers;
+        let base = |algo: &str, secs: f64| Measurement {
+            experiment: "query_pipeline".into(),
+            dataset: w.name.clone(),
+            algo: algo.into(),
+            x: format!("requests={total}"),
+            seconds: secs,
+            sim_seconds: 0.0,
+            identified: 0,
+            candidates: 0,
+            rounds: 0,
+            traffic: total as u64,
+            correct,
+            extra: vec![(
+                "rps".into(),
+                format!("{:.0}", total as f64 / secs.max(1e-9)),
+            )],
+        };
+        seq_runs.push(base("sequential_rtt", seq_secs));
+        pipe_runs.push({
+            let mut m = base(&format!("pipelined_depth{DEPTH}"), pipe_secs);
+            m.extra
+                .push(("speedup".into(), format!("{:.2}", seq_secs / pipe_secs)));
+            m
+        });
+    }
+    handle.stop();
+    vec![pick_best(seq_runs), pick_best(pipe_runs)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn query_pipeline_is_2x_faster_with_identical_answers() {
+        let ms = run_experiment("query_pipeline", true);
+        assert_eq!(ms.len(), 2);
+        assert!(
+            ms.iter().all(|m| m.correct),
+            "pipelined and sequential answers must be identical: {ms:?}"
+        );
+        // The ≥2× throughput acceptance claim is asserted only in release
+        // (the CI recovery job runs it there); debug-mode server-side cost
+        // per request drowns the framing difference being measured.
+        #[cfg(not(debug_assertions))]
+        {
+            let pair = |ms: &[Measurement]| {
+                let seq = ms
+                    .iter()
+                    .find(|m| m.algo.starts_with("sequential"))
+                    .unwrap();
+                let pipe = ms.iter().find(|m| m.algo.starts_with("pipelined")).unwrap();
+                (pipe.seconds, seq.seconds)
+            };
+            // Best of up to 3 attempts guards the one-rep quick mode
+            // against transient stalls on a loaded runner.
+            let mut last = pair(&ms);
+            for _ in 0..2 {
+                if last.0 * 2.0 <= last.1 {
+                    break;
+                }
+                last = pair(&run_experiment("query_pipeline", true));
+            }
+            assert!(
+                last.0 * 2.0 <= last.1,
+                "pipelined ({:.4}s) must be ≥2× faster than sequential \
+                 round trips ({:.4}s)",
+                last.0,
+                last.1
+            );
+        }
+    }
 
     #[test]
     fn startup_recovery_is_faster_and_correct() {

@@ -31,14 +31,22 @@ pub const USAGE: &str = "usage:
   graphkeys recover  --data-dir DIR [--engine E] [--threads N] [--verify]
                      rebuild from snapshot + WAL; --verify cross-checks
                      against a from-scratch chase
-  graphkeys query    <addr> <verb> [args...]   (e.g. query 127.0.0.1:7878 SAME a b)";
+  graphkeys query    <addr> <verb> [args...]   (e.g. query 127.0.0.1:7878 SAME a b;
+                     ADDKEY/DROPKEY/KEYS manage the key set at runtime)
+  graphkeys query    <addr> --stdin [--depth N]
+                     read one request per stdin line and pipeline them
+                     N-deep (default 64) through one connection";
 
 /// Entry point used by `main` (and by the unit tests).
 pub fn run(args: &[String]) -> Result<(), String> {
     let mut out = String::new();
-    run_to(args, &mut out)?;
+    let result = run_to(args, &mut out);
+    // Print whatever the command produced even when it errors: `query`
+    // (and `query --stdin` especially) buffers server responses before
+    // reporting a failed request, and discarding a hundred good answers
+    // because one line answered ERR would lose the session's output.
     print!("{out}");
-    Ok(())
+    result
 }
 
 /// Testable variant: renders all output into a string.
@@ -560,11 +568,12 @@ fn cmd_snapshot(args: &[String], out: &mut String) -> Result<(), String> {
     let [addr] = f.positional.as_slice() else {
         return Err("snapshot takes a server address".into());
     };
-    let resp =
-        gk_server::request(addr, "SNAPSHOT").map_err(|e| format!("cannot reach {addr}: {e}"))?;
-    let _ = writeln!(out, "{resp}");
-    if resp.starts_with("ERR") {
-        return Err(format!("server answered: {resp}"));
+    let resp = gk_client::Client::lazy(addr)
+        .request(&gk_server::Request::Snapshot)
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let _ = writeln!(out, "{}", resp.render());
+    if resp.is_err() {
+        return Err(format!("server answered: {}", resp.render()));
     }
     Ok(())
 }
@@ -625,18 +634,64 @@ fn cmd_recover(args: &[String], out: &mut String) -> Result<(), String> {
 }
 
 fn cmd_query(args: &[String], out: &mut String) -> Result<(), String> {
-    let f = Flags::parse(args, &[])?;
+    let f = Flags::parse_with_switches(args, &["depth"], &["stdin"])?;
     let [addr, verb_and_args @ ..] = f.positional.as_slice() else {
         return Err("query takes an address and a request (e.g. SAME a b)".into());
     };
+    if f.has("stdin") {
+        if !verb_and_args.is_empty() {
+            return Err("query --stdin reads requests from stdin, not the command line".into());
+        }
+        let depth = f.get_parse("depth", 64usize)?;
+        let text = std::io::read_to_string(std::io::stdin())
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        return run_query_stream(addr, &text, depth, out);
+    }
     if verb_and_args.is_empty() {
         return Err("query needs a request after the address (e.g. SAME a b)".into());
     }
     let line = verb_and_args.join(" ");
-    let resp = gk_server::request(addr, &line).map_err(|e| format!("cannot reach {addr}: {e}"))?;
-    let _ = writeln!(out, "{resp}");
-    if resp.starts_with("ERR") {
-        return Err(format!("server answered: {resp}"));
+    // Parse client-side: a malformed request fails here with the same
+    // usage message the server would answer, without a round trip.
+    let req = gk_server::Request::parse(&line).map_err(|e| e.to_string())?;
+    let resp = gk_client::Client::lazy(addr)
+        .request(&req)
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let _ = writeln!(out, "{}", resp.render());
+    if resp.is_err() {
+        return Err(format!("server answered: {}", resp.render()));
+    }
+    Ok(())
+}
+
+/// `query --stdin`: one request per line, pipelined `depth`-deep through
+/// one connection; each response paragraph is printed followed by a blank
+/// line (the same transcript shape the TCP framing uses).
+fn run_query_stream(addr: &str, text: &str, depth: usize, out: &mut String) -> Result<(), String> {
+    let mut reqs = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        reqs.push(
+            gk_server::Request::parse(line).map_err(|e| format!("stdin line {}: {e}", i + 1))?,
+        );
+    }
+    if reqs.is_empty() {
+        return Err("no requests on stdin".into());
+    }
+    let mut client = gk_client::Client::lazy(addr);
+    let resps = client
+        .run_pipelined(&reqs, depth)
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    for r in &resps {
+        let _ = writeln!(out, "{}", r.render());
+        out.push('\n');
+    }
+    let errors = resps.iter().filter(|r| r.is_err()).count();
+    if errors > 0 {
+        return Err(format!("server answered: {errors} request(s) failed"));
     }
     Ok(())
 }
@@ -884,6 +939,58 @@ mod tests {
         // Server-side errors surface as CLI errors.
         let mut out3 = String::new();
         assert!(run_to(&args(&["query", &addr, "SAME", "ghost", "alb1"]), &mut out3).is_err());
+        handle.stop();
+    }
+
+    #[test]
+    fn query_stream_pipelines_requests_and_manages_keys() {
+        let g = gk_graph::parse_graph(
+            r#"
+            alb1:album name_of "Anthology 2"
+            alb1:album release_year "1996"
+            alb2:album name_of "Anthology 2"
+            alb2:album release_year "1996"
+            "#,
+        )
+        .unwrap();
+        let ks = gk_core::KeySet::parse(K).unwrap();
+        let server = std::sync::Arc::new(gk_server::Server::new(g, ks));
+        let handle = gk_server::serve(server, "127.0.0.1:0", 2).unwrap();
+        let addr = handle.addr().to_string();
+
+        let script = "\
+            PING\n\
+            # comments and blank lines are skipped\n\
+            \n\
+            SAME alb1 alb2\n\
+            ADDKEY key \"NM\" album(x) { x -name_of-> n*; }\n\
+            KEYS\n\
+            STATS\n";
+        let mut out = String::new();
+        run_query_stream(&addr, script, 3, &mut out).unwrap();
+        let paragraphs: Vec<&str> = out.trim_end().split("\n\n").collect();
+        assert_eq!(paragraphs.len(), 5, "{out}");
+        assert_eq!(paragraphs[0], "PONG");
+        assert!(paragraphs[1].starts_with("YES"), "{out}");
+        assert!(paragraphs[2].starts_with("OK added key=\"NM\""), "{out}");
+        assert!(
+            paragraphs[3].starts_with("KEYS n=2 active=2 epoch=1"),
+            "{out}"
+        );
+        assert!(paragraphs[4].contains("key_epoch=1"), "{out}");
+
+        // A stream with a server-side error prints everything and then
+        // reports the failure count.
+        let mut out2 = String::new();
+        let err = run_query_stream(&addr, "SAME ghost alb1\nPING\n", 8, &mut out2).unwrap_err();
+        assert!(err.contains("1 request(s) failed"), "{err}");
+        assert!(out2.contains("ERR unknown entity"), "{out2}");
+        assert!(out2.contains("PONG"), "{out2}");
+
+        // A malformed line fails client-side, before any round trip.
+        let mut out3 = String::new();
+        let err = run_query_stream(&addr, "PING\nFROB x\n", 8, &mut out3).unwrap_err();
+        assert!(err.contains("stdin line 2"), "{err}");
         handle.stop();
     }
 

@@ -16,6 +16,7 @@
 //! graphkeys snapshot <addr>
 //! graphkeys recover  --data-dir DIR [--engine E] [--threads N] [--verify]
 //! graphkeys query    <addr> <verb> [args...]
+//! graphkeys query    <addr> --stdin [--depth N]
 //! ```
 //!
 //! Graphs use the triple text format of `gk-graph` (`entity:Type pred

@@ -1,0 +1,530 @@
+//! # gk-client — a typed, pipelined client for the graphkeys service
+//!
+//! The service frames its TCP protocol as *request line in, response
+//! paragraph out* (the response text followed by a blank line). The
+//! crucial property of that framing is that nothing in it requires one
+//! round trip per request: a client may write any number of request lines
+//! before reading the matching number of response paragraphs, and the
+//! server answers them in order on each connection. This crate exploits
+//! that:
+//!
+//! * [`Client`] — a blocking connection speaking typed
+//!   [`Request`]/[`Response`] values (the lossless `parse`/`render` pair
+//!   from `gk-server`), with transparent **reconnect-on-broken-pipe**:
+//!   if the server restarted between requests, the next call redials and
+//!   retries instead of surfacing a stale-socket error. Retry applies
+//!   only to **read-only** batches with *zero* paragraphs drained — a
+//!   batch whose connection died after an update verb was written cannot
+//!   be proven un-applied (the server may have committed it and crashed
+//!   before answering), so it always surfaces the error instead of
+//!   risking a double apply.
+//! * [`Pipeline`] — a builder that queues requests and sends them
+//!   **N-deep**: one vectored write for the whole batch, then one drain
+//!   of all responses. Against a local server this turns per-request
+//!   syscall + scheduling latency into amortized streaming cost (the
+//!   `query_pipeline` bench experiment measures the multiple).
+//! * [`Client::run_pipelined`] — windowed pipelining over an arbitrary
+//!   request list: write up to `depth` ahead, drain, repeat.
+//!
+//! ```no_run
+//! use gk_client::Client;
+//! use gk_server::{Request, Response};
+//!
+//! let mut c = Client::connect("127.0.0.1:7878")?;
+//! match c.request(&Request::Same { a: "alb1".into(), b: "alb2".into() })? {
+//!     Response::Same { rep, .. } => println!("same entity, canonical {rep}"),
+//!     other => println!("{}", other.render()),
+//! }
+//! // Pipelined: one write, one drain, three answers.
+//! let answers = c
+//!     .pipeline()
+//!     .push(Request::Ping)
+//!     .push(Request::Rep { entity: "alb2".into() })
+//!     .push(Request::Stats)
+//!     .send()?;
+//! assert_eq!(answers.len(), 3);
+//! # std::io::Result::Ok(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use gk_server::{ProofLine, Request, RequestError, Response, ResponseError};
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// A blocking connection to a graphkeys server, typed end to end.
+///
+/// The connection is persistent and lazily (re)established: every send
+/// first ensures a live socket, and a *read-only* batch that fails before
+/// any of its responses were read redials once and retries (update verbs
+/// never auto-retry — see the crate docs). `TCP_NODELAY` is set — the
+/// protocol is request-sized, and Nagle coalescing only adds latency that
+/// the pipelining already amortizes properly.
+pub struct Client {
+    addr: String,
+    conn: Option<Conn>,
+    reconnects: u64,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn dial(addr: &str) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Conn {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Reads one response paragraph (without the terminating blank line).
+    fn read_paragraph(&mut self) -> std::io::Result<String> {
+        let mut out = String::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ));
+            }
+            if line.trim_end_matches(['\r', '\n']).is_empty() {
+                return Ok(out);
+            }
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(line.trim_end_matches(['\r', '\n']));
+        }
+    }
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7878"`) eagerly, so a wrong
+    /// address fails here rather than on the first request.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let mut c = Client::lazy(addr);
+        c.ensure()?;
+        Ok(c)
+    }
+
+    /// A client that dials on first use (and redials after breakage).
+    pub fn lazy(addr: &str) -> Client {
+        Client {
+            addr: addr.to_string(),
+            conn: None,
+            reconnects: 0,
+        }
+    }
+
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// How many times the connection was re-established after breaking.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn ensure(&mut self) -> std::io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            self.conn = Some(Conn::dial(&self.addr)?);
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
+    }
+
+    /// Sends `payload` (one or more newline-terminated request lines) and
+    /// drains `n` response paragraphs.
+    ///
+    /// `retriable` says the batch is safe to resend on a broken pipe: it
+    /// must contain **no update verbs**. A batch whose connection dies
+    /// before the first response cannot be proven un-applied (the server
+    /// may have committed it and crashed before answering), so the client
+    /// only ever replays read-only batches — and even those only when
+    /// zero paragraphs have been drained, to keep request/response
+    /// pairing exact.
+    fn round_trip(
+        &mut self,
+        payload: &str,
+        n: usize,
+        retriable: bool,
+    ) -> std::io::Result<Vec<String>> {
+        let mut retried = false;
+        loop {
+            let mut read = 0usize;
+            let attempt = (|| -> std::io::Result<Vec<String>> {
+                let conn = self.ensure()?;
+                conn.writer.write_all(payload.as_bytes())?;
+                conn.writer.flush()?;
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    out.push(conn.read_paragraph()?);
+                    read += 1;
+                }
+                Ok(out)
+            })();
+            match attempt {
+                Ok(out) => return Ok(out),
+                Err(e) => {
+                    let replayable = retriable
+                        && !retried
+                        && read == 0
+                        && self.conn.is_some()
+                        && matches!(
+                            e.kind(),
+                            std::io::ErrorKind::BrokenPipe
+                                | std::io::ErrorKind::ConnectionReset
+                                | std::io::ErrorKind::ConnectionAborted
+                                | std::io::ErrorKind::UnexpectedEof
+                        );
+                    self.conn = None;
+                    if replayable {
+                        retried = true;
+                        self.reconnects += 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Sends one raw request line and returns the raw response paragraph.
+    pub fn request_line(&mut self, line: &str) -> std::io::Result<String> {
+        let mut out = self.round_trip(&format!("{line}\n"), 1, line_is_retriable(line))?;
+        Ok(out.pop().expect("one paragraph"))
+    }
+
+    /// Sends one typed request and returns the typed response.
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        let payload = format!("{}\n", req.render());
+        let mut out = self.round_trip(&payload, 1, !req.is_update())?;
+        parse_response(&out.pop().expect("one paragraph"))
+    }
+
+    /// Starts an explicit pipeline batch: push requests, then
+    /// [`Pipeline::send`] writes them all and drains all answers.
+    pub fn pipeline(&mut self) -> Pipeline<'_> {
+        Pipeline {
+            client: self,
+            lines: Vec::new(),
+            retriable: true,
+        }
+    }
+
+    /// Runs `reqs` through the connection with at most `depth` requests
+    /// in flight: write a window, drain it, advance. `depth == 1`
+    /// degenerates to sequential round trips; `depth >= reqs.len()` is one
+    /// batch. Responses come back in request order.
+    pub fn run_pipelined(
+        &mut self,
+        reqs: &[Request],
+        depth: usize,
+    ) -> std::io::Result<Vec<Response>> {
+        let depth = depth.max(1);
+        let mut out = Vec::with_capacity(reqs.len());
+        for window in reqs.chunks(depth) {
+            let mut payload = String::new();
+            for r in window {
+                payload.push_str(&r.render());
+                payload.push('\n');
+            }
+            let retriable = window.iter().all(|r| !r.is_update());
+            for text in self.round_trip(&payload, window.len(), retriable)? {
+                out.push(parse_response(&text)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sends `QUIT` and closes the connection.
+    pub fn quit(mut self) -> std::io::Result<()> {
+        let _ = self.request_line("QUIT")?;
+        self.conn = None;
+        Ok(())
+    }
+}
+
+/// A batch of requests sent as one write and drained as one read run.
+///
+/// Built by [`Client::pipeline`]; the batch is not sent until
+/// [`Pipeline::send`], and dropping it unsent discards it.
+pub struct Pipeline<'a> {
+    client: &'a mut Client,
+    lines: Vec<String>,
+    /// True while every queued request is read-only (safe to resend on a
+    /// broken pipe).
+    retriable: bool,
+}
+
+impl Pipeline<'_> {
+    /// Queues one typed request.
+    pub fn push(mut self, req: Request) -> Self {
+        self.retriable &= !req.is_update();
+        self.lines.push(req.render());
+        self
+    }
+
+    /// Queues one raw request line.
+    pub fn push_line(mut self, line: &str) -> Self {
+        self.retriable &= line_is_retriable(line);
+        self.lines.push(line.to_string());
+        self
+    }
+
+    /// Queued requests so far.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Writes the whole batch, then drains one typed response per queued
+    /// request, in order.
+    pub fn send(self) -> std::io::Result<Vec<Response>> {
+        let n = self.lines.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let mut payload = String::with_capacity(self.lines.iter().map(|l| l.len() + 1).sum());
+        for l in &self.lines {
+            payload.push_str(l);
+            payload.push('\n');
+        }
+        self.client
+            .round_trip(&payload, n, self.retriable)?
+            .iter()
+            .map(|t| parse_response(t))
+            .collect()
+    }
+}
+
+fn parse_response(text: &str) -> std::io::Result<Response> {
+    Response::parse(text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Is a raw line safe to resend after a broken pipe? Only when it parses
+/// as a read-only verb; anything unrecognized (including `QUIT`) is
+/// conservatively not replayed.
+fn line_is_retriable(line: &str) -> bool {
+    matches!(Request::parse(line), Ok(req) if !req.is_update())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gk_core::KeySet;
+    use gk_graph::parse_graph;
+    use gk_server::{serve, Server};
+    use std::sync::Arc;
+
+    const KEYS: &str = r#"key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }"#;
+    const G: &str = r#"
+        alb1:album name_of "Anthology 2"
+        alb1:album release_year "1996"
+        alb2:album name_of "Anthology 2"
+        alb2:album release_year "1996"
+        alb3:album name_of "Abbey Road"
+    "#;
+
+    fn spawn() -> (gk_server::ServeHandle, String) {
+        let server = Arc::new(Server::new(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+        ));
+        let handle = serve(server, "127.0.0.1:0", 2).unwrap();
+        let addr = handle.addr().to_string();
+        (handle, addr)
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let (handle, addr) = spawn();
+        let mut c = Client::connect(&addr).unwrap();
+        assert_eq!(c.request(&Request::Ping).unwrap(), Response::Pong);
+        match c
+            .request(&Request::Same {
+                a: "alb1".into(),
+                b: "alb2".into(),
+            })
+            .unwrap()
+        {
+            Response::Same { rep, .. } => assert_eq!(rep, "alb1"),
+            other => panic!("expected YES, got {other:?}"),
+        }
+        match c
+            .request(&Request::Dups {
+                entity: "ghost".into(),
+            })
+            .unwrap()
+        {
+            Response::Err(msg) => assert!(msg.contains("unknown entity")),
+            other => panic!("expected ERR, got {other:?}"),
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn pipeline_preserves_order_and_multiline_answers() {
+        let (handle, addr) = spawn();
+        let mut c = Client::connect(&addr).unwrap();
+        let answers = c
+            .pipeline()
+            .push(Request::Ping)
+            .push(Request::Help)
+            .push(Request::Rep {
+                entity: "alb2".into(),
+            })
+            .push(Request::Ping)
+            .send()
+            .unwrap();
+        assert_eq!(answers.len(), 4);
+        assert_eq!(answers[0], Response::Pong);
+        assert!(matches!(&answers[1], Response::Help(h) if h.contains("SAME")));
+        assert_eq!(answers[2], Response::Rep { rep: "alb1".into() });
+        assert_eq!(answers[3], Response::Pong);
+        handle.stop();
+    }
+
+    #[test]
+    fn run_pipelined_windows_match_sequential_answers() {
+        let (handle, addr) = spawn();
+        let reqs: Vec<Request> = (0..25)
+            .map(|i| match i % 3 {
+                0 => Request::Same {
+                    a: "alb1".into(),
+                    b: "alb2".into(),
+                },
+                1 => Request::Rep {
+                    entity: "alb3".into(),
+                },
+                _ => Request::Dups {
+                    entity: "alb1".into(),
+                },
+            })
+            .collect();
+        let mut seq = Client::connect(&addr).unwrap();
+        let sequential: Vec<Response> = reqs.iter().map(|r| seq.request(r).unwrap()).collect();
+        let mut pip = Client::connect(&addr).unwrap();
+        for depth in [1, 4, 64] {
+            assert_eq!(
+                pip.run_pipelined(&reqs, depth).unwrap(),
+                sequential,
+                "depth {depth}"
+            );
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn reconnects_after_server_restart_on_same_port() {
+        let (handle, addr) = spawn();
+        let mut c = Client::connect(&addr).unwrap();
+        assert_eq!(c.request(&Request::Ping).unwrap(), Response::Pong);
+        handle.stop();
+        // Restart a fresh server on the very same port.
+        let server = Arc::new(Server::new(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+        ));
+        let handle2 = serve(server, &addr, 2).unwrap();
+        // The old socket is dead; the client must redial transparently.
+        assert_eq!(c.request(&Request::Ping).unwrap(), Response::Pong);
+        assert!(c.reconnects() >= 1, "broken pipe must have been healed");
+        handle2.stop();
+    }
+
+    #[test]
+    fn update_batches_are_never_auto_retried() {
+        // Kill and restart the server under a connected client, then send
+        // an INSERT on the stale socket: the client cannot know whether a
+        // written update was applied before the crash, so it must surface
+        // the error instead of redialing and resending it.
+        let (handle, addr) = spawn();
+        let mut c = Client::connect(&addr).unwrap();
+        assert_eq!(c.request(&Request::Ping).unwrap(), Response::Pong);
+        handle.stop();
+        let server = Arc::new(Server::new(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+        ));
+        let handle2 = serve(server, &addr, 2).unwrap();
+        let insert = Request::Insert {
+            batch: r#"alb9:album name_of "Anthology 2""#.into(),
+        };
+        c.request(&insert)
+            .expect_err("an unacknowledged update must not be silently replayed");
+        assert_eq!(c.reconnects(), 0);
+        // The connection is cleanly re-established for the next call.
+        assert_eq!(c.request(&Request::Ping).unwrap(), Response::Pong);
+        handle2.stop();
+    }
+
+    #[test]
+    fn partially_drained_batch_is_never_replayed() {
+        // A stub that answers exactly one paragraph per connection and
+        // then hangs up mid-batch: the client has read a response, so the
+        // server may have acted on the rest of the window — resending
+        // would double-apply. The client must surface the error instead
+        // of reconnecting and retrying.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let served = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let count = Arc::clone(&served);
+        std::thread::spawn(move || {
+            use std::io::{BufRead, BufReader, Write};
+            for conn in listener.incoming() {
+                let Ok(conn) = conn else { break };
+                count.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let mut reader = BufReader::new(conn.try_clone().unwrap());
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) > 0 {
+                    let mut w = conn;
+                    let _ = w.write_all(b"PONG\n\n");
+                } // connection drops here, second paragraph never comes
+            }
+        });
+        let mut c = Client::connect(&addr).unwrap();
+        let err = c
+            .run_pipelined(&[Request::Ping, Request::Ping], 2)
+            .expect_err("partial drain must error, not retry");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        assert_eq!(
+            c.reconnects(),
+            0,
+            "a batch with a received paragraph must never be replayed"
+        );
+        assert_eq!(
+            served.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "the batch must not have been resent on a fresh connection"
+        );
+    }
+
+    #[test]
+    fn unreachable_address_errors_cleanly() {
+        assert!(Client::connect("127.0.0.1:1").is_err());
+        let mut lazy = Client::lazy("127.0.0.1:1");
+        assert!(lazy.request(&Request::Ping).is_err());
+    }
+
+    #[test]
+    fn quit_closes_the_session() {
+        let (handle, addr) = spawn();
+        let c = Client::connect(&addr).unwrap();
+        c.quit().unwrap();
+        handle.stop();
+    }
+}

@@ -397,13 +397,38 @@ impl Key {
     }
 }
 
+impl Key {
+    /// The `key "Q" t(x) {` opener shared by both DSL renderings.
+    fn dsl_header(&self) -> String {
+        format!("key {:?} {}(x) {{", self.name, self.target_type)
+    }
+
+    /// One `s -p-> o;` pattern triple, shared by both DSL renderings.
+    fn dsl_triple(t: &KeyTriple) -> String {
+        format!("{} -{}-> {};", t.s, t.p, t.o)
+    }
+
+    /// Renders the key as a single DSL line (`key "Q" t(x) { … }`) — the
+    /// form the server's `KEYS` listing and `ADDKEY` echo use, still
+    /// accepted verbatim by [`parse_keys`](crate::parse_keys).
+    pub fn to_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.dsl_header();
+        for t in &self.triples {
+            let _ = write!(out, " {}", Self::dsl_triple(t));
+        }
+        out.push_str(" }");
+        out
+    }
+}
+
 impl std::fmt::Display for Key {
-    /// Renders the key in the DSL syntax accepted by
+    /// Renders the key in the (multi-line) DSL syntax accepted by
     /// [`parse_keys`](crate::parse_keys).
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "key {:?} {}(x) {{", self.name, self.target_type)?;
+        writeln!(f, "{}", self.dsl_header())?;
         for t in &self.triples {
-            writeln!(f, "    {} -{}-> {};", t.s, t.p, t.o)?;
+            writeln!(f, "    {}", Self::dsl_triple(t))?;
         }
         write!(f, "}}")
     }

@@ -40,12 +40,12 @@
 //! `O(load + replay)`.
 
 use gk_core::{
-    chase_incremental, prove, verify, write_keys, ChaseEngine, ChaseOrder, ChaseStep,
-    CompiledKeySet, EqRel, KeySet, Proof,
+    chase_incremental, parse_keys, prove, verify, write_keys, ChaseEngine, ChaseOrder, ChaseStep,
+    CompiledKeySet, EqRel, Key, KeySet, Proof,
 };
 use gk_graph::{EntityId, Graph, GraphView, Obj, ObjSpec, OverlayGraph, Triple, TripleSpec};
 use gk_store::{
-    CompactReport, Durability, FsyncMode, Recovered, SnapshotData, Store, WalKind, WalRecord,
+    CompactReport, Durability, FsyncMode, Recovered, SnapshotData, Store, WalOp, WalRecord,
 };
 use parking_lot::{Mutex, RwLock};
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -64,18 +64,35 @@ pub enum AdvanceMode {
     NoOp,
 }
 
-impl std::fmt::Display for AdvanceMode {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl AdvanceMode {
+    /// The protocol spelling (the `mode=` field of `OK` answers).
+    pub fn name(self) -> &'static str {
         match self {
-            AdvanceMode::Incremental => write!(f, "incremental"),
-            AdvanceMode::FullRechase => write!(f, "full-rechase"),
-            AdvanceMode::NoOp => write!(f, "noop"),
+            AdvanceMode::Incremental => "incremental",
+            AdvanceMode::FullRechase => "full-rechase",
+            AdvanceMode::NoOp => "noop",
+        }
+    }
+
+    /// Parses the protocol spelling back (inverse of [`AdvanceMode::name`]).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "incremental" => Ok(AdvanceMode::Incremental),
+            "full-rechase" => Ok(AdvanceMode::FullRechase),
+            "noop" => Ok(AdvanceMode::NoOp),
+            other => Err(format!("unknown advance mode {other:?}")),
         }
     }
 }
 
+impl std::fmt::Display for AdvanceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// What one update did to the index.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AdvanceReport {
     /// Which path advanced the index.
     pub mode: AdvanceMode,
@@ -90,6 +107,26 @@ pub struct AdvanceReport {
     /// Chase rounds performed.
     pub rounds: usize,
     /// Subgraph-isomorphism checks performed.
+    pub iso_checks: u64,
+}
+
+/// What an [`EmIndex::add_keys`] or [`EmIndex::drop_key`] did to the live
+/// Σ (and, through the re-chase, to the closure).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyChange {
+    /// The declared name of the key added or dropped.
+    pub name: String,
+    /// Declared keys after the change.
+    pub keys: usize,
+    /// Active (compiled) keys after the change.
+    pub active_keys: usize,
+    /// The key epoch after the change (bumped by every ADDKEY/DROPKEY).
+    pub key_epoch: u64,
+    /// Identified pairs in the closure after the change.
+    pub identified_pairs: usize,
+    /// Chase rounds the change cost.
+    pub rounds: usize,
+    /// Isomorphism checks the change cost.
     pub iso_checks: u64,
 }
 
@@ -194,12 +231,19 @@ pub struct IndexState {
     /// The graph this version was chased on: a shared frozen base plus
     /// this version's delta overlay.
     pub graph: OverlayGraph,
+    /// The declared key set Σ this version serves. Σ is versioned state —
+    /// `ADDKEY`/`DROPKEY` swap in a new set exactly like a triple update
+    /// swaps in a new graph — so a snapshot always pairs a graph with the
+    /// Σ it was chased under.
+    pub keys: Arc<KeySet>,
     /// Σ compiled against [`IndexState::graph`].
     pub compiled: CompiledKeySet,
     /// The terminal `Eq` — `chase(G, Σ)`.
     pub eq: EqRel,
     /// Monotonically increasing version, bumped by every applied update.
     pub version: u64,
+    /// Runtime key-management operations applied since bootstrap.
+    pub key_epoch: u64,
     /// Accumulated chase steps: every merge in [`IndexState::eq`] with the
     /// key that certified it. This is the generating log a snapshot
     /// persists — replaying it reproduces the closure.
@@ -213,10 +257,12 @@ pub struct IndexState {
 impl IndexState {
     fn build(
         graph: OverlayGraph,
+        keys: Arc<KeySet>,
         compiled: CompiledKeySet,
         eq: EqRel,
         steps: StepLog,
         version: u64,
+        key_epoch: u64,
     ) -> Self {
         let mut reps: Vec<EntityId> = graph.entities().collect();
         let mut dups = FxHashMap::default();
@@ -229,9 +275,11 @@ impl IndexState {
         }
         IndexState {
             graph,
+            keys,
             compiled,
             eq,
             version,
+            key_epoch,
             steps,
             reps,
             dups,
@@ -294,10 +342,9 @@ pub struct IndexStats {
     pub startup_micros: AtomicU64,
 }
 
-/// The resident index: owns Σ, the current [`IndexState`], and the update
-/// path. Many readers, one writer.
+/// The resident index: the current [`IndexState`] (graph + Σ + closure)
+/// and the update path. Many readers, one writer.
 pub struct EmIndex {
-    keys: KeySet,
     engine: ChaseEngine,
     state: RwLock<Arc<IndexState>>,
     /// Serializes writers so compute can happen outside the state lock.
@@ -331,9 +378,8 @@ impl EmIndex {
     /// threads via [`gk_core::chase_parallel`].
     pub fn with_engine(graph: Graph, keys: KeySet, engine: ChaseEngine) -> Self {
         let stats = IndexStats::default();
-        let state = startup_chase(OverlayGraph::new(graph), &keys, engine, &stats);
+        let state = startup_chase(OverlayGraph::new(graph), Arc::new(keys), engine, &stats);
         EmIndex {
-            keys,
             engine,
             state: RwLock::new(Arc::new(state)),
             ingest: Mutex::new(()),
@@ -362,8 +408,12 @@ impl EmIndex {
     ///   the initial snapshot, so the *next* start skips the chase.
     /// * Directory with state — ignores `graph`, loads the newest valid
     ///   snapshot and replays the WAL suffix (see
-    ///   [`EmIndex::recover_durable`]). `keys` must equal the persisted
-    ///   key set; pass different keys only after clearing the directory.
+    ///   [`EmIndex::recover_durable`]). While Σ has never been changed at
+    ///   runtime (`key_epoch == 0`, no key records in the WAL), `keys`
+    ///   must equal the persisted key set — a mismatch is an operator
+    ///   mistake. Once `ADDKEY`/`DROPKEY` have evolved Σ, the persisted
+    ///   set is authoritative and the passed `keys` are ignored (the
+    ///   key file on disk can no longer describe the live set).
     pub fn open_durable(
         graph: Graph,
         keys: KeySet,
@@ -386,22 +436,28 @@ impl EmIndex {
         let store = open_store(dur)?;
         match store.recover().map_err(|e| e.to_string())? {
             Some(rec) => {
-                let persisted = KeySet::parse(&rec.snapshot.keys_dsl)
-                    .map_err(|e| format!("persisted key set does not parse: {e}"))?;
-                if write_keys(persisted.keys()) != write_keys(keys.keys()) {
-                    return Err(format!(
-                        "key set differs from the one persisted in {:?}; \
-                         recover with the original keys or clear the data dir",
-                        dur.dir
-                    ));
+                // While Σ was never touched at runtime the persisted set
+                // must match the operator's key file; once the epoch moved
+                // (or the WAL carries key records), disk is authoritative.
+                let runtime_keys =
+                    rec.snapshot.key_epoch > 0 || rec.wal.iter().any(|r| r.op.is_key_change());
+                if !runtime_keys {
+                    let persisted = KeySet::parse(&rec.snapshot.keys_dsl)
+                        .map_err(|e| format!("persisted key set does not parse: {e}"))?;
+                    if write_keys(persisted.keys()) != write_keys(keys.keys()) {
+                        return Err(format!(
+                            "key set differs from the one persisted in {:?}; \
+                             recover with the original keys or clear the data dir",
+                            dur.dir
+                        ));
+                    }
                 }
-                Self::from_recovered(store, rec, keys, engine, compact_threshold)
+                Self::from_recovered(store, rec, engine, compact_threshold)
             }
             None => {
                 let stats = IndexStats::default();
-                let state = startup_chase(OverlayGraph::new(graph), &keys, engine, &stats);
+                let state = startup_chase(OverlayGraph::new(graph), Arc::new(keys), engine, &stats);
                 let index = EmIndex {
-                    keys,
                     engine,
                     state: RwLock::new(Arc::new(state)),
                     ingest: Mutex::new(()),
@@ -446,19 +502,16 @@ impl EmIndex {
         let store = open_store(dur)?;
         match store.recover().map_err(|e| e.to_string())? {
             None => Ok(None),
-            Some(rec) => {
-                let keys = KeySet::parse(&rec.snapshot.keys_dsl)
-                    .map_err(|e| format!("persisted key set does not parse: {e}"))?;
-                Self::from_recovered(store, rec, keys, engine, compact_threshold).map(Some)
-            }
+            Some(rec) => Self::from_recovered(store, rec, engine, compact_threshold).map(Some),
         }
     }
 
-    /// Builds the serving state from a loaded snapshot + WAL suffix.
+    /// Builds the serving state from a loaded snapshot + WAL suffix. The
+    /// key set comes off disk: the snapshot's Σ plus any key-management
+    /// records in the replayed suffix.
     fn from_recovered(
         store: Store,
         rec: Recovered,
-        keys: KeySet,
         engine: ChaseEngine,
         compact_threshold: usize,
     ) -> Result<(Self, RecoveryReport), String> {
@@ -468,12 +521,11 @@ impl EmIndex {
         let wal_torn = rec.wal_torn;
         let skipped_snapshots = rec.skipped_snapshots;
         let stats = IndexStats::default();
-        let (state, replay_mode) = replay(rec, &keys, engine, compact_threshold, &stats)?;
+        let (state, replay_mode) = replay(rec, engine, compact_threshold, &stats)?;
         stats
             .startup_micros
             .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
         let index = EmIndex {
-            keys,
             engine,
             state: RwLock::new(Arc::new(state)),
             ingest: Mutex::new(()),
@@ -494,9 +546,11 @@ impl EmIndex {
         ))
     }
 
-    /// The key set Σ the index serves.
-    pub fn keys(&self) -> &KeySet {
-        &self.keys
+    /// The key set Σ the index currently serves (a shared handle to the
+    /// serving snapshot's declared keys — Σ is versioned state now that
+    /// `ADDKEY`/`DROPKEY` can change it at runtime).
+    pub fn keys(&self) -> Arc<KeySet> {
+        Arc::clone(&self.snapshot().keys)
     }
 
     /// The configured chase engine.
@@ -552,10 +606,12 @@ impl EmIndex {
             let g2 = OverlayGraph::from_arc(frz.graph, snap.graph.epoch() + 1);
             let next = IndexState::build(
                 g2,
+                Arc::clone(&snap.keys),
                 frz.compiled,
                 snap.eq.clone(),
                 StepLog::from_steps(frz.steps),
                 snap.version,
+                snap.key_epoch,
             );
             *self.state.write() = Arc::new(next);
         }
@@ -588,7 +644,7 @@ impl EmIndex {
         op: impl FnOnce(&Store, &SnapshotData<'_>) -> std::io::Result<T>,
     ) -> std::io::Result<(FrozenState, T)> {
         let snap = self.snapshot();
-        let dsl = write_keys(self.keys.keys());
+        let dsl = write_keys(snap.keys.keys());
         let frozen = if snap.graph.is_compact() {
             Arc::clone(snap.graph.base())
         } else {
@@ -598,12 +654,13 @@ impl EmIndex {
         // compile of exactly the persisted graph — whose pruned interner
         // can deactivate keys the overlay still compiled (their vocabulary
         // may survive only in the base interner). Remap before writing.
-        let compiled = self.keys.compile(frozen.as_ref());
+        let compiled = snap.keys.compile(frozen.as_ref());
         let steps = remap_steps(&snap.compiled, &compiled, snap.steps().to_vec());
         let out = op(
             store,
             &SnapshotData {
                 seq: snap.version,
+                key_epoch: snap.key_epoch,
                 keys_dsl: &dsl,
                 graph: &frozen,
                 steps: &steps,
@@ -703,7 +760,7 @@ impl EmIndex {
 
         // The heavy part runs without the state lock: readers keep serving
         // the previous snapshot.
-        let compiled2 = self.keys.compile(&g2);
+        let compiled2 = snap.keys.compile(&g2);
         let (result, mode) = if self.engine.inserts_incrementally() {
             // Monotone delta chase: valid for insert-only batches under any
             // engine; strictly less work than a full chase.
@@ -742,8 +799,16 @@ impl EmIndex {
         // Write-ahead: the accepted batch must be on the log before the
         // new state becomes visible, or a crash could lose an
         // acknowledged update.
-        self.log_update(WalKind::Insert, snap.version + 1, specs)?;
-        let next = IndexState::build(g2, compiled2, result.eq, steps2, snap.version + 1);
+        self.log_op(WalOp::Insert(specs.to_vec()), snap.version + 1)?;
+        let next = IndexState::build(
+            g2,
+            Arc::clone(&snap.keys),
+            compiled2,
+            result.eq,
+            steps2,
+            snap.version + 1,
+            snap.key_epoch,
+        );
         *self.state.write() = Arc::new(next);
         self.stats
             .update_rounds
@@ -805,7 +870,7 @@ impl EmIndex {
             debug_assert!(removed, "resolved triple must be live");
         }
         let g2 = self.maybe_compact(g2);
-        let compiled2 = self.keys.compile(&g2);
+        let compiled2 = snap.keys.compile(&g2);
         let full = self
             .engine
             .full_chase(&g2, &compiled2, ChaseOrder::Deterministic);
@@ -820,13 +885,15 @@ impl EmIndex {
             rounds: full.rounds,
             iso_checks: full.iso_checks,
         };
-        self.log_update(WalKind::Delete, snap.version + 1, specs)?;
+        self.log_op(WalOp::Delete(specs.to_vec()), snap.version + 1)?;
         let next = IndexState::build(
             g2,
+            Arc::clone(&snap.keys),
             compiled2,
             full.eq,
             StepLog::from_steps(full.steps),
             snap.version + 1,
+            snap.key_epoch,
         );
         *self.state.write() = Arc::new(next);
         self.stats
@@ -843,18 +910,156 @@ impl EmIndex {
         fold_if_over_threshold(g, self.compact_threshold, &self.stats)
     }
 
-    /// Appends an accepted batch to the WAL (no-op without durability).
-    fn log_update(&self, kind: WalKind, seq: u64, specs: &[TripleSpec]) -> Result<(), String> {
+    /// Appends an accepted update to the WAL (no-op without durability).
+    fn log_op(&self, op: WalOp, seq: u64) -> Result<(), String> {
         let Some(store) = &self.store else {
             return Ok(());
         };
         store
-            .append(&WalRecord {
-                seq,
-                kind,
-                specs: specs.to_vec(),
-            })
+            .append(&WalRecord { seq, op })
             .map_err(|e| format!("write-ahead log append failed; update not applied: {e}"))
+    }
+
+    /// Installs keys into the live Σ at runtime.
+    ///
+    /// Adding keys is **monotone** — `chase(G, Σ ∪ K) ⊇ chase(G, Σ)` for
+    /// positive patterns — so under the incremental/parallel engines the
+    /// previous terminal `Eq` seeds a delta chase woken only around the
+    /// entities of the new keys' target types (the first genuinely new
+    /// step must apply a new key, and its witness anchors there). The
+    /// reference engine re-chases fully, as it does for every update.
+    ///
+    /// The change is WAL-logged (`ADDKEY` record, the keys in canonical
+    /// DSL text) *before* the new state becomes visible, bumps the
+    /// version and the key epoch, and errors — changing nothing — on a
+    /// duplicate key name or a validation failure.
+    pub fn add_keys(&self, new: Vec<Key>) -> Result<KeyChange, String> {
+        if new.is_empty() {
+            return Err("no key definition given".into());
+        }
+        let _writer = self.ingest.lock();
+        let snap = self.snapshot();
+        let mut names: FxHashSet<&str> = snap.keys.keys().iter().map(|k| k.name.as_str()).collect();
+        for k in &new {
+            k.validate().map_err(|e| e.to_string())?;
+            if !names.insert(&k.name) {
+                return Err(format!("a key named {:?} already exists", k.name));
+            }
+        }
+        let dsl = write_keys(&new);
+        let mut all: Vec<Key> = snap.keys.keys().to_vec();
+        all.extend(new.iter().cloned());
+        let keys2 = Arc::new(KeySet::new(all).map_err(|e| e.to_string())?);
+        let compiled2 = keys2.compile(&snap.graph);
+
+        let (result, mode) = if self.engine.inserts_incrementally() {
+            // Wake every entity a new key is defined on; the delta chase
+            // cascades from there exactly as it does for inserted triples.
+            let mut touched: Vec<EntityId> = Vec::new();
+            for k in &new {
+                if let Some(t) = snap.graph.etype(&k.target_type) {
+                    touched.extend(snap.graph.entities_of_type(t));
+                }
+            }
+            touched.sort_unstable();
+            touched.dedup();
+            (
+                chase_incremental(&snap.graph, &compiled2, &snap.eq, &touched),
+                AdvanceMode::Incremental,
+            )
+        } else {
+            (
+                self.engine
+                    .full_chase(&snap.graph, &compiled2, ChaseOrder::Deterministic),
+                AdvanceMode::FullRechase,
+            )
+        };
+        let steps2 = match mode {
+            // New sources append at the end of Σ, so existing compiled
+            // indices keep their order; the remap is a shared-prefix no-op
+            // unless the new vocabulary shifted activation.
+            AdvanceMode::Incremental => {
+                remap_step_log(&snap.compiled, &compiled2, &snap.steps).appended(result.steps)
+            }
+            _ => StepLog::from_steps(result.steps),
+        };
+        self.log_op(WalOp::AddKey(dsl), snap.version + 1)?;
+        let change = KeyChange {
+            name: new.first().expect("non-empty").name.clone(),
+            keys: keys2.cardinality(),
+            active_keys: compiled2.len(),
+            key_epoch: snap.key_epoch + 1,
+            identified_pairs: result.eq.num_identified_pairs(),
+            rounds: result.rounds,
+            iso_checks: result.iso_checks,
+        };
+        let next = IndexState::build(
+            snap.graph.clone(),
+            keys2,
+            compiled2,
+            result.eq,
+            steps2,
+            snap.version + 1,
+            snap.key_epoch + 1,
+        );
+        *self.state.write() = Arc::new(next);
+        self.stats
+            .update_rounds
+            .fetch_add(change.rounds as u64, Ordering::Relaxed);
+        match mode {
+            AdvanceMode::Incremental => &self.stats.incremental_advances,
+            _ => &self.stats.full_rechases,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        Ok(change)
+    }
+
+    /// Removes the key named `name` from the live Σ at runtime.
+    ///
+    /// Dropping a key is **not** monotone — merges it certified (and
+    /// everything that cascaded from them) may no longer hold — so the
+    /// closure is recomputed with one full chase under the configured
+    /// engine, exactly like the deletion fallback. WAL-logged (`DROPKEY`
+    /// record) before the swap; bumps version and key epoch.
+    pub fn drop_key(&self, name: &str) -> Result<KeyChange, String> {
+        let _writer = self.ingest.lock();
+        let snap = self.snapshot();
+        let mut all: Vec<Key> = snap.keys.keys().to_vec();
+        let at = all
+            .iter()
+            .position(|k| k.name == name)
+            .ok_or_else(|| format!("no key named {name:?}"))?;
+        all.remove(at);
+        let keys2 = Arc::new(KeySet::new(all).map_err(|e| e.to_string())?);
+        let compiled2 = keys2.compile(&snap.graph);
+        let full = self
+            .engine
+            .full_chase(&snap.graph, &compiled2, ChaseOrder::Deterministic);
+        self.log_op(WalOp::DropKey(name.to_string()), snap.version + 1)?;
+        let change = KeyChange {
+            name: name.to_string(),
+            keys: keys2.cardinality(),
+            active_keys: compiled2.len(),
+            key_epoch: snap.key_epoch + 1,
+            identified_pairs: full.eq.num_identified_pairs(),
+            rounds: full.rounds,
+            iso_checks: full.iso_checks,
+        };
+        let next = IndexState::build(
+            snap.graph.clone(),
+            keys2,
+            compiled2,
+            full.eq,
+            StepLog::from_steps(full.steps),
+            snap.version + 1,
+            snap.key_epoch + 1,
+        );
+        *self.state.write() = Arc::new(next);
+        self.stats
+            .update_rounds
+            .fetch_add(change.rounds as u64, Ordering::Relaxed);
+        self.stats.full_rechases.fetch_add(1, Ordering::Relaxed);
+        Ok(change)
     }
 }
 
@@ -935,7 +1140,7 @@ fn remap_steps(
 /// Runs the startup chase and builds version 0 of the serving state.
 fn startup_chase(
     graph: OverlayGraph,
-    keys: &KeySet,
+    keys: Arc<KeySet>,
     engine: ChaseEngine,
     stats: &IndexStats,
 ) -> IndexState {
@@ -951,7 +1156,15 @@ fn startup_chase(
     stats
         .startup_micros
         .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
-    IndexState::build(graph, compiled, r.eq, StepLog::from_steps(r.steps), 0)
+    IndexState::build(
+        graph,
+        keys,
+        compiled,
+        r.eq,
+        StepLog::from_steps(r.steps),
+        0,
+        0,
+    )
 }
 
 /// Resolves a delete spec against the graph with the same type contract as
@@ -985,57 +1198,93 @@ fn resolve_triple<V: GraphView>(g: &V, spec: &TripleSpec) -> Result<Triple, Stri
 ///
 /// The snapshot graph becomes the overlay's frozen base and every WAL
 /// record applies as O(batch) delta appends / tombstones — recovery never
-/// rebuilds the CSR, no matter how records interleave. The chase then runs
-/// once over the final view: through [`chase_incremental`] seeded by the
-/// persisted `Eq` when the suffix was insert-only (monotone), or as one
-/// full chase under the configured engine when any record deleted triples.
+/// rebuilds the CSR, no matter how records interleave. Key-management
+/// records evolve Σ the same way: `ADDKEY` appends to the declared set,
+/// `DROPKEY` removes by name, and the final Σ is what the recovered state
+/// serves. The chase then runs once over the final `(G, Σ)`: through
+/// [`chase_incremental`] seeded by the persisted `Eq` when the suffix was
+/// monotone (inserts and added keys only — both can only grow the
+/// closure), or as one full chase under the configured engine when any
+/// record deleted triples or dropped a key.
 fn replay(
     rec: Recovered,
-    keys: &KeySet,
     engine: ChaseEngine,
     compact_threshold: usize,
     stats: &IndexStats,
 ) -> Result<(IndexState, AdvanceMode), String> {
     let snapshot_steps = rec.snapshot.steps;
+    let snapshot_keys = KeySet::parse(&rec.snapshot.keys_dsl)
+        .map_err(|e| format!("persisted key set does not parse: {e}"))?;
     let mut g = OverlayGraph::new(rec.snapshot.graph);
     // The persisted steps were attributed against a compile of exactly
-    // this graph; capture that mapping before the WAL mutates it.
-    let snapshot_compiled = keys.compile(&g);
+    // this graph under exactly this Σ; capture that mapping before the
+    // WAL mutates either.
+    let snapshot_compiled = snapshot_keys.compile(&g);
+    let mut declared: Vec<Key> = snapshot_keys.keys().to_vec();
+    let mut key_epoch = rec.snapshot.key_epoch;
+    let mut added_types: Vec<String> = Vec::new();
     let mut touched: Vec<EntityId> = Vec::new();
-    let mut had_delete = false;
+    let mut monotone = true;
     let records = rec.wal;
     let version = records
         .last()
         .map_or(rec.snapshot.seq, |r| r.seq.max(rec.snapshot.seq));
 
     for record in &records {
-        match record.kind {
-            WalKind::Insert => {
-                for s in &record.specs {
+        let replay_err =
+            |e: String| -> String { format!("WAL record {} does not replay: {e}", record.seq) };
+        match &record.op {
+            WalOp::Insert(specs) => {
+                for s in specs {
                     let (subj, obj, _) = s.apply_overlay(&mut g);
                     touched.push(subj);
                     touched.extend(obj);
                 }
             }
-            WalKind::Delete => {
+            WalOp::Delete(specs) => {
                 // Resolve the whole record against the pre-record graph
                 // before applying — exactly like the accept path, whose
                 // `doomed` set tolerates a batch naming a triple twice. A
                 // spec-by-spec apply would fail on such (accepted, logged)
                 // batches and brick recovery.
                 let mut doomed: FxHashSet<Triple> = FxHashSet::default();
-                for s in &record.specs {
-                    doomed.insert(
-                        resolve_triple(&g, s).map_err(|e| {
-                            format!("WAL record {} does not replay: {e}", record.seq)
-                        })?,
-                    );
+                for s in specs {
+                    doomed.insert(resolve_triple(&g, s).map_err(replay_err)?);
                 }
                 for t in doomed {
                     g.delete_triple(t);
                 }
-                had_delete = true;
+                monotone = false;
             }
+            WalOp::AddKey(dsl) => {
+                let new = parse_keys(dsl).map_err(|e| replay_err(e.to_string()))?;
+                for k in new {
+                    if declared.iter().any(|d| d.name == k.name) {
+                        return Err(replay_err(format!("duplicate key name {:?}", k.name)));
+                    }
+                    added_types.push(k.target_type.clone());
+                    declared.push(k);
+                }
+                key_epoch += 1;
+            }
+            WalOp::DropKey(name) => {
+                let at = declared
+                    .iter()
+                    .position(|d| &d.name == name)
+                    .ok_or_else(|| replay_err(format!("no key named {name:?}")))?;
+                declared.remove(at);
+                key_epoch += 1;
+                monotone = false;
+            }
+        }
+    }
+    let keys = Arc::new(KeySet::new(declared).map_err(|e| e.to_string())?);
+    // Keys added in the suffix wake the entities they are defined on,
+    // exactly like the live ADDKEY path (resolved against the *final*
+    // graph: inserts later in the suffix may have created the type).
+    for ty in added_types {
+        if let Some(t) = g.etype(&ty) {
+            touched.extend(g.entities_of_type(t));
         }
     }
     touched.sort_unstable();
@@ -1053,8 +1302,9 @@ fn replay(
     for s in &snapshot_steps {
         base.union(s.pair.0, s.pair.1);
     }
-    let (eq, steps, mode) = if had_delete {
-        // Deletions are not monotone: one full chase over the final graph.
+    let (eq, steps, mode) = if !monotone {
+        // Deletions and dropped keys are not monotone: one full chase
+        // over the final graph under the final Σ.
         let r = engine.full_chase(&g, &compiled, ChaseOrder::Deterministic);
         stats
             .startup_rounds
@@ -1064,10 +1314,11 @@ fn replay(
             .store(r.iso_checks, Ordering::Relaxed);
         (r.eq, StepLog::from_steps(r.steps), AdvanceMode::FullRechase)
     } else if !touched.is_empty() {
-        // Insert-only suffix: monotone, so the persisted Eq seeds a delta
-        // chase woken only around the inserted triples. New vocabulary can
-        // have activated keys and shifted compiled indices — remap the
-        // persisted prefix's attribution before appending.
+        // Monotone suffix (inserts and/or added keys): the persisted Eq
+        // seeds a delta chase woken around the inserted triples and the
+        // added keys' target-type entities. New vocabulary or new keys can
+        // have shifted compiled indices — remap the persisted prefix's
+        // attribution before appending.
         let r = chase_incremental(&g, &compiled, &base, &touched);
         stats
             .startup_rounds
@@ -1083,7 +1334,10 @@ fn replay(
         let prefix = remap_steps(&snapshot_compiled, &compiled, snapshot_steps);
         (base, StepLog::from_steps(prefix), AdvanceMode::NoOp)
     };
-    Ok((IndexState::build(g, compiled, eq, steps, version), mode))
+    Ok((
+        IndexState::build(g, keys, compiled, eq, steps, version, key_epoch),
+        mode,
+    ))
 }
 
 /// Opens the durable store for a config, mapping errors to protocol text.

@@ -19,12 +19,13 @@
 //!   the previous `Eq` remains meaningful on the extended graph — and the
 //!   write path is O(batch), not O(|G|).
 //!
-//! Three layers, separable for embedding:
+//! Four layers, separable for embedding:
 //!
 //! | layer | type | role |
 //! |-------|------|------|
-//! | [`EmIndex`] | `index` | snapshot-swapped `OverlayGraph` (shared base CSR + O(batch) delta) + `CompiledKeySet` + `EqRel` with rep map and duplicate clusters; threshold-compacted; optional write-through durability (`gk-store` WAL + snapshots, crash recovery) |
-//! | [`Server`] | `protocol` | the textual verbs (`SAME`, `DUPS`, `EXPLAIN`, `INSERT`, `DELETE`, `SNAPSHOT`, `COMPACT`, `STATS`) over an index |
+//! | [`EmIndex`] | `index` | snapshot-swapped `OverlayGraph` (shared base CSR + O(batch) delta) + a versioned Σ ([`EmIndex::add_keys`] / [`EmIndex::drop_key`] evolve it at runtime) + `EqRel` with rep map and duplicate clusters; threshold-compacted; optional write-through durability (`gk-store` WAL + snapshots, crash recovery) |
+//! | [`Request`] / [`Response`] | `proto` | the typed request/response surface with a lossless `parse`/`render` pair |
+//! | [`Server`] | `protocol` | [`Server::execute`] maps requests (`SAME`, `DUPS`, `EXPLAIN`, `INSERT`, `DELETE`, `ADDKEY`, `DROPKEY`, `KEYS`, `SNAPSHOT`, `COMPACT`, `STATS`) to responses; [`Server::handle`] is the line-protocol shim |
 //! | [`serve`] | `net` | TCP framing with a fixed worker-thread pool |
 //!
 //! ## In-process use
@@ -59,13 +60,15 @@
 
 mod index;
 mod net;
+mod proto;
 mod protocol;
 
 pub use index::{
-    AdvanceMode, AdvanceReport, EmIndex, IndexState, IndexStats, RecoveryReport, StepLog,
-    DEFAULT_COMPACT_THRESHOLD,
+    AdvanceMode, AdvanceReport, EmIndex, IndexState, IndexStats, KeyChange, RecoveryReport,
+    StepLog, DEFAULT_COMPACT_THRESHOLD,
 };
 pub use net::{request, serve, ServeHandle};
+pub use proto::{usage, ProofLine, Request, RequestError, Response, ResponseError};
 pub use protocol::{Server, PROTOCOL_HELP};
 // Durability configuration, re-exported so embedders and the CLI need not
 // depend on gk-store directly.
@@ -809,6 +812,256 @@ mod tests {
         let a = snap.graph.entity_named("alb1").unwrap();
         let b = snap.graph.entity_named("alb3").unwrap();
         assert!(snap.same(a, b));
+    }
+
+    #[test]
+    fn execute_is_typed_end_to_end() {
+        use crate::{Request, Response};
+        let s = server();
+        match s.execute(Request::Same {
+            a: "alb1".into(),
+            b: "alb2".into(),
+        }) {
+            Response::Same { a, b, rep } => {
+                assert_eq!(
+                    (a.as_str(), b.as_str(), rep.as_str()),
+                    ("alb1", "alb2", "alb1")
+                );
+            }
+            other => panic!("expected Same, got {other:?}"),
+        }
+        // handle() is exactly parse → execute → render.
+        for line in [
+            "SAME alb1 alb2",
+            "DUPS alb1",
+            "EXPLAIN art1 art2",
+            "STATS",
+            "HELP",
+            "PING",
+        ] {
+            let req = Request::parse(line).unwrap();
+            assert_eq!(s.handle(line), s.execute(req).render(), "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_answer_uniform_usage_lines() {
+        let s = server();
+        for (line, want) in [
+            ("SAME alb1", "ERR usage: SAME <a> <b>"),
+            ("SAME a b c", "ERR usage: SAME <a> <b>"),
+            ("DUPS", "ERR usage: DUPS <e>"),
+            ("DUPS a b", "ERR usage: DUPS <e>"),
+            ("REP a b", "ERR usage: REP <e>"),
+            ("EXPLAIN a", "ERR usage: EXPLAIN <a> <b>"),
+            ("STATS all", "ERR usage: STATS"),
+            ("PING twice", "ERR usage: PING"),
+            ("HELP me", "ERR usage: HELP"),
+            ("KEYS now", "ERR usage: KEYS"),
+            ("SNAPSHOT x", "ERR usage: SNAPSHOT"),
+            ("COMPACT x", "ERR usage: COMPACT"),
+            (
+                "INSERT",
+                "ERR usage: INSERT <s:T> <p> <o> [; <s:T> <p> <o> ...]",
+            ),
+            (
+                "DELETE",
+                "ERR usage: DELETE <s:T> <p> <o> [; <s:T> <p> <o> ...]",
+            ),
+            ("DROPKEY", "ERR usage: DROPKEY <name>"),
+        ] {
+            assert_eq!(s.handle(line), want, "{line:?}");
+        }
+        // Malformed lines never reach the index or the counters.
+        let stats = s.handle("STATS");
+        assert!(stats.contains("queries=0"), "{stats}");
+        assert!(stats.contains("updates=0"), "{stats}");
+        assert!(stats.contains("version=0"), "{stats}");
+    }
+
+    #[test]
+    fn addkey_advances_incrementally_and_cascades() {
+        let s = server();
+        // All three artists share a name; only art1/art2 are merged (via
+        // Q3 through the albums). A name-only artist key pulls art3 in.
+        assert!(s.handle("SAME art1 art3").starts_with("NO"));
+        let r = s.handle(r#"ADDKEY key "AN" artist(x) { x -name_of-> n*; }"#);
+        assert!(r.starts_with("OK added key=\"AN\""), "{r}");
+        assert!(r.contains("keys=3"), "{r}");
+        assert!(r.contains("key_epoch=1"), "{r}");
+        assert!(s.handle("SAME art1 art3").starts_with("YES"));
+        let stats = s.handle("STATS");
+        assert!(stats.contains("active_keys=3"), "{stats}");
+        assert!(stats.contains("key_epoch=1"), "{stats}");
+        assert!(stats.contains("version=1"), "{stats}");
+        assert!(
+            stats.contains("incremental_advances=1"),
+            "ADDKEY is monotone, must ride the delta chase: {stats}"
+        );
+        assert!(stats.contains("full_rechases=0"), "{stats}");
+        // The proof layer cites the new key.
+        let p = s.handle("EXPLAIN art1 art3");
+        assert!(p.starts_with("PROOF"), "{p}");
+        assert!(p.contains("by AN"), "{p}");
+    }
+
+    #[test]
+    fn addkey_rejects_duplicates_and_garbage_without_state_change() {
+        let s = server();
+        let r = s.handle(r#"ADDKEY key "Q2" album(x) { x -name_of-> n*; }"#);
+        assert!(r.starts_with("ERR"), "{r}");
+        assert!(r.contains("already exists"), "{r}");
+        assert!(s.handle("ADDKEY this is not dsl").starts_with("ERR"));
+        let two = r#"ADDKEY key "A" t(x) { x -p-> v*; } key "B" t(x) { x -q-> v*; }"#;
+        let r = s.handle(two);
+        assert!(r.starts_with("ERR"), "one key per request: {r}");
+        let stats = s.handle("STATS");
+        assert!(stats.contains("version=0"), "{stats}");
+        assert!(stats.contains("key_epoch=0"), "{stats}");
+    }
+
+    #[test]
+    fn dropkey_retracts_merges_with_one_full_rechase() {
+        let s = server();
+        assert!(s.handle("SAME art1 art2").starts_with("YES"));
+        let r = s.handle("DROPKEY Q3");
+        assert!(r.starts_with("OK dropped key=\"Q3\""), "{r}");
+        assert!(r.contains("keys=1"), "{r}");
+        assert!(r.contains("key_epoch=1"), "{r}");
+        // The artist merges were certified by Q3; they must be gone, while
+        // the album merge (Q2) survives.
+        assert!(s.handle("SAME art1 art2").starts_with("NO"));
+        assert!(s.handle("SAME alb1 alb2").starts_with("YES"));
+        let stats = s.handle("STATS");
+        assert!(stats.contains("full_rechases=1"), "{stats}");
+        assert!(stats.contains("key_epoch=1"), "{stats}");
+        // Unknown names error without touching state.
+        let r = s.handle("DROPKEY Q9");
+        assert!(r.starts_with("ERR"), "{r}");
+        assert!(r.contains("no key named"), "{r}");
+        let stats = s.handle("STATS");
+        assert!(stats.contains("version=1"), "{stats}");
+    }
+
+    #[test]
+    fn keys_listing_tracks_the_live_sigma_and_reparses() {
+        let s = server();
+        let listing = s.handle("KEYS");
+        assert!(
+            listing.starts_with("KEYS n=2 active=2 epoch=0"),
+            "{listing}"
+        );
+        assert!(listing.contains("\n  key \"Q2\" album(x)"), "{listing}");
+        s.handle(r#"ADDKEY key "AN" artist(x) { x -name_of-> n*; }"#);
+        s.handle("DROPKEY Q2");
+        let listing = s.handle("KEYS");
+        assert!(
+            listing.starts_with("KEYS n=2 active=2 epoch=2"),
+            "{listing}"
+        );
+        assert!(!listing.contains("\"Q2\""), "{listing}");
+        // Every listed line is valid DSL: the listing round-trips into a
+        // key set equal to the served one.
+        let dsl: String = listing
+            .lines()
+            .skip(1)
+            .map(|l| format!("{}\n", l.trim()))
+            .collect();
+        let parsed = gk_core::parse_keys(&dsl).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            gk_core::write_keys(&parsed),
+            gk_core::write_keys(s.index().keys().keys())
+        );
+    }
+
+    #[test]
+    fn key_changes_survive_restart_even_with_stale_key_file() {
+        use gk_core::ChaseEngine;
+        use gk_store::Durability;
+        let dur = Durability::in_dir(tmpdir("addkey-restart"));
+        let (s, _) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        let r = s.handle(r#"ADDKEY key "AN" artist(x) { x -name_of-> n*; }"#);
+        assert!(r.starts_with("OK added"), "{r}");
+        assert!(s.handle("SAME art1 art3").starts_with("YES"));
+        let keys_before = s.handle("KEYS");
+        let dups_before = s.handle("DUPS art1");
+        drop(s);
+
+        // Restart with the *original* key file: once Σ evolved at runtime
+        // the persisted set is authoritative, so this must not error and
+        // must serve the evolved Σ.
+        let (s2, rep) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        assert!(rep.recovered);
+        assert_eq!(s2.handle("KEYS"), keys_before, "KEYS byte-identical");
+        assert_eq!(s2.handle("DUPS art1"), dups_before, "DUPS byte-identical");
+        assert!(s2.handle("SAME art1 art3").starts_with("YES"));
+        let stats = s2.handle("STATS");
+        assert!(stats.contains("key_epoch=1"), "{stats}");
+        drop(s2);
+
+        // A snapshot cut *after* the key change carries the epoch, so the
+        // relaxation also holds once the WAL no longer has the record.
+        let (s3, _) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        assert!(s3.handle("SNAPSHOT").starts_with("OK"));
+        assert!(s3.handle("COMPACT").starts_with("OK"));
+        drop(s3);
+        let (s4, rep) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        assert_eq!(rep.wal_replayed, 0, "compacted: keys live in the snapshot");
+        assert_eq!(s4.handle("KEYS"), keys_before);
+        assert!(s4.handle("SAME art1 art3").starts_with("YES"));
+    }
+
+    #[test]
+    fn dropkey_then_crash_recovers_the_narrowed_sigma() {
+        use gk_core::ChaseEngine;
+        use gk_store::Durability;
+        let dur = Durability::in_dir(tmpdir("dropkey-restart"));
+        let (s, _) = Server::with_durability(
+            parse_graph(G).unwrap(),
+            KeySet::parse(KEYS).unwrap(),
+            ChaseEngine::default(),
+            &dur,
+        )
+        .unwrap();
+        assert!(s.handle("DROPKEY Q3").starts_with("OK dropped"));
+        assert!(s.handle("SAME art1 art2").starts_with("NO"));
+        drop(s);
+        let (idx, rep) = EmIndex::recover_durable(&dur, ChaseEngine::default())
+            .unwrap()
+            .expect("state persisted");
+        assert!(rep.recovered);
+        assert_eq!(rep.replay_mode, AdvanceMode::FullRechase);
+        assert_eq!(idx.keys().cardinality(), 1);
+        let snap = idx.snapshot();
+        assert_eq!(snap.key_epoch, 1);
+        let a = snap.graph.entity_named("art1").unwrap();
+        let b = snap.graph.entity_named("art2").unwrap();
+        assert!(!snap.same(a, b), "Q3 merges must stay retracted");
     }
 
     #[test]

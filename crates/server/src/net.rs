@@ -102,6 +102,10 @@ fn serve_connection(server: &Server, conn: TcpStream, stop: &AtomicBool) {
     // Without a read timeout a worker would block forever on an idle
     // persistent connection and stop() could never join it.
     let _ = conn.set_read_timeout(Some(IDLE_POLL));
+    // Answers are small and latency-bound; Nagle coalescing would stall a
+    // pipelining client (many un-ACKed small response writes) for a
+    // delayed-ACK window per batch.
+    let _ = conn.set_nodelay(true);
     let Ok(read_half) = conn.try_clone() else {
         return;
     };

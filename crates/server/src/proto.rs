@@ -1,0 +1,933 @@
+//! The typed request/response surface of the protocol.
+//!
+//! [`Request`] and [`Response`] are the primary API: every verb the
+//! server understands is a `Request` variant, every answer it can give is
+//! a `Response` variant, and the textual line protocol is nothing but
+//! [`Request::parse`] → [`Server::execute`](crate::Server::execute) →
+//! [`Response::render`]. Both directions are **lossless**:
+//!
+//! * `Request::parse(req.render()) == Ok(req)` for every `Request`;
+//! * `Response::parse(resp.render()) == Ok(resp)` for every `Response`;
+//!
+//! so a typed client ([`gk-client`](https://docs.rs) or any embedder) can
+//! round-trip values over the wire without string surgery, while scripted
+//! sessions and golden transcripts keep their exact byte-level shape.
+//!
+//! Malformed requests fail to parse with a [`RequestError`] whose display
+//! form is the protocol's `ERR …` payload — arity mistakes and trailing
+//! tokens all answer a uniform `ERR usage: <verb signature>` line.
+
+use crate::index::{AdvanceMode, AdvanceReport, KeyChange};
+use std::fmt::Write as _;
+
+/// One request, as understood by [`crate::Server::execute`].
+///
+/// String payloads hold exactly what travels on the wire: entity *names*
+/// (not ids — the server resolves them against its current snapshot),
+/// triple batches in the `;`-separated text form, and key DSL text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// `SAME <a> <b>` — are the two entities identified?
+    Same {
+        /// First entity name.
+        a: String,
+        /// Second entity name.
+        b: String,
+    },
+    /// `DUPS <e>` — the duplicate cluster of an entity.
+    Dups {
+        /// Entity name.
+        entity: String,
+    },
+    /// `REP <e>` — the canonical representative of an entity.
+    Rep {
+        /// Entity name.
+        entity: String,
+    },
+    /// `EXPLAIN <a> <b>` — a verified key-application proof.
+    Explain {
+        /// First entity name.
+        a: String,
+        /// Second entity name.
+        b: String,
+    },
+    /// `INSERT <batch>` — insert triples (`;` separates several).
+    Insert {
+        /// The raw batch text after the verb.
+        batch: String,
+    },
+    /// `DELETE <batch>` — delete triples (`;` separates several).
+    Delete {
+        /// The raw batch text after the verb.
+        batch: String,
+    },
+    /// `ADDKEY <dsl>` — install one key into the live Σ.
+    AddKey {
+        /// The key definition in the DSL (one `key … { … }` block).
+        dsl: String,
+    },
+    /// `DROPKEY <name>` — remove a key from the live Σ by name.
+    DropKey {
+        /// The declared key name.
+        name: String,
+    },
+    /// `KEYS` — list the declared keys and the key epoch.
+    Keys,
+    /// `SNAPSHOT` — persist a point-in-time snapshot.
+    Snapshot,
+    /// `COMPACT` — snapshot + truncate the WAL + fold the delta overlay.
+    Compact,
+    /// `STATS` — index and traffic counters.
+    Stats,
+    /// `PING` — liveness check.
+    Ping,
+    /// `HELP` — the usage table.
+    Help,
+}
+
+/// Usage signatures, one per verb — the payload of the uniform
+/// `ERR usage:` answer for malformed requests.
+pub mod usage {
+    /// `SAME` signature.
+    pub const SAME: &str = "SAME <a> <b>";
+    /// `DUPS` signature.
+    pub const DUPS: &str = "DUPS <e>";
+    /// `REP` signature.
+    pub const REP: &str = "REP <e>";
+    /// `EXPLAIN` signature.
+    pub const EXPLAIN: &str = "EXPLAIN <a> <b>";
+    /// `INSERT` signature.
+    pub const INSERT: &str = "INSERT <s:T> <p> <o> [; <s:T> <p> <o> ...]";
+    /// `DELETE` signature.
+    pub const DELETE: &str = "DELETE <s:T> <p> <o> [; <s:T> <p> <o> ...]";
+    /// `ADDKEY` signature.
+    pub const ADDKEY: &str = "ADDKEY key \"<name>\" <type>(x) { ... }";
+    /// `DROPKEY` signature.
+    pub const DROPKEY: &str = "DROPKEY <name>";
+    /// `KEYS` signature.
+    pub const KEYS: &str = "KEYS";
+    /// `SNAPSHOT` signature.
+    pub const SNAPSHOT: &str = "SNAPSHOT";
+    /// `COMPACT` signature.
+    pub const COMPACT: &str = "COMPACT";
+    /// `STATS` signature.
+    pub const STATS: &str = "STATS";
+    /// `PING` signature.
+    pub const PING: &str = "PING";
+    /// `HELP` signature.
+    pub const HELP: &str = "HELP";
+}
+
+/// Why a request line failed to parse. `Display` renders the exact `ERR`
+/// payload the protocol answers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// The line was empty.
+    Empty,
+    /// The verb is not part of the protocol.
+    UnknownVerb(String),
+    /// Wrong arity or trailing tokens; carries the verb's usage signature.
+    Usage(&'static str),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Empty => write!(f, "empty request (try HELP)"),
+            RequestError::UnknownVerb(v) => write!(f, "unknown verb {v:?} (try HELP)"),
+            RequestError::Usage(u) => write!(f, "usage: {u}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl Request {
+    /// Parses one request line. Verbs are case-insensitive; arguments are
+    /// taken verbatim. Arity mistakes — missing arguments, extra tokens,
+    /// trailing garbage on a zero-argument verb — uniformly fail with
+    /// [`RequestError::Usage`].
+    pub fn parse(line: &str) -> Result<Request, RequestError> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Err(RequestError::Empty);
+        }
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        let exactly = |n: usize, u: &'static str| -> Result<Vec<String>, RequestError> {
+            let parts: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+            if parts.len() == n {
+                Ok(parts)
+            } else {
+                Err(RequestError::Usage(u))
+            }
+        };
+        let bare = |u: &'static str| -> Result<(), RequestError> {
+            if rest.is_empty() {
+                Ok(())
+            } else {
+                Err(RequestError::Usage(u))
+            }
+        };
+        let text = |u: &'static str| -> Result<String, RequestError> {
+            if rest.is_empty() {
+                Err(RequestError::Usage(u))
+            } else {
+                Ok(rest.to_string())
+            }
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "SAME" => {
+                let mut p = exactly(2, usage::SAME)?;
+                let b = p.pop().expect("two parts");
+                let a = p.pop().expect("two parts");
+                Ok(Request::Same { a, b })
+            }
+            "DUPS" => Ok(Request::Dups {
+                entity: exactly(1, usage::DUPS)?.pop().expect("one part"),
+            }),
+            "REP" => Ok(Request::Rep {
+                entity: exactly(1, usage::REP)?.pop().expect("one part"),
+            }),
+            "EXPLAIN" => {
+                let mut p = exactly(2, usage::EXPLAIN)?;
+                let b = p.pop().expect("two parts");
+                let a = p.pop().expect("two parts");
+                Ok(Request::Explain { a, b })
+            }
+            "INSERT" => Ok(Request::Insert {
+                batch: text(usage::INSERT)?,
+            }),
+            "DELETE" => Ok(Request::Delete {
+                batch: text(usage::DELETE)?,
+            }),
+            "ADDKEY" => Ok(Request::AddKey {
+                dsl: text(usage::ADDKEY)?,
+            }),
+            "DROPKEY" => Ok(Request::DropKey {
+                name: text(usage::DROPKEY)?,
+            }),
+            "KEYS" => bare(usage::KEYS).map(|()| Request::Keys),
+            "SNAPSHOT" => bare(usage::SNAPSHOT).map(|()| Request::Snapshot),
+            "COMPACT" => bare(usage::COMPACT).map(|()| Request::Compact),
+            "STATS" => bare(usage::STATS).map(|()| Request::Stats),
+            "PING" => bare(usage::PING).map(|()| Request::Ping),
+            "HELP" => bare(usage::HELP).map(|()| Request::Help),
+            other => Err(RequestError::UnknownVerb(other.to_string())),
+        }
+    }
+
+    /// Renders the canonical request line (no trailing newline). For every
+    /// value, `Request::parse(req.render()) == Ok(req)` — provided string
+    /// payloads carry no embedded newline and names no whitespace, which
+    /// the wire format cannot express in the first place.
+    pub fn render(&self) -> String {
+        match self {
+            Request::Same { a, b } => format!("SAME {a} {b}"),
+            Request::Dups { entity } => format!("DUPS {entity}"),
+            Request::Rep { entity } => format!("REP {entity}"),
+            Request::Explain { a, b } => format!("EXPLAIN {a} {b}"),
+            Request::Insert { batch } => format!("INSERT {batch}"),
+            Request::Delete { batch } => format!("DELETE {batch}"),
+            Request::AddKey { dsl } => format!("ADDKEY {dsl}"),
+            Request::DropKey { name } => format!("DROPKEY {name}"),
+            Request::Keys => "KEYS".into(),
+            Request::Snapshot => "SNAPSHOT".into(),
+            Request::Compact => "COMPACT".into(),
+            Request::Stats => "STATS".into(),
+            Request::Ping => "PING".into(),
+            Request::Help => "HELP".into(),
+        }
+    }
+
+    /// True for the verbs that mutate the index (triples or Σ).
+    pub fn is_update(&self) -> bool {
+        matches!(
+            self,
+            Request::Insert { .. }
+                | Request::Delete { .. }
+                | Request::AddKey { .. }
+                | Request::DropKey { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for Request {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// One `  a <=> b by key` line of a rendered proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProofLine {
+    /// First entity name of the identified pair.
+    pub a: String,
+    /// Second entity name.
+    pub b: String,
+    /// Name of the certifying key.
+    pub key: String,
+}
+
+/// One response, as produced by [`crate::Server::execute`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// `PONG`.
+    Pong,
+    /// `BYE` (answered to `QUIT` by the TCP framing).
+    Bye,
+    /// `YES <a> <=> <b> rep=<rep>`.
+    Same {
+        /// First queried name.
+        a: String,
+        /// Second queried name.
+        b: String,
+        /// The cluster's canonical representative.
+        rep: String,
+    },
+    /// `NO <a> =/= <b>`.
+    NotSame {
+        /// First queried name.
+        a: String,
+        /// Second queried name.
+        b: String,
+    },
+    /// `DUPS <e>: <d1> <d2> …`.
+    Dups {
+        /// The queried name.
+        entity: String,
+        /// The other members of its cluster.
+        others: Vec<String>,
+    },
+    /// `NONE <e> has no duplicates`.
+    NoDups {
+        /// The queried name.
+        entity: String,
+    },
+    /// `REP <rep>`.
+    Rep {
+        /// The canonical representative.
+        rep: String,
+    },
+    /// `PROOF <a> <=> <b> steps=<n> verified` + one line per step.
+    Proof {
+        /// First queried name.
+        a: String,
+        /// Second queried name.
+        b: String,
+        /// The verified key-application steps.
+        steps: Vec<ProofLine>,
+    },
+    /// `NOPROOF <a> and <b> are not identified`.
+    NoProof {
+        /// First queried name.
+        a: String,
+        /// Second queried name.
+        b: String,
+    },
+    /// `OK mode=… triples=… …` — an applied triple update.
+    Updated(AdvanceReport),
+    /// `OK snapshot_seq=<seq> bytes=<n>`.
+    Snapshotted {
+        /// Version of the snapshot cut.
+        seq: u64,
+        /// Size of the snapshot file.
+        bytes: u64,
+    },
+    /// `OK snapshot_seq=… bytes=… truncated_records=… removed_snapshots=…`.
+    Compacted {
+        /// Version of the compaction snapshot.
+        seq: u64,
+        /// Size of the snapshot file.
+        bytes: u64,
+        /// WAL records dropped.
+        truncated_records: u64,
+        /// Older snapshot files deleted.
+        removed_snapshots: usize,
+    },
+    /// `OK added key=… keys=… active_keys=… key_epoch=… …`.
+    KeyAdded(KeyChange),
+    /// `OK dropped key=… keys=… active_keys=… key_epoch=… …`.
+    KeyDropped(KeyChange),
+    /// `KEYS n=… active=… epoch=…` + one indented DSL line per key.
+    KeyList {
+        /// Active (compiled) keys.
+        active: usize,
+        /// The key epoch.
+        epoch: u64,
+        /// One single-line DSL rendering per declared key, in order.
+        keys: Vec<String>,
+    },
+    /// `STATS k=v …` — ordered counter pairs.
+    Stats(Vec<(String, String)>),
+    /// The multi-line usage table.
+    Help(String),
+    /// `ERR <reason>`.
+    Err(String),
+}
+
+/// A response that did not parse (foreign or truncated text).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResponseError(pub String);
+
+impl std::fmt::Display for ResponseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed response: {}", self.0)
+    }
+}
+
+impl std::error::Error for ResponseError {}
+
+/// Quotes a key name for a response line: DSL-style escapes, so the
+/// payload stays on one line whatever the name contains.
+fn quote(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 2);
+    out.push('"');
+    for c in name.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Inverse of [`quote`]: reads a quoted name off the front of `s`,
+/// returning the name and the rest.
+fn unquote(s: &str) -> Result<(String, &str), ResponseError> {
+    let inner = s
+        .strip_prefix('"')
+        .ok_or_else(|| ResponseError(format!("expected a quoted name at {s:?}")))?;
+    let mut out = String::new();
+    let mut chars = inner.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &inner[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                other => {
+                    return Err(ResponseError(format!("bad escape {other:?} in {s:?}")));
+                }
+            },
+            c => out.push(c),
+        }
+    }
+    Err(ResponseError(format!("unterminated quoted name in {s:?}")))
+}
+
+impl Response {
+    /// Renders the response text: possibly multi-line, never empty, no
+    /// trailing newline — exactly what the line protocol answers.
+    pub fn render(&self) -> String {
+        match self {
+            Response::Pong => "PONG".into(),
+            Response::Bye => "BYE".into(),
+            Response::Same { a, b, rep } => format!("YES {a} <=> {b} rep={rep}"),
+            Response::NotSame { a, b } => format!("NO {a} =/= {b}"),
+            Response::Dups { entity, others } if others.is_empty() => {
+                // No trailing space: parse would read a phantom "" member.
+                format!("DUPS {entity}:")
+            }
+            Response::Dups { entity, others } => {
+                format!("DUPS {entity}: {}", others.join(" "))
+            }
+            Response::NoDups { entity } => format!("NONE {entity} has no duplicates"),
+            Response::Rep { rep } => format!("REP {rep}"),
+            Response::Proof { a, b, steps } => {
+                let mut out = format!("PROOF {a} <=> {b} steps={} verified", steps.len());
+                for s in steps {
+                    let _ = write!(out, "\n  {} <=> {} by {}", s.a, s.b, s.key);
+                }
+                out
+            }
+            Response::NoProof { a, b } => format!("NOPROOF {a} and {b} are not identified"),
+            Response::Updated(r) => format!(
+                "OK mode={} triples={} touched={} new_entities={} new_pairs={} rounds={} iso={}",
+                r.mode, r.triples, r.touched, r.new_entities, r.new_pairs, r.rounds, r.iso_checks
+            ),
+            Response::Snapshotted { seq, bytes } => {
+                format!("OK snapshot_seq={seq} bytes={bytes}")
+            }
+            Response::Compacted {
+                seq,
+                bytes,
+                truncated_records,
+                removed_snapshots,
+            } => format!(
+                "OK snapshot_seq={seq} bytes={bytes} truncated_records={truncated_records} \
+                 removed_snapshots={removed_snapshots}"
+            ),
+            Response::KeyAdded(c) => format!(
+                "OK added key={} keys={} active_keys={} key_epoch={} identified_pairs={} \
+                 rounds={} iso={}",
+                quote(&c.name),
+                c.keys,
+                c.active_keys,
+                c.key_epoch,
+                c.identified_pairs,
+                c.rounds,
+                c.iso_checks
+            ),
+            Response::KeyDropped(c) => format!(
+                "OK dropped key={} keys={} active_keys={} key_epoch={} identified_pairs={} \
+                 rounds={} iso={}",
+                quote(&c.name),
+                c.keys,
+                c.active_keys,
+                c.key_epoch,
+                c.identified_pairs,
+                c.rounds,
+                c.iso_checks
+            ),
+            Response::KeyList {
+                active,
+                epoch,
+                keys,
+            } => {
+                let mut out = format!("KEYS n={} active={active} epoch={epoch}", keys.len());
+                for k in keys {
+                    let _ = write!(out, "\n  {k}");
+                }
+                out
+            }
+            Response::Stats(pairs) => {
+                let mut out = String::from("STATS");
+                for (k, v) in pairs {
+                    let _ = write!(out, " {k}={v}");
+                }
+                out
+            }
+            Response::Help(text) => text.clone(),
+            Response::Err(msg) => format!("ERR {msg}"),
+        }
+    }
+
+    /// True for `ERR` responses.
+    pub fn is_err(&self) -> bool {
+        matches!(self, Response::Err(_))
+    }
+
+    /// Parses a response paragraph back into its typed form (inverse of
+    /// [`Response::render`]).
+    pub fn parse(text: &str) -> Result<Response, ResponseError> {
+        let bad = |why: &str| ResponseError(format!("{why}: {text:?}"));
+        let mut lines = text.lines();
+        let first = lines.next().ok_or_else(|| bad("empty response"))?;
+        let toks: Vec<&str> = first.split(' ').collect();
+        match toks[0] {
+            "PONG" if toks.len() == 1 => Ok(Response::Pong),
+            "BYE" if toks.len() == 1 => Ok(Response::Bye),
+            "YES" => match toks.as_slice() {
+                ["YES", a, "<=>", b, rep] => Ok(Response::Same {
+                    a: (*a).into(),
+                    b: (*b).into(),
+                    rep: rep
+                        .strip_prefix("rep=")
+                        .ok_or_else(|| bad("YES without rep="))?
+                        .into(),
+                }),
+                _ => Err(bad("malformed YES")),
+            },
+            "NO" => match toks.as_slice() {
+                ["NO", a, "=/=", b] => Ok(Response::NotSame {
+                    a: (*a).into(),
+                    b: (*b).into(),
+                }),
+                _ => Err(bad("malformed NO")),
+            },
+            "DUPS" if toks.len() >= 2 && toks[1].ends_with(':') => Ok(Response::Dups {
+                entity: toks[1].trim_end_matches(':').into(),
+                others: toks[2..].iter().map(|s| (*s).to_string()).collect(),
+            }),
+            "NONE" => {
+                let entity = first
+                    .strip_prefix("NONE ")
+                    .and_then(|r| r.strip_suffix(" has no duplicates"))
+                    .ok_or_else(|| bad("malformed NONE"))?;
+                Ok(Response::NoDups {
+                    entity: entity.into(),
+                })
+            }
+            "REP" if toks.len() == 2 => Ok(Response::Rep {
+                rep: toks[1].into(),
+            }),
+            "PROOF" => {
+                let (a, b) = match toks.as_slice() {
+                    ["PROOF", a, "<=>", b, _steps, "verified"] => (*a, *b),
+                    _ => return Err(bad("malformed PROOF header")),
+                };
+                let mut steps = Vec::new();
+                for line in lines {
+                    let line = line
+                        .strip_prefix("  ")
+                        .ok_or_else(|| bad("unindented proof step"))?;
+                    let (pair, key) = line
+                        .split_once(" by ")
+                        .ok_or_else(|| bad("proof step without key"))?;
+                    let (sa, sb) = pair
+                        .split_once(" <=> ")
+                        .ok_or_else(|| bad("proof step without pair"))?;
+                    steps.push(ProofLine {
+                        a: sa.into(),
+                        b: sb.into(),
+                        key: key.into(),
+                    });
+                }
+                Ok(Response::Proof {
+                    a: a.into(),
+                    b: b.into(),
+                    steps,
+                })
+            }
+            "NOPROOF" => {
+                let rest = first
+                    .strip_prefix("NOPROOF ")
+                    .and_then(|r| r.strip_suffix(" are not identified"))
+                    .ok_or_else(|| bad("malformed NOPROOF"))?;
+                let (a, b) = rest
+                    .split_once(" and ")
+                    .ok_or_else(|| bad("NOPROOF pair"))?;
+                Ok(Response::NoProof {
+                    a: a.into(),
+                    b: b.into(),
+                })
+            }
+            "OK" => Self::parse_ok(first, &bad),
+            "KEYS" => {
+                let fields = kv_fields(&toks[1..])?;
+                let active = field(&fields, "active")
+                    .and_then(parse_usize)
+                    .ok_or_else(|| bad("KEYS without active="))?;
+                let epoch = field(&fields, "epoch")
+                    .and_then(parse_u64)
+                    .ok_or_else(|| bad("KEYS without epoch="))?;
+                let n = field(&fields, "n")
+                    .and_then(parse_usize)
+                    .ok_or_else(|| bad("KEYS without n="))?;
+                let keys: Vec<String> = lines
+                    .map(|l| {
+                        l.strip_prefix("  ")
+                            .map(str::to_string)
+                            .ok_or_else(|| bad("unindented key line"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if keys.len() != n {
+                    return Err(bad("KEYS count mismatch"));
+                }
+                Ok(Response::KeyList {
+                    active,
+                    epoch,
+                    keys,
+                })
+            }
+            "STATS" => {
+                let pairs = toks[1..]
+                    .iter()
+                    .map(|t| {
+                        t.split_once('=')
+                            .map(|(k, v)| (k.to_string(), v.to_string()))
+                            .ok_or_else(|| bad("STATS field without ="))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Stats(pairs))
+            }
+            "commands:" => Ok(Response::Help(text.to_string())),
+            "ERR" => Ok(Response::Err(
+                first.strip_prefix("ERR ").unwrap_or("").to_string(),
+            )),
+            _ => Err(bad("unrecognized response")),
+        }
+    }
+
+    /// Parses the `OK …` family, discriminated by its fields.
+    fn parse_ok(
+        first: &str,
+        bad: &dyn Fn(&str) -> ResponseError,
+    ) -> Result<Response, ResponseError> {
+        let rest = first.strip_prefix("OK ").ok_or_else(|| bad("bare OK"))?;
+        if let Some(keyed) = rest
+            .strip_prefix("added key=")
+            .or_else(|| rest.strip_prefix("dropped key="))
+        {
+            let added = rest.starts_with("added");
+            let (name, tail) = unquote(keyed)?;
+            let toks: Vec<&str> = tail.split_whitespace().collect();
+            let fields = kv_fields(&toks)?;
+            let get = |k: &str| field(&fields, k).ok_or_else(|| bad("missing key-change field"));
+            let change = KeyChange {
+                name,
+                keys: parse_usize(get("keys")?).ok_or_else(|| bad("keys="))?,
+                active_keys: parse_usize(get("active_keys")?).ok_or_else(|| bad("active_keys="))?,
+                key_epoch: parse_u64(get("key_epoch")?).ok_or_else(|| bad("key_epoch="))?,
+                identified_pairs: parse_usize(get("identified_pairs")?)
+                    .ok_or_else(|| bad("identified_pairs="))?,
+                rounds: parse_usize(get("rounds")?).ok_or_else(|| bad("rounds="))?,
+                iso_checks: parse_u64(get("iso")?).ok_or_else(|| bad("iso="))?,
+            };
+            return Ok(if added {
+                Response::KeyAdded(change)
+            } else {
+                Response::KeyDropped(change)
+            });
+        }
+        let toks: Vec<&str> = rest.split_whitespace().collect();
+        let fields = kv_fields(&toks)?;
+        if let Some(mode) = field(&fields, "mode") {
+            let get = |k: &str| {
+                field(&fields, k)
+                    .and_then(parse_usize)
+                    .ok_or_else(|| bad("missing update field"))
+            };
+            return Ok(Response::Updated(AdvanceReport {
+                mode: AdvanceMode::parse(mode).map_err(|e| bad(&e))?,
+                triples: get("triples")?,
+                touched: get("touched")?,
+                new_entities: get("new_entities")?,
+                new_pairs: get("new_pairs")?,
+                rounds: get("rounds")?,
+                iso_checks: field(&fields, "iso")
+                    .and_then(parse_u64)
+                    .ok_or_else(|| bad("iso="))?,
+            }));
+        }
+        let seq = field(&fields, "snapshot_seq")
+            .and_then(parse_u64)
+            .ok_or_else(|| bad("OK without snapshot_seq="))?;
+        let bytes = field(&fields, "bytes")
+            .and_then(parse_u64)
+            .ok_or_else(|| bad("OK without bytes="))?;
+        if let Some(truncated) = field(&fields, "truncated_records") {
+            Ok(Response::Compacted {
+                seq,
+                bytes,
+                truncated_records: parse_u64(truncated).ok_or_else(|| bad("truncated_records="))?,
+                removed_snapshots: field(&fields, "removed_snapshots")
+                    .and_then(parse_usize)
+                    .ok_or_else(|| bad("removed_snapshots="))?,
+            })
+        } else {
+            Ok(Response::Snapshotted { seq, bytes })
+        }
+    }
+}
+
+impl std::fmt::Display for Response {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn kv_fields<'a>(toks: &[&'a str]) -> Result<Vec<(&'a str, &'a str)>, ResponseError> {
+    toks.iter()
+        .map(|t| {
+            t.split_once('=')
+                .ok_or_else(|| ResponseError(format!("field without '=': {t:?}")))
+        })
+        .collect()
+}
+
+fn field<'a>(fields: &[(&str, &'a str)], key: &str) -> Option<&'a str> {
+    fields.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+}
+
+fn parse_usize(v: &str) -> Option<usize> {
+    v.parse().ok()
+}
+
+fn parse_u64(v: &str) -> Option<u64> {
+    v.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req_roundtrip(line: &str) -> Request {
+        let req = Request::parse(line).unwrap();
+        assert_eq!(req.render(), line, "canonical line must round-trip");
+        assert_eq!(Request::parse(&req.render()), Ok(req.clone()));
+        req
+    }
+
+    #[test]
+    fn canonical_requests_roundtrip() {
+        req_roundtrip("SAME a b");
+        req_roundtrip("DUPS e1");
+        req_roundtrip("REP e1");
+        req_roundtrip("EXPLAIN a b");
+        req_roundtrip(r#"INSERT a:t p "v" ; b:t q c:t"#);
+        req_roundtrip(r#"DELETE a:t p "v""#);
+        req_roundtrip(r#"ADDKEY key "Q" t(x) { x -p-> v*; }"#);
+        req_roundtrip("DROPKEY Q");
+        for bare in ["KEYS", "SNAPSHOT", "COMPACT", "STATS", "PING", "HELP"] {
+            req_roundtrip(bare);
+        }
+    }
+
+    #[test]
+    fn verbs_are_case_insensitive_and_whitespace_tolerant() {
+        assert_eq!(
+            Request::parse("  same a   b "),
+            Ok(Request::Same {
+                a: "a".into(),
+                b: "b".into()
+            })
+        );
+        assert_eq!(Request::parse("ping"), Ok(Request::Ping));
+    }
+
+    #[test]
+    fn arity_mistakes_fail_with_uniform_usage() {
+        for (line, usage) in [
+            ("SAME a", usage::SAME),
+            ("SAME a b c", usage::SAME),
+            ("DUPS", usage::DUPS),
+            ("DUPS a b", usage::DUPS),
+            ("REP a b", usage::REP),
+            ("EXPLAIN a", usage::EXPLAIN),
+            ("EXPLAIN a b c", usage::EXPLAIN),
+            ("INSERT", usage::INSERT),
+            ("DELETE", usage::DELETE),
+            ("ADDKEY", usage::ADDKEY),
+            ("DROPKEY", usage::DROPKEY),
+            ("KEYS now", usage::KEYS),
+            ("SNAPSHOT now", usage::SNAPSHOT),
+            ("COMPACT hard", usage::COMPACT),
+            ("STATS all", usage::STATS),
+            ("PING twice", usage::PING),
+            ("HELP me", usage::HELP),
+        ] {
+            assert_eq!(
+                Request::parse(line),
+                Err(RequestError::Usage(usage)),
+                "{line:?}"
+            );
+        }
+        assert_eq!(Request::parse(""), Err(RequestError::Empty));
+        assert_eq!(
+            Request::parse("FROB x"),
+            Err(RequestError::UnknownVerb("FROB".into()))
+        );
+        assert_eq!(
+            RequestError::Usage(usage::SAME).to_string(),
+            "usage: SAME <a> <b>"
+        );
+    }
+
+    fn resp_roundtrip(resp: Response) {
+        let text = resp.render();
+        assert_eq!(Response::parse(&text), Ok(resp.clone()), "{text}");
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        resp_roundtrip(Response::Pong);
+        resp_roundtrip(Response::Bye);
+        resp_roundtrip(Response::Same {
+            a: "a".into(),
+            b: "b".into(),
+            rep: "a".into(),
+        });
+        resp_roundtrip(Response::NotSame {
+            a: "a".into(),
+            b: "b".into(),
+        });
+        resp_roundtrip(Response::Dups {
+            entity: "e".into(),
+            others: vec!["f".into(), "g".into()],
+        });
+        // The server never emits an empty cluster, but the lossless
+        // contract covers every value a typed embedder can build.
+        resp_roundtrip(Response::Dups {
+            entity: "e".into(),
+            others: Vec::new(),
+        });
+        resp_roundtrip(Response::NoDups { entity: "e".into() });
+        resp_roundtrip(Response::Rep { rep: "e".into() });
+        resp_roundtrip(Response::Proof {
+            a: "a".into(),
+            b: "b".into(),
+            steps: vec![
+                ProofLine {
+                    a: "a".into(),
+                    b: "b".into(),
+                    key: "Q with spaces".into(),
+                },
+                ProofLine {
+                    a: "c".into(),
+                    b: "d".into(),
+                    key: "Q2".into(),
+                },
+            ],
+        });
+        resp_roundtrip(Response::NoProof {
+            a: "a".into(),
+            b: "b".into(),
+        });
+        resp_roundtrip(Response::Updated(AdvanceReport {
+            mode: AdvanceMode::Incremental,
+            triples: 2,
+            touched: 1,
+            new_entities: 0,
+            new_pairs: 4,
+            rounds: 2,
+            iso_checks: 7,
+        }));
+        resp_roundtrip(Response::Snapshotted { seq: 3, bytes: 999 });
+        resp_roundtrip(Response::Compacted {
+            seq: 4,
+            bytes: 1000,
+            truncated_records: 7,
+            removed_snapshots: 2,
+        });
+        resp_roundtrip(Response::KeyAdded(KeyChange {
+            name: "Q \"odd\" name".into(),
+            keys: 3,
+            active_keys: 2,
+            key_epoch: 1,
+            identified_pairs: 9,
+            rounds: 2,
+            iso_checks: 41,
+        }));
+        resp_roundtrip(Response::KeyDropped(KeyChange {
+            name: "Q2".into(),
+            keys: 2,
+            active_keys: 2,
+            key_epoch: 2,
+            identified_pairs: 5,
+            rounds: 1,
+            iso_checks: 3,
+        }));
+        resp_roundtrip(Response::KeyList {
+            active: 1,
+            epoch: 3,
+            keys: vec![r#"key "Q2" album(x) { x -name_of-> n*; }"#.into()],
+        });
+        resp_roundtrip(Response::Stats(vec![
+            ("engine".into(), "incremental".into()),
+            ("entities".into(), "6".into()),
+        ]));
+        resp_roundtrip(Response::Help(
+            "commands:\n  SAME <a> <b>          are <a> and <b> identified?".into(),
+        ));
+        resp_roundtrip(Response::Err("unknown entity \"ghost\"".into()));
+    }
+
+    #[test]
+    fn foreign_text_does_not_parse_as_a_response() {
+        assert!(Response::parse("HELLO world").is_err());
+        assert!(Response::parse("").is_err());
+        assert!(Response::parse("YES a b").is_err());
+    }
+}

@@ -1,4 +1,5 @@
-//! The line protocol: one request per line, one text response per request.
+//! The protocol layer: typed [`Request`] → [`Response`] execution, with
+//! the line protocol as a thin rendering on top.
 //!
 //! ```text
 //! SAME <a> <b>              are a and b the same entity?  -> YES ... | NO ...
@@ -8,6 +9,9 @@
 //! INSERT <s:T> <p> <o>      add triple(s); `;` separates  -> OK mode=incremental ...
 //! DELETE <s:T> <p> <o>      remove triple(s); `;` separates; one re-chase
 //!                                                         -> OK mode=full-rechase ...
+//! ADDKEY key "N" T(x) {...} install a key into the live Σ -> OK added key=...
+//! DROPKEY <name>            remove a key from the live Σ  -> OK dropped key=...
+//! KEYS                      list declared keys + epoch    -> KEYS n=... ...
 //! SNAPSHOT                  persist a point-in-time snapshot
 //!                                                         -> OK snapshot_seq=...
 //! COMPACT                   snapshot + truncate WAL + prune old snapshots
@@ -18,16 +22,20 @@
 //! ```
 //!
 //! Entities are addressed by their external names (`alb1`, not internal
-//! ids). Errors answer `ERR <reason>` and never change state. Every verb is
-//! also available in-process via [`Server::handle`], which is what the CLI
-//! example and the tests drive — the TCP layer in [`crate::net`] is a thin
-//! framing of this function.
+//! ids). Errors answer `ERR <reason>` and never change state; malformed
+//! requests — wrong arity, trailing tokens — answer a uniform
+//! `ERR usage: <signature>` line. The primary entry point is
+//! [`Server::execute`], which maps a typed [`Request`] to a typed
+//! [`Response`]; [`Server::handle`] is the line-protocol shim
+//! (parse → execute → render) that the TCP framing in [`crate::net`] and
+//! scripted sessions drive, and its responses are byte-identical to the
+//! pre-typed protocol.
 
-use crate::index::{AdvanceReport, EmIndex, IndexState, RecoveryReport};
-use gk_core::{ChaseEngine, KeySet};
-use gk_graph::{parse_triple_specs, EntityId, Graph, GraphView};
+use crate::index::{EmIndex, IndexState, RecoveryReport};
+use crate::proto::{ProofLine, Request, Response};
+use gk_core::{parse_keys, ChaseEngine, Key, KeySet};
+use gk_graph::{parse_triple_specs, EntityId, Graph, GraphView, TripleSpec};
 use gk_store::Durability;
-use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Usage table answered to `HELP` and malformed requests.
@@ -38,6 +46,9 @@ pub const PROTOCOL_HELP: &str = "commands:
   EXPLAIN <a> <b>       verified key-application proof for <a> <=> <b>
   INSERT <s:T> <p> <o>  insert triple(s); separate several with ';'
   DELETE <s:T> <p> <o>  delete triple(s); ';' separates; one re-chase per batch
+  ADDKEY key \"N\" T(x) { ... }  install a key into the live Σ (monotone delta chase)
+  DROPKEY <name>        remove a key from the live Σ (one full re-chase)
+  KEYS                  list the declared keys and the key epoch
   SNAPSHOT              persist a point-in-time snapshot (needs --data-dir)
   COMPACT               snapshot + fold the delta overlay, truncate the WAL, prune old snapshots
   STATS                 index + traffic counters
@@ -63,11 +74,7 @@ impl Server {
     /// [`EmIndex::with_engine`]). `STATS` reports the engine, its thread
     /// count and the cumulative chase rounds.
     pub fn with_engine(graph: Graph, keys: KeySet, engine: ChaseEngine) -> Self {
-        Server {
-            index: EmIndex::with_engine(graph, keys, engine),
-            queries: AtomicU64::new(0),
-            updates: AtomicU64::new(0),
-        }
+        Self::from_index(EmIndex::with_engine(graph, keys, engine))
     }
 
     /// Durable variant of [`Server::with_engine`]: accepted updates are
@@ -123,221 +130,272 @@ impl Server {
 
     /// Handles one request line, returning the response text (possibly
     /// multi-line, never empty, no trailing newline).
+    ///
+    /// This is the line-protocol shim over [`Server::execute`]:
+    /// [`Request::parse`] → execute → [`Response::render`]. A line that
+    /// fails to parse answers the parse error's `ERR` form and never
+    /// reaches the index.
     pub fn handle(&self, line: &str) -> String {
-        let line = line.trim();
-        let (verb, rest) = match line.split_once(char::is_whitespace) {
-            Some((v, r)) => (v, r.trim()),
-            None => (line, ""),
-        };
-        match verb.to_ascii_uppercase().as_str() {
-            "SAME" => self.count_query(self.cmd_same(rest)),
-            "DUPS" => self.count_query(self.cmd_dups(rest)),
-            "REP" => self.count_query(self.cmd_rep(rest)),
-            "EXPLAIN" => self.count_query(self.cmd_explain(rest)),
-            "INSERT" => self.count_update(self.cmd_insert(rest)),
-            "DELETE" => self.count_update(self.cmd_delete(rest)),
-            "SNAPSHOT" => self.cmd_snapshot(),
-            "COMPACT" => self.cmd_compact(),
-            "STATS" => self.cmd_stats(),
-            "PING" => "PONG".into(),
-            "HELP" => PROTOCOL_HELP.into(),
-            "" => err("empty request (try HELP)"),
-            other => err(&format!("unknown verb {other:?} (try HELP)")),
+        match Request::parse(line) {
+            Ok(req) => self.execute(req).render(),
+            Err(e) => Response::Err(e.to_string()).render(),
         }
     }
 
-    fn count_query(&self, resp: String) -> String {
+    /// Executes one typed request — the primary API. Query verbs run on a
+    /// consistent snapshot; update verbs (INSERT / DELETE / ADDKEY /
+    /// DROPKEY) go through the index's single-writer path. Errors are
+    /// answered as [`Response::Err`] and never change state.
+    pub fn execute(&self, req: Request) -> Response {
+        match req {
+            Request::Same { a, b } => self.count_query(self.exec_same(a, b)),
+            Request::Dups { entity } => self.count_query(self.exec_dups(entity)),
+            Request::Rep { entity } => self.count_query(self.exec_rep(entity)),
+            Request::Explain { a, b } => self.count_query(self.exec_explain(a, b)),
+            Request::Insert { batch } => self.count_update(self.exec_insert(&batch)),
+            Request::Delete { batch } => self.count_update(self.exec_delete(&batch)),
+            Request::AddKey { dsl } => self.count_update(self.exec_addkey(&dsl)),
+            Request::DropKey { name } => self.count_update(self.exec_dropkey(&name)),
+            Request::Keys => self.exec_keys(),
+            Request::Snapshot => self.exec_snapshot(),
+            Request::Compact => self.exec_compact(),
+            Request::Stats => self.exec_stats(),
+            Request::Ping => Response::Pong,
+            Request::Help => Response::Help(PROTOCOL_HELP.to_string()),
+        }
+    }
+
+    fn count_query(&self, resp: Response) -> Response {
         self.queries.fetch_add(1, Ordering::Relaxed);
         resp
     }
 
-    fn count_update(&self, resp: String) -> String {
+    fn count_update(&self, resp: Response) -> Response {
         self.updates.fetch_add(1, Ordering::Relaxed);
         resp
     }
 
-    fn cmd_same(&self, args: &str) -> String {
+    fn exec_same(&self, a: String, b: String) -> Response {
         let snap = self.index.snapshot();
-        let [a, b] = match names::<2>(args) {
-            Ok(ns) => ns,
-            Err(e) => return e,
-        };
-        let (ea, eb) = match (entity(&snap, a), entity(&snap, b)) {
+        let (ea, eb) = match (entity(&snap, &a), entity(&snap, &b)) {
             (Ok(ea), Ok(eb)) => (ea, eb),
             (Err(e), _) | (_, Err(e)) => return e,
         };
         if snap.same(ea, eb) {
-            format!(
-                "YES {a} <=> {b} rep={}",
-                snap.graph.entity_label(snap.rep(ea))
-            )
+            let rep = snap.graph.entity_label(snap.rep(ea));
+            Response::Same { a, b, rep }
         } else {
-            format!("NO {a} =/= {b}")
+            Response::NotSame { a, b }
         }
     }
 
-    fn cmd_dups(&self, args: &str) -> String {
+    fn exec_dups(&self, entity_name: String) -> Response {
         let snap = self.index.snapshot();
-        let [name] = match names::<1>(args) {
-            Ok(ns) => ns,
-            Err(e) => return e,
-        };
-        let e = match entity(&snap, name) {
+        let e = match entity(&snap, &entity_name) {
             Ok(e) => e,
             Err(e) => return e,
         };
         match snap.cluster(e) {
-            None => format!("NONE {name} has no duplicates"),
-            Some(class) => {
-                let others: Vec<String> = class
+            None => Response::NoDups {
+                entity: entity_name,
+            },
+            Some(class) => Response::Dups {
+                entity: entity_name,
+                others: class
                     .iter()
                     .filter(|&&m| m != e)
                     .map(|&m| snap.graph.entity_label(m))
-                    .collect();
-                format!("DUPS {name}: {}", others.join(" "))
-            }
+                    .collect(),
+            },
         }
     }
 
-    fn cmd_rep(&self, args: &str) -> String {
+    fn exec_rep(&self, entity_name: String) -> Response {
         let snap = self.index.snapshot();
-        let [name] = match names::<1>(args) {
-            Ok(ns) => ns,
-            Err(e) => return e,
-        };
-        match entity(&snap, name) {
-            Ok(e) => format!("REP {}", snap.graph.entity_label(snap.rep(e))),
+        match entity(&snap, &entity_name) {
+            Ok(e) => Response::Rep {
+                rep: snap.graph.entity_label(snap.rep(e)),
+            },
             Err(e) => e,
         }
     }
 
-    fn cmd_explain(&self, args: &str) -> String {
+    fn exec_explain(&self, a: String, b: String) -> Response {
         let snap = self.index.snapshot();
-        let [a, b] = match names::<2>(args) {
-            Ok(ns) => ns,
-            Err(e) => return e,
-        };
-        let (ea, eb) = match (entity(&snap, a), entity(&snap, b)) {
+        let (ea, eb) = match (entity(&snap, &a), entity(&snap, &b)) {
             (Ok(ea), Ok(eb)) => (ea, eb),
             (Err(e), _) | (_, Err(e)) => return e,
         };
         match snap.explain(ea, eb) {
-            None => format!("NOPROOF {a} and {b} are not identified"),
-            Some(proof) => {
-                let mut out = format!("PROOF {a} <=> {b} steps={} verified", proof.len());
-                for s in &proof.steps {
-                    let _ = write!(
-                        out,
-                        "\n  {} <=> {} by {}",
-                        snap.graph.entity_label(s.pair.0),
-                        snap.graph.entity_label(s.pair.1),
-                        snap.compiled.keys[s.key].name
-                    );
-                }
-                out
-            }
+            None => Response::NoProof { a, b },
+            Some(proof) => Response::Proof {
+                a,
+                b,
+                steps: proof
+                    .steps
+                    .iter()
+                    .map(|s| ProofLine {
+                        a: snap.graph.entity_label(s.pair.0),
+                        b: snap.graph.entity_label(s.pair.1),
+                        key: snap.compiled.keys[s.key].name.clone(),
+                    })
+                    .collect(),
+            },
         }
     }
 
-    fn cmd_insert(&self, args: &str) -> String {
-        if args.is_empty() {
-            return err("INSERT needs at least one triple");
-        }
-        // `;` separates triples so a batch fits on one request line.
-        let text = split_batch(args);
-        let specs = match parse_triple_specs(&text) {
+    fn exec_insert(&self, batch: &str) -> Response {
+        let specs = match parse_batch(batch, "INSERT") {
             Ok(s) => s,
-            Err(e) => return err(&e.to_string()),
+            Err(e) => return Response::Err(e),
         };
-        if specs.is_empty() {
-            return err("INSERT needs at least one triple");
-        }
         match self.index.insert(&specs) {
-            Ok(r) => advance_line(&r),
-            Err(e) => err(&e),
+            Ok(r) => Response::Updated(r),
+            Err(e) => Response::Err(e),
         }
     }
 
-    fn cmd_delete(&self, args: &str) -> String {
-        if args.is_empty() {
-            return err("DELETE needs at least one triple");
-        }
-        // Like INSERT, `;` separates triples — the whole batch costs one
-        // full re-chase instead of one per deleted triple.
-        let text = split_batch(args);
-        let specs = match parse_triple_specs(&text) {
+    fn exec_delete(&self, batch: &str) -> Response {
+        let specs = match parse_batch(batch, "DELETE") {
             Ok(s) => s,
-            Err(e) => return err(&e.to_string()),
+            Err(e) => return Response::Err(e),
         };
-        if specs.is_empty() {
-            return err("DELETE needs at least one triple");
-        }
         match self.index.delete(&specs) {
-            Ok(r) => advance_line(&r),
-            Err(e) => err(&e),
+            Ok(r) => Response::Updated(r),
+            Err(e) => Response::Err(e),
         }
     }
 
-    fn cmd_snapshot(&self) -> String {
+    fn exec_addkey(&self, dsl: &str) -> Response {
+        let keys: Vec<Key> = match parse_keys(dsl) {
+            Ok(k) => k,
+            Err(e) => return Response::Err(format!("key does not parse: {e}")),
+        };
+        if keys.len() != 1 {
+            return Response::Err(format!(
+                "ADDKEY takes exactly one key definition, got {}",
+                keys.len()
+            ));
+        }
+        match self.index.add_keys(keys) {
+            Ok(c) => Response::KeyAdded(c),
+            Err(e) => Response::Err(e),
+        }
+    }
+
+    fn exec_dropkey(&self, name: &str) -> Response {
+        match self.index.drop_key(name) {
+            Ok(c) => Response::KeyDropped(c),
+            Err(e) => Response::Err(e),
+        }
+    }
+
+    fn exec_keys(&self) -> Response {
+        let snap = self.index.snapshot();
+        Response::KeyList {
+            active: snap.compiled.len(),
+            epoch: snap.key_epoch,
+            keys: snap.keys.keys().iter().map(Key::to_line).collect(),
+        }
+    }
+
+    fn exec_snapshot(&self) -> Response {
         match self.index.snapshot_to_disk() {
-            Ok((seq, bytes)) => format!("OK snapshot_seq={seq} bytes={bytes}"),
-            Err(e) => err(&e),
+            Ok((seq, bytes)) => Response::Snapshotted { seq, bytes },
+            Err(e) => Response::Err(e),
         }
     }
 
-    fn cmd_compact(&self) -> String {
+    fn exec_compact(&self) -> Response {
         match self.index.compact_store() {
-            Ok(r) => format!(
-                "OK snapshot_seq={} bytes={} truncated_records={} removed_snapshots={}",
-                r.snapshot_seq, r.snapshot_bytes, r.truncated_records, r.removed_snapshots
-            ),
-            Err(e) => err(&e),
+            Ok(r) => Response::Compacted {
+                seq: r.snapshot_seq,
+                bytes: r.snapshot_bytes,
+                truncated_records: r.truncated_records,
+                removed_snapshots: r.removed_snapshots,
+            },
+            Err(e) => Response::Err(e),
         }
     }
 
-    fn cmd_stats(&self) -> String {
+    fn exec_stats(&self) -> Response {
         let snap = self.index.snapshot();
         let s = &self.index.stats;
-        format!(
-            "STATS engine={} threads={} entities={} triples={} values={} \
-             base_triples={} delta_triples={} tombstones={} compactions={} clusters={} \
-             identified_pairs={} version={} queries={} updates={} incremental_advances={} \
-             full_rechases={} noops={} update_rounds={} startup_rounds={} startup_iso={} \
-             startup_micros={} durability={} wal_records={} snapshot_seq={}",
-            self.index.engine(),
-            self.index.engine().threads(),
-            snap.graph.num_entities(),
-            snap.graph.num_triples(),
-            snap.graph.num_values(),
-            snap.graph.base_triples(),
-            snap.graph.delta_triples(),
-            snap.graph.tombstones(),
-            s.compactions.load(Ordering::Relaxed),
-            snap.num_clusters(),
-            snap.eq.num_identified_pairs(),
-            snap.version,
-            self.queries.load(Ordering::Relaxed),
-            self.updates.load(Ordering::Relaxed),
-            s.incremental_advances.load(Ordering::Relaxed),
-            s.full_rechases.load(Ordering::Relaxed),
-            s.noops.load(Ordering::Relaxed),
-            s.update_rounds.load(Ordering::Relaxed),
-            s.startup_rounds.load(Ordering::Relaxed),
-            s.startup_iso_checks.load(Ordering::Relaxed),
-            s.startup_micros.load(Ordering::Relaxed),
+        let mut pairs: Vec<(String, String)> = Vec::with_capacity(26);
+        let mut push = |k: &str, v: String| pairs.push((k.to_string(), v));
+        push("engine", self.index.engine().to_string());
+        push("threads", self.index.engine().threads().to_string());
+        push("entities", snap.graph.num_entities().to_string());
+        push("triples", snap.graph.num_triples().to_string());
+        push("values", snap.graph.num_values().to_string());
+        push("base_triples", snap.graph.base_triples().to_string());
+        push("delta_triples", snap.graph.delta_triples().to_string());
+        push("tombstones", snap.graph.tombstones().to_string());
+        push(
+            "compactions",
+            s.compactions.load(Ordering::Relaxed).to_string(),
+        );
+        push("active_keys", snap.compiled.len().to_string());
+        push("key_epoch", snap.key_epoch.to_string());
+        push("clusters", snap.num_clusters().to_string());
+        push(
+            "identified_pairs",
+            snap.eq.num_identified_pairs().to_string(),
+        );
+        push("version", snap.version.to_string());
+        push("queries", self.queries.load(Ordering::Relaxed).to_string());
+        push("updates", self.updates.load(Ordering::Relaxed).to_string());
+        push(
+            "incremental_advances",
+            s.incremental_advances.load(Ordering::Relaxed).to_string(),
+        );
+        push(
+            "full_rechases",
+            s.full_rechases.load(Ordering::Relaxed).to_string(),
+        );
+        push("noops", s.noops.load(Ordering::Relaxed).to_string());
+        push(
+            "update_rounds",
+            s.update_rounds.load(Ordering::Relaxed).to_string(),
+        );
+        push(
+            "startup_rounds",
+            s.startup_rounds.load(Ordering::Relaxed).to_string(),
+        );
+        push(
+            "startup_iso",
+            s.startup_iso_checks.load(Ordering::Relaxed).to_string(),
+        );
+        push(
+            "startup_micros",
+            s.startup_micros.load(Ordering::Relaxed).to_string(),
+        );
+        push(
+            "durability",
             self.index
                 .durability()
                 .map_or("off".to_string(), |m| m.to_string()),
-            self.index.wal_records(),
+        );
+        push("wal_records", self.index.wal_records().to_string());
+        push(
+            "snapshot_seq",
             self.index
                 .snapshot_seq()
                 .map_or("none".to_string(), |v| v.to_string()),
-        )
+        );
+        Response::Stats(pairs)
     }
 }
 
-fn err(msg: &str) -> String {
-    format!("ERR {msg}")
+/// Splits a `;`-separated batch and parses the triple specs, with the
+/// protocol's error wording.
+fn parse_batch(batch: &str, verb: &str) -> Result<Vec<TripleSpec>, String> {
+    let text = split_batch(batch);
+    let specs = parse_triple_specs(&text).map_err(|e| e.to_string())?;
+    if specs.is_empty() {
+        return Err(format!("{verb} needs at least one triple"));
+    }
+    Ok(specs)
 }
 
 /// Turns `;` batch separators into newlines for the triple parser — but
@@ -362,22 +420,8 @@ fn split_batch(args: &str) -> String {
     out
 }
 
-fn advance_line(r: &AdvanceReport) -> String {
-    format!(
-        "OK mode={} triples={} touched={} new_entities={} new_pairs={} rounds={} iso={}",
-        r.mode, r.triples, r.touched, r.new_entities, r.new_pairs, r.rounds, r.iso_checks
-    )
-}
-
-/// Splits `args` into exactly `N` whitespace-separated entity names.
-fn names<const N: usize>(args: &str) -> Result<[&str; N], String> {
-    let parts: Vec<&str> = args.split_whitespace().collect();
-    <[&str; N]>::try_from(parts)
-        .map_err(|v: Vec<&str>| err(&format!("expected {N} entity name(s), got {}", v.len())))
-}
-
-fn entity(snap: &IndexState, name: &str) -> Result<EntityId, String> {
+fn entity(snap: &IndexState, name: &str) -> Result<EntityId, Response> {
     snap.graph
         .entity_named(name)
-        .ok_or_else(|| err(&format!("unknown entity {name:?}")))
+        .ok_or_else(|| Response::Err(format!("unknown entity {name:?}")))
 }

@@ -35,4 +35,4 @@ pub mod wal;
 
 pub use snapshot::{LoadedSnapshot, SnapshotData};
 pub use store::{CompactReport, Durability, Recovered, Store};
-pub use wal::{scan_wal, FsyncMode, WalKind, WalRecord, WalScan, WAL_HEADER_LEN};
+pub use wal::{scan_wal, FsyncMode, WalOp, WalRecord, WalScan, WAL_HEADER_LEN};

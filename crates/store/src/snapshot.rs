@@ -4,11 +4,21 @@
 //! `snapshot-<V>.gks`:
 //!
 //! ```text
-//! "GKSNAP" magic · u8 version · u64 seq
+//! "GKSNAP" magic · u8 version · u64 seq · u64 key_epoch · u32 crc   (v2)
 //! section 1: key set   — the Σ DSL text (UTF-8)
 //! section 2: graph     — interner tables, entity table, triples
 //! section 3: steps     — the chase's step → key attribution
 //! ```
+//!
+//! The header CRC covers `seq` and `key_epoch` (v1 left them bare — a
+//! bit-flip in the version word went undetected until replay filtering
+//! misbehaved).
+//!
+//! Version 1 files (written before runtime key management) lack the
+//! `key_epoch` word and load with `key_epoch = 0`; version 2 is what this
+//! build writes. The epoch counts `ADDKEY`/`DROPKEY` operations applied
+//! since bootstrap, so recovery can tell a Σ that evolved at runtime from
+//! one frozen at startup.
 //!
 //! Each section is a length-prefixed CRC-checked frame (same framing as a
 //! WAL record), so a half-written or bit-rotted snapshot is *detected* and
@@ -32,13 +42,17 @@ use std::path::{Path, PathBuf};
 
 /// File magic of a snapshot, followed by the format version byte.
 pub const SNAPSHOT_MAGIC: &[u8; 6] = b"GKSNAP";
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u8 = 1;
+/// Current snapshot format version (v2 added `key_epoch`).
+pub const SNAPSHOT_VERSION: u8 = 2;
+/// Oldest snapshot format version this build still reads.
+pub const SNAPSHOT_MIN_VERSION: u8 = 1;
 
 /// Everything a snapshot persists, borrowed from the live index state.
 pub struct SnapshotData<'a> {
     /// The index version being frozen.
     pub seq: u64,
+    /// Runtime key-management operations applied since bootstrap.
+    pub key_epoch: u64,
     /// Σ in its DSL text form (`gk_core::write_keys`); parsing it back
     /// and recompiling against the decoded graph reproduces the compiled
     /// key set, including key indices.
@@ -54,6 +68,9 @@ pub struct SnapshotData<'a> {
 pub struct LoadedSnapshot {
     /// The persisted index version.
     pub seq: u64,
+    /// Runtime key-management operations applied since bootstrap (0 for
+    /// version-1 files).
+    pub key_epoch: u64,
     /// Σ DSL text.
     pub keys_dsl: String,
     /// The decoded graph (ids preserved).
@@ -104,6 +121,9 @@ pub fn write_snapshot(dir: &Path, snap: &SnapshotData<'_>) -> std::io::Result<u6
     bytes.extend_from_slice(SNAPSHOT_MAGIC);
     bytes.push(SNAPSHOT_VERSION);
     bytes.extend_from_slice(&snap.seq.to_le_bytes());
+    bytes.extend_from_slice(&snap.key_epoch.to_le_bytes());
+    let header_crc = crc32(&bytes[7..23]);
+    bytes.extend_from_slice(&header_crc.to_le_bytes());
     frame(snap.keys_dsl.as_bytes(), &mut bytes);
     let mut graph = Enc::new();
     encode_graph(snap.graph, &mut graph);
@@ -137,16 +157,34 @@ pub fn load_snapshot(path: &Path) -> std::io::Result<LoadedSnapshot> {
             path.display()
         )));
     }
-    if bytes[6] != SNAPSHOT_VERSION {
+    let version = bytes[6];
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(bad(format!(
-            "{}: unsupported snapshot version {} (this build reads {})",
+            "{}: unsupported snapshot version {} (this build reads {}..={})",
             path.display(),
-            bytes[6],
+            version,
+            SNAPSHOT_MIN_VERSION,
             SNAPSHOT_VERSION
         )));
     }
     let seq = u64::from_le_bytes(bytes[7..15].try_into().unwrap());
     let mut at = 15usize;
+    // v2 adds the key epoch and a CRC over the seq + epoch words between
+    // the header and the first section.
+    let key_epoch = if version >= 2 {
+        let raw = bytes
+            .get(15..27)
+            .ok_or_else(|| bad("truncated snapshot header".into()))?;
+        let epoch = u64::from_le_bytes(raw[..8].try_into().unwrap());
+        let want_crc = u32::from_le_bytes(raw[8..].try_into().unwrap());
+        if crc32(&bytes[7..23]) != want_crc {
+            return Err(bad("snapshot header CRC mismatch".into()));
+        }
+        at = 27;
+        epoch
+    } else {
+        0
+    };
     let keys_section = read_framed(&bytes, &mut at)?;
     let keys_dsl = std::str::from_utf8(keys_section)
         .map_err(|_| bad("key section is not UTF-8".into()))?
@@ -174,6 +212,7 @@ pub fn load_snapshot(path: &Path) -> std::io::Result<LoadedSnapshot> {
     }
     Ok(LoadedSnapshot {
         seq,
+        key_epoch,
         keys_dsl,
         graph,
         steps,
@@ -232,6 +271,7 @@ mod tests {
             &dir,
             &SnapshotData {
                 seq: 7,
+                key_epoch: 0,
                 keys_dsl: DSL,
                 graph: &g,
                 steps: &steps,
@@ -256,6 +296,51 @@ mod tests {
     }
 
     #[test]
+    fn key_epoch_roundtrips_and_v1_files_still_load() {
+        let dir = tmpdir("epoch");
+        let (g, steps) = fixture();
+        write_snapshot(
+            &dir,
+            &SnapshotData {
+                seq: 3,
+                key_epoch: 5,
+                keys_dsl: DSL,
+                graph: &g,
+                steps: &steps,
+            },
+        )
+        .unwrap();
+        let loaded = load_snapshot(&dir.join(snapshot_file_name(3))).unwrap();
+        assert_eq!(loaded.key_epoch, 5);
+
+        // Hand-assemble a version-1 file (no key-epoch word): it must load
+        // with key_epoch = 0 rather than being rejected.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(SNAPSHOT_MAGIC);
+        v1.push(1u8);
+        v1.extend_from_slice(&9u64.to_le_bytes());
+        frame(DSL.as_bytes(), &mut v1);
+        let mut graph = Enc::new();
+        encode_graph(&g, &mut graph);
+        frame(&graph.into_bytes(), &mut v1);
+        let mut st = Enc::new();
+        encode_steps(&steps, &mut st);
+        frame(&st.into_bytes(), &mut v1);
+        let path = dir.join(snapshot_file_name(9));
+        std::fs::write(&path, &v1).unwrap();
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(loaded.seq, 9);
+        assert_eq!(loaded.key_epoch, 0);
+        assert_eq!(loaded.keys_dsl, DSL);
+
+        // A future version is refused, not misread.
+        let mut v9 = v1.clone();
+        v9[6] = 9;
+        std::fs::write(&path, &v9).unwrap();
+        assert!(load_snapshot(&path).is_err());
+    }
+
+    #[test]
     fn any_corrupt_byte_is_detected() {
         let dir = tmpdir("corrupt");
         let (g, steps) = fixture();
@@ -263,6 +348,7 @@ mod tests {
             &dir,
             &SnapshotData {
                 seq: 1,
+                key_epoch: 0,
                 keys_dsl: DSL,
                 graph: &g,
                 steps: &steps,
@@ -301,6 +387,7 @@ mod tests {
             &dir,
             &SnapshotData {
                 seq: 1,
+                key_epoch: 0,
                 keys_dsl: DSL,
                 graph: &g,
                 steps: &bogus,
@@ -324,6 +411,7 @@ mod tests {
                 &dir,
                 &SnapshotData {
                     seq,
+                    key_epoch: 0,
                     keys_dsl: DSL,
                     graph: &g,
                     steps: &steps,

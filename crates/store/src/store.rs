@@ -309,7 +309,7 @@ fn sync_dir(dir: &Path) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wal::WalKind;
+    use crate::wal::WalOp;
     use gk_core::ChaseStep;
     use gk_graph::{parse_graph, parse_triple_specs, EntityId, Graph};
 
@@ -341,8 +341,7 @@ mod tests {
     fn rec(seq: u64, text: &str) -> WalRecord {
         WalRecord {
             seq,
-            kind: WalKind::Insert,
-            specs: parse_triple_specs(text).unwrap(),
+            op: WalOp::Insert(parse_triple_specs(text).unwrap()),
         }
     }
 
@@ -362,6 +361,7 @@ mod tests {
         store
             .snapshot(&SnapshotData {
                 seq: 0,
+                key_epoch: 0,
                 keys_dsl: DSL,
                 graph: &g,
                 steps: &steps,
@@ -377,7 +377,10 @@ mod tests {
         let rec = store.recover().unwrap().unwrap();
         assert_eq!(rec.snapshot.seq, 0);
         assert_eq!(rec.wal.len(), 2);
-        assert_eq!(rec.wal[0].specs[0].subject, "a3");
+        match &rec.wal[0].op {
+            WalOp::Insert(specs) => assert_eq!(specs[0].subject, "a3"),
+            other => panic!("expected an insert record, got {other:?}"),
+        }
         assert!(!rec.wal_torn);
         assert_eq!(rec.skipped_snapshots, 0);
     }
@@ -390,6 +393,7 @@ mod tests {
         store
             .snapshot(&SnapshotData {
                 seq: 0,
+                key_epoch: 0,
                 keys_dsl: DSL,
                 graph: &g,
                 steps: &steps,
@@ -401,6 +405,7 @@ mod tests {
         store
             .snapshot(&SnapshotData {
                 seq: 1,
+                key_epoch: 0,
                 keys_dsl: DSL,
                 graph: &g,
                 steps: &steps,
@@ -421,6 +426,7 @@ mod tests {
             store
                 .snapshot(&SnapshotData {
                     seq,
+                    key_epoch: 0,
                     keys_dsl: DSL,
                     graph: &g,
                     steps: &steps,
@@ -462,6 +468,7 @@ mod tests {
         store
             .snapshot(&SnapshotData {
                 seq: 3,
+                key_epoch: 0,
                 keys_dsl: DSL,
                 graph: &g,
                 steps: &steps,
@@ -504,6 +511,7 @@ mod tests {
         store
             .snapshot(&SnapshotData {
                 seq: 0,
+                key_epoch: 0,
                 keys_dsl: DSL,
                 graph: &g,
                 steps: &steps,
@@ -532,6 +540,7 @@ mod tests {
             store
                 .snapshot(&SnapshotData {
                     seq,
+                    key_epoch: 0,
                     keys_dsl: DSL,
                     graph: &g,
                     steps: &steps,
@@ -569,6 +578,7 @@ mod tests {
         store
             .snapshot(&SnapshotData {
                 seq: 0,
+                key_epoch: 0,
                 keys_dsl: DSL,
                 graph: &g,
                 steps: &steps,
@@ -579,6 +589,7 @@ mod tests {
         let report = store
             .compact(&SnapshotData {
                 seq: 2,
+                key_epoch: 0,
                 keys_dsl: DSL,
                 graph: &g,
                 steps: &steps,

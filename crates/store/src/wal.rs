@@ -1,12 +1,20 @@
 //! The append-only write-ahead log.
 //!
 //! One file per data directory (`wal.log`): a header (`GKWAL` magic + a
-//! version byte) followed by frames, one per **accepted** update batch:
+//! version byte) followed by frames, one per **accepted** update:
 //!
 //! ```text
 //! [u32 payload_len] [u32 crc32(payload)] [payload]
-//! payload = u8 kind (1=INSERT, 2=DELETE) · u64 seq · u32 n · n triple specs
+//! payload = u8 kind · u64 seq · body
+//!   kind 1 = INSERT  body = u32 n · n triple specs
+//!   kind 2 = DELETE  body = u32 n · n triple specs
+//!   kind 3 = ADDKEY  body = str (key DSL text)
+//!   kind 4 = DROPKEY body = str (key name)
 //! ```
+//!
+//! Kinds 3/4 are the runtime key-management records: Σ changes made
+//! through `ADDKEY`/`DROPKEY` are logged exactly like triple batches, so
+//! a crash after an acknowledged key change replays it on recovery.
 //!
 //! The seq is the index version the batch produced, so replay can skip
 //! records a snapshot already covers. Appends go to the OS immediately;
@@ -81,58 +89,88 @@ impl std::fmt::Display for FsyncMode {
     }
 }
 
-/// What kind of update a WAL record carries.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum WalKind {
-    /// An accepted insert-only batch.
-    Insert,
+/// What an accepted update did — the typed payload of a WAL record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// An accepted insert-only triple batch.
+    Insert(Vec<TripleSpec>),
     /// An accepted deletion batch.
-    Delete,
+    Delete(Vec<TripleSpec>),
+    /// A key installed at runtime, as DSL text (`gk_core::write_keys`
+    /// form, so replay re-parses it losslessly).
+    AddKey(String),
+    /// A key removed at runtime, by name.
+    DropKey(String),
 }
 
-/// One accepted update batch, as logged.
+impl WalOp {
+    /// True for the runtime key-management records (`ADDKEY`/`DROPKEY`).
+    pub fn is_key_change(&self) -> bool {
+        matches!(self, WalOp::AddKey(_) | WalOp::DropKey(_))
+    }
+
+    /// The record-kind byte written to disk.
+    fn kind_byte(&self) -> u8 {
+        match self {
+            WalOp::Insert(_) => 1,
+            WalOp::Delete(_) => 2,
+            WalOp::AddKey(_) => 3,
+            WalOp::DropKey(_) => 4,
+        }
+    }
+}
+
+/// One accepted update, as logged.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WalRecord {
-    /// The index version this batch produced.
+    /// The index version this update produced.
     pub seq: u64,
-    /// Insert or delete.
-    pub kind: WalKind,
-    /// The triples of the batch, exactly as accepted.
-    pub specs: Vec<TripleSpec>,
+    /// What the update did.
+    pub op: WalOp,
 }
 
 impl WalRecord {
     fn encode(&self) -> Vec<u8> {
         let mut e = Enc::new();
-        e.u8(match self.kind {
-            WalKind::Insert => 1,
-            WalKind::Delete => 2,
-        });
+        e.u8(self.op.kind_byte());
         e.u64(self.seq);
-        e.u32(self.specs.len() as u32);
-        for s in &self.specs {
-            encode_spec(s, &mut e);
+        match &self.op {
+            WalOp::Insert(specs) | WalOp::Delete(specs) => {
+                e.u32(specs.len() as u32);
+                for s in specs {
+                    encode_spec(s, &mut e);
+                }
+            }
+            WalOp::AddKey(text) | WalOp::DropKey(text) => e.str(text),
         }
         e.into_bytes()
     }
 
     fn decode(payload: &[u8]) -> Result<WalRecord, CodecError> {
         let mut d = Dec::new(payload);
-        let kind = match d.u8()? {
-            1 => WalKind::Insert,
-            2 => WalKind::Delete,
+        let kind = d.u8()?;
+        let seq = d.u64()?;
+        let op = match kind {
+            1 | 2 => {
+                let n = d.u32()? as usize;
+                let mut specs = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    specs.push(decode_spec(&mut d)?);
+                }
+                if kind == 1 {
+                    WalOp::Insert(specs)
+                } else {
+                    WalOp::Delete(specs)
+                }
+            }
+            3 => WalOp::AddKey(d.str()?),
+            4 => WalOp::DropKey(d.str()?),
             other => return Err(CodecError(format!("unknown WAL record kind {other}"))),
         };
-        let seq = d.u64()?;
-        let n = d.u32()? as usize;
-        let mut specs = Vec::with_capacity(n.min(1 << 16));
-        for _ in 0..n {
-            specs.push(decode_spec(&mut d)?);
-        }
         if !d.is_done() {
             return Err(CodecError("trailing bytes inside WAL record".into()));
         }
-        Ok(WalRecord { seq, kind, specs })
+        Ok(WalRecord { seq, op })
     }
 }
 
@@ -351,11 +389,10 @@ mod tests {
         d.join("wal.log")
     }
 
-    fn rec(seq: u64, kind: WalKind, text: &str) -> WalRecord {
+    fn rec(seq: u64, op: fn(Vec<TripleSpec>) -> WalOp, text: &str) -> WalRecord {
         WalRecord {
             seq,
-            kind,
-            specs: parse_triple_specs(text).unwrap(),
+            op: op(parse_triple_specs(text).unwrap()),
         }
     }
 
@@ -364,8 +401,8 @@ mod tests {
         let path = tmp("roundtrip");
         let scan = scan_wal(&path).unwrap();
         let mut w = WalWriter::open(&path, FsyncMode::Always, &scan).unwrap();
-        let r1 = rec(1, WalKind::Insert, "a:t p \"v\"\na:t q b:t");
-        let r2 = rec(2, WalKind::Delete, "a:t p \"v\"");
+        let r1 = rec(1, WalOp::Insert, "a:t p \"v\"\na:t q b:t");
+        let r2 = rec(2, WalOp::Delete, "a:t p \"v\"");
         w.append(&r1).unwrap();
         w.append(&r2).unwrap();
         drop(w);
@@ -375,13 +412,40 @@ mod tests {
     }
 
     #[test]
+    fn key_management_records_roundtrip() {
+        let path = tmp("key-records");
+        let scan = scan_wal(&path).unwrap();
+        let mut w = WalWriter::open(&path, FsyncMode::Always, &scan).unwrap();
+        let add = WalRecord {
+            seq: 1,
+            op: WalOp::AddKey("key \"Q9\" album(x) { x -name_of-> n*; }\n".into()),
+        };
+        let drop_rec = WalRecord {
+            seq: 2,
+            op: WalOp::DropKey("Q9".into()),
+        };
+        assert!(add.op.is_key_change());
+        assert!(drop_rec.op.is_key_change());
+        assert!(!rec(3, WalOp::Insert, "a:t p \"v\"").op.is_key_change());
+        w.append(&add).unwrap();
+        w.append(&drop_rec).unwrap();
+        w.append(&rec(3, WalOp::Insert, "a:t p \"v\"")).unwrap();
+        drop(w);
+        let scan = scan_wal(&path).unwrap();
+        assert!(!scan.torn);
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[0], add);
+        assert_eq!(scan.records[1], drop_rec);
+    }
+
+    #[test]
     fn torn_tail_is_dropped_at_every_cut_point() {
         let path = tmp("torn");
         let scan = scan_wal(&path).unwrap();
         let mut w = WalWriter::open(&path, FsyncMode::Never, &scan).unwrap();
         let mut ends = vec![WAL_HEADER_LEN];
         for i in 0..4u64 {
-            w.append(&rec(i + 1, WalKind::Insert, &format!("e{i}:t p \"v{i}\"")))
+            w.append(&rec(i + 1, WalOp::Insert, &format!("e{i}:t p \"v{i}\"")))
                 .unwrap();
             ends.push(w.len().unwrap());
         }
@@ -410,7 +474,7 @@ mod tests {
         let mut w = WalWriter::open(&path, FsyncMode::Never, &scan).unwrap();
         let mut ends = vec![WAL_HEADER_LEN];
         for i in 0..3u64 {
-            w.append(&rec(i + 1, WalKind::Insert, &format!("e{i}:t p \"v{i}\"")))
+            w.append(&rec(i + 1, WalOp::Insert, &format!("e{i}:t p \"v{i}\"")))
                 .unwrap();
             ends.push(w.len().unwrap());
         }
@@ -432,9 +496,9 @@ mod tests {
         let path = tmp("reopen");
         let scan = scan_wal(&path).unwrap();
         let mut w = WalWriter::open(&path, FsyncMode::Batch, &scan).unwrap();
-        w.append(&rec(1, WalKind::Insert, "a:t p \"v\"")).unwrap();
+        w.append(&rec(1, WalOp::Insert, "a:t p \"v\"")).unwrap();
         let clean = w.len().unwrap();
-        w.append(&rec(2, WalKind::Insert, "b:t p \"v\"")).unwrap();
+        w.append(&rec(2, WalOp::Insert, "b:t p \"v\"")).unwrap();
         drop(w);
         // Cut the second record in half, then reopen and append a third.
         let bytes = std::fs::read(&path).unwrap();
@@ -443,12 +507,15 @@ mod tests {
         assert!(scan.torn);
         let mut w = WalWriter::open(&path, FsyncMode::Batch, &scan).unwrap();
         assert_eq!(w.records(), 1);
-        w.append(&rec(2, WalKind::Insert, "c:t p \"v\"")).unwrap();
+        w.append(&rec(2, WalOp::Insert, "c:t p \"v\"")).unwrap();
         drop(w);
         let scan = scan_wal(&path).unwrap();
         assert!(!scan.torn, "tail was truncated before the new append");
         assert_eq!(scan.records.len(), 2);
-        assert_eq!(scan.records[1].specs[0].subject, "c");
+        match &scan.records[1].op {
+            WalOp::Insert(specs) => assert_eq!(specs[0].subject, "c"),
+            other => panic!("expected an insert record, got {other:?}"),
+        }
     }
 
     #[test]
@@ -456,10 +523,10 @@ mod tests {
         let path = tmp("truncate");
         let scan = scan_wal(&path).unwrap();
         let mut w = WalWriter::open(&path, FsyncMode::Always, &scan).unwrap();
-        w.append(&rec(1, WalKind::Insert, "a:t p \"v\"")).unwrap();
+        w.append(&rec(1, WalOp::Insert, "a:t p \"v\"")).unwrap();
         w.truncate_all().unwrap();
         assert!(w.is_empty());
-        w.append(&rec(2, WalKind::Insert, "b:t p \"v\"")).unwrap();
+        w.append(&rec(2, WalOp::Insert, "b:t p \"v\"")).unwrap();
         drop(w);
         let scan = scan_wal(&path).unwrap();
         assert_eq!(scan.records.len(), 1);

@@ -17,7 +17,8 @@
 //! | [`core`] | keys, the DSL, the chase, `EM_MR`/`EM_VC` algorithm families |
 //! | [`datagen`] | workload generators with planted ground truth |
 //! | [`store`] | durable persistence: binary snapshots, write-ahead log, crash recovery |
-//! | [`server`] | resident entity-resolution service with incremental ingest and optional durability |
+//! | [`server`] | resident entity-resolution service with incremental ingest, runtime key management and optional durability |
+//! | [`client`] | typed blocking TCP client with N-deep request pipelining |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@
 //! assert_eq!(outcome.identified_pairs().len(), 1);
 //! ```
 
+pub use gk_client as client;
 pub use gk_core as core;
 pub use gk_datagen as datagen;
 pub use gk_graph as graph;
@@ -54,6 +56,7 @@ pub use gk_vertexcentric as vertexcentric;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use gk_client::{Client, Pipeline};
     pub use gk_core::{
         chase_parallel, chase_reference, em_mr, em_mr_sim, em_vc, em_vc_sim, key_violations,
         parse_keys, satisfies, set_violations, CandidateMode, ChaseEngine, ChaseOrder,
@@ -64,6 +67,8 @@ pub mod prelude {
         d_neighborhood, parse_graph, parse_triple_specs, EntityId, Graph, GraphBuilder, GraphStats,
         GraphView, NodeId, Obj, OverlayGraph, PredId, TripleSpec, TypeId, ValueId,
     };
-    pub use gk_server::{EmIndex, RecoveryReport, Server};
-    pub use gk_store::{Durability, FsyncMode, Store, WalKind, WalRecord};
+    pub use gk_server::{
+        EmIndex, KeyChange, RecoveryReport, Request, RequestError, Response, Server,
+    };
+    pub use gk_store::{Durability, FsyncMode, Store, WalOp, WalRecord};
 }

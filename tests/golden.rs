@@ -109,6 +109,38 @@ fn golden_queries() {
 }
 
 #[test]
+fn golden_keys() {
+    // Runtime key management: ADDKEY (monotone delta chase), DROPKEY
+    // (full re-chase), the KEYS listing with its epoch, the new
+    // active_keys=/key_epoch= STATS fields, and the uniform
+    // `ERR usage:` answers for malformed requests.
+    let s = server();
+    check_golden(
+        "keys",
+        &transcript(
+            &s,
+            &[
+                "KEYS",
+                r#"ADDKEY key "AN" artist(x) { x -name_of-> n*; }"#,
+                "SAME art1 art3",
+                "EXPLAIN art1 art3",
+                "KEYS",
+                "DROPKEY AN",
+                "SAME art1 art3",
+                "DROPKEY ghost",
+                r#"ADDKEY key "Q2" album(x) { x -name_of-> n*; }"#,
+                "ADDKEY not a key",
+                "PING extra",
+                "STATS verbose",
+                "KEYS now",
+                "DROPKEY",
+                "STATS",
+            ],
+        ),
+    );
+}
+
+#[test]
 fn golden_updates() {
     let s = server();
     check_golden(
