@@ -157,6 +157,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "startup_recovery",
     "ingest_throughput",
     "query_pipeline",
+    "metrics_overhead",
 ];
 
 /// Dataset base config for an experiment family, at benchmark scale.
@@ -295,6 +296,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Measurement> {
         "startup_recovery" => startup_recovery(quick),
         "ingest_throughput" => ingest_throughput(quick),
         "query_pipeline" => query_pipeline(quick),
+        "metrics_overhead" => metrics_overhead(quick),
         other => panic!("unknown experiment id {other:?}; see ALL_EXPERIMENTS"),
     }
 }
@@ -882,6 +884,113 @@ fn query_pipeline(quick: bool) -> Vec<Measurement> {
     vec![pick_best(seq_runs), pick_best(pipe_runs)]
 }
 
+/// Beyond the paper: instrumentation cost of the metrics layer on the
+/// pipelined 10k-entity query workload — a server over the live registry
+/// against one built over [`gk_server::Registry::disabled`], where every
+/// counter/histogram handle is a compiled no-op. Both serve the identical
+/// deterministic request stream through the `gk-client` pipeline and must
+/// answer byte-identically; the gap is the per-request atomic-increment +
+/// clock-read cost. `quick` reduces the request count, not the graph: the
+/// <5% acceptance overhead is defined at this scale.
+fn metrics_overhead(quick: bool) -> Vec<Measurement> {
+    use gk_client::Client;
+    use gk_core::ChaseEngine;
+    use gk_server::{serve, EmIndex, Registry, Request, Server};
+    use std::sync::Arc;
+
+    let cfg = dataset_cfg('g', false)
+        .with_scale(0.46)
+        .with_chain(2)
+        .with_radius(2);
+    let w = generate(&cfg);
+    let build = |registry: Registry| {
+        let g = gk_graph::GraphBuilder::from_graph(&w.graph).freeze();
+        let idx = EmIndex::with_engine_registry(
+            g,
+            w.keys.clone(),
+            ChaseEngine::default(),
+            Arc::new(registry),
+        );
+        Arc::new(Server::from_index(idx))
+    };
+    let on = serve(build(Registry::new()), "127.0.0.1:0", 4).expect("bind");
+    let off = serve(build(Registry::disabled()), "127.0.0.1:0", 4).expect("bind");
+
+    let names: Vec<String> = w
+        .graph
+        .entities()
+        .take(512)
+        .map(|e| w.graph.entity_label(e))
+        .collect();
+    let total = if quick { 2_000 } else { 10_000 };
+    let reqs: Vec<Request> = (0..total)
+        .map(|i| {
+            let a = names[i % names.len()].clone();
+            let b = names[(i * 7 + 13) % names.len()].clone();
+            match i % 4 {
+                0 => Request::Same { a, b },
+                1 => Request::Rep { entity: a },
+                2 => Request::Dups { entity: a },
+                _ => Request::Ping,
+            }
+        })
+        .collect();
+
+    let run = |addr: &std::net::SocketAddr| {
+        let mut c = Client::connect(&addr.to_string()).expect("connect");
+        let t = Instant::now();
+        let answers = c.run_pipelined(&reqs, 64).expect("pipelined batch");
+        (t.elapsed().as_secs_f64(), answers)
+    };
+    // One untimed pass per server faults in the connection path and any
+    // lazy allocation, so the timed reps measure steady state.
+    let _ = run(&on.addr());
+    let _ = run(&off.addr());
+
+    // Best-of-N in both modes: the quantity under test is a small relative
+    // difference, and a single rep on a loaded machine is dominated by
+    // scheduling noise, not by the atomics being measured.
+    let reps = 3;
+    let mut on_runs = Vec::new();
+    let mut off_runs = Vec::new();
+    for _ in 0..reps {
+        let (on_secs, on_answers) = run(&on.addr());
+        let (off_secs, off_answers) = run(&off.addr());
+        let correct = on_answers == off_answers;
+
+        let base = |algo: &str, secs: f64| Measurement {
+            experiment: "metrics_overhead".into(),
+            dataset: w.name.clone(),
+            algo: algo.into(),
+            x: format!("requests={total}"),
+            seconds: secs,
+            sim_seconds: 0.0,
+            identified: 0,
+            candidates: 0,
+            rounds: 0,
+            traffic: total as u64,
+            correct,
+            extra: vec![(
+                "rps".into(),
+                format!("{:.0}", total as f64 / secs.max(1e-9)),
+            )],
+        };
+        on_runs.push(base("metrics_on", on_secs));
+        off_runs.push(base("metrics_off", off_secs));
+    }
+    on.stop();
+    off.stop();
+    // The reported overhead compares the best rep of each side — the same
+    // pair the acceptance test asserts on.
+    let mut best_on = pick_best(on_runs);
+    let best_off = pick_best(off_runs);
+    best_on.extra.push((
+        "overhead_pct".into(),
+        format!("{:.2}", (best_on.seconds / best_off.seconds - 1.0) * 100.0),
+    ));
+    vec![best_on, best_off]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -920,6 +1029,43 @@ mod tests {
                 last.0 * 2.0 <= last.1,
                 "pipelined ({:.4}s) must be ≥2× faster than sequential \
                  round trips ({:.4}s)",
+                last.0,
+                last.1
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_overhead_is_under_5pct_with_identical_answers() {
+        let ms = run_experiment("metrics_overhead", true);
+        assert_eq!(ms.len(), 2);
+        assert!(
+            ms.iter().all(|m| m.correct),
+            "instrumented and no-op answers must be identical: {ms:?}"
+        );
+        // The <5% throughput-cost acceptance claim is asserted only in
+        // release (the CI recovery job runs it there); debug-mode atomics
+        // and formatting dwarf the compiled no-op difference.
+        #[cfg(not(debug_assertions))]
+        {
+            let pair = |ms: &[Measurement]| {
+                let on = ms.iter().find(|m| m.algo == "metrics_on").unwrap();
+                let off = ms.iter().find(|m| m.algo == "metrics_off").unwrap();
+                (on.seconds, off.seconds)
+            };
+            // Best of up to 3 attempts guards the one-rep quick mode
+            // against transient stalls on a loaded runner.
+            let mut last = pair(&ms);
+            for _ in 0..2 {
+                if last.0 <= last.1 * 1.05 {
+                    break;
+                }
+                last = pair(&run_experiment("metrics_overhead", true));
+            }
+            assert!(
+                last.0 <= last.1 * 1.05,
+                "metrics on ({:.4}s) must stay within 5% of the compiled \
+                 no-op path ({:.4}s)",
                 last.0,
                 last.1
             );

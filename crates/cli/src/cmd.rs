@@ -27,7 +27,10 @@ pub const USAGE: &str = "usage:
                      [--data-dir DIR] [--fsync always|batch|never]
                      [--compact-threshold N]   fold the delta overlay into a
                      fresh base CSR once delta+tombstones reach N (0 = off)
+                     [--metrics-addr HOST:PORT]  HTTP GET /metrics scrape endpoint
+                     [--slow-query-ms N]       log requests slower than N ms (0 = off)
   graphkeys snapshot <addr>                    ask a running server to persist a snapshot
+  graphkeys metrics  <addr>                    print a server's metrics exposition
   graphkeys recover  --data-dir DIR [--engine E] [--threads N] [--verify]
                      rebuild from snapshot + WAL; --verify cross-checks
                      against a from-scratch chase
@@ -65,6 +68,7 @@ pub fn run_to(args: &[String], out: &mut String) -> Result<(), String> {
         "gen" => cmd_gen(rest, out),
         "serve" => cmd_serve(rest, out),
         "snapshot" => cmd_snapshot(rest, out),
+        "metrics" => cmd_metrics(rest, out),
         "recover" => cmd_recover(rest, out),
         "query" => cmd_query(rest, out),
         other => Err(format!("unknown command {other:?}")),
@@ -481,6 +485,8 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
             "data-dir",
             "fsync",
             "compact-threshold",
+            "metrics-addr",
+            "slow-query-ms",
         ],
     )?;
     let [gpath, kpath] = f.positional.as_slice() else {
@@ -495,7 +501,8 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
     let engine = ChaseEngine::parse(f.get("engine").unwrap_or("incremental"), threads)?;
     let compact_threshold =
         f.get_parse("compact-threshold", gk_server::DEFAULT_COMPACT_THRESHOLD)?;
-    let server = match f.get("data-dir") {
+    let slow_query_ms = f.get_parse("slow-query-ms", 0u64)?;
+    let mut server = match f.get("data-dir") {
         None => {
             if f.get("fsync").is_some() {
                 return Err("--fsync needs --data-dir".into());
@@ -520,7 +527,17 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
             server
         }
     };
+    server.set_slow_query_millis(slow_query_ms);
     let server = std::sync::Arc::new(server);
+    // Holds the scrape-endpoint thread for the life of the process (serve
+    // never returns).
+    let mut _metrics_endpoint = None;
+    if let Some(maddr) = f.get("metrics-addr") {
+        let h = gk_server::serve_metrics_http(std::sync::Arc::clone(&server), maddr)
+            .map_err(|e| format!("cannot bind metrics address {maddr:?}: {e}"))?;
+        let _ = writeln!(out, "metrics on http://{}/metrics", h.addr());
+        _metrics_endpoint = Some(h);
+    }
     let handle = gk_server::serve(server, &format!("127.0.0.1:{port}"), threads)
         .map_err(|e| format!("cannot bind port {port}: {e}"))?;
     // `run_to` buffers output until return, but serve never returns — print
@@ -575,6 +592,19 @@ fn cmd_snapshot(args: &[String], out: &mut String) -> Result<(), String> {
     if resp.is_err() {
         return Err(format!("server answered: {}", resp.render()));
     }
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let [addr] = f.positional.as_slice() else {
+        return Err("metrics takes a server address".into());
+    };
+    let snaps = gk_client::Client::lazy(addr)
+        .metrics()
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    // The raw exposition, ready for a file or a scraper diff.
+    out.push_str(&gk_server::render_exposition(&snaps));
     Ok(())
 }
 
@@ -1040,6 +1070,34 @@ mod tests {
         // Arg errors.
         let mut out2 = String::new();
         assert!(run_to(&args(&["snapshot"]), &mut out2).is_err());
+    }
+
+    #[test]
+    fn metrics_command_prints_the_exposition() {
+        let g = gk_graph::parse_graph(G).unwrap();
+        let ks = gk_core::KeySet::parse(K).unwrap();
+        let server = std::sync::Arc::new(gk_server::Server::new(g, ks));
+        let handle = gk_server::serve(std::sync::Arc::clone(&server), "127.0.0.1:0", 2).unwrap();
+        let addr = handle.addr().to_string();
+        server.handle("PING");
+
+        let mut out = String::new();
+        run_to(&args(&["metrics", &addr]), &mut out).unwrap();
+        assert!(
+            out.contains("# TYPE gk_requests_ping_total counter"),
+            "{out}"
+        );
+        assert!(out.contains("gk_requests_ping_total 1"), "{out}");
+        assert!(out.contains("gk_connections_total"), "{out}");
+        assert!(
+            out.starts_with("# HELP "),
+            "the CLI prints the bare exposition, not the wire tag: {out}"
+        );
+        handle.stop();
+
+        // Arg errors.
+        let mut out2 = String::new();
+        assert!(run_to(&args(&["metrics"]), &mut out2).is_err());
     }
 
     #[test]

@@ -210,6 +210,21 @@ impl Client {
         parse_response(&out.pop().expect("one paragraph"))
     }
 
+    /// Fetches the server's metrics exposition as typed snapshots.
+    ///
+    /// Convenience over `request(&Request::Metrics)`: unwraps the
+    /// `Response::Metrics` payload and turns any other answer into an
+    /// `InvalidData` error.
+    pub fn metrics(&mut self) -> std::io::Result<Vec<gk_server::MetricSnapshot>> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(snaps) => Ok(snaps),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected METRICS answer: {}", other.render()),
+            )),
+        }
+    }
+
     /// Starts an explicit pipeline batch: push requests, then
     /// [`Pipeline::send`] writes them all and drains all answers.
     pub fn pipeline(&mut self) -> Pipeline<'_> {

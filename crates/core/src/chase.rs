@@ -35,6 +35,13 @@ pub struct ChaseResult {
     pub rounds: usize,
     /// Number of key evaluations performed (subgraph-isomorphism checks).
     pub iso_checks: u64,
+    /// Candidate pairs initially enumerated (before any round pruned or
+    /// extended them).
+    pub candidates: usize,
+    /// Pairs re-enqueued by dependency wake-ups: pairs that only became
+    /// evaluable after another pair was identified (0 for engines without
+    /// a wake-up worklist).
+    pub wake_ups: u64,
 }
 
 impl ChaseResult {
@@ -70,6 +77,7 @@ pub fn chase_reference<V: GraphView>(
     if let ChaseOrder::Shuffled(seed) = order {
         shuffle(&mut pairs, seed);
     }
+    let candidates = pairs.len();
     let mut eq = EqRel::identity(g.num_entities());
     let mut steps = Vec::new();
     let mut rounds = 0usize;
@@ -120,6 +128,10 @@ pub fn chase_reference<V: GraphView>(
         steps,
         rounds,
         iso_checks,
+        candidates,
+        // The reference chase re-sweeps the whole remaining list every
+        // round instead of waking dependents selectively.
+        wake_ups: 0,
     }
 }
 

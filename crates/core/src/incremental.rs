@@ -56,6 +56,8 @@ pub fn chase_incremental<V: GraphView>(
         extend_candidates_around(g, keys, t, None, &mut pending);
     }
 
+    let candidates = pending.len();
+    let mut wake_ups = 0u64;
     let mut steps = Vec::new();
     let mut rounds = 0usize;
     let mut iso_checks = 0u64;
@@ -103,9 +105,11 @@ pub fn chase_incremental<V: GraphView>(
         // Wake pairs whose witnesses could use the new identifications:
         // anchors within d of each side of a new pair.
         pending = still_open;
+        let before_wake = pending.len();
         for (a, b) in newly {
             extend_candidates_around(g, keys, a, Some(b), &mut pending);
         }
+        wake_ups += (pending.len() - before_wake) as u64;
     }
 
     ChaseResult {
@@ -113,6 +117,8 @@ pub fn chase_incremental<V: GraphView>(
         steps,
         rounds,
         iso_checks,
+        candidates,
+        wake_ups,
     }
 }
 

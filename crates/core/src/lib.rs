@@ -44,6 +44,7 @@ mod em_vc;
 mod eqrel;
 mod incremental;
 mod keyset;
+mod metrics;
 mod parallel;
 mod pattern;
 mod prep;
@@ -66,6 +67,7 @@ pub use em_vc::{em_vc, em_vc_sim, VcVariant};
 pub use eqrel::EqRel;
 pub use incremental::chase_incremental;
 pub use keyset::{CompiledKey, CompiledKeySet, KeySet};
+pub use metrics::ChaseMetrics;
 pub use parallel::{chase_parallel, ChaseEngine, ParallelOpts};
 pub use pattern::{Key, KeyBuilder, KeyError, KeyTriple, Term};
 pub use prep::{prepare_base, prepare_opt, BasePrep, NeighborhoodCache, OptPrep};

@@ -134,6 +134,8 @@ pub fn chase_parallel<V: GraphView>(
         shuffle(&mut open, seed);
     }
 
+    let candidates = open.len();
+    let mut wake_ups = 0u64;
     let mut eq = EqRel::identity(g.num_entities());
     let mut steps: Vec<ChaseStep> = Vec::new();
     let mut rounds = 0usize;
@@ -224,6 +226,7 @@ pub fn chase_parallel<V: GraphView>(
         });
         open = woken.into_iter().filter(|&(a, b)| !eq.same(a, b)).collect();
         open.sort_unstable(); // deterministic shard assignment
+        wake_ups += open.len() as u64;
     }
 
     ChaseResult {
@@ -231,6 +234,8 @@ pub fn chase_parallel<V: GraphView>(
         steps,
         rounds,
         iso_checks,
+        candidates,
+        wake_ups,
     }
 }
 

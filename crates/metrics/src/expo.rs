@@ -1,0 +1,268 @@
+//! Text exposition: Prometheus-style rendering and its lossless inverse.
+//!
+//! The grammar is the subset of the Prometheus text format this workspace
+//! emits — no labels except the histogram `le`, integer values only:
+//!
+//! ```text
+//! # HELP <name> <one line of help>
+//! # TYPE <name> counter|gauge|histogram
+//! <name> <u64>                          (counter, gauge)
+//! <name>_bucket{le="<2^i>"} <u64>       (histogram, cumulative)
+//! <name>_bucket{le="+Inf"} <u64>
+//! <name>_sum <u64>
+//! <name>_count <u64>
+//! ```
+//!
+//! [`parse_exposition`] inverts [`render`] exactly:
+//! `parse_exposition(&render(&snap)) == Ok(snap)` for every snapshot a
+//! [`Registry`](crate::Registry) can produce — the property the golden
+//! `METRICS` transcript and the round-trip proptest pin down.
+
+use crate::HIST_BUCKETS;
+use std::fmt::Write as _;
+
+/// The kind of a metric, as named on its `# TYPE` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotone counter.
+    Counter,
+    /// A settable gauge.
+    Gauge,
+    /// A log2-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The `# TYPE` token.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A point-in-time value of one metric.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Histogram cells (buckets are raw per-bucket counts, not
+    /// cumulative; rendering accumulates, parsing de-accumulates).
+    Histogram {
+        /// Total observations.
+        count: u64,
+        /// Sum of all observed values.
+        sum: u64,
+        /// Per-bucket counts, `HIST_BUCKETS` of them.
+        buckets: Vec<u64>,
+    },
+}
+
+impl MetricValue {
+    /// The kind this value renders as.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            MetricValue::Counter(_) => MetricKind::Counter,
+            MetricValue::Gauge(_) => MetricKind::Gauge,
+            MetricValue::Histogram { .. } => MetricKind::Histogram,
+        }
+    }
+}
+
+/// One metric of a [`Registry::snapshot`](crate::Registry::snapshot).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// Metric name (`[a-z_][a-z0-9_]*`).
+    pub name: String,
+    /// One-line help string.
+    pub help: String,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// Renders snapshots in order; inverse of [`parse_exposition`]. The
+/// output has no blank lines (it must travel as one response paragraph of
+/// the line protocol) and ends with a newline iff it is non-empty.
+pub fn render(snaps: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for s in snaps {
+        let _ = writeln!(out, "# HELP {} {}", s.name, s.help);
+        let _ = writeln!(out, "# TYPE {} {}", s.name, s.value.kind().name());
+        match &s.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{} {}", s.name, v);
+            }
+            MetricValue::Histogram {
+                count,
+                sum,
+                buckets,
+            } => {
+                let mut cum = 0u64;
+                for (i, b) in buckets.iter().take(HIST_BUCKETS - 1).enumerate() {
+                    cum += b;
+                    let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", s.name, 1u64 << i, cum);
+                }
+                let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", s.name, count);
+                let _ = writeln!(out, "{}_sum {}", s.name, sum);
+                let _ = writeln!(out, "{}_count {}", s.name, count);
+            }
+        }
+    }
+    out
+}
+
+/// Parses an exposition back into snapshots (inverse of [`render`]).
+/// Rejects anything outside the grammar: unknown kinds, missing or
+/// misordered histogram series, non-cumulative buckets, stray lines.
+pub fn parse_exposition(text: &str) -> Result<Vec<MetricSnapshot>, String> {
+    let mut out = Vec::new();
+    let mut lines = text.lines().peekable();
+    while let Some(help_line) = lines.next() {
+        let (name, help) = split2(
+            help_line
+                .strip_prefix("# HELP ")
+                .ok_or_else(|| format!("expected '# HELP', got {help_line:?}"))?,
+        )?;
+        let type_line = lines.next().ok_or("missing '# TYPE' line")?;
+        let (tname, kind) = split2(
+            type_line
+                .strip_prefix("# TYPE ")
+                .ok_or_else(|| format!("expected '# TYPE', got {type_line:?}"))?,
+        )?;
+        if tname != name {
+            return Err(format!("TYPE name {tname:?} does not match HELP {name:?}"));
+        }
+        let value = match kind {
+            "counter" | "gauge" => {
+                let line = lines.next().ok_or("missing sample line")?;
+                let (sname, v) = split2(line)?;
+                if sname != name {
+                    return Err(format!("sample {sname:?} does not match {name:?}"));
+                }
+                let v = parse_u64(v)?;
+                if kind == "counter" {
+                    MetricValue::Counter(v)
+                } else {
+                    MetricValue::Gauge(v)
+                }
+            }
+            "histogram" => parse_histogram(name, &mut lines)?,
+            other => return Err(format!("unknown metric kind {other:?}")),
+        };
+        out.push(MetricSnapshot {
+            name: name.to_string(),
+            help: help.to_string(),
+            value,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses the bucket/sum/count series of one histogram.
+fn parse_histogram<'a, I: Iterator<Item = &'a str>>(
+    name: &str,
+    lines: &mut I,
+) -> Result<MetricValue, String> {
+    let mut cum = Vec::with_capacity(HIST_BUCKETS - 1);
+    for i in 0..HIST_BUCKETS - 1 {
+        let line = lines.next().ok_or("truncated histogram buckets")?;
+        let want = format!("{}_bucket{{le=\"{}\"}} ", name, 1u64 << i);
+        let v = line
+            .strip_prefix(&want)
+            .ok_or_else(|| format!("expected {want:?}…, got {line:?}"))?;
+        cum.push(parse_u64(v)?);
+    }
+    let inf_line = lines.next().ok_or("missing +Inf bucket")?;
+    let count = parse_u64(
+        inf_line
+            .strip_prefix(&format!("{name}_bucket{{le=\"+Inf\"}} "))
+            .ok_or_else(|| format!("expected +Inf bucket, got {inf_line:?}"))?,
+    )?;
+    let sum_line = lines.next().ok_or("missing _sum line")?;
+    let sum = parse_u64(
+        sum_line
+            .strip_prefix(&format!("{name}_sum "))
+            .ok_or_else(|| format!("expected _sum, got {sum_line:?}"))?,
+    )?;
+    let count_line = lines.next().ok_or("missing _count line")?;
+    let count2 = parse_u64(
+        count_line
+            .strip_prefix(&format!("{name}_count "))
+            .ok_or_else(|| format!("expected _count, got {count_line:?}"))?,
+    )?;
+    if count2 != count {
+        return Err(format!("{name}: _count {count2} != +Inf bucket {count}"));
+    }
+    // De-accumulate; the overflow bucket is whatever +Inf adds on top.
+    let mut buckets = Vec::with_capacity(HIST_BUCKETS);
+    let mut prev = 0u64;
+    for c in &cum {
+        buckets.push(
+            c.checked_sub(prev)
+                .ok_or_else(|| format!("{name}: buckets are not cumulative"))?,
+        );
+        prev = *c;
+    }
+    buckets.push(
+        count
+            .checked_sub(prev)
+            .ok_or_else(|| format!("{name}: +Inf below last finite bucket"))?,
+    );
+    Ok(MetricValue::Histogram {
+        count,
+        sum,
+        buckets,
+    })
+}
+
+/// Splits `"<token> <rest>"`; the rest may contain spaces (help text).
+fn split2(s: &str) -> Result<(&str, &str), String> {
+    s.split_once(' ')
+        .ok_or_else(|| format!("expected two fields in {s:?}"))
+}
+
+fn parse_u64(v: &str) -> Result<u64, String> {
+    v.parse().map_err(|_| format!("not a u64: {v:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn exposition_round_trips() {
+        let reg = Registry::new();
+        reg.counter("reqs_total", "Total requests.").add(41);
+        reg.gauge("active", "Active connections.").set(3);
+        let h = reg.histogram("lat_micros", "Request latency in micros.");
+        for v in [0, 1, 5, 5, 900, 1 << 40] {
+            h.observe(v);
+        }
+        let snap = reg.snapshot();
+        let text = render(&snap);
+        assert_eq!(parse_exposition(&text), Ok(snap));
+    }
+
+    #[test]
+    fn empty_exposition_parses_to_nothing() {
+        assert_eq!(parse_exposition(""), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn foreign_text_is_rejected() {
+        assert!(parse_exposition("hello world").is_err());
+        assert!(parse_exposition("# HELP x y\n# TYPE x widget\nx 1\n").is_err());
+        // Non-cumulative buckets are rejected.
+        let reg = Registry::new();
+        reg.histogram("h", "H.").observe(3);
+        let text = render(&reg.snapshot());
+        // le="4" jumps to 5 while le="8" stays 1: not cumulative.
+        let broken = text.replacen("le=\"4\"} 1", "le=\"4\"} 5", 1);
+        assert!(parse_exposition(&broken).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! A tiny leveled structured-logging facade.
+//!
+//! Events are single `key=value` lines — machine-parseable, grep-able,
+//! and cheap enough for a per-request slow-query log:
+//!
+//! ```text
+//! level=warn event=conn_read_error kind="connection reset by peer"
+//! level=info event=slow_query verb=SAME micros=12843 version=7
+//! ```
+//!
+//! The sink is process-global: stderr by default, a file via
+//! [`log_to_file`]. The [`Level`] filter is runtime-settable
+//! ([`set_level`]); the [`error!`]/[`warn!`]/[`info!`]/[`debug!`] macros
+//! check it before formatting anything, so a filtered-out `debug!` costs
+//! one relaxed atomic load.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The server cannot do what was asked of it.
+    Error = 1,
+    /// Something went wrong but the server carries on (e.g. a
+    /// per-connection I/O error).
+    Warn = 2,
+    /// Lifecycle events: startup, shutdown, slow queries.
+    Info = 3,
+    /// Per-request chatter; off by default.
+    Debug = 4,
+}
+
+impl Level {
+    /// The `level=` token this level logs as.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a level name (`error`, `warn`, `info`, `debug`).
+    pub fn parse(s: &str) -> Result<Level, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            other => Err(format!(
+                "unknown log level {other:?} (want error|warn|info|debug)"
+            )),
+        }
+    }
+}
+
+/// The runtime filter; events above it are dropped.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// The sink: `None` = stderr.
+static SINK: Mutex<Option<std::fs::File>> = Mutex::new(None);
+
+/// Sets the runtime level filter.
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current level filter.
+pub fn max_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        1 => Level::Error,
+        2 => Level::Warn,
+        4 => Level::Debug,
+        _ => Level::Info,
+    }
+}
+
+/// Whether an event at `level` would currently be written.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Redirects log output to a file (append mode, created if missing).
+pub fn log_to_file(path: &std::path::Path) -> std::io::Result<()> {
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = Some(file);
+    Ok(())
+}
+
+/// Restores the default stderr sink.
+pub fn log_to_stderr() {
+    *SINK.lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Writes one event line. Prefer the macros, which check the level before
+/// evaluating their field expressions. Values with whitespace, quotes or
+/// `=` are quoted so the line stays splittable on spaces.
+pub fn log_line(level: Level, event: &str, fields: &[(&str, String)]) {
+    if !log_enabled(level) {
+        return;
+    }
+    let mut line = format!("level={} event={}", level.name(), event);
+    for (k, v) in fields {
+        let needs_quotes =
+            v.is_empty() || v.contains(|c: char| c.is_whitespace() || c == '"' || c == '=');
+        if needs_quotes {
+            line.push_str(&format!(" {k}={v:?}"));
+        } else {
+            line.push_str(&format!(" {k}={v}"));
+        }
+    }
+    line.push('\n');
+    let mut sink = SINK.lock().unwrap_or_else(|e| e.into_inner());
+    match sink.as_mut() {
+        Some(f) => {
+            let _ = f.write_all(line.as_bytes());
+        }
+        None => {
+            let _ = std::io::stderr().write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Logs at a given level: `log_event!(Level::Warn, "event", k = v, …)`.
+#[macro_export]
+macro_rules! log_event {
+    ($lvl:expr, $event:expr $(, $k:ident = $v:expr)* $(,)?) => {
+        if $crate::log_enabled($lvl) {
+            $crate::log_line(
+                $lvl,
+                $event,
+                &[$((stringify!($k), ::std::string::ToString::to_string(&$v))),*],
+            );
+        }
+    };
+}
+
+/// Logs an `error`-level event: `error!("event", key = value, …)`.
+#[macro_export]
+macro_rules! error {
+    ($($t:tt)*) => { $crate::log_event!($crate::Level::Error, $($t)*) };
+}
+
+/// Logs a `warn`-level event.
+#[macro_export]
+macro_rules! warn {
+    ($($t:tt)*) => { $crate::log_event!($crate::Level::Warn, $($t)*) };
+}
+
+/// Logs an `info`-level event.
+#[macro_export]
+macro_rules! info {
+    ($($t:tt)*) => { $crate::log_event!($crate::Level::Info, $($t)*) };
+}
+
+/// Logs a `debug`-level event.
+#[macro_export]
+macro_rules! debug {
+    ($($t:tt)*) => { $crate::log_event!($crate::Level::Debug, $($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parse_and_order() {
+        assert_eq!(Level::parse("WARN"), Ok(Level::Warn));
+        assert!(Level::parse("loud").is_err());
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn filter_controls_enabled() {
+        // Serialize against other tests via the sink lock not being held:
+        // the filter is global, so save and restore it.
+        let saved = max_level();
+        set_level(Level::Warn);
+        assert!(log_enabled(Level::Error));
+        assert!(log_enabled(Level::Warn));
+        assert!(!log_enabled(Level::Info));
+        set_level(saved);
+    }
+
+    #[test]
+    fn lines_go_to_the_file_sink() {
+        let path = std::env::temp_dir().join(format!("gk-metrics-log-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        log_to_file(&path).unwrap();
+        crate::warn!("test_event", code = 7, msg = "two words");
+        log_to_stderr();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            text.contains("level=warn event=test_event code=7 msg=\"two words\""),
+            "unexpected line: {text:?}"
+        );
+    }
+}

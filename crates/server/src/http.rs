@@ -1,0 +1,114 @@
+//! Plain-HTTP scrape endpoint for the metrics registry.
+//!
+//! One dedicated thread answers `GET /metrics` with the text exposition
+//! ([`gk_metrics::render_exposition`]) and closes the connection — the
+//! shape every Prometheus-style scraper expects. Anything else gets a
+//! 404. The endpoint is deliberately not the line protocol: scrapers
+//! speak HTTP, and a separate listener keeps scrape traffic off the
+//! request worker pool.
+
+use crate::protocol::Server;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running scrape endpoint. Dropping the handle without calling
+/// [`stop`](MetricsHandle::stop) leaves the daemon thread running.
+pub struct MetricsHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting scrapes and joins the endpoint thread.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds `addr` (port 0 for ephemeral) and serves `GET /metrics` scrapes
+/// of `server`'s registry on a dedicated thread until
+/// [`MetricsHandle::stop`].
+pub fn serve_metrics_http(server: Arc<Server>, addr: &str) -> std::io::Result<MetricsHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept_stop = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break; // the stop() wake-up connection lands here
+            }
+            let Ok(conn) = conn else { continue };
+            answer_scrape(&server, conn);
+        }
+    });
+    Ok(MetricsHandle {
+        addr: bound,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+/// How long a scrape connection may dawdle before the endpoint drops it.
+/// A single slow scraper must not wedge the (single-threaded) endpoint.
+const SCRAPE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+
+/// Answers one scrape connection: request line + headers in, one
+/// `Connection: close` response out.
+fn answer_scrape(server: &Server, conn: TcpStream) {
+    let _ = conn.set_read_timeout(Some(SCRAPE_TIMEOUT));
+    let _ = conn.set_write_timeout(Some(SCRAPE_TIMEOUT));
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = conn;
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the headers; the response does not depend on any of them.
+    let mut header = String::new();
+    loop {
+        header.clear();
+        match reader.read_line(&mut header) {
+            Ok(0) | Err(_) => break,
+            Ok(_) if header.trim_end_matches(['\r', '\n']).is_empty() => break,
+            Ok(_) => {}
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method == "GET" && path == "/metrics" {
+        let body = gk_metrics::render_exposition(&server.index().registry().snapshot());
+        ("200 OK", body)
+    } else {
+        (
+            "404 Not Found",
+            String::from("only GET /metrics is served\n"),
+        )
+    };
+    let _ = writer.write_all(
+        format!(
+            "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    let _ = writer.shutdown(Shutdown::Both);
+}

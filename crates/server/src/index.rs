@@ -40,16 +40,16 @@
 //! `O(load + replay)`.
 
 use gk_core::{
-    chase_incremental, parse_keys, prove, verify, write_keys, ChaseEngine, ChaseOrder, ChaseStep,
-    CompiledKeySet, EqRel, Key, KeySet, Proof,
+    chase_incremental, parse_keys, prove, verify, write_keys, ChaseEngine, ChaseMetrics,
+    ChaseOrder, ChaseStep, CompiledKeySet, EqRel, Key, KeySet, Proof,
 };
 use gk_graph::{EntityId, Graph, GraphView, Obj, ObjSpec, OverlayGraph, Triple, TripleSpec};
+use gk_metrics::{Counter, Gauge, Histogram, Registry};
 use gk_store::{
     CompactReport, Durability, FsyncMode, Recovered, SnapshotData, Store, WalOp, WalRecord,
 };
 use parking_lot::{Mutex, RwLock};
 use rustc_hash::{FxHashMap, FxHashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -320,26 +320,131 @@ impl IndexState {
     }
 }
 
-/// Cumulative counters, updated atomically outside the state lock.
-#[derive(Debug, Default)]
+/// Cumulative ingest-path instrumentation: a thin view over the index's
+/// [`Registry`] — every field is a `Copy` handle to a registry cell, so
+/// updates are lock-free and the same numbers surface through `STATS` and
+/// through the `METRICS` exposition without double bookkeeping.
+#[derive(Clone, Copy)]
 pub struct IndexStats {
-    /// Applied insert batches that advanced via the incremental path.
-    pub incremental_advances: AtomicU64,
-    /// Updates that fell back to a full re-chase.
-    pub full_rechases: AtomicU64,
-    /// Batches that were no-ops.
-    pub noops: AtomicU64,
-    /// Chase rounds across all applied updates (delta and full).
-    pub update_rounds: AtomicU64,
-    /// Delta-overlay compactions folded into a fresh base CSR (threshold-
-    /// triggered and `COMPACT`-triggered alike).
-    pub compactions: AtomicU64,
-    /// Rounds of the startup chase (or of the recovery replay).
-    pub startup_rounds: AtomicU64,
-    /// Isomorphism checks of the startup chase (or recovery replay).
-    pub startup_iso_checks: AtomicU64,
-    /// Startup wall-clock (chase or snapshot-load + replay), microseconds.
-    pub startup_micros: AtomicU64,
+    /// Applied insert batches that advanced via the incremental path
+    /// (`gk_updates_incremental_total`).
+    pub incremental_advances: Counter,
+    /// Updates that fell back to a full re-chase
+    /// (`gk_updates_full_rechase_total`).
+    pub full_rechases: Counter,
+    /// Batches that were no-ops (`gk_updates_noop_total`).
+    pub noops: Counter,
+    /// Chase rounds across all applied updates, delta and full
+    /// (`gk_update_rounds_total`).
+    pub update_rounds: Counter,
+    /// Delta-overlay compactions folded into a fresh base CSR — threshold-
+    /// triggered and `COMPACT`-triggered alike (`gk_compactions_total`).
+    pub compactions: Counter,
+    /// Rounds of the startup chase (or of the recovery replay)
+    /// (`gk_startup_rounds`).
+    pub startup_rounds: Gauge,
+    /// Isomorphism checks of the startup chase (or recovery replay)
+    /// (`gk_startup_iso_checks`).
+    pub startup_iso_checks: Gauge,
+    /// Startup wall-clock (chase or snapshot-load + replay), microseconds
+    /// (`gk_startup_micros`).
+    pub startup_micros: Gauge,
+    /// Wall-clock of each monotone delta chase, microseconds
+    /// (`gk_ingest_delta_chase_micros`).
+    pub delta_chase_micros: Histogram,
+    /// Wall-clock of each full re-chase on the update path, microseconds
+    /// (`gk_ingest_full_rechase_micros`).
+    pub full_rechase_micros: Histogram,
+    /// Wall-clock of each write-ahead-log append (including any fsync the
+    /// configured mode performs), microseconds (`gk_wal_fsync_micros`).
+    pub wal_fsync_micros: Histogram,
+    /// Wall-clock of each delta-overlay compaction, microseconds
+    /// (`gk_compact_micros`).
+    pub compact_micros: Histogram,
+    /// Per-invocation chase totals (rounds, candidate pairs, iso checks,
+    /// wake-ups) under the `gk_chase_` prefix.
+    pub chase: ChaseMetrics,
+}
+
+impl IndexStats {
+    /// Registers every ingest metric in `reg` (idempotent: re-registering
+    /// against the same registry returns the same cells).
+    pub fn register(reg: &Registry) -> IndexStats {
+        IndexStats {
+            incremental_advances: reg.counter(
+                "gk_updates_incremental_total",
+                "Insert batches advanced via the monotone delta chase.",
+            ),
+            full_rechases: reg.counter(
+                "gk_updates_full_rechase_total",
+                "Updates that fell back to a full re-chase.",
+            ),
+            noops: reg.counter("gk_updates_noop_total", "Update batches that were no-ops."),
+            update_rounds: reg.counter(
+                "gk_update_rounds_total",
+                "Chase rounds across all applied updates.",
+            ),
+            compactions: reg.counter(
+                "gk_compactions_total",
+                "Delta-overlay compactions folded into a fresh base CSR.",
+            ),
+            startup_rounds: reg.gauge(
+                "gk_startup_rounds",
+                "Rounds of the startup chase or recovery replay.",
+            ),
+            startup_iso_checks: reg.gauge(
+                "gk_startup_iso_checks",
+                "Isomorphism checks of the startup chase or recovery replay.",
+            ),
+            startup_micros: reg.gauge(
+                "gk_startup_micros",
+                "Startup wall-clock (chase or snapshot-load + replay), microseconds.",
+            ),
+            delta_chase_micros: reg.histogram(
+                "gk_ingest_delta_chase_micros",
+                "Wall-clock of each monotone delta chase, microseconds.",
+            ),
+            full_rechase_micros: reg.histogram(
+                "gk_ingest_full_rechase_micros",
+                "Wall-clock of each full re-chase on the update path, microseconds.",
+            ),
+            wal_fsync_micros: reg.histogram(
+                "gk_wal_fsync_micros",
+                "Wall-clock of each WAL append (including fsync), microseconds.",
+            ),
+            compact_micros: reg.histogram(
+                "gk_compact_micros",
+                "Wall-clock of each delta-overlay compaction, microseconds.",
+            ),
+            chase: ChaseMetrics::register(reg, "gk_chase"),
+        }
+    }
+
+    /// Handles that record nothing (for indexes without a registry; the
+    /// compiled no-op path the overhead bench compares against).
+    pub const fn noop() -> IndexStats {
+        IndexStats {
+            incremental_advances: Counter::noop(),
+            full_rechases: Counter::noop(),
+            noops: Counter::noop(),
+            update_rounds: Counter::noop(),
+            compactions: Counter::noop(),
+            startup_rounds: Gauge::noop(),
+            startup_iso_checks: Gauge::noop(),
+            startup_micros: Gauge::noop(),
+            delta_chase_micros: Histogram::noop(),
+            full_rechase_micros: Histogram::noop(),
+            wal_fsync_micros: Histogram::noop(),
+            compact_micros: Histogram::noop(),
+            chase: ChaseMetrics::noop(),
+        }
+    }
+}
+
+impl Default for IndexStats {
+    fn default() -> Self {
+        IndexStats::noop()
+    }
 }
 
 /// The resident index: the current [`IndexState`] (graph + Σ + closure)
@@ -355,7 +460,11 @@ pub struct EmIndex {
     /// `delta_triples + tombstones` reaches this; 0 disables automatic
     /// compaction.
     compact_threshold: usize,
-    /// Cumulative update counters.
+    /// The metrics registry every layer records into. The stats handles
+    /// below point into it; the server layer registers its own metrics
+    /// against the same registry so one `METRICS` answer covers both.
+    registry: Arc<Registry>,
+    /// Cumulative update counters (handles into [`EmIndex::registry`]).
     pub stats: IndexStats,
 }
 
@@ -377,7 +486,19 @@ impl EmIndex {
     /// runs all full chases — startup and the deletion fallback — on worker
     /// threads via [`gk_core::chase_parallel`].
     pub fn with_engine(graph: Graph, keys: KeySet, engine: ChaseEngine) -> Self {
-        let stats = IndexStats::default();
+        Self::with_engine_registry(graph, keys, engine, Arc::new(Registry::new()))
+    }
+
+    /// Like [`EmIndex::with_engine`], but recording into a caller-supplied
+    /// registry — pass [`Registry::disabled`] for the compiled no-op path
+    /// (the instrumentation-overhead baseline).
+    pub fn with_engine_registry(
+        graph: Graph,
+        keys: KeySet,
+        engine: ChaseEngine,
+        registry: Arc<Registry>,
+    ) -> Self {
+        let stats = IndexStats::register(&registry);
         let state = startup_chase(OverlayGraph::new(graph), Arc::new(keys), engine, &stats);
         EmIndex {
             engine,
@@ -385,8 +506,15 @@ impl EmIndex {
             ingest: Mutex::new(()),
             store: None,
             compact_threshold: DEFAULT_COMPACT_THRESHOLD,
+            registry,
             stats,
         }
+    }
+
+    /// The registry this index records into (shared with the serving
+    /// layer, which registers its request metrics against it).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// Sets the delta-compaction threshold (`delta_triples + tombstones`);
@@ -434,6 +562,7 @@ impl EmIndex {
         compact_threshold: usize,
     ) -> Result<(Self, RecoveryReport), String> {
         let store = open_store(dur)?;
+        let registry = Arc::new(Registry::new());
         match store.recover().map_err(|e| e.to_string())? {
             Some(rec) => {
                 // While Σ was never touched at runtime the persisted set
@@ -452,10 +581,10 @@ impl EmIndex {
                         ));
                     }
                 }
-                Self::from_recovered(store, rec, engine, compact_threshold)
+                Self::from_recovered(store, rec, engine, compact_threshold, registry)
             }
             None => {
-                let stats = IndexStats::default();
+                let stats = IndexStats::register(&registry);
                 let state = startup_chase(OverlayGraph::new(graph), Arc::new(keys), engine, &stats);
                 let index = EmIndex {
                     engine,
@@ -463,6 +592,7 @@ impl EmIndex {
                     ingest: Mutex::new(()),
                     store: Some(store),
                     compact_threshold,
+                    registry,
                     stats,
                 };
                 // Initial snapshot: the next start is load + replay.
@@ -502,7 +632,10 @@ impl EmIndex {
         let store = open_store(dur)?;
         match store.recover().map_err(|e| e.to_string())? {
             None => Ok(None),
-            Some(rec) => Self::from_recovered(store, rec, engine, compact_threshold).map(Some),
+            Some(rec) => {
+                let registry = Arc::new(Registry::new());
+                Self::from_recovered(store, rec, engine, compact_threshold, registry).map(Some)
+            }
         }
     }
 
@@ -514,23 +647,23 @@ impl EmIndex {
         rec: Recovered,
         engine: ChaseEngine,
         compact_threshold: usize,
+        registry: Arc<Registry>,
     ) -> Result<(Self, RecoveryReport), String> {
         let t0 = Instant::now();
         let snapshot_seq = rec.snapshot.seq;
         let wal_replayed = rec.wal.len();
         let wal_torn = rec.wal_torn;
         let skipped_snapshots = rec.skipped_snapshots;
-        let stats = IndexStats::default();
+        let stats = IndexStats::register(&registry);
         let (state, replay_mode) = replay(rec, engine, compact_threshold, &stats)?;
-        stats
-            .startup_micros
-            .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        stats.startup_micros.set(t0.elapsed().as_micros() as u64);
         let index = EmIndex {
             engine,
             state: RwLock::new(Arc::new(state)),
             ingest: Mutex::new(()),
             store: Some(store),
             compact_threshold,
+            registry,
             stats,
         };
         Ok((
@@ -593,6 +726,7 @@ impl EmIndex {
     pub fn compact_store(&self) -> Result<CompactReport, String> {
         let store = self.store_or_err()?;
         let _writer = self.ingest.lock();
+        let t0 = Instant::now();
         let (frz, report) = self
             .freeze_and(store, |store, data| store.compact(data))
             .map_err(|e| format!("compaction failed: {e}"))?;
@@ -602,7 +736,8 @@ impl EmIndex {
             // log freeze_and already produced against it — as the new
             // in-memory state: same logical graph and Eq, same version;
             // only the layout moved.
-            self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+            self.stats.compactions.inc();
+            self.stats.compact_micros.observe_micros(t0.elapsed());
             let g2 = OverlayGraph::from_arc(frz.graph, snap.graph.epoch() + 1);
             let next = IndexState::build(
                 g2,
@@ -745,7 +880,7 @@ impl EmIndex {
         touched.dedup();
 
         if added == 0 && g2.num_entities() == old_entities {
-            self.stats.noops.fetch_add(1, Ordering::Relaxed);
+            self.stats.noops.inc();
             return Ok(AdvanceReport {
                 mode: AdvanceMode::NoOp,
                 triples: specs.len(),
@@ -761,6 +896,7 @@ impl EmIndex {
         // The heavy part runs without the state lock: readers keep serving
         // the previous snapshot.
         let compiled2 = snap.keys.compile(&g2);
+        let t0 = Instant::now();
         let (result, mode) = if self.engine.inserts_incrementally() {
             // Monotone delta chase: valid for insert-only batches under any
             // engine; strictly less work than a full chase.
@@ -775,6 +911,12 @@ impl EmIndex {
                 AdvanceMode::FullRechase,
             )
         };
+        match mode {
+            AdvanceMode::Incremental => self.stats.delta_chase_micros,
+            _ => self.stats.full_rechase_micros,
+        }
+        .observe_micros(t0.elapsed());
+        self.stats.chase.record(&result);
         let new_pairs = result.eq.num_identified_pairs() - snap.eq.num_identified_pairs();
         let report = AdvanceReport {
             mode,
@@ -810,14 +952,12 @@ impl EmIndex {
             snap.key_epoch,
         );
         *self.state.write() = Arc::new(next);
-        self.stats
-            .update_rounds
-            .fetch_add(report.rounds as u64, Ordering::Relaxed);
+        self.stats.update_rounds.add(report.rounds as u64);
         match mode {
-            AdvanceMode::Incremental => &self.stats.incremental_advances,
-            _ => &self.stats.full_rechases,
+            AdvanceMode::Incremental => self.stats.incremental_advances,
+            _ => self.stats.full_rechases,
         }
-        .fetch_add(1, Ordering::Relaxed);
+        .inc();
         Ok(report)
     }
 
@@ -849,7 +989,7 @@ impl EmIndex {
         if doomed.is_empty() {
             // Nothing resolved to a live triple: short-circuit without
             // re-chasing or bumping the version.
-            self.stats.noops.fetch_add(1, Ordering::Relaxed);
+            self.stats.noops.inc();
             return Ok(AdvanceReport {
                 mode: AdvanceMode::NoOp,
                 triples: specs.len(),
@@ -871,9 +1011,12 @@ impl EmIndex {
         }
         let g2 = self.maybe_compact(g2);
         let compiled2 = snap.keys.compile(&g2);
+        let t0 = Instant::now();
         let full = self
             .engine
             .full_chase(&g2, &compiled2, ChaseOrder::Deterministic);
+        self.stats.full_rechase_micros.observe_micros(t0.elapsed());
+        self.stats.chase.record(&full);
         let old_pairs = snap.eq.num_identified_pairs();
         let new_total = full.eq.num_identified_pairs();
         let report = AdvanceReport {
@@ -896,10 +1039,8 @@ impl EmIndex {
             snap.key_epoch,
         );
         *self.state.write() = Arc::new(next);
-        self.stats
-            .update_rounds
-            .fetch_add(report.rounds as u64, Ordering::Relaxed);
-        self.stats.full_rechases.fetch_add(1, Ordering::Relaxed);
+        self.stats.update_rounds.add(report.rounds as u64);
+        self.stats.full_rechases.inc();
         Ok(report)
     }
 
@@ -915,9 +1056,12 @@ impl EmIndex {
         let Some(store) = &self.store else {
             return Ok(());
         };
-        store
+        let t0 = Instant::now();
+        let out = store
             .append(&WalRecord { seq, op })
-            .map_err(|e| format!("write-ahead log append failed; update not applied: {e}"))
+            .map_err(|e| format!("write-ahead log append failed; update not applied: {e}"));
+        self.stats.wal_fsync_micros.observe_micros(t0.elapsed());
+        out
     }
 
     /// Installs keys into the live Σ at runtime.
@@ -952,6 +1096,7 @@ impl EmIndex {
         let keys2 = Arc::new(KeySet::new(all).map_err(|e| e.to_string())?);
         let compiled2 = keys2.compile(&snap.graph);
 
+        let t0 = Instant::now();
         let (result, mode) = if self.engine.inserts_incrementally() {
             // Wake every entity a new key is defined on; the delta chase
             // cascades from there exactly as it does for inserted triples.
@@ -974,6 +1119,12 @@ impl EmIndex {
                 AdvanceMode::FullRechase,
             )
         };
+        match mode {
+            AdvanceMode::Incremental => self.stats.delta_chase_micros,
+            _ => self.stats.full_rechase_micros,
+        }
+        .observe_micros(t0.elapsed());
+        self.stats.chase.record(&result);
         let steps2 = match mode {
             // New sources append at the end of Σ, so existing compiled
             // indices keep their order; the remap is a shared-prefix no-op
@@ -1003,14 +1154,12 @@ impl EmIndex {
             snap.key_epoch + 1,
         );
         *self.state.write() = Arc::new(next);
-        self.stats
-            .update_rounds
-            .fetch_add(change.rounds as u64, Ordering::Relaxed);
+        self.stats.update_rounds.add(change.rounds as u64);
         match mode {
-            AdvanceMode::Incremental => &self.stats.incremental_advances,
-            _ => &self.stats.full_rechases,
+            AdvanceMode::Incremental => self.stats.incremental_advances,
+            _ => self.stats.full_rechases,
         }
-        .fetch_add(1, Ordering::Relaxed);
+        .inc();
         Ok(change)
     }
 
@@ -1032,9 +1181,12 @@ impl EmIndex {
         all.remove(at);
         let keys2 = Arc::new(KeySet::new(all).map_err(|e| e.to_string())?);
         let compiled2 = keys2.compile(&snap.graph);
+        let t0 = Instant::now();
         let full = self
             .engine
             .full_chase(&snap.graph, &compiled2, ChaseOrder::Deterministic);
+        self.stats.full_rechase_micros.observe_micros(t0.elapsed());
+        self.stats.chase.record(&full);
         self.log_op(WalOp::DropKey(name.to_string()), snap.version + 1)?;
         let change = KeyChange {
             name: name.to_string(),
@@ -1055,10 +1207,8 @@ impl EmIndex {
             snap.key_epoch + 1,
         );
         *self.state.write() = Arc::new(next);
-        self.stats
-            .update_rounds
-            .fetch_add(change.rounds as u64, Ordering::Relaxed);
-        self.stats.full_rechases.fetch_add(1, Ordering::Relaxed);
+        self.stats.update_rounds.add(change.rounds as u64);
+        self.stats.full_rechases.inc();
         Ok(change)
     }
 }
@@ -1079,8 +1229,11 @@ struct FrozenState {
 /// threshold (`0` disables).
 fn fold_if_over_threshold(g: OverlayGraph, threshold: usize, stats: &IndexStats) -> OverlayGraph {
     if threshold > 0 && g.delta_size() >= threshold {
-        stats.compactions.fetch_add(1, Ordering::Relaxed);
-        g.compacted()
+        stats.compactions.inc();
+        let t0 = Instant::now();
+        let folded = g.compacted();
+        stats.compact_micros.observe_micros(t0.elapsed());
+        folded
     } else {
         g
     }
@@ -1147,15 +1300,10 @@ fn startup_chase(
     let t0 = Instant::now();
     let compiled = keys.compile(&graph);
     let r = engine.full_chase(&graph, &compiled, ChaseOrder::Deterministic);
-    stats
-        .startup_rounds
-        .store(r.rounds as u64, Ordering::Relaxed);
-    stats
-        .startup_iso_checks
-        .store(r.iso_checks, Ordering::Relaxed);
-    stats
-        .startup_micros
-        .store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+    stats.startup_rounds.set(r.rounds as u64);
+    stats.startup_iso_checks.set(r.iso_checks);
+    stats.startup_micros.set(t0.elapsed().as_micros() as u64);
+    stats.chase.record(&r);
     IndexState::build(
         graph,
         keys,
@@ -1306,12 +1454,9 @@ fn replay(
         // Deletions and dropped keys are not monotone: one full chase
         // over the final graph under the final Σ.
         let r = engine.full_chase(&g, &compiled, ChaseOrder::Deterministic);
-        stats
-            .startup_rounds
-            .store(r.rounds as u64, Ordering::Relaxed);
-        stats
-            .startup_iso_checks
-            .store(r.iso_checks, Ordering::Relaxed);
+        stats.startup_rounds.set(r.rounds as u64);
+        stats.startup_iso_checks.set(r.iso_checks);
+        stats.chase.record(&r);
         (r.eq, StepLog::from_steps(r.steps), AdvanceMode::FullRechase)
     } else if !touched.is_empty() {
         // Monotone suffix (inserts and/or added keys): the persisted Eq
@@ -1320,12 +1465,9 @@ fn replay(
         // have shifted compiled indices — remap the persisted prefix's
         // attribution before appending.
         let r = chase_incremental(&g, &compiled, &base, &touched);
-        stats
-            .startup_rounds
-            .store(r.rounds as u64, Ordering::Relaxed);
-        stats
-            .startup_iso_checks
-            .store(r.iso_checks, Ordering::Relaxed);
+        stats.startup_rounds.set(r.rounds as u64);
+        stats.startup_iso_checks.set(r.iso_checks);
+        stats.chase.record(&r);
         let prefix = remap_steps(&snapshot_compiled, &compiled, snapshot_steps);
         let log = StepLog::from_steps(prefix).appended(r.steps);
         (r.eq, log, AdvanceMode::Incremental)

@@ -58,11 +58,13 @@
 
 #![warn(missing_docs)]
 
+mod http;
 mod index;
 mod net;
 mod proto;
 mod protocol;
 
+pub use http::{serve_metrics_http, MetricsHandle};
 pub use index::{
     AdvanceMode, AdvanceReport, EmIndex, IndexState, IndexStats, KeyChange, RecoveryReport,
     StepLog, DEFAULT_COMPACT_THRESHOLD,
@@ -70,6 +72,10 @@ pub use index::{
 pub use net::{request, serve, ServeHandle};
 pub use proto::{usage, ProofLine, Request, RequestError, Response, ResponseError};
 pub use protocol::{Server, PROTOCOL_HELP};
+// Metrics types, re-exported so embedders can build a disabled registry
+// (zero-cost baseline) or walk a `Response::Metrics` payload without
+// depending on gk-metrics directly.
+pub use gk_metrics::{render_exposition, MetricSnapshot, MetricValue, Registry};
 // Durability configuration, re-exported so embedders and the CLI need not
 // depend on gk-store directly.
 pub use gk_store::{Durability, FsyncMode};
@@ -436,9 +442,8 @@ mod tests {
             let specs = parse_triple_specs(&format!("n{i}:album name_of \"unique {i}\"")).unwrap();
             idx.insert(&specs).unwrap();
         }
-        use std::sync::atomic::Ordering;
         assert!(
-            idx.stats.compactions.load(Ordering::Relaxed) >= 1,
+            idx.stats.compactions.get() >= 1,
             "delta must have crossed the threshold"
         );
         let snap = idx.snapshot();
@@ -855,6 +860,7 @@ mod tests {
             ("REP a b", "ERR usage: REP <e>"),
             ("EXPLAIN a", "ERR usage: EXPLAIN <a> <b>"),
             ("STATS all", "ERR usage: STATS"),
+            ("METRICS now", "ERR usage: METRICS"),
             ("PING twice", "ERR usage: PING"),
             ("HELP me", "ERR usage: HELP"),
             ("KEYS now", "ERR usage: KEYS"),
@@ -1062,6 +1068,77 @@ mod tests {
         let a = snap.graph.entity_named("art1").unwrap();
         let b = snap.graph.entity_named("art2").unwrap();
         assert!(!snap.same(a, b), "Q3 merges must stay retracted");
+    }
+
+    #[test]
+    fn metrics_verb_reports_request_counts_and_roundtrips() {
+        let s = server();
+        s.handle("SAME alb1 alb2");
+        s.handle("SAME alb1 alb3");
+        s.handle("PING");
+        let m = s.handle("METRICS");
+        assert!(m.starts_with("METRICS\n"), "{m}");
+        assert!(m.contains("\ngk_requests_same_total 2\n"), "{m}");
+        assert!(m.contains("\ngk_requests_ping_total 1\n"), "{m}");
+        assert!(m.contains("# TYPE gk_request_micros_same histogram"), "{m}");
+        assert!(m.contains("gk_request_micros_same_count 2"), "{m}");
+        assert!(m.contains("# TYPE gk_connections_active gauge"), "{m}");
+        assert!(m.contains("\ngk_startup_rounds "), "{m}");
+        // The wire form round-trips into the typed payload.
+        let parsed = Response::parse(&m).unwrap();
+        match &parsed {
+            Response::Metrics(snaps) => assert!(!snaps.is_empty()),
+            other => panic!("expected Metrics, got {other:?}"),
+        }
+        assert_eq!(parsed.render(), m);
+    }
+
+    #[test]
+    fn chase_metrics_flow_from_updates_into_the_registry() {
+        let s = server();
+        let m0 = s.handle("METRICS");
+        let count = |m: &str, name: &str| -> u64 {
+            m.lines()
+                .find_map(|l| l.strip_prefix(name).and_then(|r| r.strip_prefix(' ')))
+                .unwrap_or_else(|| panic!("{name} missing: {m}"))
+                .parse()
+                .unwrap()
+        };
+        // The startup chase already recorded one invocation.
+        let startup = count(&m0, "gk_chase_rounds_count");
+        assert!(startup >= 1, "{m0}");
+        s.handle(r#"INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#);
+        let m1 = s.handle("METRICS");
+        assert_eq!(count(&m1, "gk_chase_rounds_count"), startup + 1);
+        assert_eq!(count(&m1, "gk_updates_incremental_total"), 1);
+        assert_eq!(count(&m1, "gk_ingest_delta_chase_micros_count"), 1);
+        assert!(count(&m1, "gk_chase_candidate_pairs_sum") >= 1, "{m1}");
+    }
+
+    #[test]
+    fn http_endpoint_serves_get_metrics_scrapes() {
+        use std::io::{Read as _, Write as _};
+        let s = Arc::new(server());
+        s.handle("SAME alb1 alb2");
+        let h = serve_metrics_http(Arc::clone(&s), "127.0.0.1:0").unwrap();
+        let scrape = |path: &str| -> String {
+            let mut conn = std::net::TcpStream::connect(h.addr()).unwrap();
+            conn.write_all(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut out = String::new();
+            conn.read_to_string(&mut out).unwrap();
+            out
+        };
+        let ok = scrape("/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("gk_requests_same_total 1"), "{ok}");
+        assert!(
+            ok.contains("# TYPE gk_request_micros_same histogram"),
+            "{ok}"
+        );
+        let miss = scrape("/other");
+        assert!(miss.starts_with("HTTP/1.1 404 Not Found\r\n"), "{miss}");
+        h.stop();
     }
 
     #[test]

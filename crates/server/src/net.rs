@@ -9,6 +9,7 @@
 //! request-sized).
 
 use crate::protocol::Server;
+use gk_metrics::Gauge;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -97,8 +98,21 @@ pub fn serve(server: Arc<Server>, addr: &str, threads: usize) -> std::io::Result
 /// flag. Bounds [`ServeHandle::stop`]'s worst-case join time.
 const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(200);
 
+/// Decrements the active-connections gauge on every exit path from
+/// [`serve_connection`], including handler panics.
+struct ActiveGuard(Gauge);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.dec();
+    }
+}
+
 /// Serves one connection: request line in, response paragraph out.
 fn serve_connection(server: &Server, conn: TcpStream, stop: &AtomicBool) {
+    server.net.connections_total.inc();
+    server.net.connections_active.inc();
+    let _active = ActiveGuard(server.net.connections_active);
     // Without a read timeout a worker would block forever on an idle
     // persistent connection and stop() could never join it.
     let _ = conn.set_read_timeout(Some(IDLE_POLL));
@@ -130,12 +144,19 @@ fn serve_connection(server: &Server, conn: TcpStream, stop: &AtomicBool) {
                         break 'requests;
                     }
                 }
-                Err(_) => break 'requests,
+                Err(e) => {
+                    server.net.read_errors.inc();
+                    gk_metrics::warn!("conn_read_error", error = e);
+                    break 'requests;
+                }
             }
         }
         let request = line.trim();
         if request.eq_ignore_ascii_case("QUIT") {
-            let _ = writer.write_all(b"BYE\n\n");
+            if let Err(e) = writer.write_all(b"BYE\n\n") {
+                server.net.write_errors.inc();
+                gk_metrics::warn!("conn_write_error", error = e);
+            }
             break;
         }
         // A panicking handler must not take the pool thread down with it:
@@ -144,10 +165,9 @@ fn serve_connection(server: &Server, conn: TcpStream, stop: &AtomicBool) {
         let response =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| server.handle(request)))
                 .unwrap_or_else(|_| "ERR internal error (request handler panicked)".into());
-        if writer
-            .write_all(format!("{response}\n\n").as_bytes())
-            .is_err()
-        {
+        if let Err(e) = writer.write_all(format!("{response}\n\n").as_bytes()) {
+            server.net.write_errors.inc();
+            gk_metrics::warn!("conn_write_error", error = e);
             break;
         }
         if stop.load(Ordering::SeqCst) {

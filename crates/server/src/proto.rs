@@ -18,6 +18,7 @@
 //! tokens all answer a uniform `ERR usage: <verb signature>` line.
 
 use crate::index::{AdvanceMode, AdvanceReport, KeyChange};
+use gk_metrics::MetricSnapshot;
 use std::fmt::Write as _;
 
 /// One request, as understood by [`crate::Server::execute`].
@@ -79,6 +80,8 @@ pub enum Request {
     Compact,
     /// `STATS` — index and traffic counters.
     Stats,
+    /// `METRICS` — the full metrics exposition.
+    Metrics,
     /// `PING` — liveness check.
     Ping,
     /// `HELP` — the usage table.
@@ -112,6 +115,8 @@ pub mod usage {
     pub const COMPACT: &str = "COMPACT";
     /// `STATS` signature.
     pub const STATS: &str = "STATS";
+    /// `METRICS` signature.
+    pub const METRICS: &str = "METRICS";
     /// `PING` signature.
     pub const PING: &str = "PING";
     /// `HELP` signature.
@@ -213,6 +218,7 @@ impl Request {
             "SNAPSHOT" => bare(usage::SNAPSHOT).map(|()| Request::Snapshot),
             "COMPACT" => bare(usage::COMPACT).map(|()| Request::Compact),
             "STATS" => bare(usage::STATS).map(|()| Request::Stats),
+            "METRICS" => bare(usage::METRICS).map(|()| Request::Metrics),
             "PING" => bare(usage::PING).map(|()| Request::Ping),
             "HELP" => bare(usage::HELP).map(|()| Request::Help),
             other => Err(RequestError::UnknownVerb(other.to_string())),
@@ -237,6 +243,7 @@ impl Request {
             Request::Snapshot => "SNAPSHOT".into(),
             Request::Compact => "COMPACT".into(),
             Request::Stats => "STATS".into(),
+            Request::Metrics => "METRICS".into(),
             Request::Ping => "PING".into(),
             Request::Help => "HELP".into(),
         }
@@ -251,6 +258,35 @@ impl Request {
                 | Request::AddKey { .. }
                 | Request::DropKey { .. }
         )
+    }
+
+    /// Every verb name, lowercase — the namespace of the per-verb request
+    /// metrics (`gk_requests_<verb>_total`, `gk_request_micros_<verb>`).
+    pub const VERBS: [&'static str; 15] = [
+        "same", "dups", "rep", "explain", "insert", "delete", "addkey", "dropkey", "keys",
+        "snapshot", "compact", "stats", "metrics", "ping", "help",
+    ];
+
+    /// The lowercase verb name of this request (an element of
+    /// [`Request::VERBS`]).
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Request::Same { .. } => "same",
+            Request::Dups { .. } => "dups",
+            Request::Rep { .. } => "rep",
+            Request::Explain { .. } => "explain",
+            Request::Insert { .. } => "insert",
+            Request::Delete { .. } => "delete",
+            Request::AddKey { .. } => "addkey",
+            Request::DropKey { .. } => "dropkey",
+            Request::Keys => "keys",
+            Request::Snapshot => "snapshot",
+            Request::Compact => "compact",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Ping => "ping",
+            Request::Help => "help",
+        }
     }
 }
 
@@ -362,6 +398,8 @@ pub enum Response {
     },
     /// `STATS k=v …` — ordered counter pairs.
     Stats(Vec<(String, String)>),
+    /// `METRICS` + the full text exposition, one sample per line.
+    Metrics(Vec<MetricSnapshot>),
     /// The multi-line usage table.
     Help(String),
     /// `ERR <reason>`.
@@ -508,6 +546,13 @@ impl Response {
                 }
                 out
             }
+            Response::Metrics(snaps) => {
+                let mut out = String::from("METRICS");
+                for line in gk_metrics::render_exposition(snaps).lines() {
+                    let _ = write!(out, "\n{line}");
+                }
+                out
+            }
             Response::Help(text) => text.clone(),
             Response::Err(msg) => format!("ERR {msg}"),
         }
@@ -642,6 +687,12 @@ impl Response {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Response::Stats(pairs))
             }
+            "METRICS" if toks.len() == 1 => {
+                let body: String = lines.map(|l| format!("{l}\n")).collect();
+                let snaps = gk_metrics::parse_exposition(&body)
+                    .map_err(|e| bad(&format!("bad exposition ({e})")))?;
+                Ok(Response::Metrics(snaps))
+            }
             "commands:" => Ok(Response::Help(text.to_string())),
             "ERR" => Ok(Response::Err(
                 first.strip_prefix("ERR ").unwrap_or("").to_string(),
@@ -770,7 +821,9 @@ mod tests {
         req_roundtrip(r#"DELETE a:t p "v""#);
         req_roundtrip(r#"ADDKEY key "Q" t(x) { x -p-> v*; }"#);
         req_roundtrip("DROPKEY Q");
-        for bare in ["KEYS", "SNAPSHOT", "COMPACT", "STATS", "PING", "HELP"] {
+        for bare in [
+            "KEYS", "SNAPSHOT", "COMPACT", "STATS", "METRICS", "PING", "HELP",
+        ] {
             req_roundtrip(bare);
         }
     }
@@ -805,6 +858,7 @@ mod tests {
             ("SNAPSHOT now", usage::SNAPSHOT),
             ("COMPACT hard", usage::COMPACT),
             ("STATS all", usage::STATS),
+            ("METRICS now", usage::METRICS),
             ("PING twice", usage::PING),
             ("HELP me", usage::HELP),
         ] {
@@ -918,6 +972,11 @@ mod tests {
             ("engine".into(), "incremental".into()),
             ("entities".into(), "6".into()),
         ]));
+        let reg = gk_metrics::Registry::new();
+        reg.counter("gk_demo_total", "Demo counter.").add(7);
+        reg.histogram("gk_demo_micros", "Demo latency.").observe(12);
+        resp_roundtrip(Response::Metrics(reg.snapshot()));
+        resp_roundtrip(Response::Metrics(Vec::new()));
         resp_roundtrip(Response::Help(
             "commands:\n  SAME <a> <b>          are <a> and <b> identified?".into(),
         ));

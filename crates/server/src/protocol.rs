@@ -17,6 +17,7 @@
 //! COMPACT                   snapshot + truncate WAL + prune old snapshots
 //!                                                         -> OK snapshot_seq=...
 //! STATS                     counters                      -> STATS k=v ...
+//! METRICS                   metrics exposition            -> METRICS + text lines
 //! PING                                                    -> PONG
 //! HELP                                                    -> this table
 //! ```
@@ -35,8 +36,10 @@ use crate::index::{EmIndex, IndexState, RecoveryReport};
 use crate::proto::{ProofLine, Request, Response};
 use gk_core::{parse_keys, ChaseEngine, Key, KeySet};
 use gk_graph::{parse_triple_specs, EntityId, Graph, GraphView, TripleSpec};
+use gk_metrics::{Counter, Gauge, Histogram, Registry};
 use gk_store::Durability;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Usage table answered to `HELP` and malformed requests.
 pub const PROTOCOL_HELP: &str = "commands:
@@ -52,6 +55,7 @@ pub const PROTOCOL_HELP: &str = "commands:
   SNAPSHOT              persist a point-in-time snapshot (needs --data-dir)
   COMPACT               snapshot + fold the delta overlay, truncate the WAL, prune old snapshots
   STATS                 index + traffic counters
+  METRICS               full metrics exposition (counters, gauges, latency histograms)
   PING                  liveness check";
 
 /// The entity-resolution service: a resident [`EmIndex`] plus the request
@@ -61,6 +65,96 @@ pub struct Server {
     index: EmIndex,
     queries: AtomicU64,
     updates: AtomicU64,
+    /// When the server was built — `STATS` reports `uptime_secs`.
+    started: Instant,
+    /// Requests running at least this long log an info-level `slow_query`
+    /// event; 0 disables the log.
+    slow_query_micros: u64,
+    /// Per-verb request counters + latency histograms.
+    verbs: VerbMetrics,
+    /// Connection-lifecycle metrics, recorded by the TCP framing layer
+    /// ([`crate::net`]) through the shared server handle.
+    pub(crate) net: NetMetrics,
+}
+
+/// Per-verb request counters and latency histograms, pre-registered at
+/// construction so the request hot path never takes the registry lock.
+struct VerbMetrics {
+    slots: Vec<(&'static str, Counter, Histogram)>,
+    /// Requests answered `ERR` (any verb, parse errors excluded — those
+    /// never reach [`Server::execute`]).
+    errors: Counter,
+}
+
+impl VerbMetrics {
+    fn register(reg: &Registry) -> VerbMetrics {
+        VerbMetrics {
+            slots: Request::VERBS
+                .iter()
+                .map(|&v| {
+                    (
+                        v,
+                        reg.counter(
+                            &format!("gk_requests_{v}_total"),
+                            &format!("{} requests executed.", v.to_uppercase()),
+                        ),
+                        reg.histogram(
+                            &format!("gk_request_micros_{v}"),
+                            &format!("{} request latency, microseconds.", v.to_uppercase()),
+                        ),
+                    )
+                })
+                .collect(),
+            errors: reg.counter(
+                "gk_request_errors_total",
+                "Requests answered ERR (parse failures excluded).",
+            ),
+        }
+    }
+
+    /// The (counter, histogram) pair for a verb. Every verb
+    /// [`Request::verb`] can return is pre-registered, so the fallback
+    /// no-op pair is unreachable in practice.
+    fn slot(&self, verb: &str) -> (Counter, Histogram) {
+        self.slots
+            .iter()
+            .find(|(v, _, _)| *v == verb)
+            .map(|&(_, c, h)| (c, h))
+            .unwrap_or((Counter::noop(), Histogram::noop()))
+    }
+}
+
+/// Connection-lifecycle metrics the TCP framing records.
+pub(crate) struct NetMetrics {
+    /// Connections accepted since startup (`gk_connections_total`).
+    pub(crate) connections_total: Counter,
+    /// Connections currently open (`gk_connections_active`).
+    pub(crate) connections_active: Gauge,
+    /// Request-read I/O errors (`gk_conn_read_errors_total`).
+    pub(crate) read_errors: Counter,
+    /// Response-write I/O errors (`gk_conn_write_errors_total`).
+    pub(crate) write_errors: Counter,
+}
+
+impl NetMetrics {
+    fn register(reg: &Registry) -> NetMetrics {
+        NetMetrics {
+            connections_total: reg.counter(
+                "gk_connections_total",
+                "TCP connections accepted since startup.",
+            ),
+            connections_active: reg
+                .gauge("gk_connections_active", "TCP connections currently open."),
+            read_errors: reg.counter(
+                "gk_conn_read_errors_total",
+                "Connections dropped by a request-read I/O error.",
+            ),
+            write_errors: reg.counter(
+                "gk_conn_write_errors_total",
+                "Connections dropped by a response-write I/O error.",
+            ),
+        }
+    }
 }
 
 impl Server {
@@ -108,12 +202,19 @@ impl Server {
     }
 
     /// Wraps an already-built index (e.g. one from
-    /// [`EmIndex::recover_durable`]) in the protocol layer.
+    /// [`EmIndex::recover_durable`]) in the protocol layer. The server's
+    /// request metrics register against the index's registry, so one
+    /// `METRICS` exposition covers both layers.
     pub fn from_index(index: EmIndex) -> Self {
+        let reg = index.registry();
         Server {
+            verbs: VerbMetrics::register(reg),
+            net: NetMetrics::register(reg),
             index,
             queries: AtomicU64::new(0),
             updates: AtomicU64::new(0),
+            started: Instant::now(),
+            slow_query_micros: 0,
         }
     }
 
@@ -126,6 +227,14 @@ impl Server {
     /// [`EmIndex::set_compact_threshold`]); call before serving traffic.
     pub fn set_compact_threshold(&mut self, threshold: usize) {
         self.index.set_compact_threshold(threshold);
+    }
+
+    /// Logs any request running at least `ms` milliseconds as an
+    /// info-level `slow_query` event (verb, argument digest, duration,
+    /// serving version and key epoch). `0` disables the log. Call before
+    /// serving traffic.
+    pub fn set_slow_query_millis(&mut self, ms: u64) {
+        self.slow_query_micros = ms.saturating_mul(1000);
     }
 
     /// Handles one request line, returning the response text (possibly
@@ -146,7 +255,44 @@ impl Server {
     /// consistent snapshot; update verbs (INSERT / DELETE / ADDKEY /
     /// DROPKEY) go through the index's single-writer path. Errors are
     /// answered as [`Response::Err`] and never change state.
+    ///
+    /// Every execution counts into the per-verb request counter and
+    /// latency histogram; requests answering `ERR` additionally count
+    /// into `gk_request_errors_total`, and requests over the configured
+    /// [slow-query threshold](Server::set_slow_query_millis) log a
+    /// `slow_query` event.
     pub fn execute(&self, req: Request) -> Response {
+        let verb = req.verb();
+        // The argument digest is captured up front only when the
+        // slow-query log could use it — rendering costs a String per
+        // request otherwise.
+        let args = (self.slow_query_micros > 0).then(|| req.render());
+        let t0 = Instant::now();
+        let resp = self.dispatch(req);
+        let elapsed = t0.elapsed();
+        let (count, latency) = self.verbs.slot(verb);
+        count.inc();
+        latency.observe_micros(elapsed);
+        if matches!(resp, Response::Err(_)) {
+            self.verbs.errors.inc();
+        }
+        if let Some(args) = args {
+            if elapsed.as_micros() as u64 >= self.slow_query_micros {
+                let snap = self.index.snapshot();
+                gk_metrics::info!(
+                    "slow_query",
+                    verb = verb,
+                    micros = elapsed.as_micros(),
+                    args = digest(&args),
+                    version = snap.version,
+                    key_epoch = snap.key_epoch,
+                );
+            }
+        }
+        resp
+    }
+
+    fn dispatch(&self, req: Request) -> Response {
         match req {
             Request::Same { a, b } => self.count_query(self.exec_same(a, b)),
             Request::Dups { entity } => self.count_query(self.exec_dups(entity)),
@@ -160,6 +306,7 @@ impl Server {
             Request::Snapshot => self.exec_snapshot(),
             Request::Compact => self.exec_compact(),
             Request::Stats => self.exec_stats(),
+            Request::Metrics => Response::Metrics(self.index.registry().snapshot()),
             Request::Ping => Response::Pong,
             Request::Help => Response::Help(PROTOCOL_HELP.to_string()),
         }
@@ -321,7 +468,7 @@ impl Server {
     fn exec_stats(&self) -> Response {
         let snap = self.index.snapshot();
         let s = &self.index.stats;
-        let mut pairs: Vec<(String, String)> = Vec::with_capacity(26);
+        let mut pairs: Vec<(String, String)> = Vec::with_capacity(29);
         let mut push = |k: &str, v: String| pairs.push((k.to_string(), v));
         push("engine", self.index.engine().to_string());
         push("threads", self.index.engine().threads().to_string());
@@ -331,10 +478,7 @@ impl Server {
         push("base_triples", snap.graph.base_triples().to_string());
         push("delta_triples", snap.graph.delta_triples().to_string());
         push("tombstones", snap.graph.tombstones().to_string());
-        push(
-            "compactions",
-            s.compactions.load(Ordering::Relaxed).to_string(),
-        );
+        push("compactions", s.compactions.get().to_string());
         push("active_keys", snap.compiled.len().to_string());
         push("key_epoch", snap.key_epoch.to_string());
         push("clusters", snap.num_clusters().to_string());
@@ -346,30 +490,24 @@ impl Server {
         push("queries", self.queries.load(Ordering::Relaxed).to_string());
         push("updates", self.updates.load(Ordering::Relaxed).to_string());
         push(
+            "connections_total",
+            self.net.connections_total.get().to_string(),
+        );
+        push(
+            "connections_active",
+            self.net.connections_active.get().to_string(),
+        );
+        push("uptime_secs", self.started.elapsed().as_secs().to_string());
+        push(
             "incremental_advances",
-            s.incremental_advances.load(Ordering::Relaxed).to_string(),
+            s.incremental_advances.get().to_string(),
         );
-        push(
-            "full_rechases",
-            s.full_rechases.load(Ordering::Relaxed).to_string(),
-        );
-        push("noops", s.noops.load(Ordering::Relaxed).to_string());
-        push(
-            "update_rounds",
-            s.update_rounds.load(Ordering::Relaxed).to_string(),
-        );
-        push(
-            "startup_rounds",
-            s.startup_rounds.load(Ordering::Relaxed).to_string(),
-        );
-        push(
-            "startup_iso",
-            s.startup_iso_checks.load(Ordering::Relaxed).to_string(),
-        );
-        push(
-            "startup_micros",
-            s.startup_micros.load(Ordering::Relaxed).to_string(),
-        );
+        push("full_rechases", s.full_rechases.get().to_string());
+        push("noops", s.noops.get().to_string());
+        push("update_rounds", s.update_rounds.get().to_string());
+        push("startup_rounds", s.startup_rounds.get().to_string());
+        push("startup_iso", s.startup_iso_checks.get().to_string());
+        push("startup_micros", s.startup_micros.get().to_string());
         push(
             "durability",
             self.index
@@ -384,6 +522,19 @@ impl Server {
                 .map_or("none".to_string(), |v| v.to_string()),
         );
         Response::Stats(pairs)
+    }
+}
+
+/// The first ~128 chars of a rendered request — enough to identify a slow
+/// query in the log without spilling a megabyte `INSERT` batch into it.
+fn digest(line: &str) -> String {
+    const MAX: usize = 128;
+    if line.len() <= MAX {
+        line.to_string()
+    } else {
+        let mut d: String = line.chars().take(MAX).collect();
+        d.push('…');
+        d
     }
 }
 

@@ -57,9 +57,34 @@ fn transcript(server: &Server, script: &[&str]) -> String {
     for line in script {
         let resp = server.handle(line);
         let _ = writeln!(out, ">> {line}");
-        let masked = mask_field(&mask_field(&resp, "startup_micros"), "bytes");
+        let mut masked = resp;
+        for field in ["startup_micros", "bytes", "uptime_secs"] {
+            masked = mask_field(&masked, field);
+        }
         let _ = writeln!(out, "{masked}");
         out.push('\n');
+    }
+    out
+}
+
+/// Replaces every exposition sample value (`gk_* <n>`) with `_`: the
+/// metric names and their order are the locked surface, the counts and
+/// timings change run to run.
+fn mask_sample_values(text: &str) -> String {
+    let mut out = String::new();
+    for l in text.lines() {
+        if !l.starts_with('#') && !l.starts_with(">>") {
+            if let Some((head, val)) = l.rsplit_once(' ') {
+                if head.starts_with("gk_")
+                    && !val.is_empty()
+                    && val.bytes().all(|b| b.is_ascii_digit())
+                {
+                    let _ = writeln!(out, "{head} _");
+                    continue;
+                }
+            }
+        }
+        let _ = writeln!(out, "{l}");
     }
     out
 }
@@ -194,6 +219,26 @@ fn golden_durability() {
         ),
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn golden_metrics() {
+    // The observability surface: every registered metric name, its kind,
+    // its help line, and the exposition order are part of the protocol and
+    // locked here (values masked — they are counts and wall-clock).
+    let s = server();
+    let raw = transcript(
+        &s,
+        &[
+            "PING",
+            "SAME alb1 alb2",
+            r#"INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#,
+            "SAME ghost alb1",
+            "METRICS now",
+            "METRICS",
+        ],
+    );
+    check_golden("metrics", &mask_sample_values(&raw));
 }
 
 #[test]
