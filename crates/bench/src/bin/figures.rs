@@ -167,6 +167,15 @@ fn paper_note(id: &str) -> &'static str {
         "query_pipeline" => {
             "beyond the paper: TCP query throughput — gk-client 64-deep pipelining vs one RTT per request"
         }
+        "metrics_overhead" => {
+            "beyond the paper: instrumentation cost — live metrics registry vs compiled no-op handles"
+        }
+        "query_cached" => {
+            "beyond the paper: epoch-keyed answer cache — Zipf-skewed DUPS-heavy stream, cache on vs off"
+        }
+        "matcher_prune" => {
+            "beyond the paper: degree-guided pruning of the candidate set L on a sparse keyed type"
+        }
         _ => "",
     }
 }

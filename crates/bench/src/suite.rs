@@ -158,6 +158,8 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ingest_throughput",
     "query_pipeline",
     "metrics_overhead",
+    "query_cached",
+    "matcher_prune",
 ];
 
 /// Dataset base config for an experiment family, at benchmark scale.
@@ -297,6 +299,8 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Measurement> {
         "ingest_throughput" => ingest_throughput(quick),
         "query_pipeline" => query_pipeline(quick),
         "metrics_overhead" => metrics_overhead(quick),
+        "query_cached" => query_cached(quick),
+        "matcher_prune" => matcher_prune(quick),
         other => panic!("unknown experiment id {other:?}; see ALL_EXPERIMENTS"),
     }
 }
@@ -991,6 +995,243 @@ fn metrics_overhead(quick: bool) -> Vec<Measurement> {
     vec![best_on, best_off]
 }
 
+/// Beyond the paper: the epoch-keyed answer cache under a skewed read
+/// workload. A duplicate-cluster graph makes every `DUPS` answer render
+/// `members − 1` labels — real per-request work — and a Zipf(1) request
+/// stream concentrates the traffic on a hot set, so a cache-enabled server
+/// answers most requests with a pre-rendered string clone. The cache-off
+/// server receives the byte-identical stream and must produce byte-identical
+/// answers; the acceptance claim is ≥2× pipelined throughput (release only).
+fn query_cached(quick: bool) -> Vec<Measurement> {
+    use gk_client::Client;
+    use gk_server::{serve, Request, Server};
+    use std::sync::Arc;
+
+    // Duplicate-cluster fixture: `groups` clusters of `members` albums that
+    // share a key-relevant (name, year) pair, so each cluster collapses into
+    // one equivalence class and `DUPS` must render the whole class.
+    let (groups, members) = if quick { (4, 256) } else { (8, 384) };
+    let mut b = gk_graph::GraphBuilder::new();
+    let mut names = Vec::new();
+    for g in 0..groups {
+        for m in 0..members {
+            let label = format!("d{g}_{m}");
+            let e = b.entity(&label, "album");
+            b.attr(e, "name_of", &format!("dup-name-{g}"));
+            b.attr(e, "release_year", &format!("y{g}"));
+            names.push(label);
+        }
+    }
+    let graph = b.freeze();
+    let keys =
+        gk_core::KeySet::parse(r#"key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }"#)
+            .expect("fixture keys");
+
+    let mk = |entries: usize| {
+        let mut s = Server::new(
+            gk_graph::GraphBuilder::from_graph(&graph).freeze(),
+            keys.clone(),
+        );
+        s.set_cache_entries(entries);
+        Arc::new(s)
+    };
+    let on = serve(mk(8192), "127.0.0.1:0", 4).expect("bind");
+    let off = serve(mk(0), "127.0.0.1:0", 4).expect("bind");
+
+    // Zipf(s = 1) over the label pool via a precomputed CDF and a fixed-seed
+    // LCG: both servers (and every rep) see the identical skewed stream.
+    let mut cdf = Vec::with_capacity(names.len());
+    let mut acc = 0.0;
+    for r in 0..names.len() {
+        acc += 1.0 / (r as f64 + 1.0);
+        cdf.push(acc);
+    }
+    let total_w = acc;
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    let mut next_rank = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64 * total_w;
+        cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+    };
+    // DUPS-heavy mix: rendering a whole duplicate class is the per-request
+    // cost the cache absorbs; SAME and REP ride along for protocol variety.
+    let total = if quick { 8_000 } else { 20_000 };
+    let reqs: Vec<Request> = (0..total)
+        .map(|i| {
+            let a = names[next_rank()].clone();
+            match i % 6 {
+                0 => Request::Same {
+                    a,
+                    b: names[next_rank()].clone(),
+                },
+                1 => Request::Rep { entity: a },
+                _ => Request::Dups { entity: a },
+            }
+        })
+        .collect();
+
+    // Raw pipelining: the comparison is server throughput at byte-identical
+    // answers, so the client keeps the wire text instead of paying a typed
+    // parse whose per-member allocations would dominate the big `DUPS`
+    // paragraphs on the client side of the socket.
+    let lines: Vec<String> = reqs.iter().map(|r| r.render()).collect();
+    let run = |addr: &std::net::SocketAddr| {
+        let mut c = Client::connect(&addr.to_string()).expect("connect");
+        let t = Instant::now();
+        let answers = c.run_pipelined_raw(&lines, 128).expect("pipelined batch");
+        (t.elapsed().as_secs_f64(), answers)
+    };
+    // One untimed pass per server: faults in the connection path and fills
+    // the cache, so the timed reps measure the steady (hot) state — the
+    // regime the cache exists for.
+    let _ = run(&on.addr());
+    let _ = run(&off.addr());
+
+    let reps = 3;
+    let mut on_runs = Vec::new();
+    let mut off_runs = Vec::new();
+    for _ in 0..reps {
+        let (on_secs, on_answers) = run(&on.addr());
+        let (off_secs, off_answers) = run(&off.addr());
+        let correct = on_answers == off_answers;
+        let base = |algo: &str, secs: f64| Measurement {
+            experiment: "query_cached".into(),
+            dataset: format!("dupclusters-{groups}x{members}"),
+            algo: algo.into(),
+            x: format!("requests={total}"),
+            seconds: secs,
+            sim_seconds: 0.0,
+            identified: 0,
+            candidates: 0,
+            rounds: 0,
+            traffic: total as u64,
+            correct,
+            extra: vec![(
+                "rps".into(),
+                format!("{:.0}", total as f64 / secs.max(1e-9)),
+            )],
+        };
+        on_runs.push(base("cache_on", on_secs));
+        off_runs.push(base("cache_off", off_secs));
+    }
+    // The hit/miss split is part of the evidence: a speedup with a low hit
+    // rate would mean the comparison measured something else.
+    let stats = gk_server::request(&on.addr().to_string(), "STATS").unwrap_or_default();
+    let field = |k: &str| {
+        stats
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix(&format!("{k}=")).map(str::to_string))
+            .unwrap_or_else(|| "?".into())
+    };
+    on.stop();
+    off.stop();
+    let mut best_on = pick_best(on_runs);
+    let best_off = pick_best(off_runs);
+    best_on.extra.push((
+        "speedup".into(),
+        format!("{:.2}", best_off.seconds / best_on.seconds.max(1e-9)),
+    ));
+    best_on
+        .extra
+        .push(("cache_hits".into(), field("cache_hits")));
+    best_on
+        .extra
+        .push(("cache_misses".into(), field("cache_misses")));
+    vec![best_on, best_off]
+}
+
+/// Beyond the paper: what degree-guided pruning removes from the candidate
+/// set `L` before any pair is materialized. The fixture is the shape the
+/// pruning targets — a keyed type where most entities are sparse (one
+/// attribute, below the key's two-edge anchor demand) and a minority carry
+/// the full pattern in planted duplicate pairs. Reported: the pre-pruning
+/// `|L|` with the old enumeration's cost, the degree-pruned `TypePairs`
+/// set, and the value-blocked set on top; correctness is the chase
+/// recovering exactly the planted pairs through the pruned path.
+fn matcher_prune(quick: bool) -> Vec<Measurement> {
+    use gk_core::{
+        candidate_pairs, chase_reference, type_pair_count, CandidateMode, ChaseOrder, KeySet,
+    };
+
+    let n = if quick { 1_000 } else { 4_000 };
+    let mut b = gk_graph::GraphBuilder::new();
+    let mut ids = Vec::with_capacity(n);
+    let mut truth = Vec::new();
+    for i in 0..n {
+        let e = b.entity(&format!("a{i}"), "album");
+        // Two rich entities per decade form a planted duplicate pair; the
+        // other eight carry only a unique name and can never match Q2.
+        if i % 10 < 2 {
+            b.attr(e, "name_of", &format!("dup-{}", i / 10));
+            b.attr(e, "release_year", &format!("y{}", i / 10));
+            if i % 10 == 1 {
+                truth.push(gk_core::norm(ids[i - 1], e));
+            }
+        } else {
+            b.attr(e, "name_of", &format!("uniq-{i}"));
+        }
+        ids.push(e);
+    }
+    let g = b.freeze();
+    let keys = KeySet::parse(r#"key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }"#)
+        .expect("fixture keys")
+        .compile(&g);
+
+    // The pre-pruning baseline, enumerated the way `candidate_pairs` did
+    // before degree buckets existed: every same-type pair of a keyed type.
+    let t = Instant::now();
+    let mut unpruned: Vec<(EntityId, EntityId)> = Vec::new();
+    for ty in keys.keyed_types() {
+        let ents: Vec<EntityId> = g.entities_of_type(ty).to_vec();
+        for (i, &a) in ents.iter().enumerate() {
+            for &b2 in &ents[i + 1..] {
+                unpruned.push(gk_core::norm(a, b2));
+            }
+        }
+    }
+    let unpruned_secs = t.elapsed().as_secs_f64();
+    assert_eq!(unpruned.len(), type_pair_count(&g, &keys), "baseline |L|");
+
+    let t = Instant::now();
+    let pruned = candidate_pairs(&g, &keys, CandidateMode::TypePairs);
+    let pruned_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let blocked = candidate_pairs(&g, &keys, CandidateMode::Blocked);
+    let blocked_secs = t.elapsed().as_secs_f64();
+
+    // End-to-end correctness through the pruned path: the chase must
+    // recover exactly the planted pairs.
+    let mut found = chase_reference(&g, &keys, ChaseOrder::Deterministic).identified_pairs();
+    found.sort_unstable();
+    truth.sort_unstable();
+    let correct = found == truth;
+
+    let m = |algo: &str, secs: f64, candidates: usize| Measurement {
+        experiment: "matcher_prune".into(),
+        dataset: format!("sparse-albums-{n}"),
+        algo: algo.into(),
+        x: format!("entities={n}"),
+        seconds: secs,
+        sim_seconds: 0.0,
+        identified: truth.len(),
+        candidates,
+        rounds: 0,
+        traffic: unpruned.len() as u64,
+        correct,
+        extra: vec![(
+            "reduction".into(),
+            format!("{:.1}x", unpruned.len() as f64 / candidates.max(1) as f64),
+        )],
+    };
+    vec![
+        m("unpruned_type_pairs", unpruned_secs, unpruned.len()),
+        m("degree_pruned", pruned_secs, pruned.len()),
+        m("degree_pruned_blocked", blocked_secs, blocked.len()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1070,6 +1311,63 @@ mod tests {
                 last.1
             );
         }
+    }
+
+    #[test]
+    fn query_cached_is_2x_faster_with_identical_answers() {
+        let ms = run_experiment("query_cached", true);
+        assert_eq!(ms.len(), 2);
+        assert!(
+            ms.iter().all(|m| m.correct),
+            "cached and uncached answers must be byte-identical: {ms:?}"
+        );
+        // The ≥2× hot-throughput acceptance claim is asserted only in
+        // release (the CI recovery job runs it there); debug-mode chase
+        // and rendering costs drown the hash-lookup difference measured.
+        #[cfg(not(debug_assertions))]
+        {
+            let pair = |ms: &[Measurement]| {
+                let on = ms.iter().find(|m| m.algo == "cache_on").unwrap();
+                let off = ms.iter().find(|m| m.algo == "cache_off").unwrap();
+                (on.seconds, off.seconds)
+            };
+            // Best of up to 3 attempts guards the quick mode against
+            // transient stalls on a loaded runner.
+            let mut last = pair(&ms);
+            for _ in 0..2 {
+                if last.0 * 2.0 <= last.1 {
+                    break;
+                }
+                last = pair(&run_experiment("query_cached", true));
+            }
+            assert!(
+                last.0 * 2.0 <= last.1,
+                "cache-on ({:.4}s) must be ≥2× faster than cache-off \
+                 ({:.4}s) on the skewed hot workload",
+                last.0,
+                last.1
+            );
+        }
+    }
+
+    #[test]
+    fn matcher_prune_cuts_candidates_and_stays_correct() {
+        let ms = run_experiment("matcher_prune", true);
+        assert_eq!(ms.len(), 3);
+        assert!(
+            ms.iter().all(|m| m.correct),
+            "pruned chase must recover exactly the planted pairs: {ms:?}"
+        );
+        let unpruned = ms.iter().find(|m| m.algo == "unpruned_type_pairs").unwrap();
+        let pruned = ms.iter().find(|m| m.algo == "degree_pruned").unwrap();
+        // Structural, not timing: holds in every build. The fixture is 20%
+        // rich, so the pruned pair set is ~4% of the baseline |L|.
+        assert!(
+            pruned.candidates * 2 <= unpruned.candidates,
+            "degree pruning must cut |L| at least in half: {} vs {}",
+            pruned.candidates,
+            unpruned.candidates
+        );
     }
 
     #[test]

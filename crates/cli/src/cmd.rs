@@ -29,6 +29,8 @@ pub const USAGE: &str = "usage:
                      fresh base CSR once delta+tombstones reach N (0 = off)
                      [--metrics-addr HOST:PORT]  HTTP GET /metrics scrape endpoint
                      [--slow-query-ms N]       log requests slower than N ms (0 = off)
+                     [--cache-entries N]       epoch-keyed answer cache for
+                     SAME/DUPS/REP, about N entries (0 = off, the default)
   graphkeys snapshot <addr>                    ask a running server to persist a snapshot
   graphkeys metrics  <addr>                    print a server's metrics exposition
   graphkeys recover  --data-dir DIR [--engine E] [--threads N] [--verify]
@@ -487,6 +489,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
             "compact-threshold",
             "metrics-addr",
             "slow-query-ms",
+            "cache-entries",
         ],
     )?;
     let [gpath, kpath] = f.positional.as_slice() else {
@@ -502,6 +505,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
     let compact_threshold =
         f.get_parse("compact-threshold", gk_server::DEFAULT_COMPACT_THRESHOLD)?;
     let slow_query_ms = f.get_parse("slow-query-ms", 0u64)?;
+    let cache_entries = f.get_parse("cache-entries", 0usize)?;
     let mut server = match f.get("data-dir") {
         None => {
             if f.get("fsync").is_some() {
@@ -528,6 +532,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
         }
     };
     server.set_slow_query_millis(slow_query_ms);
+    server.set_cache_entries(cache_entries);
     let server = std::sync::Arc::new(server);
     // Holds the scrape-endpoint thread for the life of the process (serve
     // never returns).

@@ -260,6 +260,31 @@ impl Client {
         Ok(out)
     }
 
+    /// [`run_pipelined`](Self::run_pipelined) without response parsing:
+    /// raw request lines in, one raw response paragraph per line out, in
+    /// order. This is the throughput-measurement entry point — a caller
+    /// comparing two servers byte-for-byte wants the wire text, and the
+    /// per-member allocations of a typed [`Response::Dups`] parse would
+    /// dominate exactly the answers whose cost is under test.
+    pub fn run_pipelined_raw(
+        &mut self,
+        lines: &[String],
+        depth: usize,
+    ) -> std::io::Result<Vec<String>> {
+        let depth = depth.max(1);
+        let mut out = Vec::with_capacity(lines.len());
+        for window in lines.chunks(depth) {
+            let mut payload = String::with_capacity(window.iter().map(|l| l.len() + 1).sum());
+            for l in window {
+                payload.push_str(l);
+                payload.push('\n');
+            }
+            let retriable = window.iter().all(|l| line_is_retriable(l));
+            out.extend(self.round_trip(&payload, window.len(), retriable)?);
+        }
+        Ok(out)
+    }
+
     /// Sends `QUIT` and closes the connection.
     pub fn quit(mut self) -> std::io::Result<()> {
         let _ = self.request_line("QUIT")?;
@@ -439,6 +464,42 @@ mod tests {
                 sequential,
                 "depth {depth}"
             );
+        }
+        handle.stop();
+    }
+
+    #[test]
+    fn run_pipelined_raw_returns_the_wire_paragraphs() {
+        let (handle, addr) = spawn();
+        let reqs: Vec<Request> = (0..25)
+            .map(|i| match i % 3 {
+                0 => Request::Same {
+                    a: "alb1".into(),
+                    b: "alb2".into(),
+                },
+                1 => Request::Rep {
+                    entity: "alb3".into(),
+                },
+                _ => Request::Dups {
+                    entity: "alb1".into(),
+                },
+            })
+            .collect();
+        let lines: Vec<String> = reqs.iter().map(|r| r.render()).collect();
+        let mut seq = Client::connect(&addr).unwrap();
+        let sequential: Vec<String> = lines.iter().map(|l| seq.request_line(l).unwrap()).collect();
+        let mut pip = Client::connect(&addr).unwrap();
+        for depth in [1, 4, 64] {
+            assert_eq!(
+                pip.run_pipelined_raw(&lines, depth).unwrap(),
+                sequential,
+                "depth {depth}"
+            );
+        }
+        // The raw paragraphs parse to the same typed answers.
+        let typed = pip.run_pipelined(&reqs, 8).unwrap();
+        for (raw, t) in sequential.iter().zip(&typed) {
+            assert_eq!(&Response::parse(raw).unwrap(), t);
         }
         handle.stop();
     }

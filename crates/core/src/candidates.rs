@@ -12,7 +12,7 @@
 //! 2. **pairing** (Prop. 9, §4.2): keep only pairs paired by some key.
 
 use crate::keyset::CompiledKeySet;
-use gk_graph::{EntityId, GraphView, NodeId, Obj, TypeId};
+use gk_graph::{DegreeBuckets, DegreeReq, EntityId, GraphView, NodeId, Obj, TypeId};
 use gk_isomorph::{pairing_at, SlotKind};
 use rustc_hash::{FxHashMap, FxHashSet};
 
@@ -43,26 +43,69 @@ pub fn type_pair_count<V: GraphView>(g: &V, keys: &CompiledKeySet) -> usize {
     keys.keyed_types()
         .map(|t| {
             let n = g.entities_of_type(t).len();
-            n * (n - 1) / 2
+            // A keyed type can have fewer than two entities (e.g. an
+            // interned type nothing was ever inserted under): `n * (n - 1)`
+            // underflows at n = 0, so guard explicitly.
+            if n < 2 {
+                0
+            } else {
+                n * (n - 1) / 2
+            }
         })
         .sum()
 }
 
-/// Enumerates the candidate set `L` for the compiled keys.
+/// Enumerates the candidate set `L` for the compiled keys, degree-pruned:
+/// builds a fresh [`DegreeBuckets`] index over the view and delegates to
+/// [`candidate_pairs_pruned`].
 pub fn candidate_pairs<V: GraphView>(
     g: &V,
     keys: &CompiledKeySet,
     mode: CandidateMode,
 ) -> Vec<(EntityId, EntityId)> {
+    let degrees = DegreeBuckets::build(g);
+    candidate_pairs_pruned(g, keys, mode, &degrees)
+}
+
+/// Enumerates `L` using a prebuilt degree index (callers that maintain
+/// [`DegreeBuckets`] across overlay epochs can skip the rebuild).
+///
+/// Degree pruning is sound with respect to the paired matcher: a pair
+/// `(a, b)` identified by key `Q(x)` witnesses a match anchored at both
+/// entities, and the matcher's injectivity forces distinct pattern triples
+/// incident to the anchor onto distinct graph edges — so both entities
+/// satisfy `Q`'s [`anchor_req`](gk_isomorph::PairPattern::anchor_req).
+/// Entities failing every key's requirement can never appear in an
+/// identified pair and are dropped before any pair is materialized.
+pub fn candidate_pairs_pruned<V: GraphView>(
+    g: &V,
+    keys: &CompiledKeySet,
+    mode: CandidateMode,
+    degrees: &DegreeBuckets,
+) -> Vec<(EntityId, EntityId)> {
     match mode {
         CandidateMode::TypePairs => {
             let mut out = Vec::new();
             for t in keys.keyed_types() {
-                let ents = g.entities_of_type(t);
-                for i in 0..ents.len() {
-                    let a = ents.get(i);
-                    for j in i + 1..ents.len() {
-                        out.push((a, ents.get(j)));
+                // An entity stays if it meets the anchor demand of at
+                // least one key on its type (per-key exactness belongs to
+                // the Blocked mode; the union keeps `L` a superset).
+                let reqs: Vec<DegreeReq> = keys
+                    .keys_on(t)
+                    .iter()
+                    .map(|&ki| keys.keys[ki].pattern.anchor_req())
+                    .collect();
+                if !reqs.iter().any(|&r| degrees.possible(t, r)) {
+                    continue;
+                }
+                let admitted: Vec<EntityId> = g
+                    .entities_of_type(t)
+                    .iter()
+                    .filter(|&e| reqs.iter().any(|&r| degrees.satisfies(e, r)))
+                    .collect();
+                for (i, &a) in admitted.iter().enumerate() {
+                    for &b in &admitted[i + 1..] {
+                        out.push((a, b));
                     }
                 }
             }
@@ -71,7 +114,7 @@ pub fn candidate_pairs<V: GraphView>(
         CandidateMode::Blocked => {
             let mut set: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
             for ck in &keys.keys {
-                blocked_candidates_for_key(g, ck.target_type, &ck.pattern, &mut set);
+                blocked_candidates_for_key(g, ck.target_type, &ck.pattern, degrees, &mut set);
             }
             let mut out: Vec<_> = set.into_iter().collect();
             out.sort_unstable();
@@ -81,13 +124,19 @@ pub fn candidate_pairs<V: GraphView>(
 }
 
 /// Candidates that could be identified by one key, using the most selective
-/// value attribute attached to `x` as a blocking predicate.
+/// value attribute attached to `x` as a blocking predicate; entities that
+/// fail the key's anchor degree demand are skipped before bucketing.
 fn blocked_candidates_for_key<V: GraphView>(
     g: &V,
     target: TypeId,
     q: &gk_isomorph::PairPattern,
+    degrees: &DegreeBuckets,
     out: &mut FxHashSet<(EntityId, EntityId)>,
 ) {
+    let req = q.anchor_req();
+    if !degrees.possible(target, req) {
+        return;
+    }
     // Find a triple (x, p, v) where v is a ValueVar or Const: pairs must
     // share the p-value, so same-value buckets cover all candidates.
     let anchor = q.anchor();
@@ -103,6 +152,9 @@ fn blocked_candidates_for_key<V: GraphView>(
             // Bucket entities of the target type by their p-values.
             let mut buckets: FxHashMap<gk_graph::ValueId, Vec<EntityId>> = FxHashMap::default();
             for e in g.entities_of_type(target) {
+                if !degrees.satisfies(e, req) {
+                    continue;
+                }
                 for &(_, o) in g.out_with(e, t.p) {
                     if let Obj::Value(v) = o {
                         if let SlotKind::Const(d) = q.slots()[t.o as usize] {
@@ -123,13 +175,16 @@ fn blocked_candidates_for_key<V: GraphView>(
             }
         }
         None => {
-            // No value attribute on x: fall back to the full type
-            // cross-product for this key.
-            let ents = g.entities_of_type(target);
-            for i in 0..ents.len() {
-                let a = ents.get(i);
-                for j in i + 1..ents.len() {
-                    out.insert(norm(a, ents.get(j)));
+            // No value attribute on x: fall back to the cross-product of
+            // the degree-admitted entities of the target type.
+            let admitted: Vec<EntityId> = g
+                .entities_of_type(target)
+                .iter()
+                .filter(|&e| degrees.satisfies(e, req))
+                .collect();
+            for (i, &a) in admitted.iter().enumerate() {
+                for &b in &admitted[i + 1..] {
+                    out.insert(norm(a, b));
                 }
             }
         }
@@ -362,6 +417,68 @@ mod tests {
             let h1 = d_neighborhood(&g, pc.pair.0, ks.radius_of_type(g.entity_type(pc.pair.0)));
             assert!(pc.scope1.iter().all(|n| h1.contains(n)));
             assert!(pc.scope1.len() <= h1.len());
+        }
+    }
+
+    #[test]
+    fn type_pair_count_survives_empty_and_singleton_keyed_types() {
+        // An interned but entity-less keyed type used to underflow
+        // `n * (n - 1) / 2` at n = 0 and panic in debug builds.
+        let mut b = gk_graph::GraphBuilder::new();
+        b.intern_type("album");
+        b.intern_pred("name_of");
+        let solo = b.entity("solo", "artist");
+        b.attr(solo, "name_of", "The Beatles");
+        let g = b.freeze();
+        let ks = KeySet::parse(
+            r#"
+            key "Q2" album(x)  { x -name_of-> n*; }
+            key "QA" artist(x) { x -name_of-> n*; }
+            "#,
+        )
+        .unwrap()
+        .compile(&g);
+        assert_eq!(ks.len(), 2, "both keys compile against interned vocab");
+        // n = 0 (album) and n = 1 (artist) both contribute zero pairs.
+        assert_eq!(type_pair_count(&g, &ks), 0);
+        assert!(candidate_pairs(&g, &ks, CandidateMode::TypePairs).is_empty());
+        assert!(candidate_pairs(&g, &ks, CandidateMode::Blocked).is_empty());
+    }
+
+    #[test]
+    fn degree_pruning_drops_entities_below_anchor_demand() {
+        // Q2 demands two distinct out-edges of its anchor; `bare` has one,
+        // so no pair involving it survives enumeration in either mode.
+        let g = parse_graph(
+            r#"
+            alb1:album name_of      "Anthology 2"
+            alb1:album release_year "1996"
+            alb2:album name_of      "Anthology 2"
+            alb2:album release_year "1996"
+            bare:album name_of      "Anthology 2"
+            "#,
+        )
+        .unwrap();
+        let ks = KeySet::parse(r#"key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }"#)
+            .unwrap()
+            .compile(&g);
+        let expect = vec![norm(e(&g, "alb1"), e(&g, "alb2"))];
+        assert_eq!(candidate_pairs(&g, &ks, CandidateMode::TypePairs), expect);
+        assert_eq!(candidate_pairs(&g, &ks, CandidateMode::Blocked), expect);
+        // The unpruned combinatorial count still sees all three entities.
+        assert_eq!(type_pair_count(&g, &ks), 3);
+    }
+
+    #[test]
+    fn pruned_enumeration_reuses_a_maintained_index() {
+        let g = g1();
+        let ks = keys(&g);
+        let degrees = gk_graph::DegreeBuckets::build(&g);
+        for mode in [CandidateMode::TypePairs, CandidateMode::Blocked] {
+            assert_eq!(
+                candidate_pairs_pruned(&g, &ks, mode, &degrees),
+                candidate_pairs(&g, &ks, mode)
+            );
         }
     }
 

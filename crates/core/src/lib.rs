@@ -56,8 +56,8 @@ mod similarity;
 mod tour;
 
 pub use candidates::{
-    candidate_pairs, norm, pairing_filter, pairing_filter_timed, type_pair_count, CandidateMode,
-    PairedCandidate,
+    candidate_pairs, candidate_pairs_pruned, norm, pairing_filter, pairing_filter_timed,
+    type_pair_count, CandidateMode, PairedCandidate,
 };
 pub use chase::{chase_reference, ChaseOrder, ChaseResult, ChaseStep};
 pub use discovery::{discover_value_keys, DiscoveredKey, DiscoveryConfig};

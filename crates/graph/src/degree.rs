@@ -1,0 +1,379 @@
+//! Per-type degree buckets for candidate pruning (§4.2 spirit).
+//!
+//! The optimized chase wins by shrinking the candidate set `L` before any
+//! isomorphism work. A key `Q(x)` imposes purely *structural* demands on
+//! any entity bound to a pattern slot: a slot with `k` distinct outgoing
+//! pattern triples can only match an entity with out-degree ≥ `k`, because
+//! the matcher's injectivity rule forces distinct pattern triples onto
+//! distinct graph edges. [`DegreeBuckets`] precomputes per-entity out-,
+//! in- and self-loop-degrees plus a per-type capped histogram, so
+//! candidate enumeration can discard topologically implausible entities
+//! in O(1) per entity — before any subgraph-isomorphism search runs.
+//!
+//! The index is cheap to maintain across the delta overlay: a batch of
+//! inserted or tombstoned triples only changes the degrees of its
+//! incident entities, so [`DegreeBuckets::update_entities`] refreshes
+//! exactly those rows (and grows the arrays for freshly appended
+//! entities) instead of rebuilding from scratch.
+
+use crate::ids::{EntityId, Obj, TypeId};
+use crate::view::GraphView;
+use rayon::prelude::*;
+
+/// Histogram bucket cap: degrees ≥ `BUCKET_CAP` share the last bucket.
+const BUCKET_CAP: u32 = 32;
+
+/// The structural degree demand a pattern slot places on any entity bound
+/// to it: `out` distinct non-loop outgoing triples, `inc` distinct
+/// non-loop incoming triples, and `loops` distinct self-loop triples.
+///
+/// Each loop triple consumes one edge in *both* adjacency directions, so
+/// an entity satisfies the requirement iff
+/// `out_degree ≥ out + loops`, `in_degree ≥ inc + loops` and
+/// `loop_degree ≥ loops`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegreeReq {
+    /// Distinct outgoing pattern triples whose object is another slot.
+    pub out: u32,
+    /// Distinct incoming pattern triples whose subject is another slot.
+    pub inc: u32,
+    /// Distinct self-loop pattern triples on the slot.
+    pub loops: u32,
+}
+
+impl DegreeReq {
+    /// True iff the requirement excludes nothing (every entity passes).
+    #[inline]
+    pub fn is_trivial(&self) -> bool {
+        self.out == 0 && self.inc == 0 && self.loops == 0
+    }
+}
+
+/// Per-entity degree rows plus per-type capped degree histograms.
+///
+/// Built from any [`GraphView`] in one parallel pass; maintained
+/// incrementally across overlay epochs with [`update_entities`]
+/// (entity ids are stable, so rows survive compaction unchanged).
+///
+/// [`update_entities`]: DegreeBuckets::update_entities
+#[derive(Clone, Debug, Default)]
+pub struct DegreeBuckets {
+    out: Vec<u32>,
+    inc: Vec<u32>,
+    loops: Vec<u32>,
+    /// `hist[t]` — degree histograms for the entities of type `t`.
+    hist: Vec<TypeHist>,
+}
+
+/// Capped exact-degree histogram of one entity type.
+#[derive(Clone, Debug, Default)]
+struct TypeHist {
+    /// `out[d]` = entities of the type with `min(out_degree, CAP) == d`.
+    out: Vec<u32>,
+    /// `inc[d]` = entities of the type with `min(in_degree, CAP) == d`.
+    inc: Vec<u32>,
+}
+
+impl TypeHist {
+    fn add(&mut self, out: u32, inc: u32) {
+        let cap = BUCKET_CAP as usize;
+        if self.out.is_empty() {
+            self.out = vec![0; cap + 1];
+            self.inc = vec![0; cap + 1];
+        }
+        self.out[out.min(BUCKET_CAP) as usize] += 1;
+        self.inc[inc.min(BUCKET_CAP) as usize] += 1;
+    }
+
+    fn remove(&mut self, out: u32, inc: u32) {
+        self.out[out.min(BUCKET_CAP) as usize] -= 1;
+        self.inc[inc.min(BUCKET_CAP) as usize] -= 1;
+    }
+
+    fn at_least(counts: &[u32], d: u32) -> u32 {
+        counts.iter().skip(d.min(BUCKET_CAP) as usize).sum::<u32>()
+    }
+}
+
+impl DegreeBuckets {
+    /// Builds the index over every entity of `g` (one parallel pass over
+    /// the adjacency lists).
+    pub fn build<V: GraphView>(g: &V) -> Self {
+        let n = g.num_entities();
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let rows: Vec<(u32, u32, u32)> =
+            ids.par_iter().map(|&i| Self::row(g, EntityId(i))).collect();
+        let mut this = DegreeBuckets {
+            out: Vec::with_capacity(n),
+            inc: Vec::with_capacity(n),
+            loops: Vec::with_capacity(n),
+            hist: Vec::new(),
+        };
+        for (i, &(o, inc, l)) in rows.iter().enumerate() {
+            this.out.push(o);
+            this.inc.push(inc);
+            this.loops.push(l);
+            let t = g.entity_type(EntityId(i as u32));
+            this.hist_for(t).add(o, inc);
+        }
+        this
+    }
+
+    /// Number of entities covered by the index.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True iff the index covers no entities.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Out-degree of `e` (all predicates, values included).
+    #[inline]
+    pub fn out_degree(&self, e: EntityId) -> u32 {
+        self.out[e.idx()]
+    }
+
+    /// In-degree of `e` (edges from other entities).
+    #[inline]
+    pub fn in_degree(&self, e: EntityId) -> u32 {
+        self.inc[e.idx()]
+    }
+
+    /// Number of self-loop edges `(e, p, e)` on `e`.
+    #[inline]
+    pub fn loop_degree(&self, e: EntityId) -> u32 {
+        self.loops[e.idx()]
+    }
+
+    /// True iff `e` has enough edges in every direction to satisfy `req`.
+    #[inline]
+    pub fn satisfies(&self, e: EntityId, req: DegreeReq) -> bool {
+        let i = e.idx();
+        self.out[i] >= req.out + req.loops
+            && self.inc[i] >= req.inc + req.loops
+            && self.loops[i] >= req.loops
+    }
+
+    /// Number of entities of type `t` with out-degree ≥ `d` (exact below
+    /// the bucket cap, conservative above it).
+    pub fn count_out_at_least(&self, t: TypeId, d: u32) -> u32 {
+        match self.hist.get(t.idx()) {
+            Some(h) if !h.out.is_empty() => TypeHist::at_least(&h.out, d),
+            _ => 0,
+        }
+    }
+
+    /// Number of entities of type `t` with in-degree ≥ `d`.
+    pub fn count_in_at_least(&self, t: TypeId, d: u32) -> u32 {
+        match self.hist.get(t.idx()) {
+            Some(h) if !h.inc.is_empty() => TypeHist::at_least(&h.inc, d),
+            _ => 0,
+        }
+    }
+
+    /// True iff *some* entity of type `t` could satisfy `req` — a whole
+    /// type can be skipped when its histogram proves the requirement
+    /// unsatisfiable.
+    pub fn possible(&self, t: TypeId, req: DegreeReq) -> bool {
+        self.count_out_at_least(t, req.out + req.loops) > 0
+            && self.count_in_at_least(t, req.inc + req.loops) > 0
+    }
+
+    /// Refreshes the rows of `touched` entities and appends rows for any
+    /// entity created since the last build — O(Σ degree(touched)), not
+    /// O(|G|). Histograms are kept consistent; duplicate ids in `touched`
+    /// are harmless.
+    pub fn update_entities<V: GraphView>(&mut self, g: &V, touched: &[EntityId]) {
+        let old_len = self.out.len();
+        let n = g.num_entities();
+        for i in old_len..n {
+            let e = EntityId(i as u32);
+            let (o, inc, l) = Self::row(g, e);
+            self.out.push(o);
+            self.inc.push(inc);
+            self.loops.push(l);
+            let t = g.entity_type(e);
+            self.hist_for(t).add(o, inc);
+        }
+        for &e in touched {
+            if e.idx() >= old_len {
+                continue; // freshly appended above
+            }
+            let t = g.entity_type(e);
+            self.hist[t.idx()].remove(self.out[e.idx()], self.inc[e.idx()]);
+            let (o, inc, l) = Self::row(g, e);
+            self.out[e.idx()] = o;
+            self.inc[e.idx()] = inc;
+            self.loops[e.idx()] = l;
+            self.hist_for(t).add(o, inc);
+        }
+    }
+
+    fn hist_for(&mut self, t: TypeId) -> &mut TypeHist {
+        if self.hist.len() <= t.idx() {
+            self.hist.resize_with(t.idx() + 1, TypeHist::default);
+        }
+        &mut self.hist[t.idx()]
+    }
+
+    fn row<V: GraphView>(g: &V, e: EntityId) -> (u32, u32, u32) {
+        let out = g.out(e);
+        let out_deg = out.len() as u32;
+        let in_deg = g.in_entity(e).len() as u32;
+        let mut loops = 0u32;
+        for &(_, o) in out {
+            if o == Obj::Entity(e) {
+                loops += 1;
+            }
+        }
+        (out_deg, in_deg, loops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overlay::OverlayGraph;
+    use crate::parse::parse_graph;
+
+    const G: &str = r#"
+        alb1:album  name_of       "Anthology 2"
+        alb1:album  release_year  "1996"
+        alb1:album  recorded_by   art1:artist
+        art1:artist name_of       "The Beatles"
+        art1:artist influenced_by art1:artist
+        hermit:artist name_of     "Hermit"
+    "#;
+
+    fn assert_same(a: &DegreeBuckets, b: &DegreeBuckets, g: &impl GraphView) {
+        assert_eq!(a.len(), b.len());
+        for e in g.entities() {
+            assert_eq!(a.out_degree(e), b.out_degree(e), "{e:?} out");
+            assert_eq!(a.in_degree(e), b.in_degree(e), "{e:?} in");
+            assert_eq!(a.loop_degree(e), b.loop_degree(e), "{e:?} loops");
+        }
+        for t in 0..GraphView::num_types(g) as u32 {
+            for d in 0..=BUCKET_CAP + 1 {
+                let t = TypeId(t);
+                assert_eq!(a.count_out_at_least(t, d), b.count_out_at_least(t, d));
+                assert_eq!(a.count_in_at_least(t, d), b.count_in_at_least(t, d));
+            }
+        }
+    }
+
+    #[test]
+    fn counts_out_in_and_loop_degrees() {
+        let g = parse_graph(G).unwrap();
+        let idx = DegreeBuckets::build(&g);
+        let alb1 = g.entity_named("alb1").unwrap();
+        let art1 = g.entity_named("art1").unwrap();
+        let hermit = g.entity_named("hermit").unwrap();
+        assert_eq!(idx.out_degree(alb1), 3);
+        assert_eq!(idx.in_degree(alb1), 0);
+        assert_eq!(idx.loop_degree(alb1), 0);
+        // art1: name_of + self-loop out; recorded_by + self-loop in.
+        assert_eq!(idx.out_degree(art1), 2);
+        assert_eq!(idx.in_degree(art1), 2);
+        assert_eq!(idx.loop_degree(art1), 1);
+        assert_eq!(idx.out_degree(hermit), 1);
+    }
+
+    #[test]
+    fn satisfies_checks_all_three_directions() {
+        let g = parse_graph(G).unwrap();
+        let idx = DegreeBuckets::build(&g);
+        let art1 = g.entity_named("art1").unwrap();
+        let hermit = g.entity_named("hermit").unwrap();
+        let req = DegreeReq {
+            out: 1,
+            inc: 1,
+            loops: 1,
+        };
+        assert!(idx.satisfies(art1, req));
+        assert!(!idx.satisfies(hermit, req));
+        assert!(idx.satisfies(hermit, DegreeReq::default()));
+    }
+
+    #[test]
+    fn histograms_answer_per_type_plausibility() {
+        let g = parse_graph(G).unwrap();
+        let idx = DegreeBuckets::build(&g);
+        let artist = g.etype("artist").unwrap();
+        let album = g.etype("album").unwrap();
+        assert_eq!(idx.count_out_at_least(artist, 1), 2);
+        assert_eq!(idx.count_out_at_least(artist, 2), 1);
+        assert_eq!(idx.count_in_at_least(artist, 2), 1);
+        assert!(idx.possible(
+            album,
+            DegreeReq {
+                out: 3,
+                inc: 0,
+                loops: 0
+            }
+        ));
+        assert!(!idx.possible(
+            album,
+            DegreeReq {
+                out: 4,
+                inc: 0,
+                loops: 0
+            }
+        ));
+        // Unknown / entity-less types are never plausible.
+        assert!(!idx.possible(TypeId(99), DegreeReq::default()));
+    }
+
+    #[test]
+    fn degrees_above_the_bucket_cap_stay_conservative() {
+        let mut text = String::new();
+        for i in 0..40 {
+            text.push_str(&format!("hub:node p{i} leaf{i}:node\n"));
+        }
+        let g = parse_graph(&text).unwrap();
+        let idx = DegreeBuckets::build(&g);
+        let node = g.etype("node").unwrap();
+        // 40 > BUCKET_CAP: the capped histogram still counts the hub for
+        // every requirement up to (and beyond) the cap.
+        assert_eq!(idx.count_out_at_least(node, BUCKET_CAP), 1);
+        assert_eq!(idx.count_out_at_least(node, BUCKET_CAP + 5), 1);
+        let hub = g.entity_named("hub").unwrap();
+        assert_eq!(idx.out_degree(hub), 40);
+    }
+
+    #[test]
+    fn incremental_update_matches_fresh_build_across_overlay_epochs() {
+        let g = parse_graph(G).unwrap();
+        let mut ov = OverlayGraph::new(g);
+        let mut idx = DegreeBuckets::build(&ov);
+
+        // Epoch 1: append a new album plus an edge into an existing artist.
+        let alb2 = ov.entity("alb2", "album");
+        let art1 = GraphView::entity_named(&ov, "art1").unwrap();
+        let p = ov.intern_pred("recorded_by");
+        let v = ov.intern_value("Anthology 2");
+        let name = ov.intern_pred("name_of");
+        ov.insert_triple(alb2, name, Obj::Value(v));
+        ov.insert_triple(alb2, p, Obj::Entity(art1));
+        idx.update_entities(&ov, &[alb2, art1]);
+        assert_same(&idx, &DegreeBuckets::build(&ov), &ov);
+
+        // Epoch 2: tombstone a base triple (art1 loses its self-loop).
+        let infl = GraphView::pred(&ov, "influenced_by").unwrap();
+        ov.delete_triple(crate::Triple {
+            s: art1,
+            p: infl,
+            o: Obj::Entity(art1),
+        });
+        idx.update_entities(&ov, &[art1]);
+        assert_same(&idx, &DegreeBuckets::build(&ov), &ov);
+        assert_eq!(idx.loop_degree(art1), 0);
+
+        // Duplicate ids in the touched set are harmless.
+        idx.update_entities(&ov, &[art1, art1, alb2]);
+        assert_same(&idx, &DegreeBuckets::build(&ov), &ov);
+    }
+}

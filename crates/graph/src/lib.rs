@@ -30,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+mod degree;
 mod graph;
 mod ids;
 mod interner;
@@ -40,6 +41,7 @@ mod shard;
 mod stats;
 mod view;
 
+pub use degree::{DegreeBuckets, DegreeReq};
 pub use graph::{Graph, GraphBuilder, Triple};
 pub use ids::{EntityId, NodeId, Obj, PredId, TypeId, ValueId};
 pub use interner::Interner;

@@ -79,6 +79,19 @@ pub fn eval_pair_witness<G: GraphView, E: EqOracle + ?Sized>(
     if !scope.admits(n1, n2) {
         return None;
     }
+    // Degree pre-check: the anchors must carry at least as many edges as
+    // the pattern demands of the designated variable (injectivity maps
+    // distinct pattern triples to distinct graph edges).
+    let req = q.anchor_req();
+    if (req.out + req.loops > 0
+        && (g.out(e1).len() < (req.out + req.loops) as usize
+            || g.out(e2).len() < (req.out + req.loops) as usize))
+        || (req.inc + req.loops > 0
+            && (g.in_entity(e1).len() < (req.inc + req.loops) as usize
+                || g.in_entity(e2).len() < (req.inc + req.loops) as usize))
+    {
+        return None;
+    }
     let mut s = Searcher {
         g,
         q,
@@ -159,17 +172,37 @@ impl<G: GraphView, E: EqOracle + ?Sized> Searcher<'_, G, E> {
             SlotKind::Anchor(_) => false, // pre-bound, never expanded into
             SlotKind::EqEntity(ty) => match (n1.as_entity(), n2.as_entity()) {
                 (Some(a), Some(b)) => {
-                    self.g.entity_type(a) == ty && self.g.entity_type(b) == ty && self.eq.same(a, b)
+                    self.g.entity_type(a) == ty
+                        && self.g.entity_type(b) == ty
+                        && self.degree_ok(slot, a, b)
+                        && self.eq.same(a, b)
                 }
                 _ => false,
             },
             SlotKind::Wildcard(ty) => match (n1.as_entity(), n2.as_entity()) {
-                (Some(a), Some(b)) => self.g.entity_type(a) == ty && self.g.entity_type(b) == ty,
+                (Some(a), Some(b)) => {
+                    self.g.entity_type(a) == ty
+                        && self.g.entity_type(b) == ty
+                        && self.degree_ok(slot, a, b)
+                }
                 _ => false,
             },
             SlotKind::ValueVar => n1.is_value() && n1 == n2,
             SlotKind::Const(d) => n1 == NodeId::value(d) && n2 == NodeId::value(d),
         }
+    }
+
+    /// Degree pruning for entity slots: the candidates must carry at
+    /// least as many edges as the slot has incident pattern triples.
+    /// Requirements of 1 are already implied by the adjacency edge the
+    /// expansion arrived through, so only multi-edge demands are checked
+    /// (each check builds two merged adjacency views).
+    fn degree_ok(&self, slot: u16, a: EntityId, b: EntityId) -> bool {
+        let req = self.q.slot_req(slot);
+        let out = (req.out + req.loops) as usize;
+        let inc = (req.inc + req.loops) as usize;
+        (out < 2 || (self.g.out(a).len() >= out && self.g.out(b).len() >= out))
+            && (inc < 2 || (self.g.in_entity(a).len() >= inc && self.g.in_entity(b).len() >= inc))
     }
 
     fn try_bind(&mut self, step_idx: usize, slot: u16, n1: NodeId, n2: NodeId) -> bool {
@@ -356,6 +389,80 @@ mod tests {
             &q,
             e(&g, "alb1"),
             e(&g, "alb3"),
+            &IdentityEq,
+            MatchScope::whole_graph()
+        ));
+    }
+
+    #[test]
+    fn anchor_degree_precheck_rejects_sparse_entities() {
+        // A "bare" album with a single edge can never satisfy Q2's demand
+        // for two distinct attribute edges: the anchor degree pre-check
+        // rejects the pair without running any search.
+        let g = parse_graph(
+            r#"
+            alb1:album name_of "Anthology 2"
+            alb1:album release_year "1996"
+            bare:album name_of "Anthology 2"
+            "#,
+        )
+        .unwrap();
+        let q = q2(&g);
+        assert_eq!(
+            q.anchor_req(),
+            gk_graph::DegreeReq {
+                out: 2,
+                inc: 0,
+                loops: 0
+            }
+        );
+        assert!(eval_pair_witness(
+            &g,
+            &q,
+            e(&g, "alb1"),
+            e(&g, "bare"),
+            &IdentityEq,
+            MatchScope::whole_graph()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn wildcard_slot_degree_check_preserves_matches() {
+        // y must carry two distinct out-edges (p to the anchor's value and
+        // q to a second value); hub does, twig does not.
+        let g = parse_graph(
+            r#"
+            a1:t p  v1:t
+            a2:t p  v2:t
+            v1:t q "one"
+            v1:t r "two"
+            v2:t q "one"
+            v2:t r "two"
+            "#,
+        )
+        .unwrap();
+        let q = PairPattern::new(
+            vec![
+                SlotKind::Anchor(g.etype("t").unwrap()),
+                SlotKind::Wildcard(g.etype("t").unwrap()),
+                SlotKind::ValueVar,
+                SlotKind::ValueVar,
+            ],
+            vec![
+                pt(0, g.pred("p").unwrap(), 1),
+                pt(1, g.pred("q").unwrap(), 2),
+                pt(1, g.pred("r").unwrap(), 3),
+            ],
+            0,
+        )
+        .unwrap();
+        assert_eq!(q.slot_req(1).out, 2);
+        assert!(eval_pair(
+            &g,
+            &q,
+            e(&g, "a1"),
+            e(&g, "a2"),
             &IdentityEq,
             MatchScope::whole_graph()
         ));

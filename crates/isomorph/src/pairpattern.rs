@@ -10,7 +10,7 @@
 //! [`SearchPlan`] that guides expansion outward from the designated
 //! variable.
 
-use gk_graph::{EntityId, PredId, TypeId, ValueId};
+use gk_graph::{DegreeReq, EntityId, PredId, TypeId, ValueId};
 
 /// The kind of a pattern slot — the paper's variable taxonomy (§2.1).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -124,6 +124,7 @@ pub struct PairPattern {
     plan: Vec<Step>,
     radius: usize,
     recursive: bool,
+    degree_reqs: Vec<DegreeReq>,
 }
 
 impl PairPattern {
@@ -159,6 +160,7 @@ impl PairPattern {
         let plan = build_plan(&slots, &triples, anchor)?;
         let radius = compute_radius(slots.len(), &triples, anchor);
         let recursive = slots.iter().any(|s| s.is_recursive());
+        let degree_reqs = compute_degree_reqs(slots.len(), &triples);
         Ok(PairPattern {
             slots,
             triples,
@@ -166,6 +168,7 @@ impl PairPattern {
             plan,
             radius,
             recursive,
+            degree_reqs,
         })
     }
 
@@ -211,6 +214,25 @@ impl PairPattern {
     /// Number of pattern triples, the paper's `|Q|`.
     pub fn size(&self) -> usize {
         self.triples.len()
+    }
+
+    /// The structural degree demand on any entity bound to `slot`.
+    ///
+    /// Sound for pruning because the paired matcher is injective over
+    /// *every* slot (entity and value alike): distinct pattern triples
+    /// incident to a slot always map to distinct graph edges of the bound
+    /// entity, so an entity with fewer edges than the slot has incident
+    /// triples can never take part in a match.
+    #[inline]
+    pub fn slot_req(&self, slot: u16) -> DegreeReq {
+        self.degree_reqs[slot as usize]
+    }
+
+    /// The degree demand on the anchor — candidates failing it can never
+    /// be identified by this key.
+    #[inline]
+    pub fn anchor_req(&self) -> DegreeReq {
+        self.slot_req(self.anchor)
     }
 
     /// Indices of slots whose kind is [`SlotKind::EqEntity`].
@@ -314,6 +336,25 @@ fn compute_radius(n_slots: usize, triples: &[PTriple], anchor: u16) -> usize {
     max
 }
 
+/// Per-slot degree requirements: distinct outgoing / incoming / self-loop
+/// pattern triples incident to each slot (duplicate triples deduplicated —
+/// a repeated `(s, p, o)` denotes one edge, not two).
+fn compute_degree_reqs(n_slots: usize, triples: &[PTriple]) -> Vec<DegreeReq> {
+    let mut uniq: Vec<(u16, u32, u16)> = triples.iter().map(|t| (t.s, t.p.0, t.o)).collect();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let mut reqs = vec![DegreeReq::default(); n_slots];
+    for (s, _, o) in uniq {
+        if s == o {
+            reqs[s as usize].loops += 1;
+        } else {
+            reqs[s as usize].out += 1;
+            reqs[o as usize].inc += 1;
+        }
+    }
+    reqs
+}
+
 /// Answers "have these two entities already been identified?" during
 /// matching — the paper's `(s1, s2) ∈ Eq` test for entity variables (§3.1).
 ///
@@ -368,6 +409,54 @@ mod tests {
             .plan()
             .iter()
             .all(|s| matches!(s, Step::ExpandForward { .. })));
+    }
+
+    #[test]
+    fn degree_reqs_count_distinct_incident_triples() {
+        let q = star();
+        assert_eq!(
+            q.anchor_req(),
+            DegreeReq {
+                out: 2,
+                inc: 0,
+                loops: 0
+            }
+        );
+        assert_eq!(
+            q.slot_req(1),
+            DegreeReq {
+                out: 0,
+                inc: 1,
+                loops: 0
+            }
+        );
+    }
+
+    #[test]
+    fn degree_reqs_dedup_triples_and_count_loops() {
+        // x -p-> x (twice, same triple), x -q-> y, y -r-> x.
+        let q = PairPattern::new(
+            vec![SlotKind::Anchor(TypeId(0)), SlotKind::Wildcard(TypeId(0))],
+            vec![t(0, 0, 0), t(0, 0, 0), t(0, 1, 1), t(1, 2, 0)],
+            0,
+        )
+        .unwrap();
+        assert_eq!(
+            q.anchor_req(),
+            DegreeReq {
+                out: 1,
+                inc: 1,
+                loops: 1
+            }
+        );
+        assert_eq!(
+            q.slot_req(1),
+            DegreeReq {
+                out: 1,
+                inc: 1,
+                loops: 0
+            }
+        );
     }
 
     #[test]

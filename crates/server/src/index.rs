@@ -43,7 +43,9 @@ use gk_core::{
     chase_incremental, parse_keys, prove, verify, write_keys, ChaseEngine, ChaseMetrics,
     ChaseOrder, ChaseStep, CompiledKeySet, EqRel, Key, KeySet, Proof,
 };
-use gk_graph::{EntityId, Graph, GraphView, Obj, ObjSpec, OverlayGraph, Triple, TripleSpec};
+use gk_graph::{
+    DegreeBuckets, EntityId, Graph, GraphView, Obj, ObjSpec, OverlayGraph, Triple, TripleSpec,
+};
 use gk_metrics::{Counter, Gauge, Histogram, Registry};
 use gk_store::{
     CompactReport, Durability, FsyncMode, Recovered, SnapshotData, Store, WalOp, WalRecord,
@@ -248,6 +250,11 @@ pub struct IndexState {
     /// key that certified it. This is the generating log a snapshot
     /// persists — replaying it reproduces the closure.
     steps: StepLog,
+    /// Per-entity degree buckets over [`IndexState::graph`], maintained
+    /// incrementally across updates (rebuilt only at startup/recovery).
+    /// Powers degree-guided candidate pruning and the filtered `ADDKEY`
+    /// wake set.
+    degrees: DegreeBuckets,
     /// Canonical representative (smallest member id) per entity.
     reps: Vec<EntityId>,
     /// Non-trivial clusters, keyed by canonical representative.
@@ -255,12 +262,14 @@ pub struct IndexState {
 }
 
 impl IndexState {
+    #[allow(clippy::too_many_arguments)]
     fn build(
         graph: OverlayGraph,
         keys: Arc<KeySet>,
         compiled: CompiledKeySet,
         eq: EqRel,
         steps: StepLog,
+        degrees: DegreeBuckets,
         version: u64,
         key_epoch: u64,
     ) -> Self {
@@ -273,6 +282,7 @@ impl IndexState {
             }
             dups.insert(rep, class);
         }
+        debug_assert_eq!(degrees.len(), graph.num_entities());
         IndexState {
             graph,
             keys,
@@ -281,6 +291,7 @@ impl IndexState {
             version,
             key_epoch,
             steps,
+            degrees,
             reps,
             dups,
         }
@@ -310,6 +321,11 @@ impl IndexState {
     /// The accumulated chase-step log (merge log with key attribution).
     pub fn steps(&self) -> &StepLog {
         &self.steps
+    }
+
+    /// The maintained per-entity degree buckets for this version's graph.
+    pub fn degrees(&self) -> &DegreeBuckets {
+        &self.degrees
     }
 
     /// A verified proof that the chase identifies `(a, b)`, or `None`.
@@ -745,6 +761,8 @@ impl EmIndex {
                 frz.compiled,
                 snap.eq.clone(),
                 StepLog::from_steps(frz.steps),
+                // Same logical graph, new layout: degrees carry over.
+                snap.degrees.clone(),
                 snap.version,
                 snap.key_epoch,
             );
@@ -892,6 +910,10 @@ impl EmIndex {
             });
         }
         let g2 = self.maybe_compact(g2);
+        // Degrees advance incrementally: recompute only the touched rows
+        // (new entities append their own).
+        let mut degrees2 = snap.degrees.clone();
+        degrees2.update_entities(&g2, &touched);
 
         // The heavy part runs without the state lock: readers keep serving
         // the previous snapshot.
@@ -948,6 +970,7 @@ impl EmIndex {
             compiled2,
             result.eq,
             steps2,
+            degrees2,
             snap.version + 1,
             snap.key_epoch,
         );
@@ -1010,6 +1033,10 @@ impl EmIndex {
             debug_assert!(removed, "resolved triple must be live");
         }
         let g2 = self.maybe_compact(g2);
+        // Only the tombstoned triples' endpoints changed degree.
+        let mut degrees2 = snap.degrees.clone();
+        let touched_rows: Vec<EntityId> = endpoints.iter().copied().collect();
+        degrees2.update_entities(&g2, &touched_rows);
         let compiled2 = snap.keys.compile(&g2);
         let t0 = Instant::now();
         let full = self
@@ -1035,6 +1062,7 @@ impl EmIndex {
             compiled2,
             full.eq,
             StepLog::from_steps(full.steps),
+            degrees2,
             snap.version + 1,
             snap.key_epoch,
         );
@@ -1098,13 +1126,25 @@ impl EmIndex {
 
         let t0 = Instant::now();
         let (result, mode) = if self.engine.inserts_incrementally() {
-            // Wake every entity a new key is defined on; the delta chase
-            // cascades from there exactly as it does for inserted triples.
+            // Wake the entities a new key could anchor on. The first
+            // genuinely new identification must be certified by a new key
+            // (the old Eq is terminal for the old Σ on this graph), and any
+            // pair it identifies embeds the key's pattern — so both
+            // endpoints are of the key's target type and meet its anchor
+            // slot's degree demand. One woken endpoint suffices: the delta
+            // chase pairs it with every same-type entity. Entities below
+            // the demand (and keys that did not compile, which cannot match
+            // at all) are skipped instead of seeding dead candidate pairs.
+            let prior_declared = snap.keys.cardinality();
             let mut touched: Vec<EntityId> = Vec::new();
-            for k in &new {
-                if let Some(t) = snap.graph.etype(&k.target_type) {
-                    touched.extend(snap.graph.entities_of_type(t));
-                }
+            for ck in compiled2.keys.iter().filter(|k| k.source >= prior_declared) {
+                let req = ck.pattern.anchor_req();
+                touched.extend(
+                    snap.graph
+                        .entities_of_type(ck.target_type)
+                        .into_iter()
+                        .filter(|&e| snap.degrees.satisfies(e, req)),
+                );
             }
             touched.sort_unstable();
             touched.dedup();
@@ -1150,6 +1190,7 @@ impl EmIndex {
             compiled2,
             result.eq,
             steps2,
+            snap.degrees.clone(),
             snap.version + 1,
             snap.key_epoch + 1,
         );
@@ -1203,6 +1244,7 @@ impl EmIndex {
             compiled2,
             full.eq,
             StepLog::from_steps(full.steps),
+            snap.degrees.clone(),
             snap.version + 1,
             snap.key_epoch + 1,
         );
@@ -1304,12 +1346,14 @@ fn startup_chase(
     stats.startup_iso_checks.set(r.iso_checks);
     stats.startup_micros.set(t0.elapsed().as_micros() as u64);
     stats.chase.record(&r);
+    let degrees = DegreeBuckets::build(&graph);
     IndexState::build(
         graph,
         keys,
         compiled,
         r.eq,
         StepLog::from_steps(r.steps),
+        degrees,
         0,
         0,
     )
@@ -1476,8 +1520,9 @@ fn replay(
         let prefix = remap_steps(&snapshot_compiled, &compiled, snapshot_steps);
         (base, StepLog::from_steps(prefix), AdvanceMode::NoOp)
     };
+    let degrees = DegreeBuckets::build(&g);
     Ok((
-        IndexState::build(g, keys, compiled, eq, steps, version, key_epoch),
+        IndexState::build(g, keys, compiled, eq, steps, degrees, version, key_epoch),
         mode,
     ))
 }
@@ -1512,6 +1557,53 @@ mod tests {
         // Empty segments add nothing (and no chain node).
         let same = base.appended(Vec::new());
         assert_eq!(same.len(), base.len());
+    }
+
+    #[test]
+    fn maintained_degrees_match_fresh_build_across_updates() {
+        use gk_graph::{parse_graph, parse_triple_specs};
+
+        let check = |idx: &EmIndex| {
+            let snap = idx.snapshot();
+            let fresh = DegreeBuckets::build(&snap.graph);
+            assert_eq!(snap.degrees().len(), fresh.len());
+            for e in snap.graph.entities() {
+                assert_eq!(snap.degrees().out_degree(e), fresh.out_degree(e), "{e:?}");
+                assert_eq!(snap.degrees().in_degree(e), fresh.in_degree(e), "{e:?}");
+                assert_eq!(snap.degrees().loop_degree(e), fresh.loop_degree(e), "{e:?}");
+            }
+        };
+
+        let idx = EmIndex::new(
+            parse_graph(
+                r#"
+                a1:album name_of "X"
+                a1:album recorded_by r1:artist
+                r1:artist name_of "B"
+                "#,
+            )
+            .unwrap(),
+            KeySet::parse(r#"key "Q" album(x) { x -name_of-> n*; }"#).unwrap(),
+        );
+        check(&idx);
+
+        // Insert touching an existing entity and creating a new one.
+        let specs =
+            parse_triple_specs("a2:album name_of \"X\"\na1:album release_year \"1996\"").unwrap();
+        idx.insert(&specs).unwrap();
+        check(&idx);
+
+        // Delete drops a touched row's degree.
+        let specs = parse_triple_specs(r#"a1:album recorded_by r1:artist"#).unwrap();
+        idx.delete(&specs).unwrap();
+        check(&idx);
+
+        // Key changes leave the graph — and so the degrees — untouched.
+        idx.add_keys(parse_keys(r#"key "QA" artist(x) { x -name_of-> n*; }"#).unwrap())
+            .unwrap();
+        check(&idx);
+        idx.drop_key("QA").unwrap();
+        check(&idx);
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub use index::{
     AdvanceMode, AdvanceReport, EmIndex, IndexState, IndexStats, KeyChange, RecoveryReport,
     StepLog, DEFAULT_COMPACT_THRESHOLD,
 };
-pub use net::{request, serve, ServeHandle};
+pub use net::{request, request_with_timeout, serve, ServeHandle};
 pub use proto::{usage, ProofLine, Request, RequestError, Response, ResponseError};
 pub use protocol::{Server, PROTOCOL_HELP};
 // Metrics types, re-exported so embedders can build a disabled registry

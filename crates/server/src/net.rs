@@ -152,6 +152,13 @@ fn serve_connection(server: &Server, conn: TcpStream, stop: &AtomicBool) {
             }
         }
         let request = line.trim();
+        // A blank line is not a request: piped input commonly ends with a
+        // trailing newline pair, and answering `ERR` here would both
+        // inflate `gk_request_errors_total` and desynchronize pipelined
+        // clients that count response paragraphs.
+        if request.is_empty() {
+            continue 'requests;
+        }
         if request.eq_ignore_ascii_case("QUIT") {
             if let Err(e) = writer.write_all(b"BYE\n\n") {
                 server.net.write_errors.inc();
@@ -177,11 +184,33 @@ fn serve_connection(server: &Server, conn: TcpStream, stop: &AtomicBool) {
     let _ = writer.shutdown(Shutdown::Both);
 }
 
+/// Timeout for the one-shot client: connect, each read, and the write.
+/// Mirrors the scrape endpoint's guard so `graphkeys query` against a
+/// wedged or blackholed server fails fast instead of hanging forever.
+const REQUEST_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+
 /// Connects to a running server, sends one request, and returns the
 /// response paragraph (without the terminating blank line). This is the
 /// client half used by `graphkeys query`.
 pub fn request(addr: &str, line: &str) -> std::io::Result<String> {
-    let mut conn = TcpStream::connect(addr)?;
+    request_with_timeout(addr, line, REQUEST_TIMEOUT)
+}
+
+/// [`request`] with an explicit timeout (covering connect and every
+/// subsequent read/write individually, not the call as a whole).
+pub fn request_with_timeout(
+    addr: &str,
+    line: &str,
+    timeout: std::time::Duration,
+) -> std::io::Result<String> {
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
+    let mut conn = TcpStream::connect_timeout(&sock, timeout)?;
+    conn.set_read_timeout(Some(timeout))?;
+    conn.set_write_timeout(Some(timeout))?;
     conn.write_all(format!("{line}\n").as_bytes())?;
     let mut reader = BufReader::new(conn);
     let mut out = String::new();

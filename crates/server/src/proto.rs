@@ -26,7 +26,8 @@ use std::fmt::Write as _;
 /// String payloads hold exactly what travels on the wire: entity *names*
 /// (not ids — the server resolves them against its current snapshot),
 /// triple batches in the `;`-separated text form, and key DSL text.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// `Hash` lets a request serve as part of an answer-cache key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Request {
     /// `SAME <a> <b>` — are the two entities identified?
     Same {

@@ -38,7 +38,11 @@ use gk_core::{parse_keys, ChaseEngine, Key, KeySet};
 use gk_graph::{parse_triple_specs, EntityId, Graph, GraphView, TripleSpec};
 use gk_metrics::{Counter, Gauge, Histogram, Registry};
 use gk_store::Durability;
+use parking_lot::Mutex;
+use rustc_hash::{FxHashMap, FxHasher};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Usage table answered to `HELP` and malformed requests.
@@ -75,6 +79,135 @@ pub struct Server {
     /// Connection-lifecycle metrics, recorded by the TCP framing layer
     /// ([`crate::net`]) through the shared server handle.
     pub(crate) net: NetMetrics,
+    /// Epoch-keyed answer cache for the hot query verbs (`None` = off).
+    cache: Option<AnswerCache>,
+    /// Cache hit/miss counters — registered even when the cache is off so
+    /// the metrics exposition surface does not depend on configuration.
+    cache_metrics: CacheMetrics,
+}
+
+/// Answer-cache traffic counters.
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+}
+
+impl CacheMetrics {
+    fn register(reg: &Registry) -> CacheMetrics {
+        CacheMetrics {
+            hits: reg.counter(
+                "gk_cache_hits_total",
+                "Query answers served from the epoch-keyed answer cache.",
+            ),
+            misses: reg.counter(
+                "gk_cache_misses_total",
+                "Cacheable queries that missed the answer cache.",
+            ),
+        }
+    }
+}
+
+/// A cached answer: the typed response plus its rendered wire form, so a
+/// hit on the line protocol skips response construction *and* rendering.
+struct CacheEntry {
+    resp: Response,
+    rendered: String,
+}
+
+/// Cache key: `(version, key_epoch, request)`. Every accepted mutation
+/// bumps `version` (key changes bump `key_epoch` too), so entries written
+/// under an older state can never be returned for the current one — the
+/// cache needs no invalidation, stale generations simply stop being
+/// addressed and age out of the bounded shards.
+type CacheKey = (u64, u64, Request);
+
+/// The outcome of dispatching one request: a freshly computed response, or
+/// a shared cache entry (whose rendered form the line protocol reuses).
+enum Outcome {
+    Fresh(Response),
+    Cached(Arc<CacheEntry>),
+}
+
+impl Outcome {
+    fn response(&self) -> &Response {
+        match self {
+            Outcome::Fresh(r) => r,
+            Outcome::Cached(e) => &e.resp,
+        }
+    }
+}
+
+/// A sharded, bounded, two-generation answer cache.
+///
+/// Each shard keeps a `hot` and a `cold` hash map: inserts land in `hot`;
+/// when `hot` fills up it becomes `cold` (dropping the previous cold
+/// generation) — an LRU-ish scheme with O(1) operations and a hard bound
+/// of `2 × capacity` entries. Lookups check `hot`, then promote from
+/// `cold`.
+struct AnswerCache {
+    shards: Vec<Mutex<CacheShard>>,
+    cap_per_shard: usize,
+    capacity: usize,
+}
+
+#[derive(Default)]
+struct CacheShard {
+    hot: FxHashMap<CacheKey, Arc<CacheEntry>>,
+    cold: FxHashMap<CacheKey, Arc<CacheEntry>>,
+}
+
+const CACHE_SHARDS: usize = 8;
+
+impl AnswerCache {
+    fn new(capacity: usize) -> AnswerCache {
+        AnswerCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(CacheShard::default()))
+                .collect(),
+            cap_per_shard: capacity.div_ceil(CACHE_SHARDS).max(1),
+            capacity,
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<CacheShard> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize % CACHE_SHARDS]
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<Arc<CacheEntry>> {
+        let mut s = self.shard(key).lock();
+        if let Some(e) = s.hot.get(key) {
+            return Some(Arc::clone(e));
+        }
+        if let Some(e) = s.cold.remove(key) {
+            if s.hot.len() >= self.cap_per_shard {
+                s.cold = std::mem::take(&mut s.hot);
+            }
+            s.hot.insert(key.clone(), Arc::clone(&e));
+            return Some(e);
+        }
+        None
+    }
+
+    fn insert(&self, key: CacheKey, entry: Arc<CacheEntry>) {
+        let mut s = self.shard(&key).lock();
+        if s.hot.len() >= self.cap_per_shard {
+            s.cold = std::mem::take(&mut s.hot);
+        }
+        s.hot.insert(key, entry);
+    }
+
+    /// Live entries across all shards and both generations.
+    fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.lock();
+                s.hot.len() + s.cold.len()
+            })
+            .sum()
+    }
 }
 
 /// Per-verb request counters and latency histograms, pre-registered at
@@ -210,6 +343,8 @@ impl Server {
         Server {
             verbs: VerbMetrics::register(reg),
             net: NetMetrics::register(reg),
+            cache: None,
+            cache_metrics: CacheMetrics::register(reg),
             index,
             queries: AtomicU64::new(0),
             updates: AtomicU64::new(0),
@@ -237,6 +372,16 @@ impl Server {
         self.slow_query_micros = ms.saturating_mul(1000);
     }
 
+    /// Enables the epoch-keyed answer cache for the hot query verbs
+    /// (`SAME` / `DUPS` / `REP`) with room for about `entries` answers
+    /// (hard bound `2 × entries`); `0` disables it. Answers are keyed by
+    /// `(version, key_epoch, request)`, so mutations never require
+    /// invalidation — they address a fresh generation. Call before
+    /// serving traffic.
+    pub fn set_cache_entries(&mut self, entries: usize) {
+        self.cache = (entries > 0).then(|| AnswerCache::new(entries));
+    }
+
     /// Handles one request line, returning the response text (possibly
     /// multi-line, never empty, no trailing newline).
     ///
@@ -246,7 +391,12 @@ impl Server {
     /// reaches the index.
     pub fn handle(&self, line: &str) -> String {
         match Request::parse(line) {
-            Ok(req) => self.execute(req).render(),
+            // A cache hit reuses the entry's rendered wire form: the hot
+            // path then costs one lookup and one String clone.
+            Ok(req) => match self.run(req) {
+                Outcome::Fresh(resp) => resp.render(),
+                Outcome::Cached(e) => e.rendered.clone(),
+            },
             Err(e) => Response::Err(e.to_string()).render(),
         }
     }
@@ -262,18 +412,27 @@ impl Server {
     /// [slow-query threshold](Server::set_slow_query_millis) log a
     /// `slow_query` event.
     pub fn execute(&self, req: Request) -> Response {
+        match self.run(req) {
+            Outcome::Fresh(resp) => resp,
+            Outcome::Cached(e) => e.resp.clone(),
+        }
+    }
+
+    /// [`Server::execute`] keeping the cache-entry form of the outcome,
+    /// so [`Server::handle`] can reuse the cached rendering.
+    fn run(&self, req: Request) -> Outcome {
         let verb = req.verb();
         // The argument digest is captured up front only when the
         // slow-query log could use it — rendering costs a String per
         // request otherwise.
         let args = (self.slow_query_micros > 0).then(|| req.render());
         let t0 = Instant::now();
-        let resp = self.dispatch(req);
+        let out = self.dispatch(req);
         let elapsed = t0.elapsed();
         let (count, latency) = self.verbs.slot(verb);
         count.inc();
         latency.observe_micros(elapsed);
-        if matches!(resp, Response::Err(_)) {
+        if matches!(out.response(), Response::Err(_)) {
             self.verbs.errors.inc();
         }
         if let Some(args) = args {
@@ -289,14 +448,31 @@ impl Server {
                 );
             }
         }
-        resp
+        out
     }
 
-    fn dispatch(&self, req: Request) -> Response {
-        match req {
-            Request::Same { a, b } => self.count_query(self.exec_same(a, b)),
-            Request::Dups { entity } => self.count_query(self.exec_dups(entity)),
-            Request::Rep { entity } => self.count_query(self.exec_rep(entity)),
+    fn dispatch(&self, req: Request) -> Outcome {
+        if let Some(cache) = &self.cache {
+            if matches!(
+                req,
+                Request::Same { .. } | Request::Dups { .. } | Request::Rep { .. }
+            ) {
+                return Outcome::Cached(self.cached_query(cache, req));
+            }
+        }
+        Outcome::Fresh(match req {
+            Request::Same { a, b } => {
+                let snap = self.index.snapshot();
+                self.count_query(self.exec_same(&snap, a, b))
+            }
+            Request::Dups { entity } => {
+                let snap = self.index.snapshot();
+                self.count_query(self.exec_dups(&snap, entity))
+            }
+            Request::Rep { entity } => {
+                let snap = self.index.snapshot();
+                self.count_query(self.exec_rep(&snap, entity))
+            }
             Request::Explain { a, b } => self.count_query(self.exec_explain(a, b)),
             Request::Insert { batch } => self.count_update(self.exec_insert(&batch)),
             Request::Delete { batch } => self.count_update(self.exec_delete(&batch)),
@@ -309,7 +485,36 @@ impl Server {
             Request::Metrics => Response::Metrics(self.index.registry().snapshot()),
             Request::Ping => Response::Pong,
             Request::Help => Response::Help(PROTOCOL_HELP.to_string()),
+        })
+    }
+
+    /// Answers a cacheable query verb through the cache. The cache key and
+    /// the computed answer derive from the *same* snapshot, so an entry
+    /// keyed `(version, key_epoch, request)` always stores the answer that
+    /// state produced — concurrent writers advancing the index between the
+    /// two would otherwise poison the older generation.
+    fn cached_query(&self, cache: &AnswerCache, req: Request) -> Arc<CacheEntry> {
+        let snap = self.index.snapshot();
+        let key: CacheKey = (snap.version, snap.key_epoch, req);
+        if let Some(hit) = cache.get(&key) {
+            self.cache_metrics.hits.inc();
+            self.queries.fetch_add(1, Ordering::Relaxed);
+            return hit;
         }
+        self.cache_metrics.misses.inc();
+        let resp = match &key.2 {
+            Request::Same { a, b } => self.exec_same(&snap, a.clone(), b.clone()),
+            Request::Dups { entity } => self.exec_dups(&snap, entity.clone()),
+            Request::Rep { entity } => self.exec_rep(&snap, entity.clone()),
+            _ => unreachable!("only query verbs are cached"),
+        };
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(CacheEntry {
+            rendered: resp.render(),
+            resp,
+        });
+        cache.insert(key, Arc::clone(&entry));
+        entry
     }
 
     fn count_query(&self, resp: Response) -> Response {
@@ -322,9 +527,8 @@ impl Server {
         resp
     }
 
-    fn exec_same(&self, a: String, b: String) -> Response {
-        let snap = self.index.snapshot();
-        let (ea, eb) = match (entity(&snap, &a), entity(&snap, &b)) {
+    fn exec_same(&self, snap: &IndexState, a: String, b: String) -> Response {
+        let (ea, eb) = match (entity(snap, &a), entity(snap, &b)) {
             (Ok(ea), Ok(eb)) => (ea, eb),
             (Err(e), _) | (_, Err(e)) => return e,
         };
@@ -336,9 +540,8 @@ impl Server {
         }
     }
 
-    fn exec_dups(&self, entity_name: String) -> Response {
-        let snap = self.index.snapshot();
-        let e = match entity(&snap, &entity_name) {
+    fn exec_dups(&self, snap: &IndexState, entity_name: String) -> Response {
+        let e = match entity(snap, &entity_name) {
             Ok(e) => e,
             Err(e) => return e,
         };
@@ -357,9 +560,8 @@ impl Server {
         }
     }
 
-    fn exec_rep(&self, entity_name: String) -> Response {
-        let snap = self.index.snapshot();
-        match entity(&snap, &entity_name) {
+    fn exec_rep(&self, snap: &IndexState, entity_name: String) -> Response {
+        match entity(snap, &entity_name) {
             Ok(e) => Response::Rep {
                 rep: snap.graph.entity_label(snap.rep(e)),
             },
@@ -468,7 +670,7 @@ impl Server {
     fn exec_stats(&self) -> Response {
         let snap = self.index.snapshot();
         let s = &self.index.stats;
-        let mut pairs: Vec<(String, String)> = Vec::with_capacity(29);
+        let mut pairs: Vec<(String, String)> = Vec::with_capacity(33);
         let mut push = |k: &str, v: String| pairs.push((k.to_string(), v));
         push("engine", self.index.engine().to_string());
         push("threads", self.index.engine().threads().to_string());
@@ -521,6 +723,19 @@ impl Server {
                 .snapshot_seq()
                 .map_or("none".to_string(), |v| v.to_string()),
         );
+        push(
+            "cache_capacity",
+            self.cache.as_ref().map_or(0, |c| c.capacity).to_string(),
+        );
+        push(
+            "cache_entries",
+            self.cache
+                .as_ref()
+                .map_or(0, AnswerCache::entries)
+                .to_string(),
+        );
+        push("cache_hits", self.cache_metrics.hits.get().to_string());
+        push("cache_misses", self.cache_metrics.misses.get().to_string());
         Response::Stats(pairs)
     }
 }
@@ -575,4 +790,91 @@ fn entity(snap: &IndexState, name: &str) -> Result<EntityId, Response> {
     snap.graph
         .entity_named(name)
         .ok_or_else(|| Response::Err(format!("unknown entity {name:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gk_core::KeySet;
+    use gk_graph::parse_graph;
+
+    const KEYS: &str = r#"key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }"#;
+    const GRAPH: &str = r#"
+        a1:album name_of "Anthology 2"
+        a1:album release_year "1996"
+        a2:album name_of "Anthology 2"
+        a2:album release_year "1996"
+        a3:album name_of "Other"
+    "#;
+
+    fn cached_server(entries: usize) -> Server {
+        let mut s = Server::new(parse_graph(GRAPH).unwrap(), KeySet::parse(KEYS).unwrap());
+        s.set_cache_entries(entries);
+        s
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache_with_identical_answers() {
+        let s = cached_server(64);
+        let first = s.handle("SAME a1 a2");
+        let again = s.handle("SAME a1 a2");
+        assert_eq!(first, again);
+        assert!(first.starts_with("YES"));
+        assert_eq!(s.cache_metrics.misses.get(), 1);
+        assert_eq!(s.cache_metrics.hits.get(), 1);
+        // A different request is its own entry.
+        let _ = s.handle("DUPS a1");
+        assert_eq!(s.cache_metrics.misses.get(), 2);
+    }
+
+    #[test]
+    fn deterministic_errors_are_cached_too() {
+        // An unknown entity is a property of the snapshot, so its ERR is
+        // as cacheable as any other answer.
+        let s = cached_server(64);
+        let first = s.handle("SAME ghost a1");
+        let again = s.handle("SAME ghost a1");
+        assert_eq!(first, again);
+        assert!(first.starts_with("ERR unknown entity"));
+        assert_eq!(s.cache_metrics.hits.get(), 1);
+    }
+
+    #[test]
+    fn every_mutation_invalidates_by_keying() {
+        let s = cached_server(64);
+        assert!(s.handle("SAME a1 a3").starts_with("NO"));
+        // INSERT bumps the version: the same request misses and recomputes
+        // against the new snapshot.
+        let resp =
+            s.handle(r#"INSERT a3:album name_of "Anthology 2" ; a3:album release_year "1996""#);
+        assert!(resp.starts_with("OK"), "{resp}");
+        assert!(s.handle("SAME a1 a3").starts_with("YES"));
+        assert_eq!(s.cache_metrics.hits.get(), 0);
+        assert_eq!(s.cache_metrics.misses.get(), 2);
+        // DROPKEY bumps version + epoch: cached YES does not survive.
+        assert!(s.handle("DROPKEY Q2").starts_with("OK"));
+        assert!(s.handle("SAME a1 a3").starts_with("NO"));
+    }
+
+    #[test]
+    fn cache_size_stays_within_the_hard_bound() {
+        // Capacity 8 over 8 shards: each shard holds at most
+        // 2 * cap_per_shard entries (hot + cold generation).
+        let s = cached_server(8);
+        for i in 0..200 {
+            let _ = s.handle(&format!("DUPS e{i}"));
+        }
+        let entries = s.cache.as_ref().unwrap().entries();
+        assert!(entries <= 16, "cache grew to {entries} entries");
+    }
+
+    #[test]
+    fn zero_entries_disables_the_cache() {
+        let s = cached_server(0);
+        assert!(s.cache.is_none());
+        let _ = s.handle("SAME a1 a2");
+        let _ = s.handle("SAME a1 a2");
+        assert_eq!(s.cache_metrics.hits.get(), 0);
+        assert_eq!(s.cache_metrics.misses.get(), 0);
+    }
 }

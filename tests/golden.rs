@@ -134,6 +134,35 @@ fn golden_queries() {
 }
 
 #[test]
+fn golden_framing() {
+    // The raw TCP byte stream for a pipelined session with interleaved
+    // blank lines (a `query --stdin` script with a trailing newline pair
+    // produces exactly this shape). Blank lines yield NO response
+    // paragraph, so the paragraphs stay aligned with the requests — a
+    // spurious `ERR` for a blank line would shift every answer after it.
+    use keys_for_graphs::server::serve;
+    use std::io::{Read, Write};
+
+    let s = std::sync::Arc::new(server());
+    let handle = serve(std::sync::Arc::clone(&s), "127.0.0.1:0", 1).unwrap();
+    let script = "PING\n\nSAME alb1 alb2\n\n\nDUPS alb1\nREP alb2\n\nQUIT\n";
+    let mut conn = std::net::TcpStream::connect(handle.addr()).unwrap();
+    conn.write_all(script.as_bytes()).unwrap();
+    let mut raw = String::new();
+    // QUIT answers BYE and closes the connection, ending the read.
+    conn.read_to_string(&mut raw).unwrap();
+    handle.stop();
+
+    let mut got = String::new();
+    for line in script.lines() {
+        let _ = writeln!(got, ">> {line}");
+    }
+    got.push('\n');
+    got.push_str(&raw);
+    check_golden("framing", &got);
+}
+
+#[test]
 fn golden_keys() {
     // Runtime key management: ADDKEY (monotone delta chase), DROPKEY
     // (full re-chase), the KEYS listing with its epoch, the new

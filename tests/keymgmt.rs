@@ -217,6 +217,74 @@ proptest! {
 /// A deterministic worst case on top of the random streams: add, use,
 /// snapshot, drop, re-add across two restarts.
 #[test]
+fn empty_keyed_type_survives_startup_addkey_and_rechase() {
+    // A keyed type with zero entities used to underflow the candidate
+    // count `n * (n - 1) / 2` at n = 0 and panic in debug builds. The type
+    // must be *interned* for its key to compile, which the text loader
+    // can't produce — build the graph directly.
+    let mut b = GraphBuilder::new();
+    b.intern_type("album");
+    b.intern_pred("release_year");
+    let solo = b.entity("solo", "artist");
+    b.attr(solo, "name_of", "The Beatles");
+    let twin = b.entity("twin", "artist");
+    b.attr(twin, "name_of", "The Beatles");
+    let g = b.freeze();
+
+    // Startup chase with a key on the entity-less type.
+    let keys = KeySet::parse(
+        r#"
+        key "QE" album(x)  { x -name_of-> n*; }
+        key "QA" artist(x) { x -name_of-> n*; }
+        "#,
+    )
+    .unwrap();
+    let server = Server::new(g, keys);
+    assert!(server.handle("SAME solo twin").starts_with("YES"));
+
+    // Runtime ADDKEY for another key on the empty type: the wake set is
+    // empty, the chase must still succeed.
+    let resp = server.handle(r#"ADDKEY key "QY" album(x) { x -release_year-> y* ; }"#);
+    assert!(resp.starts_with("OK"), "{resp}");
+
+    // DELETE forces the full re-chase path (candidate prep included)
+    // while the keyed album type still has zero entities.
+    let resp = server.handle(r#"DELETE twin:artist name_of "The Beatles""#);
+    assert!(resp.starts_with("OK mode=full-rechase"), "{resp}");
+    assert!(server.handle("SAME solo twin").starts_with("NO"));
+}
+
+#[test]
+fn chase_survives_deleting_every_triple_of_a_keyed_type() {
+    // Deleting all of a keyed type's triples leaves its entities bare
+    // (entities are never garbage-collected); every candidate pair of the
+    // type must then fail cleanly rather than panic anywhere in prep.
+    let server = Server::new(
+        parse_graph(
+            r#"
+            a1:album name_of "X"
+            a2:album name_of "X"
+            r1:artist name_of "B"
+            r2:artist name_of "B"
+            "#,
+        )
+        .unwrap(),
+        KeySet::parse(
+            r#"
+            key "QN" album(x)  { x -name_of-> n*; }
+            key "QA" artist(x) { x -name_of-> n*; }
+            "#,
+        )
+        .unwrap(),
+    );
+    assert!(server.handle("SAME a1 a2").starts_with("YES"));
+    let resp = server.handle(r#"DELETE a1:album name_of "X" ; a2:album name_of "X""#);
+    assert!(resp.starts_with("OK mode=full-rechase"), "{resp}");
+    assert!(server.handle("SAME a1 a2").starts_with("NO"));
+    assert!(server.handle("SAME r1 r2").starts_with("YES"));
+}
+
+#[test]
 fn addkey_dropkey_across_two_restarts() {
     let dir = casedir("two-restarts");
     let dur = Durability::in_dir(&dir);

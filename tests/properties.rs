@@ -341,3 +341,62 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Answer-cache transparency
+// ---------------------------------------------------------------------------
+
+/// One protocol request line per op: mutations over the same tiny alphabet
+/// `build_graph` uses, so inserts/deletes hit live vocabulary often.
+fn cache_op_line(kind: u8, i: u8, v: u8) -> String {
+    let (i, v) = (i % 10, v % 10);
+    match kind % 6 {
+        0 | 1 => format!("INSERT e{i}:t{} p{} \"v{}\"", i % 3, v % 4, v % 6),
+        2 => format!("INSERT e{i}:t{} p{} e{v}:t{}", i % 3, v % 4, v % 3),
+        3 => format!("DELETE e{i}:t{} p{} \"v{}\"", i % 3, v % 4, v % 6),
+        4 => match v % 3 {
+            0 => r#"ADDKEY key "KA" t0(x) { x -p0-> n*; }"#.into(),
+            1 => r#"ADDKEY key "KB" t1(x) { x -p1-> n*; }"#.into(),
+            _ => r#"ADDKEY key "KC" t2(x) { x -p2-> n*; x -p3-> m*; }"#.into(),
+        },
+        _ => format!("DROPKEY {}", ["KA", "KB", "KC", "QBASE"][(v % 4) as usize]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The answer cache must be invisible: a cache-enabled server answers
+    /// every query byte-identically to a cache-disabled one across random
+    /// interleavings of INSERT/DELETE/ADDKEY/DROPKEY and hot re-asks
+    /// (which exercise the hit path on the cached side).
+    #[test]
+    fn answer_cache_is_transparent_across_interleavings(
+        raw in raw_triples(),
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..24),
+    ) {
+        let keys = KeySet::parse(
+            r#"key "QBASE" t0(x) { x -p0-> n*; }"#,
+        ).unwrap();
+        let plain = Server::new(build_graph(&raw), keys.clone());
+        let mut cached = Server::new(build_graph(&raw), keys);
+        cached.set_cache_entries(32);
+
+        let ask = |q: &str| {
+            let want = plain.handle(q);
+            // Twice on the cached side: first fills, second must hit.
+            assert_eq!(cached.handle(q), want, "first ask of {q}");
+            assert_eq!(cached.handle(q), want, "hot ask of {q}");
+        };
+
+        for &(kind, i, v) in &ops {
+            let line = cache_op_line(kind, i, v);
+            // Mutations are deterministic, so their answers (including
+            // ERR for misses/duplicates) must agree too.
+            prop_assert_eq!(plain.handle(&line), cached.handle(&line), "op {}", line);
+            ask(&format!("SAME e{} e{}", i % 10, v % 10));
+            ask(&format!("DUPS e{}", i % 10));
+            ask(&format!("REP e{}", v % 10));
+        }
+    }
+}

@@ -193,3 +193,73 @@ fn concurrent_tcp_clients_with_mixed_traffic() {
     assert!(request(&addr, "SAME b1 b2").unwrap().starts_with("YES"));
     handle.stop();
 }
+
+#[test]
+fn blank_lines_are_skipped_and_framing_stays_aligned() {
+    // Piped input ("query --stdin" with a trailing newline, sloppy shell
+    // heredocs) interleaves blank lines with requests. A blank line must
+    // produce NO response paragraph — answering ERR would misalign a
+    // pipelined client that matches responses to requests by counting
+    // paragraphs, and would inflate gk_request_errors_total.
+    use keys_for_graphs::server::serve;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+
+    let server = Arc::new(catalog_server());
+    let handle = serve(Arc::clone(&server), "127.0.0.1:0", 1).unwrap();
+
+    let mut conn = TcpStream::connect(handle.addr()).unwrap();
+    conn.write_all(b"SAME a1 a2\n\n\nSTATS\n\n").unwrap();
+    let mut reader = BufReader::new(conn.try_clone().unwrap());
+
+    // Exactly two response paragraphs come back, in request order, with
+    // nothing in between for the three blank lines.
+    let mut read_paragraph = || {
+        let mut para = String::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            assert!(reader.read_line(&mut line).unwrap() > 0, "server closed");
+            if line.trim_end_matches(['\r', '\n']).is_empty() {
+                return para;
+            }
+            para.push_str(&line);
+        }
+    };
+    assert!(read_paragraph().starts_with("YES"));
+    assert!(read_paragraph().starts_with("STATS"));
+
+    // The error counter never moved: blank lines were skipped, not parsed.
+    let metrics = server.handle("METRICS");
+    assert!(metrics.contains("gk_request_errors_total 0"), "{metrics}");
+    handle.stop();
+}
+
+#[test]
+fn one_shot_request_times_out_against_a_silent_server() {
+    // A listener that accepts and then never answers models a wedged
+    // server. Before the timeout fix, `request` blocked forever here.
+    use keys_for_graphs::server::request_with_timeout;
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let hold = std::thread::spawn(move || {
+        let (conn, _) = listener.accept().unwrap();
+        std::thread::sleep(std::time::Duration::from_secs(5));
+        drop(conn);
+    });
+
+    let t0 = std::time::Instant::now();
+    let err = request_with_timeout(&addr, "STATS", std::time::Duration::from_millis(200))
+        .expect_err("read against a silent server must time out");
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+        ),
+        "{err:?}"
+    );
+    assert!(t0.elapsed() < std::time::Duration::from_secs(3));
+    drop(hold); // detach: the holder thread finishes on its own clock
+}
