@@ -170,6 +170,9 @@ fn paper_note(id: &str) -> &'static str {
         "metrics_overhead" => {
             "beyond the paper: instrumentation cost — live metrics registry vs compiled no-op handles"
         }
+        "trace_overhead" => {
+            "beyond the paper: tracing cost — flight recorder capturing every request vs disabled no-op spans"
+        }
         "query_cached" => {
             "beyond the paper: epoch-keyed answer cache — Zipf-skewed DUPS-heavy stream, cache on vs off"
         }

@@ -158,6 +158,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "ingest_throughput",
     "query_pipeline",
     "metrics_overhead",
+    "trace_overhead",
     "query_cached",
     "matcher_prune",
 ];
@@ -299,6 +300,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Measurement> {
         "ingest_throughput" => ingest_throughput(quick),
         "query_pipeline" => query_pipeline(quick),
         "metrics_overhead" => metrics_overhead(quick),
+        "trace_overhead" => trace_overhead(quick),
         "query_cached" => query_cached(quick),
         "matcher_prune" => matcher_prune(quick),
         other => panic!("unknown experiment id {other:?}; see ALL_EXPERIMENTS"),
@@ -995,6 +997,149 @@ fn metrics_overhead(quick: bool) -> Vec<Measurement> {
     vec![best_on, best_off]
 }
 
+/// Beyond the paper: cost of the tracing layer on the pipelined
+/// 10k-entity query workload. The baseline server runs the production
+/// default — tracing compiled in, flight recorder off, every hot-path
+/// span the no-op `Span::disabled()` — and is compared with
+/// one whose recorder captures every request (root span, per-phase child
+/// spans, ring-buffer push). Both serve the identical deterministic
+/// stream through the `gk-client` pipeline and must answer
+/// byte-identically; the gap bounds the full span-allocation +
+/// clock-read + recording cost, and the disabled mode pays strictly less
+/// than that on every request. The run also executes the acceptance
+/// `TRACE DUPS` probe against the traced server: the phase wall-times of
+/// the returned tree must sum to within 10% of its root and the analyze
+/// funnel counters (candidates, iso checks) must be live. `quick`
+/// reduces the request count, not the graph: the <5% acceptance
+/// overhead is defined at this scale.
+fn trace_overhead(quick: bool) -> Vec<Measurement> {
+    use gk_client::Client;
+    use gk_server::{serve, Request, Server};
+    use std::sync::Arc;
+
+    let cfg = dataset_cfg('g', false)
+        .with_scale(0.46)
+        .with_chain(2)
+        .with_radius(2);
+    let w = generate(&cfg);
+    let build = |buffer: usize| {
+        let mut s = Server::new(
+            gk_graph::GraphBuilder::from_graph(&w.graph).freeze(),
+            w.keys.clone(),
+        );
+        s.set_trace_buffer(buffer);
+        Arc::new(s)
+    };
+    let on = serve(build(64), "127.0.0.1:0", 4).expect("bind");
+    let off = serve(build(0), "127.0.0.1:0", 4).expect("bind");
+
+    let names: Vec<String> = w
+        .graph
+        .entities()
+        .take(512)
+        .map(|e| w.graph.entity_label(e))
+        .collect();
+    let total = if quick { 2_000 } else { 10_000 };
+    let reqs: Vec<Request> = (0..total)
+        .map(|i| {
+            let a = names[i % names.len()].clone();
+            let b = names[(i * 7 + 13) % names.len()].clone();
+            match i % 4 {
+                0 => Request::Same { a, b },
+                1 => Request::Rep { entity: a },
+                2 => Request::Dups { entity: a },
+                _ => Request::Ping,
+            }
+        })
+        .collect();
+
+    let run = |addr: &std::net::SocketAddr| {
+        let mut c = Client::connect(&addr.to_string()).expect("connect");
+        let t = Instant::now();
+        let answers = c.run_pipelined(&reqs, 64).expect("pipelined batch");
+        (t.elapsed().as_secs_f64(), answers)
+    };
+    // One untimed pass per server faults in the connection path and any
+    // lazy allocation, so the timed reps measure steady state.
+    let _ = run(&on.addr());
+    let _ = run(&off.addr());
+
+    // Best-of-N in both modes: the quantity under test is a small relative
+    // difference, and a single rep on a loaded machine is dominated by
+    // scheduling noise, not by the span bookkeeping being measured.
+    let reps = 3;
+    let mut on_runs = Vec::new();
+    let mut off_runs = Vec::new();
+    for _ in 0..reps {
+        let (on_secs, on_answers) = run(&on.addr());
+        let (off_secs, off_answers) = run(&off.addr());
+        let correct = on_answers == off_answers;
+
+        let base = |algo: &str, secs: f64| Measurement {
+            experiment: "trace_overhead".into(),
+            dataset: w.name.clone(),
+            algo: algo.into(),
+            x: format!("requests={total}"),
+            seconds: secs,
+            sim_seconds: 0.0,
+            identified: 0,
+            candidates: 0,
+            rounds: 0,
+            traffic: total as u64,
+            correct,
+            extra: vec![(
+                "rps".into(),
+                format!("{:.0}", total as f64 / secs.max(1e-9)),
+            )],
+        };
+        on_runs.push(base("trace_on", on_secs));
+        off_runs.push(base("trace_off", off_secs));
+    }
+
+    // The EXPLAIN ANALYZE acceptance probe, against the traced server
+    // while it is still up: trace a planted duplicate and require the
+    // span tree to account for its own wall time with a live candidate
+    // funnel — a tree of zeros would mean the spans are decorative.
+    let probe = w
+        .truth
+        .first()
+        .map(|&(a, _)| w.graph.entity_label(a))
+        .unwrap_or_else(|| names[0].clone());
+    let mut c = Client::connect(&on.addr().to_string()).expect("connect");
+    let (_, root, _) = c
+        .trace(Request::Dups { entity: probe })
+        .expect("traced probe");
+    let phase_sum = root.child_micros();
+    // Sub-100µs roots are below the clock's useful resolution for a
+    // ratio; real probes on this graph run well past that.
+    let sum_ok = root.micros < 100 || phase_sum as f64 >= root.micros as f64 * 0.9;
+    let analyze = root.children.iter().find(|c| c.name == "analyze");
+    let funnel = |k: &str| analyze.and_then(|a| a.counter(k)).unwrap_or(0);
+    let funnel_ok = funnel("candidates") > 0 && funnel("iso_checks") > 0;
+
+    on.stop();
+    off.stop();
+    // The reported overhead compares the best rep of each side — the same
+    // pair the acceptance test asserts on.
+    let mut best_on = pick_best(on_runs);
+    let best_off = pick_best(off_runs);
+    best_on.correct &= sum_ok && funnel_ok;
+    best_on.extra.push((
+        "overhead_pct".into(),
+        format!("{:.2}", (best_on.seconds / best_off.seconds - 1.0) * 100.0),
+    ));
+    for (k, v) in [
+        ("probe_root_micros", root.micros),
+        ("probe_phase_micros", phase_sum),
+        ("probe_candidates", funnel("candidates")),
+        ("probe_pruned", funnel("pruned")),
+        ("probe_iso_checks", funnel("iso_checks")),
+    ] {
+        best_on.extra.push((k.into(), v.to_string()));
+    }
+    vec![best_on, best_off]
+}
+
 /// Beyond the paper: the epoch-keyed answer cache under a skewed read
 /// workload. A duplicate-cluster graph makes every `DUPS` answer render
 /// `members − 1` labels — real per-request work — and a Zipf(1) request
@@ -1307,6 +1452,47 @@ mod tests {
                 last.0 <= last.1 * 1.05,
                 "metrics on ({:.4}s) must stay within 5% of the compiled \
                  no-op path ({:.4}s)",
+                last.0,
+                last.1
+            );
+        }
+    }
+
+    #[test]
+    fn trace_overhead_is_under_5pct_with_identical_answers() {
+        let ms = run_experiment("trace_overhead", true);
+        assert_eq!(ms.len(), 2);
+        assert!(
+            ms.iter().all(|m| m.correct),
+            "traced and untraced answers must be identical and the TRACE \
+             DUPS probe must account for its wall time with live funnel \
+             counters: {ms:?}"
+        );
+        // The <5% throughput-cost acceptance claim is asserted only in
+        // release (the CI recovery job runs it there); debug-mode span
+        // bookkeeping dwarfs the release-mode cost under test. The
+        // recorder-on side pays for every span the disabled mode skips,
+        // so the disabled-mode cost is bounded by the same 5%.
+        #[cfg(not(debug_assertions))]
+        {
+            let pair = |ms: &[Measurement]| {
+                let on = ms.iter().find(|m| m.algo == "trace_on").unwrap();
+                let off = ms.iter().find(|m| m.algo == "trace_off").unwrap();
+                (on.seconds, off.seconds)
+            };
+            // Best of up to 3 attempts guards the one-rep quick mode
+            // against transient stalls on a loaded runner.
+            let mut last = pair(&ms);
+            for _ in 0..2 {
+                if last.0 <= last.1 * 1.05 {
+                    break;
+                }
+                last = pair(&run_experiment("trace_overhead", true));
+            }
+            assert!(
+                last.0 <= last.1 * 1.05,
+                "flight recorder on ({:.4}s) must stay within 5% of the \
+                 disabled-span path ({:.4}s)",
                 last.0,
                 last.1
             );

@@ -31,8 +31,12 @@ pub const USAGE: &str = "usage:
                      [--slow-query-ms N]       log requests slower than N ms (0 = off)
                      [--cache-entries N]       epoch-keyed answer cache for
                      SAME/DUPS/REP, about N entries (0 = off, the default)
+                     [--trace-buffer N]        flight recorder: retain the last N
+                     request traces + N slow-query traces (default 32, 0 = off)
   graphkeys snapshot <addr>                    ask a running server to persist a snapshot
   graphkeys metrics  <addr>                    print a server's metrics exposition
+  graphkeys trace    <addr> <request>          run one request under span tracing and
+                     print the span tree + the answer (e.g. trace 127.0.0.1:7878 DUPS e1)
   graphkeys recover  --data-dir DIR [--engine E] [--threads N] [--verify]
                      rebuild from snapshot + WAL; --verify cross-checks
                      against a from-scratch chase
@@ -71,6 +75,7 @@ pub fn run_to(args: &[String], out: &mut String) -> Result<(), String> {
         "serve" => cmd_serve(rest, out),
         "snapshot" => cmd_snapshot(rest, out),
         "metrics" => cmd_metrics(rest, out),
+        "trace" => cmd_trace(rest, out),
         "recover" => cmd_recover(rest, out),
         "query" => cmd_query(rest, out),
         other => Err(format!("unknown command {other:?}")),
@@ -490,6 +495,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
             "metrics-addr",
             "slow-query-ms",
             "cache-entries",
+            "trace-buffer",
         ],
     )?;
     let [gpath, kpath] = f.positional.as_slice() else {
@@ -506,6 +512,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
         f.get_parse("compact-threshold", gk_server::DEFAULT_COMPACT_THRESHOLD)?;
     let slow_query_ms = f.get_parse("slow-query-ms", 0u64)?;
     let cache_entries = f.get_parse("cache-entries", 0usize)?;
+    let trace_buffer = f.get_parse("trace-buffer", 32usize)?;
     let mut server = match f.get("data-dir") {
         None => {
             if f.get("fsync").is_some() {
@@ -533,6 +540,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
     };
     server.set_slow_query_millis(slow_query_ms);
     server.set_cache_entries(cache_entries);
+    server.set_trace_buffer(trace_buffer);
     let server = std::sync::Arc::new(server);
     // Holds the scrape-endpoint thread for the life of the process (serve
     // never returns).
@@ -610,6 +618,34 @@ fn cmd_metrics(args: &[String], out: &mut String) -> Result<(), String> {
         .map_err(|e| format!("cannot reach {addr}: {e}"))?;
     // The raw exposition, ready for a file or a scraper diff.
     out.push_str(&gk_server::render_exposition(&snaps));
+    Ok(())
+}
+
+fn cmd_trace(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(args, &[])?;
+    let [addr, verb_and_args @ ..] = f.positional.as_slice() else {
+        return Err("trace takes an address and a request (e.g. DUPS e1)".into());
+    };
+    if verb_and_args.is_empty() {
+        return Err("trace needs a request after the address (e.g. DUPS e1)".into());
+    }
+    let line = verb_and_args.join(" ");
+    // Parse client-side, then wrap in TRACE (idempotently: an explicit
+    // `trace <addr> TRACE DUPS e` is not double-wrapped).
+    let req = gk_server::Request::parse(&line).map_err(|e| e.to_string())?;
+    let wrapped = match req {
+        traced @ gk_server::Request::Trace { .. } => traced,
+        inner => gk_server::Request::Trace {
+            inner: Box::new(inner),
+        },
+    };
+    let resp = gk_client::Client::lazy(addr)
+        .request(&wrapped)
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    let _ = writeln!(out, "{}", resp.render());
+    if resp.is_err() {
+        return Err(format!("server answered: {}", resp.render()));
+    }
     Ok(())
 }
 
@@ -1103,6 +1139,35 @@ mod tests {
         // Arg errors.
         let mut out2 = String::new();
         assert!(run_to(&args(&["metrics"]), &mut out2).is_err());
+    }
+
+    #[test]
+    fn trace_command_prints_the_span_tree_and_the_answer() {
+        let g = gk_graph::parse_graph(G).unwrap();
+        let ks = gk_core::KeySet::parse(K).unwrap();
+        let server = std::sync::Arc::new(gk_server::Server::new(g, ks));
+        let handle = gk_server::serve(std::sync::Arc::clone(&server), "127.0.0.1:0", 2).unwrap();
+        let addr = handle.addr().to_string();
+
+        let mut out = String::new();
+        run_to(&args(&["trace", &addr, "DUPS", "alb1"]), &mut out).unwrap();
+        assert!(out.starts_with("TRACE id="), "{out}");
+        assert!(out.contains("span=dups"), "{out}");
+        assert!(out.contains("span=lookup"), "{out}");
+        assert!(out.contains("span=analyze"), "{out}");
+        assert!(out.contains("\nANSWER\n"), "{out}");
+
+        // An explicit TRACE prefix is not double-wrapped.
+        let mut out2 = String::new();
+        run_to(&args(&["trace", &addr, "TRACE", "PING"]), &mut out2).unwrap();
+        assert!(out2.contains("span=ping"), "{out2}");
+        assert!(out2.contains("PONG"), "{out2}");
+
+        // Arg errors.
+        let mut out3 = String::new();
+        assert!(run_to(&args(&["trace"]), &mut out3).is_err());
+        assert!(run_to(&args(&["trace", &addr]), &mut out3).is_err());
+        handle.stop();
     }
 
     #[test]

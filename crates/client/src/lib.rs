@@ -225,6 +225,31 @@ impl Client {
         }
     }
 
+    /// Executes `req` under server-side span tracing (`TRACE <verb ...>`)
+    /// and returns the span tree plus the unchanged typed answer.
+    ///
+    /// Convenience over `request(&Request::Trace { .. })`: unwraps the
+    /// `Response::Trace` payload and turns any other answer — including
+    /// the `ERR` for an untraceable request like a nested `TRACE` — into
+    /// an `InvalidData` error. Retriability follows the wrapped verb:
+    /// tracing a read-only query stays replayable, tracing an update does
+    /// not.
+    pub fn trace(
+        &mut self,
+        req: Request,
+    ) -> std::io::Result<(u64, gk_server::TraceNode, Response)> {
+        let wrapped = Request::Trace {
+            inner: Box::new(req),
+        };
+        match self.request(&wrapped)? {
+            Response::Trace { id, root, answer } => Ok((id, root, *answer)),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected TRACE answer: {}", other.render()),
+            )),
+        }
+    }
+
     /// Starts an explicit pipeline batch: push requests, then
     /// [`Pipeline::send`] writes them all and drains all answers.
     pub fn pipeline(&mut self) -> Pipeline<'_> {
@@ -587,6 +612,36 @@ mod tests {
             1,
             "the batch must not have been resent on a fresh connection"
         );
+    }
+
+    #[test]
+    fn trace_returns_the_span_tree_and_the_unchanged_answer() {
+        let (handle, addr) = spawn();
+        let mut c = Client::connect(&addr).unwrap();
+        let direct = c
+            .request(&Request::Dups {
+                entity: "alb1".into(),
+            })
+            .unwrap();
+        let (id, root, answer) = c
+            .trace(Request::Dups {
+                entity: "alb1".into(),
+            })
+            .unwrap();
+        assert!(id >= 1);
+        assert_eq!(answer, direct, "tracing must not change the answer");
+        assert_eq!(root.name, "dups");
+        let phases: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(phases, ["lookup", "analyze"]);
+        // A nested TRACE is rejected server-side; the client surfaces it
+        // as InvalidData rather than a bogus span tree.
+        let err = c
+            .trace(Request::Trace {
+                inner: Box::new(Request::Ping),
+            })
+            .expect_err("nested TRACE must not answer a trace");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        handle.stop();
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! EXPLAIN ANALYZE for a single entity: re-derive the cost structure of
+//! the chase around one anchor.
+//!
+//! Aggregate metrics cannot explain *one* answer: the per-request mix of
+//! candidate enumeration, degree pruning, value blocking and guided
+//! isomorphism checking varies wildly with key topology. This module
+//! replays — under the *terminal* relation, so it never changes any
+//! answer — exactly the funnel the chase engines apply around one
+//! entity, recording how many same-type partners each key had to
+//! consider, how many the degree and value-blocking filters removed,
+//! and how much guided-search effort ([`EvalStats`]) the survivors
+//! cost. The server's `TRACE SAME|DUPS|REP` verbs attach the result as
+//! an `analyze` span.
+
+use crate::eqrel::EqRel;
+use crate::keyset::CompiledKeySet;
+use gk_graph::{DegreeBuckets, EntityId, GraphView};
+use gk_isomorph::{eval_pair_stats, EvalStats, MatchScope, SlotKind};
+use gk_metrics::trace::Span;
+
+/// The candidate funnel around one entity, summed over the keys on its
+/// type. `candidates = pruned + iso_checks`: every considered partner is
+/// either filtered before matching or actually iso-checked.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EntityAnalysis {
+    /// Same-type partner pairs considered (per key).
+    pub candidates: u64,
+    /// Pairs removed by degree pruning or value blocking before any
+    /// isomorphism search ran.
+    pub pruned: u64,
+    /// Guided isomorphism evaluations performed on the survivors.
+    pub iso_checks: u64,
+    /// Iso checks that certified the pair under the terminal relation.
+    pub matched: u64,
+    /// Guided-search effort spent across all iso checks.
+    pub effort: EvalStats,
+}
+
+/// Replays the chase's candidate funnel around `e` under the terminal
+/// `eq`, recording one `key` child span per key on `e`'s type (counters:
+/// `key` index, `candidates`, `pruned_degree`, `pruned_block`,
+/// `iso_checks`, `matched`, `bind_attempts`) and the merged totals as
+/// `candidates`/`pruned`/`iso_checks`/`matched` counters on `span`.
+///
+/// Read-only: evaluation under a terminal relation is idempotent, so
+/// this can never disturb served answers (Church–Rosser).
+pub fn analyze_entity<V: GraphView>(
+    g: &V,
+    keys: &CompiledKeySet,
+    degrees: &DegreeBuckets,
+    eq: &EqRel,
+    e: EntityId,
+    span: &Span,
+) -> EntityAnalysis {
+    let t = g.entity_type(e);
+    let mut total = EntityAnalysis::default();
+    for &ki in keys.keys_on(t) {
+        let key_span = span.child("key");
+        key_span.count("key", ki as u64 + 1);
+        let q = &keys.keys[ki].pattern;
+        let req = q.anchor_req();
+        let partners = g.entities_of_type(t).len().saturating_sub(1) as u64;
+        let mut candidates = partners;
+        let mut pruned_degree = 0u64;
+        let mut pruned_block = 0u64;
+        let mut iso_checks = 0u64;
+        let mut matched = 0u64;
+        let mut effort = EvalStats::default();
+        if !degrees.satisfies(e, req) {
+            // The anchor itself cannot carry the pattern: every partner
+            // pair dies in the degree filter.
+            pruned_degree = partners;
+        } else {
+            // Value blocking (CandidateMode::Blocked): a value attribute
+            // on the anchor admits only partners sharing one of `e`'s
+            // values under that predicate.
+            let block = q.triples().iter().find(|tri| {
+                tri.s == q.anchor()
+                    && matches!(
+                        q.slots()[tri.o as usize],
+                        SlotKind::ValueVar | SlotKind::Const(_)
+                    )
+            });
+            let anchor_values: Vec<_> = block
+                .map(|tri| {
+                    g.out_with(e, tri.p)
+                        .iter()
+                        .filter_map(|&(_, o)| o.as_value())
+                        .collect()
+                })
+                .unwrap_or_default();
+            for f in g.entities_of_type(t) {
+                if f == e {
+                    continue;
+                }
+                if !degrees.satisfies(f, req) {
+                    pruned_degree += 1;
+                    continue;
+                }
+                if let Some(tri) = block {
+                    let shares = g
+                        .out_with(f, tri.p)
+                        .iter()
+                        .filter_map(|&(_, o)| o.as_value())
+                        .any(|v| anchor_values.contains(&v));
+                    if !shares {
+                        pruned_block += 1;
+                        continue;
+                    }
+                }
+                iso_checks += 1;
+                let (witness, stats) = eval_pair_stats(g, q, e, f, eq, MatchScope::whole_graph());
+                effort.absorb(stats);
+                if witness.is_some() {
+                    matched += 1;
+                }
+            }
+            candidates = pruned_degree + pruned_block + iso_checks;
+        }
+        key_span.count("candidates", candidates);
+        key_span.count("pruned_degree", pruned_degree);
+        key_span.count("pruned_block", pruned_block);
+        key_span.count("iso_checks", iso_checks);
+        key_span.count("matched", matched);
+        key_span.count("bind_attempts", effort.bind_attempts);
+        key_span.finish();
+        total.candidates += candidates;
+        total.pruned += pruned_degree + pruned_block;
+        total.iso_checks += iso_checks;
+        total.matched += matched;
+        total.effort.absorb(effort);
+    }
+    span.count("candidates", total.candidates);
+    span.count("pruned", total.pruned);
+    span.count("iso_checks", total.iso_checks);
+    span.count("matched", total.matched);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{chase_reference, ChaseOrder};
+    use crate::keyset::KeySet;
+    use gk_graph::parse_graph;
+
+    #[test]
+    fn funnel_accounts_for_every_candidate() {
+        let g = parse_graph(
+            r#"
+            alb1:album  name_of       "Anthology 2"
+            alb1:album  release_year  "1996"
+            alb2:album  name_of       "Anthology 2"
+            alb2:album  release_year  "1996"
+            alb3:album  name_of       "Elsewhere"
+            alb3:album  release_year  "1996"
+            alb4:album  name_of       "Sparse"
+            "#,
+        )
+        .unwrap();
+        let keys = KeySet::parse(r#"key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }"#)
+            .unwrap()
+            .compile(&g);
+        let eq = chase_reference(&g, &keys, ChaseOrder::Deterministic).eq;
+        let degrees = DegreeBuckets::build(&g);
+        let e = g.entity_named("alb1").unwrap();
+        let span = Span::root("analyze");
+        let a = analyze_entity(&g, &keys, &degrees, &eq, e, &span);
+        span.finish();
+        assert_eq!(a.candidates, 3, "alb2, alb3, alb4");
+        assert_eq!(a.candidates, a.pruned + a.iso_checks);
+        // alb4 lacks a release_year (degree), alb3 shares no name (block),
+        // alb2 survives to the iso check and matches.
+        assert_eq!(a.pruned, 2);
+        assert_eq!(a.iso_checks, 1);
+        assert_eq!(a.matched, 1);
+        assert!(a.effort.bind_attempts >= 1);
+        let node = span.to_node().unwrap();
+        assert_eq!(node.counter("candidates"), Some(3));
+        assert_eq!(node.children.len(), 1, "one key span");
+        assert_eq!(node.children[0].counter("pruned_degree"), Some(1));
+        assert_eq!(node.children[0].counter("pruned_block"), Some(1));
+    }
+
+    #[test]
+    fn analysis_is_read_only_under_terminal_eq() {
+        let g = parse_graph(
+            r#"
+            a1:album name_of "X"
+            a1:album release_year "2000"
+            a2:album name_of "X"
+            a2:album release_year "2000"
+            "#,
+        )
+        .unwrap();
+        let keys = KeySet::parse(r#"key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }"#)
+            .unwrap()
+            .compile(&g);
+        let r = chase_reference(&g, &keys, ChaseOrder::Deterministic);
+        let degrees = DegreeBuckets::build(&g);
+        let before = r.eq.classes();
+        for e in [g.entity_named("a1").unwrap(), g.entity_named("a2").unwrap()] {
+            analyze_entity(&g, &keys, &degrees, &r.eq, e, &Span::disabled());
+        }
+        assert_eq!(r.eq.classes(), before);
+    }
+}

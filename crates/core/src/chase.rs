@@ -14,6 +14,7 @@ use crate::eqrel::EqRel;
 use crate::keyset::CompiledKeySet;
 use gk_graph::{EntityId, GraphView};
 use gk_isomorph::{eval_pair, MatchScope};
+use gk_metrics::trace::Span;
 
 /// One applied chase step: which pair, certified by which key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -73,17 +74,37 @@ pub fn chase_reference<V: GraphView>(
     keys: &CompiledKeySet,
     order: ChaseOrder,
 ) -> ChaseResult {
+    chase_reference_traced(g, keys, order, &Span::disabled())
+}
+
+/// [`chase_reference`] with per-request tracing: records an `enumerate`
+/// child span for candidate enumeration and one `round` child per
+/// fixpoint sweep (counters: pairs examined, iso checks, merges). With
+/// a disabled span this *is* `chase_reference`.
+pub fn chase_reference_traced<V: GraphView>(
+    g: &V,
+    keys: &CompiledKeySet,
+    order: ChaseOrder,
+    span: &Span,
+) -> ChaseResult {
+    let enum_span = span.child("enumerate");
     let mut pairs = candidate_pairs(g, keys, CandidateMode::TypePairs);
     if let ChaseOrder::Shuffled(seed) = order {
         shuffle(&mut pairs, seed);
     }
     let candidates = pairs.len();
+    enum_span.count("candidates", candidates as u64);
+    enum_span.finish();
     let mut eq = EqRel::identity(g.num_entities());
     let mut steps = Vec::new();
     let mut rounds = 0usize;
     let mut iso_checks = 0u64;
     loop {
         rounds += 1;
+        let round_span = span.child("round");
+        let round_iso0 = iso_checks;
+        let round_merges0 = steps.len();
+        round_span.count("candidates", pairs.len() as u64);
         let mut progressed = false;
         let mut remaining = Vec::with_capacity(pairs.len());
         for &(a, b) in &pairs {
@@ -119,6 +140,9 @@ pub fn chase_reference<V: GraphView>(
             }
         }
         pairs = remaining;
+        round_span.count("iso_checks", iso_checks - round_iso0);
+        round_span.count("merges", (steps.len() - round_merges0) as u64);
+        round_span.finish();
         if !progressed {
             break;
         }

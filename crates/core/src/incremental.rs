@@ -27,6 +27,7 @@ use crate::eqrel::EqRel;
 use crate::keyset::CompiledKeySet;
 use gk_graph::{d_neighborhood, EntityId, GraphView, NodeId};
 use gk_isomorph::{eval_pair, MatchScope};
+use gk_metrics::trace::Span;
 use rustc_hash::FxHashSet;
 
 /// Continues a chase on an extended graph.
@@ -45,8 +46,23 @@ pub fn chase_incremental<V: GraphView>(
     prev: &EqRel,
     touched: &[EntityId],
 ) -> ChaseResult {
+    chase_incremental_traced(g, keys, prev, touched, &Span::disabled())
+}
+
+/// [`chase_incremental`] with per-request tracing: records a `seed`
+/// child span for the initial frontier and one `round` child per
+/// worklist sweep (counters: pairs examined, iso checks, merges,
+/// wake-ups fired). With a disabled span this *is* `chase_incremental`.
+pub fn chase_incremental_traced<V: GraphView>(
+    g: &V,
+    keys: &CompiledKeySet,
+    prev: &EqRel,
+    touched: &[EntityId],
+    span: &Span,
+) -> ChaseResult {
     // Seed Eq with the previous result (monotonicity keeps it valid):
     // replaying the merge log reproduces the closure.
+    let seed_span = span.child("seed");
     let mut eq = EqRel::identity(g.num_entities());
     eq.absorb(prev.merges());
     // Initial frontier: keyed-type pairs with an endpoint near a touched
@@ -55,6 +71,8 @@ pub fn chase_incremental<V: GraphView>(
     for &t in touched {
         extend_candidates_around(g, keys, t, None, &mut pending);
     }
+    seed_span.count("candidates", pending.len() as u64);
+    seed_span.finish();
 
     let candidates = pending.len();
     let mut wake_ups = 0u64;
@@ -63,6 +81,10 @@ pub fn chase_incremental<V: GraphView>(
     let mut iso_checks = 0u64;
     loop {
         rounds += 1;
+        let round_span = span.child("round");
+        let round_iso0 = iso_checks;
+        let round_merges0 = steps.len();
+        round_span.count("candidates", pending.len() as u64);
         let mut newly: Vec<(EntityId, EntityId)> = Vec::new();
         let mut still_open = FxHashSet::default();
         for &(a, b) in &pending {
@@ -99,7 +121,10 @@ pub fn chase_incremental<V: GraphView>(
                 }
             }
         }
+        round_span.count("iso_checks", iso_checks - round_iso0);
+        round_span.count("merges", (steps.len() - round_merges0) as u64);
         if newly.is_empty() {
+            round_span.finish();
             break;
         }
         // Wake pairs whose witnesses could use the new identifications:
@@ -109,7 +134,10 @@ pub fn chase_incremental<V: GraphView>(
         for (a, b) in newly {
             extend_candidates_around(g, keys, a, Some(b), &mut pending);
         }
-        wake_ups += (pending.len() - before_wake) as u64;
+        let fired = (pending.len() - before_wake) as u64;
+        wake_ups += fired;
+        round_span.count("wake_ups", fired);
+        round_span.finish();
     }
 
     ChaseResult {

@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod analyze;
 mod candidates;
 mod chase;
 mod discovery;
@@ -55,20 +56,21 @@ mod satisfies;
 mod similarity;
 mod tour;
 
+pub use analyze::{analyze_entity, EntityAnalysis};
 pub use candidates::{
     candidate_pairs, candidate_pairs_pruned, norm, pairing_filter, pairing_filter_timed,
     type_pair_count, CandidateMode, PairedCandidate,
 };
-pub use chase::{chase_reference, ChaseOrder, ChaseResult, ChaseStep};
+pub use chase::{chase_reference, chase_reference_traced, ChaseOrder, ChaseResult, ChaseStep};
 pub use discovery::{discover_value_keys, DiscoveredKey, DiscoveryConfig};
 pub use dsl::{parse_keys, write_keys, DslError};
 pub use em_mr::{em_mr, em_mr_sim, MatchOutcome, MrVariant};
 pub use em_vc::{em_vc, em_vc_sim, VcVariant};
 pub use eqrel::EqRel;
-pub use incremental::chase_incremental;
+pub use incremental::{chase_incremental, chase_incremental_traced};
 pub use keyset::{CompiledKey, CompiledKeySet, KeySet};
 pub use metrics::ChaseMetrics;
-pub use parallel::{chase_parallel, ChaseEngine, ParallelOpts};
+pub use parallel::{chase_parallel, chase_parallel_traced, ChaseEngine, ParallelOpts};
 pub use pattern::{Key, KeyBuilder, KeyError, KeyTriple, Term};
 pub use prep::{prepare_base, prepare_opt, BasePrep, NeighborhoodCache, OptPrep};
 pub use product::ProductGraph;

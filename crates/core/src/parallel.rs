@@ -45,11 +45,12 @@
 //! watch list exactly like the MapReduce driver's dependency rounds.
 
 use crate::candidates::{candidate_pairs, norm, CandidateMode};
-use crate::chase::{chase_reference, shuffle, ChaseOrder, ChaseResult, ChaseStep};
+use crate::chase::{chase_reference_traced, shuffle, ChaseOrder, ChaseResult, ChaseStep};
 use crate::eqrel::EqRel;
 use crate::keyset::CompiledKeySet;
 use gk_graph::{entity_shard, EntityId, GraphView};
 use gk_isomorph::{eval_pair, pairing_at, MatchScope};
+use gk_metrics::trace::Span;
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// Tuning knobs for [`chase_parallel`].
@@ -128,11 +129,29 @@ pub fn chase_parallel<V: GraphView>(
     keys: &CompiledKeySet,
     opts: ParallelOpts,
 ) -> ChaseResult {
+    chase_parallel_traced(g, keys, opts, &Span::disabled())
+}
+
+/// [`chase_parallel`] with per-request tracing: records an `enumerate`
+/// child span plus one `round` child per barrier round, and under each
+/// round one `worker` child per shard (counters: pairs examined, iso
+/// checks, merges, watches registered) — the per-worker spans the driver
+/// merges back into the request tree. With a disabled span this *is*
+/// `chase_parallel`.
+pub fn chase_parallel_traced<V: GraphView>(
+    g: &V,
+    keys: &CompiledKeySet,
+    opts: ParallelOpts,
+    span: &Span,
+) -> ChaseResult {
     let threads = opts.effective_threads();
+    let enum_span = span.child("enumerate");
     let mut open = candidate_pairs(g, keys, opts.mode);
     if let ChaseOrder::Shuffled(seed) = opts.order {
         shuffle(&mut open, seed);
     }
+    enum_span.count("candidates", open.len() as u64);
+    enum_span.finish();
 
     let candidates = open.len();
     let mut wake_ups = 0u64;
@@ -154,10 +173,19 @@ pub fn chase_parallel<V: GraphView>(
 
     while !open.is_empty() {
         rounds += 1;
+        let round_span = span.child("round");
         let applied_before = steps.len();
         let outs: Vec<ShardOut> = if threads <= 1 || open.len() <= INLINE_THRESHOLD {
             let pairs = std::mem::take(&mut open);
-            vec![run_shard(g, keys, RoundEq::Global(&mut eq), pairs, fresh)]
+            let wspan = round_span.child("worker");
+            vec![run_shard(
+                g,
+                keys,
+                RoundEq::Global(&mut eq),
+                pairs,
+                fresh,
+                wspan,
+            )]
         } else {
             // Partition by owner entity; pairs anchored at one entity stay
             // on one worker. `drain` so the round consumes the open list.
@@ -171,8 +199,12 @@ pub fn chase_parallel<V: GraphView>(
                 let handles: Vec<_> = shards
                     .into_iter()
                     .map(|shard| {
+                        // Per-worker child spans: opened on the driver,
+                        // filled on the worker thread, merged by Arc
+                        // sharing when the scope joins.
+                        let wspan = round_span.child("worker");
                         scope.spawn(move || {
-                            run_shard(g, keys, RoundEq::Snapshot(snapshot), shard, fresh)
+                            run_shard(g, keys, RoundEq::Snapshot(snapshot), shard, fresh, wspan)
                         })
                     })
                     .collect();
@@ -207,6 +239,7 @@ pub fn chase_parallel<V: GraphView>(
         }
         fresh = false;
         if steps.len() == applied_before {
+            round_span.finish();
             break; // no certification under the final Eq: terminal
         }
         // Fire watches now inside the closure and wake their dependents.
@@ -227,6 +260,8 @@ pub fn chase_parallel<V: GraphView>(
         open = woken.into_iter().filter(|&(a, b)| !eq.same(a, b)).collect();
         open.sort_unstable(); // deterministic shard assignment
         wake_ups += open.len() as u64;
+        round_span.count("wake_ups", open.len() as u64);
+        round_span.finish();
     }
 
     ChaseResult {
@@ -248,7 +283,9 @@ fn run_shard<V: GraphView>(
     round_eq: RoundEq<'_>,
     shard: Vec<(EntityId, EntityId)>,
     fresh: bool,
+    span: Span,
 ) -> ShardOut {
+    span.count("candidates", shard.len() as u64);
     let mut owned;
     let (local, applied_globally): (&mut EqRel, bool) = match round_eq {
         RoundEq::Snapshot(snapshot) => {
@@ -296,6 +333,10 @@ fn run_shard<V: GraphView>(
             None => {} // woken pair failed again: its other watches remain
         }
     }
+    span.count("iso_checks", iso_checks);
+    span.count("merges", steps.len() as u64);
+    span.count("watches", watches.len() as u64);
+    span.finish();
     ShardOut {
         steps,
         watches,
@@ -372,9 +413,23 @@ impl ChaseEngine {
         keys: &CompiledKeySet,
         order: ChaseOrder,
     ) -> ChaseResult {
+        self.full_chase_traced(g, keys, order, &Span::disabled())
+    }
+
+    /// [`full_chase`](Self::full_chase) recording child spans of `span`
+    /// (see the `_traced` chase entry points).
+    pub fn full_chase_traced<V: GraphView>(
+        self,
+        g: &V,
+        keys: &CompiledKeySet,
+        order: ChaseOrder,
+        span: &Span,
+    ) -> ChaseResult {
         match self {
-            ChaseEngine::Reference | ChaseEngine::Incremental => chase_reference(g, keys, order),
-            ChaseEngine::Parallel { threads } => chase_parallel(
+            ChaseEngine::Reference | ChaseEngine::Incremental => {
+                chase_reference_traced(g, keys, order, span)
+            }
+            ChaseEngine::Parallel { threads } => chase_parallel_traced(
                 g,
                 keys,
                 ParallelOpts {
@@ -382,6 +437,7 @@ impl ChaseEngine {
                     order,
                     ..Default::default()
                 },
+                span,
             ),
         }
     }
@@ -435,6 +491,7 @@ impl std::fmt::Display for ChaseEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chase::chase_reference;
     use crate::keyset::KeySet;
     use gk_graph::parse_graph;
     use gk_graph::Graph;

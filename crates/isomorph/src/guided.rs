@@ -45,6 +45,25 @@ impl<'a> MatchScope<'a> {
     }
 }
 
+/// Search-effort statistics from one guided evaluation, surfaced by the
+/// server's EXPLAIN ANALYZE tracing (`TRACE` verb).
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Slot binding attempts fed into the feasibility check.
+    pub bind_attempts: u64,
+    /// Attempts rejected by the feasibility conditions (scope,
+    /// injectivity, per-slot-kind equality, degree demands).
+    pub infeasible: u64,
+}
+
+impl EvalStats {
+    /// Merges another evaluation's effort into this one.
+    pub fn absorb(&mut self, other: EvalStats) {
+        self.bind_attempts += other.bind_attempts;
+        self.infeasible += other.infeasible;
+    }
+}
+
 /// Checks `(G, {Q(x)}, Eq) |= (e1, e2)`: does some pair of coinciding
 /// matches of `Q(x)` exist at `e1` and `e2` under the current `Eq`?
 ///
@@ -70,14 +89,28 @@ pub fn eval_pair_witness<G: GraphView, E: EqOracle + ?Sized>(
     eq: &E,
     scope: MatchScope<'_>,
 ) -> Option<Vec<(NodeId, NodeId)>> {
+    eval_pair_stats(g, q, e1, e2, eq, scope).0
+}
+
+/// Like [`eval_pair_witness`] but also reports the search effort spent,
+/// whether or not a witness was found. A pair rejected by the anchor
+/// pre-checks (type, scope, degree) reports zero effort.
+pub fn eval_pair_stats<G: GraphView, E: EqOracle + ?Sized>(
+    g: &G,
+    q: &PairPattern,
+    e1: EntityId,
+    e2: EntityId,
+    eq: &E,
+    scope: MatchScope<'_>,
+) -> (Option<Vec<(NodeId, NodeId)>>, EvalStats) {
     let ty = q.anchor_type();
     if g.entity_type(e1) != ty || g.entity_type(e2) != ty {
-        return None;
+        return (None, EvalStats::default());
     }
     let n1 = NodeId::entity(e1);
     let n2 = NodeId::entity(e2);
     if !scope.admits(n1, n2) {
-        return None;
+        return (None, EvalStats::default());
     }
     // Degree pre-check: the anchors must carry at least as many edges as
     // the pattern demands of the designated variable (injectivity maps
@@ -90,7 +123,7 @@ pub fn eval_pair_witness<G: GraphView, E: EqOracle + ?Sized>(
             && (g.in_entity(e1).len() < (req.inc + req.loops) as usize
                 || g.in_entity(e2).len() < (req.inc + req.loops) as usize))
     {
-        return None;
+        return (None, EvalStats::default());
     }
     let mut s = Searcher {
         g,
@@ -98,16 +131,17 @@ pub fn eval_pair_witness<G: GraphView, E: EqOracle + ?Sized>(
         eq,
         scope,
         m: vec![None; q.slots().len()],
+        stats: EvalStats::default(),
     };
     s.m[q.anchor() as usize] = Some((n1, n2));
     if s.search(0) {
-        Some(
+        let witness =
             s.m.into_iter()
                 .map(|b| b.expect("full instantiation"))
-                .collect(),
-        )
+                .collect();
+        (Some(witness), s.stats)
     } else {
-        None
+        (None, s.stats)
     }
 }
 
@@ -118,6 +152,7 @@ struct Searcher<'a, G, E: ?Sized> {
     scope: MatchScope<'a>,
     /// The instantiation vector `m`: `None` is the paper's `⊥`.
     m: Vec<Option<(NodeId, NodeId)>>,
+    stats: EvalStats,
 }
 
 impl<G: GraphView, E: EqOracle + ?Sized> Searcher<'_, G, E> {
@@ -206,7 +241,9 @@ impl<G: GraphView, E: EqOracle + ?Sized> Searcher<'_, G, E> {
     }
 
     fn try_bind(&mut self, step_idx: usize, slot: u16, n1: NodeId, n2: NodeId) -> bool {
+        self.stats.bind_attempts += 1;
         if !self.feasible(slot, n1, n2) {
+            self.stats.infeasible += 1;
             return false;
         }
         self.m[slot as usize] = Some((n1, n2));
@@ -531,6 +568,44 @@ mod tests {
         // Value slots carry the same node on both sides.
         assert_eq!(w[1].0, w[1].1);
         assert_eq!(w[2].0, w[2].1);
+    }
+
+    #[test]
+    fn stats_report_search_effort() {
+        let g = g1();
+        let q = q2(&g);
+        // A successful match spends at least one feasible bind per
+        // non-anchor slot; a pre-check rejection spends nothing.
+        let (w, st) = eval_pair_stats(
+            &g,
+            &q,
+            e(&g, "alb1"),
+            e(&g, "alb2"),
+            &IdentityEq,
+            MatchScope::whole_graph(),
+        );
+        assert!(w.is_some());
+        assert!(st.bind_attempts >= 2);
+        assert!(st.bind_attempts >= st.infeasible);
+        let g2 = parse_graph(
+            r#"
+            alb1:album name_of "Anthology 2"
+            alb1:album release_year "1996"
+            bare:album name_of "Anthology 2"
+            "#,
+        )
+        .unwrap();
+        let q2 = q2(&g2);
+        let (wb, stb) = eval_pair_stats(
+            &g2,
+            &q2,
+            e(&g2, "alb1"),
+            e(&g2, "bare"),
+            &IdentityEq,
+            MatchScope::whole_graph(),
+        );
+        assert!(wb.is_none());
+        assert_eq!(stb, EvalStats::default(), "anchor degree pre-check");
     }
 
     #[test]

@@ -25,6 +25,6 @@ mod pairing;
 mod pairpattern;
 
 pub use enumerate::{coincide, enumerate_matches, eval_pair_enumerate, Valuation};
-pub use guided::{eval_pair, eval_pair_witness, MatchScope};
+pub use guided::{eval_pair, eval_pair_stats, eval_pair_witness, EvalStats, MatchScope};
 pub use pairing::{pairing_at, pairing_seeded, Pairing};
 pub use pairpattern::{EqOracle, IdentityEq, PTriple, PairPattern, PatternError, SlotKind, Step};

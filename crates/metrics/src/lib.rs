@@ -39,11 +39,13 @@
 
 mod expo;
 pub mod log;
+pub mod trace;
 
 pub use expo::{
     parse_exposition, render as render_exposition, MetricKind, MetricSnapshot, MetricValue,
 };
 pub use log::{log_enabled, log_line, log_to_file, log_to_stderr, max_level, set_level, Level};
+pub use trace::{Span, TraceNode};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;

@@ -1,18 +1,31 @@
-//! Plain-HTTP scrape endpoint for the metrics registry.
+//! Plain-HTTP sidecar endpoint: metrics scrapes, health checks, and
+//! flight-recorder dumps.
 //!
-//! One dedicated thread answers `GET /metrics` with the text exposition
-//! ([`gk_metrics::render_exposition`]) and closes the connection — the
-//! shape every Prometheus-style scraper expects. Anything else gets a
-//! 404. The endpoint is deliberately not the line protocol: scrapers
-//! speak HTTP, and a separate listener keeps scrape traffic off the
+//! One dedicated thread answers:
+//!
+//! * `GET /metrics` — the text exposition
+//!   ([`gk_metrics::render_exposition`]), the shape every
+//!   Prometheus-style scraper expects;
+//! * `GET /healthz` — `ok version=... uptime_secs=...` for liveness
+//!   probes;
+//! * `GET /traces` — the trace flight recorder's retained request
+//!   traces, rendered exactly as the `TRACES` protocol verb answers
+//!   (or its `ERR` line when tracing is off).
+//!
+//! Any other `GET` path gets a 404; any other method gets a
+//! `405 Method Not Allowed` carrying an `Allow: GET` header. The
+//! endpoint is deliberately not the line protocol: probes and scrapers
+//! speak HTTP, and a separate listener keeps their traffic off the
 //! request worker pool.
 
+use crate::proto::Request;
 use crate::protocol::Server;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// A running scrape endpoint. Dropping the handle without calling
 /// [`stop`](MetricsHandle::stop) leaves the daemon thread running.
@@ -39,10 +52,20 @@ impl MetricsHandle {
     }
 }
 
-/// Binds `addr` (port 0 for ephemeral) and serves `GET /metrics` scrapes
-/// of `server`'s registry on a dedicated thread until
+/// Binds `addr` (port 0 for ephemeral) and serves `GET
+/// /metrics|/healthz|/traces` on a dedicated thread until
 /// [`MetricsHandle::stop`].
 pub fn serve_metrics_http(server: Arc<Server>, addr: &str) -> std::io::Result<MetricsHandle> {
+    serve_with_timeout(server, addr, SCRAPE_TIMEOUT)
+}
+
+/// [`serve_metrics_http`] with an explicit per-connection I/O timeout —
+/// the tests shrink it to keep the half-open-scraper case fast.
+fn serve_with_timeout(
+    server: Arc<Server>,
+    addr: &str,
+    timeout: Duration,
+) -> std::io::Result<MetricsHandle> {
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -53,7 +76,7 @@ pub fn serve_metrics_http(server: Arc<Server>, addr: &str) -> std::io::Result<Me
                 break; // the stop() wake-up connection lands here
             }
             let Ok(conn) = conn else { continue };
-            answer_scrape(&server, conn);
+            answer_scrape(&server, conn, timeout);
         }
     });
     Ok(MetricsHandle {
@@ -65,13 +88,13 @@ pub fn serve_metrics_http(server: Arc<Server>, addr: &str) -> std::io::Result<Me
 
 /// How long a scrape connection may dawdle before the endpoint drops it.
 /// A single slow scraper must not wedge the (single-threaded) endpoint.
-const SCRAPE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(2);
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Answers one scrape connection: request line + headers in, one
 /// `Connection: close` response out.
-fn answer_scrape(server: &Server, conn: TcpStream) {
-    let _ = conn.set_read_timeout(Some(SCRAPE_TIMEOUT));
-    let _ = conn.set_write_timeout(Some(SCRAPE_TIMEOUT));
+fn answer_scrape(server: &Server, conn: TcpStream, timeout: Duration) {
+    let _ = conn.set_read_timeout(Some(timeout));
+    let _ = conn.set_write_timeout(Some(timeout));
     let Ok(read_half) = conn.try_clone() else {
         return;
     };
@@ -93,22 +116,158 @@ fn answer_scrape(server: &Server, conn: TcpStream) {
     }
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
-    let (status, body) = if method == "GET" && path == "/metrics" {
-        let body = gk_metrics::render_exposition(&server.index().registry().snapshot());
-        ("200 OK", body)
-    } else {
-        (
-            "404 Not Found",
-            String::from("only GET /metrics is served\n"),
-        )
-    };
+    let (status, extra, body) = route(server, method, path);
+    let extra = extra.map_or(String::new(), |h| format!("{h}\r\n"));
     let _ = writer.write_all(
         format!(
             "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
-             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+             Content-Length: {}\r\nConnection: close\r\n{extra}\r\n{body}",
             body.len()
         )
         .as_bytes(),
     );
     let _ = writer.shutdown(Shutdown::Both);
+}
+
+/// Maps one request to `(status line, extra header, body)`.
+fn route(
+    server: &Server,
+    method: &str,
+    path: &str,
+) -> (&'static str, Option<&'static str>, String) {
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            Some("Allow: GET"),
+            String::from("only GET is served\n"),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            None,
+            gk_metrics::render_exposition(&server.index().registry().snapshot()),
+        ),
+        "/healthz" => (
+            "200 OK",
+            None,
+            format!(
+                "ok version={} uptime_secs={}\n",
+                env!("CARGO_PKG_VERSION"),
+                server.uptime_secs()
+            ),
+        ),
+        "/traces" => {
+            let mut body = server.execute(Request::Traces { n: None }).render();
+            body.push('\n');
+            ("200 OK", None, body)
+        }
+        _ => (
+            "404 Not Found",
+            None,
+            String::from("only GET /metrics, /healthz and /traces are served\n"),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gk_core::KeySet;
+    use gk_graph::parse_graph;
+    use std::io::Read;
+
+    fn test_server(trace_buffer: usize) -> Arc<Server> {
+        let g = parse_graph(
+            r#"
+            a1:album name_of "Anthology 2"
+            a1:album release_year "1996"
+            a2:album name_of "Anthology 2"
+            a2:album release_year "1996"
+            "#,
+        )
+        .unwrap();
+        let keys = KeySet::parse(r#"key "Q2" album(x) { x -name_of-> n*; x -release_year-> y*; }"#)
+            .unwrap();
+        let mut s = Server::new(g, keys);
+        s.set_trace_buffer(trace_buffer);
+        Arc::new(s)
+    }
+
+    /// One raw HTTP exchange: request bytes in, full response text out.
+    fn exchange(addr: SocketAddr, request: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(request.as_bytes()).unwrap();
+        let mut resp = String::new();
+        conn.read_to_string(&mut resp).unwrap();
+        resp
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        exchange(addr, &format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n"))
+    }
+
+    #[test]
+    fn routes_answer_their_documented_statuses() {
+        let server = test_server(4);
+        let _ = server.handle("SAME a1 a2");
+        let h = serve_metrics_http(server, "127.0.0.1:0").unwrap();
+        let addr = h.addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("gk_requests_same_total 1"), "{metrics}");
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.contains("ok version="), "{health}");
+        assert!(health.contains("uptime_secs="), "{health}");
+
+        let traces = get(addr, "/traces");
+        assert!(traces.starts_with("HTTP/1.1 200 OK"), "{traces}");
+        assert!(traces.contains("TRACES n="), "{traces}");
+        assert!(traces.contains("verb=same"), "{traces}");
+
+        let missing = get(addr, "/other");
+        assert!(missing.starts_with("HTTP/1.1 404 Not Found"), "{missing}");
+
+        let post = exchange(addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            post.starts_with("HTTP/1.1 405 Method Not Allowed"),
+            "{post}"
+        );
+        assert!(post.contains("Allow: GET\r\n"), "{post}");
+
+        h.stop();
+    }
+
+    #[test]
+    fn traces_route_reports_tracing_off_without_a_recorder() {
+        let h = serve_metrics_http(test_server(0), "127.0.0.1:0").unwrap();
+        let traces = get(h.addr(), "/traces");
+        assert!(traces.starts_with("HTTP/1.1 200 OK"), "{traces}");
+        assert!(traces.contains("ERR tracing is off"), "{traces}");
+        h.stop();
+    }
+
+    #[test]
+    fn half_open_scraper_times_out_without_wedging_the_endpoint() {
+        let h =
+            serve_with_timeout(test_server(0), "127.0.0.1:0", Duration::from_millis(100)).unwrap();
+        let addr = h.addr();
+        // A scraper that connects, sends half a request line and stalls:
+        // the endpoint must drop it at the read timeout instead of
+        // blocking its (single) accept thread forever.
+        let mut stalled = TcpStream::connect(addr).unwrap();
+        stalled.write_all(b"GET /met").unwrap();
+        // A well-behaved scrape right behind it still gets served. It
+        // queues behind the stalled connection for at most ~100ms.
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        // The stalled connection was shut down, not answered.
+        let mut rest = String::new();
+        stalled.read_to_string(&mut rest).unwrap_or_default();
+        assert!(rest.is_empty(), "stalled scraper got: {rest}");
+        h.stop();
+    }
 }

@@ -40,13 +40,13 @@
 //! `O(load + replay)`.
 
 use gk_core::{
-    chase_incremental, parse_keys, prove, verify, write_keys, ChaseEngine, ChaseMetrics,
-    ChaseOrder, ChaseStep, CompiledKeySet, EqRel, Key, KeySet, Proof,
+    chase_incremental, chase_incremental_traced, parse_keys, prove, verify, write_keys,
+    ChaseEngine, ChaseMetrics, ChaseOrder, ChaseStep, CompiledKeySet, EqRel, Key, KeySet, Proof,
 };
 use gk_graph::{
     DegreeBuckets, EntityId, Graph, GraphView, Obj, ObjSpec, OverlayGraph, Triple, TripleSpec,
 };
-use gk_metrics::{Counter, Gauge, Histogram, Registry};
+use gk_metrics::{Counter, Gauge, Histogram, Registry, Span};
 use gk_store::{
     CompactReport, Durability, FsyncMode, Recovered, SnapshotData, Store, WalOp, WalRecord,
 };
@@ -847,9 +847,22 @@ impl EmIndex {
     /// existing entity with a different type, or if the write-ahead log
     /// cannot record the batch.
     pub fn insert(&self, specs: &[TripleSpec]) -> Result<AdvanceReport, String> {
+        self.insert_traced(specs, &Span::disabled())
+    }
+
+    /// [`EmIndex::insert`] recording phase spans (`validate`,
+    /// `apply_batch`, `compact`, `compile`, `delta_chase` /
+    /// `full_rechase`, `wal_append`) into `span`. The chase phase nests
+    /// the engine's own per-round spans.
+    pub fn insert_traced(
+        &self,
+        specs: &[TripleSpec],
+        span: &Span,
+    ) -> Result<AdvanceReport, String> {
         let _writer = self.ingest.lock();
         let snap = self.snapshot();
 
+        let validate = span.child("validate");
         // Validate entity types against the graph and within the batch
         // before touching the overlay (OverlayGraph panics on a clash).
         fn check<'a>(
@@ -883,7 +896,10 @@ impl EmIndex {
                 check(&snap.graph, &mut batch_types, name, ty)?;
             }
         }
+        validate.count("triples", specs.len() as u64);
+        validate.finish();
 
+        let apply = span.child("apply_batch");
         let old_entities = snap.graph.num_entities();
         let mut g2 = snap.graph.clone();
         let mut touched: Vec<EntityId> = Vec::new();
@@ -896,6 +912,8 @@ impl EmIndex {
         }
         touched.sort_unstable();
         touched.dedup();
+        apply.count("touched", touched.len() as u64);
+        apply.finish();
 
         if added == 0 && g2.num_entities() == old_entities {
             self.stats.noops.inc();
@@ -909,7 +927,7 @@ impl EmIndex {
                 iso_checks: 0,
             });
         }
-        let g2 = self.maybe_compact(g2);
+        let g2 = self.maybe_compact_traced(g2, span);
         // Degrees advance incrementally: recompute only the touched rows
         // (new entities append their own).
         let mut degrees2 = snap.degrees.clone();
@@ -917,22 +935,38 @@ impl EmIndex {
 
         // The heavy part runs without the state lock: readers keep serving
         // the previous snapshot.
+        let compile = span.child("compile");
         let compiled2 = snap.keys.compile(&g2);
+        compile.finish();
         let t0 = Instant::now();
-        let (result, mode) = if self.engine.inserts_incrementally() {
+        let incremental = self.engine.inserts_incrementally();
+        let chase_span = span.child(if incremental {
+            "delta_chase"
+        } else {
+            "full_rechase"
+        });
+        let (result, mode) = if incremental {
             // Monotone delta chase: valid for insert-only batches under any
             // engine; strictly less work than a full chase.
             (
-                chase_incremental(&g2, &compiled2, &snap.eq, &touched),
+                chase_incremental_traced(&g2, &compiled2, &snap.eq, &touched, &chase_span),
                 AdvanceMode::Incremental,
             )
         } else {
             (
-                self.engine
-                    .full_chase(&g2, &compiled2, ChaseOrder::Deterministic),
+                self.engine.full_chase_traced(
+                    &g2,
+                    &compiled2,
+                    ChaseOrder::Deterministic,
+                    &chase_span,
+                ),
                 AdvanceMode::FullRechase,
             )
         };
+        chase_span.count("rounds", result.rounds as u64);
+        chase_span.count("iso_checks", result.iso_checks);
+        chase_span.count("merges", result.steps.len() as u64);
+        chase_span.finish();
         match mode {
             AdvanceMode::Incremental => self.stats.delta_chase_micros,
             _ => self.stats.full_rechase_micros,
@@ -963,7 +997,10 @@ impl EmIndex {
         // Write-ahead: the accepted batch must be on the log before the
         // new state becomes visible, or a crash could lose an
         // acknowledged update.
-        self.log_op(WalOp::Insert(specs.to_vec()), snap.version + 1)?;
+        let wal = span.child("wal_append");
+        let bytes = self.log_op(WalOp::Insert(specs.to_vec()), snap.version + 1)?;
+        wal.count("bytes", bytes);
+        wal.finish();
         let next = IndexState::build(
             g2,
             Arc::clone(&snap.keys),
@@ -995,10 +1032,22 @@ impl EmIndex {
     /// batch whose doomed set turns out empty is a no-op: no re-chase, no
     /// version bump.
     pub fn delete(&self, specs: &[TripleSpec]) -> Result<AdvanceReport, String> {
+        self.delete_traced(specs, &Span::disabled())
+    }
+
+    /// [`EmIndex::delete`] recording phase spans (`validate`,
+    /// `apply_batch`, `compact`, `compile`, `full_rechase`, `wal_append`)
+    /// into `span`.
+    pub fn delete_traced(
+        &self,
+        specs: &[TripleSpec],
+        span: &Span,
+    ) -> Result<AdvanceReport, String> {
         let _writer = self.ingest.lock();
         let snap = self.snapshot();
         let g = &snap.graph;
 
+        let validate = span.child("validate");
         let mut doomed: FxHashSet<Triple> = FxHashSet::default();
         let mut endpoints: FxHashSet<EntityId> = FxHashSet::default();
         for spec in specs {
@@ -1009,6 +1058,8 @@ impl EmIndex {
             }
             doomed.insert(t);
         }
+        validate.count("triples", specs.len() as u64);
+        validate.finish();
         if doomed.is_empty() {
             // Nothing resolved to a live triple: short-circuit without
             // re-chasing or bumping the version.
@@ -1027,21 +1078,31 @@ impl EmIndex {
         // Tombstone the triples in a cloned overlay — entity ids and names
         // are preserved (entities are never garbage-collected by deletion),
         // and the base CSR stays shared.
+        let apply = span.child("apply_batch");
         let mut g2 = snap.graph.clone();
         for &t in &doomed {
             let removed = g2.delete_triple(t);
             debug_assert!(removed, "resolved triple must be live");
         }
-        let g2 = self.maybe_compact(g2);
+        apply.count("tombstones", doomed.len() as u64);
+        apply.finish();
+        let g2 = self.maybe_compact_traced(g2, span);
         // Only the tombstoned triples' endpoints changed degree.
         let mut degrees2 = snap.degrees.clone();
         let touched_rows: Vec<EntityId> = endpoints.iter().copied().collect();
         degrees2.update_entities(&g2, &touched_rows);
+        let compile = span.child("compile");
         let compiled2 = snap.keys.compile(&g2);
+        compile.finish();
         let t0 = Instant::now();
-        let full = self
-            .engine
-            .full_chase(&g2, &compiled2, ChaseOrder::Deterministic);
+        let chase_span = span.child("full_rechase");
+        let full =
+            self.engine
+                .full_chase_traced(&g2, &compiled2, ChaseOrder::Deterministic, &chase_span);
+        chase_span.count("rounds", full.rounds as u64);
+        chase_span.count("iso_checks", full.iso_checks);
+        chase_span.count("merges", full.steps.len() as u64);
+        chase_span.finish();
         self.stats.full_rechase_micros.observe_micros(t0.elapsed());
         self.stats.chase.record(&full);
         let old_pairs = snap.eq.num_identified_pairs();
@@ -1055,7 +1116,10 @@ impl EmIndex {
             rounds: full.rounds,
             iso_checks: full.iso_checks,
         };
-        self.log_op(WalOp::Delete(specs.to_vec()), snap.version + 1)?;
+        let wal = span.child("wal_append");
+        let bytes = self.log_op(WalOp::Delete(specs.to_vec()), snap.version + 1)?;
+        wal.count("bytes", bytes);
+        wal.finish();
         let next = IndexState::build(
             g2,
             Arc::clone(&snap.keys),
@@ -1074,15 +1138,25 @@ impl EmIndex {
 
     /// Folds the overlay's delta into a fresh base CSR when it crossed the
     /// configured threshold (the only O(|G|) step on the write path,
-    /// amortized over the batches that filled the delta).
-    fn maybe_compact(&self, g: OverlayGraph) -> OverlayGraph {
-        fold_if_over_threshold(g, self.compact_threshold, &self.stats)
+    /// amortized over the batches that filled the delta), recording a
+    /// `compact` span when the fold actually runs.
+    fn maybe_compact_traced(&self, g: OverlayGraph, span: &Span) -> OverlayGraph {
+        if self.compact_threshold > 0 && g.delta_size() >= self.compact_threshold {
+            let c = span.child("compact");
+            c.count("delta", g.delta_size() as u64);
+            let folded = fold_if_over_threshold(g, self.compact_threshold, &self.stats);
+            c.finish();
+            folded
+        } else {
+            g
+        }
     }
 
-    /// Appends an accepted update to the WAL (no-op without durability).
-    fn log_op(&self, op: WalOp, seq: u64) -> Result<(), String> {
+    /// Appends an accepted update to the WAL, returning the framed bytes
+    /// written (0 without durability).
+    fn log_op(&self, op: WalOp, seq: u64) -> Result<u64, String> {
         let Some(store) = &self.store else {
-            return Ok(());
+            return Ok(0);
         };
         let t0 = Instant::now();
         let out = store
@@ -1106,11 +1180,18 @@ impl EmIndex {
     /// version and the key epoch, and errors — changing nothing — on a
     /// duplicate key name or a validation failure.
     pub fn add_keys(&self, new: Vec<Key>) -> Result<KeyChange, String> {
+        self.add_keys_traced(new, &Span::disabled())
+    }
+
+    /// [`EmIndex::add_keys`] recording phase spans (`validate`, `compile`,
+    /// `delta_chase` / `full_rechase`, `wal_append`) into `span`.
+    pub fn add_keys_traced(&self, new: Vec<Key>, span: &Span) -> Result<KeyChange, String> {
         if new.is_empty() {
             return Err("no key definition given".into());
         }
         let _writer = self.ingest.lock();
         let snap = self.snapshot();
+        let validate = span.child("validate");
         let mut names: FxHashSet<&str> = snap.keys.keys().iter().map(|k| k.name.as_str()).collect();
         for k in &new {
             k.validate().map_err(|e| e.to_string())?;
@@ -1118,14 +1199,24 @@ impl EmIndex {
                 return Err(format!("a key named {:?} already exists", k.name));
             }
         }
+        validate.count("keys", new.len() as u64);
+        validate.finish();
         let dsl = write_keys(&new);
         let mut all: Vec<Key> = snap.keys.keys().to_vec();
         all.extend(new.iter().cloned());
         let keys2 = Arc::new(KeySet::new(all).map_err(|e| e.to_string())?);
+        let compile = span.child("compile");
         let compiled2 = keys2.compile(&snap.graph);
+        compile.finish();
 
         let t0 = Instant::now();
-        let (result, mode) = if self.engine.inserts_incrementally() {
+        let incremental = self.engine.inserts_incrementally();
+        let chase_span = span.child(if incremental {
+            "delta_chase"
+        } else {
+            "full_rechase"
+        });
+        let (result, mode) = if incremental {
             // Wake the entities a new key could anchor on. The first
             // genuinely new identification must be certified by a new key
             // (the old Eq is terminal for the old Σ on this graph), and any
@@ -1149,16 +1240,24 @@ impl EmIndex {
             touched.sort_unstable();
             touched.dedup();
             (
-                chase_incremental(&snap.graph, &compiled2, &snap.eq, &touched),
+                chase_incremental_traced(&snap.graph, &compiled2, &snap.eq, &touched, &chase_span),
                 AdvanceMode::Incremental,
             )
         } else {
             (
-                self.engine
-                    .full_chase(&snap.graph, &compiled2, ChaseOrder::Deterministic),
+                self.engine.full_chase_traced(
+                    &snap.graph,
+                    &compiled2,
+                    ChaseOrder::Deterministic,
+                    &chase_span,
+                ),
                 AdvanceMode::FullRechase,
             )
         };
+        chase_span.count("rounds", result.rounds as u64);
+        chase_span.count("iso_checks", result.iso_checks);
+        chase_span.count("merges", result.steps.len() as u64);
+        chase_span.finish();
         match mode {
             AdvanceMode::Incremental => self.stats.delta_chase_micros,
             _ => self.stats.full_rechase_micros,
@@ -1174,7 +1273,10 @@ impl EmIndex {
             }
             _ => StepLog::from_steps(result.steps),
         };
-        self.log_op(WalOp::AddKey(dsl), snap.version + 1)?;
+        let wal = span.child("wal_append");
+        let bytes = self.log_op(WalOp::AddKey(dsl), snap.version + 1)?;
+        wal.count("bytes", bytes);
+        wal.finish();
         let change = KeyChange {
             name: new.first().expect("non-empty").name.clone(),
             keys: keys2.cardinality(),
@@ -1212,6 +1314,12 @@ impl EmIndex {
     /// engine, exactly like the deletion fallback. WAL-logged (`DROPKEY`
     /// record) before the swap; bumps version and key epoch.
     pub fn drop_key(&self, name: &str) -> Result<KeyChange, String> {
+        self.drop_key_traced(name, &Span::disabled())
+    }
+
+    /// [`EmIndex::drop_key`] recording phase spans (`compile`,
+    /// `full_rechase`, `wal_append`) into `span`.
+    pub fn drop_key_traced(&self, name: &str, span: &Span) -> Result<KeyChange, String> {
         let _writer = self.ingest.lock();
         let snap = self.snapshot();
         let mut all: Vec<Key> = snap.keys.keys().to_vec();
@@ -1221,14 +1329,27 @@ impl EmIndex {
             .ok_or_else(|| format!("no key named {name:?}"))?;
         all.remove(at);
         let keys2 = Arc::new(KeySet::new(all).map_err(|e| e.to_string())?);
+        let compile = span.child("compile");
         let compiled2 = keys2.compile(&snap.graph);
+        compile.finish();
         let t0 = Instant::now();
-        let full = self
-            .engine
-            .full_chase(&snap.graph, &compiled2, ChaseOrder::Deterministic);
+        let chase_span = span.child("full_rechase");
+        let full = self.engine.full_chase_traced(
+            &snap.graph,
+            &compiled2,
+            ChaseOrder::Deterministic,
+            &chase_span,
+        );
+        chase_span.count("rounds", full.rounds as u64);
+        chase_span.count("iso_checks", full.iso_checks);
+        chase_span.count("merges", full.steps.len() as u64);
+        chase_span.finish();
         self.stats.full_rechase_micros.observe_micros(t0.elapsed());
         self.stats.chase.record(&full);
-        self.log_op(WalOp::DropKey(name.to_string()), snap.version + 1)?;
+        let wal = span.child("wal_append");
+        let bytes = self.log_op(WalOp::DropKey(name.to_string()), snap.version + 1)?;
+        wal.count("bytes", bytes);
+        wal.finish();
         let change = KeyChange {
             name: name.to_string(),
             keys: keys2.cardinality(),

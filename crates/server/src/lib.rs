@@ -25,7 +25,7 @@
 //! |-------|------|------|
 //! | [`EmIndex`] | `index` | snapshot-swapped `OverlayGraph` (shared base CSR + O(batch) delta) + a versioned Σ ([`EmIndex::add_keys`] / [`EmIndex::drop_key`] evolve it at runtime) + `EqRel` with rep map and duplicate clusters; threshold-compacted; optional write-through durability (`gk-store` WAL + snapshots, crash recovery) |
 //! | [`Request`] / [`Response`] | `proto` | the typed request/response surface with a lossless `parse`/`render` pair |
-//! | [`Server`] | `protocol` | [`Server::execute`] maps requests (`SAME`, `DUPS`, `EXPLAIN`, `INSERT`, `DELETE`, `ADDKEY`, `DROPKEY`, `KEYS`, `SNAPSHOT`, `COMPACT`, `STATS`) to responses; [`Server::handle`] is the line-protocol shim |
+//! | [`Server`] | `protocol` | [`Server::execute`] maps requests (`SAME`, `DUPS`, `EXPLAIN`, `INSERT`, `DELETE`, `ADDKEY`, `DROPKEY`, `KEYS`, `SNAPSHOT`, `COMPACT`, `STATS`, `TRACE`, `TRACES`) to responses; [`Server::handle`] is the line-protocol shim |
 //! | [`serve`] | `net` | TCP framing with a fixed worker-thread pool |
 //!
 //! ## In-process use
@@ -70,12 +70,12 @@ pub use index::{
     StepLog, DEFAULT_COMPACT_THRESHOLD,
 };
 pub use net::{request, request_with_timeout, serve, ServeHandle};
-pub use proto::{usage, ProofLine, Request, RequestError, Response, ResponseError};
+pub use proto::{usage, ProofLine, RecordedTrace, Request, RequestError, Response, ResponseError};
 pub use protocol::{Server, PROTOCOL_HELP};
 // Metrics types, re-exported so embedders can build a disabled registry
-// (zero-cost baseline) or walk a `Response::Metrics` payload without
-// depending on gk-metrics directly.
-pub use gk_metrics::{render_exposition, MetricSnapshot, MetricValue, Registry};
+// (zero-cost baseline) or walk a `Response::Metrics` payload — or a
+// `Response::Trace` span tree — without depending on gk-metrics directly.
+pub use gk_metrics::{render_exposition, MetricSnapshot, MetricValue, Registry, TraceNode};
 // Durability configuration, re-exported so embedders and the CLI need not
 // depend on gk-store directly.
 pub use gk_store::{Durability, FsyncMode};
@@ -875,6 +875,9 @@ mod tests {
                 "ERR usage: DELETE <s:T> <p> <o> [; <s:T> <p> <o> ...]",
             ),
             ("DROPKEY", "ERR usage: DROPKEY <name>"),
+            ("TRACE", "ERR usage: TRACE <verb ...>"),
+            ("TRACE TRACE PING", "ERR usage: TRACE <verb ...>"),
+            ("TRACES soon", "ERR usage: TRACES [n]"),
         ] {
             assert_eq!(s.handle(line), want, "{line:?}");
         }

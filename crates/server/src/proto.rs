@@ -18,7 +18,7 @@
 //! tokens all answer a uniform `ERR usage: <verb signature>` line.
 
 use crate::index::{AdvanceMode, AdvanceReport, KeyChange};
-use gk_metrics::MetricSnapshot;
+use gk_metrics::{MetricSnapshot, TraceNode};
 use std::fmt::Write as _;
 
 /// One request, as understood by [`crate::Server::execute`].
@@ -83,6 +83,17 @@ pub enum Request {
     Stats,
     /// `METRICS` — the full metrics exposition.
     Metrics,
+    /// `TRACE <verb ...>` — execute the wrapped request with per-request
+    /// span tracing on, answering its result plus the recorded span tree.
+    Trace {
+        /// The wrapped request (itself neither `TRACE` nor `TRACES`).
+        inner: Box<Request>,
+    },
+    /// `TRACES [n]` — dump the flight recorder's retained traces.
+    Traces {
+        /// Max traces returned; `None` means the recorder's capacity.
+        n: Option<usize>,
+    },
     /// `PING` — liveness check.
     Ping,
     /// `HELP` — the usage table.
@@ -118,6 +129,10 @@ pub mod usage {
     pub const STATS: &str = "STATS";
     /// `METRICS` signature.
     pub const METRICS: &str = "METRICS";
+    /// `TRACE` signature.
+    pub const TRACE: &str = "TRACE <verb ...>";
+    /// `TRACES` signature.
+    pub const TRACES: &str = "TRACES [n]";
     /// `PING` signature.
     pub const PING: &str = "PING";
     /// `HELP` signature.
@@ -220,6 +235,31 @@ impl Request {
             "COMPACT" => bare(usage::COMPACT).map(|()| Request::Compact),
             "STATS" => bare(usage::STATS).map(|()| Request::Stats),
             "METRICS" => bare(usage::METRICS).map(|()| Request::Metrics),
+            "TRACE" => {
+                let inner = match Request::parse(rest) {
+                    Ok(inner) => inner,
+                    // An empty wrapped request is a TRACE arity mistake;
+                    // a malformed inner verb keeps its own diagnosis.
+                    Err(RequestError::Empty) => return Err(RequestError::Usage(usage::TRACE)),
+                    Err(e) => return Err(e),
+                };
+                if matches!(inner, Request::Trace { .. } | Request::Traces { .. }) {
+                    return Err(RequestError::Usage(usage::TRACE));
+                }
+                Ok(Request::Trace {
+                    inner: Box::new(inner),
+                })
+            }
+            "TRACES" => {
+                if rest.is_empty() {
+                    Ok(Request::Traces { n: None })
+                } else {
+                    let n = exactly(1, usage::TRACES)?.pop().expect("one part");
+                    n.parse()
+                        .map(|n| Request::Traces { n: Some(n) })
+                        .map_err(|_| RequestError::Usage(usage::TRACES))
+                }
+            }
             "PING" => bare(usage::PING).map(|()| Request::Ping),
             "HELP" => bare(usage::HELP).map(|()| Request::Help),
             other => Err(RequestError::UnknownVerb(other.to_string())),
@@ -245,27 +285,32 @@ impl Request {
             Request::Compact => "COMPACT".into(),
             Request::Stats => "STATS".into(),
             Request::Metrics => "METRICS".into(),
+            Request::Trace { inner } => format!("TRACE {}", inner.render()),
+            Request::Traces { n: None } => "TRACES".into(),
+            Request::Traces { n: Some(n) } => format!("TRACES {n}"),
             Request::Ping => "PING".into(),
             Request::Help => "HELP".into(),
         }
     }
 
-    /// True for the verbs that mutate the index (triples or Σ).
+    /// True for the verbs that mutate the index (triples or Σ). A `TRACE`
+    /// mutates exactly when its wrapped request does.
     pub fn is_update(&self) -> bool {
-        matches!(
-            self,
+        match self {
             Request::Insert { .. }
-                | Request::Delete { .. }
-                | Request::AddKey { .. }
-                | Request::DropKey { .. }
-        )
+            | Request::Delete { .. }
+            | Request::AddKey { .. }
+            | Request::DropKey { .. } => true,
+            Request::Trace { inner } => inner.is_update(),
+            _ => false,
+        }
     }
 
     /// Every verb name, lowercase — the namespace of the per-verb request
     /// metrics (`gk_requests_<verb>_total`, `gk_request_micros_<verb>`).
-    pub const VERBS: [&'static str; 15] = [
+    pub const VERBS: [&'static str; 17] = [
         "same", "dups", "rep", "explain", "insert", "delete", "addkey", "dropkey", "keys",
-        "snapshot", "compact", "stats", "metrics", "ping", "help",
+        "snapshot", "compact", "stats", "metrics", "trace", "traces", "ping", "help",
     ];
 
     /// The lowercase verb name of this request (an element of
@@ -285,6 +330,8 @@ impl Request {
             Request::Compact => "compact",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
+            Request::Trace { .. } => "trace",
+            Request::Traces { .. } => "traces",
             Request::Ping => "ping",
             Request::Help => "help",
         }
@@ -306,6 +353,20 @@ pub struct ProofLine {
     pub b: String,
     /// Name of the certifying key.
     pub key: String,
+}
+
+/// One trace retained by the flight recorder, as answered by `TRACES`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordedTrace {
+    /// The server-assigned, monotonically increasing request id.
+    pub id: u64,
+    /// The traced request's verb (lowercase, an element of
+    /// [`Request::VERBS`]).
+    pub verb: String,
+    /// Whether the request crossed the slow-query threshold.
+    pub slow: bool,
+    /// The recorded span tree.
+    pub root: TraceNode,
 }
 
 /// One response, as produced by [`crate::Server::execute`].
@@ -401,6 +462,24 @@ pub enum Response {
     Stats(Vec<(String, String)>),
     /// `METRICS` + the full text exposition, one sample per line.
     Metrics(Vec<MetricSnapshot>),
+    /// `TRACE id=… spans=…` + the span tree + `ANSWER` + the wrapped
+    /// verb's response, byte-identical to the untraced answer.
+    Trace {
+        /// The server-assigned request id.
+        id: u64,
+        /// The recorded span tree (rooted at the wrapped verb's span).
+        root: TraceNode,
+        /// The wrapped verb's answer, unchanged.
+        answer: Box<Response>,
+    },
+    /// `TRACES n=… captured=…` + one header and indented span tree per
+    /// retained trace, newest first.
+    Traces {
+        /// Traces captured by the recorder since startup.
+        captured: u64,
+        /// The returned traces, newest first.
+        traces: Vec<RecordedTrace>,
+    },
     /// The multi-line usage table.
     Help(String),
     /// `ERR <reason>`.
@@ -554,6 +633,30 @@ impl Response {
                 }
                 out
             }
+            Response::Trace { id, root, answer } => {
+                // Span lines always start with indent + `span=`, so the
+                // bare ANSWER line splits the tree from the wrapped
+                // response unambiguously.
+                let mut out = format!("TRACE id={id} spans={}", root.total_spans());
+                for line in root.render().lines() {
+                    let _ = write!(out, "\n{line}");
+                }
+                out.push_str("\nANSWER\n");
+                out.push_str(&answer.render());
+                out
+            }
+            Response::Traces { captured, traces } => {
+                let mut out = format!("TRACES n={} captured={captured}", traces.len());
+                for t in traces {
+                    let _ = write!(out, "\ntrace id={} verb={} slow={}", t.id, t.verb, t.slow);
+                    let mut tree = String::new();
+                    t.root.render_into(1, &mut tree);
+                    for line in tree.lines() {
+                        let _ = write!(out, "\n{line}");
+                    }
+                }
+                out
+            }
             Response::Help(text) => text.clone(),
             Response::Err(msg) => format!("ERR {msg}"),
         }
@@ -694,6 +797,82 @@ impl Response {
                     .map_err(|e| bad(&format!("bad exposition ({e})")))?;
                 Ok(Response::Metrics(snaps))
             }
+            "TRACE" => {
+                let fields = kv_fields(&toks[1..])?;
+                let id = field(&fields, "id")
+                    .and_then(parse_u64)
+                    .ok_or_else(|| bad("TRACE without id="))?;
+                let spans = field(&fields, "spans")
+                    .and_then(parse_usize)
+                    .ok_or_else(|| bad("TRACE without spans="))?;
+                let rest: Vec<&str> = lines.collect();
+                let at = rest
+                    .iter()
+                    .position(|l| *l == "ANSWER")
+                    .ok_or_else(|| bad("TRACE without ANSWER"))?;
+                let (forest, used) = TraceNode::parse_forest(&rest[..at], 0)
+                    .ok_or_else(|| bad("malformed span tree"))?;
+                if used != at || forest.len() != 1 {
+                    return Err(bad("TRACE must carry exactly one span tree"));
+                }
+                let root = forest.into_iter().next().expect("one tree");
+                if root.total_spans() != spans {
+                    return Err(bad("TRACE spans= mismatch"));
+                }
+                let answer = Response::parse(&rest[at + 1..].join("\n"))?;
+                Ok(Response::Trace {
+                    id,
+                    root,
+                    answer: Box::new(answer),
+                })
+            }
+            "TRACES" => {
+                let fields = kv_fields(&toks[1..])?;
+                let n = field(&fields, "n")
+                    .and_then(parse_usize)
+                    .ok_or_else(|| bad("TRACES without n="))?;
+                let captured = field(&fields, "captured")
+                    .and_then(parse_u64)
+                    .ok_or_else(|| bad("TRACES without captured="))?;
+                let rest: Vec<&str> = lines.collect();
+                let mut traces = Vec::new();
+                let mut i = 0;
+                while i < rest.len() {
+                    let hdr = rest[i]
+                        .strip_prefix("trace ")
+                        .ok_or_else(|| bad("expected a trace header"))?;
+                    let htoks: Vec<&str> = hdr.split(' ').collect();
+                    let hfields = kv_fields(&htoks)?;
+                    let id = field(&hfields, "id")
+                        .and_then(parse_u64)
+                        .ok_or_else(|| bad("trace header without id="))?;
+                    let verb = field(&hfields, "verb")
+                        .ok_or_else(|| bad("trace header without verb="))?
+                        .to_string();
+                    let slow = match field(&hfields, "slow") {
+                        Some("true") => true,
+                        Some("false") => false,
+                        _ => return Err(bad("trace header without slow=")),
+                    };
+                    i += 1;
+                    let (forest, used) = TraceNode::parse_forest(&rest[i..], 1)
+                        .ok_or_else(|| bad("malformed span tree"))?;
+                    if forest.len() != 1 {
+                        return Err(bad("trace must carry exactly one span tree"));
+                    }
+                    i += used;
+                    traces.push(RecordedTrace {
+                        id,
+                        verb,
+                        slow,
+                        root: forest.into_iter().next().expect("one tree"),
+                    });
+                }
+                if traces.len() != n {
+                    return Err(bad("TRACES count mismatch"));
+                }
+                Ok(Response::Traces { captured, traces })
+            }
             "commands:" => Ok(Response::Help(text.to_string())),
             "ERR" => Ok(Response::Err(
                 first.strip_prefix("ERR ").unwrap_or("").to_string(),
@@ -822,11 +1001,58 @@ mod tests {
         req_roundtrip(r#"DELETE a:t p "v""#);
         req_roundtrip(r#"ADDKEY key "Q" t(x) { x -p-> v*; }"#);
         req_roundtrip("DROPKEY Q");
+        req_roundtrip("TRACE DUPS e1");
+        req_roundtrip(r#"TRACE INSERT a:t p "v""#);
+        req_roundtrip("TRACES");
+        req_roundtrip("TRACES 5");
         for bare in [
             "KEYS", "SNAPSHOT", "COMPACT", "STATS", "METRICS", "PING", "HELP",
         ] {
             req_roundtrip(bare);
         }
+    }
+
+    #[test]
+    fn trace_wraps_any_verb_but_not_itself() {
+        assert_eq!(
+            Request::parse("trace same a b"),
+            Ok(Request::Trace {
+                inner: Box::new(Request::Same {
+                    a: "a".into(),
+                    b: "b".into()
+                })
+            })
+        );
+        assert!(!Request::parse("TRACE SAME a b").unwrap().is_update());
+        assert!(Request::parse(r#"TRACE DELETE a:t p "v""#)
+            .unwrap()
+            .is_update());
+        // Nesting is rejected, and so is an empty wrap.
+        assert_eq!(
+            Request::parse("TRACE TRACE SAME a b"),
+            Err(RequestError::Usage(usage::TRACE))
+        );
+        assert_eq!(
+            Request::parse("TRACE TRACES"),
+            Err(RequestError::Usage(usage::TRACE))
+        );
+        assert_eq!(
+            Request::parse("TRACE"),
+            Err(RequestError::Usage(usage::TRACE))
+        );
+        // A malformed inner verb keeps its own usage diagnosis.
+        assert_eq!(
+            Request::parse("TRACE SAME a"),
+            Err(RequestError::Usage(usage::SAME))
+        );
+        assert_eq!(
+            Request::parse("TRACES five"),
+            Err(RequestError::Usage(usage::TRACES))
+        );
+        assert_eq!(
+            Request::parse("TRACES 5 6"),
+            Err(RequestError::Usage(usage::TRACES))
+        );
     }
 
     #[test]
@@ -982,6 +1208,89 @@ mod tests {
             "commands:\n  SAME <a> <b>          are <a> and <b> identified?".into(),
         ));
         resp_roundtrip(Response::Err("unknown entity \"ghost\"".into()));
+        let tree = TraceNode {
+            name: "dups".into(),
+            micros: 120,
+            counters: vec![("candidates".into(), 3)],
+            children: vec![TraceNode {
+                name: "analyze".into(),
+                micros: 100,
+                counters: vec![("iso_checks".into(), 1)],
+                children: vec![],
+            }],
+        };
+        resp_roundtrip(Response::Trace {
+            id: 7,
+            root: tree.clone(),
+            answer: Box::new(Response::Dups {
+                entity: "a1".into(),
+                others: vec!["a2".into()],
+            }),
+        });
+        // A traced multi-line answer survives the ANSWER split too.
+        resp_roundtrip(Response::Trace {
+            id: 8,
+            root: tree.clone(),
+            answer: Box::new(Response::Proof {
+                a: "a".into(),
+                b: "b".into(),
+                steps: vec![ProofLine {
+                    a: "a".into(),
+                    b: "b".into(),
+                    key: "Q2".into(),
+                }],
+            }),
+        });
+        resp_roundtrip(Response::Traces {
+            captured: 9,
+            traces: vec![
+                RecordedTrace {
+                    id: 8,
+                    verb: "trace".into(),
+                    slow: true,
+                    root: tree.clone(),
+                },
+                RecordedTrace {
+                    id: 7,
+                    verb: "ping".into(),
+                    slow: false,
+                    root: TraceNode {
+                        name: "ping".into(),
+                        micros: 1,
+                        counters: vec![],
+                        children: vec![],
+                    },
+                },
+            ],
+        });
+        resp_roundtrip(Response::Traces {
+            captured: 0,
+            traces: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn malformed_trace_responses_do_not_parse() {
+        assert!(Response::parse("TRACE id=1 spans=1").is_err(), "no tree");
+        assert!(
+            Response::parse("TRACE id=1 spans=1\nspan=x micros=1\nANSWER").is_err(),
+            "empty answer"
+        );
+        assert!(
+            Response::parse("TRACE id=1 spans=2\nspan=x micros=1\nANSWER\nPONG").is_err(),
+            "span count mismatch"
+        );
+        assert!(
+            Response::parse("TRACES n=1 captured=1").is_err(),
+            "count mismatch"
+        );
+        assert!(
+            Response::parse(
+                "TRACES n=1 captured=1\ntrace id=1 verb=ping slow=maybe\n  span=x micros=1"
+            )
+            .is_err(),
+            "bad slow flag"
+        );
     }
 
     #[test]

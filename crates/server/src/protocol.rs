@@ -33,13 +33,14 @@
 //! pre-typed protocol.
 
 use crate::index::{EmIndex, IndexState, RecoveryReport};
-use crate::proto::{ProofLine, Request, Response};
+use crate::proto::{ProofLine, RecordedTrace, Request, Response};
 use gk_core::{parse_keys, ChaseEngine, Key, KeySet};
 use gk_graph::{parse_triple_specs, EntityId, Graph, GraphView, TripleSpec};
-use gk_metrics::{Counter, Gauge, Histogram, Registry};
+use gk_metrics::{Counter, Gauge, Histogram, Registry, Span};
 use gk_store::Durability;
 use parking_lot::Mutex;
 use rustc_hash::{FxHashMap, FxHasher};
+use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -60,6 +61,8 @@ pub const PROTOCOL_HELP: &str = "commands:
   COMPACT               snapshot + fold the delta overlay, truncate the WAL, prune old snapshots
   STATS                 index + traffic counters
   METRICS               full metrics exposition (counters, gauges, latency histograms)
+  TRACE <verb ...>      execute <verb> with span tracing; answers the span tree + the answer
+  TRACES [n]            dump the flight recorder's retained request traces (newest first)
   PING                  liveness check";
 
 /// The entity-resolution service: a resident [`EmIndex`] plus the request
@@ -84,6 +87,100 @@ pub struct Server {
     /// Cache hit/miss counters — registered even when the cache is off so
     /// the metrics exposition surface does not depend on configuration.
     cache_metrics: CacheMetrics,
+    /// Monotonically increasing request id, assigned to every executed
+    /// request (ties `slow_query` events to recorded traces).
+    request_ids: AtomicU64,
+    /// The in-memory flight recorder (`None` = tracing off).
+    recorder: Option<FlightRecorder>,
+}
+
+/// A bounded in-memory flight recorder: a ring of the last `cap` request
+/// traces plus a ring of the last `cap` traces that crossed the
+/// slow-query threshold, so a burst of fast requests cannot evict the
+/// slow outliers an operator is hunting.
+struct FlightRecorder {
+    cap: usize,
+    rings: Mutex<RecorderRings>,
+    /// Traces captured since startup (not bounded by the rings).
+    captured: AtomicU64,
+}
+
+#[derive(Default)]
+struct RecorderRings {
+    recent: VecDeque<PendingTrace>,
+    slow: VecDeque<PendingTrace>,
+}
+
+/// A retained trace in its cheap in-flight form: the live [`Span`]
+/// handle (an `Arc` bump to retain, nothing rendered). The span tree is
+/// snapshotted into the wire-form [`RecordedTrace`] only when a `TRACES`
+/// dump actually asks for it — recording must stay off the hot path's
+/// critical cost, dumping is rare and operator-driven.
+#[derive(Clone)]
+struct PendingTrace {
+    id: u64,
+    verb: &'static str,
+    slow: bool,
+    span: Span,
+}
+
+impl PendingTrace {
+    fn snapshot(&self) -> RecordedTrace {
+        RecordedTrace {
+            id: self.id,
+            verb: self.verb.to_string(),
+            slow: self.slow,
+            root: self.span.to_node().expect("recorded spans are enabled"),
+        }
+    }
+}
+
+impl FlightRecorder {
+    fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap,
+            rings: Mutex::new(RecorderRings::default()),
+            captured: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, id: u64, verb: &'static str, slow: bool, span: &Span) {
+        self.captured.fetch_add(1, Ordering::Relaxed);
+        let mk = || PendingTrace {
+            id,
+            verb,
+            slow,
+            span: span.clone(),
+        };
+        let mut r = self.rings.lock();
+        if slow {
+            if r.slow.len() >= self.cap {
+                r.slow.pop_front();
+            }
+            r.slow.push_back(mk());
+        }
+        if r.recent.len() >= self.cap {
+            r.recent.pop_front();
+        }
+        r.recent.push_back(mk());
+    }
+
+    /// Up to `n` retained traces, newest first: the recent ring merged
+    /// with the slow ring, deduplicated by request id. Span trees are
+    /// snapshotted here, outside the rings lock.
+    fn dump(&self, n: usize) -> Vec<RecordedTrace> {
+        let r = self.rings.lock();
+        let mut out: Vec<PendingTrace> = r.recent.iter().cloned().collect();
+        for t in &r.slow {
+            if !out.iter().any(|o| o.id == t.id) {
+                out.push(t.clone());
+            }
+        }
+        drop(r);
+        out.sort_by_key(|t| std::cmp::Reverse(t.id));
+        out.truncate(n);
+        out.iter().map(PendingTrace::snapshot).collect()
+    }
 }
 
 /// Answer-cache traffic counters.
@@ -350,6 +447,8 @@ impl Server {
             updates: AtomicU64::new(0),
             started: Instant::now(),
             slow_query_micros: 0,
+            request_ids: AtomicU64::new(0),
+            recorder: None,
         }
     }
 
@@ -380,6 +479,22 @@ impl Server {
     /// serving traffic.
     pub fn set_cache_entries(&mut self, entries: usize) {
         self.cache = (entries > 0).then(|| AnswerCache::new(entries));
+    }
+
+    /// Enables the trace flight recorder with room for `n` recent traces
+    /// plus `n` slow-query traces; `0` disables it (the library default).
+    /// With the recorder on, every request executes under a root span and
+    /// its finished trace is retained in the bounded rings, dumped by the
+    /// `TRACES` verb and `GET /traces` on the metrics endpoint. Call
+    /// before serving traffic.
+    pub fn set_trace_buffer(&mut self, n: usize) {
+        self.recorder = (n > 0).then(|| FlightRecorder::new(n));
+    }
+
+    /// Seconds since the server was built (the `STATS` `uptime_secs`
+    /// field; also answered by `GET /healthz`).
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
     }
 
     /// Handles one request line, returning the response text (possibly
@@ -421,46 +536,72 @@ impl Server {
     /// [`Server::execute`] keeping the cache-entry form of the outcome,
     /// so [`Server::handle`] can reuse the cached rendering.
     fn run(&self, req: Request) -> Outcome {
+        let id = self.request_ids.fetch_add(1, Ordering::Relaxed) + 1;
         let verb = req.verb();
         // The argument digest is captured up front only when the
         // slow-query log could use it — rendering costs a String per
         // request otherwise.
         let args = (self.slow_query_micros > 0).then(|| req.render());
+        // A root span exists exactly when someone will read it: the
+        // flight recorder, or a TRACE answer. Everywhere else the traced
+        // paths run on the disabled span (the compiled no-op).
+        let span = if self.recorder.is_some() || matches!(req, Request::Trace { .. }) {
+            Span::root(verb)
+        } else {
+            Span::disabled()
+        };
         let t0 = Instant::now();
-        let out = self.dispatch(req);
+        let out = self.dispatch(req, id, &span);
         let elapsed = t0.elapsed();
+        span.finish();
         let (count, latency) = self.verbs.slot(verb);
         count.inc();
         latency.observe_micros(elapsed);
         if matches!(out.response(), Response::Err(_)) {
             self.verbs.errors.inc();
         }
-        if let Some(args) = args {
-            if elapsed.as_micros() as u64 >= self.slow_query_micros {
+        let slow =
+            self.slow_query_micros > 0 && elapsed.as_micros() as u64 >= self.slow_query_micros;
+        if slow {
+            if let Some(args) = &args {
                 let snap = self.index.snapshot();
                 gk_metrics::info!(
                     "slow_query",
+                    request_id = id,
                     verb = verb,
                     micros = elapsed.as_micros(),
-                    args = digest(&args),
+                    args = digest(args),
                     version = snap.version,
                     key_epoch = snap.key_epoch,
                 );
             }
         }
+        if let Some(rec) = &self.recorder {
+            if span.is_enabled() {
+                rec.record(id, verb, slow, &span);
+            }
+        }
         out
     }
 
-    fn dispatch(&self, req: Request) -> Outcome {
+    fn dispatch(&self, req: Request, id: u64, span: &Span) -> Outcome {
         if let Some(cache) = &self.cache {
             if matches!(
                 req,
                 Request::Same { .. } | Request::Dups { .. } | Request::Rep { .. }
             ) {
-                return Outcome::Cached(self.cached_query(cache, req));
+                return Outcome::Cached(self.cached_query(cache, req, span));
             }
         }
-        Outcome::Fresh(match req {
+        Outcome::Fresh(self.exec(req, id, span))
+    }
+
+    /// Executes one request with trace context threaded through; cacheable
+    /// query verbs arrive here only with the cache off or under `TRACE`
+    /// (traced queries bypass the cache — the cache is transparent, so
+    /// the answer stays byte-identical).
+    fn exec(&self, req: Request, id: u64, span: &Span) -> Response {
+        match req {
             Request::Same { a, b } => {
                 let snap = self.index.snapshot();
                 self.count_query(self.exec_same(&snap, a, b))
@@ -474,18 +615,95 @@ impl Server {
                 self.count_query(self.exec_rep(&snap, entity))
             }
             Request::Explain { a, b } => self.count_query(self.exec_explain(a, b)),
-            Request::Insert { batch } => self.count_update(self.exec_insert(&batch)),
-            Request::Delete { batch } => self.count_update(self.exec_delete(&batch)),
-            Request::AddKey { dsl } => self.count_update(self.exec_addkey(&dsl)),
-            Request::DropKey { name } => self.count_update(self.exec_dropkey(&name)),
+            Request::Insert { batch } => self.count_update(self.exec_insert(&batch, span)),
+            Request::Delete { batch } => self.count_update(self.exec_delete(&batch, span)),
+            Request::AddKey { dsl } => self.count_update(self.exec_addkey(&dsl, span)),
+            Request::DropKey { name } => self.count_update(self.exec_dropkey(&name, span)),
             Request::Keys => self.exec_keys(),
             Request::Snapshot => self.exec_snapshot(),
             Request::Compact => self.exec_compact(),
             Request::Stats => self.exec_stats(),
             Request::Metrics => Response::Metrics(self.index.registry().snapshot()),
+            Request::Trace { inner } => self.exec_trace(*inner, id, span),
+            Request::Traces { n } => self.exec_traces(n),
             Request::Ping => Response::Pong,
             Request::Help => Response::Help(PROTOCOL_HELP.to_string()),
-        })
+        }
+    }
+
+    /// `TRACE <verb ...>`: executes the wrapped request under a child
+    /// span named after its verb and answers the rendered tree plus the
+    /// unchanged answer. Entity queries (`SAME`/`DUPS`/`REP`) get a deep
+    /// EXPLAIN-ANALYZE pass: a `lookup` phase for the answer itself and
+    /// an `analyze` phase replaying the chase's candidate funnel around
+    /// the queried entities ([`gk_core::analyze_entity`]).
+    fn exec_trace(&self, inner: Request, id: u64, span: &Span) -> Response {
+        let child = span.child(inner.verb());
+        let answer = match inner {
+            Request::Same { a, b } => {
+                let snap = self.index.snapshot();
+                let lookup = child.child("lookup");
+                let resp = self.count_query(self.exec_same(&snap, a.clone(), b.clone()));
+                lookup.finish();
+                self.analyze_phase(&child, &snap, &[&a, &b]);
+                resp
+            }
+            Request::Dups { entity } => {
+                let snap = self.index.snapshot();
+                let lookup = child.child("lookup");
+                let resp = self.count_query(self.exec_dups(&snap, entity.clone()));
+                lookup.finish();
+                self.analyze_phase(&child, &snap, &[&entity]);
+                resp
+            }
+            Request::Rep { entity } => {
+                let snap = self.index.snapshot();
+                let lookup = child.child("lookup");
+                let resp = self.count_query(self.exec_rep(&snap, entity.clone()));
+                lookup.finish();
+                self.analyze_phase(&child, &snap, &[&entity]);
+                resp
+            }
+            other => self.exec(other, id, &child),
+        };
+        child.finish();
+        let root = child.to_node().expect("TRACE always runs with tracing on");
+        Response::Trace {
+            id,
+            root,
+            answer: Box::new(answer),
+        }
+    }
+
+    /// The EXPLAIN-ANALYZE phase of a traced entity query: replays the
+    /// candidate funnel around each named entity under the terminal
+    /// relation (read-only; unknown names are skipped — the lookup phase
+    /// already answered the error).
+    fn analyze_phase(&self, span: &Span, snap: &IndexState, names: &[&str]) {
+        let analyze = span.child("analyze");
+        for name in names {
+            if let Some(e) = resolve_entity(&snap.graph, name) {
+                gk_core::analyze_entity(
+                    &snap.graph,
+                    &snap.compiled,
+                    snap.degrees(),
+                    &snap.eq,
+                    e,
+                    &analyze,
+                );
+            }
+        }
+        analyze.finish();
+    }
+
+    fn exec_traces(&self, n: Option<usize>) -> Response {
+        match &self.recorder {
+            None => Response::Err("tracing is off (start with --trace-buffer)".into()),
+            Some(rec) => Response::Traces {
+                captured: rec.captured.load(Ordering::Relaxed),
+                traces: rec.dump(n.unwrap_or(rec.cap)),
+            },
+        }
     }
 
     /// Answers a cacheable query verb through the cache. The cache key and
@@ -493,11 +711,12 @@ impl Server {
     /// keyed `(version, key_epoch, request)` always stores the answer that
     /// state produced — concurrent writers advancing the index between the
     /// two would otherwise poison the older generation.
-    fn cached_query(&self, cache: &AnswerCache, req: Request) -> Arc<CacheEntry> {
+    fn cached_query(&self, cache: &AnswerCache, req: Request, span: &Span) -> Arc<CacheEntry> {
         let snap = self.index.snapshot();
         let key: CacheKey = (snap.version, snap.key_epoch, req);
         if let Some(hit) = cache.get(&key) {
             self.cache_metrics.hits.inc();
+            span.count("cache_hit", 1);
             self.queries.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
@@ -593,29 +812,29 @@ impl Server {
         }
     }
 
-    fn exec_insert(&self, batch: &str) -> Response {
+    fn exec_insert(&self, batch: &str, span: &Span) -> Response {
         let specs = match parse_batch(batch, "INSERT") {
             Ok(s) => s,
             Err(e) => return Response::Err(e),
         };
-        match self.index.insert(&specs) {
+        match self.index.insert_traced(&specs, span) {
             Ok(r) => Response::Updated(r),
             Err(e) => Response::Err(e),
         }
     }
 
-    fn exec_delete(&self, batch: &str) -> Response {
+    fn exec_delete(&self, batch: &str, span: &Span) -> Response {
         let specs = match parse_batch(batch, "DELETE") {
             Ok(s) => s,
             Err(e) => return Response::Err(e),
         };
-        match self.index.delete(&specs) {
+        match self.index.delete_traced(&specs, span) {
             Ok(r) => Response::Updated(r),
             Err(e) => Response::Err(e),
         }
     }
 
-    fn exec_addkey(&self, dsl: &str) -> Response {
+    fn exec_addkey(&self, dsl: &str, span: &Span) -> Response {
         let keys: Vec<Key> = match parse_keys(dsl) {
             Ok(k) => k,
             Err(e) => return Response::Err(format!("key does not parse: {e}")),
@@ -626,14 +845,14 @@ impl Server {
                 keys.len()
             ));
         }
-        match self.index.add_keys(keys) {
+        match self.index.add_keys_traced(keys, span) {
             Ok(c) => Response::KeyAdded(c),
             Err(e) => Response::Err(e),
         }
     }
 
-    fn exec_dropkey(&self, name: &str) -> Response {
-        match self.index.drop_key(name) {
+    fn exec_dropkey(&self, name: &str, span: &Span) -> Response {
+        match self.index.drop_key_traced(name, span) {
             Ok(c) => Response::KeyDropped(c),
             Err(e) => Response::Err(e),
         }
@@ -736,6 +955,13 @@ impl Server {
         );
         push("cache_hits", self.cache_metrics.hits.get().to_string());
         push("cache_misses", self.cache_metrics.misses.get().to_string());
+        push(
+            "traces_captured",
+            self.recorder
+                .as_ref()
+                .map_or(0, |r| r.captured.load(Ordering::Relaxed))
+                .to_string(),
+        );
         Response::Stats(pairs)
     }
 }
@@ -787,9 +1013,22 @@ fn split_batch(args: &str) -> String {
 }
 
 fn entity(snap: &IndexState, name: &str) -> Result<EntityId, Response> {
-    snap.graph
-        .entity_named(name)
+    resolve_entity(&snap.graph, name)
         .ok_or_else(|| Response::Err(format!("unknown entity {name:?}")))
+}
+
+/// Resolves a query argument to an entity: its registered external name,
+/// or — so every label the server prints is also addressable — the
+/// canonical `e<id>` form [`GraphView::entity_label`] falls back to for
+/// unnamed entities. Registered names always win, and the fallback only
+/// accepts the exact label the server would print (no aliases for named
+/// entities, no `e007` spellings).
+fn resolve_entity<V: GraphView>(g: &V, name: &str) -> Option<EntityId> {
+    g.entity_named(name).or_else(|| {
+        let id: u32 = name.strip_prefix('e')?.parse().ok()?;
+        let e = EntityId(id);
+        ((id as usize) < g.num_entities() && g.entity_label(e) == name).then_some(e)
+    })
 }
 
 #[cfg(test)]
@@ -876,5 +1115,120 @@ mod tests {
         let _ = s.handle("SAME a1 a2");
         assert_eq!(s.cache_metrics.hits.get(), 0);
         assert_eq!(s.cache_metrics.misses.get(), 0);
+    }
+
+    #[test]
+    fn trace_wraps_the_answer_unchanged_even_past_the_cache() {
+        let s = cached_server(64);
+        let direct = s.handle("DUPS a1");
+        let _ = s.handle("DUPS a1"); // warm the cache: 1 miss, 1 hit
+        let traced = s.execute(Request::parse("TRACE DUPS a1").unwrap());
+        let Response::Trace { id, root, answer } = traced else {
+            panic!("expected a Trace response");
+        };
+        assert!(id >= 3);
+        // Byte-identical answer although the traced run bypassed the cache.
+        assert_eq!(answer.render(), direct);
+        assert_eq!(s.cache_metrics.misses.get(), 1);
+        assert_eq!(root.name, "dups");
+        let phases: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(phases, ["lookup", "analyze"]);
+        // The analyze phase replayed a1's candidate funnel: a2 and a3 are
+        // the same-type partners, a2 survives to the iso check.
+        // Totals sit on the analyze span itself (`counter_deep` would
+        // double-count the per-key children that break them down).
+        let analyze = &root.children[1];
+        assert_eq!(analyze.counter("candidates"), Some(2));
+        assert_eq!(analyze.counter("iso_checks"), Some(1));
+        assert_eq!(analyze.counter("matched"), Some(1));
+    }
+
+    #[test]
+    fn traced_insert_records_the_mutation_phases() {
+        let s = cached_server(0);
+        let resp =
+            s.execute(Request::parse(r#"TRACE INSERT a3:album release_year "1996""#).unwrap());
+        let Response::Trace { root, answer, .. } = resp else {
+            panic!("expected a Trace response");
+        };
+        assert!(answer.render().starts_with("OK"), "{}", answer.render());
+        assert_eq!(root.name, "insert");
+        let phases: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert!(phases.contains(&"validate"), "{phases:?}");
+        assert!(phases.contains(&"apply_batch"), "{phases:?}");
+        assert!(
+            phases.contains(&"delta_chase") || phases.contains(&"full_rechase"),
+            "{phases:?}"
+        );
+        // The inserted year completes Q2 on a3 ("Other" ≠ "Anthology 2",
+        // so the chase considered it without merging).
+        assert!(root.counter_deep("touched") >= 1);
+    }
+
+    #[test]
+    fn recorder_captures_every_request_and_dumps_newest_first() {
+        let mut s = Server::new(parse_graph(GRAPH).unwrap(), KeySet::parse(KEYS).unwrap());
+        s.set_trace_buffer(8);
+        assert_eq!(s.handle("PING"), "PONG");
+        assert!(s.handle("DUPS a1").starts_with("DUPS"));
+        let resp = s.execute(Request::parse("TRACES").unwrap());
+        let Response::Traces { captured, traces } = resp else {
+            panic!("expected a Traces response");
+        };
+        // The TRACES request itself records only after taking the dump.
+        assert_eq!(captured, 2);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].verb, "dups");
+        assert_eq!(traces[1].verb, "ping");
+        assert!(traces[0].id > traces[1].id, "newest first");
+        assert!(traces.iter().all(|t| !t.slow));
+        assert!(s.handle("STATS").contains("traces_captured=3"));
+        // TRACES 1 truncates to the single newest trace.
+        let Response::Traces { traces, .. } = s.execute(Request::parse("TRACES 1").unwrap()) else {
+            panic!("expected a Traces response");
+        };
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].verb, "stats");
+    }
+
+    #[test]
+    fn traces_err_when_tracing_is_off() {
+        let s = cached_server(0);
+        assert_eq!(
+            s.handle("TRACES"),
+            "ERR tracing is off (start with --trace-buffer)"
+        );
+        // TRACE still works without the recorder — the span exists for the
+        // duration of the request only.
+        assert!(s.handle("TRACE PING").contains("PONG"));
+        assert!(s.handle("STATS").contains("traces_captured=0"));
+    }
+
+    #[test]
+    fn recorder_rings_stay_bounded_and_protect_slow_traces() {
+        fn finished_span() -> Span {
+            let s = Span::root("ping");
+            s.finish();
+            s
+        }
+        let rec = FlightRecorder::new(2);
+        rec.record(1, "ping", true, &finished_span());
+        for id in 2..=5 {
+            rec.record(id, "ping", false, &finished_span());
+        }
+        assert_eq!(rec.captured.load(Ordering::Relaxed), 5);
+        // Recent ring kept 4 and 5; the slow ring still holds 1 although
+        // four fast requests followed it.
+        let ids: Vec<u64> = rec.dump(10).iter().map(|t| t.id).collect();
+        assert_eq!(ids, [5, 4, 1]);
+        // A trace in both rings dumps once (dedup by id), and `n` caps
+        // the dump. The dump snapshots the retained span, wire-ready.
+        rec.record(6, "ping", true, &finished_span());
+        let dumped = rec.dump(10);
+        let ids: Vec<u64> = dumped.iter().map(|t| t.id).collect();
+        assert_eq!(ids, [6, 5, 1]);
+        assert_eq!(dumped[0].verb, "ping");
+        assert_eq!(dumped[0].root.name, "ping");
+        assert_eq!(rec.dump(2).len(), 2);
     }
 }

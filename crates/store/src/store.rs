@@ -244,10 +244,11 @@ impl Store {
     }
 
     /// Appends one accepted update batch, honoring the fsync policy.
-    pub fn append(&self, record: &WalRecord) -> std::io::Result<()> {
-        self.wal.lock().expect("wal writer lock").append(record)?;
+    /// Returns the framed size in bytes written to the WAL.
+    pub fn append(&self, record: &WalRecord) -> std::io::Result<u64> {
+        let bytes = self.wal.lock().expect("wal writer lock").append(record)?;
         self.wal_records.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        Ok(bytes)
     }
 
     /// Cuts a snapshot of `snap` without touching the WAL. The WAL is

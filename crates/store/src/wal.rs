@@ -301,8 +301,9 @@ impl WalWriter {
     }
 
     /// Appends one record frame and applies the fsync policy. The record
-    /// is on disk (or at least with the OS) before this returns.
-    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+    /// is on disk (or at least with the OS) before this returns. Returns
+    /// the framed size in bytes (payload plus length/CRC header).
+    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<u64> {
         let payload = record.encode();
         let mut frame = Vec::with_capacity(payload.len() + 8);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -324,7 +325,7 @@ impl WalWriter {
             FsyncMode::Batch if self.unsynced >= BATCH_SYNC_EVERY => self.sync()?,
             FsyncMode::Batch | FsyncMode::Never => {}
         }
-        Ok(())
+        Ok(frame.len() as u64)
     }
 
     /// Flushes everything appended so far to stable storage.

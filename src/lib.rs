@@ -50,6 +50,7 @@ pub use gk_datagen as datagen;
 pub use gk_graph as graph;
 pub use gk_isomorph as isomorph;
 pub use gk_mapreduce as mapreduce;
+pub use gk_metrics as metrics;
 pub use gk_server as server;
 pub use gk_store as store;
 pub use gk_vertexcentric as vertexcentric;

@@ -271,6 +271,41 @@ fn golden_metrics() {
 }
 
 #[test]
+fn golden_trace() {
+    // The tracing surface: TRACE's span-tree-plus-answer shape, the
+    // EXPLAIN-ANALYZE phases of a traced query, the mutation phases of a
+    // traced INSERT, the flight recorder's TRACES dump, and the
+    // traces_captured STATS field. Wall micros are masked (the `micros`
+    // mask also covers STATS' startup_micros); span names, counters and
+    // nesting are the locked surface.
+    let mut s = server();
+    s.set_trace_buffer(4);
+    let script = [
+        "TRACE DUPS alb1",
+        "TRACE SAME alb1 alb3",
+        r#"TRACE INSERT alb3:album name_of "Anthology 2" ; alb3:album release_year "1996""#,
+        "TRACE SAME alb1 alb3",
+        "TRACE PING",
+        "TRACE TRACE PING",
+        "TRACES 3",
+        "TRACES",
+        "STATS",
+    ];
+    let mut out = String::new();
+    for line in script {
+        let resp = s.handle(line);
+        let _ = writeln!(out, ">> {line}");
+        let mut masked = resp;
+        for field in ["micros", "bytes", "uptime_secs"] {
+            masked = mask_field(&masked, field);
+        }
+        let _ = writeln!(out, "{masked}");
+        out.push('\n');
+    }
+    check_golden("trace", &out);
+}
+
+#[test]
 fn golden_updates_parallel_engine() {
     // The same update script under the parallel engine: identical answers,
     // engine/threads surfaced in STATS. Bit-identical transcripts across

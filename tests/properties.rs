@@ -399,4 +399,58 @@ proptest! {
             ask(&format!("REP e{}", v % 10));
         }
     }
+
+    /// Span tracing must be invisible too: a server whose every request is
+    /// traced (recorder on, ops applied through `TRACE`) answers each
+    /// wrapped request byte-identically to an untraced server, across
+    /// random interleavings of mutations and queries — and every trace is
+    /// a well-formed tree whose root is named after the wrapped verb.
+    #[test]
+    fn tracing_is_transparent_across_interleavings(
+        raw in raw_triples(),
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 1..16),
+    ) {
+        let keys = KeySet::parse(
+            r#"key "QBASE" t0(x) { x -p0-> n*; }"#,
+        ).unwrap();
+        let plain = Server::new(build_graph(&raw), keys.clone());
+        let mut traced = Server::new(build_graph(&raw), keys);
+        traced.set_trace_buffer(8);
+
+        let ask = |line: &str| {
+            let want = plain.handle(line);
+            let req = Request::parse(line).unwrap();
+            let verb = req.verb();
+            match traced.execute(Request::Trace { inner: Box::new(req) }) {
+                Response::Trace { root, answer, .. } => {
+                    assert_eq!(answer.render(), want, "traced answer of {line}");
+                    assert_eq!(root.name, verb, "root span of {line}");
+                    // The rendered tree itself round-trips through the wire
+                    // format (indented span lines, counters intact).
+                    let parsed = keys_for_graphs::metrics::TraceNode::parse_forest(
+                        &root.render().lines().collect::<Vec<_>>(),
+                        0,
+                    );
+                    assert!(parsed.is_some(), "tree of {line} must re-parse");
+                }
+                other => panic!("TRACE {line} answered {:?}", other),
+            }
+        };
+
+        for &(kind, i, v) in &ops {
+            ask(&cache_op_line(kind, i, v));
+            ask(&format!("SAME e{} e{}", i % 10, v % 10));
+            ask(&format!("DUPS e{}", i % 10));
+            ask(&format!("REP e{}", v % 10));
+        }
+        // The recorder retained the tail of that traffic, newest first.
+        match traced.execute(Request::parse("TRACES").unwrap()) {
+            Response::Traces { captured, traces } => {
+                prop_assert_eq!(captured, ops.len() as u64 * 4);
+                prop_assert!(!traces.is_empty());
+                prop_assert!(traces.windows(2).all(|w| w[0].id > w[1].id));
+            }
+            other => panic!("TRACES answered {other:?}"),
+        }
+    }
 }

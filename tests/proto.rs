@@ -44,7 +44,7 @@ fn batch(seed: u8, n: u8) -> String {
 /// Decodes an integer tuple into a `Request` — the shimmed proptest has
 /// no `prop_oneof`, so variants are chosen arithmetically.
 fn decode_request(kind: u8, a: u8, b: u8) -> Request {
-    match kind % 14 {
+    match kind % 16 {
         0 => Request::Same {
             a: token(a, 0),
             b: token(b, 1),
@@ -70,12 +70,20 @@ fn decode_request(kind: u8, a: u8, b: u8) -> Request {
         10 => Request::Compact,
         11 => Request::Stats,
         12 => Request::Ping,
-        _ => Request::Help,
+        13 => Request::Help,
+        // TRACE wraps any non-TRACE request; recurse with a shifted kind
+        // that can never land back on 14.
+        14 => Request::Trace {
+            inner: Box::new(decode_request(kind.wrapping_add(a) % 14, b, a)),
+        },
+        _ => Request::Traces {
+            n: a.is_multiple_of(2).then_some(b as usize),
+        },
     }
 }
 
 fn request() -> impl Strategy<Value = Request> {
-    (0u8..14, 0u8..255, 0u8..255).prop_map(|(kind, a, b)| decode_request(kind, a, b))
+    (0u8..16, 0u8..255, 0u8..255).prop_map(|(kind, a, b)| decode_request(kind, a, b))
 }
 
 proptest! {
@@ -140,13 +148,16 @@ const GRAPH: &str = r#"
 fn every_server_response_reparses_losslessly() {
     let dir = std::env::temp_dir().join(format!("gk-proto-lossless-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let (server, _) = Server::with_durability(
+    let (mut server, _) = Server::with_durability(
         parse_graph(GRAPH).unwrap(),
         KeySet::parse(KEYS).unwrap(),
         keys_for_graphs::core::ChaseEngine::default(),
         &Durability::in_dir(&dir),
     )
     .unwrap();
+    // With the flight recorder on, `TRACES` answers real span trees — the
+    // richest wire format in the protocol must round-trip too.
+    server.set_trace_buffer(4);
     let script = [
         "PING",
         "HELP",
@@ -172,6 +183,14 @@ fn every_server_response_reparses_losslessly() {
         "DROPKEY ghost",
         "SNAPSHOT",
         "COMPACT",
+        "TRACE DUPS alb1",
+        "TRACE SAME alb1 ghost",
+        r#"TRACE INSERT alb4:album name_of "Abbey Road""#,
+        "TRACE PING",
+        "TRACE TRACE PING",
+        "TRACES",
+        "TRACES 2",
+        "TRACES zero",
         "STATS",
     ];
     for line in script {
