@@ -179,6 +179,9 @@ fn paper_note(id: &str) -> &'static str {
         "matcher_prune" => {
             "beyond the paper: degree-guided pruning of the candidate set L on a sparse keyed type"
         }
+        "concurrent_connections" => {
+            "beyond the paper: TCP front-end scalability — epoll event loop vs blocking thread-per-connection pool at equal workers"
+        }
         _ => "",
     }
 }

@@ -24,6 +24,12 @@ pub const USAGE: &str = "usage:
                      [--chain C] [--radius D] [--seed S] --out DIR
   graphkeys serve    <graph.triples> <keys.gk> [--port P] [--threads N]
                      [--engine reference|incremental|parallel]
+                     [--net-model epoll|threaded]  TCP front-end: nonblocking
+                     epoll event loop (default) or the deprecated blocking
+                     thread-per-connection pool
+                     [--max-conns N]           admission bound on simultaneous
+                     connections; beyond it new ones get ERR busy (0 = off;
+                     epoll model only)
                      [--data-dir DIR] [--fsync always|batch|never]
                      [--compact-threshold N]   fold the delta overlay into a
                      fresh base CSR once delta+tombstones reach N (0 = off)
@@ -496,6 +502,8 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
             "slow-query-ms",
             "cache-entries",
             "trace-buffer",
+            "net-model",
+            "max-conns",
         ],
     )?;
     let [gpath, kpath] = f.positional.as_slice() else {
@@ -542,22 +550,35 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
     server.set_cache_entries(cache_entries);
     server.set_trace_buffer(trace_buffer);
     let server = std::sync::Arc::new(server);
-    // Holds the scrape-endpoint thread for the life of the process (serve
-    // never returns).
-    let mut _metrics_endpoint = None;
-    if let Some(maddr) = f.get("metrics-addr") {
-        let h = gk_server::serve_metrics_http(std::sync::Arc::clone(&server), maddr)
-            .map_err(|e| format!("cannot bind metrics address {maddr:?}: {e}"))?;
-        let _ = writeln!(out, "metrics on http://{}/metrics", h.addr());
-        _metrics_endpoint = Some(h);
+    let model: gk_server::NetModel = match f.get("net-model") {
+        Some(m) => m.parse()?,
+        None => gk_server::NetModel::default(),
+    };
+    let max_conns = f.get_parse("max-conns", 0usize)?;
+    if max_conns > 0 && model == gk_server::NetModel::Threaded {
+        return Err(
+            "--max-conns needs --net-model epoll (the threaded pool's own size is its bound)"
+                .into(),
+        );
     }
-    let handle = gk_server::serve(server, &format!("127.0.0.1:{port}"), threads)
+    // The scrape endpoint rides the epoll reactor; under the threaded
+    // model serve_with spawns its dedicated sidecar thread.
+    let opts = gk_server::ServeOptions {
+        threads,
+        model,
+        max_conns,
+        metrics_addr: f.get("metrics-addr").map(str::to_string),
+    };
+    let handle = gk_server::serve_with(server, &format!("127.0.0.1:{port}"), &opts)
         .map_err(|e| format!("cannot bind port {port}: {e}"))?;
+    if let Some(maddr) = handle.metrics_addr() {
+        let _ = writeln!(out, "metrics on http://{maddr}/metrics");
+    }
     // `run_to` buffers output until return, but serve never returns — print
     // the banner directly so operators see the bound address immediately.
     let _ = writeln!(
         out,
-        "serving on {} with {threads} worker thread(s), engine={engine}",
+        "serving on {} with {threads} worker thread(s), engine={engine}, net-model={model}",
         handle.addr()
     );
     print!("{out}");

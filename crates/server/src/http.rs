@@ -116,17 +116,21 @@ fn answer_scrape(server: &Server, conn: TcpStream, timeout: Duration) {
     }
     let mut parts = request_line.split_whitespace();
     let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let _ = writer.write_all(render_http_response(server, method, path).as_bytes());
+    let _ = writer.shutdown(Shutdown::Both);
+}
+
+/// Renders one complete `Connection: close` HTTP response for a parsed
+/// request line. Shared by the sidecar thread above and the epoll
+/// reactor's multiplexed scrape connections.
+pub(crate) fn render_http_response(server: &Server, method: &str, path: &str) -> String {
     let (status, extra, body) = route(server, method, path);
     let extra = extra.map_or(String::new(), |h| format!("{h}\r\n"));
-    let _ = writer.write_all(
-        format!(
-            "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
-             Content-Length: {}\r\nConnection: close\r\n{extra}\r\n{body}",
-            body.len()
-        )
-        .as_bytes(),
-    );
-    let _ = writer.shutdown(Shutdown::Both);
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n{extra}\r\n{body}",
+        body.len()
+    )
 }
 
 /// Maps one request to `(status line, extra header, body)`.

@@ -26,7 +26,7 @@
 //! | [`EmIndex`] | `index` | snapshot-swapped `OverlayGraph` (shared base CSR + O(batch) delta) + a versioned Σ ([`EmIndex::add_keys`] / [`EmIndex::drop_key`] evolve it at runtime) + `EqRel` with rep map and duplicate clusters; threshold-compacted; optional write-through durability (`gk-store` WAL + snapshots, crash recovery) |
 //! | [`Request`] / [`Response`] | `proto` | the typed request/response surface with a lossless `parse`/`render` pair |
 //! | [`Server`] | `protocol` | [`Server::execute`] maps requests (`SAME`, `DUPS`, `EXPLAIN`, `INSERT`, `DELETE`, `ADDKEY`, `DROPKEY`, `KEYS`, `SNAPSHOT`, `COMPACT`, `STATS`, `TRACE`, `TRACES`) to responses; [`Server::handle`] is the line-protocol shim |
-//! | [`serve`] | `net` | TCP framing with a fixed worker-thread pool |
+//! | [`serve`] / [`serve_with`] | `net` + `event_loop` | TCP framing: a nonblocking epoll reactor + worker pool by default ([`NetModel::Epoll`]), or the legacy blocking thread-per-connection pool ([`NetModel::Threaded`]) |
 //!
 //! ## In-process use
 //!
@@ -58,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+mod event_loop;
 mod http;
 mod index;
 mod net;
@@ -69,7 +70,10 @@ pub use index::{
     AdvanceMode, AdvanceReport, EmIndex, IndexState, IndexStats, KeyChange, RecoveryReport,
     StepLog, DEFAULT_COMPACT_THRESHOLD,
 };
-pub use net::{request, request_with_timeout, serve, ServeHandle};
+pub use net::{
+    request, request_with_timeout, serve, serve_with, NetModel, ServeHandle, ServeOptions,
+    MAX_REQUEST_LINE,
+};
 pub use proto::{usage, ProofLine, RecordedTrace, Request, RequestError, Response, ResponseError};
 pub use protocol::{Server, PROTOCOL_HELP};
 // Metrics types, re-exported so embedders can build a disabled registry

@@ -82,6 +82,12 @@ pub struct Server {
     /// Connection-lifecycle metrics, recorded by the TCP framing layer
     /// ([`crate::net`]) through the shared server handle.
     pub(crate) net: NetMetrics,
+    /// Which front-end serves this instance (0 = not serving, 1 = epoll,
+    /// 2 = threaded) — `STATS` reports `net_model=`.
+    net_model: AtomicU64,
+    /// The `--max-conns` admission bound (0 = unlimited) — `STATS`
+    /// reports `max_conns=`.
+    max_conns: AtomicU64,
     /// Epoch-keyed answer cache for the hot query verbs (`None` = off).
     cache: Option<AnswerCache>,
     /// Cache hit/miss counters — registered even when the cache is off so
@@ -364,6 +370,17 @@ pub(crate) struct NetMetrics {
     pub(crate) read_errors: Counter,
     /// Response-write I/O errors (`gk_conn_write_errors_total`).
     pub(crate) write_errors: Counter,
+    /// Connections refused by `--max-conns` admission control
+    /// (`gk_conns_rejected_total`).
+    pub(crate) rejected: Counter,
+    /// Requests parsed and queued for the worker pool but not yet picked
+    /// up (`gk_ready_queue_depth`).
+    pub(crate) ready_depth: Gauge,
+    /// Event-loop `epoll_wait` returns (`gk_eventloop_wakeups_total`).
+    pub(crate) wakeups: Counter,
+    /// Responses that did not fit the socket buffer in one write and
+    /// re-armed `EPOLLOUT` (`gk_conn_write_stalls_total`).
+    pub(crate) write_stalls: Counter,
 }
 
 impl NetMetrics {
@@ -382,6 +399,22 @@ impl NetMetrics {
             write_errors: reg.counter(
                 "gk_conn_write_errors_total",
                 "Connections dropped by a response-write I/O error.",
+            ),
+            rejected: reg.counter(
+                "gk_conns_rejected_total",
+                "Connections refused with `ERR busy` by --max-conns admission control.",
+            ),
+            ready_depth: reg.gauge(
+                "gk_ready_queue_depth",
+                "Requests queued for the worker pool, not yet picked up (epoll model).",
+            ),
+            wakeups: reg.counter(
+                "gk_eventloop_wakeups_total",
+                "Event-loop epoll_wait returns since startup.",
+            ),
+            write_stalls: reg.counter(
+                "gk_conn_write_stalls_total",
+                "Responses that outgrew the socket buffer and re-armed EPOLLOUT.",
             ),
         }
     }
@@ -440,6 +473,8 @@ impl Server {
         Server {
             verbs: VerbMetrics::register(reg),
             net: NetMetrics::register(reg),
+            net_model: AtomicU64::new(0),
+            max_conns: AtomicU64::new(0),
             cache: None,
             cache_metrics: CacheMetrics::register(reg),
             index,
@@ -455,6 +490,19 @@ impl Server {
     /// The underlying index (for embedding and tests).
     pub fn index(&self) -> &EmIndex {
         &self.index
+    }
+
+    /// Records which front-end serves this instance and its admission
+    /// bound, for `STATS` (`net_model=`, `max_conns=`). Called by
+    /// [`crate::serve_with`]; an embedded (non-serving) server reports
+    /// `net_model=none`.
+    pub(crate) fn note_net_config(&self, model: crate::net::NetModel, max_conns: usize) {
+        let code = match model {
+            crate::net::NetModel::Epoll => 1,
+            crate::net::NetModel::Threaded => 2,
+        };
+        self.net_model.store(code, Ordering::Relaxed);
+        self.max_conns.store(max_conns as u64, Ordering::Relaxed);
     }
 
     /// Sets the delta-overlay compaction threshold (see
@@ -889,7 +937,7 @@ impl Server {
     fn exec_stats(&self) -> Response {
         let snap = self.index.snapshot();
         let s = &self.index.stats;
-        let mut pairs: Vec<(String, String)> = Vec::with_capacity(33);
+        let mut pairs: Vec<(String, String)> = Vec::with_capacity(35);
         let mut push = |k: &str, v: String| pairs.push((k.to_string(), v));
         push("engine", self.index.engine().to_string());
         push("threads", self.index.engine().threads().to_string());
@@ -917,6 +965,19 @@ impl Server {
         push(
             "connections_active",
             self.net.connections_active.get().to_string(),
+        );
+        push(
+            "net_model",
+            match self.net_model.load(Ordering::Relaxed) {
+                1 => "epoll",
+                2 => "threaded",
+                _ => "none",
+            }
+            .to_string(),
+        );
+        push(
+            "max_conns",
+            self.max_conns.load(Ordering::Relaxed).to_string(),
         );
         push("uptime_secs", self.started.elapsed().as_secs().to_string());
         push(

@@ -1,0 +1,145 @@
+//! Shim of the `libc` crate: exactly the raw Linux bindings the
+//! `gk-server` epoll event loop calls, declared by hand (`extern "C"`
+//! against the platform libc — no registry access in this build
+//! environment, same constraint as every other `vendor/` shim).
+//!
+//! Names, types and constant values match the upstream `libc` crate on
+//! `x86_64-unknown-linux-gnu` / `aarch64-unknown-linux-gnu`, so swapping
+//! this shim for the registry crate is a no-op for the source tree.
+
+#![allow(non_camel_case_types)]
+
+/// C `int`.
+pub type c_int = i32;
+/// C `unsigned int`.
+pub type c_uint = u32;
+/// C `void` (opaque; only ever used behind a pointer).
+pub type c_void = core::ffi::c_void;
+/// POSIX `ssize_t`.
+pub type ssize_t = isize;
+/// POSIX `size_t`.
+pub type size_t = usize;
+
+/// One epoll interest/readiness record (`struct epoll_event`).
+///
+/// Packed on x86-64 — the kernel ABI there has no padding between
+/// `events` and `u64`; other 64-bit targets use natural layout. This is
+/// exactly the upstream `libc` definition.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-owned token returned verbatim with each event.
+    pub u64: u64,
+}
+
+// -- epoll_create1 flags ---------------------------------------------------
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+// -- epoll_ctl ops ---------------------------------------------------------
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+// -- epoll event bits ------------------------------------------------------
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+pub const EPOLLET: u32 = 1 << 31;
+
+// -- eventfd flags ---------------------------------------------------------
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+// -- fcntl -----------------------------------------------------------------
+pub const F_GETFL: c_int = 3;
+pub const F_SETFL: c_int = 4;
+pub const O_NONBLOCK: c_int = 0o4000;
+
+extern "C" {
+    /// Creates an epoll instance (`flags`: `EPOLL_CLOEXEC`).
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    /// Adds/modifies/removes `fd` in the interest list of `epfd`.
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    /// Blocks up to `timeout` ms for ready events; returns the count.
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    /// Creates an eventfd counter (`flags`: `EFD_CLOEXEC | EFD_NONBLOCK`).
+    pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    /// File-descriptor control (`F_GETFL`/`F_SETFL` + `O_NONBLOCK` here).
+    pub fn fcntl(fd: c_int, cmd: c_int, ...) -> c_int;
+    /// Raw read (drains the eventfd counter).
+    pub fn read(fd: c_int, buf: *mut c_void, count: size_t) -> ssize_t;
+    /// Raw write (bumps the eventfd counter).
+    pub fn write(fd: c_int, buf: *const c_void, count: size_t) -> ssize_t;
+    /// Closes a raw descriptor the event loop owns outside of Rust types.
+    pub fn close(fd: c_int) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoll_round_trip_with_eventfd_wakeup() {
+        unsafe {
+            let ep = epoll_create1(EPOLL_CLOEXEC);
+            assert!(ep >= 0, "epoll_create1 failed");
+            let efd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+            assert!(efd >= 0, "eventfd failed");
+            let mut ev = epoll_event {
+                events: EPOLLIN | EPOLLET,
+                u64: 42,
+            };
+            assert_eq!(epoll_ctl(ep, EPOLL_CTL_ADD, efd, &mut ev), 0);
+
+            // Nothing pending: a zero-timeout wait returns no events.
+            let mut out = [epoll_event { events: 0, u64: 0 }; 4];
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            // Bump the counter: the wait reports EPOLLIN with our token.
+            let one: u64 = 1;
+            assert_eq!(
+                write(efd, (&one as *const u64).cast(), 8),
+                8,
+                "eventfd write"
+            );
+            let n = epoll_wait(ep, out.as_mut_ptr(), 4, 1000);
+            assert_eq!(n, 1);
+            let got_token = out[0].u64;
+            assert_eq!(got_token, 42);
+            assert_ne!(out[0].events & EPOLLIN, 0);
+
+            // Drain, and the edge does not re-trigger.
+            let mut v: u64 = 0;
+            assert_eq!(read(efd, (&mut v as *mut u64).cast(), 8), 8);
+            assert_eq!(v, 1);
+            assert_eq!(epoll_wait(ep, out.as_mut_ptr(), 4, 0), 0);
+
+            assert_eq!(close(efd), 0);
+            assert_eq!(close(ep), 0);
+        }
+    }
+
+    #[test]
+    fn fcntl_sets_and_reports_nonblocking() {
+        unsafe {
+            let efd = eventfd(0, EFD_CLOEXEC);
+            assert!(efd >= 0);
+            let flags = fcntl(efd, F_GETFL);
+            assert!(flags >= 0);
+            assert_eq!(flags & O_NONBLOCK, 0);
+            assert_eq!(fcntl(efd, F_SETFL, flags | O_NONBLOCK), 0);
+            assert_ne!(fcntl(efd, F_GETFL) & O_NONBLOCK, 0);
+            assert_eq!(close(efd), 0);
+        }
+    }
+}
