@@ -1,0 +1,151 @@
+//! Criterion bench for the distributed chase over the wire: a K-shard
+//! `gk-cluster` (router + coordinator + K sharded servers on loopback)
+//! versus one standalone server, both fed the identical traffic through
+//! their TCP fronts.
+//!
+//! * **update_converge** — one `INSERT` batch of fresh entities; for the
+//!   cluster this includes the full exchange to fixpoint (broadcast,
+//!   per-shard slice chase, merge-log absorption, delta re-ship);
+//! * **query_roundtrip** — one `SAME` over planted duplicates, answered
+//!   from the already-converged view via the router's affinity shard.
+//!
+//! The standalone server is the `shards=0` row in each group.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gk_client::Client;
+use gk_cluster::{Cluster, ClusterOpts};
+use gk_core::{ChaseEngine, KeySet};
+use gk_datagen::{generate, GenConfig};
+use gk_graph::write_graph;
+use gk_server::{serve, Server};
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A front-end under test: one client into either a standalone server or a
+/// cluster router, plus whatever must stay alive behind it.
+struct Front {
+    client: RefCell<Client>,
+    label: String,
+    _cluster: Option<Cluster>,
+    _handle: Option<gk_server::ServeHandle>,
+}
+
+fn fronts(graph_text: &str, keys_text: &str) -> Vec<Front> {
+    let mut out = Vec::new();
+    let server = Arc::new(Server::with_engine(
+        gk_graph::parse_graph(graph_text).expect("graph"),
+        KeySet::parse(keys_text).expect("keys"),
+        ChaseEngine::Incremental,
+    ));
+    let handle = serve(server, "127.0.0.1:0", 4).expect("bind standalone");
+    out.push(Front {
+        client: RefCell::new(Client::lazy(&handle.addr().to_string())),
+        label: "standalone".into(),
+        _cluster: None,
+        _handle: Some(handle),
+    });
+    for shards in [1usize, 2, 4] {
+        let cluster = Cluster::launch(
+            graph_text,
+            keys_text,
+            "127.0.0.1:0",
+            &ClusterOpts {
+                shards,
+                heartbeat: Duration::ZERO,
+                ..ClusterOpts::default()
+            },
+        )
+        .expect("launch cluster");
+        out.push(Front {
+            client: RefCell::new(Client::lazy(cluster.router_addr())),
+            label: format!("shards={shards}"),
+            _cluster: Some(cluster),
+            _handle: None,
+        });
+    }
+    out
+}
+
+fn bench_vary_shards(cr: &mut Criterion) {
+    // ~10k entities: the scale the PR's acceptance criterion names.
+    let w = generate(
+        &GenConfig::google()
+            .with_scale(0.46)
+            .with_chain(2)
+            .with_radius(2),
+    );
+    let graph_text = write_graph(&w.graph);
+    let keys_text: String = w.keys.keys().iter().map(|k| format!("{k}\n")).collect();
+    let names: Vec<String> = w
+        .graph
+        .entities()
+        .take(256)
+        .map(|e| w.graph.entity_label(e))
+        .collect();
+
+    let fronts = fronts(&graph_text, &keys_text);
+
+    let mut group = cr.benchmark_group("vary_shards_google_10k");
+    group.sample_size(20);
+
+    for f in &fronts {
+        let counter = RefCell::new(0usize);
+        group.bench_with_input(
+            criterion::BenchmarkId::new("update_converge", &f.label),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let i = {
+                        let mut c = counter.borrow_mut();
+                        *c += 1;
+                        *c
+                    };
+                    let line = format!(
+                        "INSERT vs{i}a:ingest logged \"v{i}\" ; \
+                         vs{i}b:ingest logged \"v{i}\" ; \
+                         vs{i}a:ingest batch \"b{}\"",
+                        i % 4
+                    );
+                    let r = f.client.borrow_mut().request_line(&line).expect("insert");
+                    assert!(r.starts_with("OK"), "insert rejected: {r}");
+                })
+            },
+        );
+    }
+
+    for f in &fronts {
+        let counter = RefCell::new(0usize);
+        group.bench_with_input(
+            criterion::BenchmarkId::new("query_roundtrip", &f.label),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let i = {
+                        let mut c = counter.borrow_mut();
+                        *c += 1;
+                        *c
+                    };
+                    let a = &names[i % names.len()];
+                    let z = &names[(i * 7 + 13) % names.len()];
+                    let line = format!("SAME {a} {z}");
+                    let r = f.client.borrow_mut().request_line(&line).expect("same");
+                    assert!(r.starts_with("SAME"), "unexpected answer: {r}");
+                })
+            },
+        );
+    }
+    group.finish();
+
+    for f in fronts {
+        if let Some(c) = f._cluster {
+            c.stop();
+        }
+        if let Some(h) = f._handle {
+            h.stop();
+        }
+    }
+}
+
+criterion_group!(benches, bench_vary_shards);
+criterion_main!(benches);

@@ -182,6 +182,9 @@ fn paper_note(id: &str) -> &'static str {
         "concurrent_connections" => {
             "beyond the paper: TCP front-end scalability — epoll event loop vs blocking thread-per-connection pool at equal workers"
         }
+        "vary_shards" => {
+            "beyond the paper: distributed chase over the wire — 1/2/4-shard gk-cluster vs standalone, ingest+converge and query throughput"
+        }
         _ => "",
     }
 }

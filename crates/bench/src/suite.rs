@@ -162,6 +162,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "query_cached",
     "matcher_prune",
     "concurrent_connections",
+    "vary_shards",
 ];
 
 /// Dataset base config for an experiment family, at benchmark scale.
@@ -305,6 +306,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Vec<Measurement> {
         "query_cached" => query_cached(quick),
         "matcher_prune" => matcher_prune(quick),
         "concurrent_connections" => concurrent_connections(quick),
+        "vary_shards" => vary_shards(quick),
         other => panic!("unknown experiment id {other:?}; see ALL_EXPERIMENTS"),
     }
 }
@@ -1581,6 +1583,162 @@ fn matcher_prune(quick: bool) -> Vec<Measurement> {
         m("degree_pruned", pruned_secs, pruned.len()),
         m("degree_pruned_blocked", blocked_secs, blocked.len()),
     ]
+}
+
+/// Beyond the paper: the distributed chase over the wire on the
+/// 10k-entity Google workload — a K-shard `gk-cluster` (router +
+/// coordinator + K sharded servers, all on loopback) against one
+/// standalone server.  Every configuration starts from an empty graph and
+/// ingests the identical INSERT batch stream through its TCP front (the
+/// cluster converges the cross-shard exchange after every batch), then
+/// answers the identical read-heavy query stream.  Correctness bar: the
+/// cluster's answers are byte-identical to standalone's.  `quick` shrinks
+/// the query count, never the graph or the shard counts.
+fn vary_shards(quick: bool) -> Vec<Measurement> {
+    use gk_client::Client;
+    use gk_cluster::{Cluster, ClusterOpts};
+    use gk_server::{serve, Server};
+    use std::time::Duration;
+
+    let cfg = dataset_cfg('g', false)
+        .with_scale(0.46)
+        .with_chain(2)
+        .with_radius(2);
+    let w = generate(&cfg);
+    let keys_text: String = w.keys.keys().iter().map(|k| format!("{k}\n")).collect();
+    let triples = gk_graph::write_graph(&w.graph);
+    let specs: Vec<&str> = triples.lines().filter(|l| !l.trim().is_empty()).collect();
+    let num_triples = specs.len();
+    let batches: Vec<String> = specs
+        .chunks(64)
+        .map(|c| format!("INSERT {}", c.join(" ; ")))
+        .collect();
+
+    let names: Vec<String> = w
+        .graph
+        .entities()
+        .take(512)
+        .map(|e| w.graph.entity_label(e))
+        .collect();
+    let total_queries = if quick { 1_000 } else { 8_000 };
+    let queries: Vec<String> = (0..total_queries)
+        .map(|i| {
+            let a = &names[i % names.len()];
+            let b = &names[(i * 7 + 13) % names.len()];
+            match i % 3 {
+                0 => format!("SAME {a} {b}"),
+                1 => format!("REP {a}"),
+                _ => format!("DUPS {a}"),
+            }
+        })
+        .collect();
+
+    /// Streams the whole workload through one front and measures it.
+    struct FrontRun {
+        ingest_secs: f64,
+        query_secs: f64,
+        answers: Vec<String>,
+        identified: usize,
+    }
+    let drive = |addr: &str| -> FrontRun {
+        let mut c = Client::lazy(addr);
+        let t = Instant::now();
+        for b in &batches {
+            let r = c.request_line(b).expect("ingest request");
+            assert!(r.starts_with("OK"), "ingest rejected: {r}");
+        }
+        let ingest_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let answers: Vec<String> = queries
+            .iter()
+            .map(|q| c.request_line(q).expect("query request"))
+            .collect();
+        let query_secs = t.elapsed().as_secs_f64();
+        let stats = c.request_line("STATS").expect("stats");
+        let identified = stats
+            .split_whitespace()
+            .find_map(|kv| kv.strip_prefix("identified_pairs="))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        FrontRun {
+            ingest_secs,
+            query_secs,
+            answers,
+            identified,
+        }
+    };
+
+    let mut out = Vec::new();
+    let mut emit = |x: &str, run: &FrontRun, correct: bool| {
+        let base = |algo: &str, secs: f64| Measurement {
+            experiment: "vary_shards".into(),
+            dataset: w.name.clone(),
+            algo: algo.into(),
+            x: x.to_string(),
+            seconds: secs,
+            sim_seconds: 0.0,
+            identified: run.identified,
+            candidates: 0,
+            rounds: 0,
+            traffic: 0,
+            correct,
+            extra: Vec::new(),
+        };
+        let mut ingest = base("ingest_chase", run.ingest_secs);
+        ingest
+            .extra
+            .push(("batches".into(), batches.len().to_string()));
+        ingest
+            .extra
+            .push(("triples".into(), num_triples.to_string()));
+        ingest.extra.push((
+            "mean_batch_micros".into(),
+            format!("{:.1}", run.ingest_secs * 1e6 / batches.len() as f64),
+        ));
+        out.push(ingest);
+        let mut query = base("query_throughput", run.query_secs);
+        query.traffic = total_queries as u64;
+        query.extra.push((
+            "rps".into(),
+            format!("{:.0}", total_queries as f64 / run.query_secs.max(1e-9)),
+        ));
+        out.push(query);
+    };
+
+    // Standalone reference: same empty start, same op stream.
+    let server = std::sync::Arc::new(Server::with_engine(
+        gk_graph::parse_graph("").expect("empty graph"),
+        gk_core::KeySet::parse(&keys_text).expect("keys round-trip"),
+        gk_core::ChaseEngine::Incremental,
+    ));
+    let handle = serve(server, "127.0.0.1:0", 4).expect("bind standalone");
+    let reference = drive(&handle.addr().to_string());
+    handle.stop();
+    emit("standalone", &reference, true);
+
+    for shards in [1usize, 2, 4] {
+        let cluster = Cluster::launch(
+            "",
+            &keys_text,
+            "127.0.0.1:0",
+            &ClusterOpts {
+                shards,
+                // No heartbeat: the measured path is each update's own
+                // convergence, not a background sweep racing the clock.
+                heartbeat: Duration::ZERO,
+                ..ClusterOpts::default()
+            },
+        )
+        .expect("launch cluster");
+        let run = drive(cluster.router_addr());
+        cluster.stop();
+        emit(
+            &format!("shards={shards}"),
+            &run,
+            run.answers == reference.answers,
+        );
+    }
+    out
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Command implementations and a small flag parser.
 
+use gk_core::ShardRole;
 use gk_core::{
     chase_parallel, chase_reference, em_mr, em_vc, key_violations, normalize_graph, normalize_keys,
     prove, satisfies, verify, AlphaNum, CaseFold, ChaseEngine, ChaseOrder, CompiledKeySet, KeySet,
@@ -39,6 +40,17 @@ pub const USAGE: &str = "usage:
                      SAME/DUPS/REP, about N entries (0 = off, the default)
                      [--trace-buffer N]        flight recorder: retain the last N
                      request traces + N slow-query traces (default 32, 0 = off)
+                     [--shard-id I/N]          run as cluster shard I of N: chase only
+                     the owned slice of the candidate pairs and answer the
+                     SHARDCHASE/MERGES exchange verbs (see `cluster`)
+  graphkeys cluster  <graph.triples> <keys.gk> --shards N [--port P] [--threads N]
+                     [--engine E] [--data-dir DIR] [--heartbeat-ms MS]
+                     single-process cluster: N sharded servers on loopback
+                     ports plus the router front on --port; with --data-dir,
+                     shard i persists under DIR/shard-i
+  graphkeys cluster  --join ADDR0,ADDR1,...  [--port P] [--heartbeat-ms MS]
+                     router-only: drive the distributed chase over already
+                     running shards (each started with serve --shard-id I/N)
   graphkeys snapshot <addr>                    ask a running server to persist a snapshot
   graphkeys metrics  <addr>                    print a server's metrics exposition
   graphkeys trace    <addr> <request>          run one request under span tracing and
@@ -79,6 +91,7 @@ pub fn run_to(args: &[String], out: &mut String) -> Result<(), String> {
         "discover" => cmd_discover(rest, out),
         "gen" => cmd_gen(rest, out),
         "serve" => cmd_serve(rest, out),
+        "cluster" => cmd_cluster(rest, out),
         "snapshot" => cmd_snapshot(rest, out),
         "metrics" => cmd_metrics(rest, out),
         "trace" => cmd_trace(rest, out),
@@ -504,6 +517,7 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
             "trace-buffer",
             "net-model",
             "max-conns",
+            "shard-id",
         ],
     )?;
     let [gpath, kpath] = f.positional.as_slice() else {
@@ -521,12 +535,24 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
     let slow_query_ms = f.get_parse("slow-query-ms", 0u64)?;
     let cache_entries = f.get_parse("cache-entries", 0usize)?;
     let trace_buffer = f.get_parse("trace-buffer", 32usize)?;
+    let shard = f.get("shard-id").map(ShardRole::parse).transpose()?;
     let mut server = match f.get("data-dir") {
         None => {
             if f.get("fsync").is_some() {
                 return Err("--fsync needs --data-dir".into());
             }
-            let mut server = gk_server::Server::with_engine(g, ks, engine);
+            let mut server = match shard {
+                None => gk_server::Server::with_engine(g, ks, engine),
+                Some(role) => {
+                    gk_server::Server::from_index(gk_server::EmIndex::with_engine_sharded(
+                        g,
+                        ks,
+                        engine,
+                        std::sync::Arc::new(gk_server::Registry::new()),
+                        role,
+                    ))
+                }
+            };
             server.set_compact_threshold(compact_threshold);
             server
         }
@@ -535,13 +561,26 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
             let dur = Durability::in_dir(dir).with_fsync(fsync);
             // The threshold travels into the open so the recovery replay's
             // post-replay fold honors it too (including 0 = off).
-            let (server, report) = gk_server::Server::with_durability_compacting(
-                g,
-                ks,
-                engine,
-                &dur,
-                compact_threshold,
-            )?;
+            let (server, report) = match shard {
+                None => gk_server::Server::with_durability_compacting(
+                    g,
+                    ks,
+                    engine,
+                    &dur,
+                    compact_threshold,
+                )?,
+                Some(role) => {
+                    let (index, report) = gk_server::EmIndex::open_durable_sharded(
+                        g,
+                        ks,
+                        engine,
+                        &dur,
+                        compact_threshold,
+                        role,
+                    )?;
+                    (gk_server::Server::from_index(index), report)
+                }
+            };
             let _ = writeln!(out, "{}", recovery_line(&report, dir));
             server
         }
@@ -576,11 +615,103 @@ fn cmd_serve(args: &[String], out: &mut String) -> Result<(), String> {
     }
     // `run_to` buffers output until return, but serve never returns — print
     // the banner directly so operators see the bound address immediately.
+    let role_note = match shard {
+        Some(role) => format!(", shard={role}"),
+        None => String::new(),
+    };
     let _ = writeln!(
         out,
-        "serving on {} with {threads} worker thread(s), engine={engine}, net-model={model}",
+        "serving on {} with {threads} worker thread(s), engine={engine}, net-model={model}{role_note}",
         handle.addr()
     );
+    print!("{out}");
+    out.clear();
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+fn cmd_cluster(args: &[String], out: &mut String) -> Result<(), String> {
+    let f = Flags::parse(
+        args,
+        &[
+            "shards",
+            "port",
+            "threads",
+            "engine",
+            "data-dir",
+            "heartbeat-ms",
+            "join",
+        ],
+    )?;
+    let heartbeat = std::time::Duration::from_millis(f.get_parse("heartbeat-ms", 200u64)?);
+    let port = f.get_parse("port", 7879u16)?;
+    let listen = format!("127.0.0.1:{port}");
+
+    // Router-only mode: the shards are already running elsewhere.
+    if let Some(list) = f.get("join") {
+        if !f.positional.is_empty() {
+            return Err("cluster --join takes no graph or key files".into());
+        }
+        let addrs: Vec<String> = list.split(',').map(|a| a.trim().to_string()).collect();
+        let registry = std::sync::Arc::new(gk_server::Registry::new());
+        let coordinator = std::sync::Arc::new(
+            gk_cluster::Coordinator::connect(&addrs, &registry)
+                .map_err(|e| format!("coordinator: {e}"))?,
+        );
+        coordinator
+            .converge()
+            .map_err(|e| format!("initial convergence: {e}"))?;
+        let router = gk_cluster::serve_router(coordinator, registry, &listen, heartbeat)
+            .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "cluster router on {} over {} shard(s): {}",
+            router.addr(),
+            addrs.len(),
+            addrs.join(", ")
+        );
+        return park(out);
+    }
+
+    // Single-process mode: launch the shards too.
+    let [gpath, kpath] = f.positional.as_slice() else {
+        return Err("cluster takes a graph file and a key file (or --join)".into());
+    };
+    let graph_text =
+        std::fs::read_to_string(gpath).map_err(|e| format!("cannot read {gpath:?}: {e}"))?;
+    let keys_text =
+        std::fs::read_to_string(kpath).map_err(|e| format!("cannot read {kpath:?}: {e}"))?;
+    let threads = f.get_parse("threads", 2usize)?;
+    let opts = gk_cluster::ClusterOpts {
+        shards: f.get_parse("shards", 2usize)?,
+        engine: ChaseEngine::parse(f.get("engine").unwrap_or("incremental"), threads)?,
+        threads,
+        data_dir: f.get("data-dir").map(std::path::PathBuf::from),
+        heartbeat,
+        ..gk_cluster::ClusterOpts::default()
+    };
+    let cluster = gk_cluster::Cluster::launch(&graph_text, &keys_text, &listen, &opts)?;
+    for (i, r) in cluster.recoveries.iter().enumerate() {
+        let dir = format!("{}/shard-{i}", opts.data_dir.as_ref().unwrap().display());
+        let _ = writeln!(out, "shard {i}: {}", recovery_line(r, &dir));
+    }
+    for (i, addr) in cluster.shard_addrs().iter().enumerate() {
+        let _ = writeln!(out, "shard {i}/{} on {addr}", opts.shards);
+    }
+    let _ = writeln!(
+        out,
+        "cluster router on {} over {} shard(s)",
+        cluster.router_addr(),
+        opts.shards
+    );
+    park(out)
+}
+
+/// Prints the buffered banner and parks forever (serve-style commands).
+fn park(out: &mut String) -> Result<(), String> {
     print!("{out}");
     out.clear();
     use std::io::Write as _;

@@ -52,6 +52,13 @@ pub use gk_server::{ProofLine, Request, RequestError, Response, ResponseError};
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Default overall deadline for the info conveniences
+/// ([`Client::metrics`], [`Client::stats`]): these feed dashboards and
+/// the cluster coordinator's health view, where a wedged server must
+/// fail fast rather than hang the poller.
+const INFO_DEADLINE: Duration = Duration::from_secs(5);
 
 /// A blocking connection to a graphkeys server, typed end to end.
 ///
@@ -65,6 +72,8 @@ pub struct Client {
     addr: String,
     conn: Option<Conn>,
     reconnects: u64,
+    connect_timeout: Option<Duration>,
+    deadline: Option<Duration>,
 }
 
 struct Conn {
@@ -72,9 +81,30 @@ struct Conn {
     writer: TcpStream,
 }
 
+/// What's left until `deadline`, or a `TimedOut` error once it passed.
+fn remaining(deadline: Instant) -> std::io::Result<Duration> {
+    let left = deadline.saturating_duration_since(Instant::now());
+    if left.is_zero() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            "request deadline exceeded",
+        ));
+    }
+    Ok(left)
+}
+
 impl Conn {
-    fn dial(addr: &str) -> std::io::Result<Conn> {
-        let stream = TcpStream::connect(addr)?;
+    fn dial(addr: &str, connect_timeout: Option<Duration>) -> std::io::Result<Conn> {
+        let stream = match connect_timeout {
+            Some(t) => {
+                use std::net::ToSocketAddrs;
+                let sock = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address")
+                })?;
+                TcpStream::connect_timeout(&sock, t)?
+            }
+            None => TcpStream::connect(addr)?,
+        };
         stream.set_nodelay(true)?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Conn {
@@ -84,24 +114,62 @@ impl Conn {
     }
 
     /// Reads one response paragraph (without the terminating blank line).
-    fn read_paragraph(&mut self) -> std::io::Result<String> {
+    ///
+    /// With a deadline, every socket refill is armed with what's *left*
+    /// of it — the same overall-deadline discipline as the server's
+    /// one-shot `request_with_timeout`: per-read timeouts alone would let
+    /// a slow-drip server extend the call arbitrarily, because each byte
+    /// resets a per-read timer.
+    fn read_paragraph(&mut self, deadline: Option<Instant>) -> std::io::Result<String> {
         let mut out = String::new();
-        let mut line = String::new();
+        let mut line: Vec<u8> = Vec::new();
         loop {
-            line.clear();
-            if self.reader.read_line(&mut line)? == 0 {
+            if let Some(d) = deadline {
+                self.reader
+                    .get_ref()
+                    .set_read_timeout(Some(remaining(d)?))?;
+            }
+            let buf = match self.reader.fill_buf() {
+                Ok(b) => b,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "request deadline exceeded",
+                    ));
+                }
+                Err(e) => return Err(e),
+            };
+            if buf.is_empty() {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "connection closed mid-response",
                 ));
             }
-            if line.trim_end_matches(['\r', '\n']).is_empty() {
+            let (chunk, advanced) = match buf.iter().position(|&b| b == b'\n') {
+                Some(at) => (&buf[..=at], true),
+                None => (buf, false),
+            };
+            line.extend_from_slice(chunk);
+            let n = chunk.len();
+            self.reader.consume(n);
+            if !advanced {
+                continue; // newline not in the buffer yet: refill
+            }
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim_end_matches(['\r', '\n']);
+            if text.is_empty() {
                 return Ok(out);
             }
             if !out.is_empty() {
                 out.push('\n');
             }
-            out.push_str(line.trim_end_matches(['\r', '\n']));
+            out.push_str(text);
+            line.clear();
         }
     }
 }
@@ -115,13 +183,35 @@ impl Client {
         Ok(c)
     }
 
+    /// [`Client::connect`] bounded by `timeout`: the dial — including
+    /// every redial this client ever makes — fails with `TimedOut`
+    /// instead of hanging on a blackholed address.
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let mut c = Client::lazy(addr);
+        c.connect_timeout = Some(timeout);
+        c.ensure()?;
+        Ok(c)
+    }
+
     /// A client that dials on first use (and redials after breakage).
     pub fn lazy(addr: &str) -> Client {
         Client {
             addr: addr.to_string(),
             conn: None,
             reconnects: 0,
+            connect_timeout: None,
+            deadline: None,
         }
+    }
+
+    /// Sets an **overall deadline** for every subsequent call: write plus
+    /// the complete response drain must finish within `deadline`, or the
+    /// call fails with `TimedOut` (and the connection is dropped — a late
+    /// response must not be mistaken for the next call's answer). `None`
+    /// restores blocking reads. [`Client::metrics`] and [`Client::stats`]
+    /// apply a 5s default even without one.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
     }
 
     /// The server address this client talks to.
@@ -136,7 +226,7 @@ impl Client {
 
     fn ensure(&mut self) -> std::io::Result<&mut Conn> {
         if self.conn.is_none() {
-            self.conn = Some(Conn::dial(&self.addr)?);
+            self.conn = Some(Conn::dial(&self.addr, self.connect_timeout)?);
         }
         Ok(self.conn.as_mut().expect("just ensured"))
     }
@@ -157,16 +247,39 @@ impl Client {
         n: usize,
         retriable: bool,
     ) -> std::io::Result<Vec<String>> {
+        self.round_trip_by(payload, n, retriable, self.deadline)
+    }
+
+    /// [`Client::round_trip`] under an explicit overall deadline (`None`
+    /// blocks). On timeout the connection is dropped, not reused: its
+    /// late response would otherwise answer the *next* request.
+    fn round_trip_by(
+        &mut self,
+        payload: &str,
+        n: usize,
+        retriable: bool,
+        deadline: Option<Duration>,
+    ) -> std::io::Result<Vec<String>> {
         let mut retried = false;
         loop {
+            let deadline = deadline.map(|d| Instant::now() + d);
             let mut read = 0usize;
             let attempt = (|| -> std::io::Result<Vec<String>> {
                 let conn = self.ensure()?;
+                match deadline {
+                    Some(d) => conn.writer.set_write_timeout(Some(remaining(d)?))?,
+                    // Clear timeouts a previous deadline call may have
+                    // left armed on this (kept) socket.
+                    None => {
+                        conn.writer.set_write_timeout(None)?;
+                        conn.reader.get_ref().set_read_timeout(None)?;
+                    }
+                }
                 conn.writer.write_all(payload.as_bytes())?;
                 conn.writer.flush()?;
                 let mut out = Vec::with_capacity(n);
                 for _ in 0..n {
-                    out.push(conn.read_paragraph()?);
+                    out.push(conn.read_paragraph(deadline)?);
                     read += 1;
                 }
                 Ok(out)
@@ -214,15 +327,40 @@ impl Client {
     ///
     /// Convenience over `request(&Request::Metrics)`: unwraps the
     /// `Response::Metrics` payload and turns any other answer into an
-    /// `InvalidData` error.
+    /// `InvalidData` error. Runs under a read deadline (the configured
+    /// one, or 5s) — a scrape against a wedged server fails fast.
     pub fn metrics(&mut self) -> std::io::Result<Vec<gk_server::MetricSnapshot>> {
-        match self.request(&Request::Metrics)? {
+        match self.request_info(&Request::Metrics)? {
             Response::Metrics(snaps) => Ok(snaps),
             other => Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 format!("unexpected METRICS answer: {}", other.render()),
             )),
         }
+    }
+
+    /// Fetches the server's `STATS` counters as `(key, value)` pairs.
+    ///
+    /// Convenience over `request(&Request::Stats)`, under the same read
+    /// deadline as [`Client::metrics`] — the cluster coordinator polls
+    /// this for shard health and must not hang on a stalled shard.
+    pub fn stats(&mut self) -> std::io::Result<Vec<(String, String)>> {
+        match self.request_info(&Request::Stats)? {
+            Response::Stats(pairs) => Ok(pairs),
+            other => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected STATS answer: {}", other.render()),
+            )),
+        }
+    }
+
+    /// One read-only request under the info deadline (configured, else
+    /// the 5s default).
+    fn request_info(&mut self, req: &Request) -> std::io::Result<Response> {
+        let payload = format!("{}\n", req.render());
+        let deadline = Some(self.deadline.unwrap_or(INFO_DEADLINE));
+        let mut out = self.round_trip_by(&payload, 1, !req.is_update(), deadline)?;
+        parse_response(&out.pop().expect("one paragraph"))
     }
 
     /// Executes `req` under server-side span tracing (`TRACE <verb ...>`)
@@ -641,6 +779,69 @@ mod tests {
             })
             .expect_err("nested TRACE must not answer a trace");
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        handle.stop();
+    }
+
+    #[test]
+    fn deadlines_fail_fast_against_a_stalled_server() {
+        // A mock that accepts connections and then never answers a byte:
+        // without deadlines, metrics()/stats() would block forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for conn in listener.incoming() {
+                let Ok(conn) = conn else { break };
+                held.push(conn); // keep the socket open, say nothing
+            }
+        });
+        let mut c = Client::connect_timeout(&addr, std::time::Duration::from_secs(5)).unwrap();
+        // The configured deadline applies to the info conveniences (which
+        // would otherwise use their 5s default) and to plain requests.
+        c.set_deadline(Some(std::time::Duration::from_millis(200)));
+        let t0 = std::time::Instant::now();
+        for err in [
+            c.metrics()
+                .map(|_| ())
+                .expect_err("METRICS must hit the deadline"),
+            c.stats()
+                .map(|_| ())
+                .expect_err("STATS must hit the deadline"),
+            c.request(&Request::Ping)
+                .map(|_| ())
+                .expect_err("a stalled PING must time out"),
+        ] {
+            assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+        }
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(3),
+            "three stalled calls must each wait only the deadline, took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn deadline_calls_still_work_against_a_live_server() {
+        let (handle, addr) = spawn();
+        let mut c = Client::connect_timeout(&addr, std::time::Duration::from_secs(5)).unwrap();
+        c.set_deadline(Some(std::time::Duration::from_secs(5)));
+        assert_eq!(c.request(&Request::Ping).unwrap(), Response::Pong);
+        let stats = c.stats().unwrap();
+        let get = |k: &str| {
+            stats
+                .iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| panic!("no {k} in STATS"))
+        };
+        assert_eq!(get("role"), "standalone");
+        assert_eq!(get("num_shards"), "1");
+        assert!(!c.metrics().unwrap().is_empty());
+        // Clearing the deadline restores plain blocking reads; answers
+        // stay byte-identical either way.
+        let with = c.request(&Request::Help).unwrap();
+        c.set_deadline(None);
+        assert_eq!(c.request(&Request::Help).unwrap(), with);
         handle.stop();
     }
 

@@ -1,0 +1,158 @@
+//! Single-process cluster bring-up: N sharded `gk-server` instances plus
+//! the router, each on its own loopback port.  This is what the CLI's
+//! `graphkeys cluster --shards N` runs, and what the tests and benches use
+//! to compare a cluster against a standalone server over the same state.
+
+use crate::coordinator::Coordinator;
+use crate::router::{serve_router, RouterHandle, DEFAULT_HEARTBEAT};
+use gk_core::{ChaseEngine, KeySet, ShardRole};
+use gk_graph::parse_graph;
+use gk_metrics::Registry;
+use gk_server::{
+    serve_with, Durability, EmIndex, RecoveryReport, ServeHandle, ServeOptions, Server,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Knobs for [`Cluster::launch`].
+pub struct ClusterOpts {
+    /// Shard count (the `N` of `entity_shard(e, N)`).
+    pub shards: usize,
+    /// Chase engine each shard runs for its slice.
+    pub engine: ChaseEngine,
+    /// Worker threads per shard's TCP front.
+    pub threads: usize,
+    /// When set, shard `i` persists under `<data_dir>/shard-<i>` — per-shard
+    /// WAL + snapshots, so recovery stays local to the shard that died.
+    pub data_dir: Option<PathBuf>,
+    /// WAL records before a shard folds its delta overlay (0 = off).
+    pub compact_threshold: usize,
+    /// Router heartbeat period (zero disables the heartbeat thread).
+    pub heartbeat: Duration,
+}
+
+impl Default for ClusterOpts {
+    fn default() -> ClusterOpts {
+        ClusterOpts {
+            shards: 2,
+            engine: ChaseEngine::Incremental,
+            threads: 2,
+            data_dir: None,
+            compact_threshold: gk_server::DEFAULT_COMPACT_THRESHOLD,
+            heartbeat: DEFAULT_HEARTBEAT,
+        }
+    }
+}
+
+/// A running single-process cluster.
+pub struct Cluster {
+    shard_handles: Vec<ServeHandle>,
+    shard_addrs: Vec<String>,
+    router: RouterHandle,
+    registry: Arc<Registry>,
+    /// How each durable shard obtained its state (empty when in-memory).
+    pub recoveries: Vec<RecoveryReport>,
+}
+
+impl Cluster {
+    /// Parses the graph and key texts once per shard (every replica indexes
+    /// the full graph), serves each shard on `127.0.0.1:0`, connects the
+    /// coordinator, runs the initial convergence, and opens the router
+    /// front on `listen`.
+    pub fn launch(
+        graph_text: &str,
+        keys_text: &str,
+        listen: &str,
+        opts: &ClusterOpts,
+    ) -> Result<Cluster, String> {
+        if opts.shards == 0 {
+            return Err("a cluster needs at least one shard".into());
+        }
+        let mut shard_handles = Vec::with_capacity(opts.shards);
+        let mut shard_addrs = Vec::with_capacity(opts.shards);
+        let mut recoveries = Vec::new();
+        for i in 0..opts.shards {
+            let graph = parse_graph(graph_text).map_err(|e| format!("graph: {e}"))?;
+            let keys = KeySet::parse(keys_text).map_err(|e| format!("keys: {e}"))?;
+            let role = ShardRole::new(i, opts.shards)?;
+            let index = match &opts.data_dir {
+                None => EmIndex::with_engine_sharded(
+                    graph,
+                    keys,
+                    opts.engine,
+                    Arc::new(Registry::new()),
+                    role,
+                ),
+                Some(dir) => {
+                    let dur = Durability::in_dir(dir.join(format!("shard-{i}")));
+                    let (index, report) = EmIndex::open_durable_sharded(
+                        graph,
+                        keys,
+                        opts.engine,
+                        &dur,
+                        opts.compact_threshold,
+                        role,
+                    )?;
+                    recoveries.push(report);
+                    index
+                }
+            };
+            let server = Arc::new(Server::from_index(index));
+            let handle = serve_with(
+                server,
+                "127.0.0.1:0",
+                &ServeOptions {
+                    threads: opts.threads,
+                    ..ServeOptions::default()
+                },
+            )
+            .map_err(|e| format!("shard {i}: {e}"))?;
+            shard_addrs.push(handle.addr().to_string());
+            shard_handles.push(handle);
+        }
+        let registry = Arc::new(Registry::new());
+        let coordinator = Arc::new(
+            Coordinator::connect(&shard_addrs, &registry)
+                .map_err(|e| format!("coordinator: {e}"))?,
+        );
+        // Converge once before opening the front: a recovered durable
+        // cluster re-exchanges whatever each shard replayed, so the first
+        // client sees the cross-shard fixpoint, not a partial closure.
+        coordinator
+            .converge()
+            .map_err(|e| format!("initial convergence: {e}"))?;
+        let router = serve_router(coordinator, registry.clone(), listen, opts.heartbeat)
+            .map_err(|e| format!("router: {e}"))?;
+        Ok(Cluster {
+            shard_handles,
+            shard_addrs,
+            router,
+            registry,
+            recoveries,
+        })
+    }
+
+    /// The router's front address.
+    pub fn router_addr(&self) -> &str {
+        self.router.addr()
+    }
+
+    /// The per-shard back addresses, in shard-id order.
+    pub fn shard_addrs(&self) -> &[String] {
+        &self.shard_addrs
+    }
+
+    /// The router/coordinator registry (`gk_cluster_*` metrics live here).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Stops the router, then every shard.
+    pub fn stop(self) {
+        self.router.stop();
+        for h in self.shard_handles {
+            h.stop();
+        }
+    }
+}

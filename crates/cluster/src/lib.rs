@@ -1,0 +1,37 @@
+//! gk-cluster: a horizontally sharded graphkeys service.
+//!
+//! Fan et al. (PVLDB 2015) §6 evaluates entity matching with keys on
+//! graphs partitioned across workers; this crate is that topology as a
+//! *service*.  N `gk-server` shard processes each hold a full replica of
+//! the graph (mutations are broadcast, so every replica sees the same op
+//! stream and assigns the same entity ids) but chase only their own slice
+//! of the candidate-pair space — pair `(a, b)` belongs to the shard that
+//! owns `min(a, b)` under `entity_shard`.  A router/coordinator process
+//! speaks the ordinary line protocol on the front and drives the
+//! distributed chase on the back over pipelined `gk-client` connections:
+//!
+//! ```text
+//!            SAME/DUPS/REP/EXPLAIN/INSERT/…
+//!   clients ───────────────► router/coordinator
+//!                               │     ▲
+//!                SHARDCHASE /   │     │  MERGELOG (per-shard merge logs)
+//!                MERGES deltas  ▼     │
+//!                        shard 0 … shard N-1   (each: own WAL + snapshots)
+//! ```
+//!
+//! Convergence is the distributed chase: every sweep, each shard chases
+//! its slice to a local fixpoint and answers its merge log; the
+//! coordinator absorbs the entries into a global label-keyed union-find
+//! and ships each shard the entries it has not seen.  A sweep that moves
+//! nothing in either direction is the fixpoint — by Church–Rosser the
+//! result equals the standalone chase's closure, so any single shard
+//! answers queries byte-identically to a standalone server over the same
+//! op stream.
+
+mod coordinator;
+mod launch;
+mod router;
+
+pub use coordinator::{ClusterMetrics, ConvergeReport, Coordinator};
+pub use launch::{Cluster, ClusterOpts};
+pub use router::{serve_router, RouterHandle, DEFAULT_HEARTBEAT};

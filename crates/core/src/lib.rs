@@ -39,6 +39,7 @@ mod analyze;
 mod candidates;
 mod chase;
 mod discovery;
+mod distributed;
 mod dsl;
 mod em_mr;
 mod em_vc;
@@ -63,6 +64,7 @@ pub use candidates::{
 };
 pub use chase::{chase_reference, chase_reference_traced, ChaseOrder, ChaseResult, ChaseStep};
 pub use discovery::{discover_value_keys, DiscoveredKey, DiscoveryConfig};
+pub use distributed::{chase_shard_slice, ShardRole};
 pub use dsl::{parse_keys, write_keys, DslError};
 pub use em_mr::{em_mr, em_mr_sim, MatchOutcome, MrVariant};
 pub use em_vc::{em_vc, em_vc_sim, VcVariant};

@@ -349,7 +349,7 @@ fn run_shard<V: GraphView>(
 /// future `Eq` can (no recursive key, not pairable, or dependencies empty —
 /// then every recursive slot admits only identity bindings, so the verdict
 /// under any larger `Eq` equals the one just computed).
-fn failure_dependencies<V: GraphView>(
+pub(crate) fn failure_dependencies<V: GraphView>(
     g: &V,
     keys: &CompiledKeySet,
     a: EntityId,

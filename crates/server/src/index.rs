@@ -40,8 +40,9 @@
 //! `O(load + replay)`.
 
 use gk_core::{
-    chase_incremental, chase_incremental_traced, parse_keys, prove, verify, write_keys,
-    ChaseEngine, ChaseMetrics, ChaseOrder, ChaseStep, CompiledKeySet, EqRel, Key, KeySet, Proof,
+    chase_incremental, chase_incremental_traced, chase_shard_slice, norm, parse_keys, prove,
+    verify, write_keys, ChaseEngine, ChaseMetrics, ChaseOrder, ChaseStep, CompiledKeySet, EqRel,
+    Key, KeySet, Proof, ShardRole,
 };
 use gk_graph::{
     DegreeBuckets, EntityId, Graph, GraphView, Obj, ObjSpec, OverlayGraph, Triple, TripleSpec,
@@ -480,6 +481,12 @@ pub struct EmIndex {
     /// below point into it; the server layer registers its own metrics
     /// against the same registry so one `METRICS` answer covers both.
     registry: Arc<Registry>,
+    /// `Some` when this index is one shard of a cluster: every chase is
+    /// then restricted to the owned candidate slice
+    /// ([`gk_core::chase_shard_slice`]) and the `SHARDCHASE`/`MERGES`
+    /// exchange ([`EmIndex::merge_log`], [`EmIndex::absorb_merges`])
+    /// closes the cross-shard gap. `None` is standalone: full chases.
+    shard: Option<ShardRole>,
     /// Cumulative update counters (handles into [`EmIndex::registry`]).
     pub stats: IndexStats,
 }
@@ -514,8 +521,38 @@ impl EmIndex {
         engine: ChaseEngine,
         registry: Arc<Registry>,
     ) -> Self {
+        Self::build_in_memory(graph, keys, engine, registry, None)
+    }
+
+    /// Builds an in-memory index serving one shard of a cluster: the
+    /// startup chase and every update chase advance only the candidate
+    /// slice owned by `shard` ([`gk_core::chase_shard_slice`]); the
+    /// coordinator's `SHARDCHASE`/`MERGES` exchange supplies the rest.
+    pub fn with_engine_sharded(
+        graph: Graph,
+        keys: KeySet,
+        engine: ChaseEngine,
+        registry: Arc<Registry>,
+        shard: ShardRole,
+    ) -> Self {
+        Self::build_in_memory(graph, keys, engine, registry, Some(shard))
+    }
+
+    fn build_in_memory(
+        graph: Graph,
+        keys: KeySet,
+        engine: ChaseEngine,
+        registry: Arc<Registry>,
+        shard: Option<ShardRole>,
+    ) -> Self {
         let stats = IndexStats::register(&registry);
-        let state = startup_chase(OverlayGraph::new(graph), Arc::new(keys), engine, &stats);
+        let state = startup_chase(
+            OverlayGraph::new(graph),
+            Arc::new(keys),
+            engine,
+            &stats,
+            shard,
+        );
         EmIndex {
             engine,
             state: RwLock::new(Arc::new(state)),
@@ -523,6 +560,7 @@ impl EmIndex {
             store: None,
             compact_threshold: DEFAULT_COMPACT_THRESHOLD,
             registry,
+            shard,
             stats,
         }
     }
@@ -577,6 +615,34 @@ impl EmIndex {
         dur: &Durability,
         compact_threshold: usize,
     ) -> Result<(Self, RecoveryReport), String> {
+        Self::open_durable_impl(graph, keys, engine, dur, compact_threshold, None)
+    }
+
+    /// [`EmIndex::open_durable_with`] for one shard of a cluster: each
+    /// shard keeps its **own** data dir (WAL + snapshots), so recovery
+    /// stays per-shard, and every chase is restricted to the owned slice.
+    /// Merges absorbed from other shards are *not* WAL-logged — after a
+    /// restart the coordinator re-syncs the restarted shard from its
+    /// global log (absorption is idempotent).
+    pub fn open_durable_sharded(
+        graph: Graph,
+        keys: KeySet,
+        engine: ChaseEngine,
+        dur: &Durability,
+        compact_threshold: usize,
+        shard: ShardRole,
+    ) -> Result<(Self, RecoveryReport), String> {
+        Self::open_durable_impl(graph, keys, engine, dur, compact_threshold, Some(shard))
+    }
+
+    fn open_durable_impl(
+        graph: Graph,
+        keys: KeySet,
+        engine: ChaseEngine,
+        dur: &Durability,
+        compact_threshold: usize,
+        shard: Option<ShardRole>,
+    ) -> Result<(Self, RecoveryReport), String> {
         let store = open_store(dur)?;
         let registry = Arc::new(Registry::new());
         match store.recover().map_err(|e| e.to_string())? {
@@ -597,11 +663,17 @@ impl EmIndex {
                         ));
                     }
                 }
-                Self::from_recovered(store, rec, engine, compact_threshold, registry)
+                Self::from_recovered(store, rec, engine, compact_threshold, registry, shard)
             }
             None => {
                 let stats = IndexStats::register(&registry);
-                let state = startup_chase(OverlayGraph::new(graph), Arc::new(keys), engine, &stats);
+                let state = startup_chase(
+                    OverlayGraph::new(graph),
+                    Arc::new(keys),
+                    engine,
+                    &stats,
+                    shard,
+                );
                 let index = EmIndex {
                     engine,
                     state: RwLock::new(Arc::new(state)),
@@ -609,6 +681,7 @@ impl EmIndex {
                     store: Some(store),
                     compact_threshold,
                     registry,
+                    shard,
                     stats,
                 };
                 // Initial snapshot: the next start is load + replay.
@@ -645,12 +718,36 @@ impl EmIndex {
         engine: ChaseEngine,
         compact_threshold: usize,
     ) -> Result<Option<(Self, RecoveryReport)>, String> {
+        Self::recover_durable_impl(dur, engine, compact_threshold, None)
+    }
+
+    /// [`EmIndex::recover_durable_with`] for a restarted cluster shard:
+    /// recovers from the shard's own data dir and restores the slice
+    /// discipline. External merges were not WAL-logged, so the recovered
+    /// closure may lag the cluster's — the coordinator detects the
+    /// reconnect and replays its global log through `MERGES`.
+    pub fn recover_durable_sharded(
+        dur: &Durability,
+        engine: ChaseEngine,
+        compact_threshold: usize,
+        shard: ShardRole,
+    ) -> Result<Option<(Self, RecoveryReport)>, String> {
+        Self::recover_durable_impl(dur, engine, compact_threshold, Some(shard))
+    }
+
+    fn recover_durable_impl(
+        dur: &Durability,
+        engine: ChaseEngine,
+        compact_threshold: usize,
+        shard: Option<ShardRole>,
+    ) -> Result<Option<(Self, RecoveryReport)>, String> {
         let store = open_store(dur)?;
         match store.recover().map_err(|e| e.to_string())? {
             None => Ok(None),
             Some(rec) => {
                 let registry = Arc::new(Registry::new());
-                Self::from_recovered(store, rec, engine, compact_threshold, registry).map(Some)
+                Self::from_recovered(store, rec, engine, compact_threshold, registry, shard)
+                    .map(Some)
             }
         }
     }
@@ -664,6 +761,7 @@ impl EmIndex {
         engine: ChaseEngine,
         compact_threshold: usize,
         registry: Arc<Registry>,
+        shard: Option<ShardRole>,
     ) -> Result<(Self, RecoveryReport), String> {
         let t0 = Instant::now();
         let snapshot_seq = rec.snapshot.seq;
@@ -671,7 +769,7 @@ impl EmIndex {
         let wal_torn = rec.wal_torn;
         let skipped_snapshots = rec.skipped_snapshots;
         let stats = IndexStats::register(&registry);
-        let (state, replay_mode) = replay(rec, engine, compact_threshold, &stats)?;
+        let (state, replay_mode) = replay(rec, engine, compact_threshold, &stats, shard)?;
         stats.startup_micros.set(t0.elapsed().as_micros() as u64);
         let index = EmIndex {
             engine,
@@ -680,6 +778,7 @@ impl EmIndex {
             store: Some(store),
             compact_threshold,
             registry,
+            shard,
             stats,
         };
         Ok((
@@ -705,6 +804,132 @@ impl EmIndex {
     /// The configured chase engine.
     pub fn engine(&self) -> ChaseEngine {
         self.engine
+    }
+
+    /// This index's position in a cluster, or `None` when standalone.
+    pub fn shard_role(&self) -> Option<ShardRole> {
+        self.shard
+    }
+
+    /// The accumulated merge log from `cursor` on, as
+    /// `(entity_a, entity_b, key_name)` label triples, plus the next
+    /// cursor. A cursor past the end (this shard restarted from a
+    /// snapshot with a shorter log) returns the empty suffix and the
+    /// *current* length — the coordinator detects the regression via
+    /// `next < cursor` and rewinds to 0.
+    pub fn merge_log(&self, cursor: u64) -> (Vec<(String, String, String)>, u64) {
+        let snap = self.snapshot();
+        let steps = snap.steps().to_vec();
+        let next = steps.len() as u64;
+        let from = (cursor as usize).min(steps.len());
+        let entries = steps[from..]
+            .iter()
+            .map(|s| {
+                (
+                    entity_label(&snap.graph, s.pair.0),
+                    entity_label(&snap.graph, s.pair.1),
+                    snap.compiled.keys[s.key].name.clone(),
+                )
+            })
+            .collect();
+        (entries, next)
+    }
+
+    /// Absorbs external merges from the coordinator — identifications
+    /// certified by *other* shards' slices — and re-chases this shard's
+    /// slice seeded with them (`SHARDCHASE` is the `entries == []` case).
+    ///
+    /// Externals are sound to adopt without re-proving: Church–Rosser
+    /// guarantees any key-certified union sequence reaches the same
+    /// terminal `Eq`. They are appended to the step log (so a snapshot
+    /// persists them and recovery regenerates the same relation) but
+    /// **not** WAL-logged — after a crash the coordinator re-ships them,
+    /// and replay tolerates the resulting seq gap. Idempotent: entries
+    /// already in the relation change nothing, and a call that produces
+    /// no new identification leaves the version untouched.
+    pub fn absorb_merges(
+        &self,
+        entries: &[(String, String, String)],
+        span: &Span,
+    ) -> Result<AdvanceReport, String> {
+        let role = self
+            .shard
+            .ok_or("not a shard: this index was not started with a shard role")?;
+        let _writer = self.ingest.lock();
+        let snap = self.snapshot();
+        let resolve = span.child("resolve");
+        let mut eq = snap.eq.clone();
+        let mut ext_steps: Vec<ChaseStep> = Vec::new();
+        for (a, b, key) in entries {
+            let ea = snap
+                .graph
+                .entity_named(a)
+                .ok_or_else(|| format!("unknown entity {a:?}"))?;
+            let eb = snap
+                .graph
+                .entity_named(b)
+                .ok_or_else(|| format!("unknown entity {b:?}"))?;
+            // Shards replicate the same graph and Σ, so the certifying
+            // key compiles to the same active set here.
+            let ki = snap
+                .compiled
+                .keys
+                .iter()
+                .position(|k| k.name == *key)
+                .ok_or_else(|| format!("unknown key {key:?}"))?;
+            if eq.union(ea, eb) {
+                ext_steps.push(ChaseStep {
+                    pair: norm(ea, eb),
+                    key: ki,
+                });
+            }
+        }
+        resolve.count("externals", entries.len() as u64);
+        resolve.count("absorbed", ext_steps.len() as u64);
+        resolve.finish();
+
+        let t0 = Instant::now();
+        let chase_span = span.child("slice_chase");
+        let result = chase_shard_slice(&snap.graph, &snap.compiled, &eq, role, &chase_span);
+        chase_span.count("rounds", result.rounds as u64);
+        chase_span.count("iso_checks", result.iso_checks);
+        chase_span.count("merges", result.steps.len() as u64);
+        chase_span.finish();
+        self.stats.delta_chase_micros.observe_micros(t0.elapsed());
+        self.stats.chase.record(&result);
+        let new_pairs = result.eq.num_identified_pairs() - snap.eq.num_identified_pairs();
+        let report = AdvanceReport {
+            mode: if ext_steps.is_empty() && result.steps.is_empty() {
+                AdvanceMode::NoOp
+            } else {
+                AdvanceMode::Incremental
+            },
+            triples: 0,
+            touched: ext_steps.len(),
+            new_entities: 0,
+            new_pairs,
+            rounds: result.rounds,
+            iso_checks: result.iso_checks,
+        };
+        if report.mode == AdvanceMode::NoOp {
+            self.stats.noops.inc();
+            return Ok(report);
+        }
+        let steps2 = snap.steps().appended(ext_steps).appended(result.steps);
+        let next = IndexState::build(
+            snap.graph.clone(),
+            Arc::clone(&snap.keys),
+            snap.compiled.clone(),
+            result.eq,
+            steps2,
+            snap.degrees.clone(),
+            snap.version + 1,
+            snap.key_epoch,
+        );
+        *self.state.write() = Arc::new(next);
+        self.stats.update_rounds.add(report.rounds as u64);
+        self.stats.incremental_advances.inc();
+        Ok(report)
     }
 
     /// The fsync mode of the durable store, or `None` in-memory.
@@ -940,12 +1165,23 @@ impl EmIndex {
         compile.finish();
         let t0 = Instant::now();
         let incremental = self.engine.inserts_incrementally();
-        let chase_span = span.child(if incremental {
+        let chase_span = span.child(if self.shard.is_some() {
+            "slice_chase"
+        } else if incremental {
             "delta_chase"
         } else {
             "full_rechase"
         });
-        let (result, mode) = if incremental {
+        let (result, mode) = if let Some(role) = self.shard {
+            // Shard mode: inserts are monotone, so the previous relation
+            // seeds a continuation restricted to the owned slice; other
+            // shards pick up their slices through the coordinator's
+            // exchange.
+            (
+                chase_shard_slice(&g2, &compiled2, &snap.eq, role, &chase_span),
+                AdvanceMode::Incremental,
+            )
+        } else if incremental {
             // Monotone delta chase: valid for insert-only batches under any
             // engine; strictly less work than a full chase.
             (
@@ -1095,10 +1331,29 @@ impl EmIndex {
         let compiled2 = snap.keys.compile(&g2);
         compile.finish();
         let t0 = Instant::now();
-        let chase_span = span.child("full_rechase");
-        let full =
-            self.engine
-                .full_chase_traced(&g2, &compiled2, ChaseOrder::Deterministic, &chase_span);
+        let chase_span = span.child(if self.shard.is_some() {
+            "slice_rechase"
+        } else {
+            "full_rechase"
+        });
+        // Deletion is non-monotone: restart from identity. In shard mode
+        // only the owned slice is recomputed; the coordinator resets its
+        // global view and re-converges the cluster.
+        let full = match self.shard {
+            Some(role) => chase_shard_slice(
+                &g2,
+                &compiled2,
+                &EqRel::identity(g2.num_entities()),
+                role,
+                &chase_span,
+            ),
+            None => self.engine.full_chase_traced(
+                &g2,
+                &compiled2,
+                ChaseOrder::Deterministic,
+                &chase_span,
+            ),
+        };
         chase_span.count("rounds", full.rounds as u64);
         chase_span.count("iso_checks", full.iso_checks);
         chase_span.count("merges", full.steps.len() as u64);
@@ -1211,12 +1466,21 @@ impl EmIndex {
 
         let t0 = Instant::now();
         let incremental = self.engine.inserts_incrementally();
-        let chase_span = span.child(if incremental {
+        let chase_span = span.child(if self.shard.is_some() {
+            "slice_chase"
+        } else if incremental {
             "delta_chase"
         } else {
             "full_rechase"
         });
-        let (result, mode) = if incremental {
+        let (result, mode) = if let Some(role) = self.shard {
+            // Adding keys is monotone, so the previous relation seeds the
+            // slice continuation just as it does for inserts.
+            (
+                chase_shard_slice(&snap.graph, &compiled2, &snap.eq, role, &chase_span),
+                AdvanceMode::Incremental,
+            )
+        } else if incremental {
             // Wake the entities a new key could anchor on. The first
             // genuinely new identification must be certified by a new key
             // (the old Eq is terminal for the old Σ on this graph), and any
@@ -1333,13 +1597,28 @@ impl EmIndex {
         let compiled2 = keys2.compile(&snap.graph);
         compile.finish();
         let t0 = Instant::now();
-        let chase_span = span.child("full_rechase");
-        let full = self.engine.full_chase_traced(
-            &snap.graph,
-            &compiled2,
-            ChaseOrder::Deterministic,
-            &chase_span,
-        );
+        let chase_span = span.child(if self.shard.is_some() {
+            "slice_rechase"
+        } else {
+            "full_rechase"
+        });
+        // Non-monotone, like deletion: restart from identity (the owned
+        // slice only, in shard mode).
+        let full = match self.shard {
+            Some(role) => chase_shard_slice(
+                &snap.graph,
+                &compiled2,
+                &EqRel::identity(snap.graph.num_entities()),
+                role,
+                &chase_span,
+            ),
+            None => self.engine.full_chase_traced(
+                &snap.graph,
+                &compiled2,
+                ChaseOrder::Deterministic,
+                &chase_span,
+            ),
+        };
         chase_span.count("rounds", full.rounds as u64);
         chase_span.count("iso_checks", full.iso_checks);
         chase_span.count("merges", full.steps.len() as u64);
@@ -1453,16 +1732,28 @@ fn remap_steps(
         .collect()
 }
 
-/// Runs the startup chase and builds version 0 of the serving state.
+/// Runs the startup chase and builds version 0 of the serving state. A
+/// sharded index chases only its owned candidate slice; the coordinator
+/// converges the cluster by exchanging merge logs afterwards.
 fn startup_chase(
     graph: OverlayGraph,
     keys: Arc<KeySet>,
     engine: ChaseEngine,
     stats: &IndexStats,
+    shard: Option<ShardRole>,
 ) -> IndexState {
     let t0 = Instant::now();
     let compiled = keys.compile(&graph);
-    let r = engine.full_chase(&graph, &compiled, ChaseOrder::Deterministic);
+    let r = match shard {
+        Some(role) => chase_shard_slice(
+            &graph,
+            &compiled,
+            &EqRel::identity(graph.num_entities()),
+            role,
+            &Span::disabled(),
+        ),
+        None => engine.full_chase(&graph, &compiled, ChaseOrder::Deterministic),
+    };
     stats.startup_rounds.set(r.rounds as u64);
     stats.startup_iso_checks.set(r.iso_checks);
     stats.startup_micros.set(t0.elapsed().as_micros() as u64);
@@ -1478,6 +1769,13 @@ fn startup_chase(
         0,
         0,
     )
+}
+
+/// An entity's wire label: its declared name, or `e<id>` for the rare
+/// unnamed entity (matching the protocol layer's fallback spelling).
+fn entity_label<V: GraphView>(g: &V, e: EntityId) -> String {
+    g.entity_name(e)
+        .map_or_else(|| format!("e{}", e.0), str::to_string)
 }
 
 /// Resolves a delete spec against the graph with the same type contract as
@@ -1524,6 +1822,7 @@ fn replay(
     engine: ChaseEngine,
     compact_threshold: usize,
     stats: &IndexStats,
+    shard: Option<ShardRole>,
 ) -> Result<(IndexState, AdvanceMode), String> {
     let snapshot_steps = rec.snapshot.steps;
     let snapshot_keys = KeySet::parse(&rec.snapshot.keys_dsl)
@@ -1617,8 +1916,19 @@ fn replay(
     }
     let (eq, steps, mode) = if !monotone {
         // Deletions and dropped keys are not monotone: one full chase
-        // over the final graph under the final Σ.
-        let r = engine.full_chase(&g, &compiled, ChaseOrder::Deterministic);
+        // over the final graph under the final Σ (the owned slice only,
+        // when recovering a shard — the coordinator re-syncs externals
+        // after the restart).
+        let r = match shard {
+            Some(role) => chase_shard_slice(
+                &g,
+                &compiled,
+                &EqRel::identity(g.num_entities()),
+                role,
+                &Span::disabled(),
+            ),
+            None => engine.full_chase(&g, &compiled, ChaseOrder::Deterministic),
+        };
         stats.startup_rounds.set(r.rounds as u64);
         stats.startup_iso_checks.set(r.iso_checks);
         stats.chase.record(&r);

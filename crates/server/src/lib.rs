@@ -74,7 +74,9 @@ pub use net::{
     request, request_with_timeout, serve, serve_with, NetModel, ServeHandle, ServeOptions,
     MAX_REQUEST_LINE,
 };
-pub use proto::{usage, ProofLine, RecordedTrace, Request, RequestError, Response, ResponseError};
+pub use proto::{
+    usage, MergeEntry, ProofLine, RecordedTrace, Request, RequestError, Response, ResponseError,
+};
 pub use protocol::{Server, PROTOCOL_HELP};
 // Metrics types, re-exported so embedders can build a disabled registry
 // (zero-cost baseline) or walk a `Response::Metrics` payload — or a

@@ -94,6 +94,21 @@ pub enum Request {
         /// Max traces returned; `None` means the recorder's capacity.
         n: Option<usize>,
     },
+    /// `SHARDCHASE <cursor>` — (cluster-internal) chase this shard's
+    /// slice to a local fixpoint and answer the merge log from `cursor`.
+    ShardChase {
+        /// First step-log position the caller has not yet seen.
+        cursor: u64,
+    },
+    /// `MERGES <cursor> <a> <b> "<key>" [; …]` — (cluster-internal)
+    /// absorb external merges from other shards, re-chase the slice, and
+    /// answer the merge log from `cursor`.
+    Merges {
+        /// First step-log position the caller has not yet seen.
+        cursor: u64,
+        /// The external identifications to absorb, in coordinator order.
+        merges: Vec<MergeEntry>,
+    },
     /// `PING` — liveness check.
     Ping,
     /// `HELP` — the usage table.
@@ -133,6 +148,10 @@ pub mod usage {
     pub const TRACE: &str = "TRACE <verb ...>";
     /// `TRACES` signature.
     pub const TRACES: &str = "TRACES [n]";
+    /// `SHARDCHASE` signature.
+    pub const SHARDCHASE: &str = "SHARDCHASE <cursor>";
+    /// `MERGES` signature.
+    pub const MERGES: &str = "MERGES <cursor> [<a> <b> \"<key>\" ; ...]";
     /// `PING` signature.
     pub const PING: &str = "PING";
     /// `HELP` signature.
@@ -260,6 +279,25 @@ impl Request {
                         .map_err(|_| RequestError::Usage(usage::TRACES))
                 }
             }
+            "SHARDCHASE" => {
+                let cursor = exactly(1, usage::SHARDCHASE)?.pop().expect("one part");
+                cursor
+                    .parse()
+                    .map(|cursor| Request::ShardChase { cursor })
+                    .map_err(|_| RequestError::Usage(usage::SHARDCHASE))
+            }
+            "MERGES" => {
+                let (cursor, entries) = match rest.split_once(char::is_whitespace) {
+                    Some((c, r)) => (c, r.trim()),
+                    None => (rest, ""),
+                };
+                let cursor = cursor
+                    .parse()
+                    .map_err(|_| RequestError::Usage(usage::MERGES))?;
+                let merges =
+                    parse_merge_entries(entries).ok_or(RequestError::Usage(usage::MERGES))?;
+                Ok(Request::Merges { cursor, merges })
+            }
             "PING" => bare(usage::PING).map(|()| Request::Ping),
             "HELP" => bare(usage::HELP).map(|()| Request::Help),
             other => Err(RequestError::UnknownVerb(other.to_string())),
@@ -288,6 +326,13 @@ impl Request {
             Request::Trace { inner } => format!("TRACE {}", inner.render()),
             Request::Traces { n: None } => "TRACES".into(),
             Request::Traces { n: Some(n) } => format!("TRACES {n}"),
+            Request::ShardChase { cursor } => format!("SHARDCHASE {cursor}"),
+            Request::Merges { cursor, merges } if merges.is_empty() => {
+                format!("MERGES {cursor}")
+            }
+            Request::Merges { cursor, merges } => {
+                format!("MERGES {cursor} {}", render_merge_entries(merges))
+            }
             Request::Ping => "PING".into(),
             Request::Help => "HELP".into(),
         }
@@ -300,7 +345,8 @@ impl Request {
             Request::Insert { .. }
             | Request::Delete { .. }
             | Request::AddKey { .. }
-            | Request::DropKey { .. } => true,
+            | Request::DropKey { .. }
+            | Request::Merges { .. } => true,
             Request::Trace { inner } => inner.is_update(),
             _ => false,
         }
@@ -308,9 +354,26 @@ impl Request {
 
     /// Every verb name, lowercase — the namespace of the per-verb request
     /// metrics (`gk_requests_<verb>_total`, `gk_request_micros_<verb>`).
-    pub const VERBS: [&'static str; 17] = [
-        "same", "dups", "rep", "explain", "insert", "delete", "addkey", "dropkey", "keys",
-        "snapshot", "compact", "stats", "metrics", "trace", "traces", "ping", "help",
+    pub const VERBS: [&'static str; 19] = [
+        "same",
+        "dups",
+        "rep",
+        "explain",
+        "insert",
+        "delete",
+        "addkey",
+        "dropkey",
+        "shardchase",
+        "merges",
+        "keys",
+        "snapshot",
+        "compact",
+        "stats",
+        "metrics",
+        "trace",
+        "traces",
+        "ping",
+        "help",
     ];
 
     /// The lowercase verb name of this request (an element of
@@ -332,6 +395,8 @@ impl Request {
             Request::Metrics => "metrics",
             Request::Trace { .. } => "trace",
             Request::Traces { .. } => "traces",
+            Request::ShardChase { .. } => "shardchase",
+            Request::Merges { .. } => "merges",
             Request::Ping => "ping",
             Request::Help => "help",
         }
@@ -342,6 +407,71 @@ impl std::fmt::Display for Request {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.render())
     }
+}
+
+/// One identification of a shipped merge log: the pair plus the name of
+/// the certifying key. Travels in `MERGES` requests and `MERGELOG`
+/// responses as `<a> <b> "<key>"` (the key name DSL-quoted).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MergeEntry {
+    /// First entity name of the identified pair.
+    pub a: String,
+    /// Second entity name.
+    pub b: String,
+    /// Name of the certifying key.
+    pub key: String,
+}
+
+impl MergeEntry {
+    /// Renders the wire form `<a> <b> "<key>"`.
+    fn render(&self) -> String {
+        format!("{} {} {}", self.a, self.b, quote(&self.key))
+    }
+
+    /// Reads one entry off the front of `s`, returning it and the rest.
+    fn read(s: &str) -> Option<(MergeEntry, &str)> {
+        let (a, r) = s.split_once(char::is_whitespace)?;
+        let (b, r) = r.trim_start().split_once(char::is_whitespace)?;
+        let (key, r) = unquote(r.trim_start()).ok()?;
+        Some((
+            MergeEntry {
+                a: a.to_string(),
+                b: b.to_string(),
+                key,
+            },
+            r.trim_start(),
+        ))
+    }
+}
+
+/// Parses a `;`-separated merge-entry list (the `MERGES` payload after
+/// the cursor). Empty input is an empty list.
+fn parse_merge_entries(s: &str) -> Option<Vec<MergeEntry>> {
+    let mut rest = s.trim();
+    let mut out = Vec::new();
+    while !rest.is_empty() {
+        let (entry, r) = MergeEntry::read(rest)?;
+        out.push(entry);
+        rest = r;
+        if let Some(r) = rest.strip_prefix(';') {
+            rest = r.trim_start();
+            if rest.is_empty() {
+                return None; // trailing separator
+            }
+        } else if !rest.is_empty() {
+            return None; // junk between entries
+        }
+    }
+    Some(out)
+}
+
+/// Renders a merge-entry list in the `MERGES` payload form.
+fn render_merge_entries(merges: &[MergeEntry]) -> String {
+    merges
+        .iter()
+        .map(MergeEntry::render)
+        .collect::<Vec<_>>()
+        .join(" ; ")
 }
 
 /// One `  a <=> b by key` line of a rendered proof.
@@ -479,6 +609,14 @@ pub enum Response {
         captured: u64,
         /// The returned traces, newest first.
         traces: Vec<RecordedTrace>,
+    },
+    /// `MERGELOG n=… next=…` + one indented `<a> <b> "<key>"` line per
+    /// merge — the shard's step log from the requested cursor.
+    MergeLog {
+        /// The cursor to resume from next time (the shard's log length).
+        next: u64,
+        /// The shipped identifications, in shard log order.
+        merges: Vec<MergeEntry>,
     },
     /// The multi-line usage table.
     Help(String),
@@ -654,6 +792,13 @@ impl Response {
                     for line in tree.lines() {
                         let _ = write!(out, "\n{line}");
                     }
+                }
+                out
+            }
+            Response::MergeLog { next, merges } => {
+                let mut out = format!("MERGELOG n={} next={next}", merges.len());
+                for m in merges {
+                    let _ = write!(out, "\n  {}", m.render());
                 }
                 out
             }
@@ -873,6 +1018,30 @@ impl Response {
                 }
                 Ok(Response::Traces { captured, traces })
             }
+            "MERGELOG" => {
+                let fields = kv_fields(&toks[1..])?;
+                let n = field(&fields, "n")
+                    .and_then(parse_usize)
+                    .ok_or_else(|| bad("MERGELOG without n="))?;
+                let next = field(&fields, "next")
+                    .and_then(parse_u64)
+                    .ok_or_else(|| bad("MERGELOG without next="))?;
+                let merges: Vec<MergeEntry> = lines
+                    .map(|l| {
+                        let l = l
+                            .strip_prefix("  ")
+                            .ok_or_else(|| bad("unindented merge line"))?;
+                        match MergeEntry::read(l) {
+                            Some((m, "")) => Ok(m),
+                            _ => Err(bad("malformed merge line")),
+                        }
+                    })
+                    .collect::<Result<_, _>>()?;
+                if merges.len() != n {
+                    return Err(bad("MERGELOG count mismatch"));
+                }
+                Ok(Response::MergeLog { next, merges })
+            }
             "commands:" => Ok(Response::Help(text.to_string())),
             "ERR" => Ok(Response::Err(
                 first.strip_prefix("ERR ").unwrap_or("").to_string(),
@@ -1005,6 +1174,11 @@ mod tests {
         req_roundtrip(r#"TRACE INSERT a:t p "v""#);
         req_roundtrip("TRACES");
         req_roundtrip("TRACES 5");
+        req_roundtrip("SHARDCHASE 0");
+        req_roundtrip("SHARDCHASE 42");
+        req_roundtrip("MERGES 7");
+        req_roundtrip(r#"MERGES 3 a1 a2 "Q2""#);
+        req_roundtrip(r#"MERGES 3 a1 a2 "Q2" ; art1 art2 "Q with ; spaces""#);
         for bare in [
             "KEYS", "SNAPSHOT", "COMPACT", "STATS", "METRICS", "PING", "HELP",
         ] {
@@ -1088,6 +1262,15 @@ mod tests {
             ("METRICS now", usage::METRICS),
             ("PING twice", usage::PING),
             ("HELP me", usage::HELP),
+            ("SHARDCHASE", usage::SHARDCHASE),
+            ("SHARDCHASE x", usage::SHARDCHASE),
+            ("SHARDCHASE 1 2", usage::SHARDCHASE),
+            ("MERGES", usage::MERGES),
+            ("MERGES x", usage::MERGES),
+            ("MERGES 1 a", usage::MERGES),
+            ("MERGES 1 a b key", usage::MERGES),
+            (r#"MERGES 1 a b "k" ;"#, usage::MERGES),
+            (r#"MERGES 1 a b "k" junk"#, usage::MERGES),
         ] {
             assert_eq!(
                 Request::parse(line),
@@ -1267,6 +1450,50 @@ mod tests {
             captured: 0,
             traces: Vec::new(),
         });
+        resp_roundtrip(Response::MergeLog {
+            next: 0,
+            merges: Vec::new(),
+        });
+        resp_roundtrip(Response::MergeLog {
+            next: 9,
+            merges: vec![
+                MergeEntry {
+                    a: "alb1".into(),
+                    b: "alb2".into(),
+                    key: "Q2".into(),
+                },
+                MergeEntry {
+                    a: "art1".into(),
+                    b: "art2".into(),
+                    key: "Q \"odd\" ; name".into(),
+                },
+            ],
+        });
+    }
+
+    #[test]
+    fn merges_is_an_update_and_shardchase_is_not() {
+        assert!(Request::parse(r#"MERGES 0 a b "k""#).unwrap().is_update());
+        assert!(Request::parse("MERGES 4").unwrap().is_update());
+        assert!(!Request::parse("SHARDCHASE 0").unwrap().is_update());
+        assert_eq!(
+            Request::parse(r#"MERGES 2 a b "k" ; c d "k2""#),
+            Ok(Request::Merges {
+                cursor: 2,
+                merges: vec![
+                    MergeEntry {
+                        a: "a".into(),
+                        b: "b".into(),
+                        key: "k".into()
+                    },
+                    MergeEntry {
+                        a: "c".into(),
+                        b: "d".into(),
+                        key: "k2".into()
+                    },
+                ],
+            })
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@
 //! pre-typed protocol.
 
 use crate::index::{EmIndex, IndexState, RecoveryReport};
-use crate::proto::{ProofLine, RecordedTrace, Request, Response};
+use crate::proto::{MergeEntry, ProofLine, RecordedTrace, Request, Response};
 use gk_core::{parse_keys, ChaseEngine, Key, KeySet};
 use gk_graph::{parse_triple_specs, EntityId, Graph, GraphView, TripleSpec};
 use gk_metrics::{Counter, Gauge, Histogram, Registry, Span};
@@ -59,6 +59,8 @@ pub const PROTOCOL_HELP: &str = "commands:
   KEYS                  list the declared keys and the key epoch
   SNAPSHOT              persist a point-in-time snapshot (needs --data-dir)
   COMPACT               snapshot + fold the delta overlay, truncate the WAL, prune old snapshots
+  SHARDCHASE <cursor>   (cluster-internal) chase the owned slice; answer the merge log from <cursor>
+  MERGES <cursor> [<a> <b> \"<key>\" ; ...]  (cluster-internal) absorb external merges, then as SHARDCHASE
   STATS                 index + traffic counters
   METRICS               full metrics exposition (counters, gauges, latency histograms)
   TRACE <verb ...>      execute <verb> with span tracing; answers the span tree + the answer
@@ -667,6 +669,10 @@ impl Server {
             Request::Delete { batch } => self.count_update(self.exec_delete(&batch, span)),
             Request::AddKey { dsl } => self.count_update(self.exec_addkey(&dsl, span)),
             Request::DropKey { name } => self.count_update(self.exec_dropkey(&name, span)),
+            Request::ShardChase { cursor } => self.exec_shardchase(cursor, span),
+            Request::Merges { cursor, merges } => {
+                self.count_update(self.exec_merges(cursor, &merges, span))
+            }
             Request::Keys => self.exec_keys(),
             Request::Snapshot => self.exec_snapshot(),
             Request::Compact => self.exec_compact(),
@@ -906,6 +912,46 @@ impl Server {
         }
     }
 
+    /// `SHARDCHASE <cursor>`: re-chase this shard's owned slice to a local
+    /// fixpoint, then answer the merge log from `cursor` on. The chase is
+    /// a no-op at fixpoint (no version bump), so the coordinator polls it
+    /// freely each round.
+    fn exec_shardchase(&self, cursor: u64, span: &Span) -> Response {
+        self.shard_exchange(cursor, &[], span)
+    }
+
+    /// `MERGES <cursor> <entries>`: absorb external merges shipped by the
+    /// coordinator, re-chase the owned slice seeded with them, answer the
+    /// merge log from `cursor` on.
+    fn exec_merges(&self, cursor: u64, merges: &[MergeEntry], span: &Span) -> Response {
+        self.shard_exchange(cursor, merges, span)
+    }
+
+    /// The shared body of the two cluster verbs: absorb (possibly zero)
+    /// externals + slice chase + merge-log read-back.
+    fn shard_exchange(&self, cursor: u64, merges: &[MergeEntry], span: &Span) -> Response {
+        if self.index.shard_role().is_none() {
+            return Response::Err(
+                "this server is not a cluster shard (start with serve --shard-id I/N)".into(),
+            );
+        }
+        let entries: Vec<(String, String, String)> = merges
+            .iter()
+            .map(|m| (m.a.clone(), m.b.clone(), m.key.clone()))
+            .collect();
+        if let Err(e) = self.index.absorb_merges(&entries, span) {
+            return Response::Err(e);
+        }
+        let (log, next) = self.index.merge_log(cursor);
+        Response::MergeLog {
+            next,
+            merges: log
+                .into_iter()
+                .map(|(a, b, key)| MergeEntry { a, b, key })
+                .collect(),
+        }
+    }
+
     fn exec_keys(&self) -> Response {
         let snap = self.index.snapshot();
         Response::KeyList {
@@ -941,6 +987,18 @@ impl Server {
         let mut push = |k: &str, v: String| pairs.push((k.to_string(), v));
         push("engine", self.index.engine().to_string());
         push("threads", self.index.engine().threads().to_string());
+        match self.index.shard_role() {
+            Some(role) => {
+                push("role", "shard".to_string());
+                push("shard_id", role.shard_id.to_string());
+                push("num_shards", role.num_shards.to_string());
+            }
+            None => {
+                push("role", "standalone".to_string());
+                push("shard_id", "0".to_string());
+                push("num_shards", "1".to_string());
+            }
+        }
         push("entities", snap.graph.num_entities().to_string());
         push("triples", snap.graph.num_triples().to_string());
         push("values", snap.graph.num_values().to_string());

@@ -19,6 +19,7 @@
 //! | [`store`] | durable persistence: binary snapshots, write-ahead log, crash recovery |
 //! | [`server`] | resident entity-resolution service with incremental ingest, runtime key management and optional durability |
 //! | [`client`] | typed blocking TCP client with N-deep request pipelining |
+//! | [`cluster`] | horizontally sharded service: router/coordinator driving the distributed chase over N shard servers |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@
 //! ```
 
 pub use gk_client as client;
+pub use gk_cluster as cluster;
 pub use gk_core as core;
 pub use gk_datagen as datagen;
 pub use gk_graph as graph;
@@ -58,6 +60,7 @@ pub use gk_vertexcentric as vertexcentric;
 /// The most common imports in one place.
 pub mod prelude {
     pub use gk_client::{Client, Pipeline};
+    pub use gk_cluster::{Cluster, ClusterOpts, Coordinator};
     pub use gk_core::{
         chase_parallel, chase_reference, em_mr, em_mr_sim, em_vc, em_vc_sim, key_violations,
         parse_keys, satisfies, set_violations, CandidateMode, ChaseEngine, ChaseOrder,
